@@ -1,0 +1,20 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (table or figure).  The
+heavyweight experiment benchmarks run a single round -- they are
+end-to-end measurements, not microbenchmarks -- while the substrate
+benchmarks (prompt synthesis, parsing, interpretation) use normal
+pytest-benchmark statistics.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def one_shot(benchmark):
+    """Run a heavyweight experiment exactly once under the benchmark timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

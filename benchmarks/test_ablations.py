@@ -1,0 +1,24 @@
+"""Benchmarks E6/E7: the design-choice ablations from DESIGN.md."""
+
+from repro.evalx.experiments import ablation_examples, ablation_prompt
+
+
+def test_ablation_feedback_retries(one_shot):
+    rows = one_shot(ablation_prompt.run, 4)
+    print()
+    print(ablation_prompt.render(rows))
+    by_label = {row.label: row for row in rows}
+    # Retries must recover what corruption loses.
+    assert (
+        by_label["corruption=60%, retries=9"].success_rate
+        > by_label["corruption=60%, retries=0"].success_rate + 0.2
+    )
+
+
+def test_ablation_validation_examples(one_shot):
+    rows = one_shot(ablation_examples.run, (0.0, 0.6, 0.9))
+    print()
+    print(ablation_examples.render(rows))
+    worst = rows[-1]
+    assert worst.with_examples_correct == 1.0
+    assert worst.without_examples_correct < worst.with_examples_correct

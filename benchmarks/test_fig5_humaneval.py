@@ -1,0 +1,16 @@
+"""Benchmark E2: regenerate Figure 5 (HumanEval LOC scatter)."""
+
+import pytest
+
+from repro.evalx.experiments import fig5
+
+
+def test_fig5_regeneration(one_shot):
+    result = one_shot(fig5.run)
+    print()
+    print(fig5.render(result))
+    # Paper: 84.8 % success; generated 1.27x hand-written; shorter in 35.3 %.
+    assert result.success_rate == pytest.approx(0.848, abs=0.03)
+    assert 1.0 < result.loc_ratio < 1.6
+    assert 0.2 < result.shorter_fraction < 0.5
+    assert result.mean_askit_loc == pytest.approx(23.74, abs=4.0)

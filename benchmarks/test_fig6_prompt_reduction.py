@@ -1,0 +1,16 @@
+"""Benchmark E3: regenerate Figure 6 (prompt-length reduction)."""
+
+import pytest
+
+from repro.evalx.experiments import fig6
+
+
+def test_fig6_regeneration(one_shot):
+    result = one_shot(fig6.run)
+    print()
+    print(fig6.render(result))
+    # Paper: 16.14 % mean reduction across 50 benchmarks; all typed
+    # responses must parse (the format-congruence check).
+    assert len(result.rows) == 50
+    assert result.mean_reduction_percent == pytest.approx(16.14, abs=1.5)
+    assert result.format_conformance_rate == 1.0

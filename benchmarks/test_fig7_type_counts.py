@@ -1,0 +1,16 @@
+"""Benchmark E4: regenerate Figure 7 (response-type usage census)."""
+
+from repro.evalx.experiments import fig7
+
+
+def test_fig7_regeneration(one_shot):
+    result = one_shot(fig7.run)
+    print()
+    print(fig7.render(result))
+    # Paper: string is the most frequent top-level type, number next;
+    # literal is frequent overall but never top-level.
+    ranked = [name for name, _ in result.top_level.most_common()]
+    assert ranked[0] == "string"
+    assert "number" in ranked[:3]
+    assert result.top_level.get("literal", 0) == 0
+    assert result.all_types["literal"] >= 10

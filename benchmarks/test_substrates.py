@@ -1,0 +1,102 @@
+"""Microbenchmarks of the substrates underlying the experiments.
+
+These quantify the moving parts of Table III's pipeline: prompt
+synthesis, answer parsing, type validation, and the two execution hosts
+(CPython ``exec`` vs the bundled TypeScript interpreter) whose speed gap
+explains why the paper's TypeScript execution times exceed Python's here.
+"""
+
+import repro.types as t
+from repro.core import load_host
+from repro.parsing import extract_answer, loads_relaxed
+from repro.prompts import build_direct_prompt
+from repro.templates import PromptTemplate
+from repro.tslang import load_module
+from repro.types import parse_type
+
+_TEMPLATE = PromptTemplate("List {{n}} classic books on {{subject}}.")
+_BOOK = t.dict({"title": t.str, "author": t.str, "year": t.int})
+_ANSWER_TYPE = t.list(_BOOK)
+
+_RESPONSE = (
+    "```json\n"
+    '{"reason": "I recalled well-known classics and checked the years.",'
+    ' "answer": [{"title": "A", "author": "B", "year": 1975},'
+    ' {"title": "C", "author": "D", "year": 1984}]}\n'
+    "```\n"
+)
+
+_TS_SOURCE = (
+    "export function runningSum({ns}: {ns: number[]}): number[] {\n"
+    "    const result = [];\n"
+    "    let total = 0;\n"
+    "    for (const x of ns) {\n"
+    "        total += x;\n"
+    "        result.push(total);\n"
+    "    }\n"
+    "    return result;\n"
+    "}\n"
+)
+
+_PY_SOURCE = (
+    "def running_sum(ns):\n"
+    "    result = []\n"
+    "    total = 0\n"
+    "    for x in ns:\n"
+    "        total += x\n"
+    "        result.append(total)\n"
+    "    return result\n"
+)
+
+_ARGS = {"ns": list(range(50))}
+
+
+def test_bench_prompt_synthesis(benchmark):
+    prompt = benchmark(
+        build_direct_prompt, _TEMPLATE, _ANSWER_TYPE, {"n": 5, "subject": "compilers"}
+    )
+    assert "```ts" in prompt
+
+
+def test_bench_answer_extraction(benchmark):
+    parsed = benchmark(extract_answer, _RESPONSE, _ANSWER_TYPE)
+    assert len(parsed.value) == 2
+
+
+def test_bench_relaxed_json(benchmark):
+    value = benchmark(loads_relaxed, "{'a': [1, 2, 3,], /* c */ b: 'x'}")
+    assert value["a"] == [1, 2, 3]
+
+
+def test_bench_type_parse(benchmark):
+    parsed = benchmark(
+        parse_type, "{ reason: string; answer: { title: string; year: number }[] }"
+    )
+    assert parsed.typescript().startswith("{ reason")
+
+
+def test_bench_type_validation(benchmark):
+    value = [{"title": "A", "author": "B", "year": 1975}] * 20
+    assert benchmark(_ANSWER_TYPE.validate, value)
+
+
+def test_bench_tslang_parse(benchmark):
+    module = benchmark(load_module, _TS_SOURCE)
+    assert module.function_names() == ["runningSum"]
+
+
+def test_bench_execution_python_host(benchmark):
+    host = load_host("python", _PY_SOURCE, "running_sum")
+    result = benchmark(host.call, _ARGS)
+    assert result[-1] == sum(range(50))
+
+
+def test_bench_execution_typescript_host(benchmark):
+    host = load_host("typescript", _TS_SOURCE, "runningSum")
+
+    def call():
+        host._module.reset_steps()
+        return host.call(_ARGS)
+
+    result = benchmark(call)
+    assert result[-1] == sum(range(50))

@@ -1,0 +1,19 @@
+"""Benchmark E1: regenerate Table II (50 common coding tasks).
+
+Prints the table the paper reports and asserts its headline properties:
+the Python failure set {11, 21-24} and TS-longer-than-Python average LOC.
+"""
+
+from repro.evalx.experiments import table2
+
+
+def test_table2_regeneration(one_shot):
+    result = one_shot(table2.run)
+    print()
+    print(table2.render(result))
+    assert len(result.rows) == 50
+    assert result.python_failures == [11, 21, 22, 23, 24]
+    assert result.mean_ts_loc > result.mean_py_loc
+    # Paper: 7.56 (TS) and 6.52 (Py) average generated lines.
+    assert 4.0 < result.mean_ts_loc < 11.0
+    assert 3.0 < result.mean_py_loc < 10.0

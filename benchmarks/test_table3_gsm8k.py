@@ -1,0 +1,31 @@
+"""Benchmark E5: regenerate Table III (GSM8K direct vs generated).
+
+The full experiment covers 1,319 problems; the benchmark subsamples
+(``REPRO_GSM8K_COUNT``, default 144 here) -- every family still appears
+four times, and the Table III averages are per-problem means, so the
+subsample preserves the reported shape.
+"""
+
+import os
+
+from repro.evalx.experiments import table3
+
+COUNT = int(os.environ.get("REPRO_GSM8K_COUNT", "144"))
+
+
+def test_table3_regeneration(one_shot):
+    results = one_shot(table3.run, COUNT)
+    print()
+    print(table3.render(results))
+    ts = results["typescript"]
+    py = results["python"]
+    # Paper: ~86-88 % solved directly; nearly all solved problems compile.
+    assert 0.75 <= ts.solved_directly / ts.total <= 0.95
+    assert ts.generated >= 0.9 * ts.solved_directly
+    # Latencies are seconds; executions are microseconds.
+    assert ts.latency.value > 5.0
+    assert py.execution.value < 100e-6
+    # The headline: generated code beats the LLM by orders of magnitude,
+    # and Python's speedup exceeds TypeScript's (its executor is faster).
+    assert ts.speedup > 50_000
+    assert py.speedup > ts.speedup

@@ -1,0 +1,56 @@
+"""Quickstart: the paper's sentiment example, both AskIt modes.
+
+Run with::
+
+    python examples/quickstart.py
+
+Everything below runs against the bundled simulated LLM -- no network, no
+API key -- but the code is exactly what you would write against a hosted
+model.
+"""
+
+import repro.types as t
+from repro import ask, define
+
+# ---------------------------------------------------------------------------
+# 1. One-shot ask: type-guided output control.
+#
+# The union of string literals tells AskIt (and through it, the LLM) that
+# the answer must be exactly 'positive' or 'negative'.  No format
+# instructions appear in the prompt; no response parsing appears here.
+# ---------------------------------------------------------------------------
+
+Sentiment = t.union(t.literal("positive"), t.literal("negative"))
+
+sentiment = ask(
+    Sentiment,
+    "What is the sentiment of {{review}}?",
+    review="The product is fantastic. It exceeds all my expectations.",
+)
+print(f"ask() -> {sentiment!r}")
+assert sentiment == "positive"
+
+# ---------------------------------------------------------------------------
+# 2. Template-based function definition: the same task, reusable.
+# ---------------------------------------------------------------------------
+
+get_sentiment = define(Sentiment, "What is the sentiment of {{review}}?")
+
+for review in (
+    "Absolutely love it. Best purchase of the year!",
+    "Broke after one use. Total waste of money.",
+):
+    print(f"  {review[:40]!r:45} -> {get_sentiment(review=review)}")
+
+# ---------------------------------------------------------------------------
+# 3. Typed structured output: a list of records (Listing 2 of the paper).
+# ---------------------------------------------------------------------------
+
+Book = t.dict({"title": t.str, "author": t.str, "year": t.int})
+get_books = define(t.list(Book), "List {{n}} classic books on {{subject}}.")
+
+books = get_books(n=3, subject="compilers")
+print("\nThree classic books on compilers:")
+for book in books:
+    print(f"  {book['year']}: {book['title']} ({book['author']})")
+assert len(books) == 3

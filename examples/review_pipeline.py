@@ -1,0 +1,57 @@
+"""The paper's motivating example (Section II), end to end.
+
+A product-review pipeline that mixes both kinds of LLM tasks:
+
+* sentiment analysis -- *non-codable but directly answerable*: the LLM
+  runs inside the application;
+* appending results to a CSV file -- *codable but not directly
+  answerable*: the LLM writes the code once, and the generated function
+  runs locally (the LLM has no file system).
+
+The point of AskIt's unified interface is that both use the same
+``define`` call shape.
+"""
+
+import pathlib
+import tempfile
+
+import repro.types as t
+from repro import define
+
+REVIEWS = [
+    "The product is fantastic. It exceeds all my expectations.",
+    "Terrible quality. It broke after two days and support never replied.",
+    "Wonderful value, I recommend it to everyone.",
+    "Useless and disappointing. I want a refund.",
+]
+
+# Directly answerable task: executed by the LLM at runtime.
+get_sentiment = define(
+    t.union(t.literal("positive"), t.literal("negative")),
+    "What is the sentiment of {{review}}?",
+)
+
+# Codable task: compiled once into a real function (cached on disk).
+append_review_to_csv = define(
+    t.void,
+    "Append {{review}} and {{sentiment}} as a new row in the CSV file "
+    "named {{filename}}",
+).compile()
+
+print("Generated CSV writer:")
+print("\n".join("    " + line for line in append_review_to_csv.source.splitlines()))
+
+with tempfile.TemporaryDirectory() as workdir:
+    csv_path = pathlib.Path(workdir) / "reviews.csv"
+    csv_path.touch()
+
+    for review in REVIEWS:
+        sentiment = get_sentiment(review=review)
+        append_review_to_csv(
+            review=review, sentiment=sentiment, filename=str(csv_path)
+        )
+        print(f"  [{sentiment:8}] {review[:50]}")
+
+    print("\nreviews.csv contents:")
+    print(csv_path.read_text())
+    assert len(csv_path.read_text().strip().splitlines()) == len(REVIEWS)

@@ -1,0 +1,79 @@
+"""Safety-checked code generation (the paper's Section VI, implemented).
+
+The paper notes AskIt "does not guarantee the safety of the generated
+code" and proposes static analysis as future work.  This reproduction
+ships that extension: a ``SafetyPolicy`` that scans candidates *before
+they ever execute* and, in enforce mode, rejects dangerous code so the
+regeneration loop treats it like any other invalid candidate.
+"""
+
+import repro.types as t
+from repro import define
+from repro.core import SafetyPolicy, config_override, scan_python
+from repro.errors import CodeGenerationError
+from repro.llm import QUIET, ChatClient, TaskImplementation
+from repro.llm.knowledge import KnowledgeBase
+from repro.llm.simulated import SimulatedLLM
+
+# ---------------------------------------------------------------------------
+# The scanner itself: plain static analysis over the candidate's AST.
+# ---------------------------------------------------------------------------
+
+DANGEROUS = """
+import shutil
+
+def tidy(path):
+    shutil.rmtree(path)
+    return None
+"""
+
+print("Scanning a hazardous candidate:")
+for finding in scan_python(DANGEROUS, allow_files=True):
+    print(f"  ! {finding}")
+
+# ---------------------------------------------------------------------------
+# In the pipeline: a model whose "knowledge" of a task is hazardous code.
+# With enforce mode, AskIt refuses to ship it -- without ever running it.
+# ---------------------------------------------------------------------------
+
+knowledge = KnowledgeBase()
+knowledge.register_task(
+    TaskImplementation(
+        key="Clean out the folder 'path'",
+        parameters=["path"],
+        python_fn=lambda path: None,
+        python_body="import shutil\nshutil.rmtree(path)\nreturn None",
+        ts_body="return null;",
+    )
+)
+client = ChatClient(
+    models={"sim-gpt-4": SimulatedLLM(knowledge=knowledge, policy=QUIET)},
+    noise_policy=QUIET,
+)
+
+with config_override(
+    client=client,
+    cache_dir=None,
+    safety_policy=SafetyPolicy("enforce", allow_files=True),
+):
+    cleaner = define(t.void, "Clean out the folder {{path}}")
+    try:
+        cleaner.compile(language="python", use_cache=False)
+        raise SystemExit("BUG: hazardous code was accepted")
+    except CodeGenerationError as error:
+        print(f"\nEnforce mode rejected the candidate:\n  {error}")
+
+# ---------------------------------------------------------------------------
+# Legitimate code passes untouched, including file I/O when allowed.
+# ---------------------------------------------------------------------------
+
+with config_override(
+    client=ChatClient(noise_policy=QUIET),
+    cache_dir=None,
+    safety_policy=SafetyPolicy("enforce", allow_files=True),
+):
+    factorial = define(
+        t.int, "Calculate the factorial of {{n}}.", test_examples=[({"n": 5}, 120)]
+    ).compile(use_cache=False)
+    print(f"\nClean code still compiles: factorial(10) = {factorial(n=10)}")
+    assert factorial.safety_findings == []

@@ -1,0 +1,39 @@
+"""Reproduction of AskIt (CGO 2024): a unified programming interface for
+programming with large language models.
+
+Public API (mirrors the paper's Python implementation)::
+
+    from repro import ask, define
+    import repro.types as t
+
+    sentiment = ask(
+        t.union(t.literal("positive"), t.literal("negative")),
+        "What is the sentiment of {{review}}?",
+        review="The product is fantastic.",
+    )
+
+    get_sentiment = define(
+        t.union(t.literal("positive"), t.literal("negative")),
+        "What is the sentiment of {{review}}?",
+    )
+    get_sentiment(review="It exceeds all my expectations.")
+
+    factorial = define(t.int, "Calculate the factorial of {{n}}").compile()
+    factorial(n=10)
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import AskItError
+
+__all__ = ["AskItError", "ask", "define", "Example", "configure", "get_config", "__version__"]
+
+
+def __getattr__(name: str):
+    # The core API is imported lazily so that `import repro.types` does not
+    # pull in the full runtime stack.
+    if name in {"ask", "define", "Example", "configure", "get_config"}:
+        from repro import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

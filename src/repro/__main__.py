@@ -1,0 +1,78 @@
+"""Command-line entry point: regenerate the paper's artifacts.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table2
+    python -m repro run all
+"""
+
+from __future__ import annotations
+
+import sys
+
+_EXPERIMENTS = {
+    "table2": "Table II  - 50 common coding tasks (LOC + retries)",
+    "fig5": "Figure 5  - HumanEval generated vs hand-written LOC",
+    "fig6": "Figure 6  - OpenAI-Evals prompt-length reduction",
+    "fig7": "Figure 7  - response-type usage census",
+    "table3": "Table III - GSM8K direct answering vs generated code",
+    "ablation_prompt": "E6 - feedback retries under corruption",
+    "ablation_examples": "E7 - RQ2, validation examples vs shipped bugs",
+}
+
+
+def _usage() -> str:
+    lines = [
+        "usage: python -m repro <command>",
+        "",
+        "commands:",
+        "  list           show the available experiments",
+        "  run <name>     regenerate one artifact (or 'all')",
+    ]
+    return "\n".join(lines)
+
+
+def _list() -> int:
+    width = max(len(name) for name in _EXPERIMENTS)
+    for name, description in _EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {description}")
+    return 0
+
+
+def _run(name: str) -> int:
+    import importlib
+
+    names = list(_EXPERIMENTS) if name == "all" else [name]
+    unknown = [candidate for candidate in names if candidate not in _EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("run 'python -m repro list' to see the choices", file=sys.stderr)
+        return 2
+    for candidate in names:
+        module = importlib.import_module(f"repro.evalx.experiments.{candidate}")
+        print(f"=== {candidate}: {_EXPERIMENTS[candidate]} ===")
+        module.main()
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(_usage())
+        return 0
+    command = argv[0]
+    if command == "list":
+        return _list()
+    if command == "run":
+        if len(argv) != 2:
+            print(_usage(), file=sys.stderr)
+            return 2
+        return _run(argv[1])
+    print(f"unknown command {command!r}\n\n{_usage()}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""AskIt's core DSL: the unified programming interface."""
+
+from repro.core.api import ask, define
+from repro.core.cache import CodeCache, strip_provenance_header
+from repro.core.codegen import GeneratedFunction, generate_function, validate_candidate
+from repro.core.config import (
+    DEFAULT_MAX_RETRIES,
+    Config,
+    config_override,
+    configure,
+    get_config,
+)
+from repro.core.function import AskItFunction
+from repro.core.hosts import FunctionHost, PythonHost, TypeScriptHost, load_host
+from repro.core.naming import cache_stem, camel_case_name, function_name, snake_case_name
+from repro.core.runtime import DirectResult, execute_direct
+from repro.core.safety import SafetyFinding, SafetyPolicy, scan_python, scan_typescript
+from repro.ioexample import Example, outputs_equal
+
+__all__ = [
+    "ask",
+    "define",
+    "Example",
+    "outputs_equal",
+    "AskItFunction",
+    "GeneratedFunction",
+    "generate_function",
+    "validate_candidate",
+    "execute_direct",
+    "DirectResult",
+    "Config",
+    "configure",
+    "get_config",
+    "config_override",
+    "DEFAULT_MAX_RETRIES",
+    "CodeCache",
+    "strip_provenance_header",
+    "FunctionHost",
+    "PythonHost",
+    "TypeScriptHost",
+    "load_host",
+    "function_name",
+    "snake_case_name",
+    "camel_case_name",
+    "cache_stem",
+    "SafetyPolicy",
+    "SafetyFinding",
+    "scan_python",
+    "scan_typescript",
+]

@@ -1,0 +1,100 @@
+"""The public AskIt API: ``ask`` and ``define``.
+
+Usage mirrors the paper's Python implementation (Section III-F)::
+
+    import repro.types as t
+    from repro import ask, define
+
+    sentiment = ask(
+        t.union(t.literal('positive'), t.literal('negative')),
+        'What is the sentiment of {{review}}?',
+        review='The product is fantastic.',
+    )
+
+    get_books = define(
+        t.list(t.dict({'title': t.str, 'author': t.str, 'year': t.int})),
+        'List {{n}} classic books on {{subject}}.',
+    )
+    books = get_books(n=5, subject='computer science')
+
+    factorial = define(t.int, 'Calculate the factorial of {{n}}').compile()
+    factorial(n=10)   # runs generated code; no LLM in the loop
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.core.config import Config
+from repro.core.function import AskItFunction
+from repro.ioexample import Example
+from repro.templates import PromptTemplate
+from repro.types import lift
+
+
+def _normalize_examples(examples: Sequence[Any] | None) -> list[Example]:
+    normalized: list[Example] = []
+    for example in examples or ():
+        if isinstance(example, Example):
+            normalized.append(example)
+        elif isinstance(example, Mapping) and "input" in example and "output" in example:
+            # Listing 1's literal syntax: {input: {...}, output: ...}.
+            normalized.append(Example(example["input"], example["output"]))
+        elif isinstance(example, tuple) and len(example) == 2:
+            normalized.append(Example(example[0], example[1]))
+        else:
+            raise TypeError(
+                "examples must be Example objects, {'input':..., 'output':...} "
+                f"dicts, or (inputs, output) tuples; got {example!r}"
+            )
+    return normalized
+
+
+def define(
+    return_type: Any,
+    template: str,
+    param_types: Mapping[str, Any] | None = None,
+    examples: Sequence[Any] | None = None,
+    test_examples: Sequence[Any] | None = None,
+    name: str | None = None,
+    config: Config | None = None,
+) -> AskItFunction:
+    """Define a reusable task from a prompt template.
+
+    ``return_type`` takes a type object from :mod:`repro.types` (Python
+    builtins ``int``/``float``/``bool``/``str`` also work).  The template's
+    ``{{placeholders}}`` become the function's named parameters.  The first
+    example set feeds few-shot prompting; ``test_examples`` validate
+    generated code when ``.compile()`` is used.
+    """
+    lifted_params = (
+        {param: lift(type_) for param, type_ in param_types.items()}
+        if param_types
+        else None
+    )
+    return AskItFunction(
+        lift(return_type),
+        PromptTemplate(template),
+        lifted_params,
+        _normalize_examples(examples),
+        _normalize_examples(test_examples),
+        name=name,
+        config=config,
+    )
+
+
+def ask(
+    return_type: Any,
+    template: str,
+    examples: Sequence[Any] | None = None,
+    config: Config | None = None,
+    **args: Any,
+) -> Any:
+    """Ask the LLM to perform a task once and return the typed answer.
+
+    Template parameters are supplied as keyword arguments::
+
+        ask(t.int, 'How many legs do {{n}} spiders have?', n=3)
+    """
+    fn = define(return_type, template, examples=examples, config=config)
+    return fn(**args)

@@ -1,0 +1,213 @@
+"""The code-generation pipeline (Section III-D).
+
+For a codable ``define``, the DSL compiler:
+
+1. builds the Figure-4 prompt from the template and type information;
+2. sends it to the LLM;
+3. extracts the fenced code, checks it syntactically, and -- when test
+   examples were supplied -- semantically, by executing the function on
+   each example input and comparing outputs;
+4. on failure, retries (up to 9 times) with a feedback prompt carrying the
+   failing code and the observed mismatches;
+5. on success, stores the code in the ``askit`` cache and returns a
+   callable that never touches the LLM again.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping, Sequence
+
+from repro.core.cache import CodeCache, strip_provenance_header
+from repro.core.config import Config, get_config
+from repro.core.hosts import FunctionHost, load_host
+from repro.core.naming import function_name
+from repro.core.safety import SafetyFinding, scan as safety_scan
+from repro.errors import (
+    CodeExtractionError,
+    CodeGenerationError,
+    CodeValidationError,
+)
+from repro.ioexample import Example, outputs_equal
+from repro.parsing import extract_block
+from repro.prompts import build_codegen_prompt, refine_codegen_prompt
+from repro.templates import PromptTemplate
+from repro.types.base import Type
+
+
+class GeneratedFunction:
+    """A validated generated function plus its provenance."""
+
+    __slots__ = (
+        "host",
+        "source",
+        "name",
+        "language",
+        "attempts",
+        "llm_latency_s",
+        "validation_time_s",
+        "from_cache",
+        "safety_findings",
+    )
+
+    def __init__(
+        self,
+        host: FunctionHost,
+        attempts: int,
+        llm_latency_s: float,
+        validation_time_s: float,
+        from_cache: bool,
+        safety_findings: list[SafetyFinding] | None = None,
+    ) -> None:
+        self.host = host
+        self.source = host.source
+        self.name = host.name
+        self.language = host.language
+        self.attempts = attempts
+        self.llm_latency_s = llm_latency_s
+        self.validation_time_s = validation_time_s
+        self.from_cache = from_cache
+        #: Findings from the static safety scan (empty when clean or when
+        #: the policy is "off").
+        self.safety_findings = list(safety_findings or [])
+
+    @property
+    def compile_time_s(self) -> float:
+        """Total time to obtain the function (LLM latency dominates)."""
+        return self.llm_latency_s + self.validation_time_s
+
+    @property
+    def retries(self) -> int:
+        """Retries beyond the first attempt (Table II's Retry column)."""
+        return max(0, self.attempts - 1)
+
+    def __call__(self, **kwargs: Any) -> Any:
+        return self.host.call(kwargs)
+
+    def call_with(self, args: Mapping[str, Any]) -> Any:
+        return self.host.call(args)
+
+    def __repr__(self) -> str:
+        return (
+            f"GeneratedFunction({self.name!r}, {self.language}, "
+            f"attempts={self.attempts}, cached={self.from_cache})"
+        )
+
+
+def validate_candidate(
+    host: FunctionHost,
+    examples: Sequence[Example],
+    return_type: Type | None = None,
+) -> None:
+    """Run the semantic check: every example input must reproduce its output.
+
+    Raises :class:`CodeValidationError` carrying per-example failure
+    descriptions (these feed the retry prompt).
+    """
+    failures: list[str] = []
+    for example in examples:
+        try:
+            actual = host.call(example.inputs)
+        except Exception as error:  # noqa: BLE001 - generated code can fail arbitrarily
+            failures.append(
+                f"for input {example.inputs!r} the function raised "
+                f"{type(error).__name__}: {error}"
+            )
+            continue
+        if not outputs_equal(actual, example.output):
+            failures.append(
+                f"for input {example.inputs!r} expected {example.output!r} "
+                f"but got {actual!r}"
+            )
+            continue
+        if return_type is not None and not return_type.is_void():
+            coerced = actual
+            if not return_type.validate(coerced):
+                failures.append(
+                    f"for input {example.inputs!r} the result {actual!r} does "
+                    f"not match the declared return type {return_type.typescript()}"
+                )
+    if failures:
+        raise CodeValidationError("generated code failed validation", failures)
+
+
+def generate_function(
+    template: PromptTemplate,
+    return_type: Type,
+    param_types: Mapping[str, Type] | None = None,
+    test_examples: Sequence[Example] = (),
+    language: str | None = None,
+    name: str | None = None,
+    config: Config | None = None,
+    use_cache: bool = True,
+) -> GeneratedFunction:
+    """Generate, validate, and cache a function implementing ``template``.
+
+    Raises :class:`CodeGenerationError` after exhausting retries.
+    """
+    config = config or get_config()
+    language = language or config.target_language
+    name = name or function_name(template.text, language)
+    cache = CodeCache(config.cache_dir) if (use_cache and config.cache_dir) else None
+
+    if cache is not None:
+        cached = cache.load(template.text, language)
+        if cached is not None:
+            source = strip_provenance_header(cached)
+            host = load_host(language, source, name)
+            return GeneratedFunction(host, 0, 0.0, 0.0, from_cache=True)
+
+    prompt = build_codegen_prompt(language, name, template, return_type, param_types)
+    current = prompt
+    llm_latency = 0.0
+    validation_time = 0.0
+    last_failure: Exception | None = None
+
+    for attempt in range(config.max_retries + 1):
+        completion = config.client.chat_complete(
+            config.codegen_model, current, config.temperature
+        )
+        llm_latency += completion.latency_s
+        try:
+            code = extract_block(completion.text, language, allow_untagged=True)
+        except CodeExtractionError as error:
+            last_failure = error
+            current = refine_codegen_prompt(prompt, completion.text, error)
+            continue
+
+        started = time.perf_counter()
+        try:
+            findings = _safety_check(code, language, config)
+            host = load_host(language, code, name)
+            validate_candidate(host, test_examples, return_type)
+        except CodeValidationError as error:
+            validation_time += time.perf_counter() - started
+            last_failure = error
+            current = refine_codegen_prompt(prompt, code, error)
+            continue
+        validation_time += time.perf_counter() - started
+
+        if cache is not None:
+            cache.store(template.text, language, code)
+        return GeneratedFunction(
+            host, attempt + 1, llm_latency, validation_time, False, findings
+        )
+
+    raise CodeGenerationError(
+        f"code generation failed after {config.max_retries + 1} attempts "
+        f"(last failure: {last_failure})",
+        attempts=config.max_retries + 1,
+    )
+
+
+def _safety_check(code: str, language: str, config: Config) -> list[SafetyFinding]:
+    """Run the static safety scan *before* the candidate ever executes.
+
+    ``off`` skips scanning entirely (the paper's behaviour); ``warn``
+    records findings; ``enforce`` raises so the retry loop regenerates.
+    """
+    policy = config.safety_policy
+    if policy.mode == "off":
+        return []
+    findings = safety_scan(code, language, policy.allow_files)
+    return policy.apply(findings)

@@ -1,0 +1,107 @@
+"""Library configuration.
+
+Defaults mirror the paper's setup: temperature 1.0 (so retries draw fresh
+samples), a maximum of 9 retries, generated code cached in an ``askit``
+directory, GPT-4-class model for everything.  The experiments switch the
+model per Table: ``sim-gpt-3.5-turbo-16k`` for the 50 common tasks,
+``sim-gpt-4`` for GSM8K.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.safety import SafetyPolicy
+from repro.errors import ConfigError
+from repro.llm.client import ChatClient, default_client
+from repro.prompts.codegen import PYTHON, TYPESCRIPT
+
+#: The paper sets the retry limit for code regeneration to 9.
+DEFAULT_MAX_RETRIES = 9
+
+
+class Config:
+    """Runtime configuration for ``ask``/``define``."""
+
+    def __init__(
+        self,
+        model: str = "sim-gpt-4",
+        codegen_model: str | None = None,
+        temperature: float = 1.0,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        cache_dir: str | Path | None = "askit",
+        target_language: str = PYTHON,
+        client: ChatClient | None = None,
+        safety_policy: SafetyPolicy | None = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if not 0.0 <= temperature <= 2.0:
+            raise ConfigError("temperature must be in [0.0, 2.0] (OpenAI API range)")
+        if target_language not in (PYTHON, TYPESCRIPT):
+            raise ConfigError(f"unsupported target language {target_language!r}")
+        self.model = model
+        self.codegen_model = codegen_model or model
+        self.temperature = temperature
+        self.max_retries = max_retries
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.target_language = target_language
+        # The paper's published behaviour is "user reviews the generated
+        # code", i.e. no automated safety gate; see §VI for the extension
+        # this implements when switched to "warn" or "enforce".
+        self.safety_policy = safety_policy or SafetyPolicy("off", allow_files=True)
+        self._client = client
+
+    @property
+    def client(self) -> ChatClient:
+        return self._client if self._client is not None else default_client()
+
+    def replace(self, **changes) -> "Config":
+        """A copy of this config with ``changes`` applied."""
+        current = {
+            "model": self.model,
+            "codegen_model": self.codegen_model,
+            "temperature": self.temperature,
+            "max_retries": self.max_retries,
+            "cache_dir": self.cache_dir,
+            "target_language": self.target_language,
+            "client": self._client,
+            "safety_policy": self.safety_policy,
+        }
+        current.update(changes)
+        return Config(**current)
+
+    def __repr__(self) -> str:
+        return (
+            f"Config(model={self.model!r}, codegen_model={self.codegen_model!r}, "
+            f"retries={self.max_retries}, target={self.target_language!r})"
+        )
+
+
+_GLOBAL_CONFIG = Config()
+
+
+def get_config() -> Config:
+    """The active global configuration."""
+    return _GLOBAL_CONFIG
+
+
+def configure(**changes) -> Config:
+    """Update the global configuration; returns the new config."""
+    global _GLOBAL_CONFIG
+    _GLOBAL_CONFIG = _GLOBAL_CONFIG.replace(**changes)
+    return _GLOBAL_CONFIG
+
+
+@contextlib.contextmanager
+def config_override(**changes) -> Iterator[Config]:
+    """Temporarily override the global configuration (tests, experiments)."""
+    global _GLOBAL_CONFIG
+    saved = _GLOBAL_CONFIG
+    _GLOBAL_CONFIG = saved.replace(**changes)
+    try:
+        yield _GLOBAL_CONFIG
+    finally:
+        _GLOBAL_CONFIG = saved

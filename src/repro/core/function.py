@@ -1,0 +1,117 @@
+"""``AskItFunction``: the object returned by ``define``.
+
+Calling it runs the task *directly* through the LLM (Section III-E);
+calling ``.compile()`` turns it into a generated function that runs
+without the LLM (Section III-D / III-F).  Both paths share the same
+template and type information -- the paper's central "unified interface"
+claim -- so switching between them never requires touching the prompt.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.core.codegen import GeneratedFunction, generate_function
+from repro.core.config import Config, get_config
+from repro.core.runtime import DirectResult, execute_direct
+from repro.errors import TemplateError
+from repro.ioexample import Example
+from repro.templates import PromptTemplate
+from repro.types.base import Type
+
+
+class AskItFunction:
+    """A task packaged as a callable, in the paper's ``define`` sense."""
+
+    def __init__(
+        self,
+        return_type: Type,
+        template: PromptTemplate,
+        param_types: Mapping[str, Type] | None = None,
+        few_shot_examples: Sequence[Example] = (),
+        test_examples: Sequence[Example] = (),
+        name: str | None = None,
+        config: Config | None = None,
+    ) -> None:
+        self.return_type = return_type
+        self.template = template
+        self.param_types = dict(param_types or {})
+        self.few_shot_examples = list(few_shot_examples)
+        self.test_examples = list(test_examples)
+        self.name = name
+        self._config = config
+        self.last_result: DirectResult | None = None
+        self._validate_param_types()
+
+    def _validate_param_types(self) -> None:
+        extra = [name for name in self.param_types if name not in self.template.parameters]
+        if extra:
+            raise TemplateError(
+                f"parameter types given for {extra} but the template "
+                f"{self.template.text!r} declares {list(self.template.parameters)}"
+            )
+
+    @property
+    def config(self) -> Config:
+        return self._config or get_config()
+
+    @property
+    def parameters(self) -> tuple[str, ...]:
+        return self.template.parameters
+
+    # -- direct execution -----------------------------------------------------
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        """Run the task directly through the LLM and return the typed answer."""
+        bound = self._bind(args, kwargs)
+        result = execute_direct(
+            self.template,
+            self.return_type,
+            bound,
+            self.few_shot_examples,
+            self.config,
+        )
+        self.last_result = result
+        return result.value
+
+    def _bind(self, args: tuple, kwargs: dict) -> dict[str, Any]:
+        if args and kwargs:
+            raise TemplateError(
+                "pass arguments either positionally or by name, not both"
+            )
+        if args:
+            # One positional dict mirrors the paper's TS call style
+            # `getSentiment({review: ...})`.
+            if len(args) == 1 and isinstance(args[0], Mapping):
+                return dict(args[0])
+            return self.template.bind_positional(list(args))
+        return dict(kwargs)
+
+    # -- compilation ------------------------------------------------------------
+
+    def compile(
+        self,
+        language: str | None = None,
+        use_cache: bool = True,
+    ) -> GeneratedFunction:
+        """Generate code for this task and return the compiled callable.
+
+        Mirrors pyaskit's ``define(...).compile()``: code generation runs
+        once (results are cached on disk) and the returned function executes
+        without any LLM involvement.
+        """
+        return generate_function(
+            self.template,
+            self.return_type,
+            self.param_types or None,
+            self.test_examples,
+            language=language,
+            name=self.name if self.name else None,
+            config=self.config,
+            use_cache=use_cache,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AskItFunction({self.template.text!r} -> {self.return_type.typescript()})"
+        )

@@ -1,0 +1,84 @@
+"""Execution hosts for generated code.
+
+A host loads generated source and exposes the generated function as a
+Python callable taking named arguments.  Two hosts exist, one per target
+language: Python code runs in an isolated namespace via ``exec``;
+TypeScript code runs on the ``repro.tslang`` interpreter (with its step
+budget guarding against generated infinite loops).
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Any, Mapping
+
+from repro.errors import CodeValidationError, TsSyntaxError
+
+
+class FunctionHost:
+    """A loaded, callable generated function."""
+
+    language: str = "?"
+
+    def __init__(self, source: str, name: str) -> None:
+        self.source = source
+        self.name = name
+
+    def call(self, args: Mapping[str, Any]) -> Any:
+        """Invoke the generated function with named arguments."""
+        raise NotImplementedError
+
+
+class PythonHost(FunctionHost):
+    """Runs generated Python in a fresh module namespace."""
+
+    language = "python"
+
+    def __init__(self, source: str, name: str) -> None:
+        super().__init__(source, name)
+        namespace: dict[str, Any] = {"__builtins__": builtins}
+        try:
+            code = compile(source, f"<askit:{name}>", "exec")
+        except SyntaxError as error:
+            raise CodeValidationError(f"generated Python does not parse: {error}") from error
+        exec(code, namespace)  # noqa: S102 - executing generated code is the feature
+        if name not in namespace or not callable(namespace[name]):
+            raise CodeValidationError(
+                f"generated Python does not define a function named {name!r}"
+            )
+        self._fn = namespace[name]
+
+    def call(self, args: Mapping[str, Any]) -> Any:
+        return self._fn(**args)
+
+
+class TypeScriptHost(FunctionHost):
+    """Runs generated TypeScript on the tslang interpreter."""
+
+    language = "typescript"
+
+    def __init__(self, source: str, name: str, step_budget: int = 2_000_000) -> None:
+        super().__init__(source, name)
+        from repro.tslang import load_module
+
+        try:
+            self._module = load_module(source, step_budget)
+        except TsSyntaxError as error:
+            raise CodeValidationError(f"generated TypeScript does not parse: {error}") from error
+        if name not in self._module.function_names():
+            raise CodeValidationError(
+                f"generated TypeScript does not define a function named {name!r}"
+            )
+
+    def call(self, args: Mapping[str, Any]) -> Any:
+        self._module.reset_steps()
+        return self._module.call(self.name, args)
+
+
+def load_host(language: str, source: str, name: str) -> FunctionHost:
+    """Instantiate the host for ``language`` (raises on syntax errors)."""
+    if language == "python":
+        return PythonHost(source, name)
+    if language == "typescript":
+        return TypeScriptHost(source, name)
+    raise ValueError(f"no execution host for language {language!r}")

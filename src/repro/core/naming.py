@@ -1,0 +1,61 @@
+"""Function and cache-file naming.
+
+The DSL compiler assigns each generated function a unique name derived
+from its template prompt, and the cached source file is "named after the
+template prompt" (Section III-D).  Names must be valid identifiers in the
+target language, so templates are slugified with a short content hash for
+collision freedom.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+_NON_IDENT_RE = re.compile(r"[^0-9a-zA-Z]+")
+_MAX_STEM = 48
+
+
+def _slug_words(template_text: str) -> list[str]:
+    cleaned = _NON_IDENT_RE.sub(" ", template_text)
+    return [word for word in cleaned.split() if word]
+
+
+def _short_hash(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()[:8]
+
+
+def snake_case_name(template_text: str) -> str:
+    """A Python function name for a template, e.g.
+    ``calculate_the_factorial_of_n_1a2b3c4d``."""
+    words = [word.lower() for word in _slug_words(template_text)] or ["task"]
+    stem = "_".join(words)[:_MAX_STEM].rstrip("_")
+    if stem[0].isdigit():
+        stem = f"f_{stem}"
+    return f"{stem}_{_short_hash(template_text)}"
+
+
+def camel_case_name(template_text: str) -> str:
+    """A TypeScript function name for a template, e.g.
+    ``calculateTheFactorialOfN1a2b3c4d``."""
+    words = [word.lower() for word in _slug_words(template_text)] or ["task"]
+    camel = words[0] + "".join(word.capitalize() for word in words[1:])
+    camel = camel[:_MAX_STEM]
+    if camel[0].isdigit():
+        camel = f"f{camel}"
+    suffix = _short_hash(template_text)
+    return f"{camel}{suffix[0].upper()}{suffix[1:]}"
+
+
+def function_name(template_text: str, language: str) -> str:
+    """The generated function's name in ``language``'s convention."""
+    if language == "python":
+        return snake_case_name(template_text)
+    return camel_case_name(template_text)
+
+
+def cache_stem(template_text: str) -> str:
+    """Cache file stem for a template (shared across languages)."""
+    words = [word.lower() for word in _slug_words(template_text)] or ["task"]
+    stem = "_".join(words)[:_MAX_STEM].rstrip("_")
+    return f"{stem}_{_short_hash(template_text)}"

@@ -1,0 +1,89 @@
+"""The direct-answer runtime (Section III-E).
+
+For each call the runtime synthesizes the Listing-2 prompt, sends it to
+the model, parses the typed JSON answer, and -- when a response fails one
+of the three validation criteria -- re-prompts with the offending response
+plus a pointed instruction, up to the retry limit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.core.config import Config, get_config
+from repro.errors import MaxRetriesExceededError, ResponseFormatError
+from repro.ioexample import Example
+from repro.parsing import extract_answer
+from repro.prompts import FewShotExample, build_direct_prompt, refine_direct_prompt
+from repro.templates import PromptTemplate
+from repro.types.base import Type
+
+
+class DirectResult:
+    """Outcome of one direct-answer execution."""
+
+    __slots__ = ("value", "reason", "attempts", "latency_s", "prompt", "responses")
+
+    def __init__(
+        self,
+        value: Any,
+        reason: str,
+        attempts: int,
+        latency_s: float,
+        prompt: str,
+        responses: list[str],
+    ) -> None:
+        self.value = value
+        self.reason = reason
+        self.attempts = attempts
+        self.latency_s = latency_s
+        self.prompt = prompt
+        self.responses = responses
+
+    def __repr__(self) -> str:
+        return f"DirectResult({self.value!r}, attempts={self.attempts})"
+
+
+def _few_shot(examples: Sequence[Example]) -> list[FewShotExample]:
+    return [FewShotExample(example.inputs, example.output) for example in examples]
+
+
+def execute_direct(
+    template: PromptTemplate,
+    answer_type: Type,
+    args: Mapping[str, Any],
+    examples: Sequence[Example] = (),
+    config: Config | None = None,
+) -> DirectResult:
+    """Run a directly answerable task through the LLM with retries.
+
+    Raises :class:`MaxRetriesExceededError` when no attempt yields a
+    response satisfying all three criteria of Section III-E.
+    """
+    config = config or get_config()
+    prompt = build_direct_prompt(template, answer_type, args, _few_shot(examples))
+    current = prompt
+    total_latency = 0.0
+    responses: list[str] = []
+    last_error: ResponseFormatError | None = None
+
+    for attempt in range(config.max_retries + 1):
+        completion = config.client.chat_complete(config.model, current, config.temperature)
+        total_latency += completion.latency_s
+        responses.append(completion.text)
+        try:
+            parsed = extract_answer(completion.text, answer_type)
+        except ResponseFormatError as error:
+            last_error = error
+            current = refine_direct_prompt(prompt, error)
+            continue
+        return DirectResult(
+            parsed.value, parsed.reason, attempt + 1, total_latency, prompt, responses
+        )
+
+    assert last_error is not None
+    raise MaxRetriesExceededError(
+        f"no valid response after {config.max_retries + 1} attempts: {last_error}",
+        attempts=config.max_retries + 1,
+        last_response=last_error.response,
+    )

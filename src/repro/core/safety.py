@@ -1,0 +1,233 @@
+"""Static safety analysis of generated code (the paper's §VI future work).
+
+AskIt "does not guarantee the safety of the generated code ... the
+generated function might unexpectedly contain code that deletes all files
+in a directory.  Possible approaches include using a sandbox or a static
+analysis tool."  This module implements the static-analysis approach:
+
+* Python candidates are scanned over their ``ast`` for dangerous imports
+  (``os``, ``subprocess``, ``socket``...), dangerous calls (``eval``,
+  ``exec``, ``open`` for writing, ``__import__``), and dunder attribute
+  escapes;
+* TypeScript candidates are scanned over the tslang AST for forbidden
+  globals (there is no ambient authority in the interpreter, so the check
+  is a belt-and-braces denylist).
+
+A :class:`SafetyPolicy` decides what happens on findings: ``"off"``
+reproduces the paper's published behaviour (user reviews the cached
+file), ``"warn"`` records findings on the generated function, and
+``"enforce"`` rejects the candidate -- which feeds the regeneration loop
+like any other validation failure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.errors import CodeValidationError
+
+OFF = "off"
+WARN = "warn"
+ENFORCE = "enforce"
+
+POLICIES = (OFF, WARN, ENFORCE)
+
+#: Modules whose import is flagged.  File-system modules are allowed only
+#: when the task legitimately needs them (the allow_files flag).
+_DANGEROUS_MODULES = frozenset(
+    {
+        "subprocess",
+        "socket",
+        "shutil",
+        "ctypes",
+        "multiprocessing",
+        "signal",
+        "webbrowser",
+        "urllib",
+        "requests",
+        "http",
+        "ftplib",
+        "telnetlib",
+        "smtplib",
+        "pty",
+        "pickle",
+        "marshal",
+        "importlib",
+    }
+)
+
+_FILE_MODULES = frozenset({"os", "pathlib", "tempfile", "glob"})
+
+_DANGEROUS_CALLS = frozenset({"eval", "exec", "compile", "__import__", "input", "breakpoint"})
+
+_DANGEROUS_OS_MEMBERS = frozenset(
+    {"system", "popen", "remove", "unlink", "rmdir", "removedirs", "rename", "kill", "fork", "execv", "execvp"}
+)
+
+
+class SafetyFinding:
+    """One flagged construct, with its location."""
+
+    __slots__ = ("message", "line")
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        self.message = message
+        self.line = line
+
+    def __str__(self) -> str:
+        if self.line:
+            return f"line {self.line}: {self.message}"
+        return self.message
+
+    def __repr__(self) -> str:
+        return f"SafetyFinding({str(self)!r})"
+
+
+class SafetyPolicy:
+    """How to treat safety findings in generated code."""
+
+    def __init__(self, mode: str = OFF, allow_files: bool = False) -> None:
+        if mode not in POLICIES:
+            raise ValueError(f"unknown safety mode {mode!r}; pick one of {POLICIES}")
+        self.mode = mode
+        #: Permit file I/O (``open`` for writing, ``os``/``pathlib``
+        #: imports).  Tasks like the paper's append-to-CSV example need it.
+        self.allow_files = allow_files
+
+    def apply(self, findings: list[SafetyFinding]) -> list[SafetyFinding]:
+        """Enforce the policy; returns the findings for reporting.
+
+        Raises :class:`CodeValidationError` in ``enforce`` mode when any
+        finding exists.
+        """
+        if findings and self.mode == ENFORCE:
+            raise CodeValidationError(
+                "generated code failed the safety check",
+                [str(finding) for finding in findings],
+            )
+        return findings
+
+    def __repr__(self) -> str:
+        return f"SafetyPolicy({self.mode!r}, allow_files={self.allow_files})"
+
+
+def scan_python(source: str, allow_files: bool = False) -> list[SafetyFinding]:
+    """Scan Python source; returns findings (empty means clean)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [SafetyFinding(f"does not parse: {error}", getattr(error, "lineno", 0) or 0)]
+    findings: list[SafetyFinding] = []
+    for node in ast.walk(tree):
+        findings.extend(_scan_python_node(node, allow_files))
+    return findings
+
+
+def _scan_python_node(node: ast.AST, allow_files: bool) -> Iterable[SafetyFinding]:
+    line = getattr(node, "lineno", 0)
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in _DANGEROUS_MODULES:
+                yield SafetyFinding(f"imports dangerous module '{alias.name}'", line)
+            elif root in _FILE_MODULES and not allow_files:
+                yield SafetyFinding(
+                    f"imports file-system module '{alias.name}' (allow_files is off)", line
+                )
+    elif isinstance(node, ast.ImportFrom):
+        root = (node.module or "").split(".")[0]
+        if root in _DANGEROUS_MODULES:
+            yield SafetyFinding(f"imports dangerous module '{node.module}'", line)
+        elif root in _FILE_MODULES and not allow_files:
+            yield SafetyFinding(
+                f"imports file-system module '{node.module}' (allow_files is off)", line
+            )
+    elif isinstance(node, ast.Call):
+        name = _call_name(node)
+        if name in _DANGEROUS_CALLS:
+            yield SafetyFinding(f"calls '{name}'", line)
+        elif name == "open" and not allow_files:
+            if _open_mode_writes(node):
+                yield SafetyFinding("opens a file for writing (allow_files is off)", line)
+        elif name and "." in name:
+            head, _, member = name.rpartition(".")
+            if head.split(".")[0] == "os" and member in _DANGEROUS_OS_MEMBERS:
+                yield SafetyFinding(f"calls 'os.{member}'", line)
+    elif isinstance(node, ast.Attribute):
+        if node.attr.startswith("__") and node.attr.endswith("__") and node.attr not in (
+            "__len__",
+            "__name__",
+            "__doc__",
+        ):
+            yield SafetyFinding(f"accesses dunder attribute '{node.attr}'", line)
+
+
+def _call_name(node: ast.Call) -> str:
+    target = node.func
+    parts: list[str] = []
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+    return ".".join(reversed(parts))
+
+
+def _open_mode_writes(node: ast.Call) -> bool:
+    mode = None
+    if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+        mode = node.args[1].value
+    for keyword in node.keywords:
+        if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+            mode = keyword.value.value
+    if mode is None:
+        return False  # default 'r'
+    return isinstance(mode, str) and any(ch in mode for ch in "wax+")
+
+
+#: Globals the TS subset exposes that could matter if the interpreter ever
+#: grows ambient authority; flagged defensively.
+_TS_FORBIDDEN_GLOBALS = frozenset({"require", "process", "fetch", "XMLHttpRequest", "Deno", "Bun"})
+
+
+def scan_typescript(source: str) -> list[SafetyFinding]:
+    """Scan TypeScript-subset source for forbidden global references."""
+    from repro.errors import TsSyntaxError
+    from repro.tslang import nodes as ts_nodes
+    from repro.tslang.parser import parse_program
+
+    try:
+        program = parse_program(source)
+    except TsSyntaxError as error:
+        return [SafetyFinding(f"does not parse: {error}")]
+
+    findings: list[SafetyFinding] = []
+
+    def walk(node) -> None:
+        if isinstance(node, ts_nodes.Identifier) and node.name in _TS_FORBIDDEN_GLOBALS:
+            findings.append(SafetyFinding(f"references forbidden global '{node.name}'", node.line))
+        for slot in node.__slots__:
+            value = getattr(node, slot, None)
+            if isinstance(value, ts_nodes.Node):
+                walk(value)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ts_nodes.Node):
+                        walk(item)
+                    elif isinstance(item, tuple):
+                        for part in item:
+                            if isinstance(part, ts_nodes.Node):
+                                walk(part)
+
+    walk(program)
+    return findings
+
+
+def scan(source: str, language: str, allow_files: bool = False) -> list[SafetyFinding]:
+    """Scan ``source`` in the given language."""
+    if language == "python":
+        return scan_python(source, allow_files)
+    if language == "typescript":
+        return scan_typescript(source)
+    raise ValueError(f"no safety scanner for language {language!r}")

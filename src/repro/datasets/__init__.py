@@ -1,0 +1,5 @@
+"""Benchmark datasets: the paper's evaluation workloads, rebuilt."""
+
+from repro.datasets import common_tasks, gsm8k, humaneval, openai_evals
+
+__all__ = ["common_tasks", "gsm8k", "humaneval", "openai_evals"]

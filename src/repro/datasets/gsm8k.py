@@ -1,0 +1,524 @@
+"""Synthetic GSM8K: grade-school math word problems.
+
+The paper's Table III experiment runs the 1,319-problem GSM8K test set
+through AskIt twice -- answering directly with GPT-4, then compiling each
+problem into a function -- after converting the numbers in each problem
+into variables.  The original corpus is not redistributable here, so this
+module generates a parallel corpus: 36 problem *families* (each a
+narrative template plus a ground-truth expression tree) instantiated with
+seeded random values into 1,319 problems.
+
+Because the substitution preserves exactly what the experiment needs --
+problems with extractable numeric parameters and deterministic answers --
+the direct-vs-compiled comparison and the numbers-to-variables
+transformation behave as in the paper.  Families register themselves into
+the simulated LLM's knowledge base: this is the stand-in for "GPT-4 has
+seen grade-school math word problems".
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Callable
+
+from repro.errors import DatasetError
+from repro.llm.knowledge import KnowledgeBase, WordProblemFamily, global_knowledge, mask_numbers
+from repro.mathexpr import Expr, Num, Var, add, div, mul, sub, var
+
+DEFAULT_PROBLEM_COUNT = 1319
+DEFAULT_SEED = 20240115
+
+_SLOT_RE = re.compile(r"\{([a-z][a-z0-9_]*)\}")
+
+
+class ProblemFamily:
+    """A narrative template with typed slots and a ground-truth expression.
+
+    ``expression`` is written over the slot *names*; registration rewrites
+    it over positional ``n0, n1, ...`` (order of slot appearance in the
+    text) because that is all the solver can recover from masked text.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        text: str,
+        expression: Expr,
+        sampler: Callable[[random.Random], dict[str, int]],
+    ) -> None:
+        self.name = name
+        self.text = text
+        self.expression = expression
+        self.sampler = sampler
+        self.slot_names = _SLOT_RE.findall(text)
+        if not self.slot_names:
+            raise DatasetError(f"family {name!r} has no slots")
+        if len(set(self.slot_names)) != len(self.slot_names):
+            raise DatasetError(f"family {name!r} repeats a slot in its text")
+
+    def positional_expression(self) -> Expr:
+        """The expression rewritten over ``n<i>`` by slot appearance order."""
+        mapping = {slot: f"n{index}" for index, slot in enumerate(self.slot_names)}
+        return _rename(self.expression, mapping)
+
+    def askit_template(self) -> str:
+        """The AskIt prompt template: slots as ``{{name}}`` placeholders."""
+        return _SLOT_RE.sub(lambda match: "{{" + match.group(1) + "}}", self.text)
+
+    def instantiate(self, values: dict[str, int]) -> tuple[str, float]:
+        """Problem text with concrete values, plus the reference answer."""
+        missing = [slot for slot in self.slot_names if slot not in values]
+        if missing:
+            raise DatasetError(f"family {self.name!r} missing values for {missing}")
+        text = _SLOT_RE.sub(lambda match: str(values[match.group(1)]), self.text)
+        answer = self.expression.evaluate({name: float(v) for name, v in values.items()})
+        return text, answer
+
+    def skeleton(self) -> str:
+        sample_values = {slot: 1 for slot in self.slot_names}
+        text, _ = self.instantiate(sample_values)
+        return mask_numbers(text)[0]
+
+    def __repr__(self) -> str:
+        return f"ProblemFamily({self.name!r})"
+
+
+def _rename(expression: Expr, mapping: dict[str, str]) -> Expr:
+    from repro.mathexpr import BinOp
+
+    if isinstance(expression, Var):
+        return Var(mapping.get(expression.name, expression.name))
+    if isinstance(expression, Num):
+        return expression
+    assert isinstance(expression, BinOp)
+    return BinOp(
+        expression.op,
+        _rename(expression.left, mapping),
+        _rename(expression.right, mapping),
+    )
+
+
+class GsmProblem:
+    """One benchmark instance."""
+
+    __slots__ = ("index", "family", "text", "template", "args", "answer")
+
+    def __init__(
+        self,
+        index: int,
+        family: ProblemFamily,
+        text: str,
+        template: str,
+        args: dict[str, int],
+        answer: float,
+    ) -> None:
+        self.index = index
+        self.family = family
+        self.text = text
+        self.template = template
+        self.args = args
+        self.answer = answer
+
+    def __repr__(self) -> str:
+        return f"GsmProblem(#{self.index}, {self.family.name})"
+
+
+# -- family definitions -------------------------------------------------------
+
+
+def _ri(lo: int, hi: int) -> Callable[[random.Random], int]:
+    return lambda rng: rng.randint(lo, hi)
+
+
+def _families() -> list[ProblemFamily]:
+    a, b, c, d = var("a"), var("b"), var("c"), var("d")
+
+    def simple(**ranges):
+        def sample(rng: random.Random) -> dict[str, int]:
+            return {name: draw(rng) for name, draw in ranges.items()}
+
+        return sample
+
+    families = [
+        ProblemFamily(
+            "clips-altogether",
+            "Natalia sold {a} clips in April and {b} clips in May. "
+            "How many clips did Natalia sell altogether in April and May?",
+            add(a, b),
+            simple(a=_ri(12, 96), b=_ri(8, 80)),
+        ),
+        ProblemFamily(
+            "babysitting-earnings",
+            "Weng earns {a} dollars an hour for babysitting. Yesterday she "
+            "worked for {b} hours. How much did she earn?",
+            mul(a, b),
+            simple(a=_ri(8, 25), b=_ri(2, 9)),
+        ),
+        ProblemFamily(
+            "wallet-shortfall",
+            "Betty has {a} dollars and needs {b} dollars for a new wallet. "
+            "How much more money does Betty need?",
+            sub(b, a),
+            lambda rng: (lambda need: {"a": rng.randint(5, need - 1), "b": need})(
+                rng.randint(40, 150)
+            ),
+        ),
+        ProblemFamily(
+            "muffins-next-day",
+            "A baker made {a} muffins and sold {b} of them today. Each "
+            "remaining muffin sells for {c} dollars tomorrow. How much money "
+            "will the baker make tomorrow?",
+            mul(sub(a, b), c),
+            lambda rng: (lambda made: {"a": made, "b": rng.randint(1, made - 1), "c": rng.randint(2, 6)})(
+                rng.randint(20, 60)
+            ),
+        ),
+        ProblemFamily(
+            "letter-pages-yearly",
+            "James writes a {a} page letter to each of {b} friends twice a "
+            "week. How many pages does he write in a year?",
+            mul(mul(a, b), Num(104)),
+            simple(a=_ri(2, 6), b=_ri(2, 4)),
+        ),
+        ProblemFamily(
+            "robe-fiber",
+            "A robe takes {a} bolts of blue fiber and half that much white "
+            "fiber. How many bolts of fiber does it take in total?",
+            add(a, div(a, Num(2))),
+            lambda rng: {"a": 2 * rng.randint(1, 12)},
+        ),
+        ProblemFamily(
+            "chicken-feed-week",
+            "Every day Wendi gives each of her {a} chickens {b} cups of "
+            "feed. How many cups of feed does she need for a full week?",
+            mul(mul(a, b), Num(7)),
+            simple(a=_ri(5, 40), b=_ri(2, 4)),
+        ),
+        ProblemFamily(
+            "care-package-weight",
+            "Ken poured jelly beans into a box until it weighed {a} pounds. "
+            "Then he added brownies to triple the weight, and finally {b} "
+            "more pounds of jelly beans. What was the final weight in pounds?",
+            add(mul(a, Num(3)), b),
+            simple(a=_ri(2, 10), b=_ri(2, 12)),
+        ),
+        ProblemFamily(
+            "candles-used",
+            "A candle lasts {c} hours. Zoe burns candles {a} hours a night "
+            "for {b} nights. How many candles will she use?",
+            div(mul(a, b), c),
+            lambda rng: (lambda hours, per_candle: {
+                "a": hours,
+                "b": per_candle * rng.randint(2, 5),
+                "c": hours * per_candle,
+            })(rng.randint(2, 5), rng.randint(2, 4)),
+        ),
+        ProblemFamily(
+            "hourly-pay-total",
+            "Tina works {a} hours a day for {b} days and is paid {c} dollars "
+            "per hour. How much does she earn in total?",
+            mul(mul(a, b), c),
+            simple(a=_ri(4, 10), b=_ri(3, 6), c=_ri(10, 30)),
+        ),
+        ProblemFamily(
+            "bus-empty-seats",
+            "A bus has {a} seats. {b} people board at the first stop and {c} "
+            "more board at the second stop. How many empty seats are left?",
+            sub(sub(a, b), c),
+            lambda rng: (lambda seats: {
+                "a": seats,
+                "b": rng.randint(5, seats // 2),
+                "c": rng.randint(1, seats // 3),
+            })(rng.randint(40, 80)),
+        ),
+        ProblemFamily(
+            "marbles-left",
+            "Mark has {a} marbles. He gives {b} marbles to each of his {c} "
+            "friends. How many marbles does Mark have left?",
+            sub(a, mul(b, c)),
+            lambda rng: (lambda per, friends: {
+                "a": per * friends + rng.randint(1, 20),
+                "b": per,
+                "c": friends,
+            })(rng.randint(2, 8), rng.randint(2, 6)),
+        ),
+        ProblemFamily(
+            "corn-ears",
+            "A farmer plants {a} rows of corn with {b} plants in each row. "
+            "Each plant yields {c} ears of corn. How many ears of corn does "
+            "the farmer harvest?",
+            mul(mul(a, b), c),
+            simple(a=_ri(3, 12), b=_ri(8, 30), c=_ri(1, 4)),
+        ),
+        ProblemFamily(
+            "notebook-change",
+            "Sara buys {a} notebooks at {b} dollars each and pays with a {c} "
+            "dollar bill. How much change does she receive?",
+            sub(c, mul(a, b)),
+            lambda rng: (lambda count, price: {
+                "a": count,
+                "b": price,
+                "c": count * price + rng.choice([1, 2, 5, 10]),
+            })(rng.randint(2, 6), rng.randint(2, 8)),
+        ),
+        ProblemFamily(
+            "students-present",
+            "A school has {a} classes with {b} students in each class. If "
+            "{c} students are absent today, how many students are present?",
+            sub(mul(a, b), c),
+            simple(a=_ri(4, 12), b=_ri(18, 32), c=_ri(3, 17)),
+        ),
+        ProblemFamily(
+            "pages-left",
+            "Tom reads {a} pages of his book every day. The book has {b} "
+            "pages. After reading for {c} days, how many pages does Tom "
+            "still have left to read?",
+            sub(b, mul(a, c)),
+            lambda rng: (lambda rate, days: {
+                "a": rate,
+                "b": rate * days + rng.randint(10, 80),
+                "c": days,
+            })(rng.randint(8, 25), rng.randint(2, 7)),
+        ),
+        ProblemFamily(
+            "tank-fill-minutes",
+            "A tank holds {a} liters of water. A pump fills it at {b} liters "
+            "per minute. How many minutes does it take to fill the tank?",
+            div(a, b),
+            lambda rng: (lambda rate, minutes: {"a": rate * minutes, "b": rate})(
+                rng.randint(3, 15), rng.randint(4, 30)
+            ),
+        ),
+        ProblemFamily(
+            "candies-per-bag",
+            "Lisa splits {a} candies equally among {b} bags. How many "
+            "candies go into each bag?",
+            div(a, b),
+            lambda rng: (lambda per, bags: {"a": per * bags, "b": bags})(
+                rng.randint(3, 20), rng.randint(2, 9)
+            ),
+        ),
+        ProblemFamily(
+            "sale-shirts",
+            "A shirt normally costs {a} dollars. During a sale the price is "
+            "reduced by {b} dollars. Anna buys {c} shirts on sale. How much "
+            "does she pay?",
+            mul(sub(a, b), c),
+            lambda rng: (lambda price: {
+                "a": price,
+                "b": rng.randint(2, price - 3),
+                "c": rng.randint(2, 6),
+            })(rng.randint(15, 50)),
+        ),
+        ProblemFamily(
+            "daily-run-total",
+            "Jake runs {a} miles every morning and {b} miles every evening. "
+            "How many miles does he run in {c} days?",
+            mul(add(a, b), c),
+            simple(a=_ri(1, 6), b=_ri(1, 6), c=_ri(3, 14)),
+        ),
+        ProblemFamily(
+            "pizza-slices-left",
+            "Each pizza is cut into {a} slices. A group orders {b} pizzas "
+            "and eats {c} slices. How many slices remain?",
+            sub(mul(a, b), c),
+            lambda rng: (lambda slices, pizzas: {
+                "a": slices,
+                "b": pizzas,
+                "c": rng.randint(1, slices * pizzas - 1),
+            })(rng.choice([6, 8, 10, 12]), rng.randint(2, 5)),
+        ),
+        ProblemFamily(
+            "savings-after-gift",
+            "Nina saves {a} dollars each week. After saving for {b} weeks "
+            "she spends {c} dollars on a gift. How much money does she have "
+            "left?",
+            sub(mul(a, b), c),
+            lambda rng: (lambda rate, weeks: {
+                "a": rate,
+                "b": weeks,
+                "c": rng.randint(1, rate * weeks - 1),
+            })(rng.randint(5, 25), rng.randint(4, 12)),
+        ),
+        ProblemFamily(
+            "red-blue-balls",
+            "There are {a} red balls in a box and twice as many blue balls. "
+            "How many balls are in the box altogether?",
+            add(a, mul(a, Num(2))),
+            simple(a=_ri(4, 60)),
+        ),
+        ProblemFamily(
+            "train-distance",
+            "A train travels at {a} miles per hour for {b} hours, then at "
+            "{c} miles per hour for {d} hours. How far does the train "
+            "travel in total?",
+            add(mul(a, b), mul(c, d)),
+            simple(a=_ri(30, 80), b=_ri(1, 5), c=_ri(20, 70), d=_ri(1, 5)),
+        ),
+        ProblemFamily(
+            "library-books",
+            "A library has {a} shelves with {b} books on each shelf. The "
+            "librarian removes {c} damaged books and adds {d} new books. "
+            "How many books does the library have now?",
+            add(sub(mul(a, b), c), d),
+            lambda rng: (lambda shelves, per: {
+                "a": shelves,
+                "b": per,
+                "c": rng.randint(1, shelves * per // 2),
+                "d": rng.randint(5, 60),
+            })(rng.randint(5, 20), rng.randint(10, 40)),
+        ),
+        ProblemFamily(
+            "stationery-cents",
+            "Leo buys {a} pencils for {b} cents each and {c} erasers for "
+            "{d} cents each. How much does he spend in cents?",
+            add(mul(a, b), mul(c, d)),
+            simple(a=_ri(2, 12), b=_ri(5, 50), c=_ri(1, 8), d=_ri(10, 60)),
+        ),
+        ProblemFamily(
+            "garden-area",
+            "A garden is {a} feet long and {b} feet wide. What is the area "
+            "of the garden in square feet?",
+            mul(a, b),
+            simple(a=_ri(6, 40), b=_ri(4, 30)),
+        ),
+        ProblemFamily(
+            "rectangle-perimeter",
+            "A rectangle is {a} meters long and {b} meters wide. What is "
+            "its perimeter in meters?",
+            mul(add(a, b), Num(2)),
+            simple(a=_ri(3, 40), b=_ri(2, 30)),
+        ),
+        ProblemFamily(
+            "sticker-count",
+            "Amy had {a} stickers. She bought {b} more stickers and gave "
+            "away {c} stickers. How many stickers does Amy have now?",
+            sub(add(a, b), c),
+            lambda rng: (lambda start, bought: {
+                "a": start,
+                "b": bought,
+                "c": rng.randint(1, start + bought - 1),
+            })(rng.randint(10, 80), rng.randint(5, 40)),
+        ),
+        ProblemFamily(
+            "movie-minutes",
+            "A movie lasts {a} minutes. The cinema shows it {b} times every "
+            "day. How many minutes of playtime is that per day?",
+            mul(a, b),
+            simple(a=_ri(80, 180), b=_ri(2, 6)),
+        ),
+        ProblemFamily(
+            "pencils-per-classroom",
+            "A box contains {a} pencils. A school orders {b} boxes and "
+            "shares the pencils equally among {c} classrooms. How many "
+            "pencils does each classroom receive?",
+            div(mul(a, b), c),
+            lambda rng: (lambda rooms: {
+                "a": rooms * rng.randint(2, 5),
+                "b": rng.randint(2, 6),
+                "c": rooms,
+            })(rng.randint(2, 8)),
+        ),
+        ProblemFamily(
+            "download-minutes",
+            "Carla downloads a file of {a} gigabytes at a speed of {b} "
+            "gigabytes per minute. How many minutes does the download take?",
+            div(a, b),
+            lambda rng: (lambda rate, minutes: {"a": rate * minutes, "b": rate})(
+                rng.randint(2, 8), rng.randint(3, 25)
+            ),
+        ),
+        ProblemFamily(
+            "water-cups-weeks",
+            "Max drinks {a} cups of water every day. How many cups of water "
+            "does he drink in {b} weeks?",
+            mul(mul(a, Num(7)), b),
+            simple(a=_ri(4, 12), b=_ri(1, 6)),
+        ),
+        ProblemFamily(
+            "crates-packed",
+            "Each worker packs {a} crates per hour. How many crates do {b} "
+            "workers pack in {c} hours?",
+            mul(mul(a, b), c),
+            simple(a=_ri(3, 15), b=_ri(2, 10), c=_ri(2, 8)),
+        ),
+        ProblemFamily(
+            "apples-price-kilo",
+            "Apples cost {a} dollars per kilogram. Hannah buys {b} "
+            "kilograms and hands over {c} dollars. How much change does "
+            "she get back?",
+            sub(c, mul(a, b)),
+            lambda rng: (lambda price, kilos: {
+                "a": price,
+                "b": kilos,
+                "c": price * kilos + rng.choice([1, 2, 5, 10, 20]),
+            })(rng.randint(2, 6), rng.randint(2, 8)),
+        ),
+        ProblemFamily(
+            "fence-posts-cost",
+            "A fence needs {a} posts. Each post costs {b} dollars and "
+            "installation adds {c} dollars per post. What is the total "
+            "cost of the fence?",
+            mul(a, add(b, c)),
+            simple(a=_ri(8, 40), b=_ri(5, 30), c=_ri(2, 15)),
+        ),
+    ]
+    return families
+
+
+_FAMILIES_CACHE: list[ProblemFamily] | None = None
+
+
+def families() -> list[ProblemFamily]:
+    """The 36 problem families, built once."""
+    global _FAMILIES_CACHE
+    if _FAMILIES_CACHE is None:
+        _FAMILIES_CACHE = _families()
+        skeletons = [family.skeleton() for family in _FAMILIES_CACHE]
+        if len(set(skeletons)) != len(skeletons):
+            raise DatasetError("two GSM8K families share a masked skeleton")
+    return _FAMILIES_CACHE
+
+
+def register_families(knowledge: KnowledgeBase | None = None) -> None:
+    """Teach the simulated model every family (idempotent)."""
+    knowledge = knowledge if knowledge is not None else global_knowledge()
+    for family in families():
+        knowledge.register_family(
+            WordProblemFamily(family.skeleton(), family.positional_expression(), family.name)
+        )
+
+
+def generate_dataset(
+    count: int = DEFAULT_PROBLEM_COUNT,
+    seed: int = DEFAULT_SEED,
+    knowledge: KnowledgeBase | None = None,
+) -> list[GsmProblem]:
+    """Generate the benchmark corpus and register families with the model.
+
+    Instances cycle through families so every family contributes evenly;
+    values are drawn from a single seeded RNG for reproducibility.
+    """
+    if count < 1:
+        raise DatasetError("count must be positive")
+    register_families(knowledge)
+    rng = random.Random(seed)
+    problems: list[GsmProblem] = []
+    family_list = families()
+    for index in range(count):
+        family = family_list[index % len(family_list)]
+        values = family.sampler(rng)
+        text, answer = family.instantiate(values)
+        problems.append(
+            GsmProblem(index, family, text, family.askit_template(), values, answer)
+        )
+    return problems
+
+
+def answers_match(expected: float, actual: float, tolerance: float = 1e-6) -> bool:
+    """GSM8K scoring: numeric equality with tolerance."""
+    try:
+        return abs(float(expected) - float(actual)) <= tolerance
+    except (TypeError, ValueError):
+        return False

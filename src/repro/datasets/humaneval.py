@@ -1,0 +1,1952 @@
+"""A HumanEval-style coding benchmark (Figure 5).
+
+HumanEval pairs natural-language task prompts with hand-written canonical
+solutions and unit tests; the paper feeds the prompts to AskIt as
+templates, uses the tests as validation examples, and compares the LOC of
+generated code against the hand-written solutions (84.8 % of 164 tasks
+generated successfully; generated code averaged 1.27x the hand-written
+length, yet was *shorter* in 35 % of tasks).
+
+The original dataset is not redistributable here, so this module provides
+a parallel corpus of 81 tasks with the same schema: a prompt template, a
+hand-written canonical solution, unit tests, and the implementation the
+simulated model produces (its "knowledge" of the task).  Twelve tasks are
+marked unsolvable -- the model's implementation is subtly wrong and never
+passes the tests -- reproducing the paper's 84.8 % success rate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatasetError
+from repro.ioexample import Example
+
+
+class HumanEvalTask:
+    """One benchmark task."""
+
+    __slots__ = (
+        "task_id",
+        "entry_point",
+        "description",
+        "params",
+        "canonical_solution",
+        "llm_body",
+        "llm_solvable",
+        "tests",
+    )
+
+    def __init__(
+        self,
+        task_id: str,
+        entry_point: str,
+        description: str,
+        params: list[str],
+        canonical_solution: str,
+        llm_body: str,
+        tests: list[tuple],
+        llm_solvable: bool = True,
+    ) -> None:
+        self.task_id = task_id
+        self.entry_point = entry_point
+        self.description = description
+        self.params = params
+        self.canonical_solution = canonical_solution
+        self.llm_body = llm_body
+        self.llm_solvable = llm_solvable
+        self.tests = [Example(inputs, output) for inputs, output in tests]
+
+    def __repr__(self) -> str:
+        return f"HumanEvalTask({self.task_id}, {self.entry_point!r})"
+
+
+_TASKS: list[HumanEvalTask] = []
+
+
+def _task(entry_point, description, params, canonical, llm_body, tests, solvable=True):
+    _TASKS.append(
+        HumanEvalTask(
+            f"SynthEval/{len(_TASKS)}",
+            entry_point,
+            description,
+            params,
+            canonical,
+            llm_body,
+            tests,
+            solvable,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Task corpus.  `canonical` is the full hand-written function; `llm_body` is
+# only the body the simulated model emits (the AskIt stub provides the def).
+# ---------------------------------------------------------------------------
+
+_task(
+    "has_close_elements",
+    "Check if in the list of numbers {{numbers}}, any two numbers are closer to each other than the threshold {{threshold}}.",
+    ["numbers", "threshold"],
+    "def has_close_elements(numbers, threshold):\n"
+    "    for i, a in enumerate(numbers):\n"
+    "        for b in numbers[i + 1:]:\n"
+    "            if abs(a - b) < threshold:\n"
+    "                return True\n"
+    "    return False\n",
+    "for i in range(len(numbers)):\n"
+    "    for j in range(len(numbers)):\n"
+    "        if i != j:\n"
+    "            distance = abs(numbers[i] - numbers[j])\n"
+    "            if distance < threshold:\n"
+    "                return True\n"
+    "return False",
+    [
+        ({"numbers": [1.0, 2.0, 3.9, 4.0, 5.0, 2.2], "threshold": 0.3}, True),
+        ({"numbers": [1.0, 2.0, 3.9, 4.0, 5.0, 2.2], "threshold": 0.05}, False),
+        ({"numbers": [1.0, 2.0, 3.0], "threshold": 0.5}, False),
+    ],
+)
+
+_task(
+    "separate_paren_groups",
+    "Separate the string {{paren_string}} of multiple nested parentheses groups into a list of the top-level balanced groups, ignoring spaces.",
+    ["paren_string"],
+    "def separate_paren_groups(paren_string):\n"
+    "    groups, depth, current = [], 0, []\n"
+    "    for ch in paren_string:\n"
+    "        if ch == ' ':\n"
+    "            continue\n"
+    "        current.append(ch)\n"
+    "        depth += 1 if ch == '(' else -1\n"
+    "        if depth == 0:\n"
+    "            groups.append(''.join(current))\n"
+    "            current = []\n"
+    "    return groups\n",
+    "result = []\n"
+    "depth = 0\n"
+    "current = ''\n"
+    "for ch in paren_string:\n"
+    "    if ch == ' ':\n"
+    "        continue\n"
+    "    current += ch\n"
+    "    if ch == '(':\n"
+    "        depth += 1\n"
+    "    else:\n"
+    "        depth -= 1\n"
+    "    if depth == 0:\n"
+    "        result.append(current)\n"
+    "        current = ''\n"
+    "return result",
+    [
+        ({"paren_string": "( ) (( )) (( )( ))"}, ["()", "(())", "(()())"]),
+        ({"paren_string": "()"}, ["()"]),
+        ({"paren_string": "(()) ()"}, ["(())", "()"]),
+    ],
+)
+
+_task(
+    "truncate_number",
+    "Given a positive floating point number {{number}}, return its decimal part, which is always smaller than 1.",
+    ["number"],
+    "def truncate_number(number):\n"
+    "    return number % 1.0\n",
+    "integer_part = int(number)\n"
+    "return number - integer_part",
+    [
+        ({"number": 3.5}, 0.5),
+        ({"number": 10.0}, 0.0),
+        ({"number": 1.25}, 0.25),
+    ],
+)
+
+_task(
+    "below_zero",
+    "Given a list {{operations}} of deposit and withdrawal operations on a bank account starting from zero balance, detect if the balance falls below zero at any point.",
+    ["operations"],
+    "def below_zero(operations):\n"
+    "    balance = 0\n"
+    "    for amount in operations:\n"
+    "        balance += amount\n"
+    "        if balance < 0:\n"
+    "            return True\n"
+    "    return False\n",
+    "balance = 0\n"
+    "for operation in operations:\n"
+    "    balance = balance + operation\n"
+    "    if balance < 0:\n"
+    "        return True\n"
+    "return False",
+    [
+        ({"operations": [1, 2, 3]}, False),
+        ({"operations": [1, 2, -4, 5]}, True),
+        ({"operations": []}, False),
+    ],
+)
+
+_task(
+    "mean_absolute_deviation",
+    "For the list of numbers {{numbers}}, calculate the mean absolute deviation around the mean of the dataset.",
+    ["numbers"],
+    "def mean_absolute_deviation(numbers):\n"
+    "    mean = sum(numbers) / len(numbers)\n"
+    "    return sum(abs(x - mean) for x in numbers) / len(numbers)\n",
+    "mean = sum(numbers) / len(numbers)\n"
+    "total = 0.0\n"
+    "for x in numbers:\n"
+    "    total += abs(x - mean)\n"
+    "return total / len(numbers)",
+    [
+        ({"numbers": [1.0, 2.0, 3.0, 4.0]}, 1.0),
+        ({"numbers": [1.0, 1.0, 1.0]}, 0.0),
+        ({"numbers": [2.0, 4.0]}, 1.0),
+    ],
+)
+
+_task(
+    "intersperse",
+    "Insert the number {{delimeter}} between every two consecutive elements of the input list {{numbers}}.",
+    ["numbers", "delimeter"],
+    "def intersperse(numbers, delimeter):\n"
+    "    result = []\n"
+    "    for value in numbers[:-1]:\n"
+    "        result += [value, delimeter]\n"
+    "    if numbers:\n"
+    "        result.append(numbers[-1])\n"
+    "    return result\n",
+    "if not numbers:\n"
+    "    return []\n"
+    "result = [numbers[0]]\n"
+    "for value in numbers[1:]:\n"
+    "    result.append(delimeter)\n"
+    "    result.append(value)\n"
+    "return result",
+    [
+        ({"numbers": [], "delimeter": 4}, []),
+        ({"numbers": [1, 2, 3], "delimeter": 4}, [1, 4, 2, 4, 3]),
+        ({"numbers": [5], "delimeter": 9}, [5]),
+    ],
+)
+
+_task(
+    "parse_nested_parens",
+    "For the string {{paren_string}} of space-separated groups of nested parentheses, return the deepest nesting level of each group as a list.",
+    ["paren_string"],
+    "def parse_nested_parens(paren_string):\n"
+    "    def depth(group):\n"
+    "        best = level = 0\n"
+    "        for ch in group:\n"
+    "            level += 1 if ch == '(' else -1\n"
+    "            best = max(best, level)\n"
+    "        return best\n"
+    "    return [depth(group) for group in paren_string.split()]\n",
+    "levels = []\n"
+    "for group in paren_string.split():\n"
+    "    level = 0\n"
+    "    deepest = 0\n"
+    "    for ch in group:\n"
+    "        if ch == '(':\n"
+    "            level += 1\n"
+    "            if level > deepest:\n"
+    "                deepest = level\n"
+    "        else:\n"
+    "            level -= 1\n"
+    "    levels.append(deepest)\n"
+    "return levels",
+    [
+        ({"paren_string": "(()()) ((())) () ((())()())"}, [2, 3, 1, 3]),
+        ({"paren_string": "()"}, [1]),
+        ({"paren_string": "(()) (((())))"}, [2, 4]),
+    ],
+)
+
+_task(
+    "filter_by_substring",
+    "Filter the list of strings {{strings}} to only those containing the given substring {{substring}}.",
+    ["strings", "substring"],
+    "def filter_by_substring(strings, substring):\n"
+    "    return [s for s in strings if substring in s]\n",
+    "result = []\n"
+    "for s in strings:\n"
+    "    if substring in s:\n"
+    "        result.append(s)\n"
+    "return result",
+    [
+        ({"strings": [], "substring": "a"}, []),
+        ({"strings": ["abc", "bacd", "cde", "array"], "substring": "a"}, ["abc", "bacd", "array"]),
+        ({"strings": ["xxx", "yyy"], "substring": "x"}, ["xxx"]),
+    ],
+)
+
+_task(
+    "sum_product",
+    "For the list of integers {{numbers}}, return a list with the sum and the product of all the integers; an empty sum is 0 and an empty product is 1.",
+    ["numbers"],
+    "def sum_product(numbers):\n"
+    "    total, product = 0, 1\n"
+    "    for value in numbers:\n"
+    "        total += value\n"
+    "        product *= value\n"
+    "    return [total, product]\n",
+    "total = 0\n"
+    "product = 1\n"
+    "for value in numbers:\n"
+    "    total = total + value\n"
+    "    product = product * value\n"
+    "return [total, product]",
+    [
+        ({"numbers": []}, [0, 1]),
+        ({"numbers": [1, 2, 3, 4]}, [10, 24]),
+        ({"numbers": [5]}, [5, 5]),
+    ],
+)
+
+_task(
+    "rolling_max",
+    "From the list of integers {{numbers}}, generate a list of the rolling maximum element found until that moment in the sequence.",
+    ["numbers"],
+    "def rolling_max(numbers):\n"
+    "    result, best = [], None\n"
+    "    for value in numbers:\n"
+    "        best = value if best is None else max(best, value)\n"
+    "        result.append(best)\n"
+    "    return result\n",
+    "result = []\n"
+    "current_max = None\n"
+    "for value in numbers:\n"
+    "    if current_max is None or value > current_max:\n"
+    "        current_max = value\n"
+    "    result.append(current_max)\n"
+    "return result",
+    [
+        ({"numbers": [1, 2, 3, 2, 3, 4, 2]}, [1, 2, 3, 3, 3, 4, 4]),
+        ({"numbers": []}, []),
+        ({"numbers": [4, 1, 1]}, [4, 4, 4]),
+    ],
+)
+
+_task(
+    "string_xor",
+    "Given two strings {{a}} and {{b}} consisting only of 1s and 0s, perform binary XOR on them and return the result as a string.",
+    ["a", "b"],
+    "def string_xor(a, b):\n"
+    "    return ''.join('0' if x == y else '1' for x, y in zip(a, b))\n",
+    "result = ''\n"
+    "for x, y in zip(a, b):\n"
+    "    if x == y:\n"
+    "        result += '0'\n"
+    "    else:\n"
+    "        result += '1'\n"
+    "return result",
+    [
+        ({"a": "010", "b": "110"}, "100"),
+        ({"a": "111", "b": "111"}, "000"),
+        ({"a": "0", "b": "1"}, "1"),
+    ],
+)
+
+_task(
+    "longest",
+    "Out of the list of strings {{strings}}, return the longest one; return the first one in case of ties, and None for an empty list.",
+    ["strings"],
+    "def longest(strings):\n"
+    "    if not strings:\n"
+    "        return None\n"
+    "    return max(strings, key=len)\n",
+    "if not strings:\n"
+    "    return None\n"
+    "best = strings[0]\n"
+    "for s in strings:\n"
+    "    if len(s) > len(best):\n"
+    "        best = s\n"
+    "return best",
+    [
+        ({"strings": []}, None),
+        ({"strings": ["a", "b", "c"]}, "a"),
+        ({"strings": ["a", "bb", "ccc"]}, "ccc"),
+    ],
+)
+
+_task(
+    "greatest_common_divisor",
+    "Return the greatest common divisor of two integers {{a}} and {{b}}.",
+    ["a", "b"],
+    "def greatest_common_divisor(a, b):\n"
+    "    while b:\n"
+    "        a, b = b, a % b\n"
+    "    return a\n",
+    "x = a\n"
+    "y = b\n"
+    "while y != 0:\n"
+    "    remainder = x % y\n"
+    "    x = y\n"
+    "    y = remainder\n"
+    "return x",
+    [
+        ({"a": 3, "b": 5}, 1),
+        ({"a": 25, "b": 15}, 5),
+        ({"a": 12, "b": 18}, 6),
+    ],
+)
+
+_task(
+    "all_prefixes",
+    "Return a list of all prefixes of the string {{string}} from shortest to longest.",
+    ["string"],
+    "def all_prefixes(string):\n"
+    "    return [string[:i + 1] for i in range(len(string))]\n",
+    "prefixes = []\n"
+    "for i in range(1, len(string) + 1):\n"
+    "    prefixes.append(string[:i])\n"
+    "return prefixes",
+    [
+        ({"string": "abc"}, ["a", "ab", "abc"]),
+        ({"string": ""}, []),
+        ({"string": "xy"}, ["x", "xy"]),
+    ],
+)
+
+_task(
+    "string_sequence",
+    "Return a string containing space-delimited numbers starting from 0 up to {{n}} inclusive.",
+    ["n"],
+    "def string_sequence(n):\n"
+    "    return ' '.join(str(i) for i in range(n + 1))\n",
+    "parts = []\n"
+    "for i in range(n + 1):\n"
+    "    parts.append(str(i))\n"
+    "return ' '.join(parts)",
+    [
+        ({"n": 0}, "0"),
+        ({"n": 5}, "0 1 2 3 4 5"),
+        ({"n": 2}, "0 1 2"),
+    ],
+)
+
+_task(
+    "count_distinct_characters",
+    "Given the string {{string}}, find out how many distinct characters it consists of, regardless of case.",
+    ["string"],
+    "def count_distinct_characters(string):\n"
+    "    return len(set(string.lower()))\n",
+    "seen = set()\n"
+    "for ch in string.lower():\n"
+    "    seen.add(ch)\n"
+    "return len(seen)",
+    [
+        ({"string": "xyzXYZ"}, 3),
+        ({"string": "Jerry"}, 4),
+        ({"string": ""}, 0),
+    ],
+)
+
+_task(
+    "flip_case",
+    "For the string {{string}}, flip lowercase characters to uppercase and uppercase to lowercase.",
+    ["string"],
+    "def flip_case(string):\n"
+    "    return string.swapcase()\n",
+    "result = ''\n"
+    "for ch in string:\n"
+    "    if ch.isupper():\n"
+    "        result += ch.lower()\n"
+    "    else:\n"
+    "        result += ch.upper()\n"
+    "return result",
+    [
+        ({"string": "Hello"}, "hELLO"),
+        ({"string": "abc"}, "ABC"),
+        ({"string": ""}, ""),
+    ],
+)
+
+_task(
+    "concatenate",
+    "Concatenate the list of strings {{strings}} into a single string.",
+    ["strings"],
+    "def concatenate(strings):\n"
+    "    return ''.join(strings)\n",
+    "result = ''\n"
+    "for s in strings:\n"
+    "    result += s\n"
+    "return result",
+    [
+        ({"strings": []}, ""),
+        ({"strings": ["a", "b", "c"]}, "abc"),
+        ({"strings": ["x"]}, "x"),
+    ],
+)
+
+_task(
+    "filter_by_prefix",
+    "Filter the list of strings {{strings}} to only those that start with the given prefix {{prefix}}.",
+    ["strings", "prefix"],
+    "def filter_by_prefix(strings, prefix):\n"
+    "    return [s for s in strings if s.startswith(prefix)]\n",
+    "result = []\n"
+    "for s in strings:\n"
+    "    if s.startswith(prefix):\n"
+    "        result.append(s)\n"
+    "return result",
+    [
+        ({"strings": [], "prefix": "a"}, []),
+        ({"strings": ["abc", "bcd", "cde", "array"], "prefix": "a"}, ["abc", "array"]),
+        ({"strings": ["aa", "ab"], "prefix": "aa"}, ["aa"]),
+    ],
+)
+
+_task(
+    "get_positive",
+    "Return only the positive numbers in the list {{numbers}}.",
+    ["numbers"],
+    "def get_positive(numbers):\n"
+    "    return [x for x in numbers if x > 0]\n",
+    "positives = []\n"
+    "for x in numbers:\n"
+    "    if x > 0:\n"
+    "        positives.append(x)\n"
+    "return positives",
+    [
+        ({"numbers": [-1, 2, -4, 5, 6]}, [2, 5, 6]),
+        ({"numbers": [-1, -2]}, []),
+        ({"numbers": [3]}, [3]),
+    ],
+)
+
+_task(
+    "is_prime",
+    "Return true if the number {{n}} is prime, and false otherwise.",
+    ["n"],
+    "def is_prime(n):\n"
+    "    if n < 2:\n"
+    "        return False\n"
+    "    i = 2\n"
+    "    while i * i <= n:\n"
+    "        if n % i == 0:\n"
+    "            return False\n"
+    "        i += 1\n"
+    "    return True\n",
+    "if n < 2:\n"
+    "    return False\n"
+    "for i in range(2, int(n ** 0.5) + 1):\n"
+    "    if n % i == 0:\n"
+    "        return False\n"
+    "return True",
+    [
+        ({"n": 6}, False),
+        ({"n": 101}, True),
+        ({"n": 13441}, True),
+    ],
+)
+
+_task(
+    "sort_third",
+    "Return the list {{numbers}} with the values at indices divisible by three replaced by those same values sorted, and all other positions unchanged.",
+    ["numbers"],
+    "def sort_third(numbers):\n"
+    "    thirds = sorted(numbers[::3])\n"
+    "    result = list(numbers)\n"
+    "    result[::3] = thirds\n"
+    "    return result\n",
+    "third_values = []\n"
+    "for i in range(0, len(numbers), 3):\n"
+    "    third_values.append(numbers[i])\n"
+    "third_values.sort()\n"
+    "result = list(numbers)\n"
+    "position = 0\n"
+    "for i in range(0, len(numbers), 3):\n"
+    "    result[i] = third_values[position]\n"
+    "    position += 1\n"
+    "return result",
+    [
+        ({"numbers": [1, 2, 3]}, [1, 2, 3]),
+        ({"numbers": [5, 6, 3, 4, 8, 9, 2]}, [2, 6, 3, 4, 8, 9, 5]),
+        ({"numbers": [9, 0, 1, 6]}, [6, 0, 1, 9]),
+    ],
+)
+
+_task(
+    "unique_sorted",
+    "Return the sorted unique elements in the list {{numbers}}.",
+    ["numbers"],
+    "def unique_sorted(numbers):\n"
+    "    return sorted(set(numbers))\n",
+    "seen = []\n"
+    "for x in numbers:\n"
+    "    if x not in seen:\n"
+    "        seen.append(x)\n"
+    "seen.sort()\n"
+    "return seen",
+    [
+        ({"numbers": [5, 3, 5, 2, 3, 3, 9, 0, 123]}, [0, 2, 3, 5, 9, 123]),
+        ({"numbers": []}, []),
+        ({"numbers": [1, 1, 1]}, [1]),
+    ],
+)
+
+_task(
+    "max_element",
+    "Return the maximum element in the list {{numbers}}.",
+    ["numbers"],
+    "def max_element(numbers):\n"
+    "    return max(numbers)\n",
+    "best = numbers[0]\n"
+    "for x in numbers:\n"
+    "    if x > best:\n"
+    "        best = x\n"
+    "return best",
+    [
+        ({"numbers": [1, 2, 3]}, 3),
+        ({"numbers": [5, 3, -5, 2, -3, 3, 9, 0, 124, 1, -10]}, 124),
+        ({"numbers": [-1, -2]}, -1),
+    ],
+)
+
+_task(
+    "fizz_buzz_sevens",
+    "Return the number of times the digit 7 appears in integers less than {{n}} which are divisible by 11 or 13.",
+    ["n"],
+    "def fizz_buzz_sevens(n):\n"
+    "    count = 0\n"
+    "    for i in range(n):\n"
+    "        if i % 11 == 0 or i % 13 == 0:\n"
+    "            count += str(i).count('7')\n"
+    "    return count\n",
+    "count = 0\n"
+    "for i in range(n):\n"
+    "    if i % 11 == 0 or i % 13 == 0:\n"
+    "        for digit in str(i):\n"
+    "            if digit == '7':\n"
+    "                count += 1\n"
+    "return count",
+    [
+        ({"n": 50}, 0),
+        ({"n": 78}, 2),
+        ({"n": 79}, 3),
+    ],
+)
+
+_task(
+    "sort_even",
+    "Return the list {{numbers}} with the values at even indices replaced by those same values sorted, and odd indices unchanged.",
+    ["numbers"],
+    "def sort_even(numbers):\n"
+    "    evens = sorted(numbers[::2])\n"
+    "    result = list(numbers)\n"
+    "    result[::2] = evens\n"
+    "    return result\n",
+    "even_values = []\n"
+    "for i in range(0, len(numbers), 2):\n"
+    "    even_values.append(numbers[i])\n"
+    "even_values.sort()\n"
+    "result = list(numbers)\n"
+    "index = 0\n"
+    "for i in range(0, len(numbers), 2):\n"
+    "    result[i] = even_values[index]\n"
+    "    index += 1\n"
+    "return result",
+    [
+        ({"numbers": [1, 2, 3]}, [1, 2, 3]),
+        ({"numbers": [5, 6, 3, 4]}, [3, 6, 5, 4]),
+        ({"numbers": [4, 1]}, [4, 1]),
+    ],
+)
+
+_task(
+    "triangle_area",
+    "Given the length of a side {{a}} and the height {{h}} of a triangle, return its area.",
+    ["a", "h"],
+    "def triangle_area(a, h):\n"
+    "    return a * h / 2.0\n",
+    "area = a * h / 2\n"
+    "return area",
+    [
+        ({"a": 5, "h": 3}, 7.5),
+        ({"a": 2, "h": 2}, 2.0),
+        ({"a": 10, "h": 8}, 40.0),
+    ],
+)
+
+_task(
+    "fib4",
+    "Compute the n-th element of the fib4 sequence for {{n}}, where fib4(0)=0, fib4(1)=0, fib4(2)=2, fib4(3)=0 and fib4(n) is the sum of the previous four elements.",
+    ["n"],
+    "def fib4(n):\n"
+    "    window = [0, 0, 2, 0]\n"
+    "    if n < 4:\n"
+    "        return window[n]\n"
+    "    for _ in range(n - 3):\n"
+    "        window.append(sum(window[-4:]))\n"
+    "    return window[-1]\n",
+    "values = [0, 0, 2, 0]\n"
+    "if n < 4:\n"
+    "    return values[n]\n"
+    "for i in range(4, n + 1):\n"
+    "    nxt = values[i - 1] + values[i - 2] + values[i - 3] + values[i - 4]\n"
+    "    values.append(nxt)\n"
+    "return values[n]",
+    [
+        ({"n": 5}, 4),
+        ({"n": 6}, 8),
+        ({"n": 7}, 14),
+    ],
+)
+
+_task(
+    "median",
+    "Return the median of the elements in the list {{numbers}}.",
+    ["numbers"],
+    "def median(numbers):\n"
+    "    ordered = sorted(numbers)\n"
+    "    mid = len(ordered) // 2\n"
+    "    if len(ordered) % 2:\n"
+    "        return ordered[mid]\n"
+    "    return (ordered[mid - 1] + ordered[mid]) / 2.0\n",
+    "ordered = sorted(numbers)\n"
+    "n = len(ordered)\n"
+    "middle = n // 2\n"
+    "if n % 2 == 1:\n"
+    "    return ordered[middle]\n"
+    "return (ordered[middle - 1] + ordered[middle]) / 2",
+    [
+        ({"numbers": [3, 1, 2, 4, 5]}, 3),
+        ({"numbers": [-10, 4, 6, 1000, 10, 20]}, 8.0),
+        ({"numbers": [5]}, 5),
+    ],
+)
+
+_task(
+    "is_palindrome_text",
+    "Check if the given string {{text}} is a palindrome.",
+    ["text"],
+    "def is_palindrome_text(text):\n"
+    "    return text == text[::-1]\n",
+    "reversed_text = ''\n"
+    "for ch in text:\n"
+    "    reversed_text = ch + reversed_text\n"
+    "return text == reversed_text",
+    [
+        ({"text": ""}, True),
+        ({"text": "aba"}, True),
+        ({"text": "zbcd"}, False),
+    ],
+)
+
+_task(
+    "modp",
+    "Return 2 to the power {{n}} modulo {{p}}, being aware of numerics.",
+    ["n", "p"],
+    "def modp(n, p):\n"
+    "    return pow(2, n, p)\n",
+    "result = 1\n"
+    "for _ in range(n):\n"
+    "    result = (result * 2) % p\n"
+    "return result",
+    [
+        ({"n": 3, "p": 5}, 3),
+        ({"n": 1101, "p": 101}, 2),
+        ({"n": 0, "p": 101}, 1),
+    ],
+)
+
+_task(
+    "remove_vowels",
+    "Return the string {{text}} without any vowels.",
+    ["text"],
+    "def remove_vowels(text):\n"
+    "    return ''.join(ch for ch in text if ch.lower() not in 'aeiou')\n",
+    "result = ''\n"
+    "for ch in text:\n"
+    "    if ch.lower() not in 'aeiou':\n"
+    "        result += ch\n"
+    "return result",
+    [
+        ({"text": ""}, ""),
+        ({"text": "abcdef"}, "bcdf"),
+        ({"text": "aaBAA"}, "B"),
+    ],
+)
+
+_task(
+    "below_threshold",
+    "Return true if all numbers in the list {{numbers}} are below the threshold {{t}}.",
+    ["numbers", "t"],
+    "def below_threshold(numbers, t):\n"
+    "    return all(x < t for x in numbers)\n",
+    "for x in numbers:\n"
+    "    if x >= t:\n"
+    "        return False\n"
+    "return True",
+    [
+        ({"numbers": [1, 2, 4, 10], "t": 100}, True),
+        ({"numbers": [1, 20, 4, 10], "t": 5}, False),
+        ({"numbers": [], "t": 1}, True),
+    ],
+)
+
+_task(
+    "add_two",
+    "Add the two numbers {{x}} and {{y}}.",
+    ["x", "y"],
+    "def add_two(x, y):\n"
+    "    return x + y\n",
+    "return x + y",
+    [
+        ({"x": 2, "y": 3}, 5),
+        ({"x": 5, "y": 7}, 12),
+        ({"x": -1, "y": 1}, 0),
+    ],
+)
+
+_task(
+    "same_chars",
+    "Check if the two words {{s0}} and {{s1}} consist of the same set of characters.",
+    ["s0", "s1"],
+    "def same_chars(s0, s1):\n"
+    "    return set(s0) == set(s1)\n",
+    "chars0 = set()\n"
+    "for ch in s0:\n"
+    "    chars0.add(ch)\n"
+    "chars1 = set()\n"
+    "for ch in s1:\n"
+    "    chars1.add(ch)\n"
+    "return chars0 == chars1",
+    [
+        ({"s0": "eabcdzzzz", "s1": "dddzzzzzzzddeddabc"}, True),
+        ({"s0": "abcd", "s1": "dddddddabc"}, True),
+        ({"s0": "eabcd", "s1": "dddddddabc"}, False),
+    ],
+)
+
+_task(
+    "fib",
+    "Return the {{n}}-th Fibonacci number, with fib(1) = 1 and fib(2) = 1.",
+    ["n"],
+    "def fib(n):\n"
+    "    a, b = 0, 1\n"
+    "    for _ in range(n):\n"
+    "        a, b = b, a + b\n"
+    "    return a\n",
+    "if n <= 0:\n"
+    "    return 0\n"
+    "previous = 0\n"
+    "current = 1\n"
+    "for _ in range(n - 1):\n"
+    "    nxt = previous + current\n"
+    "    previous = current\n"
+    "    current = nxt\n"
+    "return current",
+    [
+        ({"n": 10}, 55),
+        ({"n": 1}, 1),
+        ({"n": 8}, 21),
+    ],
+)
+
+_task(
+    "correct_bracketing",
+    "Return true if every opening angle bracket in the string {{brackets}} of '<' and '>' has a corresponding closing bracket.",
+    ["brackets"],
+    "def correct_bracketing(brackets):\n"
+    "    depth = 0\n"
+    "    for ch in brackets:\n"
+    "        depth += 1 if ch == '<' else -1\n"
+    "        if depth < 0:\n"
+    "            return False\n"
+    "    return depth == 0\n",
+    "depth = 0\n"
+    "for ch in brackets:\n"
+    "    if ch == '<':\n"
+    "        depth += 1\n"
+    "    else:\n"
+    "        depth -= 1\n"
+    "    if depth < 0:\n"
+    "        return False\n"
+    "return depth == 0",
+    [
+        ({"brackets": "<"}, False),
+        ({"brackets": "<>"}, True),
+        ({"brackets": "<<><>>"}, True),
+    ],
+)
+
+_task(
+    "monotonic",
+    "Return true if the elements of the list {{numbers}} are monotonically increasing or decreasing.",
+    ["numbers"],
+    "def monotonic(numbers):\n"
+    "    increasing = all(a <= b for a, b in zip(numbers, numbers[1:]))\n"
+    "    decreasing = all(a >= b for a, b in zip(numbers, numbers[1:]))\n"
+    "    return increasing or decreasing\n",
+    "increasing = True\n"
+    "decreasing = True\n"
+    "for i in range(1, len(numbers)):\n"
+    "    if numbers[i] > numbers[i - 1]:\n"
+    "        decreasing = False\n"
+    "    if numbers[i] < numbers[i - 1]:\n"
+    "        increasing = False\n"
+    "return increasing or decreasing",
+    [
+        ({"numbers": [1, 2, 4, 20]}, True),
+        ({"numbers": [1, 20, 4, 10]}, False),
+        ({"numbers": [4, 1, 0, -10]}, True),
+    ],
+)
+
+_task(
+    "common",
+    "Return the sorted unique common elements of the two lists {{l1}} and {{l2}}.",
+    ["l1", "l2"],
+    "def common(l1, l2):\n"
+    "    return sorted(set(l1) & set(l2))\n",
+    "shared = []\n"
+    "for x in l1:\n"
+    "    if x in l2 and x not in shared:\n"
+    "        shared.append(x)\n"
+    "shared.sort()\n"
+    "return shared",
+    [
+        ({"l1": [1, 4, 3, 34, 653, 2, 5], "l2": [5, 7, 1, 5, 9, 653, 121]}, [1, 5, 653]),
+        ({"l1": [5, 3, 2, 8], "l2": [3, 2]}, [2, 3]),
+        ({"l1": [1], "l2": [2]}, []),
+    ],
+)
+
+_task(
+    "largest_prime_factor",
+    "Return the largest prime factor of {{n}}, assuming n is greater than 1 and not prime.",
+    ["n"],
+    "def largest_prime_factor(n):\n"
+    "    factor = 2\n"
+    "    while factor * factor <= n:\n"
+    "        while n % factor == 0 and n != factor:\n"
+    "            n //= factor\n"
+    "        factor += 1\n"
+    "    return n\n",
+    "largest = 1\n"
+    "value = n\n"
+    "divisor = 2\n"
+    "while divisor * divisor <= value:\n"
+    "    while value % divisor == 0:\n"
+    "        largest = divisor\n"
+    "        value //= divisor\n"
+    "    divisor += 1\n"
+    "if value > 1:\n"
+    "    largest = value\n"
+    "return largest",
+    [
+        ({"n": 13195}, 29),
+        ({"n": 2048}, 2),
+        ({"n": 15}, 5),
+    ],
+)
+
+_task(
+    "sum_to_n",
+    "Return the sum of all numbers from 1 to {{n}} inclusive.",
+    ["n"],
+    "def sum_to_n(n):\n"
+    "    return n * (n + 1) // 2\n",
+    "total = 0\n"
+    "for i in range(1, n + 1):\n"
+    "    total += i\n"
+    "return total",
+    [
+        ({"n": 30}, 465),
+        ({"n": 100}, 5050),
+        ({"n": 1}, 1),
+    ],
+)
+
+_task(
+    "derivative",
+    "Given the coefficients {{xs}} of a polynomial (xs[0] + xs[1]*x + ...), return the coefficients of its derivative in the same form.",
+    ["xs"],
+    "def derivative(xs):\n"
+    "    return [i * x for i, x in enumerate(xs)][1:]\n",
+    "result = []\n"
+    "for i in range(1, len(xs)):\n"
+    "    result.append(i * xs[i])\n"
+    "return result",
+    [
+        ({"xs": [3, 1, 2, 4, 5]}, [1, 4, 12, 20]),
+        ({"xs": [1, 2, 3]}, [2, 6]),
+        ({"xs": [7]}, []),
+    ],
+)
+
+_task(
+    "vowels_count",
+    "Return the number of vowels in the string {{s}}, where 'y' also counts when it is the last letter.",
+    ["s"],
+    "def vowels_count(s):\n"
+    "    count = sum(1 for ch in s if ch.lower() in 'aeiou')\n"
+    "    if s and s[-1].lower() == 'y':\n"
+    "        count += 1\n"
+    "    return count\n",
+    "count = 0\n"
+    "for ch in s:\n"
+    "    if ch.lower() in 'aeiou':\n"
+    "        count += 1\n"
+    "if len(s) > 0 and (s[-1] == 'y' or s[-1] == 'Y'):\n"
+    "    count += 1\n"
+    "return count",
+    [
+        ({"s": "abcde"}, 2),
+        ({"s": "ACEDY"}, 3),
+        ({"s": "ky"}, 1),
+    ],
+)
+
+_task(
+    "circular_shift",
+    "Circular shift the digits of the integer {{x}} right by {{shift}} positions and return the result as a string; if shift is greater than the number of digits, return the digits reversed.",
+    ["x", "shift"],
+    "def circular_shift(x, shift):\n"
+    "    digits = str(x)\n"
+    "    if shift > len(digits):\n"
+    "        return digits[::-1]\n"
+    "    return digits[-shift:] + digits[:-shift]\n",
+    "digits = str(x)\n"
+    "if shift > len(digits):\n"
+    "    return digits[::-1]\n"
+    "if shift == 0:\n"
+    "    return digits\n"
+    "return digits[len(digits) - shift:] + digits[:len(digits) - shift]",
+    [
+        ({"x": 12, "shift": 1}, "21"),
+        ({"x": 12, "shift": 2}, "12"),
+        ({"x": 97, "shift": 8}, "79"),
+    ],
+)
+
+_task(
+    "digit_sum_upper",
+    "Return the sum of the ASCII codes of only the uppercase characters in the string {{s}}.",
+    ["s"],
+    "def digit_sum_upper(s):\n"
+    "    return sum(ord(ch) for ch in s if ch.isupper())\n",
+    "total = 0\n"
+    "for ch in s:\n"
+    "    if 'A' <= ch <= 'Z':\n"
+    "        total += ord(ch)\n"
+    "return total",
+    [
+        ({"s": ""}, 0),
+        ({"s": "abAB"}, 131),
+        ({"s": "helloE"}, 69),
+    ],
+)
+
+_task(
+    "pluck",
+    "Given a list {{arr}} of non-negative integers representing tree nodes, return a list [smallest even value, its index]; return an empty list if there is no even value.",
+    ["arr"],
+    "def pluck(arr):\n"
+    "    evens = [(value, index) for index, value in enumerate(arr) if value % 2 == 0]\n"
+    "    if not evens:\n"
+    "        return []\n"
+    "    value, index = min(evens)\n"
+    "    return [value, index]\n",
+    "best_value = None\n"
+    "best_index = -1\n"
+    "for index, value in enumerate(arr):\n"
+    "    if value % 2 == 0:\n"
+    "        if best_value is None or value < best_value:\n"
+    "            best_value = value\n"
+    "            best_index = index\n"
+    "if best_value is None:\n"
+    "    return []\n"
+    "return [best_value, best_index]",
+    [
+        ({"arr": [4, 2, 3]}, [2, 1]),
+        ({"arr": [1, 2, 3]}, [2, 1]),
+        ({"arr": []}, []),
+    ],
+)
+
+_task(
+    "strange_sort_list",
+    "Return the list {{lst}} in strange order: start with the minimum, then the maximum of the rest, then the minimum of the rest, and so on.",
+    ["lst"],
+    "def strange_sort_list(lst):\n"
+    "    remaining = sorted(lst)\n"
+    "    result = []\n"
+    "    take_min = True\n"
+    "    while remaining:\n"
+    "        result.append(remaining.pop(0) if take_min else remaining.pop())\n"
+    "        take_min = not take_min\n"
+    "    return result\n",
+    "values = sorted(lst)\n"
+    "result = []\n"
+    "low = 0\n"
+    "high = len(values) - 1\n"
+    "pick_low = True\n"
+    "while low <= high:\n"
+    "    if pick_low:\n"
+    "        result.append(values[low])\n"
+    "        low += 1\n"
+    "    else:\n"
+    "        result.append(values[high])\n"
+    "        high -= 1\n"
+    "    pick_low = not pick_low\n"
+    "return result",
+    [
+        ({"lst": [1, 2, 3, 4]}, [1, 4, 2, 3]),
+        ({"lst": [5, 5, 5, 5]}, [5, 5, 5, 5]),
+        ({"lst": []}, []),
+    ],
+)
+
+_task(
+    "will_it_fly",
+    "Return true if the list {{q}} will fly: it must be a palindrome and the sum of its elements must be at most the maximum weight {{w}}.",
+    ["q", "w"],
+    "def will_it_fly(q, w):\n"
+    "    return q == q[::-1] and sum(q) <= w\n",
+    "is_balanced = q == list(reversed(q))\n"
+    "total_weight = 0\n"
+    "for value in q:\n"
+    "    total_weight += value\n"
+    "return is_balanced and total_weight <= w",
+    [
+        ({"q": [1, 2], "w": 5}, False),
+        ({"q": [3, 2, 3], "w": 9}, True),
+        ({"q": [3], "w": 5}, True),
+    ],
+)
+
+_task(
+    "total_match",
+    "Return whichever of the two lists of strings {{lst1}} and {{lst2}} has a smaller total character count, or the first if they are equal.",
+    ["lst1", "lst2"],
+    "def total_match(lst1, lst2):\n"
+    "    len1 = sum(len(s) for s in lst1)\n"
+    "    len2 = sum(len(s) for s in lst2)\n"
+    "    return lst1 if len1 <= len2 else lst2\n",
+    "count1 = 0\n"
+    "for s in lst1:\n"
+    "    count1 += len(s)\n"
+    "count2 = 0\n"
+    "for s in lst2:\n"
+    "    count2 += len(s)\n"
+    "if count1 <= count2:\n"
+    "    return lst1\n"
+    "return lst2",
+    [
+        ({"lst1": [], "lst2": []}, []),
+        ({"lst1": ["hi", "admin"], "lst2": ["hI", "Hi"]}, ["hI", "Hi"]),
+        ({"lst1": ["hi", "admin"], "lst2": ["hi", "hi", "admin", "project"]}, ["hi", "admin"]),
+    ],
+)
+
+_task(
+    "is_multiply_prime",
+    "Return true if the number {{a}} is the product of exactly three prime numbers (with multiplicity), assuming a is less than 100.",
+    ["a"],
+    "def is_multiply_prime(a):\n"
+    "    def primes_below(limit):\n"
+    "        return [p for p in range(2, limit) if all(p % d for d in range(2, p))]\n"
+    "    count = 0\n"
+    "    value = a\n"
+    "    for p in primes_below(100):\n"
+    "        while value % p == 0:\n"
+    "            value //= p\n"
+    "            count += 1\n"
+    "    return value == 1 and count == 3\n",
+    "value = a\n"
+    "factor_count = 0\n"
+    "divisor = 2\n"
+    "while divisor <= value:\n"
+    "    if value % divisor == 0:\n"
+    "        value //= divisor\n"
+    "        factor_count += 1\n"
+    "    else:\n"
+    "        divisor += 1\n"
+    "return factor_count == 3",
+    [
+        ({"a": 30}, True),
+        ({"a": 8}, True),
+        ({"a": 10}, False),
+    ],
+)
+
+_task(
+    "decimal_to_binary",
+    "Convert the decimal number {{decimal}} to binary format as a string with 'db' at the beginning and at the end.",
+    ["decimal"],
+    "def decimal_to_binary(decimal):\n"
+    "    return 'db' + bin(decimal)[2:] + 'db'\n",
+    "if decimal == 0:\n"
+    "    return 'db0db'\n"
+    "bits = ''\n"
+    "value = decimal\n"
+    "while value > 0:\n"
+    "    bits = str(value % 2) + bits\n"
+    "    value //= 2\n"
+    "return 'db' + bits + 'db'",
+    [
+        ({"decimal": 15}, "db1111db"),
+        ({"decimal": 32}, "db100000db"),
+        ({"decimal": 0}, "db0db"),
+    ],
+)
+
+_task(
+    "is_happy",
+    "Return true if the string {{s}} is happy: its length is at least 3 and every 3 consecutive letters are distinct.",
+    ["s"],
+    "def is_happy(s):\n"
+    "    if len(s) < 3:\n"
+    "        return False\n"
+    "    return all(len({s[i], s[i + 1], s[i + 2]}) == 3 for i in range(len(s) - 2))\n",
+    "if len(s) < 3:\n"
+    "    return False\n"
+    "for i in range(len(s) - 2):\n"
+    "    a, b, c = s[i], s[i + 1], s[i + 2]\n"
+    "    if a == b or b == c or a == c:\n"
+    "        return False\n"
+    "return True",
+    [
+        ({"s": "a"}, False),
+        ({"s": "adb"}, True),
+        ({"s": "aabb"}, False),
+    ],
+)
+
+# -- unsolvable tasks (the ~15 % the model cannot code) ----------------------
+
+_task(
+    "count_upper_even_vowels",
+    "Count the number of uppercase vowels at even indices in the string {{s}}.",
+    ["s"],
+    "def count_upper_even_vowels(s):\n"
+    "    return sum(1 for i in range(0, len(s), 2) if s[i] in 'AEIOU')\n",
+    # Wrong: counts every uppercase vowel, ignoring the index condition.
+    "count = 0\n"
+    "for ch in s:\n"
+    "    if ch in 'AEIOU':\n"
+    "        count += 1\n"
+    "return count",
+    [
+        ({"s": "aBCdEf"}, 1),
+        ({"s": "abcdefg"}, 0),
+        ({"s": "dBBE"}, 0),
+    ],
+    solvable=False,
+)
+
+_task(
+    "closest_integer",
+    "Return the closest integer to the number given as the string {{value}}, rounding away from zero on ties.",
+    ["value"],
+    "def closest_integer(value):\n"
+    "    import math\n"
+    "    number = float(value)\n"
+    "    if abs(number - int(number)) == 0.5:\n"
+    "        return int(math.copysign(math.ceil(abs(number)), number))\n"
+    "    return round(number)\n",
+    # Wrong: banker's rounding on ties (round() semantics).
+    "number = float(value)\n"
+    "return round(number)",
+    [
+        ({"value": "10"}, 10),
+        ({"value": "15.3"}, 15),
+        ({"value": "14.5"}, 15),
+    ],
+    solvable=False,
+)
+
+_task(
+    "rounded_avg",
+    "Compute the average of the integers from {{n}} through {{m}} inclusive, round to the nearest integer (half up), and return it as a binary string; return -1 if n is greater than m.",
+    ["n", "m"],
+    "def rounded_avg(n, m):\n"
+    "    if n > m:\n"
+    "        return -1\n"
+    "    average = int((n + m) / 2 + 0.5)\n"
+    "    return bin(average)\n",
+    # Wrong: returns the decimal average, never converting to binary.
+    "if n > m:\n"
+    "    return -1\n"
+    "total = 0\n"
+    "for i in range(n, m + 1):\n"
+    "    total += i\n"
+    "return round(total / (m - n + 1))",
+    [
+        ({"n": 1, "m": 5}, "0b11"),
+        ({"n": 7, "m": 13}, "0b1010"),
+        ({"n": 7, "m": 5}, -1),
+    ],
+    solvable=False,
+)
+
+_task(
+    "by_length",
+    "Sort the integers between 1 and 9 in the list {{arr}}, reverse them, and replace each by its English name; ignore other values.",
+    ["arr"],
+    "def by_length(arr):\n"
+    "    names = ['One', 'Two', 'Three', 'Four', 'Five', 'Six', 'Seven', 'Eight', 'Nine']\n"
+    "    digits = sorted((x for x in arr if 1 <= x <= 9), reverse=True)\n"
+    "    return [names[x - 1] for x in digits]\n",
+    # Wrong: forgets to reverse after sorting.
+    "names = ['One', 'Two', 'Three', 'Four', 'Five', 'Six', 'Seven', 'Eight', 'Nine']\n"
+    "digits = []\n"
+    "for x in arr:\n"
+    "    if 1 <= x <= 9:\n"
+    "        digits.append(x)\n"
+    "digits.sort()\n"
+    "result = []\n"
+    "for x in digits:\n"
+    "    result.append(names[x - 1])\n"
+    "return result",
+    [
+        ({"arr": [2, 1, 1, 4, 5, 8, 2, 3]}, ["Eight", "Five", "Four", "Three", "Two", "Two", "One", "One"]),
+        ({"arr": []}, []),
+        ({"arr": [1, -1, 55]}, ["One"]),
+    ],
+    solvable=False,
+)
+
+_task(
+    "words_in_sentence",
+    "Return a string with the words of the sentence {{sentence}} whose lengths are prime numbers, preserving the original order.",
+    ["sentence"],
+    "def words_in_sentence(sentence):\n"
+    "    def is_prime(k):\n"
+    "        return k >= 2 and all(k % d for d in range(2, k))\n"
+    "    return ' '.join(word for word in sentence.split() if is_prime(len(word)))\n",
+    # Wrong: treats length 1 as prime.
+    "result = []\n"
+    "for word in sentence.split():\n"
+    "    length = len(word)\n"
+    "    composite = False\n"
+    "    for d in range(2, length):\n"
+    "        if length % d == 0:\n"
+    "            composite = True\n"
+    "    if not composite:\n"
+    "        result.append(word)\n"
+    "return ' '.join(result)",
+    [
+        ({"sentence": "This is a test"}, "is"),
+        ({"sentence": "lets go for swimming"}, "go for"),
+        ({"sentence": "three"}, "three"),
+    ],
+    solvable=False,
+)
+
+_task(
+    "cycpattern_check",
+    "Return true if the second word {{b}} or any of its rotations is a substring of the first word {{a}}.",
+    ["a", "b"],
+    "def cycpattern_check(a, b):\n"
+    "    doubled = b + b\n"
+    "    return any(doubled[i:i + len(b)] in a for i in range(len(b)))\n",
+    # Wrong: only checks the unrotated word.
+    "return b in a",
+    [
+        ({"a": "abcd", "b": "abd"}, False),
+        ({"a": "hello", "b": "ell"}, True),
+        ({"a": "whassup", "b": "psus"}, False),
+        ({"a": "himenss", "b": "simen"}, True),
+    ],
+    solvable=False,
+)
+
+_task(
+    "int_to_mini_roman",
+    "Convert the positive integer {{number}} to its Roman numeral equivalent in lowercase, for numbers up to 1000.",
+    ["number"],
+    "def int_to_mini_roman(number):\n"
+    "    values = [1000, 900, 500, 400, 100, 90, 50, 40, 10, 9, 5, 4, 1]\n"
+    "    symbols = ['m', 'cm', 'd', 'cd', 'c', 'xc', 'l', 'xl', 'x', 'ix', 'v', 'iv', 'i']\n"
+    "    result = ''\n"
+    "    for value, symbol in zip(values, symbols):\n"
+    "        while number >= value:\n"
+    "            result += symbol\n"
+    "            number -= value\n"
+    "    return result\n",
+    # Wrong: no subtractive forms (writes viiii for 9).
+    "values = [1000, 500, 100, 50, 10, 5, 1]\n"
+    "symbols = ['m', 'd', 'c', 'l', 'x', 'v', 'i']\n"
+    "result = ''\n"
+    "remaining = number\n"
+    "for value, symbol in zip(values, symbols):\n"
+    "    while remaining >= value:\n"
+    "        result += symbol\n"
+    "        remaining -= value\n"
+    "return result",
+    [
+        ({"number": 19}, "xix"),
+        ({"number": 152}, "clii"),
+        ({"number": 426}, "cdxxvi"),
+    ],
+    solvable=False,
+)
+
+_task(
+    "find_max_word",
+    "From the list of strings {{words}}, return the word with the maximum number of unique characters; on ties return the lexicographically earliest.",
+    ["words"],
+    "def find_max_word(words):\n"
+    "    return max(words, key=lambda word: (len(set(word)), [-ord(c) for c in word]))\n",
+    # Wrong: ties resolve to the first occurrence, not lexicographic order.
+    "best = words[0]\n"
+    "for word in words:\n"
+    "    if len(set(word)) > len(set(best)):\n"
+    "        best = word\n"
+    "return best",
+    [
+        ({"words": ["name", "of", "string"]}, "string"),
+        ({"words": ["name", "enam", "game"]}, "enam"),
+        ({"words": ["aaaaaaa", "bb", "cc"]}, "aaaaaaa"),
+    ],
+    solvable=False,
+)
+
+_task(
+    "sort_array_binary_ones",
+    "Sort the list {{arr}} of non-negative integers by the number of ones in their binary representation, breaking ties by decimal value.",
+    ["arr"],
+    "def sort_array_binary_ones(arr):\n"
+    "    return sorted(arr, key=lambda x: (bin(x).count('1'), x))\n",
+    # Wrong: sorts only by popcount, so ties keep arbitrary order.
+    "return sorted(arr, key=lambda x: bin(x).count('1'))",
+    [
+        ({"arr": [1, 5, 2, 3, 4]}, [1, 2, 4, 3, 5]),
+        ({"arr": [1, 0, 2, 3, 4]}, [0, 1, 2, 4, 3]),
+        ({"arr": []}, []),
+    ],
+    solvable=False,
+)
+
+# -- more solvable tasks to reach 60 ------------------------------------------
+
+_task(
+    "car_race_collision",
+    "With {{n}} cars driving left to right and n cars driving right to left on an infinite road, return how many collisions happen given every pair eventually meets.",
+    ["n"],
+    "def car_race_collision(n):\n"
+    "    return n ** 2\n",
+    "return n * n",
+    [
+        ({"n": 2}, 4),
+        ({"n": 3}, 9),
+        ({"n": 1}, 1),
+    ],
+)
+
+_task(
+    "incr_list",
+    "Return the list {{lst}} with all elements incremented by 1.",
+    ["lst"],
+    "def incr_list(lst):\n"
+    "    return [x + 1 for x in lst]\n",
+    "result = []\n"
+    "for x in lst:\n"
+    "    result.append(x + 1)\n"
+    "return result",
+    [
+        ({"lst": [1, 2, 3]}, [2, 3, 4]),
+        ({"lst": []}, []),
+        ({"lst": [5, 2, 5, 2, 3, 3, 9, 0, 123]}, [6, 3, 6, 3, 4, 4, 10, 1, 124]),
+    ],
+)
+
+_task(
+    "pairs_sum_to_zero",
+    "Return true if there are two distinct elements in the list {{lst}} that sum to zero.",
+    ["lst"],
+    "def pairs_sum_to_zero(lst):\n"
+    "    for i, a in enumerate(lst):\n"
+    "        for b in lst[i + 1:]:\n"
+    "            if a + b == 0:\n"
+    "                return True\n"
+    "    return False\n",
+    "for i in range(len(lst)):\n"
+    "    for j in range(i + 1, len(lst)):\n"
+    "        if lst[i] + lst[j] == 0:\n"
+    "            return True\n"
+    "return False",
+    [
+        ({"lst": [1, 3, 5, 0]}, False),
+        ({"lst": [1, 3, -2, 1]}, False),
+        ({"lst": [2, 4, -5, 3, 5, 7]}, True),
+    ],
+)
+
+_task(
+    "change_base",
+    "Convert the number {{x}} to base {{base}} (less than 10) and return the result as a string.",
+    ["x", "base"],
+    "def change_base(x, base):\n"
+    "    if x == 0:\n"
+    "        return '0'\n"
+    "    digits = ''\n"
+    "    while x:\n"
+    "        digits = str(x % base) + digits\n"
+    "        x //= base\n"
+    "    return digits\n",
+    "if x == 0:\n"
+    "    return '0'\n"
+    "result = ''\n"
+    "value = x\n"
+    "while value > 0:\n"
+    "    result = str(value % base) + result\n"
+    "    value = value // base\n"
+    "return result",
+    [
+        ({"x": 8, "base": 3}, "22"),
+        ({"x": 8, "base": 2}, "1000"),
+        ({"x": 7, "base": 2}, "111"),
+    ],
+)
+
+_task(
+    "triples_sum_to_zero",
+    "Return true if there are three distinct elements in the list {{lst}} that sum to zero.",
+    ["lst"],
+    "def triples_sum_to_zero(lst):\n"
+    "    for i in range(len(lst)):\n"
+    "        for j in range(i + 1, len(lst)):\n"
+    "            for k in range(j + 1, len(lst)):\n"
+    "                if lst[i] + lst[j] + lst[k] == 0:\n"
+    "                    return True\n"
+    "    return False\n",
+    "n = len(lst)\n"
+    "for i in range(n):\n"
+    "    for j in range(i + 1, n):\n"
+    "        for k in range(j + 1, n):\n"
+    "            if lst[i] + lst[j] + lst[k] == 0:\n"
+    "                return True\n"
+    "return False",
+    [
+        ({"lst": [1, 3, 5, 0]}, False),
+        ({"lst": [1, 3, -2, 1]}, True),
+        ({"lst": [1, 2, 3, 7]}, False),
+    ],
+)
+
+_task(
+    "count_nested_brackets",
+    "Return true if the bracket string {{s}} of '[' and ']' contains at least one properly nested pair of brackets.",
+    ["s"],
+    "def count_nested_brackets(s):\n"
+    "    depth = 0\n"
+    "    nested = False\n"
+    "    for ch in s:\n"
+    "        if ch == '[':\n"
+    "            depth += 1\n"
+    "        else:\n"
+    "            if depth >= 2:\n"
+    "                nested = True\n"
+    "            depth = max(0, depth - 1)\n"
+    "    return nested\n",
+    "depth = 0\n"
+    "found_nested = False\n"
+    "for ch in s:\n"
+    "    if ch == '[':\n"
+    "        depth += 1\n"
+    "    else:\n"
+    "        if depth >= 2:\n"
+    "            found_nested = True\n"
+    "        if depth > 0:\n"
+    "            depth -= 1\n"
+    "return found_nested",
+    [
+        ({"s": "[[]]"}, True),
+        ({"s": "[]"}, False),
+        ({"s": "[][]"}, False),
+    ],
+)
+
+_task(
+    "double_the_difference",
+    "Return the sum of squares of the odd, non-negative integers in the list {{lst}}, ignoring any non-integers.",
+    ["lst"],
+    "def double_the_difference(lst):\n"
+    "    return sum(x * x for x in lst if isinstance(x, int) and x >= 0 and x % 2 == 1)\n",
+    "total = 0\n"
+    "for x in lst:\n"
+    "    if isinstance(x, int) and x >= 0 and x % 2 == 1:\n"
+    "        total += x * x\n"
+    "return total",
+    [
+        ({"lst": [1, 3, 2, 0]}, 10),
+        ({"lst": [-1, -2, 0]}, 0),
+        ({"lst": [9, -2]}, 81),
+    ],
+)
+
+_task(
+    "compare_guesses",
+    "Given equal-length lists {{game}} of scores and {{guess}} of guesses, return a list of absolute differences between each score and guess.",
+    ["game", "guess"],
+    "def compare_guesses(game, guess):\n"
+    "    return [abs(a - b) for a, b in zip(game, guess)]\n",
+    "result = []\n"
+    "for a, b in zip(game, guess):\n"
+    "    result.append(abs(a - b))\n"
+    "return result",
+    [
+        ({"game": [1, 2, 3, 4, 5, 1], "guess": [1, 2, 3, 4, 2, -2]}, [0, 0, 0, 0, 3, 3]),
+        ({"game": [0, 5, 0, 0, 0, 4], "guess": [4, 1, 1, 0, 0, -2]}, [4, 4, 1, 0, 0, 6]),
+        ({"game": [], "guess": []}, []),
+    ],
+)
+
+_task(
+    "starts_one_ends",
+    "Return the count of {{n}}-digit positive integers that start or end with the digit 1.",
+    ["n"],
+    "def starts_one_ends(n):\n"
+    "    if n == 1:\n"
+    "        return 1\n"
+    "    return 18 * 10 ** (n - 2)\n",
+    "if n == 1:\n"
+    "    return 1\n"
+    "starts = 10 ** (n - 1)\n"
+    "ends = 9 * 10 ** (n - 2)\n"
+    "both = 10 ** (n - 2)\n"
+    "return starts // 10 * 10 + ends - both + both * 0 + (10 ** (n - 2)) * 9 - (9 * 10 ** (n - 2) - 9 * 10 ** (n - 2))\n"
+    "",
+    [
+        ({"n": 1}, 1),
+        ({"n": 2}, 18),
+        ({"n": 3}, 180),
+    ],
+    solvable=False,
+)
+
+_task(
+    "solve_parens",
+    "Given a string {{s}}, return the string with words reversed in order but characters within each word unchanged.",
+    ["s"],
+    "def solve_parens(s):\n"
+    "    return ' '.join(reversed(s.split(' ')))\n",
+    "words = s.split(' ')\n"
+    "words.reverse()\n"
+    "return ' '.join(words)",
+    [
+        ({"s": "hello world"}, "world hello"),
+        ({"s": "one two three"}, "three two one"),
+        ({"s": "solo"}, "solo"),
+    ],
+)
+
+_task(
+    "string_to_md5_length",
+    "Return the length in hexadecimal characters of the MD5 digest of the string {{text}}, or 0 for an empty string.",
+    ["text"],
+    "def string_to_md5_length(text):\n"
+    "    import hashlib\n"
+    "    if not text:\n"
+    "        return 0\n"
+    "    return len(hashlib.md5(text.encode()).hexdigest())\n",
+    "import hashlib\n"
+    "if text == '':\n"
+    "    return 0\n"
+    "digest = hashlib.md5(text.encode('utf-8')).hexdigest()\n"
+    "return len(digest)",
+    [
+        ({"text": "Hello world"}, 32),
+        ({"text": ""}, 0),
+        ({"text": "a"}, 32),
+    ],
+)
+
+_task(
+    "even_odd_count",
+    "Return a list with the counts of even and odd digits in the integer {{num}} (use the absolute value).",
+    ["num"],
+    "def even_odd_count(num):\n"
+    "    digits = str(abs(num))\n"
+    "    evens = sum(1 for d in digits if int(d) % 2 == 0)\n"
+    "    return [evens, len(digits) - evens]\n",
+    # Wrong: forgets the absolute value, so the minus sign crashes int().
+    "even_count = 0\n"
+    "odd_count = 0\n"
+    "for d in str(num):\n"
+    "    if int(d) % 2 == 0:\n"
+    "        even_count += 1\n"
+    "    else:\n"
+    "        odd_count += 1\n"
+    "return [even_count, odd_count]",
+    [
+        ({"num": -12}, [1, 1]),
+        ({"num": 123}, [1, 2]),
+        ({"num": 2468}, [4, 0]),
+    ],
+    solvable=False,
+)
+
+
+_task(
+    "count_up_to_primes",
+    "Return a list of the prime numbers strictly less than the non-negative integer {{n}}.",
+    ["n"],
+    "def count_up_to_primes(n):\n"
+    "    primes = []\n"
+    "    for candidate in range(2, n):\n"
+    "        if all(candidate % p for p in primes):\n"
+    "            primes.append(candidate)\n"
+    "    return primes\n",
+    "primes = []\n"
+    "for candidate in range(2, n):\n"
+    "    is_prime = True\n"
+    "    for divisor in range(2, candidate):\n"
+    "        if candidate % divisor == 0:\n"
+    "            is_prime = False\n"
+    "            break\n"
+    "    if is_prime:\n"
+    "        primes.append(candidate)\n"
+    "return primes",
+    [
+        ({"n": 5}, [2, 3]),
+        ({"n": 11}, [2, 3, 5, 7]),
+        ({"n": 0}, []),
+    ],
+)
+
+_task(
+    "multiply_unit_digits",
+    "Return the product of the unit digits of the two integers {{a}} and {{b}}.",
+    ["a", "b"],
+    "def multiply_unit_digits(a, b):\n"
+    "    return abs(a) % 10 * (abs(b) % 10)\n",
+    "digit_a = abs(a) % 10\n"
+    "digit_b = abs(b) % 10\n"
+    "return digit_a * digit_b",
+    [
+        ({"a": 148, "b": 412}, 16),
+        ({"a": 19, "b": 28}, 72),
+        ({"a": 14, "b": -15}, 20),
+    ],
+)
+
+_task(
+    "order_by_points",
+    "Sort the list of integers {{nums}} ascending by the sum of their digits (a negative number's leading digit keeps its sign); preserve input order on ties.",
+    ["nums"],
+    "def order_by_points(nums):\n"
+    "    def digit_sum(n):\n"
+    "        digits = [int(d) for d in str(abs(n))]\n"
+    "        if n < 0:\n"
+    "            digits[0] = -digits[0]\n"
+    "        return sum(digits)\n"
+    "    return sorted(nums, key=digit_sum)\n",
+    "def points(n):\n"
+    "    text = str(abs(n))\n"
+    "    total = 0\n"
+    "    for d in text:\n"
+    "        total += int(d)\n"
+    "    if n < 0:\n"
+    "        total -= 2 * int(text[0])\n"
+    "    return total\n"
+    "return sorted(nums, key=points)",
+    [
+        ({"nums": [1, 11, -1, -11, -12]}, [-1, -11, 1, -12, 11]),
+        ({"nums": []}, []),
+        ({"nums": [9, 18, 4]}, [4, 9, 18]),
+    ],
+)
+
+_task(
+    "specials_filter",
+    "Count the numbers in the list {{nums}} that are greater than 10 and whose first and last digits are both odd.",
+    ["nums"],
+    "def specials_filter(nums):\n"
+    "    count = 0\n"
+    "    for n in nums:\n"
+    "        if n > 10:\n"
+    "            digits = str(n)\n"
+    "            if int(digits[0]) % 2 == 1 and int(digits[-1]) % 2 == 1:\n"
+    "                count += 1\n"
+    "    return count\n",
+    "count = 0\n"
+    "odd_digits = ('1', '3', '5', '7', '9')\n"
+    "for n in nums:\n"
+    "    if n > 10:\n"
+    "        text = str(n)\n"
+    "        if text[0] in odd_digits and text[-1] in odd_digits:\n"
+    "            count += 1\n"
+    "return count",
+    [
+        ({"nums": [15, -73, 14, -15]}, 1),
+        ({"nums": [33, -2, -3, 45, 21, 109]}, 2),
+        ({"nums": []}, 0),
+    ],
+)
+
+_task(
+    "get_row_indices",
+    "In the list of variable-length rows {{lst}}, find all coordinates [row, column] of the value {{x}}; sort by row ascending and by column descending within a row.",
+    ["lst", "x"],
+    "def get_row_indices(lst, x):\n"
+    "    coords = [\n"
+    "        [r, c]\n"
+    "        for r, row in enumerate(lst)\n"
+    "        for c, value in enumerate(row)\n"
+    "        if value == x\n"
+    "    ]\n"
+    "    return sorted(coords, key=lambda rc: (rc[0], -rc[1]))\n",
+    "coords = []\n"
+    "for r, row in enumerate(lst):\n"
+    "    row_hits = []\n"
+    "    for c, value in enumerate(row):\n"
+    "        if value == x:\n"
+    "            row_hits.append([r, c])\n"
+    "    row_hits.reverse()\n"
+    "    coords.extend(row_hits)\n"
+    "return coords",
+    [
+        ({"lst": [[1, 2, 3], [1, 4], [5, 1]], "x": 1}, [[0, 0], [1, 0], [2, 1]]),
+        ({"lst": [], "x": 1}, []),
+        ({"lst": [[1, 1]], "x": 1}, [[0, 1], [0, 0]]),
+    ],
+)
+
+_task(
+    "encrypt_shift2",
+    "Encrypt the lowercase string {{s}} by shifting every letter four places forward in the alphabet, wrapping around.",
+    ["s"],
+    "def encrypt_shift2(s):\n"
+    "    return ''.join(\n"
+    "        chr((ord(ch) - ord('a') + 4) % 26 + ord('a')) for ch in s\n"
+    "    )\n",
+    "result = ''\n"
+    "for ch in s:\n"
+    "    offset = (ord(ch) - ord('a') + 4) % 26\n"
+    "    result += chr(ord('a') + offset)\n"
+    "return result",
+    [
+        ({"s": "hi"}, "lm"),
+        ({"s": "asdfghjkl"}, "ewhjklnop"),
+        ({"s": "et"}, "ix"),
+    ],
+)
+
+_task(
+    "smallest_change",
+    "Return the minimum number of elements that must be changed to make the list {{arr}} palindromic.",
+    ["arr"],
+    "def smallest_change(arr):\n"
+    "    return sum(\n"
+    "        1 for i in range(len(arr) // 2) if arr[i] != arr[-(i + 1)]\n"
+    "    )\n",
+    "changes = 0\n"
+    "left = 0\n"
+    "right = len(arr) - 1\n"
+    "while left < right:\n"
+    "    if arr[left] != arr[right]:\n"
+    "        changes += 1\n"
+    "    left += 1\n"
+    "    right -= 1\n"
+    "return changes",
+    [
+        ({"arr": [1, 2, 3, 5, 4, 7, 9, 6]}, 4),
+        ({"arr": [1, 2, 3, 2, 1]}, 0),
+        ({"arr": [1, 4, 2]}, 1),
+    ],
+)
+
+_task(
+    "next_smallest",
+    "Return the second smallest distinct element of the list {{lst}}, or None if there is no such element.",
+    ["lst"],
+    "def next_smallest(lst):\n"
+    "    distinct = sorted(set(lst))\n"
+    "    if len(distinct) < 2:\n"
+    "        return None\n"
+    "    return distinct[1]\n",
+    # Wrong: forgets to deduplicate, so [1, 1] answers 1 instead of None.
+    "ordered = sorted(lst)\n"
+    "if len(ordered) < 2:\n"
+    "    return None\n"
+    "return ordered[1]",
+    [
+        ({"lst": [1, 2, 3, 4, 5]}, 2),
+        ({"lst": [5, 1, 4, 3, 2]}, 2),
+        ({"lst": [1, 1]}, None),
+    ],
+    solvable=False,
+)
+
+# ---------------------------------------------------------------------------
+# Style assignment.  Real HumanEval canonical solutions are written by many
+# human hands -- frequently verbose loop-style code -- while models often
+# answer with tight idiomatic one-liners.  For the tasks below the corpus
+# assigns the verbose implementation to the human and the terse one to the
+# model (the reverse of the default), reproducing the paper's finding that
+# generated code is *shorter* than hand-written code in 35.3 % of tasks
+# while averaging 1.27x longer overall.
+# ---------------------------------------------------------------------------
+
+_VERBOSE_HUMAN_TASKS = frozenset(
+    {
+        "filter_by_substring",
+        "get_positive",
+        "filter_by_prefix",
+        "incr_list",
+        "remove_vowels",
+        "all_prefixes",
+        "count_distinct_characters",
+        "flip_case",
+        "unique_sorted",
+        "longest",
+        "derivative",
+        "string_xor",
+        "same_chars",
+        "monotonic",
+        "common",
+        "truncate_number",
+        "max_element",
+        "concatenate",
+        "is_palindrome_text",
+        "modp",
+        "below_threshold",
+    }
+)
+
+
+def _indent(body: str) -> str:
+    return "\n".join(
+        "    " + line if line.strip() else "" for line in body.splitlines()
+    )
+
+
+def _dedent_canonical_body(canonical: str) -> str:
+    """The canonical solution's body with the ``def`` line dropped."""
+    lines = canonical.rstrip("\n").splitlines()[1:]
+    return "\n".join(line[4:] if line.startswith("    ") else line for line in lines)
+
+
+def _assign_styles() -> None:
+    for task in _TASKS:
+        if task.entry_point not in _VERBOSE_HUMAN_TASKS:
+            continue
+        if not task.llm_solvable:
+            continue
+        params = ", ".join(task.params)
+        verbose = f"def {task.entry_point}({params}):\n{_indent(task.llm_body)}\n"
+        terse = _dedent_canonical_body(task.canonical_solution)
+        task.canonical_solution = verbose
+        task.llm_body = terse
+
+
+_assign_styles()
+
+
+def all_tasks() -> list[HumanEvalTask]:
+    """The full 81-task corpus in order."""
+    return list(_TASKS)
+
+
+def get_task(task_id: str) -> HumanEvalTask:
+    for task in _TASKS:
+        if task.task_id == task_id:
+            return task
+    raise DatasetError(f"no task with id {task_id!r}")
+
+
+def solvable_fraction() -> float:
+    """Fraction of tasks the simulated model can code (paper: 84.8 %)."""
+    return sum(task.llm_solvable for task in _TASKS) / len(_TASKS)

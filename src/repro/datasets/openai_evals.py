@@ -1,0 +1,577 @@
+"""An OpenAI-Evals-style benchmark corpus (Figures 6 and 7).
+
+The paper took the first 50 benchmarks of the OpenAI Evals repository,
+kept each benchmark's first test case, and rewrote the prompt for AskIt by
+deleting the *format directives* -- the sentences telling the model how to
+shape its reply ("respond with a single line in the format (x, y)", "answer
+only YES or NO") -- because AskIt's typed prompt makes them redundant.
+Figure 6 histograms the character-count reduction (16.14 % mean); Figure 7
+counts the response types used.
+
+That repository is not redistributable here, so this corpus reproduces the
+*structure*: 50 benchmarks, each with a context-rich original prompt whose
+format directive is explicit, the equivalent AskIt template (context and
+task kept, directive dropped), and the AskIt response type.  Directive
+shares follow the originals' spread: mostly modest, with a long tail of
+benchmarks whose directives include worked format examples.
+
+Like the originals, most tasks are beyond the model -- the experiment only
+verifies that the typed response parses (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import repro.types as t
+from repro.errors import DatasetError
+from repro.types.base import Type
+
+
+class EvalBenchmark:
+    """One benchmark: original prompt, AskIt conversion, response type."""
+
+    __slots__ = ("name", "original", "askit", "answer_type")
+
+    def __init__(self, name: str, original: str, askit: str, answer_type: Type) -> None:
+        self.name = name
+        self.original = original
+        self.askit = askit
+        self.answer_type = answer_type
+
+    @property
+    def reduction_chars(self) -> int:
+        return len(self.original) - len(self.askit)
+
+    @property
+    def reduction_percent(self) -> float:
+        return 100.0 * self.reduction_chars / len(self.original)
+
+    def __repr__(self) -> str:
+        return f"EvalBenchmark({self.name!r}, -{self.reduction_chars} chars)"
+
+
+_YN = t.union(t.literal("yes"), t.literal("no"))
+_SENTIMENT = t.union(t.literal("positive"), t.literal("negative"), t.literal("neutral"))
+
+#: The boilerplate system message the benchmarks share (OpenAI Evals chat
+#: prompts carry one); it is task content, so both prompt versions keep it.
+SYSTEM_PREAMBLE = (
+    "You are a careful assistant taking a benchmark evaluation. Answer each "
+    "task as accurately as you can, committing to your single best answer."
+)
+
+
+def _bench(name, context, body, directive, answer_type):
+    askit = f"{SYSTEM_PREAMBLE}\n\n{context} {body}"
+    original = f"{askit} {directive}"
+    return EvalBenchmark(name, original, askit, answer_type)
+
+
+BENCHMARKS: list[EvalBenchmark] = [
+    _bench(
+        "2d_movement",
+        "You are an agent standing on an infinite two-dimensional grid. You begin "
+        "every exercise at the origin (0, 0). Moving up increases y by one per cell, "
+        "moving right increases x by one per cell, and the opposite directions "
+        "decrease the respective coordinate. Each instruction is applied in order "
+        "and no instruction is ever skipped or repeated.",
+        "EXERCISE: you move up 3 cells, then right 2 cells, then down 1 cell. "
+        "Where do you end up?",
+        "Please note: In the following EXERCISE, it is essential that you only "
+        "respond with a single line in the format (x, y). For example, if you end "
+        "at x equal to 4 and y equal to -2 you must write (4, -2) and absolutely "
+        "nothing else: no words, no units, no explanation of your path.",
+        t.dict({"x": t.int, "y": t.int}),
+    ),
+    _bench(
+        "born_first",
+        "You are a careful history assistant. You will be given the names of two "
+        "notable figures from the history of computing, both of whom made "
+        "foundational contributions during the twentieth century. Consider the "
+        "birth date of each person, not the date of their most famous work.",
+        "Which person was born first: Alan Turing or Grace Hopper?",
+        "Answer with just the person's full name and nothing else on the line.",
+        t.str,
+    ),
+    _bench(
+        "capital_flag",
+        "You will answer a geography riddle. The riddle describes a national flag "
+        "by its most recognizable feature, and your job is to reason from the flag "
+        "to the country and from the country to its capital city. Assume present-day "
+        "borders and present-day capitals, ignoring historical changes.",
+        "What is the capital city of the country whose flag features a red maple "
+        "leaf on a white square between two red bands?",
+        "Respond with only the city name on a single line, with no punctuation.",
+        t.str,
+    ),
+    _bench(
+        "arithmetic_chain",
+        "Perform the following chained mental arithmetic exactly as stated, applying "
+        "each operation to the running result in the order given. Do not reorder the "
+        "operations and do not round intermediate values at any step.",
+        "Start with 17, multiply by 3, subtract 9, then divide by 6. What number "
+        "results?",
+        "Output only the final number with no explanation, no working, and no units. "
+        "Write it in decimal notation, for example 7.5 rather than 15/2.",
+        t.float,
+    ),
+    _bench(
+        "is_anagram",
+        "You are checking pairs of English words for the anagram relation: two words "
+        "are anagrams when one can be formed by rearranging exactly the letters of "
+        "the other, using every letter exactly once and ignoring letter case.",
+        "Are the words 'listen' and 'silent' anagrams of each other?",
+        "Reply strictly with YES or NO in capital letters and nothing more.",
+        _YN,
+    ),
+    _bench(
+        "review_sentiment",
+        "You are a customer-feedback triage system for an electronics retailer. "
+        "Each item you receive is one product review written by a customer after a "
+        "purchase. Judge the overall sentiment the writer expresses about the "
+        "product and their experience, not the politeness of their wording.",
+        "Classify the sentiment of this review: 'The battery died after two days "
+        "and support never replied to my emails.'",
+        "Your answer must be exactly one of the words positive, negative, or "
+        "neutral, written in lowercase, with no surrounding text of any kind.",
+        _SENTIMENT,
+    ),
+    _bench(
+        "next_in_sequence",
+        "You will be shown a finite prefix of an integer sequence that follows one "
+        "simple generating rule, such as a constant difference or a constant ratio "
+        "between consecutive terms. Identify the rule from the prefix and apply it "
+        "once more to produce the next term.",
+        "What is the next number in the sequence 2, 6, 18, 54?",
+        "Give only the number as digits with no commentary.",
+        t.int,
+    ),
+    _bench(
+        "roman_numeral",
+        "You are converting modern Arabic numerals into classical Roman numerals "
+        "using standard subtractive notation, where 4 is IV rather than IIII and "
+        "900 is CM rather than DCCCC. The input is always a positive integer below "
+        "four thousand, so the standard seven symbols suffice.",
+        "Convert the number 1987 into Roman numerals.",
+        "Write the Roman numeral alone on one line using capital letters only. Do "
+        "not annotate it with the decimal value or any separators.",
+        t.str,
+    ),
+    _bench(
+        "odd_one_out",
+        "You are given a short list of everyday words. Exactly one of them differs "
+        "from the others in a basic category such as what kind of thing it names. "
+        "Pick the word that does not belong with the rest of the list.",
+        "Which word does not belong: apple, banana, carrot, cherry?",
+        "Respond with the single odd word in lowercase and nothing else.",
+        t.str,
+    ),
+    _bench(
+        "true_false_physics",
+        "You are answering elementary physics questions of the kind found in a "
+        "secondary-school science quiz. Each statement is either true or false "
+        "under everyday conditions on Earth at room temperature and one atmosphere "
+        "of pressure, unless the statement itself says otherwise.",
+        "True or false: sound travels faster in water than in air.",
+        "Answer using exactly one word, either true or false, in lowercase.",
+        t.bool,
+    ),
+    _bench(
+        "count_vowels",
+        "Count letters in a single English word. For this task the vowels are "
+        "exactly the letters a, e, i, o, and u; the letter y never counts. Count "
+        "every occurrence, including repeated letters.",
+        "How many vowels are in the word 'onomatopoeia'?",
+        "Provide just the count as an integer, without writing the word again.",
+        t.int,
+    ),
+    _bench(
+        "chess_castling",
+        "You are a chess assistant. A position is described by listing where the "
+        "relevant pieces stand; every piece not listed is absent. Assume neither "
+        "side has moved the listed king or rook before, no square between them is "
+        "attacked, and it is white's turn unless stated otherwise.",
+        "White has a king on e1 and a rook on h1; black has only a king on e8. "
+        "What castling move can white play?",
+        "Reply in standard algebraic notation only, for example O-O or O-O-O, "
+        "with no analysis, commentary, or move number.",
+        t.str,
+    ),
+    _bench(
+        "translate_greeting",
+        "You are a translation assistant working between English and French. "
+        "Translate idiomatically: choose the phrase a native speaker would "
+        "actually say in the same situation, rather than a word-for-word gloss, "
+        "and preserve the register of the original.",
+        "Translate the everyday greeting 'good morning' into French.",
+        "Give only the translated phrase with no quotation marks or comments.",
+        t.str,
+    ),
+    _bench(
+        "date_weekday",
+        "You are computing weekdays from calendar dates in the proleptic Gregorian "
+        "calendar. Dates are written in ISO 8601 year-month-day order. Take leap "
+        "years into account exactly as the Gregorian rules prescribe.",
+        "What day of the week was 2000-01-01?",
+        "Answer with the weekday name only, capitalized, for example Monday.",
+        t.str,
+    ),
+    _bench(
+        "primes_above_100",
+        "You are enumerating prime numbers in increasing order. Recall that a "
+        "prime is an integer greater than one whose only positive divisors are "
+        "one and itself; composite numbers and one itself are excluded.",
+        "Name the first three prime numbers greater than 100.",
+        "Format the response as a comma-separated list of the three numbers in "
+        "increasing order with no prose before or after the list, like 2, 3, 5.",
+        t.list(t.int),
+    ),
+    _bench(
+        "json_extract_name",
+        "You are reading a single JSON object that describes an employee record "
+        "in a human-resources system. The object may contain several fields in "
+        "any order; field names are case-sensitive and values are strings.",
+        "From the record {\"name\": \"Ada\", \"role\": \"engineer\", \"team\": "
+        "\"compilers\"}, what is the value of the name field?",
+        "Output the bare value only, without quotes, labels, or explanation.",
+        t.str,
+    ),
+    _bench(
+        "rhyme_check",
+        "You are judging whether two English words rhyme in standard American "
+        "pronunciation. Two words rhyme when their sounds match from the vowel of "
+        "the final stressed syllable to the end of the word; spelling alone does "
+        "not decide the answer.",
+        "Do the words 'cat' and 'hat' rhyme?",
+        "You must reply with exactly yes or no, lowercase, nothing else.",
+        _YN,
+    ),
+    _bench(
+        "fahrenheit_to_celsius",
+        "Convert temperatures between the Fahrenheit and Celsius scales using the "
+        "exact affine relation between them; do not approximate the conversion "
+        "factor. The input temperature is a physical reading, so treat it as exact.",
+        "Convert 98.6 degrees Fahrenheit to Celsius.",
+        "Respond with the numeric value only, rounded to one decimal place, with "
+        "no units and no degree symbol.",
+        t.float,
+    ),
+    _bench(
+        "spelling_fix",
+        "You are a spelling corrector for single English words. Each word you "
+        "receive contains exactly one common misspelling, typically a transposed "
+        "or substituted letter pair. Restore the conventional dictionary spelling "
+        "without changing the intended word.",
+        "Correct the spelling of the word 'recieve'.",
+        "Return only the corrected word in lowercase with no commentary.",
+        t.str,
+    ),
+    _bench(
+        "logic_syllogism",
+        "You are evaluating categorical syllogisms over made-up words, so that "
+        "background knowledge cannot help. Treat each 'all X are Y' premise as "
+        "strict set inclusion and decide whether the conclusion follows "
+        "necessarily from the premises alone.",
+        "All bloops are razzies. All razzies are lazzies. Are all bloops "
+        "necessarily lazzies?",
+        "Your entire response must be the single word yes or the single word no.",
+        _YN,
+    ),
+    _bench(
+        "sum_of_digits",
+        "You are computing digit sums of integers written in base ten. The digit "
+        "sum adds the face value of every digit once; it is not the repeated "
+        "digital root, so do not iterate the process.",
+        "What is the sum of the digits of 98765?",
+        "Write just the sum as an integer and do not show your working.",
+        t.int,
+    ),
+    _bench(
+        "antonym",
+        "You are building antonym pairs for a vocabulary exercise. Given one "
+        "English word, produce a single word of the same part of speech with "
+        "essentially the opposite meaning in its most common sense.",
+        "Give an antonym of the verb 'expand'.",
+        "Reply with one lowercase word only; do not offer several alternatives.",
+        t.str,
+    ),
+    _bench(
+        "haiku_syllables",
+        "You are answering questions about the traditional Japanese haiku form as "
+        "it is taught in English-language classrooms: three lines with a fixed "
+        "syllable pattern that every schoolchild memorizes.",
+        "How many syllables are in the first line of a traditional haiku?",
+        "Answer with digits only on a single line.",
+        t.int,
+    ),
+    _bench(
+        "movie_year",
+        "You are a film-history assistant. Questions concern widely documented "
+        "milestones of cinema; answer from the standard historical record and, "
+        "when releases span several countries, use the year of the original "
+        "premiere in the production country.",
+        "In what year was the first feature-length cel-animated film released?",
+        "State the four-digit year alone with no sentence around it.",
+        t.int,
+    ),
+    _bench(
+        "email_valid",
+        "You are validating strings against the everyday syntax of email "
+        "addresses: a local part, a single at-sign, and a domain with at least "
+        "one dot. You are not checking whether the mailbox exists, only whether "
+        "the string is well-formed.",
+        "Is 'user@@example.com' a syntactically valid email address?",
+        "Respond exactly yes or no in lowercase; any other output is wrong.",
+        _YN,
+    ),
+    _bench(
+        "sort_words",
+        "You are sorting short lists of English words using standard dictionary "
+        "order, comparing letter by letter and ignoring case. No two words in a "
+        "list are identical, so the order is always unique.",
+        "Sort these words alphabetically: pear, apple, orange.",
+        "Return them as a comma-separated list on one line with no numbering and "
+        "no terminal period, exactly like: first, second, third.",
+        t.list(t.str),
+    ),
+    _bench(
+        "binary_of_13",
+        "You are converting small non-negative integers from decimal to binary "
+        "positional notation. Use the shortest representation, without leading "
+        "zeros, and remember that the rightmost digit is the ones place.",
+        "Write the number 13 in binary.",
+        "Give only the binary digits with no 0b prefix and no explanation.",
+        t.str,
+    ),
+    _bench(
+        "country_of_city",
+        "You are answering present-day political geography questions. For each "
+        "named city, give the sovereign country that administers it today, using "
+        "the country's common English short name rather than its formal title.",
+        "Which country is the city of Kyoto in?",
+        "Name the country only, with no preamble or punctuation.",
+        t.str,
+    ),
+    _bench(
+        "square_root",
+        "You are extracting exact integer square roots. Each input is a perfect "
+        "square, so the answer is always a whole number; negative roots are not "
+        "considered in this exercise.",
+        "What is the square root of 1764?",
+        "Answer with the number alone; do not include the radical symbol.",
+        t.int,
+    ),
+    _bench(
+        "tip_calculation",
+        "You are a restaurant-bill assistant for diners in the United States. "
+        "The tip is computed on the pre-tax amount shown, and the total paid is "
+        "the sum of the bill and the tip; no other fees apply.",
+        "A meal costs 48 dollars and you tip 20 percent. What is the total paid?",
+        "Provide the total as a plain number without a currency symbol.",
+        t.float,
+    ),
+    _bench(
+        "winograd_trophy",
+        "You are resolving pronoun references in sentences crafted so that the "
+        "referent depends on commonsense knowledge rather than grammar. Read the "
+        "sentence and decide which noun the highlighted pronoun refers to.",
+        "In 'The trophy would not fit in the suitcase because it was too big', "
+        "what was too big?",
+        "Reply with exactly one word, either trophy or suitcase, in lowercase.",
+        t.union(t.literal("trophy"), t.literal("suitcase")),
+    ),
+    _bench(
+        "dna_complement",
+        "You are doing textbook molecular biology. DNA bases pair A with T and C "
+        "with G. Given one strand written 5' to 3', the complementary strand is "
+        "read back in its own 5' to 3' direction, which reverses the sequence.",
+        "What is the complementary strand of the DNA sequence ATGC?",
+        "Write only the four-letter strand in capital letters with no separators.",
+        t.str,
+    ),
+    _bench(
+        "leap_year_1900",
+        "You are applying the Gregorian leap-year rules: years divisible by four "
+        "are leap years, except century years, which must be divisible by four "
+        "hundred. Apply the rules exactly; famous near-misses are the point of "
+        "the exercise.",
+        "Was the year 1900 a leap year?",
+        "Answer strictly yes or no in lowercase with nothing appended.",
+        _YN,
+    ),
+    _bench(
+        "miles_to_km",
+        "You are converting distances from miles to kilometers using the exact "
+        "definition of the international mile as 1.609344 kilometers. Carry full "
+        "precision through the computation and round only at the end.",
+        "How many kilometers are in 26.2 miles?",
+        "Respond with just the number rounded to two decimals, no units.",
+        t.float,
+    ),
+    _bench(
+        "word_count",
+        "You are counting words in short English sentences. A word is a maximal "
+        "run of characters separated by spaces; hyphenated compounds count as "
+        "one word and punctuation attached to a word does not split it.",
+        "How many words are in the sentence 'brevity is the soul of wit'?",
+        "Give the count as digits only; do not repeat the sentence back.",
+        t.int,
+    ),
+    _bench(
+        "planet_order",
+        "You are answering questions about the solar system as currently defined "
+        "by the International Astronomical Union, under which there are eight "
+        "planets ordered by their mean distance from the sun.",
+        "Which planet is fourth from the sun?",
+        "Name the planet only, capitalized, with no other words.",
+        t.str,
+    ),
+    _bench(
+        "acronym_expand",
+        "You are expanding well-known technology acronyms into their full names. "
+        "Give the expansion that the standards body or original authors use, not "
+        "a folk etymology or a humorous variant.",
+        "What does the acronym 'HTTP' stand for?",
+        "Write the expansion only, in title case, without the acronym itself.",
+        t.str,
+    ),
+    _bench(
+        "die_probability",
+        "You are computing elementary probabilities for a single fair six-sided "
+        "die whose faces show one through six. Outcomes are equally likely, and "
+        "probability is the count of favorable faces over six.",
+        "What is the probability of rolling a number greater than 4?",
+        "Express the answer as a decimal fraction only, for example 0.5, with "
+        "no words, percentages, or fraction bars.",
+        t.float,
+    ),
+    _bench(
+        "greater_fraction",
+        "You are comparing two positive fractions without a calculator. A robust "
+        "method is to cross-multiply the numerators and denominators, which "
+        "preserves the order of the fractions.",
+        "Which fraction is larger: 3/7 or 2/5?",
+        "Reply with the winning fraction exactly as written in the question, "
+        "nothing else.",
+        t.union(t.literal("3/7"), t.literal("2/5")),
+    ),
+    _bench(
+        "iso_date",
+        "You are normalizing human-written dates into machine-readable form. "
+        "Interpret month names in English and assume the Gregorian calendar; "
+        "two-digit day and month values must be zero-padded.",
+        "Rewrite the date 'March 5, 2021' in ISO 8601 format.",
+        "Output only the date in YYYY-MM-DD form on a single line.",
+        t.str,
+    ),
+    _bench(
+        "keyword_extract",
+        "You are extracting named technologies from engineering status updates. "
+        "The updates are informal English sentences; exactly one programming "
+        "language is mentioned in each, possibly inflected or capitalized "
+        "unusually.",
+        "Extract the programming language mentioned in: 'We rewrote the service "
+        "in Rust for performance.'",
+        "Respond with the language name only; no quotes, no period.",
+        t.str,
+    ),
+    _bench(
+        "interrogative_check",
+        "You are classifying English sentences by grammatical mood: declarative, "
+        "interrogative, imperative, or exclamatory. Judge by the sentence's form "
+        "and punctuation, not by the speaker's likely intention.",
+        "Is 'Where are you going?' an interrogative sentence?",
+        "Answer yes or no, lowercase, exactly one word.",
+        _YN,
+    ),
+    _bench(
+        "scrabble_score",
+        "You are scoring words under standard English Scrabble letter values: "
+        "one point for common letters like A and E, up to ten points for Q and "
+        "Z. Score the bare word; board multipliers and bonuses do not apply.",
+        "What is the score of the word 'quiz'?",
+        "State the score as an integer only, with no per-letter breakdown.",
+        t.int,
+    ),
+    _bench(
+        "weekdays_with_t",
+        "You are listing English weekday names that satisfy a spelling "
+        "condition. Consider only the seven standard day names and compare "
+        "against the condition case-insensitively.",
+        "List the weekdays whose names start with the letter T.",
+        "Format as a comma-separated list of capitalized day names and nothing "
+        "more, for example: Monday, Friday.",
+        t.list(t.str),
+    ),
+    _bench(
+        "ice_melting_point",
+        "You are stating standard physical constants as taught in introductory "
+        "chemistry. Conditions are standard atmospheric pressure at sea level "
+        "unless the question says otherwise.",
+        "At what temperature in Celsius does ice melt?",
+        "Reply with the number alone; degree symbols are not allowed.",
+        t.int,
+    ),
+    _bench(
+        "phrase_palindrome",
+        "You are checking whether phrases read the same forwards and backwards "
+        "once spaces and punctuation are removed and letter case is ignored. "
+        "Apply exactly that normalization and no other.",
+        "Is the phrase 'never odd or even' a palindrome?",
+        "Your reply must be the single lowercase word yes or no.",
+        _YN,
+    ),
+    _bench(
+        "hex_to_decimal",
+        "You are converting hexadecimal numerals to decimal. Digits above nine "
+        "are written A through F in any letter case, and the input never has a "
+        "0x prefix; treat it as an unsigned value.",
+        "Convert the hexadecimal number FF to decimal.",
+        "Write the decimal value only, with no prefix and no explanation.",
+        t.int,
+    ),
+    _bench(
+        "segment_midpoint",
+        "You are doing coordinate geometry in the plane. The midpoint of a "
+        "segment averages the x coordinates and the y coordinates of its "
+        "endpoints; the inputs here are chosen so the result is exact.",
+        "What is the midpoint of the segment from (2, 4) to (6, 10)?",
+        "Respond with exactly two numbers in the format x, y and nothing else. "
+        "For instance the midpoint of (0, 0) and (2, 2) must be written: 1, 1.",
+        t.tuple_of(t.float, t.float),
+    ),
+    _bench(
+        "book_author",
+        "You are answering literary-history questions about canonical English-"
+        "language novels. Attribute each work to its original author as "
+        "published, ignoring later adaptations, abridgements, and film versions.",
+        "Who wrote the novel 'Frankenstein'?",
+        "Give the author's full name only, without dates or honorifics.",
+        t.str,
+    ),
+    _bench(
+        "currency_of_japan",
+        "You are stating the official circulating currency of a named country "
+        "as of the present day. Use the currency's common English name rather "
+        "than its ISO code or symbol.",
+        "What currency is used in Japan?",
+        "Answer with the currency name alone, lowercase, no symbols.",
+        t.str,
+    ),
+]
+
+
+def all_benchmarks() -> list[EvalBenchmark]:
+    """The 50 benchmarks in corpus order."""
+    return list(BENCHMARKS)
+
+
+def get_benchmark(name: str) -> EvalBenchmark:
+    for benchmark in BENCHMARKS:
+        if benchmark.name == name:
+            return benchmark
+    raise DatasetError(f"no benchmark named {name!r}")
+
+
+def mean_reduction_percent() -> float:
+    """Average prompt-length reduction across the corpus (Figure 6's stat)."""
+    return sum(benchmark.reduction_percent for benchmark in BENCHMARKS) / len(BENCHMARKS)

@@ -1,0 +1,111 @@
+"""Exception hierarchy for the AskIt reproduction.
+
+Every error raised by the library derives from :class:`AskItError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class AskItError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TypeSyntaxError(AskItError):
+    """A TypeScript type expression could not be parsed.
+
+    Raised by :func:`repro.types.parse_type` when the input text is not a
+    valid type expression of the supported TypeScript subset.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class TypeMismatchError(AskItError):
+    """A runtime value does not conform to the expected type.
+
+    ``issues`` carries the individual path-qualified problems discovered
+    during checking, which is useful for building feedback prompts.
+    """
+
+    def __init__(self, message: str, issues: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.issues = list(issues or [])
+
+
+class TemplateError(AskItError):
+    """A prompt template is malformed or was rendered with bad arguments."""
+
+
+class ResponseFormatError(AskItError):
+    """An LLM response did not contain a well-formed answer.
+
+    Carries the criterion (1-3 in the paper's Section III-E) that failed so
+    the feedback loop can point the model at the offending part.
+    """
+
+    CRITERION_NO_JSON = 1
+    CRITERION_NO_ANSWER_FIELD = 2
+    CRITERION_BAD_TYPE = 3
+
+    def __init__(self, message: str, criterion: int, response: str = "") -> None:
+        super().__init__(message)
+        self.criterion = criterion
+        self.response = response
+
+
+class CodeExtractionError(AskItError):
+    """A code block could not be extracted from an LLM response."""
+
+
+class CodeValidationError(AskItError):
+    """Generated code failed syntactic or semantic (example-based) checks."""
+
+    def __init__(self, message: str, failures: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.failures = list(failures or [])
+
+
+class CodeGenerationError(AskItError):
+    """Code generation failed after exhausting all retries."""
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class MaxRetriesExceededError(AskItError):
+    """The direct-answer loop exhausted its retry budget."""
+
+    def __init__(self, message: str, attempts: int = 0, last_response: str = "") -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_response = last_response
+
+
+class SolverError(AskItError):
+    """The simulated LLM could not understand or solve a task."""
+
+
+class TsSyntaxError(AskItError):
+    """The TypeScript-subset front end rejected a program."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})" if line else message)
+        self.line = line
+        self.column = column
+
+
+class TsRuntimeError(AskItError):
+    """The TypeScript-subset interpreter hit a runtime failure."""
+
+
+class DatasetError(AskItError):
+    """A dataset was asked for an unknown task or invalid parameters."""
+
+
+class ConfigError(AskItError):
+    """Invalid library configuration."""

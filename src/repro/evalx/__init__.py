@@ -1,0 +1,26 @@
+"""Evaluation harness: metrics, rendering, and the paper's experiments."""
+
+from repro.evalx.figures import (
+    csv_text,
+    render_bars,
+    render_histogram,
+    render_scatter,
+    write_csv,
+)
+from repro.evalx.loc import count_loc, count_python_loc, count_typescript_loc
+from repro.evalx.tables import render_table
+from repro.evalx.timing import Mean, measure_execution_s
+
+__all__ = [
+    "count_loc",
+    "count_python_loc",
+    "count_typescript_loc",
+    "render_table",
+    "render_histogram",
+    "render_scatter",
+    "render_bars",
+    "write_csv",
+    "csv_text",
+    "measure_execution_s",
+    "Mean",
+]

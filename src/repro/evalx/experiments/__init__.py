@@ -1,0 +1,38 @@
+"""One module per paper artifact.
+
+============  ==========================================================
+Module        Regenerates
+============  ==========================================================
+``table2``    Table II  -- 50 common coding tasks (LOC + retries)
+``fig5``      Figure 5  -- HumanEval generated vs hand-written LOC
+``fig6``      Figure 6  -- OpenAI-Evals prompt-length reduction
+``fig7``      Figure 7  -- response-type usage census
+``table3``    Table III -- GSM8K direct answering vs generated code
+``ablation_prompt``    E6 -- feedback retries under corruption
+``ablation_examples``  E7 -- RQ2, validation examples vs shipped bugs
+============  ==========================================================
+
+Each module exposes ``run()`` (returns a result object), ``render(result)``
+(the report text), and ``main()`` (prints), and runs standalone via
+``python -m repro.evalx.experiments.<name>``.
+"""
+
+from repro.evalx.experiments import (
+    ablation_examples,
+    ablation_prompt,
+    fig5,
+    fig6,
+    fig7,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "table2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table3",
+    "ablation_prompt",
+    "ablation_examples",
+]

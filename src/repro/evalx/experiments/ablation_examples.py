@@ -1,0 +1,101 @@
+"""Experiment E7 (ablation) -- RQ2: are test examples vital for codegen?
+
+The paper argues that supplying input/output examples to ``define`` is
+"vital for assuring the correctness of the generated code" because first
+tries are occasionally buggy (their Fibonacci needed seven retries).
+This ablation compiles a batch of bug-prone tasks at increasing planted-
+bug rates, with and without validation examples, and measures how much
+buggy code reaches the caller.
+"""
+
+from __future__ import annotations
+
+from repro.core import config_override, define
+from repro.datasets.common_tasks import all_tasks
+from repro.errors import CodeGenerationError
+from repro.evalx.tables import render_table
+from repro.ioexample import outputs_equal
+from repro.llm import ChatClient, NoisePolicy
+
+MODEL = "sim-gpt-3.5-turbo-16k"
+
+#: Tasks with planted buggy variants in the model's catalog.
+BUG_PRONE_TASKS = (5, 14, 18, 31, 34, 38, 47, 49)
+
+
+class AblationRow:
+    __slots__ = ("bug_rate", "with_examples_correct", "without_examples_correct")
+
+    def __init__(self, bug_rate, with_examples_correct, without_examples_correct):
+        self.bug_rate = bug_rate
+        self.with_examples_correct = with_examples_correct
+        self.without_examples_correct = without_examples_correct
+
+
+def _correct_fraction(bug_rate: float, use_examples: bool, seed: int) -> float:
+    client = ChatClient(noise_policy=NoisePolicy(buggy_code_rate=bug_rate, seed=seed))
+    tasks = [task for task in all_tasks() if task.number in BUG_PRONE_TASKS]
+    correct = 0
+    total = 0
+    with config_override(client=client, model=MODEL, cache_dir=None):
+        for task in tasks:
+            total += 1
+            definition = define(
+                task.return_type,
+                task.template,
+                param_types=task.param_types,
+                test_examples=task.examples if use_examples else [],
+            )
+            try:
+                generated = definition.compile(use_cache=False)
+            except CodeGenerationError:
+                continue
+            # Judge the shipped function against the task's real examples,
+            # whether or not the pipeline saw them.
+            if all(
+                outputs_equal(generated.call_with(example.inputs), example.output)
+                for example in task.examples
+            ):
+                correct += 1
+    return correct / total
+
+
+def run(bug_rates: tuple[float, ...] = (0.0, 0.3, 0.6, 0.9)) -> list[AblationRow]:
+    rows = []
+    for index, bug_rate in enumerate(bug_rates):
+        rows.append(
+            AblationRow(
+                bug_rate,
+                _correct_fraction(bug_rate, True, seed=300 + index),
+                _correct_fraction(bug_rate, False, seed=300 + index),
+            )
+        )
+    return rows
+
+
+def render(rows: list[AblationRow]) -> str:
+    table = render_table(
+        ["Planted-bug rate", "Correct with examples", "Correct without examples"],
+        [
+            [
+                f"{row.bug_rate:.0%}",
+                f"{100 * row.with_examples_correct:.1f} %",
+                f"{100 * row.without_examples_correct:.1f} %",
+            ]
+            for row in rows
+        ],
+        title="Ablation (RQ2): example-based validation vs shipped bugs",
+    )
+    return table + (
+        "\nReading: with examples, validation catches planted bugs and the\n"
+        "retry loop regenerates; without them, buggy first tries ship\n"
+        "silently -- the paper's RQ2 conclusion.\n"
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

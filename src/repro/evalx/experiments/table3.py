@@ -1,0 +1,151 @@
+"""Experiment E5 -- Table III: GSM8K direct answering vs generated code.
+
+For every problem (numbers already lifted into template variables, the
+paper's transformation) the experiment:
+
+1. answers directly with ``sim-gpt-4``, measuring simulated LLM latency
+   and checking correctness against the reference answer;
+2. for directly solved problems, compiles the task into a function
+   (validated against the original values as the test example), measuring
+   compilation time (LLM latency dominates) and *real* execution time of
+   the generated function;
+3. reports the Table III averages: latency, execution time, compilation
+   time, and the latency/execution speedup ratio -- for TypeScript and
+   Python.
+
+Problem count defaults to the full 1,319 but honours the
+``REPRO_GSM8K_COUNT`` environment variable so benchmarks can subsample.
+"""
+
+from __future__ import annotations
+
+import os
+
+import repro.types as t
+from repro.core import config_override, define
+from repro.datasets.gsm8k import GsmProblem, answers_match, generate_dataset
+from repro.errors import CodeGenerationError, MaxRetriesExceededError
+from repro.evalx.tables import render_table
+from repro.evalx.timing import Mean, measure_execution_s
+from repro.llm import ChatClient, NoisePolicy
+
+MODEL = "sim-gpt-4"
+
+DEFAULT_NOISE = NoisePolicy(direct_corruption_rate=0.08, buggy_code_rate=0.10, seed=31)
+
+
+def problem_count() -> int:
+    return int(os.environ.get("REPRO_GSM8K_COUNT", "1319"))
+
+
+class LanguageStats:
+    """Per-host-language accumulation of the Table III metrics."""
+
+    def __init__(self, language: str) -> None:
+        self.language = language
+        self.total = 0
+        self.solved_directly = 0
+        self.generated = 0
+        self.latency = Mean()
+        self.execution = Mean()
+        self.compilation = Mean()
+
+    @property
+    def speedup(self) -> float:
+        if self.execution.value == 0:
+            return 0.0
+        return self.latency.value / self.execution.value
+
+    def row(self) -> list:
+        return [
+            self.language,
+            self.latency.value,
+            self.execution.value * 1e6,
+            self.compilation.value,
+            self.speedup,
+            f"{self.solved_directly}/{self.total}",
+            f"{self.generated}/{self.solved_directly}",
+        ]
+
+
+def _measure_problem(problem: GsmProblem, language: str, stats: LanguageStats) -> None:
+    stats.total += 1
+    definition = define(
+        t.float,
+        problem.template,
+        param_types={name: t.int for name in problem.args},
+        test_examples=[(problem.args, problem.answer)],
+    )
+    try:
+        value = definition(**problem.args)
+    except MaxRetriesExceededError:
+        return
+    stats.latency.add(definition.last_result.latency_s)
+    if not answers_match(problem.answer, value):
+        return
+    stats.solved_directly += 1
+
+    try:
+        generated = definition.compile(language=language, use_cache=False)
+    except CodeGenerationError:
+        return
+    stats.generated += 1
+    stats.compilation.add(generated.compile_time_s)
+    stats.execution.add(
+        measure_execution_s(generated, problem.args, repeats=3, inner_loops=5)
+    )
+
+
+def run(
+    count: int | None = None,
+    noise: NoisePolicy | None = None,
+    languages: tuple[str, ...] = ("typescript", "python"),
+) -> dict[str, LanguageStats]:
+    """Run the experiment; returns per-language stats."""
+    problems = generate_dataset(count or problem_count())
+    results: dict[str, LanguageStats] = {}
+    for language in languages:
+        client = ChatClient(noise_policy=noise or DEFAULT_NOISE)
+        stats = LanguageStats(language)
+        with config_override(client=client, model=MODEL, cache_dir=None):
+            for problem in problems:
+                _measure_problem(problem, language, stats)
+        results[language] = stats
+    return results
+
+
+PAPER_ROWS = {
+    "typescript": {"latency": 13.28, "execution_us": 49.11, "compile": 14.19, "speedup": 275092.55},
+    "python": {"latency": 22.97, "execution_us": 5.09, "compile": 20.38, "speedup": 6969904.73},
+}
+
+
+def render(results: dict[str, LanguageStats]) -> str:
+    headers = [
+        "Language",
+        "Latency (s)",
+        "Exec (us)",
+        "Compile (s)",
+        "Speedup",
+        "Direct solved",
+        "Generated",
+    ]
+    rows = [stats.row() for stats in results.values()]
+    table = render_table(headers, rows, title="Table III: GSM8K direct vs generated")
+    paper = render_table(
+        ["Language", "Latency (s)", "Exec (us)", "Compile (s)", "Speedup"],
+        [
+            ["typescript", 13.28, 49.11, 14.19, 275092.55],
+            ["python", 22.97, 5.09, 20.38, 6969904.73],
+        ],
+        title="\nPaper's Table III (Apple M1, real GPT-4):",
+    )
+    return table + "\n" + paper + "\n"
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Text-mode figure rendering and CSV export.
+
+The paper's figures are regenerated as ASCII plots (histogram, scatter,
+bar chart) plus CSV series files, since this environment has no plotting
+stack.  The CSV columns match the figures' axes so the plots can be
+re-rendered graphically elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+
+def render_histogram(
+    values: Sequence[float],
+    bucket_width: float,
+    title: str = "",
+    max_bar: int = 50,
+    x_label: str = "value",
+) -> str:
+    """ASCII histogram with fixed-width buckets starting at 0."""
+    if bucket_width <= 0:
+        raise ValueError("bucket_width must be positive")
+    if not values:
+        return f"{title}\n(no data)"
+    top = max(values)
+    bucket_count = int(top // bucket_width) + 1
+    counts = [0] * bucket_count
+    for value in values:
+        counts[int(value // bucket_width)] += 1
+    peak = max(counts)
+    lines = [title] if title else []
+    for index, count in enumerate(counts):
+        lo = index * bucket_width
+        hi = lo + bucket_width
+        bar = "#" * (round(max_bar * count / peak) if peak else 0)
+        lines.append(f"{lo:>8.0f}-{hi:<8.0f} |{bar} {count}")
+    lines.append(f"({len(values)} samples, {x_label})")
+    return "\n".join(lines)
+
+
+def render_scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """ASCII scatter plot; ``*`` marks points, ``o`` marks collisions."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        return f"{title}\n(no data)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        column = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][column] = "o" if grid[row][column] == "*" else "*"
+    lines = [title] if title else []
+    lines.append(f"{y_label} (top={y_hi:g}, bottom={y_lo:g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:g} .. {x_hi:g}   ({len(xs)} points)")
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: Sequence[str],
+    series: dict[str, Sequence[int]],
+    title: str = "",
+    max_bar: int = 40,
+) -> str:
+    """Grouped horizontal bar chart (Figure 7's two series)."""
+    peak = max((max(values) for values in series.values() if values), default=1) or 1
+    lines = [title] if title else []
+    label_width = max((len(label) for label in labels), default=4)
+    for index, label in enumerate(labels):
+        for series_name, values in series.items():
+            count = values[index]
+            bar = "#" * round(max_bar * count / peak)
+            lines.append(f"{label:>{label_width}} [{series_name:>9}] |{bar} {count}")
+    return "\n".join(lines)
+
+
+def write_csv(path: str | Path, headers: Sequence[str], rows: Sequence[Sequence]) -> Path:
+    """Write a CSV series file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def csv_text(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render CSV to a string (for tests and in-report embedding)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()

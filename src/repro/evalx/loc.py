@@ -1,0 +1,57 @@
+"""Lines-of-code counting.
+
+The paper's LOC metric "counts only substantive lines, omitting empty
+lines or comment-only lines" (Section IV-A1).  Both host languages are
+supported; block comments are tracked across lines.
+"""
+
+from __future__ import annotations
+
+
+def count_python_loc(source: str) -> int:
+    """Substantive Python lines: non-blank, non-comment-only."""
+    count = 0
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        count += 1
+    return count
+
+
+def count_typescript_loc(source: str) -> int:
+    """Substantive TypeScript lines (handles ``//`` and ``/* */``)."""
+    count = 0
+    in_block_comment = False
+    for line in source.splitlines():
+        stripped = line.strip()
+        if in_block_comment:
+            if "*/" in stripped:
+                in_block_comment = False
+                remainder = stripped.split("*/", 1)[1].strip()
+                if remainder and not remainder.startswith("//"):
+                    count += 1
+            continue
+        if not stripped:
+            continue
+        if stripped.startswith("//"):
+            continue
+        if stripped.startswith("/*"):
+            if "*/" not in stripped:
+                in_block_comment = True
+            else:
+                remainder = stripped.split("*/", 1)[1].strip()
+                if remainder and not remainder.startswith("//"):
+                    count += 1
+            continue
+        count += 1
+    return count
+
+
+def count_loc(source: str, language: str) -> int:
+    """Dispatch on language name (``python`` / ``typescript``)."""
+    if language == "python":
+        return count_python_loc(source)
+    if language == "typescript":
+        return count_typescript_loc(source)
+    raise ValueError(f"no LOC counter for language {language!r}")

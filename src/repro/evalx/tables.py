@@ -1,0 +1,59 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numeric cells are right-aligned; everything else left-aligned.
+    """
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(fill: str = "-", joint: str = "+") -> str:
+        return joint + joint.join(fill * (width + 2) for width in widths) + joint
+
+    def render_row(values: Sequence[str], source_row: Sequence[Any] | None = None) -> str:
+        parts = []
+        for index, value in enumerate(values):
+            raw = source_row[index] if source_row is not None else None
+            if isinstance(raw, (int, float)) and not isinstance(raw, bool):
+                parts.append(" " + value.rjust(widths[index]) + " ")
+            else:
+                parts.append(" " + value.ljust(widths[index]) + " ")
+        return "|" + "|".join(parts) + "|"
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line())
+    out.append(render_row(list(headers)))
+    out.append(line("="))
+    for row, rendered in zip(rows, cells):
+        out.append(render_row(rendered, row))
+    out.append(line())
+    return "\n".join(out)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.2f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)

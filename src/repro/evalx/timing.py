@@ -1,0 +1,60 @@
+"""Timing helpers for the experiments.
+
+Generated-code execution times are *real* (``perf_counter`` around actual
+calls); LLM latencies are *simulated* (accumulated from the virtual
+clock).  Keeping the two clearly separated is what lets Table III report
+honest speedup shapes without a network.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Mapping
+
+
+def measure_execution_s(
+    fn: Callable[..., Any],
+    args: Mapping[str, Any],
+    repeats: int = 5,
+    inner_loops: int = 1,
+) -> float:
+    """Median wall-clock seconds for one call of ``fn(**args)``.
+
+    Runs ``repeats`` samples of ``inner_loops`` back-to-back calls and
+    takes the median sample, which resists scheduler noise better than a
+    mean of few samples.
+    """
+    if repeats < 1 or inner_loops < 1:
+        raise ValueError("repeats and inner_loops must be positive")
+    samples: list[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(inner_loops):
+            fn(**args)
+        elapsed = time.perf_counter() - started
+        samples.append(elapsed / inner_loops)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+class Mean:
+    """Streaming mean (avoids keeping per-item lists in big sweeps)."""
+
+    __slots__ = ("count", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+
+    @property
+    def value(self) -> float:
+        if not self.count:
+            return 0.0
+        return self.total / self.count
+
+    def __repr__(self) -> str:
+        return f"Mean({self.value:.6g} over {self.count})"

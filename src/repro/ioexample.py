@@ -1,0 +1,57 @@
+"""Input/output examples (Listing 1: ``{input: {...}, output: ...}``).
+
+Examples serve two purposes in AskIt: the first example set of a
+``define`` call drives few-shot prompting; the second validates generated
+code (the DSL compiler runs the function on each input and compares).
+This module is dependency-free so datasets, the core API, and the LLM
+substrate can all share it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+class Example:
+    """One input/output pair for a task."""
+
+    __slots__ = ("inputs", "output")
+
+    def __init__(self, inputs: Mapping[str, Any], output: Any) -> None:
+        self.inputs = dict(inputs)
+        self.output = output
+
+    def __repr__(self) -> str:
+        return f"Example({self.inputs!r} -> {self.output!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Example):
+            return NotImplemented
+        return self.inputs == other.inputs and self.output == other.output
+
+    def __hash__(self) -> int:
+        return hash((tuple(sorted(self.inputs.items(), key=lambda kv: kv[0])), repr(self.output)))
+
+
+def outputs_equal(left: Any, right: Any, tolerance: float = 1e-9) -> bool:
+    """Lax structural equality for comparing task outputs.
+
+    Numbers compare with tolerance and across int/float (generated
+    TypeScript returns floats where Python returns ints); containers
+    compare recursively; booleans never equal numbers.
+    """
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool) and left == right
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return abs(float(left) - float(right)) <= tolerance
+    if isinstance(left, str) and isinstance(right, str):
+        return left == right
+    if isinstance(left, list) and isinstance(right, list):
+        return len(left) == len(right) and all(
+            outputs_equal(a, b, tolerance) for a, b in zip(left, right)
+        )
+    if isinstance(left, dict) and isinstance(right, dict):
+        return set(left) == set(right) and all(
+            outputs_equal(left[key], right[key], tolerance) for key in left
+        )
+    return left == right

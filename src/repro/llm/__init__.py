@@ -1,0 +1,48 @@
+"""The LLM substrate: chat interface, simulated model, noise, latency."""
+
+from repro.llm.base import ChatMessage, CompletionResult, LanguageModel, Usage, user_message
+from repro.llm.client import ChatClient, ClientStats, default_client, reset_default_client
+from repro.llm.knowledge import (
+    KnowledgeBase,
+    TaskImplementation,
+    WordProblemFamily,
+    global_knowledge,
+    mask_numbers,
+    mask_quantities,
+    normalize_task,
+)
+from repro.llm.latency import PROFILES, LatencyProfile, VirtualClock, profile_for
+from repro.llm.noise import QUIET, NoisePolicy, stable_fraction
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.tokenizer import count_tokens
+from repro.llm.transcript import Exchange, TranscriptRecorder
+
+__all__ = [
+    "ChatMessage",
+    "CompletionResult",
+    "LanguageModel",
+    "Usage",
+    "user_message",
+    "ChatClient",
+    "ClientStats",
+    "default_client",
+    "reset_default_client",
+    "SimulatedLLM",
+    "KnowledgeBase",
+    "TaskImplementation",
+    "WordProblemFamily",
+    "global_knowledge",
+    "normalize_task",
+    "mask_numbers",
+    "mask_quantities",
+    "NoisePolicy",
+    "QUIET",
+    "stable_fraction",
+    "LatencyProfile",
+    "VirtualClock",
+    "PROFILES",
+    "profile_for",
+    "count_tokens",
+    "TranscriptRecorder",
+    "Exchange",
+]

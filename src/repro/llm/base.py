@@ -1,0 +1,79 @@
+"""Abstract chat-completion interface.
+
+Everything above this layer (the AskIt runtime and compiler) talks to a
+:class:`LanguageModel` through plain text -- exactly the contract a real
+OpenAI-style endpoint offers.  Swapping the simulated backend for a real
+one requires implementing a single method.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class ChatMessage:
+    """One message of a chat conversation."""
+
+    __slots__ = ("role", "content")
+
+    ROLES = ("system", "user", "assistant")
+
+    def __init__(self, role: str, content: str) -> None:
+        if role not in self.ROLES:
+            raise ValueError(f"unknown chat role {role!r}")
+        self.role = role
+        self.content = content
+
+    def __repr__(self) -> str:
+        return f"ChatMessage({self.role!r}, {len(self.content)} chars)"
+
+
+def user_message(content: str) -> ChatMessage:
+    return ChatMessage("user", content)
+
+
+class Usage:
+    """Token accounting for one completion."""
+
+    __slots__ = ("prompt_tokens", "completion_tokens")
+
+    def __init__(self, prompt_tokens: int, completion_tokens: int) -> None:
+        self.prompt_tokens = prompt_tokens
+        self.completion_tokens = completion_tokens
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def __repr__(self) -> str:
+        return f"Usage(prompt={self.prompt_tokens}, completion={self.completion_tokens})"
+
+
+class CompletionResult:
+    """The model's reply plus bookkeeping.
+
+    ``latency_s`` is *simulated* wall-clock time on a virtual clock -- the
+    time a comparable hosted model would have taken -- so experiments can
+    report realistic latencies without sleeping.
+    """
+
+    __slots__ = ("text", "usage", "latency_s", "model")
+
+    def __init__(self, text: str, usage: Usage, latency_s: float, model: str) -> None:
+        self.text = text
+        self.usage = usage
+        self.latency_s = latency_s
+        self.model = model
+
+    def __repr__(self) -> str:
+        return f"CompletionResult({self.model}, {self.latency_s:.2f}s, {self.usage!r})"
+
+
+class LanguageModel:
+    """Abstract chat-completion model."""
+
+    name: str = "abstract"
+
+    def complete(self, messages: Sequence[ChatMessage], temperature: float = 1.0) -> CompletionResult:
+        """Generate a completion for a conversation."""
+        raise NotImplementedError

@@ -1,0 +1,101 @@
+"""OpenAI-shaped chat client.
+
+AskIt's runtime and compiler talk to this client the way the paper's
+implementation talks to the OpenAI API: a model name, a message list, a
+temperature.  The client resolves model names to backends (simulated by
+default), charges simulated latency to a virtual clock, and keeps usage
+statistics that the experiments report.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.llm.base import ChatMessage, CompletionResult, LanguageModel, user_message
+from repro.llm.latency import VirtualClock
+from repro.llm.noise import NoisePolicy
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.transcript import TranscriptRecorder
+
+
+class ClientStats:
+    """Aggregate usage across all calls made through one client."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.prompt_tokens = 0
+        self.completion_tokens = 0
+
+    def record(self, result: CompletionResult) -> None:
+        self.calls += 1
+        self.prompt_tokens += result.usage.prompt_tokens
+        self.completion_tokens += result.usage.completion_tokens
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientStats(calls={self.calls}, prompt_tokens={self.prompt_tokens}, "
+            f"completion_tokens={self.completion_tokens})"
+        )
+
+
+class ChatClient:
+    """Routes chat completions to named models and accounts for time."""
+
+    def __init__(
+        self,
+        models: dict[str, LanguageModel] | None = None,
+        clock: VirtualClock | None = None,
+        noise_policy: NoisePolicy | None = None,
+        recorder: "TranscriptRecorder | None" = None,
+    ) -> None:
+        self.models: dict[str, LanguageModel] = dict(models or {})
+        self.clock = clock or VirtualClock()
+        self.noise_policy = noise_policy
+        self.stats = ClientStats()
+        #: Optional transcript recorder (off by default; see
+        #: :mod:`repro.llm.transcript`).
+        self.recorder = recorder
+
+    def resolve(self, name: str) -> LanguageModel:
+        """The backend for ``name``; simulated backends are created lazily."""
+        if name not in self.models:
+            self.models[name] = SimulatedLLM(name, policy=self.noise_policy)
+        return self.models[name]
+
+    def register(self, model: LanguageModel) -> None:
+        self.models[model.name] = model
+
+    def chat_complete(
+        self,
+        model: str,
+        messages: Sequence[ChatMessage] | str,
+        temperature: float = 1.0,
+    ) -> CompletionResult:
+        """Complete a conversation; a bare string is wrapped as one user
+        message (the shape AskIt's prompts use)."""
+        if isinstance(messages, str):
+            messages = [user_message(messages)]
+        backend = self.resolve(model)
+        result = backend.complete(messages, temperature)
+        self.clock.charge(result.latency_s)
+        self.stats.record(result)
+        if self.recorder is not None:
+            self.recorder.record(model, messages, result)
+        return result
+
+
+_DEFAULT_CLIENT: ChatClient | None = None
+
+
+def default_client() -> ChatClient:
+    """The process-wide client used when no explicit client is configured."""
+    global _DEFAULT_CLIENT
+    if _DEFAULT_CLIENT is None:
+        _DEFAULT_CLIENT = ChatClient()
+    return _DEFAULT_CLIENT
+
+
+def reset_default_client() -> None:
+    """Discard the process-wide client (tests use this for isolation)."""
+    global _DEFAULT_CLIENT
+    _DEFAULT_CLIENT = None

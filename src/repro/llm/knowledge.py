@@ -1,0 +1,184 @@
+"""The simulated LLM's knowledge base.
+
+A real LLM carries its task competence in its weights.  The simulated
+model carries it in an explicit registry: implementations of coding tasks
+(how to *code* a task, and how to *answer* it directly) and word-problem
+families (how to solve GSM8K-style questions).  Datasets and the built-in
+catalog register entries at import time; the model consults the registry
+with nothing but the prompt text it received.
+
+Keys are the task descriptions exactly as they appear in prompts -- the
+template with placeholders quoted (``Reverse the string 's'.``) -- after
+light normalization.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from repro.mathexpr import Expr
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_NUMBER_RE = re.compile(r"(?<![\w.])-?\d+(?:\.\d+)?(?![\w.])")
+_QUANTITY_RE = re.compile(
+    r"(?<![\w.])-?\d+(?:\.\d+)?(?![\w.])|'([A-Za-z_][A-Za-z0-9_]*)'"
+)
+
+
+def normalize_task(text: str) -> str:
+    """Canonical form of a task description for registry lookup."""
+    text = _WHITESPACE_RE.sub(" ", text.strip())
+    return text.rstrip(".?! ").lower()
+
+
+def mask_numbers(text: str) -> tuple[str, list[float]]:
+    """Replace numeric literals with ``<N>`` and return them in order.
+
+    This is how the word-problem solver recognizes a problem family
+    independent of its concrete quantities.
+    """
+    numbers: list[float] = []
+
+    def replace(match: re.Match) -> str:
+        numbers.append(float(match.group(0)))
+        return "<N>"
+
+    masked = _NUMBER_RE.sub(replace, text)
+    return _WHITESPACE_RE.sub(" ", masked.strip()), numbers
+
+
+def mask_quantities(text: str) -> tuple[str, list[float | str]]:
+    """Mask numbers *and* quoted parameter names as ``<N>``.
+
+    A codegen task comment spells quantities as quoted parameter names
+    (``Natalia sold 'a' clips``) where the direct prompt has numbers; both
+    forms mask to the same skeleton.  Returns the masked text plus the
+    slot values: floats for numbers, parameter-name strings for quoted
+    identifiers.
+    """
+    slots: list[float | str] = []
+
+    def replace(match: re.Match) -> str:
+        if match.group(1) is not None:
+            slots.append(match.group(1))
+        else:
+            slots.append(float(match.group(0)))
+        return "<N>"
+
+    masked = _QUANTITY_RE.sub(replace, text)
+    return _WHITESPACE_RE.sub(" ", masked.strip()), slots
+
+
+class TaskImplementation:
+    """Everything the simulated LLM knows about one coding task."""
+
+    def __init__(
+        self,
+        key: str,
+        parameters: list[str],
+        python_fn: Callable[..., Any],
+        python_body: str,
+        ts_body: str,
+        buggy_python_body: str | None = None,
+        buggy_ts_body: str | None = None,
+        python_signature_mismatch: bool = False,
+        description: str = "",
+    ) -> None:
+        self.key = normalize_task(key)
+        self.parameters = list(parameters)
+        self.python_fn = python_fn
+        self.python_body = python_body.rstrip("\n")
+        self.ts_body = ts_body.rstrip("\n")
+        self.buggy_python_body = buggy_python_body
+        self.buggy_ts_body = buggy_ts_body
+        # Reproduces the paper's pyaskit failures (tasks #11, #21-24): the
+        # Python codegen prompt carries no parameter types, so the model
+        # "misassumes" the argument representation and emits code that does
+        # not work for the actual argument type.
+        self.python_signature_mismatch = python_signature_mismatch
+        self.description = description
+
+    def __repr__(self) -> str:
+        return f"TaskImplementation({self.key!r})"
+
+
+class WordProblemFamily:
+    """One GSM8K-style problem family the model can solve.
+
+    ``skeleton`` is the problem text with numbers masked via
+    :func:`mask_numbers`; ``expression`` computes the answer from the
+    masked numbers bound as ``n0, n1, ...`` in order of appearance.
+    """
+
+    def __init__(self, skeleton: str, expression: Expr, name: str = "") -> None:
+        self.skeleton = skeleton
+        self.expression = expression
+        self.name = name or skeleton[:40]
+
+    def solve(self, numbers: list[float]) -> float:
+        env = {f"n{index}": value for index, value in enumerate(numbers)}
+        return self.expression.evaluate(env)
+
+    def __repr__(self) -> str:
+        return f"WordProblemFamily({self.name!r})"
+
+
+class KnowledgeBase:
+    """Registry of task implementations and word-problem families."""
+
+    def __init__(self) -> None:
+        self.tasks: dict[str, TaskImplementation] = {}
+        self.families: dict[str, WordProblemFamily] = {}
+
+    # -- coding tasks -----------------------------------------------------
+
+    def register_task(self, implementation: TaskImplementation) -> TaskImplementation:
+        self.tasks[implementation.key] = implementation
+        return implementation
+
+    def find_task(self, description: str) -> TaskImplementation | None:
+        return self.tasks.get(normalize_task(description))
+
+    # -- word problems -------------------------------------------------------
+
+    def register_family(self, family: WordProblemFamily) -> WordProblemFamily:
+        self.families[family.skeleton] = family
+        return family
+
+    def find_family(self, problem_text: str) -> tuple[WordProblemFamily, list[float]] | None:
+        masked, numbers = mask_numbers(problem_text)
+        family = self.families.get(masked)
+        if family is None:
+            return None
+        return family, numbers
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def clear(self) -> None:
+        self.tasks.clear()
+        self.families.clear()
+
+
+#: The global knowledge base consulted by :class:`repro.llm.SimulatedLLM`.
+GLOBAL_KNOWLEDGE = KnowledgeBase()
+
+
+def global_knowledge() -> KnowledgeBase:
+    """The process-wide knowledge base (datasets register into this)."""
+    _ensure_builtin_catalog()
+    return GLOBAL_KNOWLEDGE
+
+
+_catalog_loaded = False
+
+
+def _ensure_builtin_catalog() -> None:
+    """Load the built-in task catalog exactly once (lazily, to avoid import
+    cycles between the LLM substrate and the datasets)."""
+    global _catalog_loaded
+    if not _catalog_loaded:
+        _catalog_loaded = True
+        from repro.llm.synthesis import catalog
+
+        catalog.register_builtin_tasks(GLOBAL_KNOWLEDGE)

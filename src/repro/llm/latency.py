@@ -1,0 +1,78 @@
+"""Latency model for the simulated LLM.
+
+The paper's Table III depends on LLM round-trip latencies (13.28 s for the
+TypeScript harness, 22.97 s for Python, both on GPT-4).  We model latency
+the way hosted endpoints behave: a fixed overhead plus time proportional
+to prompt ingestion and, dominantly, completion generation.  Profiles are
+calibrated so GSM8K-style calls land near the paper's measured averages.
+
+Latency is charged on a *virtual clock*: the number is returned with each
+completion and accumulated by the caller; nothing sleeps.
+"""
+
+from __future__ import annotations
+
+
+class LatencyProfile:
+    """Seconds of simulated latency per completion."""
+
+    __slots__ = ("base_s", "per_prompt_token_s", "per_completion_token_s", "jitter")
+
+    def __init__(
+        self,
+        base_s: float,
+        per_prompt_token_s: float,
+        per_completion_token_s: float,
+        jitter: float = 0.10,
+    ) -> None:
+        self.base_s = base_s
+        self.per_prompt_token_s = per_prompt_token_s
+        self.per_completion_token_s = per_completion_token_s
+        self.jitter = jitter
+
+    def latency(self, prompt_tokens: int, completion_tokens: int, noise: float = 0.0) -> float:
+        """Latency in seconds; ``noise`` in [-1, 1] scales the jitter band."""
+        nominal = (
+            self.base_s
+            + self.per_prompt_token_s * prompt_tokens
+            + self.per_completion_token_s * completion_tokens
+        )
+        return max(0.05, nominal * (1.0 + self.jitter * noise))
+
+
+# Calibration notes: a GSM8K direct-answer call has a prompt of roughly 250
+# tokens and a chain-of-thought reply of roughly 220 tokens (Python harness
+# replies run longer); a code-generation call replies with ~120 tokens of
+# code.  With the profiles below the averages land near the paper's
+# Table III measurements.
+PROFILES: dict[str, LatencyProfile] = {
+    # GPT-4-class: slow decoding dominates (~12 tokens/s as measured in
+    # 2023, when the paper's experiments ran).
+    "sim-gpt-4": LatencyProfile(base_s=1.1, per_prompt_token_s=0.0012, per_completion_token_s=0.082),
+    # GPT-3.5-class: markedly faster decoding.
+    "sim-gpt-3.5-turbo-16k": LatencyProfile(
+        base_s=0.5, per_prompt_token_s=0.0006, per_completion_token_s=0.018
+    ),
+}
+
+DEFAULT_PROFILE = PROFILES["sim-gpt-4"]
+
+
+def profile_for(model: str) -> LatencyProfile:
+    """Latency profile for a model name (unknown models get GPT-4's)."""
+    return PROFILES.get(model, DEFAULT_PROFILE)
+
+
+class VirtualClock:
+    """Accumulates simulated seconds; experiments read ``elapsed_s``."""
+
+    def __init__(self) -> None:
+        self.elapsed_s = 0.0
+
+    def charge(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.elapsed_s += seconds
+
+    def reset(self) -> None:
+        self.elapsed_s = 0.0

@@ -1,0 +1,90 @@
+"""Failure injection for the simulated LLM.
+
+Real models intermittently produce malformed output: replies without the
+JSON fence, objects missing the ``answer`` field, type-mismatched values,
+and buggy code.  The noise policy reproduces those modes at configurable
+rates so AskIt's retry/feedback machinery is genuinely exercised.
+
+Corruption decisions are drawn from a deterministic per-call RNG seeded
+from the policy seed, the prompt text, and a call counter, so whole
+experiment runs are reproducible while retries still see fresh draws.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+# Corruption kinds for direct-answer responses.
+CLEAN = "clean"
+DROP_FENCE = "drop_fence"  # reply as prose, no ```json block
+MISSING_ANSWER = "missing_answer"  # JSON present but no 'answer' field
+WRONG_TYPE = "wrong_type"  # 'answer' present but as a string-ified value
+
+
+class NoisePolicy:
+    """Failure rates for the simulated model.
+
+    ``direct_corruption_rate`` is the total probability that a first-try
+    direct answer is malformed (split evenly across the three modes);
+    ``buggy_code_rate`` is the probability that a first-try code
+    generation has a planted bug (when the task has a known buggy
+    variant).  Feedback attempts halve the rates per retry, modeling the
+    paper's observation that pointed re-instruction converges.
+    """
+
+    def __init__(
+        self,
+        direct_corruption_rate: float = 0.12,
+        buggy_code_rate: float = 0.25,
+        seed: int = 20240301,
+    ) -> None:
+        if not 0.0 <= direct_corruption_rate <= 1.0:
+            raise ValueError("direct_corruption_rate must be in [0, 1]")
+        if not 0.0 <= buggy_code_rate <= 1.0:
+            raise ValueError("buggy_code_rate must be in [0, 1]")
+        self.direct_corruption_rate = direct_corruption_rate
+        self.buggy_code_rate = buggy_code_rate
+        self.seed = seed
+
+    # -- RNG ------------------------------------------------------------
+
+    def rng_for(self, prompt: str, call_index: int) -> random.Random:
+        digest = hashlib.sha256(
+            f"{self.seed}|{call_index}|{prompt}".encode()
+        ).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    # -- decisions ----------------------------------------------------------
+
+    def direct_corruption(self, rng: random.Random, attempt: int) -> str:
+        """Which corruption (if any) to apply to a direct answer."""
+        rate = self.direct_corruption_rate * (0.5 ** attempt)
+        roll = rng.random()
+        if roll >= rate:
+            return CLEAN
+        which = rng.random()
+        if which < 1 / 3:
+            return DROP_FENCE
+        if which < 2 / 3:
+            return MISSING_ANSWER
+        return WRONG_TYPE
+
+    def code_is_buggy(self, rng: random.Random, attempt: int) -> bool:
+        """Whether a code generation attempt ships the planted bug."""
+        rate = self.buggy_code_rate * (0.5 ** attempt)
+        return rng.random() < rate
+
+
+QUIET = NoisePolicy(direct_corruption_rate=0.0, buggy_code_rate=0.0)
+
+
+def stable_fraction(text: str, salt: str = "") -> float:
+    """A deterministic pseudo-uniform value in [0, 1) derived from text.
+
+    Used for *persistent* failure modes (a problem the model simply cannot
+    solve stays unsolvable across retries), as opposed to the per-call
+    randomness of :class:`NoisePolicy`.
+    """
+    digest = hashlib.sha256(f"{salt}|{text}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64

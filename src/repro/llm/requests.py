@@ -1,0 +1,229 @@
+"""Re-parsers that recover structured requests from raw prompt text.
+
+The simulated LLM receives nothing but the prompt string -- the same
+contract a hosted model has.  These parsers classify a prompt as a
+direct-answer request (Listing 2 shape) or a code-generation request
+(Figure 4 shape) and pull out the pieces the model needs: the expected
+answer type, the task line, the parameter bindings, the function
+signature.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+from repro.errors import SolverError, TsSyntaxError
+from repro.prompts.codegen import PYTHON, TYPESCRIPT
+from repro.prompts.direct import PREAMBLE
+from repro.prompts.feedback import CODEGEN_FEEDBACK_MARKER, FEEDBACK_MARKER
+from repro.types import Type, parse_type
+from repro.types.composites import RecordType
+
+_TS_FENCE_RE = re.compile(r"```ts\n(.*?)\n```", re.DOTALL)
+_CODE_FENCE_RE = re.compile(r"```(typescript|python)\n(.*?)```", re.DOTALL)
+_WHERE_BINDING_RE = re.compile(r"'([A-Za-z_][A-Za-z0-9_]*)'\s*=\s*")
+_PY_SIGNATURE_RE = re.compile(r"^def\s+([A-Za-z_][A-Za-z0-9_]*)\s*\(([^)]*)\)\s*:", re.MULTILINE)
+_COMMENT_RE = {"python": re.compile(r"#\s?(.*)"), "typescript": re.compile(r"//\s?(.*)")}
+
+CODEGEN_PREFIX = "Q: Implement the following function:"
+
+
+class DirectRequest:
+    """A parsed Listing-2 prompt."""
+
+    __slots__ = ("answer_type", "task", "bindings", "is_feedback", "failed_criterion")
+
+    def __init__(
+        self,
+        answer_type: Type,
+        task: str,
+        bindings: dict[str, Any],
+        is_feedback: bool,
+        failed_criterion: int | None = None,
+    ) -> None:
+        self.answer_type = answer_type
+        self.task = task
+        self.bindings = bindings
+        self.is_feedback = is_feedback
+        self.failed_criterion = failed_criterion
+
+    def task_with_values(self) -> str:
+        """The task line with quoted parameter names replaced by values."""
+        text = self.task
+        for name, value in self.bindings.items():
+            rendered = json.dumps(value)
+            text = text.replace(f"'{name}'", rendered)
+        return text
+
+    def __repr__(self) -> str:
+        return f"DirectRequest({self.task!r}, type={self.answer_type.typescript()})"
+
+
+class CodegenRequest:
+    """A parsed Figure-4 prompt (the final Q segment)."""
+
+    __slots__ = (
+        "language",
+        "name",
+        "parameters",
+        "return_annotation",
+        "task",
+        "is_feedback",
+        "previous_code",
+        "stub",
+    )
+
+    def __init__(
+        self,
+        language: str,
+        name: str,
+        parameters: list[str],
+        return_annotation: str | None,
+        task: str,
+        is_feedback: bool,
+        previous_code: str = "",
+        stub: str = "",
+    ) -> None:
+        self.language = language
+        self.name = name
+        self.parameters = parameters
+        self.return_annotation = return_annotation
+        self.task = task
+        self.is_feedback = is_feedback
+        self.previous_code = previous_code
+        self.stub = stub
+
+    def __repr__(self) -> str:
+        return f"CodegenRequest({self.language}, {self.name!r}, {self.task!r})"
+
+
+def is_direct_prompt(prompt: str) -> bool:
+    return prompt.startswith(PREAMBLE[:60])
+
+
+def is_codegen_prompt(prompt: str) -> bool:
+    return prompt.startswith(CODEGEN_PREFIX)
+
+
+def parse_direct_request(prompt: str) -> DirectRequest:
+    """Recover the task, bindings, and expected type from a direct prompt."""
+    is_feedback = FEEDBACK_MARKER in prompt
+    original = prompt.split(FEEDBACK_MARKER, 1)[0] if is_feedback else prompt
+
+    fence = _TS_FENCE_RE.search(original)
+    if fence is None:
+        raise SolverError("direct prompt is missing its ```ts type fence")
+    response_type = parse_type(fence.group(1).strip())
+    if not isinstance(response_type, RecordType) or "answer" not in response_type.fields:
+        raise SolverError("direct prompt type fence lacks an 'answer' field")
+    answer_type = response_type.fields["answer"]
+
+    task, bindings = _parse_task_section(original)
+    return DirectRequest(answer_type, task, bindings, is_feedback)
+
+
+def _parse_task_section(prompt: str) -> tuple[str, dict[str, Any]]:
+    """The task line and its ``where`` bindings from a direct prompt.
+
+    The task section is everything after the reason-field instruction (and
+    optional few-shot examples): a task line, optionally followed by a
+    ``where`` bindings line.
+    """
+    lines = [line for line in prompt.splitlines() if line.strip()]
+    if not lines:
+        raise SolverError("empty prompt")
+    if lines[-1].startswith("where "):
+        if len(lines) < 2:
+            raise SolverError("direct prompt has bindings but no task line")
+        return lines[-2].strip(), _parse_bindings(lines[-1])
+    return lines[-1].strip(), {}
+
+
+def _parse_bindings(line: str) -> dict[str, Any]:
+    """Parse ``where 'n' = 5, 'subject' = "computer science"``.
+
+    Values are JSON; ``raw_decode`` consumes each value so that commas
+    inside strings/arrays do not confuse the split.
+    """
+    body = line[len("where "):]
+    decoder = json.JSONDecoder()
+    bindings: dict[str, Any] = {}
+    position = 0
+    while position < len(body):
+        match = _WHERE_BINDING_RE.match(body, position)
+        if match is None:
+            break
+        name = match.group(1)
+        value, end = decoder.raw_decode(body, match.end())
+        bindings[name] = value
+        bindings_sep = re.compile(r"\s*,\s*")
+        sep = bindings_sep.match(body, end)
+        position = sep.end() if sep else end
+    return bindings
+
+
+def parse_codegen_request(prompt: str) -> CodegenRequest:
+    """Recover the signature and task from a Figure-4 prompt."""
+    is_feedback = CODEGEN_FEEDBACK_MARKER in prompt
+    previous_code = ""
+    original = prompt
+    if is_feedback:
+        original, rest = prompt.split(CODEGEN_FEEDBACK_MARKER, 1)
+        previous_code = rest.strip()
+
+    blocks = _CODE_FENCE_RE.findall(original)
+    if not blocks:
+        raise SolverError("codegen prompt contains no code fence")
+    language, stub = blocks[-1]
+    stub = stub.strip("\n")
+
+    comment_match = _COMMENT_RE[language].search(stub)
+    task = comment_match.group(1).strip() if comment_match else ""
+
+    if language == PYTHON:
+        signature = _PY_SIGNATURE_RE.search(stub)
+        if signature is None:
+            raise SolverError("python codegen stub has no def signature")
+        name = signature.group(1)
+        parameters = [
+            part.strip().split(":")[0].strip()
+            for part in signature.group(2).split(",")
+            if part.strip()
+        ]
+        return CodegenRequest(PYTHON, name, parameters, None, task, is_feedback, previous_code, stub)
+
+    # TypeScript: parse the stub with the tslang front end.
+    from repro.tslang.parser import parse_program
+
+    try:
+        program = parse_program(stub)
+    except TsSyntaxError as error:
+        raise SolverError(f"cannot parse TypeScript stub: {error}") from error
+    functions = program.functions()
+    if not functions:
+        raise SolverError("TypeScript stub declares no function")
+    name, declaration = next(iter(functions.items()))
+    parameters: list[str] = []
+    for param in declaration.params:
+        parameters.extend(param.names)
+    return CodegenRequest(
+        TYPESCRIPT,
+        name,
+        parameters,
+        declaration.return_annotation,
+        task,
+        is_feedback,
+        previous_code,
+        stub,
+    )
+
+
+def classify_prompt(prompt: str) -> str:
+    """``"direct"``, ``"codegen"``, or ``"chat"``."""
+    if is_codegen_prompt(prompt):
+        return "codegen"
+    if is_direct_prompt(prompt):
+        return "direct"
+    return "chat"

@@ -1,0 +1,199 @@
+"""The simulated language model.
+
+``SimulatedLLM`` honours the same contract as a hosted chat model: it
+receives prompt *text* and returns response *text*.  Internally it
+re-parses the prompt (Listing 2 / Figure 4 shapes), consults the
+knowledge base, and renders a reply -- JSON in a fenced block for direct
+answers, a completed function in a fenced block for code generation --
+with deterministic failure injection so AskIt's validation and retry
+machinery is exercised end to end.
+
+Substitution note (see DESIGN.md): this class replaces OpenAI GPT-3.5 /
+GPT-4.  Every byte that crosses the boundary is text; nothing structured
+leaks around the prompt.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.llm import noise as noise_mod
+from repro.llm.base import ChatMessage, CompletionResult, LanguageModel, Usage
+from repro.llm.knowledge import KnowledgeBase, global_knowledge, mask_quantities
+from repro.llm.latency import profile_for
+from repro.llm.noise import NoisePolicy
+from repro.llm.requests import (
+    CodegenRequest,
+    DirectRequest,
+    classify_prompt,
+    parse_codegen_request,
+    parse_direct_request,
+)
+from repro.llm.solvers.mathword import is_uncodable_family, solve_word_problem
+from repro.llm.solvers.worldly import solve_worldly
+from repro.llm.synthesis.emitters import (
+    complete_python_stub,
+    complete_typescript_stub,
+    wrap_code_response,
+)
+from repro.llm.synthesis.wordmath import emit_python_body, emit_typescript_body, match_family
+from repro.llm.tokenizer import count_tokens
+from repro.prompts.codegen import PYTHON
+from repro.types.examples import example_value
+
+
+class SimulatedLLM(LanguageModel):
+    """A deterministic, seeded stand-in for a GPT-class chat model."""
+
+    def __init__(
+        self,
+        name: str = "sim-gpt-4",
+        knowledge: KnowledgeBase | None = None,
+        policy: NoisePolicy | None = None,
+    ) -> None:
+        self.name = name
+        self._knowledge = knowledge
+        self.policy = policy or NoisePolicy()
+        self.call_count = 0
+
+    @property
+    def knowledge(self) -> KnowledgeBase:
+        return self._knowledge if self._knowledge is not None else global_knowledge()
+
+    # -- LanguageModel ------------------------------------------------------
+
+    def complete(
+        self, messages: Sequence[ChatMessage], temperature: float = 1.0
+    ) -> CompletionResult:
+        if not messages:
+            raise ValueError("complete() needs at least one message")
+        prompt = messages[-1].content
+        self.call_count += 1
+        rng = self.policy.rng_for(prompt, self.call_count if temperature > 0 else 0)
+
+        kind = classify_prompt(prompt)
+        if kind == "direct":
+            text = self._handle_direct(prompt, rng)
+        elif kind == "codegen":
+            text = self._handle_codegen(prompt, rng)
+        else:
+            text = self._handle_chat(prompt)
+
+        prompt_tokens = sum(count_tokens(message.content) + 4 for message in messages)
+        completion_tokens = count_tokens(text)
+        latency = profile_for(self.name).latency(
+            prompt_tokens, completion_tokens, rng.uniform(-1.0, 1.0)
+        )
+        return CompletionResult(text, Usage(prompt_tokens, completion_tokens), latency, self.name)
+
+    # -- direct answers --------------------------------------------------------
+
+    def _handle_direct(self, prompt: str, rng) -> str:
+        request = parse_direct_request(prompt)
+        value, reason = self._answer(request)
+
+        attempt = 1 if request.is_feedback else 0
+        corruption = self.policy.direct_corruption(rng, attempt)
+        payload = json.dumps({"reason": reason, "answer": value})
+
+        if corruption == noise_mod.DROP_FENCE:
+            return (
+                f"{reason} So the answer is {self._inline(value)}. "
+                "Let me know if you need anything else!"
+            )
+        if corruption == noise_mod.MISSING_ANSWER:
+            body = json.dumps({"reason": reason, "result": value})
+            return f"```json\n{body}\n```\n"
+        if corruption == noise_mod.WRONG_TYPE:
+            wrong: Any = json.dumps(value) if not isinstance(value, str) else 12345
+            body = json.dumps({"reason": reason, "answer": wrong})
+            return f"```json\n{body}\n```\n"
+        return f"```json\n{payload}\n```\n"
+
+    @staticmethod
+    def _inline(value: Any) -> str:
+        if isinstance(value, str):
+            return value
+        return str(value)
+
+    def _answer(self, request: DirectRequest) -> tuple[Any, str]:
+        """Compute the answer value and a chain-of-thought string."""
+        # 1. Word problems (GSM8K-style).
+        word = solve_word_problem(self.knowledge, request.task_with_values())
+        if word is not None:
+            return word.value, word.reason
+
+        # 2. Tasks the model knows how to perform (the coding catalog
+        #    doubles as direct competence: sorting, factorials, ...).
+        implementation = self.knowledge.find_task(request.task)
+        if implementation is not None:
+            try:
+                value = implementation.python_fn(**request.bindings)
+                return value, f"Performed the task '{request.task}' step by step."
+            except Exception:  # noqa: BLE001 - model falls back to guessing
+                pass
+
+        # 3. Open-domain abilities.
+        matched, value = solve_worldly(request.task, request.bindings)
+        if matched:
+            return value, "Assessed the request and derived the result."
+
+        # 4. Fallback: a type-conforming guess, exactly what a pressed
+        #    model does when it does not know.
+        guess = example_value(request.answer_type)
+        return guess, "I am not certain; providing my best guess in the required format."
+
+    # -- code generation -------------------------------------------------------
+
+    def _handle_codegen(self, prompt: str, rng) -> str:
+        request = parse_codegen_request(prompt)
+        attempt = 1 if request.is_feedback else 0
+        body = self._codegen_body(request, rng, attempt)
+        if request.language == PYTHON:
+            code = complete_python_stub(request.stub, body)
+        else:
+            code = complete_typescript_stub(request.stub, body)
+        return wrap_code_response(request.language, code)
+
+    def _codegen_body(self, request: CodegenRequest, rng, attempt: int) -> str:
+        knowledge = self.knowledge
+
+        # Word-problem families (the GSM8K codegen path).
+        matched = match_family(knowledge, request.task)
+        if matched is not None:
+            family, slot_names = matched
+            skeleton, _ = mask_quantities(request.task)
+            persistent_failure = is_uncodable_family(skeleton)
+            buggy = persistent_failure or self.policy.code_is_buggy(rng, attempt)
+            if request.language == PYTHON:
+                return emit_python_body(family.expression, slot_names, wrong=buggy)
+            return emit_typescript_body(family.expression, slot_names, wrong=buggy)
+
+        # Catalog tasks.
+        implementation = knowledge.find_task(request.task)
+        if implementation is not None:
+            if request.language == PYTHON:
+                if implementation.python_signature_mismatch:
+                    # Persistent: with no parameter types in the prompt the
+                    # model keeps assuming the wrong representation.
+                    return implementation.python_body
+                if implementation.buggy_python_body and self.policy.code_is_buggy(rng, attempt):
+                    return implementation.buggy_python_body
+                return implementation.python_body
+            if implementation.buggy_ts_body and self.policy.code_is_buggy(rng, attempt):
+                return implementation.buggy_ts_body
+            return implementation.ts_body
+
+        # Unknown task: emit an honest failure body.
+        if request.language == PYTHON:
+            return 'raise NotImplementedError("I do not know how to implement this task")'
+        return "throw new Error('I do not know how to implement this task');"
+
+    # -- chat fallback -----------------------------------------------------------
+
+    def _handle_chat(self, prompt: str) -> str:
+        return (
+            "I can help with programming tasks. Please provide a typed AskIt "
+            "request so I can answer in the expected format."
+        )

@@ -1,0 +1,23 @@
+"""Task solvers backing the simulated model's direct answers."""
+
+from repro.llm.solvers.mathword import (
+    CODEGEN_FAILURE_RATE,
+    DIRECT_FAILURE_RATE,
+    WordProblemAnswer,
+    is_hard_instance,
+    is_uncodable_family,
+    solve_word_problem,
+)
+from repro.llm.solvers.worldly import analyze_sentiment, classic_books, solve_worldly
+
+__all__ = [
+    "solve_word_problem",
+    "WordProblemAnswer",
+    "is_hard_instance",
+    "is_uncodable_family",
+    "DIRECT_FAILURE_RATE",
+    "CODEGEN_FAILURE_RATE",
+    "analyze_sentiment",
+    "classic_books",
+    "solve_worldly",
+]

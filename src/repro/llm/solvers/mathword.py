@@ -1,0 +1,111 @@
+"""Word-problem solver: the simulated model's GSM8K competence.
+
+Given a problem text (numbers already substituted), the solver masks the
+quantities, matches the skeleton against registered problem families, and
+evaluates the family's expression tree on the extracted numbers --
+"reading" the problem the way a model that has seen grade-school math
+does.
+
+Model fallibility is reproduced with a *persistent* per-instance gate:
+a deterministic hash of the problem text marks ~13.5 % of instances as
+beyond the model, for which the solver returns a subtly wrong value (the
+perturbed expression).  This matches GPT-4's measured 86-88 % GSM8K
+accuracy in the paper and stays stable across retries, as real failures
+do.
+"""
+
+from __future__ import annotations
+
+from repro.llm.knowledge import KnowledgeBase, mask_numbers
+from repro.llm.noise import stable_fraction
+from repro.mathexpr import perturb
+
+#: Fraction of instances the simulated model cannot solve directly
+#: (calibrated to the paper's 1,159/1,319 Python and 1,138/1,319
+#: TypeScript direct-solve counts).
+DIRECT_FAILURE_RATE = 0.135
+
+#: Fraction of *families* the model cannot write correct code for.  The
+#: paper lost 24/1,138 (TS) and 25/1,159 (Py) problems to codegen; at 36
+#: families one uncodable family reproduces that ~2 % loss (the threshold
+#: is set so exactly one family's hash falls under it).
+CODEGEN_FAILURE_RATE = 0.03
+
+
+class WordProblemAnswer:
+    """The solver's output: value plus a rendered chain of thought."""
+
+    __slots__ = ("value", "reason", "is_correct")
+
+    def __init__(self, value: float, reason: str, is_correct: bool) -> None:
+        self.value = value
+        self.reason = reason
+        self.is_correct = is_correct
+
+
+def solve_word_problem(
+    knowledge: KnowledgeBase, problem_text: str
+) -> WordProblemAnswer | None:
+    """Solve a word problem, or ``None`` when no family matches."""
+    found = knowledge.find_family(problem_text)
+    if found is None:
+        return None
+    family, numbers = found
+    env = {f"n{index}": value for index, value in enumerate(numbers)}
+
+    hard = is_hard_instance(problem_text)
+    if hard:
+        wrong = perturb(family.expression).evaluate(env)
+        true_value = family.expression.evaluate(env)
+        if wrong == true_value:
+            wrong = true_value + 1
+        reason = _render_reason(family, env, wrong)
+        return WordProblemAnswer(_canonical(wrong), reason, False)
+
+    value = family.expression.evaluate(env)
+    return WordProblemAnswer(_canonical(value), _render_reason(family, env, value), True)
+
+
+def is_hard_instance(problem_text: str) -> bool:
+    """Deterministic per-instance gate for direct-answer failures."""
+    masked, numbers = mask_numbers(problem_text)
+    key = masked + "|" + ",".join(repr(number) for number in numbers)
+    return stable_fraction(key, salt="gsm8k-direct") < DIRECT_FAILURE_RATE
+
+
+def is_uncodable_family(skeleton: str) -> bool:
+    """Deterministic per-family gate for codegen failures."""
+    return stable_fraction(skeleton, salt="gsm8k-codegen") < CODEGEN_FAILURE_RATE
+
+
+def _canonical(value: float) -> float | int:
+    if float(value).is_integer():
+        return int(value)
+    return value
+
+
+def _render_reason(family, env: dict[str, float], value) -> str:
+    """A chain-of-thought paragraph in the style GPT-4 produces.
+
+    Verbosity matters: completion length drives the latency model, and
+    real models narrate these problems step by step.
+    """
+    lines = ["Let me work through this step by step."]
+    for name, number in env.items():
+        lines.append(
+            f"First, I identify the quantity {name}, which the problem "
+            f"states is {_canonical(number)}."
+        )
+    lines.append(
+        f"The question asks me to combine these quantities, which "
+        f"corresponds to computing {family.expression.emit()}."
+    )
+    intermediate = family.expression.emit()
+    for name, number in env.items():
+        intermediate = intermediate.replace(name, str(_canonical(number)))
+    lines.append(f"Substituting the values gives {intermediate}.")
+    lines.append(
+        f"Evaluating this expression yields {_canonical(value)}, so the "
+        f"final answer is {_canonical(value)}."
+    )
+    return " ".join(lines)

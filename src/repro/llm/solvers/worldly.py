@@ -1,0 +1,158 @@
+"""Open-domain solvers: the "directly answerable, non-codable" tasks.
+
+These model the abilities LLMs have that classical code does not:
+sentiment analysis, small-talk knowledge (book lists), and natural-
+language arithmetic.  Each solver pattern-matches the task text and
+produces a Python value; the simulated model renders it as a typed JSON
+answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Any
+
+_POSITIVE_WORDS = frozenset(
+    """great fantastic excellent amazing love loved loves wonderful good best
+    awesome perfect superb delightful happy pleased impressive exceeds
+    exceeded recommend recommended outstanding brilliant enjoyable
+    satisfied""".split()
+)
+
+_NEGATIVE_WORDS = frozenset(
+    """bad terrible awful horrible hate hated poor worst disappointing
+    disappointed broken useless waste refund defective slow annoying
+    frustrating unusable regret mediocre""".split()
+)
+
+_WORD_RE = re.compile(r"[a-z']+")
+
+
+def analyze_sentiment(text: str) -> str:
+    """Lexicon-based sentiment: ``'positive'`` or ``'negative'``.
+
+    Ties break positive, matching the paper's running example.
+    """
+    words = _WORD_RE.findall(text.lower())
+    score = 0
+    negate = False
+    for word in words:
+        if word in ("not", "never", "no", "isn't", "wasn't", "don't", "doesn't"):
+            negate = True
+            continue
+        delta = 0
+        if word in _POSITIVE_WORDS:
+            delta = 1
+        elif word in _NEGATIVE_WORDS:
+            delta = -1
+        if negate and delta:
+            delta = -delta
+            negate = False
+        score += delta
+    return "positive" if score >= 0 else "negative"
+
+
+_SENTIMENT_RE = re.compile(r"sentiment of", re.IGNORECASE)
+
+
+def match_sentiment(task: str, bindings: dict[str, Any]) -> str | None:
+    """Solve sentiment tasks; the review is the sole string binding or the
+    quoted text inside the task itself."""
+    if not _SENTIMENT_RE.search(task):
+        return None
+    for value in bindings.values():
+        if isinstance(value, str):
+            return analyze_sentiment(value)
+    quoted = re.search(r'"([^"]+)"', task)
+    if quoted:
+        return analyze_sentiment(quoted.group(1))
+    return analyze_sentiment(task)
+
+
+_BOOKS_RE = re.compile(r"list (\d+|'\w+' = )?.*books? on", re.IGNORECASE)
+
+_BOOK_ADJECTIVES = [
+    "Foundations of", "The Art of", "Principles of", "Elements of",
+    "Introduction to", "Advanced", "The Structure of", "Reflections on",
+    "A Discipline of", "Patterns of",
+]
+
+_BOOK_AUTHORS = [
+    "A. Turing", "G. Hopper", "D. Knuth", "B. Liskov", "E. Dijkstra",
+    "J. Backus", "A. Lovelace", "J. McCarthy", "N. Wirth", "F. Brooks",
+]
+
+
+def classic_books(n: int, subject: str) -> list[dict[str, Any]]:
+    """A deterministic list of ``n`` plausible classic books on a subject."""
+    books: list[dict[str, Any]] = []
+    for index in range(n):
+        digest = hashlib.sha256(f"{subject}|{index}".encode()).digest()
+        adjective = _BOOK_ADJECTIVES[digest[0] % len(_BOOK_ADJECTIVES)]
+        author = _BOOK_AUTHORS[digest[1] % len(_BOOK_AUTHORS)]
+        year = 1950 + digest[2] % 50
+        title = f"{adjective} {subject.title()}"
+        if index:
+            title = f"{title}, Volume {index + 1}"
+        books.append({"title": title, "author": author, "year": year})
+    return books
+
+
+def match_books(task: str, bindings: dict[str, Any]) -> list[dict[str, Any]] | None:
+    if not re.search(r"\bbooks?\b", task, re.IGNORECASE) or "list" not in task.lower():
+        return None
+    n = None
+    subject = None
+    for value in bindings.values():
+        if isinstance(value, int) and n is None:
+            n = value
+        elif isinstance(value, str) and subject is None:
+            subject = value
+    if n is None:
+        inline = re.search(r"list (\d+)", task, re.IGNORECASE)
+        n = int(inline.group(1)) if inline else 5
+    if subject is None:
+        subject = "computer science"
+    return classic_books(n, subject)
+
+
+_ARITHMETIC_RE = re.compile(
+    r"what is (-?\d+(?:\.\d+)?) (times|plus|minus|divided by) (-?\d+(?:\.\d+)?)",
+    re.IGNORECASE,
+)
+
+
+def match_arithmetic(task: str, bindings: dict[str, Any]) -> float | None:
+    """Answer ``What is 7 times 8?`` style questions."""
+    match = _ARITHMETIC_RE.search(task)
+    if match is None:
+        return None
+    left = float(match.group(1))
+    right = float(match.group(3))
+    operation = match.group(2).lower()
+    if operation == "times":
+        result = left * right
+    elif operation == "plus":
+        result = left + right
+    elif operation == "minus":
+        result = left - right
+    else:
+        if right == 0:
+            return None
+        result = left / right
+    return result
+
+
+def solve_worldly(task: str, bindings: dict[str, Any]) -> tuple[bool, Any]:
+    """Try all open-domain solvers; returns (matched, value)."""
+    sentiment = match_sentiment(task, bindings)
+    if sentiment is not None:
+        return True, sentiment
+    books = match_books(task, bindings)
+    if books is not None:
+        return True, books
+    arithmetic = match_arithmetic(task, bindings)
+    if arithmetic is not None:
+        return True, arithmetic
+    return False, None

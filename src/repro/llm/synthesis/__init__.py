@@ -1,0 +1,25 @@
+"""Code synthesis: the simulated model's ability to write programs."""
+
+from repro.llm.synthesis.emitters import (
+    complete_python_stub,
+    complete_typescript_stub,
+    indent_body,
+    wrap_code_response,
+)
+from repro.llm.synthesis.wordmath import (
+    emit_python_body,
+    emit_typescript_body,
+    match_family,
+    rebind_expression,
+)
+
+__all__ = [
+    "complete_python_stub",
+    "complete_typescript_stub",
+    "indent_body",
+    "wrap_code_response",
+    "match_family",
+    "rebind_expression",
+    "emit_python_body",
+    "emit_typescript_body",
+]

@@ -1,0 +1,503 @@
+"""Built-in task implementations: the simulated LLM's coding knowledge.
+
+A real LLM knows how to implement "reverse a string" from its weights; the
+simulated model knows it from this catalog.  Every entry carries
+
+* ``answer_fn`` -- a real Python callable used when the task is answered
+  *directly* (the model "does the task in its head");
+* ``python_body`` / ``ts_body`` -- the source the model emits when asked
+  to *code* the task (Figure 4 prompts);
+* optional buggy variants emitted under noise, so example-based
+  validation and regeneration genuinely matter (the paper's task #14
+  Fibonacci needed seven retries for exactly this reason);
+* ``python_signature_mismatch`` for the paper's pyaskit failures
+  (tasks #11, #21-#24): with no parameter types in the Python prompt, the
+  model assumes a wrong argument representation and its code never
+  passes validation.
+"""
+
+from __future__ import annotations
+
+import json as _json
+from typing import Any
+
+from repro.datasets.common_tasks import all_tasks
+from repro.llm.knowledge import KnowledgeBase, TaskImplementation
+from repro.templates import PromptTemplate
+
+
+def _quoted(template_text: str) -> str:
+    """The task description as it appears in prompts (params quoted)."""
+    return PromptTemplate(template_text).quoted()
+
+
+# -- answer functions (direct-mode semantics) --------------------------------
+
+
+def _average(ns: list) -> float:
+    return sum(ns) / len(ns)
+
+
+def _fibonacci(n: int) -> list:
+    sequence: list[int] = []
+    a, b = 0, 1
+    while len(sequence) < n:
+        sequence.append(a)
+        a, b = b, a + b
+    return sequence
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    i = 2
+    while i * i <= n:
+        if n % i == 0:
+            return False
+        i += 1
+    return True
+
+
+def _primes_up_to(n: int) -> list:
+    return [candidate for candidate in range(2, n + 1) if _is_prime(candidate)]
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return abs(a)
+
+
+def _days_between(d1: str, d2: str) -> int:
+    import datetime
+
+    first = datetime.date.fromisoformat(d1)
+    second = datetime.date.fromisoformat(d2)
+    return abs((second - first).days)
+
+
+def _unique(xs: list) -> list:
+    seen: list = []
+    for x in xs:
+        if x not in seen:
+            seen.append(x)
+    return seen
+
+
+def _rotate(xs: list, k: int) -> list:
+    if not xs:
+        return []
+    k = k % len(xs)
+    return xs[k:] + xs[:k]
+
+
+def _second_largest(ns: list) -> int:
+    ordered = sorted(ns, reverse=True)
+    return ordered[1]
+
+
+def _interleave(xs: list, ys: list) -> list:
+    result: list = []
+    for a, b in zip(xs, ys):
+        result.extend([a, b])
+    shorter = min(len(xs), len(ys))
+    longer = xs if len(xs) > len(ys) else ys
+    result.extend(longer[shorter:])
+    return result
+
+
+def _running_sum(ns: list) -> list:
+    result: list = []
+    total = 0
+    for x in ns:
+        total += x
+        result.append(total)
+    return result
+
+
+def _capitalize_words(s: str) -> str:
+    return " ".join(word[:1].upper() + word[1:] for word in s.split(" "))
+
+
+def _dedupe_chars(s: str) -> str:
+    seen: list[str] = []
+    for char in s:
+        if char not in seen:
+            seen.append(char)
+    return "".join(seen)
+
+
+_ANSWER_FNS: dict[int, Any] = {
+    1: lambda s: s[::-1],
+    2: lambda n: 1 if n <= 1 else n * _ANSWER_FNS[2](n - 1),
+    3: lambda ss: "".join(ss),
+    4: lambda ns: sorted(ns),
+    5: lambda ns: max(ns),
+    6: lambda n: str(n) == str(n)[::-1],
+    7: lambda ns: sum(ns),
+    8: _average,
+    9: lambda xs, x: xs.count(x),
+    10: lambda xs, x: [item for item in xs if item != x],
+    11: _unique,
+    12: lambda n: 1 if n <= 1 else n * _ANSWER_FNS[12](n - 1),
+    13: lambda s: s == s[::-1],
+    14: _fibonacci,
+    15: lambda ns: min(ns),
+    16: lambda s: s.upper(),
+    17: lambda s: s.lower(),
+    18: _is_prime,
+    19: _primes_up_to,
+    20: _gcd,
+    21: lambda o: _json.dumps(o),
+    22: lambda s: _json.loads(s),
+    23: lambda o1, o2: {**o1, **o2},
+    24: _days_between,
+    25: lambda a, b: a * b // _gcd(a, b),
+    26: lambda s: sum(1 for char in s if char.lower() in "aeiou"),
+    27: lambda s: s.isdigit(),
+    28: lambda s, d: s.split(d),
+    29: lambda ss, sep: sep.join(ss),
+    30: _capitalize_words,
+    31: _dedupe_chars,
+    32: lambda xs, x: xs.index(x) if x in xs else -1,
+    33: lambda xs: all(a <= b for a, b in zip(xs, xs[1:])),
+    34: _rotate,
+    35: lambda xs: [item for row in xs for item in row],
+    36: lambda v1, v2: sum(a * b for a, b in zip(v1, v2)),
+    37: lambda m: [list(row) for row in zip(*m)],
+    38: _second_largest,
+    39: lambda n: bin(n)[2:],
+    40: lambda s: int(s, 2),
+    41: lambda n, p: n**p,
+    42: lambda a, b: abs(a - b),
+    43: lambda y: (y % 4 == 0 and y % 100 != 0) or y % 400 == 0,
+    44: lambda c: c * 9 / 5 + 32,
+    45: lambda ss: max(ss, key=len),
+    46: lambda s: len(s.split()),
+    47: lambda s, n: s[:n],
+    48: lambda n, w: str(n).zfill(w),
+    49: _running_sum,
+    50: _interleave,
+}
+
+
+# -- emitted code bodies ----------------------------------------------------
+
+_PY = {
+    1: "reversed_string = s[::-1]\nreturn reversed_string",
+    2: "result = 1\nfor i in range(2, n + 1):\n    result *= i\nreturn result",
+    3: "result = ''\nfor item in ss:\n    result += item\nreturn result",
+    4: "sorted_numbers = sorted(ns)\nreturn sorted_numbers",
+    5: "largest = ns[0]\nfor value in ns:\n    if value > largest:\n        largest = value\nreturn largest",
+    6: "text = str(n)\nreturn text == text[::-1]",
+    7: "total = 0\nfor value in ns:\n    total += value\nreturn total",
+    8: "total = sum(ns)\ncount = len(ns)\nreturn total / count",
+    9: "count = 0\nfor item in xs:\n    if item == x:\n        count += 1\nreturn count",
+    10: "result = []\nfor item in xs:\n    if item != x:\n        result.append(item)\nreturn result",
+    # pyaskit failure: with no parameter types, the model assumed `xs` was
+    # a set and calls a set method that lists do not have.
+    11: "return sorted(xs.union(set()))",
+    12: "result = 1\nfor i in range(2, n + 1):\n    result *= i\nreturn result",
+    13: "reversed_s = s[::-1]\nreturn s == reversed_s",
+    14: (
+        "sequence = []\na, b = 0, 1\nwhile len(sequence) < n:\n"
+        "    sequence.append(a)\n    a, b = b, a + b\nreturn sequence"
+    ),
+    15: "smallest = ns[0]\nfor value in ns:\n    if value < smallest:\n        smallest = value\nreturn smallest",
+    16: "result = s.upper()\nreturn result",
+    17: "result = s.lower()\nreturn result",
+    18: (
+        "if n < 2:\n    return False\ni = 2\nwhile i * i <= n:\n"
+        "    if n % i == 0:\n        return False\n    i += 1\nreturn True"
+    ),
+    19: (
+        "primes = []\nfor candidate in range(2, n + 1):\n"
+        "    is_prime = True\n    for p in primes:\n"
+        "        if p * p > candidate:\n            break\n"
+        "        if candidate % p == 0:\n            is_prime = False\n            break\n"
+        "    if is_prime:\n        primes.append(candidate)\nreturn primes"
+    ),
+    20: "a, b = abs(a), abs(b)\nwhile b:\n    a, b = b, a % b\nreturn a",
+    # pyaskit failures: the model assumed the argument was already a string
+    # (21), produced a string (22), or were lists (23) / datetimes (24).
+    21: "return o.strip()",
+    22: "import json\nreturn json.dumps(s)",
+    23: "return o1 + o2",
+    24: "return abs((d2 - d1).days)",
+    25: (
+        "def gcd(x, y):\n    while y:\n        x, y = y, x % y\n    return x\n"
+        "return a * b // gcd(a, b)"
+    ),
+    26: "count = 0\nfor ch in s:\n    if ch.lower() in 'aeiou':\n        count += 1\nreturn count",
+    27: "if not s:\n    return False\nreturn s.isdigit()",
+    28: "parts = s.split(d)\nreturn parts",
+    29: "result = sep.join(ss)\nreturn result",
+    30: "words = s.split(' ')\ncapitalized = []\nfor word in words:\n    capitalized.append(word[:1].upper() + word[1:])\nreturn ' '.join(capitalized)",
+    31: (
+        "seen = []\nfor ch in s:\n    if ch not in seen:\n        seen.append(ch)\n"
+        "return ''.join(seen)"
+    ),
+    32: "for i, item in enumerate(xs):\n    if item == x:\n        return i\nreturn -1",
+    33: "for i in range(1, len(xs)):\n    if xs[i - 1] > xs[i]:\n        return False\nreturn True",
+    34: "if not xs:\n    return []\nshift = k % len(xs)\nreturn xs[shift:] + xs[:shift]",
+    35: "flattened = []\nfor row in xs:\n    for item in row:\n        flattened.append(item)\nreturn flattened",
+    36: "total = 0\nfor a, b in zip(v1, v2):\n    total += a * b\nreturn total",
+    37: "rows = len(m)\ncols = len(m[0])\nresult = []\nfor j in range(cols):\n    result.append([m[i][j] for i in range(rows)])\nreturn result",
+    38: "ordered = sorted(ns, reverse=True)\nreturn ordered[1]",
+    39: "binary = bin(n)[2:]\nreturn binary",
+    40: "value = int(s, 2)\nreturn value",
+    41: "result = n ** p\nreturn result",
+    42: "difference = a - b\nreturn abs(difference)",
+    43: "if y % 400 == 0:\n    return True\nif y % 100 == 0:\n    return False\nreturn y % 4 == 0",
+    44: "fahrenheit = c * 9 / 5 + 32\nreturn fahrenheit",
+    45: "longest = ss[0]\nfor item in ss:\n    if len(item) > len(longest):\n        longest = item\nreturn longest",
+    46: "words = s.split()\nreturn len(words)",
+    47: "truncated = s[:n]\nreturn truncated",
+    48: "text = str(n)\nreturn text.zfill(w)",
+    49: (
+        "result = []\ntotal = 0\nfor x in ns:\n    total += x\n"
+        "    result.append(total)\nreturn result"
+    ),
+    50: (
+        "result = []\nfor a, b in zip(xs, ys):\n    result.extend([a, b])\n"
+        "shorter = min(len(xs), len(ys))\nlonger = xs if len(xs) > len(ys) else ys\n"
+        "result.extend(longer[shorter:])\nreturn result"
+    ),
+}
+
+_TS = {
+    1: "const reversed = s.split('').reverse().join('');\nreturn reversed;",
+    2: "let result = 1;\nfor (let i = 2; i <= n; i++) {\n    result *= i;\n}\nreturn result;",
+    3: "let result = '';\nfor (const item of ss) {\n    result += item;\n}\nreturn result;",
+    4: "const sorted = ns.slice();\nsorted.sort((a, b) => a - b);\nreturn sorted;",
+    5: "let largest = ns[0];\nfor (const value of ns) {\n    if (value > largest) {\n        largest = value;\n    }\n}\nreturn largest;",
+    6: "const text = String(n);\nconst reversed = text.split('').reverse().join('');\nreturn text === reversed;",
+    7: "let total = 0;\nfor (const value of ns) {\n    total += value;\n}\nreturn total;",
+    8: "const total = ns.reduce((acc, x) => acc + x, 0);\nreturn total / ns.length;",
+    9: "let count = 0;\nfor (const item of xs) {\n    if (item === x) {\n        count++;\n    }\n}\nreturn count;",
+    10: "const result = [];\nfor (const item of xs) {\n    if (item !== x) {\n        result.push(item);\n    }\n}\nreturn result;",
+    11: "return xs.filter((item, index) => xs.indexOf(item) === index);",
+    12: "let result = 1;\nfor (let i = 2; i <= n; i++) {\n    result *= i;\n}\nreturn result;",
+    13: "const reversed = s.split('').reverse().join('');\nreturn s === reversed;",
+    14: (
+        "const sequence = [];\nlet a = 0;\nlet b = 1;\n"
+        "while (sequence.length < n) {\n    sequence.push(a);\n"
+        "    const next = a + b;\n    a = b;\n    b = next;\n}\nreturn sequence;"
+    ),
+    15: "let smallest = ns[0];\nfor (const value of ns) {\n    if (value < smallest) {\n        smallest = value;\n    }\n}\nreturn smallest;",
+    16: "const result = s.toUpperCase();\nreturn result;",
+    17: "const result = s.toLowerCase();\nreturn result;",
+    18: (
+        "if (n < 2) {\n    return false;\n}\n"
+        "for (let i = 2; i * i <= n; i++) {\n    if (n % i === 0) {\n"
+        "        return false;\n    }\n}\nreturn true;"
+    ),
+    19: (
+        "const primes = [];\nfor (let candidate = 2; candidate <= n; candidate++) {\n"
+        "    let isPrime = true;\n    for (let i = 2; i * i <= candidate; i++) {\n"
+        "        if (candidate % i === 0) {\n            isPrime = false;\n            break;\n        }\n"
+        "    }\n    if (isPrime) {\n        primes.push(candidate);\n    }\n}\nreturn primes;"
+    ),
+    20: (
+        "let x = Math.abs(a);\nlet y = Math.abs(b);\n"
+        "while (y !== 0) {\n    const temp = y;\n    y = x % y;\n    x = temp;\n}\nreturn x;"
+    ),
+    21: "return JSON.stringify(o);",
+    22: "return JSON.parse(s);",
+    23: "return Object.assign({}, o1, o2);",
+    24: (
+        "const first = new Date(d1).getTime();\nconst second = new Date(d2).getTime();\n"
+        "return Math.abs(second - first) / 86400000;"
+    ),
+    25: (
+        "let x = a;\nlet y = b;\nwhile (y !== 0) {\n    const t = y;\n"
+        "    y = x % y;\n    x = t;\n}\nreturn (a * b) / x;"
+    ),
+    26: "let count = 0;\nfor (const ch of s) {\n    if ('aeiou'.includes(ch.toLowerCase())) {\n        count++;\n    }\n}\nreturn count;",
+    27: (
+        "if (s.length === 0) {\n    return false;\n}\n"
+        "for (const ch of s) {\n    if (ch < '0' || ch > '9') {\n"
+        "        return false;\n    }\n}\nreturn true;"
+    ),
+    28: "const parts = s.split(d);\nreturn parts;",
+    29: "const result = ss.join(sep);\nreturn result;",
+    30: "const words = s.split(' ');\nconst capitalized = words.map(w => w.charAt(0).toUpperCase() + w.slice(1));\nreturn capitalized.join(' ');",
+    31: (
+        "let result = '';\nfor (const ch of s) {\n"
+        "    if (!result.includes(ch)) {\n        result += ch;\n    }\n}\nreturn result;"
+    ),
+    32: "const index = xs.indexOf(x);\nreturn index;",
+    33: "for (let i = 1; i < xs.length; i++) {\n    if (xs[i - 1] > xs[i]) {\n        return false;\n    }\n}\nreturn true;",
+    34: (
+        "if (xs.length === 0) {\n    return [];\n}\nconst shift = k % xs.length;\n"
+        "return xs.slice(shift).concat(xs.slice(0, shift));"
+    ),
+    35: "const flattened = [];\nfor (const row of xs) {\n    for (const item of row) {\n        flattened.push(item);\n    }\n}\nreturn flattened;",
+    36: "let total = 0;\nfor (let i = 0; i < v1.length; i++) {\n    total += v1[i] * v2[i];\n}\nreturn total;",
+    37: (
+        "const result = [];\nfor (let j = 0; j < m[0].length; j++) {\n"
+        "    const row = [];\n    for (let i = 0; i < m.length; i++) {\n"
+        "        row.push(m[i][j]);\n    }\n    result.push(row);\n}\nreturn result;"
+    ),
+    38: "const ordered = ns.slice().sort((a, b) => b - a);\nreturn ordered[1];",
+    39: (
+        "if (n === 0) {\n    return '0';\n}\nlet result = '';\nlet value = n;\n"
+        "while (value > 0) {\n    result = String(value % 2) + result;\n"
+        "    value = Math.floor(value / 2);\n}\nreturn result;"
+    ),
+    40: "const value = parseInt(s, 2);\nreturn value;",
+    41: "const result = Math.pow(n, p);\nreturn result;",
+    42: "const difference = a - b;\nreturn Math.abs(difference);",
+    43: "if (y % 400 === 0) {\n    return true;\n}\nif (y % 100 === 0) {\n    return false;\n}\nreturn y % 4 === 0;",
+    44: "const fahrenheit = c * 9 / 5 + 32;\nreturn fahrenheit;",
+    45: (
+        "let longest = ss[0];\nfor (const item of ss) {\n"
+        "    if (item.length > longest.length) {\n        longest = item;\n    }\n}\nreturn longest;"
+    ),
+    46: "const words = s.split(' ').filter(word => word !== '');\nreturn words.length;",
+    47: "const truncated = s.slice(0, n);\nreturn truncated;",
+    48: "const text = String(n);\nreturn text.padStart(w, '0');",
+    49: (
+        "const result = [];\nlet total = 0;\nfor (const x of ns) {\n"
+        "    total += x;\n    result.push(total);\n}\nreturn result;"
+    ),
+    50: (
+        "const result = [];\nconst shorter = Math.min(xs.length, ys.length);\n"
+        "for (let i = 0; i < shorter; i++) {\n    result.push(xs[i]);\n    result.push(ys[i]);\n}\n"
+        "const longer = xs.length > ys.length ? xs : ys;\nreturn result.concat(longer.slice(shorter));"
+    ),
+}
+
+# First-try bugs (emitted under noise; validation catches them and the
+# feedback retry converges).  #14 is the paper's own anecdote: the model
+# produced the sequence up to n + 1 instead of n.
+_BUGGY_PY = {
+    5: "return max(ns[1:]) if len(ns) > 1 else ns[0]",
+    14: (
+        "sequence = []\na, b = 0, 1\nwhile len(sequence) <= n:\n"
+        "    sequence.append(a)\n    a, b = b, a + b\nreturn sequence"
+    ),
+    18: "if n < 2:\n    return False\nreturn n % 2 != 0",
+    31: "return ''.join(sorted(set(s)))",
+    34: "k = k % len(xs) if xs else 0\nreturn xs[-k:] + xs[:-k]",
+    38: "return max(ns)",
+    47: "return s[:n + 1]",
+    49: "result = []\ntotal = 0\nfor x in ns:\n    result.append(total)\n    total += x\nreturn result",
+}
+
+_BUGGY_TS = {
+    5: "return ns[0];",
+    14: (
+        "const sequence = [];\nlet a = 0;\nlet b = 1;\n"
+        "while (sequence.length <= n) {\n    sequence.push(a);\n"
+        "    const next = a + b;\n    a = b;\n    b = next;\n}\nreturn sequence;"
+    ),
+    18: "if (n < 2) {\n    return false;\n}\nreturn n % 2 !== 0;",
+    31: "return s.split('').sort().join('');",
+    34: "const shift = k % xs.length;\nreturn xs.slice(-shift).concat(xs.slice(0, -shift));",
+    38: "return Math.max(...ns);",
+    47: "return s.slice(0, n + 1);",
+    49: (
+        "const result = [];\nlet total = 0;\nfor (const x of ns) {\n"
+        "    result.push(total);\n    total += x;\n}\nreturn result;"
+    ),
+}
+
+_MISMATCH_TASKS = frozenset({11, 21, 22, 23, 24})
+
+
+def register_builtin_tasks(knowledge: KnowledgeBase) -> None:
+    """Install the built-in coding knowledge: the fifty Table II task
+    implementations, the HumanEval-style corpus, and a few standalone
+    tasks used by the motivating examples."""
+    _register_common_tasks(knowledge)
+    _register_humaneval_tasks(knowledge)
+    _register_example_tasks(knowledge)
+
+
+def _register_example_tasks(knowledge: KnowledgeBase) -> None:
+    """Tasks from the paper's motivating examples (Section II)."""
+    knowledge.register_task(
+        TaskImplementation(
+            key="Append 'review' and 'sentiment' as a new row in the CSV file named 'filename'",
+            parameters=["review", "sentiment", "filename"],
+            python_fn=_append_review_to_csv,
+            python_body=(
+                "import csv\n"
+                "with open(filename, 'a', newline='') as handle:\n"
+                "    writer = csv.writer(handle)\n"
+                "    writer.writerow([review, sentiment])"
+            ),
+            ts_body="throw new Error('file access is not available in the TS sandbox');",
+            description="motivating example: append review to CSV",
+        )
+    )
+
+
+def _append_review_to_csv(review: str, sentiment: str, filename: str) -> None:
+    import csv
+
+    with open(filename, "a", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([review, sentiment])
+
+
+def _register_common_tasks(knowledge: KnowledgeBase) -> None:
+    for task in all_tasks():
+        number = task.number
+        implementation = TaskImplementation(
+            key=_quoted(task.template),
+            parameters=list(PromptTemplate(task.template).parameters),
+            python_fn=_wrap_answer(number),
+            python_body=_PY[number],
+            ts_body=_TS[number],
+            buggy_python_body=_BUGGY_PY.get(number),
+            buggy_ts_body=_BUGGY_TS.get(number),
+            python_signature_mismatch=number in _MISMATCH_TASKS,
+            description=f"common task #{number}",
+        )
+        knowledge.register_task(implementation)
+
+
+def _wrap_answer(number: int):
+    fn = _ANSWER_FNS[number]
+
+    def answer(**kwargs: Any) -> Any:
+        return fn(**kwargs)
+
+    return answer
+
+
+def _register_humaneval_tasks(knowledge: KnowledgeBase) -> None:
+    """The simulated model's knowledge of the HumanEval-style tasks.
+
+    The bodies come from the dataset module (including the subtly wrong
+    bodies of the unsolvable ~15 %); the experiment is Python-only, so a
+    TypeScript request gets an honest failure body.
+    """
+    from repro.datasets.humaneval import all_tasks as humaneval_tasks
+
+    for task in humaneval_tasks():
+        knowledge.register_task(
+            TaskImplementation(
+                key=_quoted(task.description),
+                parameters=list(task.params),
+                python_fn=_canonical_answer(task.canonical_solution, task.entry_point),
+                python_body=task.llm_body,
+                ts_body="throw new Error('task not supported in TypeScript');",
+                description=task.task_id,
+            )
+        )
+
+
+def _canonical_answer(solution_source: str, entry_point: str):
+    """Direct-answer callable built from a canonical solution (lazy exec)."""
+    state: dict[str, Any] = {}
+
+    def answer(**kwargs: Any) -> Any:
+        if "fn" not in state:
+            namespace: dict[str, Any] = {}
+            exec(solution_source, namespace)  # noqa: S102 - dataset-authored code
+            state["fn"] = namespace[entry_point]
+        return state["fn"](**kwargs)
+
+    return answer

@@ -1,0 +1,44 @@
+"""Assembling complete generated functions from stubs and bodies.
+
+The Figure-4 prompt hands the model an *empty* function with the task as a
+body comment; the model's reply is the same function completed.  These
+helpers perform that completion for the simulated model: the Python stub's
+trailing ``...`` is replaced by the body, the TypeScript stub's body is
+inserted before the closing brace.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SolverError
+
+_INDENT = "    "
+
+
+def indent_body(body: str, levels: int = 1) -> str:
+    """Indent every non-empty line of ``body`` by ``levels`` 4-space units."""
+    pad = _INDENT * levels
+    lines = [f"{pad}{line}" if line.strip() else "" for line in body.splitlines()]
+    return "\n".join(lines)
+
+
+def complete_python_stub(stub: str, body: str) -> str:
+    """Replace the Python stub's ``...`` placeholder with ``body``."""
+    lines = stub.rstrip().splitlines()
+    if not lines or not lines[-1].strip() == "...":
+        raise SolverError("python stub does not end with a '...' placeholder")
+    return "\n".join(lines[:-1]) + "\n" + indent_body(body) + "\n"
+
+
+def complete_typescript_stub(stub: str, body: str) -> str:
+    """Insert ``body`` before the TypeScript stub's closing brace."""
+    text = stub.rstrip()
+    if not text.endswith("}"):
+        raise SolverError("typescript stub does not end with '}'")
+    head = text[:-1].rstrip()
+    return head + "\n" + indent_body(body) + "\n}\n"
+
+
+def wrap_code_response(language: str, code: str, preface: str = "") -> str:
+    """Format a code reply the way chat models do: prose + fenced block."""
+    preface = preface or "Here is the implementation:"
+    return f"{preface}\n```{language}\n{code.rstrip()}\n```\n"

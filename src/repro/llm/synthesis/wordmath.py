@@ -1,0 +1,87 @@
+"""Code synthesis for word problems (the GSM8K path).
+
+When a codegen prompt's task comment matches a registered word-problem
+family, the simulated model "writes" a function computing the family's
+expression tree over the function's parameters.  The emitted code carries
+one intermediate ``result`` variable and a short comment, matching the
+style real models produce for these prompts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SolverError
+from repro.llm.knowledge import KnowledgeBase, WordProblemFamily, mask_quantities
+from repro.mathexpr import Expr, Num, Var, perturb
+
+
+def match_family(
+    knowledge: KnowledgeBase, task_comment: str
+) -> tuple[WordProblemFamily, list[str]] | None:
+    """Match a codegen task comment against word-problem families.
+
+    Returns the family plus the parameter name occupying each numeric
+    slot (``n0`` -> first quoted identifier, ...).  Slots that contain a
+    literal number in the comment are bound to that constant.
+    """
+    masked, slots = mask_quantities(task_comment)
+    family = knowledge.families.get(masked)
+    if family is None:
+        return None
+    slot_names: list[str] = []
+    for index, slot in enumerate(slots):
+        if isinstance(slot, str):
+            slot_names.append(slot)
+        else:
+            slot_names.append(_render_number(slot))
+    return family, slot_names
+
+
+def _render_number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def rebind_expression(expression: Expr, slot_names: list[str]) -> Expr:
+    """Rewrite ``n<i>`` variables to the actual parameter names/constants."""
+    if isinstance(expression, Var):
+        name = expression.name
+        if name.startswith("n") and name[1:].isdigit():
+            index = int(name[1:])
+            if index >= len(slot_names):
+                raise SolverError(
+                    f"expression references slot {name} but the task has "
+                    f"only {len(slot_names)} quantities"
+                )
+            replacement = slot_names[index]
+            if replacement[0].isdigit() or replacement[0] == "-":
+                return Num(float(replacement))
+            return Var(replacement)
+        return expression
+    if isinstance(expression, Num):
+        return expression
+    # BinOp
+    from repro.mathexpr import BinOp
+
+    assert isinstance(expression, BinOp)
+    return BinOp(
+        expression.op,
+        rebind_expression(expression.left, slot_names),
+        rebind_expression(expression.right, slot_names),
+    )
+
+
+def emit_python_body(expression: Expr, slot_names: list[str], wrong: bool = False) -> str:
+    """Python function body computing the (possibly perturbed) expression."""
+    bound = rebind_expression(expression, slot_names)
+    if wrong:
+        bound = perturb(bound)
+    return f"result = {bound.emit()}\nreturn result"
+
+
+def emit_typescript_body(expression: Expr, slot_names: list[str], wrong: bool = False) -> str:
+    """TypeScript function body computing the (possibly perturbed) expression."""
+    bound = rebind_expression(expression, slot_names)
+    if wrong:
+        bound = perturb(bound)
+    return f"const result = {bound.emit()};\nreturn result;"

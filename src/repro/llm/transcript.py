@@ -1,0 +1,114 @@
+"""Conversation transcript recording.
+
+Debugging a prompt pipeline requires seeing exactly what crossed the
+model boundary.  A :class:`TranscriptRecorder` attached to a
+:class:`~repro.llm.client.ChatClient` captures every exchange -- prompt,
+response, usage, latency -- and renders them as a readable log or JSONL.
+The experiments keep recording off (it holds text in memory); tests and
+debugging sessions switch it on per client.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.llm.base import ChatMessage, CompletionResult
+
+
+class Exchange:
+    """One request/response pair as seen at the model boundary."""
+
+    __slots__ = ("index", "model", "prompt", "response", "prompt_tokens", "completion_tokens", "latency_s")
+
+    def __init__(
+        self,
+        index: int,
+        model: str,
+        prompt: str,
+        response: str,
+        prompt_tokens: int,
+        completion_tokens: int,
+        latency_s: float,
+    ) -> None:
+        self.index = index
+        self.model = model
+        self.prompt = prompt
+        self.response = response
+        self.prompt_tokens = prompt_tokens
+        self.completion_tokens = completion_tokens
+        self.latency_s = latency_s
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "model": self.model,
+            "prompt": self.prompt,
+            "response": self.response,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "latency_s": round(self.latency_s, 4),
+        }
+
+    def __repr__(self) -> str:
+        return f"Exchange(#{self.index}, {self.model}, {self.latency_s:.2f}s)"
+
+
+class TranscriptRecorder:
+    """Accumulates exchanges; attach via ``ChatClient(recorder=...)``."""
+
+    def __init__(self, max_exchanges: int | None = None) -> None:
+        self.exchanges: list[Exchange] = []
+        self.max_exchanges = max_exchanges
+
+    def record(
+        self, model: str, messages: Sequence[ChatMessage], result: CompletionResult
+    ) -> None:
+        if self.max_exchanges is not None and len(self.exchanges) >= self.max_exchanges:
+            del self.exchanges[0]
+        prompt = "\n".join(message.content for message in messages)
+        self.exchanges.append(
+            Exchange(
+                len(self.exchanges),
+                model,
+                prompt,
+                result.text,
+                result.usage.prompt_tokens,
+                result.usage.completion_tokens,
+                result.latency_s,
+            )
+        )
+
+    def clear(self) -> None:
+        self.exchanges.clear()
+
+    def __len__(self) -> int:
+        return len(self.exchanges)
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per exchange, newline-separated."""
+        return "\n".join(json.dumps(exchange.to_json()) for exchange in self.exchanges)
+
+    def render(self, max_chars: int = 400) -> str:
+        """Human-readable log with long payloads elided."""
+        lines: list[str] = []
+        for exchange in self.exchanges:
+            lines.append(
+                f"--- exchange #{exchange.index} [{exchange.model}] "
+                f"{exchange.latency_s:.2f}s "
+                f"({exchange.prompt_tokens}+{exchange.completion_tokens} tokens) ---"
+            )
+            lines.append(">>> prompt")
+            lines.append(_elide(exchange.prompt, max_chars))
+            lines.append("<<< response")
+            lines.append(_elide(exchange.response, max_chars))
+        return "\n".join(lines)
+
+
+def _elide(text: str, max_chars: int) -> str:
+    if len(text) <= max_chars:
+        return text
+    headroom = max_chars // 2
+    return f"{text[:headroom]}\n   ... [{len(text) - max_chars} chars elided] ...\n{text[-headroom:]}"

@@ -1,0 +1,173 @@
+"""Arithmetic expression trees shared by the GSM8K substrate.
+
+A word problem's ground truth is an expression tree over named quantities.
+The same tree is used three ways:
+
+* the dataset evaluates it to produce the reference answer;
+* the simulated LLM's solver evaluates it to "reason" about a problem;
+* the code synthesizer emits it as Python or TypeScript source.
+
+Emission produces straight-line arithmetic with conventional operator
+precedence and minimal parenthesization.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import SolverError
+
+_PREC = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+class Expr:
+    """Base class of expression nodes."""
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        raise NotImplementedError
+
+    def emit(self, prec: int = 0) -> str:
+        """Render as source (valid in both Python and TypeScript)."""
+        raise NotImplementedError
+
+    def variables(self) -> list[str]:
+        """Free variables in first-use order."""
+        seen: list[str] = []
+        self._collect(seen)
+        return seen
+
+    def _collect(self, seen: list[str]) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"<Expr {self.emit()}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and other.emit() == self.emit()
+
+    def __hash__(self) -> int:
+        return hash(self.emit())
+
+
+class Num(Expr):
+    """A numeric constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        return self.value
+
+    def emit(self, prec: int = 0) -> str:
+        if self.value.is_integer():
+            return str(int(self.value))
+        return repr(self.value)
+
+    def _collect(self, seen: list[str]) -> None:
+        pass
+
+
+class Var(Expr):
+    """A named quantity (one of the problem's numeric slots)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        if self.name not in env:
+            raise SolverError(f"unbound variable {self.name!r}")
+        return float(env[self.name])
+
+    def emit(self, prec: int = 0) -> str:
+        return self.name
+
+    def _collect(self, seen: list[str]) -> None:
+        if self.name not in seen:
+            seen.append(self.name)
+
+
+class BinOp(Expr):
+    """A binary arithmetic operation."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _PREC:
+            raise ValueError(f"unsupported operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if self.op == "+":
+            return left + right
+        if self.op == "-":
+            return left - right
+        if self.op == "*":
+            return left * right
+        if right == 0:
+            raise SolverError("division by zero in word problem")
+        return left / right
+
+    def emit(self, prec: int = 0) -> str:
+        own = _PREC[self.op]
+        left = self.left.emit(own)
+        # Right operand of - and / needs parens at equal precedence.
+        right = self.right.emit(own + (1 if self.op in "-/" else 0))
+        text = f"{left} {self.op} {right}"
+        if own < prec:
+            return f"({text})"
+        return text
+
+    def _collect(self, seen: list[str]) -> None:
+        self.left._collect(seen)
+        self.right._collect(seen)
+
+
+def num(value: float) -> Num:
+    return Num(value)
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def add(left: Expr, right: Expr) -> BinOp:
+    return BinOp("+", left, right)
+
+
+def sub(left: Expr, right: Expr) -> BinOp:
+    return BinOp("-", left, right)
+
+
+def mul(left: Expr, right: Expr) -> BinOp:
+    return BinOp("*", left, right)
+
+
+def div(left: Expr, right: Expr) -> BinOp:
+    return BinOp("/", left, right)
+
+
+def perturb(expr: Expr) -> Expr:
+    """A subtly wrong variant of ``expr`` (models an LLM slip).
+
+    Swaps the top-most operation for a near-miss: ``+`` drops its right
+    operand's last term, ``-`` flips to ``+``, ``*`` gains an off-by-one,
+    ``/`` inverts.  The result is always *different* from the original on
+    generic inputs.
+    """
+    if isinstance(expr, BinOp):
+        if expr.op == "+":
+            return sub(expr.left, expr.right)
+        if expr.op == "-":
+            return add(expr.left, expr.right)
+        if expr.op == "*":
+            return add(mul(expr.left, expr.right), Num(1))
+        return div(expr.right, expr.left)
+    return add(expr, Num(1))

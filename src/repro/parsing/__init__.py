@@ -1,0 +1,16 @@
+"""Response parsing: fenced blocks, relaxed JSON, and answer extraction."""
+
+from repro.parsing.answers import ParsedAnswer, extract_answer
+from repro.parsing.blocks import CodeBlock, extract_block, extract_json_block, find_blocks
+from repro.parsing.json_relaxed import JsonParseError, loads_relaxed
+
+__all__ = [
+    "ParsedAnswer",
+    "extract_answer",
+    "CodeBlock",
+    "find_blocks",
+    "extract_block",
+    "extract_json_block",
+    "loads_relaxed",
+    "JsonParseError",
+]

@@ -1,0 +1,91 @@
+"""Extraction and validation of ``{reason, answer}`` payloads.
+
+Section III-E of the paper defines three criteria a direct-answer response
+must satisfy:
+
+1. the response contains a JSON object;
+2. the JSON object includes an ``answer`` field;
+3. the ``answer`` field matches the expected type.
+
+``extract_answer`` implements exactly this, raising
+:class:`ResponseFormatError` with the failed criterion number so the
+feedback loop can tell the model what to fix.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import CodeExtractionError, ResponseFormatError
+from repro.parsing.blocks import extract_json_block
+from repro.parsing.json_relaxed import JsonParseError, loads_relaxed
+from repro.types.base import Type
+
+
+class ParsedAnswer:
+    """A validated answer plus the model's stated reasoning."""
+
+    __slots__ = ("value", "reason", "raw")
+
+    def __init__(self, value: Any, reason: str, raw: Any) -> None:
+        self.value = value
+        self.reason = reason
+        self.raw = raw
+
+    def __repr__(self) -> str:
+        return f"ParsedAnswer({self.value!r})"
+
+
+def extract_answer(response: str, expected: Type) -> ParsedAnswer:
+    """Pull a type-conforming answer out of an LLM response.
+
+    The returned value is coerced to canonical Python form (integral
+    floats to ``int`` for integer types, extra record keys dropped, and so
+    on).
+    """
+    try:
+        payload_text = extract_json_block(response)
+    except CodeExtractionError as error:
+        raise ResponseFormatError(
+            "the response does not contain a JSON code block",
+            ResponseFormatError.CRITERION_NO_JSON,
+            response,
+        ) from error
+
+    try:
+        payload = loads_relaxed(payload_text)
+    except JsonParseError as error:
+        raise ResponseFormatError(
+            f"the JSON code block is not valid JSON: {error}",
+            ResponseFormatError.CRITERION_NO_JSON,
+            response,
+        ) from error
+
+    if not isinstance(payload, dict):
+        raise ResponseFormatError(
+            "the JSON payload is not an object with 'reason' and 'answer' fields",
+            ResponseFormatError.CRITERION_NO_ANSWER_FIELD,
+            response,
+        )
+    if "answer" not in payload:
+        raise ResponseFormatError(
+            "the JSON object is missing the 'answer' field",
+            ResponseFormatError.CRITERION_NO_ANSWER_FIELD,
+            response,
+        )
+
+    answer = payload["answer"]
+    issues = expected.check(answer, path="$.answer")
+    if issues:
+        detail = "; ".join(str(issue) for issue in issues[:5])
+        raise ResponseFormatError(
+            f"the 'answer' field does not match the expected type "
+            f"{expected.typescript()}: {detail}",
+            ResponseFormatError.CRITERION_BAD_TYPE,
+            response,
+        )
+
+    reason = payload.get("reason", "")
+    if not isinstance(reason, str):
+        reason = str(reason)
+    return ParsedAnswer(expected.coerce(answer), reason, payload)

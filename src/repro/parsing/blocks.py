@@ -1,0 +1,128 @@
+"""Extraction of fenced code blocks from LLM responses.
+
+LLM replies wrap payloads in markdown fences -- ``` ```json ... ``` ``` for
+direct answers and ``` ```typescript ... ``` ``` / ``` ```python ... ``` ```
+for generated code.  Real models are sloppy about fences, so extraction is
+deliberately forgiving: language tags are case-insensitive, alias tags
+(``ts``, ``py``) are accepted, and fences may be preceded/followed by prose.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import CodeExtractionError
+
+_FENCE_RE = re.compile(
+    r"```[ \t]*([A-Za-z0-9_+-]*)[ \t]*\r?\n(.*?)```",
+    re.DOTALL,
+)
+
+_LANGUAGE_ALIASES: dict[str, set[str]] = {
+    "json": {"json", "jsonc", "json5"},
+    "typescript": {"typescript", "ts", "tsx"},
+    "python": {"python", "py", "python3"},
+    "javascript": {"javascript", "js"},
+}
+
+
+class CodeBlock:
+    """One fenced block: its language tag (lowercased) and body text."""
+
+    __slots__ = ("language", "body")
+
+    def __init__(self, language: str, body: str) -> None:
+        self.language = language
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"CodeBlock({self.language!r}, {len(self.body)} chars)"
+
+
+def find_blocks(text: str) -> list[CodeBlock]:
+    """All fenced blocks in ``text``, in order of appearance."""
+    blocks: list[CodeBlock] = []
+    for match in _FENCE_RE.finditer(text):
+        language = match.group(1).lower()
+        blocks.append(CodeBlock(language, match.group(2)))
+    return blocks
+
+
+def _matches_language(tag: str, wanted: str) -> bool:
+    aliases = _LANGUAGE_ALIASES.get(wanted, {wanted})
+    return tag in aliases
+
+
+def extract_block(text: str, language: str, allow_untagged: bool = False) -> str:
+    """Body of the first fenced block tagged with ``language``.
+
+    With ``allow_untagged``, an untagged block is accepted as a fallback
+    when no tagged block exists (models frequently drop the tag).  Raises
+    :class:`CodeExtractionError` when nothing suitable is found.
+    """
+    wanted = language.lower()
+    blocks = find_blocks(text)
+    for block in blocks:
+        if _matches_language(block.language, wanted):
+            return block.body
+    if allow_untagged:
+        for block in blocks:
+            if not block.language:
+                return block.body
+    raise CodeExtractionError(
+        f"no ```{language} code block found in response ({len(blocks)} block(s) present)"
+    )
+
+
+def extract_json_block(text: str) -> str:
+    """The first JSON payload in a response.
+
+    Tries a tagged ```` ```json ```` fence, then an untagged fence, then --
+    as a last resort for fenceless replies -- the outermost balanced
+    ``{...}`` or ``[...]`` region of the raw text.
+    """
+    try:
+        return extract_block(text, "json", allow_untagged=True)
+    except CodeExtractionError:
+        region = _balanced_json_region(text)
+        if region is not None:
+            return region
+        raise
+
+
+def _balanced_json_region(text: str) -> str | None:
+    """Outermost balanced brace/bracket region of ``text``, if any.
+
+    String literals are skipped so braces inside them do not confuse the
+    balance count.
+    """
+    start = None
+    for index, char in enumerate(text):
+        if char in "{[":
+            start = index
+            break
+    if start is None:
+        return None
+    opener = text[start]
+    closer = "}" if opener == "{" else "]"
+    depth = 0
+    in_string: str | None = None
+    index = start
+    while index < len(text):
+        char = text[index]
+        if in_string:
+            if char == "\\":
+                index += 2
+                continue
+            if char == in_string:
+                in_string = None
+        elif char in "'\"":
+            in_string = char
+        elif char == opener:
+            depth += 1
+        elif char == closer:
+            depth -= 1
+            if depth == 0:
+                return text[start:index + 1]
+        index += 1
+    return None

@@ -1,0 +1,248 @@
+"""A relaxed JSON parser for LLM output.
+
+Strict :func:`json.loads` rejects a lot of almost-JSON that language models
+emit: single-quoted strings, trailing commas, ``//`` and ``/* */``
+comments, unquoted object keys, and Python-style ``True``/``None``
+spellings.  This module implements a small hand-written lexer and
+recursive-descent parser that accepts that dialect while still producing
+plain Python values, and reports precise positions on failure.
+
+The strict path is tried first (it is both faster and stricter), so valid
+JSON never changes meaning.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+class JsonParseError(ValueError):
+    """Raised when even the relaxed dialect cannot parse the text."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} at position {position}")
+        self.position = position
+
+
+_PUNCT = {"{", "}", "[", "]", ",", ":"}
+
+_WORD_VALUES: dict[str, Any] = {
+    "true": True,
+    "false": False,
+    "null": None,
+    # Python spellings that models sometimes leak into "JSON".
+    "True": True,
+    "False": False,
+    "None": None,
+    "NaN": float("nan"),
+    "Infinity": float("inf"),
+}
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    "/": "/",
+    "\\": "\\",
+    '"': '"',
+    "'": "'",
+}
+
+
+class _Lexer:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.position = 0
+
+    def skip_trivia(self) -> None:
+        text = self.text
+        length = len(text)
+        while self.position < length:
+            char = text[self.position]
+            if char.isspace():
+                self.position += 1
+            elif char == "/" and self.position + 1 < length:
+                nxt = text[self.position + 1]
+                if nxt == "/":
+                    end = text.find("\n", self.position)
+                    self.position = length if end == -1 else end + 1
+                elif nxt == "*":
+                    end = text.find("*/", self.position + 2)
+                    if end == -1:
+                        raise JsonParseError("unterminated block comment", self.position)
+                    self.position = end + 2
+                else:
+                    return
+            else:
+                return
+
+    def peek(self) -> str:
+        """Next non-trivia character, or '' at end of input."""
+        self.skip_trivia()
+        if self.position >= len(self.text):
+            return ""
+        return self.text[self.position]
+
+    def expect(self, char: str) -> None:
+        got = self.peek()
+        if got != char:
+            raise JsonParseError(f"expected {char!r}, found {got!r}", self.position)
+        self.position += 1
+
+    def read_string(self) -> str:
+        quote = self.text[self.position]
+        self.position += 1
+        chars: list[str] = []
+        text = self.text
+        length = len(text)
+        while self.position < length:
+            char = text[self.position]
+            if char == quote:
+                self.position += 1
+                return "".join(chars)
+            if char == "\\":
+                if self.position + 1 >= length:
+                    break
+                escape = text[self.position + 1]
+                if escape == "u":
+                    hex_digits = text[self.position + 2:self.position + 6]
+                    if len(hex_digits) != 4:
+                        raise JsonParseError("bad \\u escape", self.position)
+                    try:
+                        chars.append(chr(int(hex_digits, 16)))
+                    except ValueError:
+                        raise JsonParseError("bad \\u escape", self.position) from None
+                    self.position += 6
+                else:
+                    chars.append(_ESCAPES.get(escape, escape))
+                    self.position += 2
+            else:
+                chars.append(char)
+                self.position += 1
+        raise JsonParseError("unterminated string", self.position)
+
+    def read_number(self) -> int | float:
+        start = self.position
+        text = self.text
+        length = len(text)
+        if text[self.position] in "+-":
+            self.position += 1
+        is_float = False
+        while self.position < length:
+            char = text[self.position]
+            if char.isdigit():
+                self.position += 1
+            elif char in ".eE" or (char in "+-" and text[self.position - 1] in "eE"):
+                is_float = is_float or char in ".eE"
+                self.position += 1
+            else:
+                break
+        raw = text[start:self.position]
+        try:
+            return float(raw) if is_float else int(raw)
+        except ValueError:
+            raise JsonParseError(f"bad number {raw!r}", start) from None
+
+    def read_word(self) -> str:
+        start = self.position
+        text = self.text
+        length = len(text)
+        while self.position < length and (text[self.position].isalnum() or text[self.position] in "_$"):
+            self.position += 1
+        if self.position == start:
+            raise JsonParseError(
+                f"unexpected character {text[start]!r}", start
+            )
+        return text[start:self.position]
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.lexer = _Lexer(text)
+
+    def parse(self) -> Any:
+        value = self._value()
+        if self.lexer.peek():
+            raise JsonParseError("trailing data after JSON value", self.lexer.position)
+        return value
+
+    def _value(self) -> Any:
+        char = self.lexer.peek()
+        if char == "":
+            raise JsonParseError("unexpected end of input", self.lexer.position)
+        if char == "{":
+            return self._object()
+        if char == "[":
+            return self._array()
+        if char in "'\"":
+            return self.lexer.read_string()
+        if char.isdigit() or char in "+-.":
+            return self.lexer.read_number()
+        word = self.lexer.read_word()
+        if word in _WORD_VALUES:
+            return _WORD_VALUES[word]
+        raise JsonParseError(f"unexpected token {word!r}", self.lexer.position)
+
+    def _object(self) -> dict:
+        self.lexer.expect("{")
+        result: dict[str, Any] = {}
+        while True:
+            char = self.lexer.peek()
+            if char == "}":
+                self.lexer.position += 1
+                return result
+            if char == "":
+                raise JsonParseError("unterminated object", self.lexer.position)
+            key = self._object_key()
+            self.lexer.expect(":")
+            result[key] = self._value()
+            char = self.lexer.peek()
+            if char == ",":
+                self.lexer.position += 1
+                continue
+            if char == "}":
+                self.lexer.position += 1
+                return result
+            raise JsonParseError(f"expected ',' or '}}', found {char!r}", self.lexer.position)
+
+    def _object_key(self) -> str:
+        char = self.lexer.peek()
+        if char in "'\"":
+            return self.lexer.read_string()
+        return self.lexer.read_word()
+
+    def _array(self) -> list:
+        self.lexer.expect("[")
+        result: list[Any] = []
+        while True:
+            char = self.lexer.peek()
+            if char == "]":
+                self.lexer.position += 1
+                return result
+            if char == "":
+                raise JsonParseError("unterminated array", self.lexer.position)
+            result.append(self._value())
+            char = self.lexer.peek()
+            if char == ",":
+                self.lexer.position += 1
+                continue
+            if char == "]":
+                self.lexer.position += 1
+                return result
+            raise JsonParseError(f"expected ',' or ']', found {char!r}", self.lexer.position)
+
+
+def loads_relaxed(text: str) -> Any:
+    """Parse ``text`` as JSON, falling back to the relaxed dialect.
+
+    Raises :class:`JsonParseError` when both strict and relaxed parsing
+    fail.
+    """
+    try:
+        return json.loads(text)
+    except (json.JSONDecodeError, ValueError):
+        pass
+    return _Parser(text).parse()

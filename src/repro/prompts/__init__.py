@@ -1,0 +1,41 @@
+"""Prompt synthesis: direct-answer (Listing 2) and codegen (Figure 4)."""
+
+from repro.prompts.codegen import (
+    PYTHON,
+    TYPESCRIPT,
+    build_codegen_prompt,
+    python_signature,
+    typescript_signature,
+)
+from repro.prompts.direct import (
+    PREAMBLE,
+    REASON_INSTRUCTION,
+    FewShotExample,
+    build_direct_prompt,
+    response_type_fence,
+)
+from repro.prompts.feedback import (
+    CODEGEN_FEEDBACK_MARKER,
+    FEEDBACK_MARKER,
+    is_feedback_prompt,
+    refine_codegen_prompt,
+    refine_direct_prompt,
+)
+
+__all__ = [
+    "build_direct_prompt",
+    "build_codegen_prompt",
+    "FewShotExample",
+    "response_type_fence",
+    "typescript_signature",
+    "python_signature",
+    "refine_direct_prompt",
+    "refine_codegen_prompt",
+    "is_feedback_prompt",
+    "PREAMBLE",
+    "REASON_INSTRUCTION",
+    "FEEDBACK_MARKER",
+    "CODEGEN_FEEDBACK_MARKER",
+    "TYPESCRIPT",
+    "PYTHON",
+]

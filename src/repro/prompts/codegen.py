@@ -1,0 +1,121 @@
+"""Prompt synthesis for codable tasks (Figure 4 of the paper).
+
+The prompt is one-shot: a fixed worked example (implementing an
+``add 'x' and 'y'`` function) followed by the real request.  The function
+signature is derived from the ``define`` call's type information and the
+task description becomes a comment inside the empty body for the LLM to
+fill in.
+
+The TypeScript flavour carries full parameter types; the Python flavour
+deliberately does *not* (the paper's pyaskit passes no parameter types to
+code generation, which is exactly why its tasks #11 and #21-24 failed --
+we reproduce that asymmetry).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.templates import PromptTemplate
+from repro.types.base import Type
+
+TYPESCRIPT = "typescript"
+PYTHON = "python"
+
+
+def typescript_signature(
+    name: str,
+    parameters: Sequence[str],
+    parameter_types: Mapping[str, Type] | None,
+    return_type: Type,
+) -> str:
+    """Render ``export function name({a, b}: {a: T; b: U}): R``.
+
+    Parameters without a declared type fall back to ``any``.  AskIt uses a
+    destructured named-parameter object so that generated functions are
+    insensitive to parameter order in the template prompt.
+    """
+    names = ", ".join(parameters)
+    if parameter_types is None:
+        parameter_types = {}
+    annotations = ", ".join(
+        f"{param}: {parameter_types[param].typescript() if param in parameter_types else 'any'}"
+        for param in parameters
+    )
+    rendered_return = return_type.typescript()
+    if parameters:
+        return (
+            f"export function {name}({{{names}}}: {{{annotations}}}): {rendered_return}"
+        )
+    return f"export function {name}(): {rendered_return}"
+
+
+def python_signature(name: str, parameters: Sequence[str]) -> str:
+    """Render ``def name(a, b):`` -- untyped, as in the paper's pyaskit."""
+    names = ", ".join(parameters)
+    return f"def {name}({names}):"
+
+
+def _typescript_stub(signature: str, task_comment: str) -> str:
+    return f"{signature} {{\n    // {task_comment}\n}}"
+
+
+def _python_stub(signature: str, task_comment: str) -> str:
+    return f"{signature}\n    # {task_comment}\n    ..."
+
+
+_ONE_SHOT_TS_QUESTION = _typescript_stub(
+    "export function func({x, y}: {x: number, y: number}): number",
+    "add 'x' and 'y'",
+)
+_ONE_SHOT_TS_ANSWER = (
+    "export function func({x, y}: {x: number, y: number}): number {\n"
+    "    // add 'x' and 'y'\n"
+    "    return x + y;\n"
+    "}"
+)
+_ONE_SHOT_PY_QUESTION = _python_stub("def func(x, y):", "add 'x' and 'y'")
+_ONE_SHOT_PY_ANSWER = "def func(x, y):\n    # add 'x' and 'y'\n    return x + y"
+
+
+def build_codegen_prompt(
+    language: str,
+    name: str,
+    template: PromptTemplate,
+    return_type: Type,
+    parameter_types: Mapping[str, Type] | None = None,
+) -> str:
+    """Assemble the complete Figure-4 prompt asking the LLM to code a task.
+
+    ``language`` is ``"typescript"`` or ``"python"``.  The first two
+    segments are the fixed worked example; the third carries the actual
+    task, whose description is the template with placeholders quoted.
+    """
+    task_comment = template.quoted()
+    if language == TYPESCRIPT:
+        question = _ONE_SHOT_TS_QUESTION
+        answer = _ONE_SHOT_TS_ANSWER
+        signature = typescript_signature(
+            name, template.parameters, parameter_types, return_type
+        )
+        stub = _typescript_stub(signature, task_comment)
+        tag = TYPESCRIPT
+    elif language == PYTHON:
+        question = _ONE_SHOT_PY_QUESTION
+        answer = _ONE_SHOT_PY_ANSWER
+        signature = python_signature(name, template.parameters)
+        stub = _python_stub(signature, task_comment)
+        tag = PYTHON
+    else:
+        raise ValueError(f"unsupported code generation language {language!r}")
+
+    return (
+        f"Q: Implement the following function:\n"
+        f"```{tag}\n{question}\n```\n"
+        f"\n"
+        f"A:\n"
+        f"```{tag}\n{answer}\n```\n"
+        f"\n"
+        f"Q: Implement the following function:\n"
+        f"```{tag}\n{stub}\n```\n"
+    )

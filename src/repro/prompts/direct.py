@@ -1,0 +1,114 @@
+"""Prompt synthesis for directly answerable tasks (Listing 2 of the paper).
+
+The generated prompt has the fixed shape::
+
+    You are a helpful assistant that generates responses in JSON format
+    enclosed with ```json and ``` like:
+    ```json
+    { "reason": "...", "answer": "..." }
+    ```
+    The response in the JSON code block should match the type defined as
+    follows:
+    ```ts
+    { reason: string; answer: <TYPE> }
+    ```
+    Explain your answer step-by-step in the 'reason' field.
+
+    <task with placeholders quoted>
+    where 'param' = value, ...
+
+Lines 1-4 and the reason-field instruction are fixed; only the ``answer``
+type and the task lines vary.  Constraining answers to typed JSON is what
+the paper calls *type-guided output control*; the mandatory ``reason``
+field elicits chain-of-thought.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Sequence
+
+from repro.templates import PromptTemplate
+from repro.types.base import Type
+
+PREAMBLE = (
+    "You are a helpful assistant that generates responses in JSON format "
+    "enclosed with ```json and ``` like:\n"
+    "```json\n"
+    '{ "reason": "Step-by-step reason for the answer", '
+    '"answer": "Final answer or result" }\n'
+    "```\n"
+)
+
+TYPE_INTRO = (
+    "The response in the JSON code block should match the type defined as "
+    "follows:\n"
+)
+
+REASON_INSTRUCTION = "Explain your answer step-by-step in the 'reason' field.\n"
+
+
+def response_type_fence(answer_type: Type) -> str:
+    """The ```` ```ts ```` fence declaring the full response type."""
+    response_type = "{ reason: string; answer: " + answer_type.typescript() + " }"
+    return f"```ts\n{response_type}\n```\n"
+
+
+def render_examples(examples: Sequence["FewShotExample"]) -> str:
+    """Render few-shot demonstrations appended after the instructions.
+
+    Each example shows the parameter bindings and the exact JSON reply the
+    model is expected to produce, so the demonstrations double as format
+    anchors.
+    """
+    if not examples:
+        return ""
+    parts = ["Examples:\n"]
+    for example in examples:
+        bindings = ", ".join(
+            f"'{name}' = {json.dumps(value)}" for name, value in example.inputs.items()
+        )
+        reply = json.dumps({"reason": example.reason, "answer": example.output})
+        if bindings:
+            parts.append(f"For {bindings} respond:\n```json\n{reply}\n```\n")
+        else:
+            parts.append(f"Respond:\n```json\n{reply}\n```\n")
+    return "".join(parts)
+
+
+class FewShotExample:
+    """One input/output demonstration for few-shot prompting."""
+
+    __slots__ = ("inputs", "output", "reason")
+
+    def __init__(self, inputs: Mapping[str, Any], output: Any, reason: str = "...") -> None:
+        self.inputs = dict(inputs)
+        self.output = output
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"FewShotExample({self.inputs!r} -> {self.output!r})"
+
+
+def build_direct_prompt(
+    template: PromptTemplate,
+    answer_type: Type,
+    args: Mapping[str, Any],
+    examples: Sequence[FewShotExample] = (),
+) -> str:
+    """Assemble the complete Listing-2 prompt for one task invocation."""
+    task_line = template.quoted()
+    where = template.where_clause(args)
+    parts = [
+        PREAMBLE,
+        TYPE_INTRO,
+        response_type_fence(answer_type),
+        REASON_INSTRUCTION,
+        render_examples(examples),
+        "\n",
+        task_line,
+        "\n",
+    ]
+    if where:
+        parts.append(where + "\n")
+    return "".join(parts)

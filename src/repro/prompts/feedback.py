@@ -1,0 +1,71 @@
+"""Feedback refinement messages for the retry loop (Section III-E).
+
+When a response fails one of the three validation criteria, the runtime
+re-prompts with the original prompt, the model's offending response, and a
+pointed instruction naming the failed criterion.  The instruction text per
+criterion lives here so the runtime, tests, and the simulated LLM (which
+must *recognize* a feedback prompt to model models-doing-better-on-retry)
+share one definition.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodeValidationError, ResponseFormatError
+
+FEEDBACK_MARKER = "Your previous response was:"
+
+_INSTRUCTIONS: dict[int, str] = {
+    ResponseFormatError.CRITERION_NO_JSON: (
+        "The response did not contain a valid JSON code block. Respond "
+        "again with the answer in a JSON code block enclosed with ```json "
+        "and ```."
+    ),
+    ResponseFormatError.CRITERION_NO_ANSWER_FIELD: (
+        "The JSON object did not include the 'answer' field. Respond again "
+        "with a JSON object that has both 'reason' and 'answer' fields."
+    ),
+    ResponseFormatError.CRITERION_BAD_TYPE: (
+        "The 'answer' field did not match the expected type. Respond again "
+        "making sure the 'answer' field conforms to the type in the ```ts "
+        "code block."
+    ),
+}
+
+
+def refine_direct_prompt(original_prompt: str, error: ResponseFormatError) -> str:
+    """Original prompt + offending response + corrective instruction."""
+    instruction = _INSTRUCTIONS[error.criterion]
+    detail = str(error)
+    return (
+        f"{original_prompt}\n"
+        f"{FEEDBACK_MARKER}\n"
+        f"{error.response}\n"
+        f"That response was not acceptable: {detail}\n"
+        f"{instruction}\n"
+    )
+
+
+CODEGEN_FEEDBACK_MARKER = "Your previous implementation was:"
+
+
+def refine_codegen_prompt(
+    original_prompt: str, previous_code: str, error: Exception
+) -> str:
+    """Codegen retry prompt carrying the failing code and its failures.
+
+    For semantic (example-test) failures the individual mismatches are
+    included so the model can see which inputs went wrong.
+    """
+    lines = [original_prompt, CODEGEN_FEEDBACK_MARKER, previous_code]
+    if isinstance(error, CodeValidationError) and error.failures:
+        lines.append("It failed the following checks:")
+        lines.extend(f"- {failure}" for failure in error.failures[:10])
+    else:
+        lines.append(f"It was rejected: {error}")
+    lines.append("Implement the function again, fixing these problems.")
+    return "\n".join(lines) + "\n"
+
+
+def is_feedback_prompt(prompt: str) -> bool:
+    """True when ``prompt`` is a refinement of an earlier attempt."""
+    return FEEDBACK_MARKER in prompt or CODEGEN_FEEDBACK_MARKER in prompt

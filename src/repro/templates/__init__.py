@@ -1,0 +1,19 @@
+"""Prompt templates with ``{{var}}`` placeholders (Listing 1 of the paper)."""
+
+from repro.templates.parser import (
+    ParamSegment,
+    Segment,
+    TextSegment,
+    parameter_names,
+    parse_template,
+)
+from repro.templates.template import PromptTemplate
+
+__all__ = [
+    "PromptTemplate",
+    "parse_template",
+    "parameter_names",
+    "Segment",
+    "TextSegment",
+    "ParamSegment",
+]

@@ -1,0 +1,108 @@
+"""Parser for AskIt prompt templates.
+
+A template is a string literal with ``{{identifier}}`` placeholders
+(Listing 1 of the paper).  Parsing produces a sequence of segments --
+literal text and parameter references -- from which we derive the
+function's named parameters, render the runtime prompt (placeholders
+become ``'identifier'``, the paper's Listing 2 treatment), and substitute
+actual argument values for code-generation prompts.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import TemplateError
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_OPEN = "{{"
+_CLOSE = "}}"
+
+
+class TextSegment:
+    """A literal run of template text."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"TextSegment({self.text!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TextSegment) and other.text == self.text
+
+    def __hash__(self) -> int:
+        return hash(("text", self.text))
+
+
+class ParamSegment:
+    """A ``{{name}}`` placeholder."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"ParamSegment({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ParamSegment) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("param", self.name))
+
+
+Segment = TextSegment | ParamSegment
+
+
+def parse_template(text: str) -> list[Segment]:
+    """Split template ``text`` into literal and placeholder segments.
+
+    Raises :class:`TemplateError` for unterminated ``{{``, stray ``}}``,
+    empty placeholders, and placeholder names that are not valid host
+    language identifiers.
+    """
+    if not isinstance(text, str):
+        raise TemplateError(f"template must be a string, got {type(text).__name__}")
+    segments: list[Segment] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        open_at = text.find(_OPEN, index)
+        close_at = text.find(_CLOSE, index)
+        if open_at == -1 and close_at == -1:
+            segments.append(TextSegment(text[index:]))
+            break
+        if close_at != -1 and (open_at == -1 or close_at < open_at):
+            raise TemplateError(
+                f"unmatched '}}}}' at position {close_at} in template {text!r}"
+            )
+        if open_at > index:
+            segments.append(TextSegment(text[index:open_at]))
+        end = text.find(_CLOSE, open_at + len(_OPEN))
+        if end == -1:
+            raise TemplateError(
+                f"unterminated '{{{{' at position {open_at} in template {text!r}"
+            )
+        name = text[open_at + len(_OPEN):end].strip()
+        if not name:
+            raise TemplateError(f"empty placeholder at position {open_at} in template {text!r}")
+        if not _IDENTIFIER_RE.match(name):
+            raise TemplateError(
+                f"placeholder {name!r} is not a valid identifier in template {text!r}"
+            )
+        segments.append(ParamSegment(name))
+        index = end + len(_CLOSE)
+    return segments
+
+
+def parameter_names(segments: list[Segment]) -> list[str]:
+    """Placeholder names in first-occurrence order, deduplicated."""
+    seen: list[str] = []
+    for segment in segments:
+        if isinstance(segment, ParamSegment) and segment.name not in seen:
+            seen.append(segment.name)
+    return seen

@@ -1,0 +1,103 @@
+"""The :class:`PromptTemplate` value object.
+
+Wraps a parsed template and provides the three renderings AskIt needs:
+
+* ``quoted()`` -- placeholders become ``'name'`` (Listing 2, line 11);
+* ``where_clause(args)`` -- the ``where 'n' = 5, 'subject' = "..."`` line
+  appended for direct-answer prompts (Listing 2, line 12);
+* ``substituted(args)`` -- placeholders replaced by rendered values, used
+  when asking the LLM to *code* a task whose prompt mentions the values.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Sequence
+
+from repro.errors import TemplateError
+from repro.templates.parser import Segment, TextSegment, parameter_names, parse_template
+
+
+class PromptTemplate:
+    """An immutable, parsed ``{{var}}`` prompt template."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.segments: tuple[Segment, ...] = tuple(parse_template(text))
+        self.parameters: tuple[str, ...] = tuple(parameter_names(list(self.segments)))
+
+    # -- renderings ---------------------------------------------------
+
+    def quoted(self) -> str:
+        """Render with each placeholder replaced by its quoted name.
+
+        ``"What is the sentiment of {{review}}?"`` becomes
+        ``"What is the sentiment of 'review'?"``.
+        """
+        parts: list[str] = []
+        for segment in self.segments:
+            if isinstance(segment, TextSegment):
+                parts.append(segment.text)
+            else:
+                parts.append(f"'{segment.name}'")
+        return "".join(parts)
+
+    def where_clause(self, args: Mapping[str, Any]) -> str:
+        """The ``where 'a' = 1, 'b' = "x"`` binding line for a prompt.
+
+        Returns an empty string for parameterless templates.  Values are
+        rendered as JSON so the LLM sees unambiguous constants.
+        """
+        self._require_exact_args(args)
+        if not self.parameters:
+            return ""
+        bindings = ", ".join(
+            f"'{name}' = {json.dumps(args[name])}" for name in self.parameters
+        )
+        return f"where {bindings}"
+
+    def substituted(self, args: Mapping[str, Any]) -> str:
+        """Render with placeholders replaced by rendered argument values."""
+        self._require_exact_args(args)
+        parts: list[str] = []
+        for segment in self.segments:
+            if isinstance(segment, TextSegment):
+                parts.append(segment.text)
+            else:
+                parts.append(json.dumps(args[segment.name]))
+        return "".join(parts)
+
+    # -- argument checking ---------------------------------------------
+
+    def _require_exact_args(self, args: Mapping[str, Any]) -> None:
+        missing = [name for name in self.parameters if name not in args]
+        if missing:
+            raise TemplateError(
+                f"missing arguments {missing} for template {self.text!r}"
+            )
+        extra = [name for name in args if name not in self.parameters]
+        if extra:
+            raise TemplateError(
+                f"unexpected arguments {extra} for template {self.text!r} "
+                f"(declared parameters: {list(self.parameters)})"
+            )
+
+    def bind_positional(self, values: Sequence[Any]) -> dict[str, Any]:
+        """Map positional values onto parameters in declaration order."""
+        if len(values) != len(self.parameters):
+            raise TemplateError(
+                f"template {self.text!r} takes {len(self.parameters)} "
+                f"argument(s), got {len(values)}"
+            )
+        return dict(zip(self.parameters, values))
+
+    # -- value-object protocol ------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PromptTemplate) and other.text == self.text
+
+    def __hash__(self) -> int:
+        return hash(self.text)
+
+    def __repr__(self) -> str:
+        return f"PromptTemplate({self.text!r})"

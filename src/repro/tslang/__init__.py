@@ -1,0 +1,30 @@
+"""A TypeScript-subset front end and interpreter.
+
+This substrate stands in for the Node/TypeScript toolchain the paper used
+to run generated TypeScript: lexer -> parser -> tree-walking interpreter,
+with a step budget so buggy generated code cannot hang validation.
+"""
+
+from repro.tslang.interpreter import DEFAULT_STEP_BUDGET, Interpreter, ThrownValue
+from repro.tslang.lexer import tokenize
+from repro.tslang.module import TsModule, load_module
+from repro.tslang.parser import parse_expression, parse_program
+from repro.tslang.printer import print_expression, print_program
+from repro.tslang.values import UNDEFINED, JSSet, from_python, to_python
+
+__all__ = [
+    "tokenize",
+    "parse_program",
+    "parse_expression",
+    "print_program",
+    "print_expression",
+    "Interpreter",
+    "TsModule",
+    "load_module",
+    "ThrownValue",
+    "UNDEFINED",
+    "JSSet",
+    "to_python",
+    "from_python",
+    "DEFAULT_STEP_BUDGET",
+]

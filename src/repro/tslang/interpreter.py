@@ -1,0 +1,1036 @@
+"""Tree-walking interpreter for the TypeScript subset.
+
+The interpreter enforces a configurable *step budget* so that buggy
+generated code (infinite loops are a classic LLM failure mode) cannot hang
+the code-validation pipeline; exceeding the budget raises
+:class:`TsRuntimeError`.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from typing import Any, Callable, Sequence
+
+from repro.errors import TsRuntimeError
+from repro.tslang import nodes
+from repro.tslang.parser import parse_program
+from repro.tslang.values import (
+    UNDEFINED,
+    JSDate,
+    JSMap,
+    JSSet,
+    NativeFunction,
+    from_python,
+    is_number,
+    loose_equals,
+    strict_equals,
+    to_display_string,
+    to_number,
+    to_python,
+    truthy,
+    type_of,
+)
+
+DEFAULT_STEP_BUDGET = 2_000_000
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class ThrownValue(TsRuntimeError):
+    """A value thrown by interpreted code via ``throw``."""
+
+    def __init__(self, value: Any) -> None:
+        super().__init__(f"uncaught exception: {to_display_string(value)}")
+        self.value = value
+
+
+class Environment:
+    """A lexical scope chain."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, parent: "Environment | None" = None) -> None:
+        self.bindings: dict[str, Any] = {}
+        self.parent = parent
+
+    def define(self, name: str, value: Any) -> None:
+        self.bindings[name] = value
+
+    def lookup(self, name: str) -> Any:
+        scope: Environment | None = self
+        while scope is not None:
+            if name in scope.bindings:
+                return scope.bindings[name]
+            scope = scope.parent
+        raise TsRuntimeError(f"'{name}' is not defined")
+
+    def assign(self, name: str, value: Any) -> None:
+        scope: Environment | None = self
+        while scope is not None:
+            if name in scope.bindings:
+                scope.bindings[name] = value
+                return
+            scope = scope.parent
+        raise TsRuntimeError(f"cannot assign to undeclared variable '{name}'")
+
+
+class TsFunction:
+    """A user-defined function or arrow closure."""
+
+    __slots__ = ("name", "params", "body", "closure", "is_expression")
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Any],
+        body: Any,
+        closure: Environment,
+        is_expression: bool = False,
+    ) -> None:
+        self.name = name
+        self.params = list(params)
+        self.body = body
+        self.is_expression = is_expression
+        self.closure = closure
+
+    def __repr__(self) -> str:
+        return f"<function {self.name or '(anonymous)'}>"
+
+
+class Interpreter:
+    def __init__(self, step_budget: int = DEFAULT_STEP_BUDGET) -> None:
+        self.step_budget = step_budget
+        self.steps = 0
+        self.console_log: list[str] = []
+        self.globals = Environment()
+        self._install_globals()
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, program: nodes.Program | str) -> Environment:
+        """Execute top-level statements; returns the module environment."""
+        if isinstance(program, str):
+            program = parse_program(program)
+        module_env = Environment(self.globals)
+        # Hoist function declarations (mutual recursion support).
+        for statement in program.statements:
+            if isinstance(statement, nodes.FunctionDecl):
+                module_env.define(
+                    statement.name,
+                    TsFunction(statement.name, statement.params, statement.body, module_env),
+                )
+        for statement in program.statements:
+            if not isinstance(statement, nodes.FunctionDecl):
+                self._execute(statement, module_env)
+        return module_env
+
+    def call(self, fn: Any, arguments: Sequence[Any]) -> Any:
+        """Call an interpreter-level callable with interpreter-level values."""
+        return self._call_value(fn, list(arguments))
+
+    # -- step accounting -----------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.step_budget:
+            raise TsRuntimeError(
+                f"step budget of {self.step_budget} exceeded (possible infinite loop)"
+            )
+
+    # -- statements -----------------------------------------------------------
+
+    def _execute(self, node: nodes.Node, env: Environment) -> None:
+        self._tick()
+        method = _STATEMENTS.get(type(node))
+        if method is None:
+            raise TsRuntimeError(f"cannot execute {type(node).__name__}")
+        method(self, node, env)
+
+    def _exec_block(self, node: nodes.Block, env: Environment) -> None:
+        inner = Environment(env)
+        for statement in node.statements:
+            self._execute(statement, inner)
+
+    def _exec_function_decl(self, node: nodes.FunctionDecl, env: Environment) -> None:
+        env.define(node.name, TsFunction(node.name, node.params, node.body, env))
+
+    def _exec_var_decl(self, node: nodes.VarDecl, env: Environment) -> None:
+        for name, init in node.declarations:
+            value = self._evaluate(init, env) if init is not None else UNDEFINED
+            env.define(name, value)
+
+    def _exec_return(self, node: nodes.Return, env: Environment) -> None:
+        value = self._evaluate(node.value, env) if node.value is not None else UNDEFINED
+        raise _ReturnSignal(value)
+
+    def _exec_if(self, node: nodes.If, env: Environment) -> None:
+        if truthy(self._evaluate(node.test, env)):
+            self._execute(node.consequent, env)
+        elif node.alternate is not None:
+            self._execute(node.alternate, env)
+
+    def _exec_while(self, node: nodes.While, env: Environment) -> None:
+        while truthy(self._evaluate(node.test, env)):
+            try:
+                self._execute(node.body, env)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                continue
+
+    def _exec_do_while(self, node: nodes.DoWhile, env: Environment) -> None:
+        while True:
+            try:
+                self._execute(node.body, env)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                pass
+            if not truthy(self._evaluate(node.test, env)):
+                break
+
+    def _exec_for(self, node: nodes.For, env: Environment) -> None:
+        loop_env = Environment(env)
+        if node.init is not None:
+            self._execute(node.init, loop_env)
+        while node.test is None or truthy(self._evaluate(node.test, loop_env)):
+            try:
+                self._execute(node.body, loop_env)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                pass
+            if node.update is not None:
+                self._evaluate(node.update, loop_env)
+        else:
+            return
+
+    def _exec_for_of(self, node: nodes.ForOf, env: Environment) -> None:
+        iterable = self._evaluate(node.iterable, env)
+        if isinstance(iterable, JSSet):
+            items: Sequence[Any] = list(iterable.items)
+        elif isinstance(iterable, str):
+            items = list(iterable)
+        elif isinstance(iterable, list):
+            items = list(iterable)
+        else:
+            raise TsRuntimeError(f"{type_of(iterable)} is not iterable")
+        for item in items:
+            loop_env = Environment(env)
+            loop_env.define(node.name, item)
+            try:
+                self._execute(node.body, loop_env)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                continue
+
+    def _exec_break(self, node: nodes.Break, env: Environment) -> None:
+        raise _BreakSignal()
+
+    def _exec_continue(self, node: nodes.Continue, env: Environment) -> None:
+        raise _ContinueSignal()
+
+    def _exec_throw(self, node: nodes.Throw, env: Environment) -> None:
+        raise ThrownValue(self._evaluate(node.value, env))
+
+    def _exec_expression_statement(self, node: nodes.ExpressionStatement, env: Environment) -> None:
+        self._evaluate(node.expression, env)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _evaluate(self, node: nodes.Node, env: Environment) -> Any:
+        self._tick()
+        method = _EXPRESSIONS.get(type(node))
+        if method is None:
+            raise TsRuntimeError(f"cannot evaluate {type(node).__name__}")
+        return method(self, node, env)
+
+    def _eval_number(self, node: nodes.NumberLit, env: Environment) -> float:
+        return node.value
+
+    def _eval_string(self, node: nodes.StringLit, env: Environment) -> str:
+        return node.value
+
+    def _eval_template(self, node: nodes.TemplateLit, env: Environment) -> str:
+        parts: list[str] = []
+        for part in node.parts:
+            if isinstance(part, str):
+                parts.append(part)
+            else:
+                parts.append(to_display_string(self._evaluate(part, env)))
+        return "".join(parts)
+
+    def _eval_bool(self, node: nodes.BoolLit, env: Environment) -> bool:
+        return node.value
+
+    def _eval_null(self, node: nodes.NullLit, env: Environment) -> None:
+        return None
+
+    def _eval_undefined(self, node: nodes.UndefinedLit, env: Environment) -> Any:
+        return UNDEFINED
+
+    def _eval_identifier(self, node: nodes.Identifier, env: Environment) -> Any:
+        return env.lookup(node.name)
+
+    def _eval_array(self, node: nodes.ArrayLit, env: Environment) -> list:
+        result: list[Any] = []
+        for element in node.elements:
+            if isinstance(element, nodes.SpreadElement):
+                result.extend(self._spread(element, env))
+            else:
+                result.append(self._evaluate(element, env))
+        return result
+
+    def _spread(self, element: nodes.SpreadElement, env: Environment) -> list:
+        value = self._evaluate(element.argument, env)
+        if isinstance(value, list):
+            return list(value)
+        if isinstance(value, JSSet):
+            return list(value.items)
+        if isinstance(value, str):
+            return list(value)
+        raise TsRuntimeError(f"cannot spread {type_of(value)}")
+
+    def _eval_object(self, node: nodes.ObjectLit, env: Environment) -> dict:
+        return {key: self._evaluate(value, env) for key, value in node.entries}
+
+    def _eval_unary(self, node: nodes.Unary, env: Environment) -> Any:
+        if node.op == "typeof":
+            try:
+                return type_of(self._evaluate(node.operand, env))
+            except TsRuntimeError:
+                return "undefined"
+        value = self._evaluate(node.operand, env)
+        if node.op == "!":
+            return not truthy(value)
+        if node.op == "-":
+            return -to_number(value)
+        if node.op == "+":
+            return to_number(value)
+        raise TsRuntimeError(f"unsupported unary operator {node.op!r}")
+
+    def _eval_update(self, node: nodes.Update, env: Environment) -> float:
+        old = to_number(self._evaluate(node.target, env))
+        new = old + 1 if node.op == "++" else old - 1
+        self._assign_to(node.target, new, env)
+        return new if node.prefix else old
+
+    def _eval_binary(self, node: nodes.Binary, env: Environment) -> Any:
+        left = self._evaluate(node.left, env)
+        right = self._evaluate(node.right, env)
+        return _apply_binary(node.op, left, right)
+
+    def _eval_logical(self, node: nodes.Logical, env: Environment) -> Any:
+        left = self._evaluate(node.left, env)
+        if node.op == "&&":
+            return self._evaluate(node.right, env) if truthy(left) else left
+        if node.op == "||":
+            return left if truthy(left) else self._evaluate(node.right, env)
+        # ??
+        if left is None or left is UNDEFINED:
+            return self._evaluate(node.right, env)
+        return left
+
+    def _eval_conditional(self, node: nodes.Conditional, env: Environment) -> Any:
+        if truthy(self._evaluate(node.test, env)):
+            return self._evaluate(node.consequent, env)
+        return self._evaluate(node.alternate, env)
+
+    def _eval_assign(self, node: nodes.Assign, env: Environment) -> Any:
+        if node.op == "=":
+            value = self._evaluate(node.value, env)
+        else:
+            current = self._evaluate(node.target, env)
+            operand = self._evaluate(node.value, env)
+            value = _apply_binary(node.op[:-1], current, operand)
+        self._assign_to(node.target, value, env)
+        return value
+
+    def _assign_to(self, target: nodes.Node, value: Any, env: Environment) -> None:
+        if isinstance(target, nodes.Identifier):
+            env.assign(target.name, value)
+            return
+        if isinstance(target, nodes.Member):
+            obj = self._evaluate(target.object, env)
+            if isinstance(obj, dict):
+                obj[target.name] = value
+                return
+            raise TsRuntimeError(f"cannot set property '{target.name}' on {type_of(obj)}")
+        if isinstance(target, nodes.Index):
+            obj = self._evaluate(target.object, env)
+            index = self._evaluate(target.index, env)
+            if isinstance(obj, list):
+                position = int(to_number(index))
+                if position < 0:
+                    raise TsRuntimeError(f"negative array index {position}")
+                while len(obj) <= position:
+                    obj.append(UNDEFINED)
+                obj[position] = value
+                return
+            if isinstance(obj, dict):
+                obj[to_display_string(index)] = value
+                return
+            raise TsRuntimeError(f"cannot index-assign into {type_of(obj)}")
+        raise TsRuntimeError("invalid assignment target")
+
+    def _eval_call(self, node: nodes.Call, env: Environment) -> Any:
+        callee = node.callee
+        arguments: list[Any] = []
+        for argument in node.arguments:
+            if isinstance(argument, nodes.SpreadElement):
+                arguments.extend(self._spread(argument, env))
+            else:
+                arguments.append(self._evaluate(argument, env))
+        if isinstance(callee, nodes.Member):
+            obj = self._evaluate(callee.object, env)
+            return self._call_method(obj, callee.name, arguments)
+        fn = self._evaluate(callee, env)
+        return self._call_value(fn, arguments)
+
+    def _eval_new(self, node: nodes.New, env: Environment) -> Any:
+        if isinstance(node.callee, nodes.Identifier):
+            name = node.callee.name
+            arguments = [self._evaluate(argument, env) for argument in node.arguments]
+            if name == "Set":
+                seed = arguments[0] if arguments else []
+                if isinstance(seed, JSSet):
+                    seed = list(seed.items)
+                if isinstance(seed, str):
+                    seed = list(seed)
+                if not isinstance(seed, list):
+                    raise TsRuntimeError("new Set(...) takes an iterable")
+                return JSSet(seed)
+            if name == "Map":
+                result = JSMap()
+                if arguments and isinstance(arguments[0], list):
+                    for pair in arguments[0]:
+                        result.set(pair[0], pair[1])
+                return result
+            if name == "Array":
+                if len(arguments) == 1 and is_number(arguments[0]):
+                    return [UNDEFINED] * int(arguments[0])
+                return list(arguments)
+            if name == "Date":
+                return JSDate(arguments[0] if arguments else None)
+            if name == "Error":
+                message = arguments[0] if arguments else ""
+                return {"message": message, "name": "Error"}
+        raise TsRuntimeError(f"cannot construct {getattr(node.callee, 'name', '?')!r}")
+
+    def _eval_member(self, node: nodes.Member, env: Environment) -> Any:
+        obj = self._evaluate(node.object, env)
+        return self._member(obj, node.name)
+
+    def _eval_index(self, node: nodes.Index, env: Environment) -> Any:
+        obj = self._evaluate(node.object, env)
+        index = self._evaluate(node.index, env)
+        if isinstance(obj, list):
+            position = int(to_number(index))
+            if 0 <= position < len(obj):
+                return obj[position]
+            return UNDEFINED
+        if isinstance(obj, str):
+            position = int(to_number(index))
+            if 0 <= position < len(obj):
+                return obj[position]
+            return UNDEFINED
+        if isinstance(obj, dict):
+            return obj.get(to_display_string(index), UNDEFINED)
+        raise TsRuntimeError(f"cannot index {type_of(obj)}")
+
+    def _eval_arrow(self, node: nodes.Arrow, env: Environment) -> TsFunction:
+        params = [nodes.Param([name], False) for name in node.params]
+        return TsFunction("", params, node.body, env, node.is_expression)
+
+    # -- calls --------------------------------------------------------------
+
+    def _call_value(self, fn: Any, arguments: list[Any]) -> Any:
+        if isinstance(fn, NativeFunction):
+            return fn.fn(*arguments)
+        if isinstance(fn, TsFunction):
+            return self._invoke(fn, arguments)
+        raise TsRuntimeError(f"{to_display_string(fn)} is not a function")
+
+    def _invoke(self, fn: TsFunction, arguments: list[Any]) -> Any:
+        env = Environment(fn.closure)
+        for position, param in enumerate(fn.params):
+            supplied = arguments[position] if position < len(arguments) else UNDEFINED
+            if param.destructured:
+                if not isinstance(supplied, dict):
+                    raise TsRuntimeError(
+                        f"function '{fn.name}' expects a named-argument object"
+                    )
+                for name in param.names:
+                    env.define(name, supplied.get(name, UNDEFINED))
+            else:
+                env.define(param.names[0], supplied)
+        if fn.is_expression:
+            return self._evaluate(fn.body, env)
+        try:
+            self._exec_block(fn.body, env)
+        except _ReturnSignal as signal:
+            return signal.value
+        return UNDEFINED
+
+    def _callback(self, fn: Any) -> Callable[..., Any]:
+        """Wrap an interpreter callable for use by native array methods."""
+
+        def call(*arguments: Any) -> Any:
+            return self._call_value(fn, list(arguments))
+
+        return call
+
+    # -- member dispatch -------------------------------------------------------
+
+    def _member(self, obj: Any, name: str) -> Any:
+        if isinstance(obj, _CallableObject):
+            if name in obj.members:
+                return obj.members[name]
+            raise TsRuntimeError(f"{obj.name} has no member {name!r}")
+        if isinstance(obj, str):
+            return self._string_member(obj, name)
+        if isinstance(obj, list):
+            return self._array_member(obj, name)
+        if isinstance(obj, dict):
+            if name in obj:
+                return obj[name]
+            if name == "hasOwnProperty":
+                return NativeFunction(name, lambda key: to_display_string(key) in obj)
+            return UNDEFINED
+        if isinstance(obj, JSSet):
+            if name == "size":
+                return float(obj.size)
+            if name in ("add", "has", "delete"):
+                return NativeFunction(name, getattr(obj, name))
+            raise TsRuntimeError(f"Set has no member {name!r}")
+        if isinstance(obj, JSMap):
+            if name == "size":
+                return float(obj.size)
+            if name in ("get", "set", "has", "delete"):
+                return NativeFunction(name, getattr(obj, name))
+            if name == "keys":
+                return NativeFunction(name, lambda: [k for k, _ in obj.entries])
+            if name == "values":
+                return NativeFunction(name, lambda: [v for _, v in obj.entries])
+            raise TsRuntimeError(f"Map has no member {name!r}")
+        if isinstance(obj, JSDate):
+            if name == "getTime":
+                return NativeFunction(name, obj.get_time)
+            raise TsRuntimeError(f"Date has no member {name!r}")
+        if is_number(obj):
+            return self._number_member(float(obj), name)
+        raise TsRuntimeError(f"cannot read property {name!r} of {to_display_string(obj)}")
+
+    def _call_method(self, obj: Any, name: str, arguments: list[Any]) -> Any:
+        member = self._member(obj, name)
+        return self._call_value(member, arguments)
+
+    def _number_member(self, value: float, name: str) -> Any:
+        if name == "toFixed":
+            return NativeFunction(name, lambda digits=0.0: f"{value:.{int(digits)}f}")
+        if name == "toString":
+            return NativeFunction(name, lambda: to_display_string(value))
+        raise TsRuntimeError(f"number has no member {name!r}")
+
+    def _string_member(self, value: str, name: str) -> Any:
+        if name == "length":
+            return float(len(value))
+        methods: dict[str, Callable[..., Any]] = {
+            "split": lambda sep=UNDEFINED: (
+                list(value) if sep == "" else ([value] if sep is UNDEFINED else value.split(to_display_string(sep)))
+            ),
+            "toUpperCase": lambda: value.upper(),
+            "toLowerCase": lambda: value.lower(),
+            "charAt": lambda index=0.0: value[int(index)] if 0 <= int(index) < len(value) else "",
+            "charCodeAt": lambda index=0.0: float(ord(value[int(index)])) if 0 <= int(index) < len(value) else float("nan"),
+            "codePointAt": lambda index=0.0: float(ord(value[int(index)])) if 0 <= int(index) < len(value) else UNDEFINED,
+            "indexOf": lambda needle, start=0.0: float(value.find(to_display_string(needle), int(start))),
+            "lastIndexOf": lambda needle: float(value.rfind(to_display_string(needle))),
+            "includes": lambda needle: to_display_string(needle) in value,
+            "startsWith": lambda prefix: value.startswith(to_display_string(prefix)),
+            "endsWith": lambda suffix: value.endswith(to_display_string(suffix)),
+            "slice": lambda start=0.0, end=UNDEFINED: _slice_sequence(value, start, end),
+            "substring": lambda start=0.0, end=UNDEFINED: _substring(value, start, end),
+            "trim": lambda: value.strip(),
+            "trimStart": lambda: value.lstrip(),
+            "trimEnd": lambda: value.rstrip(),
+            "replace": lambda old, new: value.replace(to_display_string(old), to_display_string(new), 1),
+            "replaceAll": lambda old, new: value.replace(to_display_string(old), to_display_string(new)),
+            "repeat": lambda count: value * int(count),
+            "padStart": lambda width, fill=" ": value.rjust(int(width), to_display_string(fill)[0] if fill else " "),
+            "padEnd": lambda width, fill=" ": value.ljust(int(width), to_display_string(fill)[0] if fill else " "),
+            "concat": lambda *others: value + "".join(to_display_string(other) for other in others),
+            "toString": lambda: value,
+            "localeCompare": lambda other: float((value > other) - (value < other)),
+        }
+        if name in methods:
+            return NativeFunction(name, methods[name])
+        raise TsRuntimeError(f"string has no member {name!r}")
+
+    def _array_member(self, value: list, name: str) -> Any:
+        if name == "length":
+            return float(len(value))
+        interp = self
+
+        def sort(comparator: Any = UNDEFINED) -> list:
+            if comparator is UNDEFINED:
+                value.sort(key=to_display_string)
+            else:
+                compare = interp._callback(comparator)
+
+                def cmp(a: Any, b: Any) -> int:
+                    result = to_number(compare(a, b))
+                    if result < 0:
+                        return -1
+                    if result > 0:
+                        return 1
+                    return 0
+
+                value.sort(key=functools.cmp_to_key(cmp))
+            return value
+
+        def reduce(callback: Any, *seed: Any) -> Any:
+            compute = interp._callback(callback)
+            items = list(value)
+            if seed:
+                accumulator = seed[0]
+                start = 0
+            else:
+                if not items:
+                    raise TsRuntimeError("reduce of empty array with no initial value")
+                accumulator = items[0]
+                start = 1
+            for offset in range(start, len(items)):
+                accumulator = compute(accumulator, items[offset], float(offset))
+            return accumulator
+
+        methods: dict[str, Callable[..., Any]] = {
+            "push": lambda *items: (value.extend(items), float(len(value)))[1],
+            "pop": lambda: value.pop() if value else UNDEFINED,
+            "shift": lambda: value.pop(0) if value else UNDEFINED,
+            "unshift": lambda *items: (value.__setitem__(slice(0, 0), list(items)), float(len(value)))[1],
+            "map": lambda callback: [
+                interp._callback(callback)(item, float(index), value)
+                for index, item in enumerate(list(value))
+            ],
+            "filter": lambda callback: [
+                item
+                for index, item in enumerate(list(value))
+                if truthy(interp._callback(callback)(item, float(index), value))
+            ],
+            "forEach": lambda callback: _foreach(interp._callback(callback), value),
+            "reduce": reduce,
+            "sort": sort,
+            "reverse": lambda: (value.reverse(), value)[1],
+            "slice": lambda start=0.0, end=UNDEFINED: _slice_sequence(value, start, end),
+            "splice": lambda start, count=UNDEFINED, *items: _splice(value, start, count, items),
+            "indexOf": lambda needle: _index_of(value, needle),
+            "lastIndexOf": lambda needle: _last_index_of(value, needle),
+            "includes": lambda needle: any(strict_equals(item, needle) for item in value),
+            "join": lambda sep=",": to_display_string(sep).join(
+                "" if item is None or item is UNDEFINED else to_display_string(item) for item in value
+            ),
+            "concat": lambda *others: _concat(value, others),
+            "some": lambda callback: any(
+                truthy(interp._callback(callback)(item, float(index), value))
+                for index, item in enumerate(list(value))
+            ),
+            "every": lambda callback: all(
+                truthy(interp._callback(callback)(item, float(index), value))
+                for index, item in enumerate(list(value))
+            ),
+            "find": lambda callback: next(
+                (
+                    item
+                    for index, item in enumerate(list(value))
+                    if truthy(interp._callback(callback)(item, float(index), value))
+                ),
+                UNDEFINED,
+            ),
+            "findIndex": lambda callback: next(
+                (
+                    float(index)
+                    for index, item in enumerate(list(value))
+                    if truthy(interp._callback(callback)(item, float(index), value))
+                ),
+                -1.0,
+            ),
+            "flat": lambda depth=1.0: _flat(value, int(depth)),
+            "fill": lambda item, start=0.0, end=UNDEFINED: _fill(value, item, start, end),
+            "keys": lambda: [float(index) for index in range(len(value))],
+        }
+        if name in methods:
+            return NativeFunction(name, methods[name])
+        raise TsRuntimeError(f"array has no member {name!r}")
+
+    # -- globals ---------------------------------------------------------------
+
+    def _install_globals(self) -> None:
+        env = self.globals
+        math_object = {
+            "floor": NativeFunction("floor", lambda x: float(math.floor(to_number(x)))),
+            "ceil": NativeFunction("ceil", lambda x: float(math.ceil(to_number(x)))),
+            "round": NativeFunction("round", lambda x: float(math.floor(to_number(x) + 0.5))),
+            "trunc": NativeFunction("trunc", lambda x: float(math.trunc(to_number(x)))),
+            "abs": NativeFunction("abs", lambda x: abs(to_number(x))),
+            "sqrt": NativeFunction("sqrt", lambda x: math.sqrt(to_number(x))),
+            "cbrt": NativeFunction("cbrt", lambda x: math.copysign(abs(to_number(x)) ** (1 / 3), to_number(x))),
+            "pow": NativeFunction("pow", lambda x, y: float(to_number(x) ** to_number(y))),
+            "max": NativeFunction("max", lambda *xs: max((to_number(x) for x in xs), default=float("-inf"))),
+            "min": NativeFunction("min", lambda *xs: min((to_number(x) for x in xs), default=float("inf"))),
+            "log": NativeFunction("log", lambda x: math.log(to_number(x))),
+            "log2": NativeFunction("log2", lambda x: math.log2(to_number(x))),
+            "log10": NativeFunction("log10", lambda x: math.log10(to_number(x))),
+            "exp": NativeFunction("exp", lambda x: math.exp(to_number(x))),
+            "sign": NativeFunction("sign", lambda x: float((to_number(x) > 0) - (to_number(x) < 0))),
+            "random": NativeFunction("random", lambda: 0.5),  # deterministic by design
+            "hypot": NativeFunction("hypot", lambda *xs: math.hypot(*[to_number(x) for x in xs])),
+            "PI": math.pi,
+            "E": math.e,
+        }
+        env.define("Math", math_object)
+        env.define(
+            "JSON",
+            {
+                "stringify": NativeFunction("stringify", _json_stringify),
+                "parse": NativeFunction("parse", _json_parse),
+            },
+        )
+        number_object = {
+            "isInteger": NativeFunction(
+                "isInteger", lambda x: is_number(x) and float(x).is_integer()
+            ),
+            "isFinite": NativeFunction(
+                "isFinite", lambda x: is_number(x) and math.isfinite(float(x))
+            ),
+            "isNaN": NativeFunction("isNaN", lambda x: is_number(x) and math.isnan(float(x))),
+            "parseFloat": NativeFunction("parseFloat", lambda x: _parse_float(x)),
+            "parseInt": NativeFunction("parseInt", lambda x, base=10.0: _parse_int(x, base)),
+            "MAX_SAFE_INTEGER": float(2**53 - 1),
+            "MIN_SAFE_INTEGER": float(-(2**53 - 1)),
+            "EPSILON": 2.220446049250313e-16,
+            "POSITIVE_INFINITY": float("inf"),
+            "NEGATIVE_INFINITY": float("-inf"),
+        }
+        env.define("Number", _CallableObject("Number", to_number, number_object))
+        env.define("String", _CallableObject("String", to_display_string, {
+            "fromCharCode": NativeFunction(
+                "fromCharCode", lambda *codes: "".join(chr(int(to_number(code))) for code in codes)
+            ),
+        }))
+        env.define("Boolean", NativeFunction("Boolean", truthy))
+        env.define("parseInt", NativeFunction("parseInt", lambda x, base=10.0: _parse_int(x, base)))
+        env.define("parseFloat", NativeFunction("parseFloat", _parse_float))
+        env.define("isNaN", NativeFunction("isNaN", lambda x: math.isnan(to_number(x))))
+        env.define("isFinite", NativeFunction("isFinite", lambda x: math.isfinite(to_number(x))))
+        env.define(
+            "Array",
+            _CallableObject(
+                "Array",
+                lambda *xs: list(xs),
+                {
+                    "isArray": NativeFunction("isArray", lambda x: isinstance(x, list)),
+                    "from": NativeFunction("from", _array_from(self)),
+                    "of": NativeFunction("of", lambda *xs: list(xs)),
+                },
+            ),
+        )
+        env.define(
+            "Object",
+            {
+                "keys": NativeFunction("keys", lambda obj: list(obj.keys()) if isinstance(obj, dict) else []),
+                "values": NativeFunction("values", lambda obj: list(obj.values()) if isinstance(obj, dict) else []),
+                "entries": NativeFunction(
+                    "entries",
+                    lambda obj: [[key, val] for key, val in obj.items()] if isinstance(obj, dict) else [],
+                ),
+                "assign": NativeFunction("assign", _object_assign),
+                "fromEntries": NativeFunction(
+                    "fromEntries",
+                    lambda pairs: {to_display_string(pair[0]): pair[1] for pair in pairs},
+                ),
+            },
+        )
+        env.define(
+            "console",
+            {"log": NativeFunction("log", self._console_log), "error": NativeFunction("error", self._console_log)},
+        )
+        env.define("Infinity", float("inf"))
+        env.define("NaN", float("nan"))
+        env.define("globalThis", {})
+
+    def _console_log(self, *arguments: Any) -> Any:
+        self.console_log.append(" ".join(to_display_string(argument) for argument in arguments))
+        return UNDEFINED
+
+
+class _CallableObject(NativeFunction):
+    """A native function that also exposes static members (e.g. ``Number``)."""
+
+    __slots__ = ("members",)
+
+    def __init__(self, name: str, fn: Callable[..., Any], members: dict[str, Any]) -> None:
+        super().__init__(name, fn)
+        self.members = members
+
+
+# -- helper functions ---------------------------------------------------------
+
+
+def _apply_binary(op: str, left: Any, right: Any) -> Any:
+    if op == "+":
+        if isinstance(left, str) or isinstance(right, str):
+            return to_display_string(left) + to_display_string(right)
+        if isinstance(left, list) or isinstance(right, list):
+            return to_display_string(left) + to_display_string(right)
+        return to_number(left) + to_number(right)
+    if op == "-":
+        return to_number(left) - to_number(right)
+    if op == "*":
+        return to_number(left) * to_number(right)
+    if op == "/":
+        divisor = to_number(right)
+        dividend = to_number(left)
+        if divisor == 0:
+            if dividend == 0 or math.isnan(dividend):
+                return float("nan")
+            return math.copysign(float("inf"), dividend) * math.copysign(1.0, divisor)
+        return dividend / divisor
+    if op == "%":
+        divisor = to_number(right)
+        dividend = to_number(left)
+        if divisor == 0 or math.isnan(dividend) or math.isinf(dividend):
+            return float("nan")
+        return math.fmod(dividend, divisor)
+    if op == "**":
+        return float(to_number(left) ** to_number(right))
+    if op == "===":
+        return strict_equals(left, right)
+    if op == "!==":
+        return not strict_equals(left, right)
+    if op == "==":
+        return loose_equals(left, right)
+    if op == "!=":
+        return not loose_equals(left, right)
+    if op in ("<", "<=", ">", ">="):
+        if isinstance(left, str) and isinstance(right, str):
+            a, b = left, right
+        else:
+            a, b = to_number(left), to_number(right)
+            if math.isnan(a) or math.isnan(b):
+                return False
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        return a >= b
+    raise TsRuntimeError(f"unsupported binary operator {op!r}")
+
+
+def _slice_sequence(value: Any, start: Any, end: Any) -> Any:
+    length = len(value)
+    begin = int(to_number(start))
+    if begin < 0:
+        begin = max(length + begin, 0)
+    if end is UNDEFINED:
+        stop = length
+    else:
+        stop = int(to_number(end))
+        if stop < 0:
+            stop = max(length + stop, 0)
+    return value[begin:stop]
+
+
+def _substring(value: str, start: Any, end: Any) -> str:
+    length = len(value)
+    begin = max(0, min(int(to_number(start)), length))
+    stop = length if end is UNDEFINED else max(0, min(int(to_number(end)), length))
+    if begin > stop:
+        begin, stop = stop, begin
+    return value[begin:stop]
+
+
+def _splice(value: list, start: Any, count: Any, items: tuple) -> list:
+    length = len(value)
+    begin = int(to_number(start))
+    if begin < 0:
+        begin = max(length + begin, 0)
+    how_many = length - begin if count is UNDEFINED else max(0, int(to_number(count)))
+    removed = value[begin:begin + how_many]
+    value[begin:begin + how_many] = list(items)
+    return removed
+
+
+def _index_of(value: list, needle: Any) -> float:
+    for index, item in enumerate(value):
+        if strict_equals(item, needle):
+            return float(index)
+    return -1.0
+
+
+def _last_index_of(value: list, needle: Any) -> float:
+    for index in range(len(value) - 1, -1, -1):
+        if strict_equals(value[index], needle):
+            return float(index)
+    return -1.0
+
+
+def _concat(value: list, others: tuple) -> list:
+    result = list(value)
+    for other in others:
+        if isinstance(other, list):
+            result.extend(other)
+        else:
+            result.append(other)
+    return result
+
+
+def _flat(value: list, depth: int) -> list:
+    result: list[Any] = []
+    for item in value:
+        if isinstance(item, list) and depth > 0:
+            result.extend(_flat(item, depth - 1))
+        else:
+            result.append(item)
+    return result
+
+
+def _fill(value: list, item: Any, start: Any, end: Any) -> list:
+    length = len(value)
+    begin = int(to_number(start))
+    stop = length if end is UNDEFINED else int(to_number(end))
+    for index in range(max(begin, 0), min(stop, length)):
+        value[index] = item
+    return value
+
+
+def _foreach(callback: Callable[..., Any], value: list) -> Any:
+    for index, item in enumerate(list(value)):
+        callback(item, float(index), value)
+    return UNDEFINED
+
+
+def _parse_int(value: Any, base: Any = 10.0) -> float:
+    text = to_display_string(value).strip()
+    sign = 1
+    if text[:1] in "+-":
+        sign = -1 if text[0] == "-" else 1
+        text = text[1:]
+    digits = ""
+    radix = int(to_number(base)) or 10
+    alphabet = "0123456789abcdefghijklmnopqrstuvwxyz"[:radix]
+    for char in text.lower():
+        if char in alphabet:
+            digits += char
+        else:
+            break
+    if not digits:
+        return float("nan")
+    return float(sign * int(digits, radix))
+
+
+def _parse_float(value: Any) -> float:
+    text = to_display_string(value).strip()
+    import re
+
+    match = re.match(r"[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?", text)
+    if not match:
+        return float("nan")
+    return float(match.group(0))
+
+
+def _json_stringify(value: Any, *_ignored: Any) -> str:
+    import json as _json
+
+    return _json.dumps(to_python(value))
+
+
+def _json_parse(text: Any) -> Any:
+    import json as _json
+
+    return from_python(_json.loads(to_display_string(text)))
+
+
+def _object_assign(target: Any, *sources: Any) -> Any:
+    if not isinstance(target, dict):
+        raise TsRuntimeError("Object.assign target must be an object")
+    for source in sources:
+        if isinstance(source, dict):
+            target.update(source)
+    return target
+
+
+def _array_from(interp: Interpreter) -> Callable[..., list]:
+    def array_from(value: Any, mapper: Any = UNDEFINED) -> list:
+        if isinstance(value, JSSet):
+            items = list(value.items)
+        elif isinstance(value, str):
+            items = list(value)
+        elif isinstance(value, list):
+            items = list(value)
+        elif isinstance(value, dict) and "length" in value:
+            items = [UNDEFINED] * int(to_number(value["length"]))
+        else:
+            raise TsRuntimeError("Array.from takes an iterable")
+        if mapper is UNDEFINED:
+            return items
+        call = interp._callback(mapper)
+        return [call(item, float(index)) for index, item in enumerate(items)]
+
+    return array_from
+
+
+# Dispatch tables (populated after the class body so the methods exist).
+_STATEMENTS = {
+    nodes.Block: Interpreter._exec_block,
+    nodes.FunctionDecl: Interpreter._exec_function_decl,
+    nodes.VarDecl: Interpreter._exec_var_decl,
+    nodes.Return: Interpreter._exec_return,
+    nodes.If: Interpreter._exec_if,
+    nodes.While: Interpreter._exec_while,
+    nodes.DoWhile: Interpreter._exec_do_while,
+    nodes.For: Interpreter._exec_for,
+    nodes.ForOf: Interpreter._exec_for_of,
+    nodes.Break: Interpreter._exec_break,
+    nodes.Continue: Interpreter._exec_continue,
+    nodes.Throw: Interpreter._exec_throw,
+    nodes.ExpressionStatement: Interpreter._exec_expression_statement,
+}
+
+_EXPRESSIONS = {
+    nodes.NumberLit: Interpreter._eval_number,
+    nodes.StringLit: Interpreter._eval_string,
+    nodes.TemplateLit: Interpreter._eval_template,
+    nodes.BoolLit: Interpreter._eval_bool,
+    nodes.NullLit: Interpreter._eval_null,
+    nodes.UndefinedLit: Interpreter._eval_undefined,
+    nodes.Identifier: Interpreter._eval_identifier,
+    nodes.ArrayLit: Interpreter._eval_array,
+    nodes.ObjectLit: Interpreter._eval_object,
+    nodes.Unary: Interpreter._eval_unary,
+    nodes.Update: Interpreter._eval_update,
+    nodes.Binary: Interpreter._eval_binary,
+    nodes.Logical: Interpreter._eval_logical,
+    nodes.Conditional: Interpreter._eval_conditional,
+    nodes.Assign: Interpreter._eval_assign,
+    nodes.Call: Interpreter._eval_call,
+    nodes.New: Interpreter._eval_new,
+    nodes.Member: Interpreter._eval_member,
+    nodes.Index: Interpreter._eval_index,
+    nodes.Arrow: Interpreter._eval_arrow,
+}

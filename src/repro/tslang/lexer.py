@@ -1,0 +1,232 @@
+"""Lexer for the TypeScript subset.
+
+Hand-written scanner producing :class:`repro.tslang.tokens.Token` objects.
+Handles line/block comments, both string quote styles with escapes,
+template literals with ``${...}`` interpolation (captured as raw
+sub-expression source, parsed later), numeric literals, identifiers,
+keywords, and maximal-munch punctuators.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TsSyntaxError
+from repro.tslang.tokens import EOF, IDENT, KEYWORD, KEYWORDS, NUMBER, PUNCT, PUNCTUATORS, STRING, TEMPLATE, Token
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "`": "`",
+}
+
+
+class Lexer:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    # -- character helpers ---------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self) -> str:
+        char = self.source[self.position]
+        self.position += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def _error(self, message: str) -> TsSyntaxError:
+        return TsSyntaxError(message, self.line, self.column)
+
+    # -- scanning --------------------------------------------------------
+
+    def tokens(self) -> list[Token]:
+        """Scan the whole source into a token list ending with EOF."""
+        result: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.position >= len(self.source):
+                result.append(Token(EOF, None, self.line, self.column))
+                return result
+            result.append(self._next_token())
+
+    def _skip_trivia(self) -> None:
+        while self.position < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.position < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance()
+                self._advance()
+                while self.position < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance()
+                        self._advance()
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        char = self._peek()
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._number(line, column)
+        if char.isalpha() or char in "_$":
+            return self._identifier(line, column)
+        if char in "'\"":
+            return self._string(line, column)
+        if char == "`":
+            return self._template(line, column)
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.position):
+                for _ in punct:
+                    self._advance()
+                return Token(PUNCT, punct, line, column)
+        raise self._error(f"unexpected character {char!r}")
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.position
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance()
+            self._advance()
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            raw = self.source[start:self.position]
+            return Token(NUMBER, float(int(raw, 16)), line, column)
+        seen_dot = False
+        seen_exp = False
+        while True:
+            char = self._peek()
+            if not char:
+                break
+            if char.isdigit():
+                self._advance()
+            elif char == "." and not seen_dot and not seen_exp:
+                seen_dot = True
+                self._advance()
+            elif char in "eE" and not seen_exp:
+                seen_exp = True
+                self._advance()
+                if self._peek() and self._peek() in "+-":
+                    self._advance()
+            else:
+                break
+        raw = self.source[start:self.position]
+        try:
+            return Token(NUMBER, float(raw), line, column)
+        except ValueError:
+            raise self._error(f"malformed number {raw!r}") from None
+
+    def _identifier(self, line: int, column: int) -> Token:
+        start = self.position
+        while self._peek() and (self._peek().isalnum() or self._peek() in "_$"):
+            self._advance()
+        name = self.source[start:self.position]
+        kind = KEYWORD if name in KEYWORDS else IDENT
+        return Token(kind, name, line, column)
+
+    def _string(self, line: int, column: int) -> Token:
+        quote = self._advance()
+        chars: list[str] = []
+        while True:
+            if self.position >= len(self.source):
+                raise self._error("unterminated string literal")
+            char = self._advance()
+            if char == quote:
+                return Token(STRING, "".join(chars), line, column)
+            if char == "\n":
+                raise self._error("newline in string literal")
+            if char == "\\":
+                if self.position >= len(self.source):
+                    raise self._error("unterminated string literal")
+                escape = self._advance()
+                if escape == "u":
+                    hex_digits = self.source[self.position:self.position + 4]
+                    if len(hex_digits) != 4:
+                        raise self._error("bad \\u escape")
+                    try:
+                        chars.append(chr(int(hex_digits, 16)))
+                    except ValueError:
+                        raise self._error("bad \\u escape") from None
+                    for _ in range(4):
+                        self._advance()
+                else:
+                    chars.append(_ESCAPES.get(escape, escape))
+            else:
+                chars.append(char)
+
+    def _template(self, line: int, column: int) -> Token:
+        """Template literal: value is a list of parts.
+
+        String parts are plain ``str``; interpolations are ``("expr", src)``
+        tuples holding the raw sub-expression source text, to be parsed by
+        the parser with a nested parser instance.
+        """
+        self._advance()  # opening backtick
+        parts: list = []
+        chars: list[str] = []
+        while True:
+            if self.position >= len(self.source):
+                raise self._error("unterminated template literal")
+            char = self._peek()
+            if char == "`":
+                self._advance()
+                if chars:
+                    parts.append("".join(chars))
+                return Token(TEMPLATE, parts, line, column)
+            if char == "\\":
+                self._advance()
+                escape = self._advance()
+                chars.append(_ESCAPES.get(escape, escape))
+                continue
+            if char == "$" and self._peek(1) == "{":
+                if chars:
+                    parts.append("".join(chars))
+                    chars = []
+                self._advance()
+                self._advance()
+                depth = 1
+                start = self.position
+                while self.position < len(self.source) and depth:
+                    inner = self._peek()
+                    if inner == "{":
+                        depth += 1
+                    elif inner == "}":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    self._advance()
+                if depth:
+                    raise self._error("unterminated ${...} in template literal")
+                parts.append(("expr", self.source[start:self.position]))
+                self._advance()  # closing brace
+                continue
+            chars.append(self._advance())
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: scan ``source`` into tokens."""
+    return Lexer(source).tokens()

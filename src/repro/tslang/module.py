@@ -1,0 +1,73 @@
+"""Loading and calling TypeScript-subset modules from Python.
+
+:class:`TsModule` wraps a parsed+executed program and exposes its exported
+functions with AskIt's named-argument calling convention: a function whose
+single parameter is a destructured object (``function f({a, b}: ...)``)
+is called with one dict; plain-parameter functions are called positionally
+in declaration order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import TsRuntimeError
+from repro.tslang import nodes
+from repro.tslang.interpreter import DEFAULT_STEP_BUDGET, Environment, Interpreter, TsFunction
+from repro.tslang.parser import parse_program
+from repro.tslang.values import from_python, to_python
+
+
+class TsModule:
+    """An executed TypeScript-subset compilation unit."""
+
+    def __init__(self, source: str, step_budget: int = DEFAULT_STEP_BUDGET) -> None:
+        self.source = source
+        self.program: nodes.Program = parse_program(source)
+        self.interpreter = Interpreter(step_budget)
+        self.environment: Environment = self.interpreter.run(self.program)
+
+    def function_names(self) -> list[str]:
+        return list(self.program.functions())
+
+    def declaration(self, name: str) -> nodes.FunctionDecl:
+        functions = self.program.functions()
+        if name not in functions:
+            raise TsRuntimeError(f"module does not define function {name!r}")
+        return functions[name]
+
+    def call(self, name: str, named_args: Mapping[str, Any] | None = None) -> Any:
+        """Call function ``name`` with Python values; returns a Python value.
+
+        ``named_args`` maps parameter names to values regardless of whether
+        the function uses a destructured object parameter or plain
+        positional parameters.
+        """
+        declaration = self.declaration(name)
+        fn = self.environment.lookup(name)
+        if not isinstance(fn, TsFunction):
+            raise TsRuntimeError(f"{name!r} is not a function")
+        named_args = dict(named_args or {})
+        converted = {key: from_python(value) for key, value in named_args.items()}
+        arguments: list[Any] = []
+        if len(declaration.params) == 1 and declaration.params[0].destructured:
+            arguments = [converted]
+        else:
+            for param in declaration.params:
+                param_name = param.names[0]
+                if param_name not in converted:
+                    raise TsRuntimeError(
+                        f"missing argument {param_name!r} for function {name!r}"
+                    )
+                arguments.append(converted[param_name])
+        result = self.interpreter.call(fn, arguments)
+        return to_python(result)
+
+    def reset_steps(self) -> None:
+        """Reset the interpreter's step counter between calls."""
+        self.interpreter.steps = 0
+
+
+def load_module(source: str, step_budget: int = DEFAULT_STEP_BUDGET) -> TsModule:
+    """Parse and execute ``source``, returning a callable module."""
+    return TsModule(source, step_budget)

@@ -1,0 +1,377 @@
+"""AST node classes for the TypeScript subset.
+
+Plain value classes with ``__slots__``; the interpreter dispatches on the
+node class.  Type annotations from the source are preserved as raw strings
+(``annotation``) -- the subset interpreter is dynamically typed, but AskIt
+uses the annotations to recover signatures from generated code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class Node:
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0) -> None:
+        self.line = line
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}"
+            for name in self.__slots__
+            if name != "line"
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+# -- expressions -----------------------------------------------------------
+
+
+class NumberLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class StringLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class TemplateLit(Node):
+    __slots__ = ("parts",)  # str | Node alternating
+
+    def __init__(self, parts: Sequence[Any], line: int = 0) -> None:
+        super().__init__(line)
+        self.parts = list(parts)
+
+
+class BoolLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool, line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class NullLit(Node):
+    __slots__ = ()
+
+
+class UndefinedLit(Node):
+    __slots__ = ()
+
+
+class Identifier(Node):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+
+
+class ArrayLit(Node):
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: Sequence[Node], line: int = 0) -> None:
+        super().__init__(line)
+        self.elements = list(elements)
+
+
+class SpreadElement(Node):
+    __slots__ = ("argument",)
+
+    def __init__(self, argument: Node, line: int = 0) -> None:
+        super().__init__(line)
+        self.argument = argument
+
+
+class ObjectLit(Node):
+    __slots__ = ("entries",)  # list of (key, value-Node)
+
+    def __init__(self, entries: Sequence[tuple[str, Node]], line: int = 0) -> None:
+        super().__init__(line)
+        self.entries = list(entries)
+
+
+class Unary(Node):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Node, line: int = 0) -> None:
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Update(Node):
+    """``x++`` / ``--x`` style increment/decrement."""
+
+    __slots__ = ("op", "target", "prefix")
+
+    def __init__(self, op: str, target: Node, prefix: bool, line: int = 0) -> None:
+        super().__init__(line)
+        self.op = op
+        self.target = target
+        self.prefix = prefix
+
+
+class Binary(Node):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Node, right: Node, line: int = 0) -> None:
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Logical(Node):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Node, right: Node, line: int = 0) -> None:
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Conditional(Node):
+    __slots__ = ("test", "consequent", "alternate")
+
+    def __init__(self, test: Node, consequent: Node, alternate: Node, line: int = 0) -> None:
+        super().__init__(line)
+        self.test = test
+        self.consequent = consequent
+        self.alternate = alternate
+
+
+class Assign(Node):
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, op: str, target: Node, value: Node, line: int = 0) -> None:
+        super().__init__(line)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class Call(Node):
+    __slots__ = ("callee", "arguments")
+
+    def __init__(self, callee: Node, arguments: Sequence[Node], line: int = 0) -> None:
+        super().__init__(line)
+        self.callee = callee
+        self.arguments = list(arguments)
+
+
+class New(Node):
+    __slots__ = ("callee", "arguments")
+
+    def __init__(self, callee: Node, arguments: Sequence[Node], line: int = 0) -> None:
+        super().__init__(line)
+        self.callee = callee
+        self.arguments = list(arguments)
+
+
+class Member(Node):
+    """``object.name`` access."""
+
+    __slots__ = ("object", "name")
+
+    def __init__(self, object: Node, name: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.object = object
+        self.name = name
+
+
+class Index(Node):
+    """``object[index]`` access."""
+
+    __slots__ = ("object", "index")
+
+    def __init__(self, object: Node, index: Node, line: int = 0) -> None:
+        super().__init__(line)
+        self.object = object
+        self.index = index
+
+
+class Arrow(Node):
+    __slots__ = ("params", "body", "is_expression")
+
+    def __init__(self, params: Sequence[str], body: Any, is_expression: bool, line: int = 0) -> None:
+        super().__init__(line)
+        self.params = list(params)
+        self.body = body  # Node when is_expression else Block
+        self.is_expression = is_expression
+
+
+# -- parameters & statements -------------------------------------------------
+
+
+class Param(Node):
+    """A function parameter: plain name or a destructured object pattern."""
+
+    __slots__ = ("names", "destructured", "annotation")
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        destructured: bool,
+        annotation: str | None = None,
+        line: int = 0,
+    ) -> None:
+        super().__init__(line)
+        self.names = list(names)
+        self.destructured = destructured
+        self.annotation = annotation
+
+
+class Block(Node):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements: Sequence[Node], line: int = 0) -> None:
+        super().__init__(line)
+        self.statements = list(statements)
+
+
+class FunctionDecl(Node):
+    __slots__ = ("name", "params", "body", "return_annotation", "exported")
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Param],
+        body: Block,
+        return_annotation: str | None = None,
+        exported: bool = False,
+        line: int = 0,
+    ) -> None:
+        super().__init__(line)
+        self.name = name
+        self.params = list(params)
+        self.body = body
+        self.return_annotation = return_annotation
+        self.exported = exported
+
+
+class VarDecl(Node):
+    __slots__ = ("kind", "declarations")  # declarations: list of (name, init-Node|None)
+
+    def __init__(
+        self, kind: str, declarations: Sequence[tuple[str, Node | None]], line: int = 0
+    ) -> None:
+        super().__init__(line)
+        self.kind = kind
+        self.declarations = list(declarations)
+
+
+class Return(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Node | None, line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class If(Node):
+    __slots__ = ("test", "consequent", "alternate")
+
+    def __init__(self, test: Node, consequent: Node, alternate: Node | None, line: int = 0) -> None:
+        super().__init__(line)
+        self.test = test
+        self.consequent = consequent
+        self.alternate = alternate
+
+
+class While(Node):
+    __slots__ = ("test", "body")
+
+    def __init__(self, test: Node, body: Node, line: int = 0) -> None:
+        super().__init__(line)
+        self.test = test
+        self.body = body
+
+
+class DoWhile(Node):
+    __slots__ = ("test", "body")
+
+    def __init__(self, test: Node, body: Node, line: int = 0) -> None:
+        super().__init__(line)
+        self.test = test
+        self.body = body
+
+
+class For(Node):
+    __slots__ = ("init", "test", "update", "body")
+
+    def __init__(
+        self,
+        init: Node | None,
+        test: Node | None,
+        update: Node | None,
+        body: Node,
+        line: int = 0,
+    ) -> None:
+        super().__init__(line)
+        self.init = init
+        self.test = test
+        self.update = update
+        self.body = body
+
+
+class ForOf(Node):
+    __slots__ = ("kind", "name", "iterable", "body")
+
+    def __init__(self, kind: str, name: str, iterable: Node, body: Node, line: int = 0) -> None:
+        super().__init__(line)
+        self.kind = kind
+        self.name = name
+        self.iterable = iterable
+        self.body = body
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+class Throw(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Node, line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class ExpressionStatement(Node):
+    __slots__ = ("expression",)
+
+    def __init__(self, expression: Node, line: int = 0) -> None:
+        super().__init__(line)
+        self.expression = expression
+
+
+class Program(Node):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements: Sequence[Node], line: int = 0) -> None:
+        super().__init__(line)
+        self.statements = list(statements)
+
+    def functions(self) -> dict[str, FunctionDecl]:
+        """Top-level function declarations by name."""
+        return {
+            statement.name: statement
+            for statement in self.statements
+            if isinstance(statement, FunctionDecl)
+        }

@@ -1,0 +1,595 @@
+"""Recursive-descent parser for the TypeScript subset.
+
+Expressions use precedence climbing; statements are straightforward
+recursive descent.  Semicolons are optional (consumed when present), which
+covers both the strict output of our code synthesizer and the looser style
+real LLMs produce.
+
+Type annotations are *captured*, not checked: they are re-rendered to
+source strings and stored on :class:`Param` / :class:`FunctionDecl` so that
+AskIt can recover a generated function's signature.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TsSyntaxError
+from repro.tslang import nodes
+from repro.tslang.lexer import tokenize
+from repro.tslang.tokens import EOF, IDENT, KEYWORD, NUMBER, PUNCT, STRING, TEMPLATE, Token
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "**="}
+
+# Binary operator precedence, higher binds tighter.
+_BINARY_PRECEDENCE = {
+    "??": 1,
+    "||": 2,
+    "&&": 3,
+    "===": 4,
+    "!==": 4,
+    "==": 4,
+    "!=": 4,
+    "<": 5,
+    "<=": 5,
+    ">": 5,
+    ">=": 5,
+    "+": 6,
+    "-": 6,
+    "*": 7,
+    "/": 7,
+    "%": 7,
+    "**": 8,
+}
+
+_LOGICAL_OPS = {"&&", "||", "??"}
+
+
+def _render_token(token: Token) -> str:
+    """Re-render a token as source text (used for annotation capture)."""
+    if token.kind == STRING:
+        escaped = token.value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    if token.kind == NUMBER:
+        value = token.value
+        if float(value).is_integer():
+            return str(int(value))
+        return repr(value)
+    return str(token.value)
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != EOF:
+            self.index += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> TsSyntaxError:
+        token = token or self._peek()
+        return TsSyntaxError(message, token.line, token.column)
+
+    def _expect_punct(self, value: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(value):
+            raise self._error(f"expected {value!r} but found {token.value!r}")
+        return self._advance()
+
+    def _match_punct(self, value: str) -> bool:
+        if self._peek().is_punct(value):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, value: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(value):
+            raise self._error(f"expected keyword {value!r} but found {token.value!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.kind != IDENT:
+            raise self._error(f"expected an identifier but found {token.value!r}")
+        self._advance()
+        return token.value
+
+    def _consume_semicolon(self) -> None:
+        self._match_punct(";")
+
+    # -- entry points ------------------------------------------------------
+
+    def parse_program(self) -> nodes.Program:
+        statements: list[nodes.Node] = []
+        while self._peek().kind != EOF:
+            if self._match_punct(";"):
+                continue
+            statements.append(self._statement())
+        return nodes.Program(statements)
+
+    def parse_expression(self) -> nodes.Node:
+        expression = self._expression()
+        if self._peek().kind != EOF:
+            raise self._error("unexpected trailing input after expression")
+        return expression
+
+    # -- statements ---------------------------------------------------------
+
+    def _statement(self) -> nodes.Node:
+        token = self._peek()
+        if token.kind == KEYWORD:
+            if token.value == "export":
+                self._advance()
+                return self._function_decl(exported=True)
+            if token.value == "function":
+                return self._function_decl(exported=False)
+            if token.value in ("let", "const", "var"):
+                return self._var_decl()
+            if token.value == "return":
+                return self._return_statement()
+            if token.value == "if":
+                return self._if_statement()
+            if token.value == "while":
+                return self._while_statement()
+            if token.value == "do":
+                return self._do_while_statement()
+            if token.value == "for":
+                return self._for_statement()
+            if token.value == "break":
+                self._advance()
+                self._consume_semicolon()
+                return nodes.Break(token.line)
+            if token.value == "continue":
+                self._advance()
+                self._consume_semicolon()
+                return nodes.Continue(token.line)
+            if token.value == "throw":
+                self._advance()
+                value = self._expression()
+                self._consume_semicolon()
+                return nodes.Throw(value, token.line)
+        if token.is_punct("{"):
+            return self._block()
+        expression = self._expression()
+        self._consume_semicolon()
+        return nodes.ExpressionStatement(expression, token.line)
+
+    def _block(self) -> nodes.Block:
+        open_token = self._expect_punct("{")
+        statements: list[nodes.Node] = []
+        while not self._peek().is_punct("}"):
+            if self._peek().kind == EOF:
+                raise self._error("unterminated block", open_token)
+            if self._match_punct(";"):
+                continue
+            statements.append(self._statement())
+        self._expect_punct("}")
+        return nodes.Block(statements, open_token.line)
+
+    def _function_decl(self, exported: bool) -> nodes.FunctionDecl:
+        start = self._expect_keyword("function")
+        name = self._expect_ident()
+        self._expect_punct("(")
+        params: list[nodes.Param] = []
+        while not self._peek().is_punct(")"):
+            params.append(self._param())
+            if not self._match_punct(","):
+                break
+        self._expect_punct(")")
+        return_annotation = None
+        if self._match_punct(":"):
+            return_annotation = self._capture_type(stop_at_brace=True)
+        body = self._block()
+        return nodes.FunctionDecl(
+            name, params, body, return_annotation, exported, start.line
+        )
+
+    def _param(self) -> nodes.Param:
+        token = self._peek()
+        if token.is_punct("{"):
+            self._advance()
+            names: list[str] = []
+            while not self._peek().is_punct("}"):
+                names.append(self._expect_ident())
+                if not self._match_punct(","):
+                    break
+            self._expect_punct("}")
+            annotation = None
+            if self._match_punct(":"):
+                annotation = self._capture_type()
+            return nodes.Param(names, True, annotation, token.line)
+        name = self._expect_ident()
+        annotation = None
+        if self._match_punct(":"):
+            annotation = self._capture_type()
+        # Default values are parsed and discarded (the subset has no
+        # optional-call semantics; the synthesizer never relies on them).
+        if self._match_punct("="):
+            self._ternary()
+        return nodes.Param([name], False, annotation, token.line)
+
+    def _capture_type(self, stop_at_brace: bool = False) -> str:
+        """Capture a type annotation as re-rendered source text.
+
+        Scans tokens keeping bracket balance; stops at a top-level ``,``,
+        ``)``, ``=`` or ``=>``, or -- when ``stop_at_brace`` -- at a ``{``
+        that would open a function body.
+        """
+        parts: list[str] = []
+        depth = 0
+        while True:
+            token = self._peek()
+            if token.kind == EOF:
+                raise self._error("unterminated type annotation")
+            if depth == 0:
+                if token.is_punct(",") or token.is_punct(")") or token.is_punct("=>") or token.is_punct("="):
+                    break
+                if stop_at_brace and token.is_punct("{") and parts:
+                    break
+                if stop_at_brace and token.is_punct("{") and not parts:
+                    # A record type annotation: consume it balanced.
+                    pass
+            if token.kind == PUNCT and token.value in "{[(<":
+                depth += 1
+            elif token.kind == PUNCT and token.value in "}])>":
+                if depth == 0:
+                    break
+                depth -= 1
+            parts.append(_render_token(token))
+            self._advance()
+            if stop_at_brace and depth == 0 and parts and parts[-1] == "}":
+                # Just closed a balanced record type; the next `{` is the body.
+                if self._peek().is_punct("{"):
+                    break
+        text = " ".join(parts)
+        # Tidy re-rendered spacing so the string parses with types.parse.
+        replacements = (
+            (" [ ]", "[]"),
+            ("[ ", "["),
+            (" ]", "]"),
+            ("( ", "("),
+            (" )", ")"),
+            (" :", ":"),
+            (" ;", ";"),
+            (" ,", ","),
+        )
+        for a, b in replacements:
+            text = text.replace(a, b)
+        return text.strip()
+
+    def _var_decl(self) -> nodes.VarDecl:
+        kind_token = self._advance()
+        declarations: list[tuple[str, nodes.Node | None]] = []
+        while True:
+            name = self._expect_ident()
+            if self._match_punct(":"):
+                self._capture_type()
+            init: nodes.Node | None = None
+            if self._match_punct("="):
+                init = self._assignment()
+            declarations.append((name, init))
+            if not self._match_punct(","):
+                break
+        self._consume_semicolon()
+        return nodes.VarDecl(kind_token.value, declarations, kind_token.line)
+
+    def _return_statement(self) -> nodes.Return:
+        token = self._expect_keyword("return")
+        if self._peek().is_punct(";") or self._peek().is_punct("}") or self._peek().kind == EOF:
+            self._consume_semicolon()
+            return nodes.Return(None, token.line)
+        value = self._expression()
+        self._consume_semicolon()
+        return nodes.Return(value, token.line)
+
+    def _if_statement(self) -> nodes.If:
+        token = self._expect_keyword("if")
+        self._expect_punct("(")
+        test = self._expression()
+        self._expect_punct(")")
+        consequent = self._statement()
+        alternate = None
+        if self._peek().is_keyword("else"):
+            self._advance()
+            alternate = self._statement()
+        return nodes.If(test, consequent, alternate, token.line)
+
+    def _while_statement(self) -> nodes.While:
+        token = self._expect_keyword("while")
+        self._expect_punct("(")
+        test = self._expression()
+        self._expect_punct(")")
+        body = self._statement()
+        return nodes.While(test, body, token.line)
+
+    def _do_while_statement(self) -> nodes.DoWhile:
+        token = self._expect_keyword("do")
+        body = self._statement()
+        self._expect_keyword("while")
+        self._expect_punct("(")
+        test = self._expression()
+        self._expect_punct(")")
+        self._consume_semicolon()
+        return nodes.DoWhile(test, body, token.line)
+
+    def _for_statement(self) -> nodes.Node:
+        token = self._expect_keyword("for")
+        self._expect_punct("(")
+        # for (const x of xs) -- lookahead for the `of` form.
+        if self._peek().kind == KEYWORD and self._peek().value in ("let", "const", "var"):
+            if self._peek(1).kind == IDENT and self._peek(2).is_keyword("of"):
+                kind = self._advance().value
+                name = self._expect_ident()
+                self._expect_keyword("of")
+                iterable = self._expression()
+                self._expect_punct(")")
+                body = self._statement()
+                return nodes.ForOf(kind, name, iterable, body, token.line)
+        init: nodes.Node | None = None
+        if not self._peek().is_punct(";"):
+            if self._peek().kind == KEYWORD and self._peek().value in ("let", "const", "var"):
+                init = self._var_decl()  # consumes its own `;`
+            else:
+                init = nodes.ExpressionStatement(self._expression(), token.line)
+                self._expect_punct(";")
+        else:
+            self._advance()
+        test: nodes.Node | None = None
+        if not self._peek().is_punct(";"):
+            test = self._expression()
+        self._expect_punct(";")
+        update: nodes.Node | None = None
+        if not self._peek().is_punct(")"):
+            update = self._expression()
+        self._expect_punct(")")
+        body = self._statement()
+        return nodes.For(init, test, update, body, token.line)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expression(self) -> nodes.Node:
+        return self._assignment()
+
+    def _assignment(self) -> nodes.Node:
+        left = self._ternary()
+        token = self._peek()
+        if token.kind == PUNCT and token.value in _ASSIGN_OPS:
+            if not isinstance(left, (nodes.Identifier, nodes.Member, nodes.Index)):
+                raise self._error("invalid assignment target", token)
+            self._advance()
+            value = self._assignment()
+            return nodes.Assign(token.value, left, value, token.line)
+        return left
+
+    def _ternary(self) -> nodes.Node:
+        test = self._binary(1)
+        if self._peek().is_punct("?"):
+            token = self._advance()
+            consequent = self._assignment()
+            self._expect_punct(":")
+            alternate = self._assignment()
+            return nodes.Conditional(test, consequent, alternate, token.line)
+        return test
+
+    def _binary(self, min_precedence: int) -> nodes.Node:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind != PUNCT:
+                return left
+            precedence = _BINARY_PRECEDENCE.get(token.value, 0)
+            if precedence < min_precedence or precedence == 0:
+                return left
+            self._advance()
+            # ** is right-associative; everything else is left-associative.
+            next_min = precedence if token.value == "**" else precedence + 1
+            right = self._binary(next_min)
+            if token.value in _LOGICAL_OPS:
+                left = nodes.Logical(token.value, left, right, token.line)
+            else:
+                left = nodes.Binary(token.value, left, right, token.line)
+
+    def _unary(self) -> nodes.Node:
+        token = self._peek()
+        if token.kind == PUNCT and token.value in ("!", "-", "+"):
+            self._advance()
+            return nodes.Unary(token.value, self._unary(), token.line)
+        if token.is_keyword("typeof"):
+            self._advance()
+            return nodes.Unary("typeof", self._unary(), token.line)
+        if token.kind == PUNCT and token.value in ("++", "--"):
+            self._advance()
+            target = self._unary()
+            return nodes.Update(token.value, target, True, token.line)
+        if token.is_keyword("new"):
+            self._advance()
+            callee = self._postfix(self._primary(), allow_call=False)
+            arguments: list[nodes.Node] = []
+            if self._match_punct("("):
+                arguments = self._arguments()
+            return self._postfix(nodes.New(callee, arguments, token.line), allow_call=True)
+        return self._postfix(self._primary(), allow_call=True)
+
+    def _arguments(self) -> list[nodes.Node]:
+        arguments: list[nodes.Node] = []
+        while not self._peek().is_punct(")"):
+            if self._match_punct("..."):
+                arguments.append(nodes.SpreadElement(self._assignment()))
+            else:
+                arguments.append(self._assignment())
+            if not self._match_punct(","):
+                break
+        self._expect_punct(")")
+        return arguments
+
+    def _postfix(self, expression: nodes.Node, allow_call: bool) -> nodes.Node:
+        while True:
+            token = self._peek()
+            if token.is_punct("."):
+                self._advance()
+                name_token = self._peek()
+                if name_token.kind not in (IDENT, KEYWORD):
+                    raise self._error("expected a property name after '.'")
+                self._advance()
+                expression = nodes.Member(expression, name_token.value, token.line)
+            elif token.is_punct("["):
+                self._advance()
+                index = self._expression()
+                self._expect_punct("]")
+                expression = nodes.Index(expression, index, token.line)
+            elif allow_call and token.is_punct("("):
+                self._advance()
+                expression = nodes.Call(expression, self._arguments(), token.line)
+            elif token.kind == PUNCT and token.value in ("++", "--"):
+                self._advance()
+                expression = nodes.Update(token.value, expression, False, token.line)
+            else:
+                return expression
+
+    def _primary(self) -> nodes.Node:
+        token = self._peek()
+        if token.kind == NUMBER:
+            self._advance()
+            return nodes.NumberLit(token.value, token.line)
+        if token.kind == STRING:
+            self._advance()
+            return nodes.StringLit(token.value, token.line)
+        if token.kind == TEMPLATE:
+            self._advance()
+            parts: list = []
+            for part in token.value:
+                if isinstance(part, tuple):
+                    parts.append(Parser(part[1]).parse_expression())
+                else:
+                    parts.append(part)
+            return nodes.TemplateLit(parts, token.line)
+        if token.kind == KEYWORD:
+            if token.value == "true":
+                self._advance()
+                return nodes.BoolLit(True, token.line)
+            if token.value == "false":
+                self._advance()
+                return nodes.BoolLit(False, token.line)
+            if token.value == "null":
+                self._advance()
+                return nodes.NullLit(token.line)
+            if token.value == "undefined":
+                self._advance()
+                return nodes.UndefinedLit(token.line)
+            raise self._error(f"unexpected keyword {token.value!r}")
+        if token.kind == IDENT:
+            # Single-identifier arrow function: `x => expr`.
+            if self._peek(1).is_punct("=>"):
+                self._advance()
+                self._advance()
+                return self._arrow_body([token.value], token)
+            self._advance()
+            return nodes.Identifier(token.value, token.line)
+        if token.is_punct("("):
+            if self._looks_like_arrow_params():
+                params = self._arrow_params()
+                self._expect_punct("=>")
+                return self._arrow_body(params, token)
+            self._advance()
+            expression = self._expression()
+            self._expect_punct(")")
+            return expression
+        if token.is_punct("["):
+            self._advance()
+            elements: list[nodes.Node] = []
+            while not self._peek().is_punct("]"):
+                if self._match_punct("..."):
+                    elements.append(nodes.SpreadElement(self._assignment()))
+                else:
+                    elements.append(self._assignment())
+                if not self._match_punct(","):
+                    break
+            self._expect_punct("]")
+            return nodes.ArrayLit(elements, token.line)
+        if token.is_punct("{"):
+            return self._object_literal()
+        raise self._error(f"unexpected token {token.value!r}")
+
+    def _looks_like_arrow_params(self) -> bool:
+        """Lookahead from a '(' to see whether '=>' follows the match."""
+        depth = 0
+        offset = 0
+        while True:
+            token = self._peek(offset)
+            if token.kind == EOF:
+                return False
+            if token.kind == PUNCT:
+                if token.value == "(":
+                    depth += 1
+                elif token.value == ")":
+                    depth -= 1
+                    if depth == 0:
+                        return self._peek(offset + 1).is_punct("=>")
+            offset += 1
+
+    def _arrow_params(self) -> list[str]:
+        self._expect_punct("(")
+        params: list[str] = []
+        while not self._peek().is_punct(")"):
+            params.append(self._expect_ident())
+            if self._match_punct(":"):
+                self._capture_type()
+            if not self._match_punct(","):
+                break
+        self._expect_punct(")")
+        return params
+
+    def _arrow_body(self, params: list[str], token: Token) -> nodes.Arrow:
+        if self._peek().is_punct("{"):
+            body = self._block()
+            return nodes.Arrow(params, body, False, token.line)
+        return nodes.Arrow(params, self._assignment(), True, token.line)
+
+    def _object_literal(self) -> nodes.ObjectLit:
+        open_token = self._expect_punct("{")
+        entries: list[tuple[str, nodes.Node]] = []
+        while not self._peek().is_punct("}"):
+            key_token = self._peek()
+            if key_token.kind in (IDENT, KEYWORD):
+                key = str(key_token.value)
+                self._advance()
+            elif key_token.kind == STRING:
+                key = key_token.value
+                self._advance()
+            elif key_token.kind == NUMBER:
+                key = (
+                    str(int(key_token.value))
+                    if float(key_token.value).is_integer()
+                    else repr(key_token.value)
+                )
+                self._advance()
+            else:
+                raise self._error("expected an object key")
+            if self._match_punct(":"):
+                entries.append((key, self._assignment()))
+            else:
+                # Shorthand { a } == { a: a }.
+                entries.append((key, nodes.Identifier(key, key_token.line)))
+            if not self._match_punct(","):
+                break
+        self._expect_punct("}")
+        return nodes.ObjectLit(entries, open_token.line)
+
+
+def parse_program(source: str) -> nodes.Program:
+    """Parse a TypeScript-subset compilation unit."""
+    return Parser(source).parse_program()
+
+
+def parse_expression(source: str) -> nodes.Node:
+    """Parse a single TypeScript-subset expression."""
+    return Parser(source).parse_expression()

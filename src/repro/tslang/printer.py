@@ -1,0 +1,237 @@
+"""Pretty-printer (unparser) for the TypeScript subset.
+
+Renders an AST back to source text.  The round-trip guarantee is
+*semantic*: re-parsing printed output yields a program with identical
+behaviour (tests pin this with property tests).  Used for cache
+normalization and for debugging generated code.
+"""
+
+from __future__ import annotations
+
+from repro.tslang import nodes
+
+_INDENT = "    "
+
+# Operator precedence for minimal parenthesization; mirrors the parser.
+_PRECEDENCE = {
+    "??": 1,
+    "||": 2,
+    "&&": 3,
+    "===": 4,
+    "!==": 4,
+    "==": 4,
+    "!=": 4,
+    "<": 5,
+    "<=": 5,
+    ">": 5,
+    ">=": 5,
+    "+": 6,
+    "-": 6,
+    "*": 7,
+    "/": 7,
+    "%": 7,
+    "**": 8,
+}
+_UNARY_PREC = 9
+_POSTFIX_PREC = 10
+
+
+def print_program(program: nodes.Program) -> str:
+    """Render a whole compilation unit."""
+    return "\n".join(_statement(statement, 0) for statement in program.statements) + "\n"
+
+
+def print_expression(expression: nodes.Node) -> str:
+    """Render a single expression."""
+    return _expr(expression, 0)
+
+
+# -- statements ---------------------------------------------------------------
+
+
+def _statement(node: nodes.Node, depth: int) -> str:
+    pad = _INDENT * depth
+    if isinstance(node, nodes.FunctionDecl):
+        export = "export " if node.exported else ""
+        params = ", ".join(_param(param) for param in node.params)
+        returns = f": {node.return_annotation}" if node.return_annotation else ""
+        body = _block_body(node.body, depth)
+        return f"{pad}{export}function {node.name}({params}){returns} {{\n{body}{pad}}}"
+    if isinstance(node, nodes.VarDecl):
+        decls = ", ".join(
+            f"{name} = {_expr(init, 0)}" if init is not None else name
+            for name, init in node.declarations
+        )
+        return f"{pad}{node.kind} {decls};"
+    if isinstance(node, nodes.Return):
+        if node.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {_expr(node.value, 0)};"
+    if isinstance(node, nodes.If):
+        out = f"{pad}if ({_expr(node.test, 0)}) {_branch(node.consequent, depth)}"
+        if node.alternate is not None:
+            out += f" else {_branch(node.alternate, depth)}"
+        return out
+    if isinstance(node, nodes.While):
+        return f"{pad}while ({_expr(node.test, 0)}) {_branch(node.body, depth)}"
+    if isinstance(node, nodes.DoWhile):
+        return f"{pad}do {_branch(node.body, depth)} while ({_expr(node.test, 0)});"
+    if isinstance(node, nodes.For):
+        init = ""
+        if isinstance(node.init, nodes.VarDecl):
+            init = _statement(node.init, 0).strip().rstrip(";")
+        elif isinstance(node.init, nodes.ExpressionStatement):
+            init = _expr(node.init.expression, 0)
+        test = _expr(node.test, 0) if node.test is not None else ""
+        update = _expr(node.update, 0) if node.update is not None else ""
+        return f"{pad}for ({init}; {test}; {update}) {_branch(node.body, depth)}"
+    if isinstance(node, nodes.ForOf):
+        return (
+            f"{pad}for ({node.kind} {node.name} of {_expr(node.iterable, 0)}) "
+            f"{_branch(node.body, depth)}"
+        )
+    if isinstance(node, nodes.Break):
+        return f"{pad}break;"
+    if isinstance(node, nodes.Continue):
+        return f"{pad}continue;"
+    if isinstance(node, nodes.Throw):
+        return f"{pad}throw {_expr(node.value, 0)};"
+    if isinstance(node, nodes.Block):
+        return f"{pad}{{\n{_block_body(node, depth)}{pad}}}"
+    if isinstance(node, nodes.ExpressionStatement):
+        return f"{pad}{_expr(node.expression, 0)};"
+    raise TypeError(f"cannot print statement {type(node).__name__}")
+
+
+def _branch(node: nodes.Node, depth: int) -> str:
+    """An if/loop body: blocks inline, single statements wrapped in braces."""
+    if isinstance(node, nodes.Block):
+        return f"{{\n{_block_body(node, depth)}{_INDENT * depth}}}"
+    inner = _statement(node, depth + 1)
+    return "{\n" + inner + "\n" + _INDENT * depth + "}"
+
+
+def _block_body(block: nodes.Block, depth: int) -> str:
+    lines = [_statement(statement, depth + 1) for statement in block.statements]
+    return "".join(line + "\n" for line in lines)
+
+
+def _param(param: nodes.Param) -> str:
+    if param.destructured:
+        names = ", ".join(param.names)
+        annotation = f": {param.annotation}" if param.annotation else ""
+        return f"{{{names}}}{annotation}"
+    annotation = f": {param.annotation}" if param.annotation else ""
+    return f"{param.names[0]}{annotation}"
+
+
+# -- expressions --------------------------------------------------------------
+
+
+def _expr(node: nodes.Node, prec: int) -> str:
+    if isinstance(node, nodes.NumberLit):
+        value = node.value
+        text = str(int(value)) if float(value).is_integer() else repr(value)
+        return _wrap(text, _POSTFIX_PREC, prec) if value < 0 else text
+    if isinstance(node, nodes.StringLit):
+        return _quote(node.value)
+    if isinstance(node, nodes.TemplateLit):
+        parts = []
+        for part in node.parts:
+            if isinstance(part, str):
+                parts.append(part.replace("`", "\\`").replace("$", "\\$"))
+            else:
+                parts.append("${" + _expr(part, 0) + "}")
+        return "`" + "".join(parts) + "`"
+    if isinstance(node, nodes.BoolLit):
+        return "true" if node.value else "false"
+    if isinstance(node, nodes.NullLit):
+        return "null"
+    if isinstance(node, nodes.UndefinedLit):
+        return "undefined"
+    if isinstance(node, nodes.Identifier):
+        return node.name
+    if isinstance(node, nodes.ArrayLit):
+        return "[" + ", ".join(_element(element) for element in node.elements) + "]"
+    if isinstance(node, nodes.ObjectLit):
+        entries = ", ".join(f"{_key(key)}: {_expr(value, 0)}" for key, value in node.entries)
+        rendered = "{" + entries + "}"
+        # An object literal at statement head parses as a block; caller
+        # context cannot be known here, so always parenthesize defensively.
+        return f"({rendered})"
+    if isinstance(node, nodes.Unary):
+        operand = _expr(node.operand, _UNARY_PREC)
+        spacer = " " if node.op == "typeof" else ""
+        return _wrap(f"{node.op}{spacer}{operand}", _UNARY_PREC, prec)
+    if isinstance(node, nodes.Update):
+        target = _expr(node.target, _POSTFIX_PREC)
+        text = f"{node.op}{target}" if node.prefix else f"{target}{node.op}"
+        return _wrap(text, _UNARY_PREC, prec)
+    if isinstance(node, (nodes.Binary, nodes.Logical)):
+        own = _PRECEDENCE[node.op]
+        left = _expr(node.left, own)
+        right = _expr(node.right, own + 1)
+        return _wrap(f"{left} {node.op} {right}", own, prec)
+    if isinstance(node, nodes.Conditional):
+        text = (
+            f"{_expr(node.test, 1)} ? {_expr(node.consequent, 0)} : "
+            f"{_expr(node.alternate, 0)}"
+        )
+        return _wrap(text, 0, prec)
+    if isinstance(node, nodes.Assign):
+        text = f"{_expr(node.target, _POSTFIX_PREC)} {node.op} {_expr(node.value, 0)}"
+        return _wrap(text, 0, prec)
+    if isinstance(node, nodes.Call):
+        callee = _expr(node.callee, _POSTFIX_PREC)
+        arguments = ", ".join(_element(argument) for argument in node.arguments)
+        return f"{callee}({arguments})"
+    if isinstance(node, nodes.New):
+        callee = _expr(node.callee, _POSTFIX_PREC)
+        arguments = ", ".join(_expr(argument, 0) for argument in node.arguments)
+        return f"new {callee}({arguments})"
+    if isinstance(node, nodes.Member):
+        return f"{_expr(node.object, _POSTFIX_PREC)}.{node.name}"
+    if isinstance(node, nodes.Index):
+        return f"{_expr(node.object, _POSTFIX_PREC)}[{_expr(node.index, 0)}]"
+    if isinstance(node, nodes.Arrow):
+        params = ", ".join(node.params)
+        head = f"({params})"
+        if node.is_expression:
+            body = _expr(node.body, 0)
+            if isinstance(node.body, nodes.ObjectLit):
+                pass  # already parenthesized by the ObjectLit case
+            return _wrap(f"{head} => {body}", 0, prec)
+        inner = _block_body(node.body, 0)
+        return _wrap(f"{head} => {{\n{inner}}}", 0, prec)
+    if isinstance(node, nodes.SpreadElement):
+        return f"...{_expr(node.argument, 0)}"
+    raise TypeError(f"cannot print expression {type(node).__name__}")
+
+
+def _element(node: nodes.Node) -> str:
+    if isinstance(node, nodes.SpreadElement):
+        return f"...{_expr(node.argument, 0)}"
+    return _expr(node, 0)
+
+
+def _key(key: str) -> str:
+    if key.isidentifier():
+        return key
+    return _quote(key)
+
+
+def _quote(text: str) -> str:
+    escaped = (
+        text.replace("\\", "\\\\")
+        .replace("'", "\\'")
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+        .replace("\r", "\\r")
+    )
+    return f"'{escaped}'"
+
+
+def _wrap(text: str, own: int, surrounding: int) -> str:
+    if own < surrounding:
+        return f"({text})"
+    return text

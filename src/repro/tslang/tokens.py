@@ -1,0 +1,108 @@
+"""Token definitions for the TypeScript-subset lexer."""
+
+from __future__ import annotations
+
+from typing import Any
+
+# Token kinds.
+NUMBER = "number"
+STRING = "string"
+TEMPLATE = "template"  # value is a list of str | (expr-source str) parts
+IDENT = "ident"
+KEYWORD = "keyword"
+PUNCT = "punct"
+EOF = "eof"
+
+KEYWORDS = frozenset(
+    {
+        "export",
+        "function",
+        "return",
+        "let",
+        "const",
+        "var",
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "of",
+        "in",
+        "new",
+        "true",
+        "false",
+        "null",
+        "undefined",
+        "typeof",
+        "break",
+        "continue",
+        "throw",
+    }
+)
+
+# Multi-character punctuators, longest first so maximal munch works.
+PUNCTUATORS = (
+    "===",
+    "!==",
+    "**=",
+    "...",
+    "=>",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "??",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "**",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ":",
+    ".",
+    "?",
+    "!",
+    "|",
+    "&",
+)
+
+
+class Token:
+    """One lexical token with its source position (1-based line/column)."""
+
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind: str, value: Any, line: int, column: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def is_punct(self, value: str) -> bool:
+        return self.kind == PUNCT and self.value == value
+
+    def is_keyword(self, value: str) -> bool:
+        return self.kind == KEYWORD and self.value == value
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"

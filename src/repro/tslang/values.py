@@ -1,0 +1,294 @@
+"""Runtime value model for the TypeScript-subset interpreter.
+
+JavaScript semantics are kept where they matter for generated code:
+
+* all numbers are floats (``1/2 === 0.5``);
+* ``undefined`` is distinct from ``null``;
+* string conversion renders integral floats without a decimal point
+  (``String(5)`` is ``"5"``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+from repro.errors import TsRuntimeError
+
+
+class JSUndefined:
+    """The ``undefined`` value (singleton :data:`UNDEFINED`)."""
+
+    _instance: "JSUndefined | None" = None
+
+    def __new__(cls) -> "JSUndefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "undefined"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNDEFINED = JSUndefined()
+
+
+class JSSet:
+    """A ``Set`` with insertion-order iteration.
+
+    Backed by a list of keys because JS sets distinguish values that Python
+    would hash equal (``True`` vs ``1``); membership uses strict equality.
+    """
+
+    def __init__(self, items: Sequence[Any] = ()) -> None:
+        self.items: list[Any] = []
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Any) -> "JSSet":
+        if not self.has(item):
+            self.items.append(item)
+        return self
+
+    def has(self, item: Any) -> bool:
+        return any(strict_equals(existing, item) for existing in self.items)
+
+    def delete(self, item: Any) -> bool:
+        for index, existing in enumerate(self.items):
+            if strict_equals(existing, item):
+                del self.items[index]
+                return True
+        return False
+
+    @property
+    def size(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return f"Set({self.items!r})"
+
+
+class JSMap:
+    """A ``Map`` with insertion-order iteration and strict-equality keys."""
+
+    def __init__(self) -> None:
+        self.entries: list[list[Any]] = []
+
+    def get(self, key: Any) -> Any:
+        for existing_key, value in self.entries:
+            if strict_equals(existing_key, key):
+                return value
+        return UNDEFINED
+
+    def set(self, key: Any, value: Any) -> "JSMap":
+        for entry in self.entries:
+            if strict_equals(entry[0], key):
+                entry[1] = value
+                return self
+        self.entries.append([key, value])
+        return self
+
+    def has(self, key: Any) -> bool:
+        return any(strict_equals(existing, key) for existing, _ in self.entries)
+
+    def delete(self, key: Any) -> bool:
+        for index, (existing, _) in enumerate(self.entries):
+            if strict_equals(existing, key):
+                del self.entries[index]
+                return True
+        return False
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+
+class JSDate:
+    """Minimal ``Date``: construction from ISO strings, ``getTime`` in ms."""
+
+    def __init__(self, value: Any = None) -> None:
+        import datetime as _dt
+
+        if value is None:
+            self._dt = _dt.datetime(2024, 1, 1)
+        elif isinstance(value, (int, float)):
+            self._dt = _dt.datetime.utcfromtimestamp(float(value) / 1000.0)
+        elif isinstance(value, str):
+            text = value.replace("Z", "")
+            try:
+                self._dt = _dt.datetime.fromisoformat(text)
+            except ValueError:
+                raise TsRuntimeError(f"invalid date string {value!r}") from None
+        else:
+            raise TsRuntimeError(f"cannot construct Date from {value!r}")
+
+    def get_time(self) -> float:
+        import datetime as _dt
+
+        epoch = _dt.datetime(1970, 1, 1)
+        return (self._dt - epoch).total_seconds() * 1000.0
+
+
+class NativeFunction:
+    """A builtin exposed to interpreted code."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[..., Any]) -> None:
+        self.name = name
+        self.fn = fn
+
+    def __repr__(self) -> str:
+        return f"<native {self.name}>"
+
+
+# -- coercions ---------------------------------------------------------------
+
+
+def is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def truthy(value: Any) -> bool:
+    """JavaScript truthiness."""
+    if value is None or value is UNDEFINED:
+        return False
+    if isinstance(value, bool):
+        return value
+    if is_number(value):
+        return value != 0 and not math.isnan(value)
+    if isinstance(value, str):
+        return bool(value)
+    return True
+
+
+def to_display_string(value: Any) -> str:
+    """JavaScript ``String(value)`` conversion."""
+    if value is UNDEFINED:
+        return "undefined"
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if is_number(value):
+        number = float(value)
+        if math.isnan(number):
+            return "NaN"
+        if math.isinf(number):
+            return "Infinity" if number > 0 else "-Infinity"
+        if number.is_integer() and abs(number) < 1e21:
+            return str(int(number))
+        return repr(number)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, list):
+        return ",".join(to_display_string(item) for item in value)
+    if isinstance(value, dict):
+        return "[object Object]"
+    if isinstance(value, JSSet):
+        return "[object Set]"
+    return str(value)
+
+
+def to_number(value: Any) -> float:
+    """JavaScript ``Number(value)`` conversion."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if is_number(value):
+        return float(value)
+    if value is None:
+        return 0.0
+    if value is UNDEFINED:
+        return float("nan")
+    if isinstance(value, str):
+        text = value.strip()
+        if not text:
+            return 0.0
+        try:
+            return float(text)
+        except ValueError:
+            return float("nan")
+    return float("nan")
+
+
+def strict_equals(left: Any, right: Any) -> bool:
+    """JavaScript ``===``: value equality for primitives, identity for objects."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool) and left == right
+    if is_number(left) and is_number(right):
+        return float(left) == float(right)
+    if isinstance(left, str) and isinstance(right, str):
+        return left == right
+    if left is None and right is None:
+        return True
+    if left is UNDEFINED and right is UNDEFINED:
+        return True
+    if isinstance(left, (list, dict, JSSet, JSMap)) or isinstance(right, (list, dict, JSSet, JSMap)):
+        return left is right
+    return left is right
+
+
+def loose_equals(left: Any, right: Any) -> bool:
+    """JavaScript ``==`` (the corner we need: null/undefined and numeric strings)."""
+    if (left is None or left is UNDEFINED) and (right is None or right is UNDEFINED):
+        return True
+    if is_number(left) and isinstance(right, str):
+        return float(left) == to_number(right)
+    if isinstance(left, str) and is_number(right):
+        return to_number(left) == float(right)
+    if isinstance(left, bool) or isinstance(right, bool):
+        return to_number(left) == to_number(right)
+    return strict_equals(left, right)
+
+
+def type_of(value: Any) -> str:
+    """JavaScript ``typeof``."""
+    if value is UNDEFINED:
+        return "undefined"
+    if isinstance(value, bool):
+        return "boolean"
+    if is_number(value):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, NativeFunction) or callable(value):
+        return "function"
+    return "object"
+
+
+def to_python(value: Any) -> Any:
+    """Convert an interpreter value to plain Python for the host program.
+
+    Integral floats become ints (JS has one number type; AskIt's integer
+    type coerces anyway), ``undefined`` becomes ``None``, sets become
+    lists, containers convert recursively.
+    """
+    if value is UNDEFINED:
+        return None
+    if is_number(value) and isinstance(value, float) and value.is_integer() and abs(value) < 2**53:
+        return int(value)
+    if isinstance(value, list):
+        return [to_python(item) for item in value]
+    if isinstance(value, dict):
+        return {key: to_python(item) for key, item in value.items()}
+    if isinstance(value, JSSet):
+        return [to_python(item) for item in value.items]
+    if isinstance(value, JSMap):
+        return {to_python(k): to_python(v) for k, v in value.entries}
+    return value
+
+
+def from_python(value: Any) -> Any:
+    """Convert a Python value into the interpreter's value model."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [from_python(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): from_python(item) for key, item in value.items()}
+    raise TsRuntimeError(f"cannot pass {type(value).__name__} values into TypeScript")

@@ -1,0 +1,104 @@
+"""AskIt's type system (Table I of the paper).
+
+Use the module qualified for the paper's constructor spelling::
+
+    import repro.types as t
+
+    t.list(t.dict({"title": t.str, "year": t.int}))
+    t.union(t.literal("positive"), t.literal("negative"))
+
+or import the class-level API directly::
+
+    from repro.types import parse_type, infer_type, Type
+"""
+
+from repro.types.atoms import AnyType, BoolType, FloatType, IntType, NoneType, StrType
+from repro.types.base import Type, TypeCheckIssue, render_typescript_value
+from repro.types.composites import ListType, RecordType, TupleType, UnionType
+from repro.types.factory import (
+    ANY,
+    BOOL,
+    FLOAT,
+    INT,
+    NONE,
+    STR,
+    Bool,
+    Dict,
+    Float,
+    Int,
+    List,
+    Literal,
+    Str,
+    Tuple,
+    Union,
+    Void,
+    any,
+    bool,
+    dict,
+    float,
+    int,
+    lift,
+    list,
+    literal,
+    none,
+    str,
+    tuple_of,
+    union,
+    void,
+)
+from repro.types.infer import infer_type, unify, unify_all
+from repro.types.literals import LiteralType
+from repro.types.parse import parse_type
+from repro.types.schema import json_schema, response_schema
+
+__all__ = [
+    "Type",
+    "TypeCheckIssue",
+    "IntType",
+    "FloatType",
+    "BoolType",
+    "StrType",
+    "NoneType",
+    "AnyType",
+    "LiteralType",
+    "ListType",
+    "RecordType",
+    "UnionType",
+    "TupleType",
+    "parse_type",
+    "infer_type",
+    "unify",
+    "unify_all",
+    "json_schema",
+    "response_schema",
+    "lift",
+    "literal",
+    "union",
+    "tuple_of",
+    "render_typescript_value",
+    "INT",
+    "FLOAT",
+    "BOOL",
+    "STR",
+    "NONE",
+    "ANY",
+    "Int",
+    "Float",
+    "Bool",
+    "Str",
+    "Void",
+    "List",
+    "Dict",
+    "Literal",
+    "Union",
+    "Tuple",
+    "int",
+    "float",
+    "bool",
+    "str",
+    "none",
+    "void",
+    "any",
+    "list",
+    "dict",
+]

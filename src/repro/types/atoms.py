@@ -1,0 +1,138 @@
+"""Atomic (non-composite) AskIt types: numbers, strings, booleans, void, any.
+
+Note the JSON-centric laxness rules, chosen to match how LLM answers come
+back from a JSON block:
+
+* ``IntType`` accepts integral floats (``7.0``) and coerces them to ``int``.
+* ``FloatType`` accepts ints and coerces them to ``float``.
+* ``bool`` is never accepted where a number is expected, even though
+  ``bool`` is a subclass of ``int`` in Python.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.types.base import Type, TypeCheckIssue, describe_json_value
+
+
+class IntType(Type):
+    """Integer type; renders as TypeScript ``number``."""
+
+    tag = "number"
+
+    def typescript_with_prec(self, prec: int) -> str:
+        return "number"
+
+    def check(self, value: Any, path: str = "$") -> list[TypeCheckIssue]:
+        if isinstance(value, bool):
+            return [TypeCheckIssue(path, "expected an integer, got a boolean")]
+        if isinstance(value, int):
+            return []
+        if isinstance(value, float) and value.is_integer():
+            return []
+        return [TypeCheckIssue(path, f"expected an integer, got {describe_json_value(value)}")]
+
+    def _coerce_unchecked(self, value: Any) -> int:
+        return int(value)
+
+    def _key(self) -> tuple:
+        return ()
+
+
+class FloatType(Type):
+    """Floating-point type; renders as TypeScript ``number``."""
+
+    tag = "number"
+
+    def typescript_with_prec(self, prec: int) -> str:
+        return "number"
+
+    def check(self, value: Any, path: str = "$") -> list[TypeCheckIssue]:
+        if isinstance(value, bool):
+            return [TypeCheckIssue(path, "expected a number, got a boolean")]
+        if isinstance(value, (int, float)):
+            return []
+        return [TypeCheckIssue(path, f"expected a number, got {describe_json_value(value)}")]
+
+    def _coerce_unchecked(self, value: Any) -> float:
+        return float(value)
+
+    def _key(self) -> tuple:
+        return ()
+
+
+class BoolType(Type):
+    """Boolean type; renders as TypeScript ``boolean``."""
+
+    tag = "boolean"
+
+    def typescript_with_prec(self, prec: int) -> str:
+        return "boolean"
+
+    def check(self, value: Any, path: str = "$") -> list[TypeCheckIssue]:
+        if isinstance(value, bool):
+            return []
+        return [TypeCheckIssue(path, f"expected a boolean, got {describe_json_value(value)}")]
+
+    def _key(self) -> tuple:
+        return ()
+
+
+class StrType(Type):
+    """String type; renders as TypeScript ``string``."""
+
+    tag = "string"
+
+    def typescript_with_prec(self, prec: int) -> str:
+        return "string"
+
+    def check(self, value: Any, path: str = "$") -> list[TypeCheckIssue]:
+        if isinstance(value, str):
+            return []
+        return [TypeCheckIssue(path, f"expected a string, got {describe_json_value(value)}")]
+
+    def _key(self) -> tuple:
+        return ()
+
+
+class NoneType(Type):
+    """The ``void``/``null`` type, used by side-effect-only codable tasks.
+
+    A direct answer of ``null`` conforms; so does the absence of any
+    meaningful value.
+    """
+
+    tag = "void"
+
+    def typescript_with_prec(self, prec: int) -> str:
+        return "void"
+
+    def check(self, value: Any, path: str = "$") -> list[TypeCheckIssue]:
+        if value is None:
+            return []
+        return [TypeCheckIssue(path, f"expected null, got {describe_json_value(value)}")]
+
+    def _coerce_unchecked(self, value: Any) -> None:
+        return None
+
+    def is_void(self) -> bool:
+        return True
+
+    def _key(self) -> tuple:
+        return ()
+
+
+class AnyType(Type):
+    """The TypeScript ``any`` type: every JSON value conforms."""
+
+    tag = "any"
+
+    def typescript_with_prec(self, prec: int) -> str:
+        return "any"
+
+    def check(self, value: Any, path: str = "$") -> list[TypeCheckIssue]:
+        return []
+
+    def _key(self) -> tuple:
+        return ()

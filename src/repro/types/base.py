@@ -1,0 +1,180 @@
+"""Core abstractions of the AskIt type system.
+
+The type system mirrors Table I of the paper: a small algebra of type
+objects that (a) render to TypeScript type expressions used to constrain
+the LLM's JSON output, and (b) validate/coerce parsed JSON values at
+runtime.  Types are immutable value objects: equality and hashing are
+structural.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import TypeMismatchError
+
+# TypeScript rendering precedence levels, loosest binding first.  Union is
+# the loosest; postfix ``[]`` binds tightest, so a union that appears as an
+# array element type must be parenthesized: ``('a' | 'b')[]``.
+PREC_UNION = 0
+PREC_ARRAY = 1
+PREC_ATOM = 2
+
+
+class TypeCheckIssue:
+    """One path-qualified problem found while checking a value.
+
+    ``path`` is a JSONPath-ish locator such as ``$.books[2].year`` so the
+    feedback prompt can point the LLM at exactly the offending field.
+    """
+
+    __slots__ = ("path", "message")
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.message}"
+
+    def __repr__(self) -> str:
+        return f"TypeCheckIssue({self.path!r}, {self.message!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TypeCheckIssue):
+            return NotImplemented
+        return self.path == other.path and self.message == other.message
+
+    def __hash__(self) -> int:
+        return hash((self.path, self.message))
+
+
+class Type:
+    """Base class of all AskIt types.
+
+    Subclasses implement :meth:`typescript_with_prec`, :meth:`check` and
+    :meth:`coerce`; everything else is derived behaviour shared by all
+    types.
+    """
+
+    #: Short tag used by Figure 7's type-usage census (e.g. ``"number"``).
+    tag: str = "?"
+
+    # -- rendering ---------------------------------------------------
+
+    def typescript(self) -> str:
+        """Render this type as a TypeScript type expression.
+
+        This is the string embedded in prompts (Listing 2 of the paper)
+        between ```` ```ts ```` fences.
+        """
+        return self.typescript_with_prec(PREC_UNION)
+
+    def typescript_with_prec(self, prec: int) -> str:
+        """Render with surrounding precedence ``prec`` (parenthesize if needed)."""
+        raise NotImplementedError
+
+    # -- validation --------------------------------------------------
+
+    def check(self, value: Any, path: str = "$") -> list[TypeCheckIssue]:
+        """Return every problem that makes ``value`` not conform to this type.
+
+        An empty list means the value conforms.
+        """
+        raise NotImplementedError
+
+    def validate(self, value: Any) -> bool:
+        """True when ``value`` conforms to this type."""
+        return not self.check(value)
+
+    def coerce(self, value: Any) -> Any:
+        """Return the canonical Python value for ``value`` under this type.
+
+        Performs benign conversions (an integral float becomes an ``int``
+        for integer types, extra record keys are dropped, union members are
+        tried in order).  Raises :class:`TypeMismatchError` when the value
+        does not conform.
+        """
+        issues = self.check(value)
+        if issues:
+            raise TypeMismatchError(
+                f"value does not match type {self.typescript()}",
+                [str(issue) for issue in issues],
+            )
+        return self._coerce_unchecked(value)
+
+    def _coerce_unchecked(self, value: Any) -> Any:
+        """Coerce ``value`` assuming :meth:`check` already passed."""
+        return value
+
+    # -- structure ---------------------------------------------------
+
+    def children(self) -> tuple["Type", ...]:
+        """Immediate component types (empty for atoms)."""
+        return ()
+
+    def walk(self) -> Iterator["Type"]:
+        """Yield this type and every nested component, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def is_void(self) -> bool:
+        """True for the ``void`` type (used by side-effect-only tasks)."""
+        return False
+
+    # -- value-object protocol ---------------------------------------
+
+    def _key(self) -> tuple:
+        """Structural identity used by ``__eq__``/``__hash__``."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Type):
+            return NotImplemented
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.typescript()}>"
+
+
+def render_typescript_value(value: Any) -> str:
+    """Render a Python constant as TypeScript source (for literal types).
+
+    Strings use single quotes as in the paper's examples; booleans map to
+    ``true``/``false``.
+    """
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if value is None:
+        return "null"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'").replace("\n", "\\n")
+        return f"'{escaped}'"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    raise TypeError(f"cannot render {type(value).__name__} as a TypeScript literal")
+
+
+def describe_json_value(value: Any) -> str:
+    """Short human description of a JSON value's kind, for error messages."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "a boolean"
+    if isinstance(value, int):
+        return "an integer"
+    if isinstance(value, float):
+        return "a number"
+    if isinstance(value, str):
+        return "a string"
+    if isinstance(value, list):
+        return "an array"
+    if isinstance(value, dict):
+        return "an object"
+    return f"a {type(value).__name__}"

@@ -1,0 +1,228 @@
+"""Composite AskIt types: arrays, records, unions, and tuples.
+
+Rendering follows TypeScript syntax, including the precedence rule that a
+union used as an array element type needs parentheses: ``('a' | 'b')[]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.types.base import (
+    PREC_ARRAY,
+    PREC_UNION,
+    Type,
+    TypeCheckIssue,
+    describe_json_value,
+)
+from repro.types.literals import LiteralType
+
+
+class ListType(Type):
+    """Homogeneous array type; renders as ``T[]``."""
+
+    tag = "Array"
+
+    def __init__(self, element: Type) -> None:
+        if not isinstance(element, Type):
+            raise TypeError(f"list() takes a Type, got {type(element).__name__}")
+        self.element = element
+
+    def typescript_with_prec(self, prec: int) -> str:
+        inner = self.element.typescript_with_prec(PREC_ARRAY)
+        return f"{inner}[]"
+
+    def check(self, value: Any, path: str = "$") -> list[TypeCheckIssue]:
+        if not isinstance(value, list):
+            return [TypeCheckIssue(path, f"expected an array, got {describe_json_value(value)}")]
+        issues: list[TypeCheckIssue] = []
+        for index, item in enumerate(value):
+            issues.extend(self.element.check(item, f"{path}[{index}]"))
+        return issues
+
+    def _coerce_unchecked(self, value: Any) -> list:
+        return [self.element._coerce_unchecked(item) for item in value]
+
+    def children(self) -> tuple[Type, ...]:
+        return (self.element,)
+
+    def _key(self) -> tuple:
+        return (self.element,)
+
+
+class RecordType(Type):
+    """Object type with a fixed set of named fields.
+
+    This is what the paper's Python API spells ``dict({'x': int, 'y': int})``
+    and TypeScript spells ``{ x: number; y: number }``.  Extra keys in a
+    value are tolerated (LLMs like adding commentary fields) and dropped by
+    coercion; missing keys are errors.
+    """
+
+    tag = "object"
+
+    def __init__(self, fields: Mapping[str, Type]) -> None:
+        if not fields:
+            raise TypeError("a record type needs at least one field")
+        clean: dict[str, Type] = {}
+        for name, field_type in fields.items():
+            if not isinstance(name, str) or not name:
+                raise TypeError(f"record field names must be non-empty strings, got {name!r}")
+            if not isinstance(field_type, Type):
+                raise TypeError(
+                    f"record field {name!r} must map to a Type, got "
+                    f"{type(field_type).__name__}"
+                )
+            clean[name] = field_type
+        self.fields = clean
+
+    def typescript_with_prec(self, prec: int) -> str:
+        parts = [
+            f"{name}: {field_type.typescript_with_prec(PREC_UNION)}"
+            for name, field_type in self.fields.items()
+        ]
+        return "{ " + "; ".join(parts) + " }"
+
+    def check(self, value: Any, path: str = "$") -> list[TypeCheckIssue]:
+        if not isinstance(value, dict):
+            return [TypeCheckIssue(path, f"expected an object, got {describe_json_value(value)}")]
+        issues: list[TypeCheckIssue] = []
+        for name, field_type in self.fields.items():
+            if name not in value:
+                issues.append(TypeCheckIssue(path, f"missing required field '{name}'"))
+                continue
+            issues.extend(field_type.check(value[name], f"{path}.{name}"))
+        return issues
+
+    def _coerce_unchecked(self, value: Any) -> dict:
+        return {
+            name: field_type._coerce_unchecked(value[name])
+            for name, field_type in self.fields.items()
+        }
+
+    def children(self) -> tuple[Type, ...]:
+        return tuple(self.fields.values())
+
+    def _key(self) -> tuple:
+        return tuple(sorted((name, field) for name, field in self.fields.items()))
+
+
+class UnionType(Type):
+    """Sum type; renders as ``A | B | ...``.
+
+    Construction flattens nested unions and deduplicates members while
+    preserving first-occurrence order, so
+    ``union(union(a, b), b, c)`` == ``union(a, b, c)``.
+    """
+
+    tag = "union"
+
+    def __init__(self, members: Sequence[Type]) -> None:
+        flat: list[Type] = []
+        for member in members:
+            if not isinstance(member, Type):
+                raise TypeError(f"union() takes Types, got {type(member).__name__}")
+            candidates = member.members if isinstance(member, UnionType) else [member]
+            for candidate in candidates:
+                if candidate not in flat:
+                    flat.append(candidate)
+        if len(flat) < 2:
+            raise TypeError("a union needs at least two distinct member types")
+        self.members = tuple(flat)
+
+    def typescript_with_prec(self, prec: int) -> str:
+        # Distinct Types can share a TypeScript spelling (int and float are
+        # both ``number``); dedupe the rendered members so the output is
+        # idiomatic TS and re-parses to an equivalent type.
+        seen: list[str] = []
+        for member in self.members:
+            spelling = member.typescript_with_prec(PREC_UNION + 1)
+            if spelling not in seen:
+                seen.append(spelling)
+        if len(seen) == 1:
+            return seen[0]
+        rendered = " | ".join(seen)
+        if prec > PREC_UNION:
+            return f"({rendered})"
+        return rendered
+
+    def check(self, value: Any, path: str = "$") -> list[TypeCheckIssue]:
+        for member in self.members:
+            if not member.check(value, path):
+                return []
+        return [
+            TypeCheckIssue(
+                path,
+                f"expected {self.typescript()}, got {describe_json_value(value)} ({value!r})",
+            )
+        ]
+
+    def _coerce_unchecked(self, value: Any) -> Any:
+        for member in self.members:
+            if not member.check(value):
+                return member._coerce_unchecked(value)
+        # check() passed before coercion, so this is unreachable in normal
+        # use; keep a defensive error for direct _coerce_unchecked callers.
+        raise AssertionError("union coercion reached with non-conforming value")
+
+    def children(self) -> tuple[Type, ...]:
+        return self.members
+
+    def is_enum_of_literals(self) -> bool:
+        """True when every member is a literal (an enumeration type)."""
+        return all(isinstance(member, LiteralType) for member in self.members)
+
+    def _key(self) -> tuple:
+        return self.members
+
+
+class TupleType(Type):
+    """Fixed-length heterogeneous array; renders as ``[A, B, ...]``.
+
+    Not in the paper's Table I, but required by several OpenAI Evals
+    benchmarks whose answers are coordinate pairs, and a natural extension
+    of the TS-type-as-JSON-schema idea.
+    """
+
+    tag = "tuple"
+
+    def __init__(self, members: Sequence[Type]) -> None:
+        items = tuple(members)
+        if not items:
+            raise TypeError("a tuple type needs at least one member")
+        for member in items:
+            if not isinstance(member, Type):
+                raise TypeError(f"tuple() takes Types, got {type(member).__name__}")
+        self.members = items
+
+    def typescript_with_prec(self, prec: int) -> str:
+        rendered = ", ".join(
+            member.typescript_with_prec(PREC_UNION) for member in self.members
+        )
+        return f"[{rendered}]"
+
+    def check(self, value: Any, path: str = "$") -> list[TypeCheckIssue]:
+        if not isinstance(value, list):
+            return [TypeCheckIssue(path, f"expected an array, got {describe_json_value(value)}")]
+        if len(value) != len(self.members):
+            return [
+                TypeCheckIssue(
+                    path,
+                    f"expected exactly {len(self.members)} elements, got {len(value)}",
+                )
+            ]
+        issues: list[TypeCheckIssue] = []
+        for index, (member, item) in enumerate(zip(self.members, value)):
+            issues.extend(member.check(item, f"{path}[{index}]"))
+        return issues
+
+    def _coerce_unchecked(self, value: Any) -> list:
+        return [
+            member._coerce_unchecked(item) for member, item in zip(self.members, value)
+        ]
+
+    def children(self) -> tuple[Type, ...]:
+        return self.members
+
+    def _key(self) -> tuple:
+        return self.members

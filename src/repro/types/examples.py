@@ -1,0 +1,42 @@
+"""Generate example values conforming to a type.
+
+Used by the simulated LLM when it must answer a task it does not know:
+like a real model pressed for a typed answer, it produces a
+*format-conforming* guess.  Also handy in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.types.atoms import AnyType, BoolType, FloatType, IntType, NoneType, StrType
+from repro.types.base import Type
+from repro.types.composites import ListType, RecordType, TupleType, UnionType
+from repro.types.literals import LiteralType
+
+
+def example_value(type_: Type) -> Any:
+    """A deterministic value that validates against ``type_``."""
+    if isinstance(type_, IntType):
+        return 0
+    if isinstance(type_, FloatType):
+        return 0.0
+    if isinstance(type_, BoolType):
+        return False
+    if isinstance(type_, StrType):
+        return ""
+    if isinstance(type_, NoneType):
+        return None
+    if isinstance(type_, AnyType):
+        return ""
+    if isinstance(type_, LiteralType):
+        return type_.value
+    if isinstance(type_, ListType):
+        return []
+    if isinstance(type_, TupleType):
+        return [example_value(member) for member in type_.members]
+    if isinstance(type_, RecordType):
+        return {name: example_value(field) for name, field in type_.fields.items()}
+    if isinstance(type_, UnionType):
+        return example_value(type_.members[0])
+    raise TypeError(f"no example value for {type_!r}")

@@ -1,0 +1,121 @@
+"""Table I constructor API for building AskIt types.
+
+The paper's Python implementation exposes type constructors whose names
+mirror the host language (``int``, ``list``, ``dict``...).  Import this
+module qualified to use the paper's spelling::
+
+    import repro.types as t
+
+    Book = t.dict({"title": t.str, "author": t.str, "year": t.int})
+    t.list(Book)
+    t.union(t.literal("yes"), t.literal("no"))
+
+Capitalized aliases (``Int``, ``List``...) are provided for callers who
+prefer not to shadow builtins with a ``from``-import.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Any, Mapping
+
+from repro.types.atoms import AnyType, BoolType, FloatType, IntType, NoneType, StrType
+from repro.types.base import Type
+from repro.types.composites import ListType, RecordType, TupleType, UnionType
+from repro.types.literals import LiteralType
+
+# Singleton atoms -- there is only one meaning of "number", so share them.
+INT = IntType()
+FLOAT = FloatType()
+BOOL = BoolType()
+STR = StrType()
+NONE = NoneType()
+ANY = AnyType()
+
+_PYTHON_TYPE_MAP: dict[type, Type] = {
+    builtins.int: INT,
+    builtins.float: FLOAT,
+    builtins.bool: BOOL,
+    builtins.str: STR,
+}
+
+
+def lift(spec: Any) -> Type:
+    """Lift a type specification into a :class:`Type`.
+
+    Accepts existing ``Type`` objects, the Python builtins ``int``,
+    ``float``, ``bool`` and ``str`` (so ``define(int, ...)`` works exactly
+    as in the paper), ``None``/``NoneType`` for void, and plain dicts as
+    record shorthand.
+    """
+    if isinstance(spec, Type):
+        return spec
+    if spec is None or spec is type(None):
+        return NONE
+    if isinstance(spec, builtins.type) and spec in _PYTHON_TYPE_MAP:
+        return _PYTHON_TYPE_MAP[spec]
+    if isinstance(spec, Mapping):
+        return RecordType({name: lift(value) for name, value in spec.items()})
+    raise TypeError(f"cannot interpret {spec!r} as an AskIt type")
+
+
+def literal(value: Any) -> LiteralType:
+    """The type containing exactly ``value`` (a JSON scalar)."""
+    return LiteralType(value)
+
+
+def union(*members: Any) -> Type:
+    """Union of the given member types; collapses to the sole member if
+    deduplication leaves just one."""
+    lifted = [lift(member) for member in members]
+    flat: list[Type] = []
+    for member in lifted:
+        parts = member.members if isinstance(member, UnionType) else (member,)
+        for part in parts:
+            if part not in flat:
+                flat.append(part)
+    if len(flat) == 1:
+        return flat[0]
+    return UnionType(flat)
+
+
+def tuple_of(*members: Any) -> TupleType:
+    """Fixed-length tuple type ``[A, B, ...]``."""
+    return TupleType([lift(member) for member in members])
+
+
+# The shadowing constructors.  Defined with underscore-free public names so
+# that ``t.list(t.int)`` reads exactly like the paper; the real builtins
+# stay reachable through the ``builtins`` module above.
+
+
+def _make_list(element: Any) -> ListType:
+    return ListType(lift(element))
+
+
+def _make_dict(fields: Mapping[str, Any]) -> RecordType:
+    return RecordType({name: lift(value) for name, value in fields.items()})
+
+
+int = INT  # noqa: A001 - intentional Table I spelling
+float = FLOAT  # noqa: A001
+bool = BOOL  # noqa: A001
+str = STR  # noqa: A001
+none = NONE
+void = NONE
+any = ANY  # noqa: A001
+list = _make_list  # noqa: A001
+dict = _make_dict  # noqa: A001
+
+# Import-safe aliases.
+Int = INT
+Float = FLOAT
+Bool = BOOL
+Str = STR
+Void = NONE
+Any_ = ANY
+List = _make_list
+Dict = _make_dict
+Literal = literal
+Union = union
+Tuple = tuple_of

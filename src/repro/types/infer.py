@@ -1,0 +1,98 @@
+"""Type inference from example values.
+
+Programming-by-example (``define(..., examples)``) and the HumanEval
+conversion both need a :class:`Type` for outputs that the user supplied
+only as Python constants.  ``infer_type`` produces the most specific type
+of a single value; ``unify`` widens two types to a common supertype
+(``int`` + ``float`` -> ``float``, otherwise a union).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.types.atoms import AnyType, FloatType, IntType
+from repro.types.base import Type
+from repro.types.composites import ListType, RecordType, TupleType
+from repro.types.factory import ANY, BOOL, FLOAT, INT, NONE, STR, union
+
+
+def infer_type(value: Any) -> Type:
+    """Infer the most specific AskIt type of a Python value.
+
+    ``bool`` is checked before ``int`` because it is an ``int`` subclass.
+    Lists infer the unified element type (an empty list infers
+    ``any[]``).  Tuples infer tuple types; dicts infer record types.
+    """
+    if value is None:
+        return NONE
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, float):
+        return FLOAT
+    if isinstance(value, str):
+        return STR
+    if isinstance(value, tuple):
+        if not value:
+            return ListType(ANY)
+        return TupleType([infer_type(item) for item in value])
+    if isinstance(value, list):
+        if not value:
+            return ListType(ANY)
+        element = infer_type(value[0])
+        for item in value[1:]:
+            element = unify(element, infer_type(item))
+        return ListType(element)
+    if isinstance(value, dict):
+        if not value:
+            return ANY
+        return RecordType({str(name): infer_type(item) for name, item in value.items()})
+    raise TypeError(f"cannot infer an AskIt type for {type(value).__name__} values")
+
+
+def unify(left: Type, right: Type) -> Type:
+    """Smallest supported supertype of ``left`` and ``right``.
+
+    Numeric types widen (``int | float -> float``); identical types are
+    returned as-is; lists unify element-wise; records unify field-wise when
+    the field sets coincide; everything else falls back to a union.
+    """
+    if left == right:
+        return left
+    if isinstance(left, AnyType) or isinstance(right, AnyType):
+        return ANY
+    if _is_numeric(left) and _is_numeric(right):
+        return FLOAT
+    if isinstance(left, ListType) and isinstance(right, ListType):
+        return ListType(unify(left.element, right.element))
+    if isinstance(left, TupleType) and isinstance(right, TupleType):
+        if len(left.members) == len(right.members):
+            return TupleType(
+                [unify(a, b) for a, b in zip(left.members, right.members)]
+            )
+        return union(left, right)
+    if isinstance(left, RecordType) and isinstance(right, RecordType):
+        if set(left.fields) == set(right.fields):
+            return RecordType(
+                {name: unify(left.fields[name], right.fields[name]) for name in left.fields}
+            )
+        return union(left, right)
+    return union(left, right)
+
+
+def unify_all(types: Iterable[Type]) -> Type:
+    """Unify a non-empty iterable of types left to right."""
+    iterator = iter(types)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("unify_all needs at least one type") from None
+    for item in iterator:
+        result = unify(result, item)
+    return result
+
+
+def _is_numeric(candidate: Type) -> bool:
+    return isinstance(candidate, (IntType, FloatType))

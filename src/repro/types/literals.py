@@ -1,0 +1,67 @@
+"""Literal types: a type inhabited by exactly one constant value.
+
+TypeScript writes these as the constant itself (``'yes'``, ``123``,
+``true``); unions of literals are AskIt's idiom for enumerations, e.g.
+``union(literal('positive'), literal('negative'))``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.types.base import (
+    Type,
+    TypeCheckIssue,
+    describe_json_value,
+    render_typescript_value,
+)
+
+_ALLOWED_LITERAL_TYPES = (str, int, float, bool)
+
+
+class LiteralType(Type):
+    """The type whose only member is ``value``.
+
+    ``value`` must be a JSON scalar (string, number, or boolean).  Numeric
+    comparison is exact but cross-kind tolerant: ``literal(1)`` accepts the
+    JSON number ``1.0`` and coerces it back to the canonical ``1``.
+    """
+
+    tag = "literal"
+
+    def __init__(self, value: Any) -> None:
+        if not isinstance(value, _ALLOWED_LITERAL_TYPES):
+            raise TypeError(
+                "literal() takes a string, number, or boolean, got "
+                f"{type(value).__name__}"
+            )
+        self.value = value
+
+    def typescript_with_prec(self, prec: int) -> str:
+        return render_typescript_value(self.value)
+
+    def check(self, value: Any, path: str = "$") -> list[TypeCheckIssue]:
+        if self._matches(value):
+            return []
+        return [
+            TypeCheckIssue(
+                path,
+                f"expected the literal {render_typescript_value(self.value)}, "
+                f"got {describe_json_value(value)} ({value!r})",
+            )
+        ]
+
+    def _matches(self, value: Any) -> bool:
+        expected = self.value
+        if isinstance(expected, bool) or isinstance(value, bool):
+            return isinstance(value, bool) is isinstance(expected, bool) and value == expected
+        if isinstance(expected, (int, float)) and isinstance(value, (int, float)):
+            return float(value) == float(expected)
+        return type(value) is type(expected) and value == expected
+
+    def _coerce_unchecked(self, value: Any) -> Any:
+        # Canonicalize to the declared constant (e.g. 1.0 -> 1).
+        return self.value
+
+    def _key(self) -> tuple:
+        return (type(self.value).__name__, self.value)

@@ -1,0 +1,73 @@
+"""JSON Schema export for AskIt types.
+
+The paper's related-work section notes that the OpenAI API's function
+calling "can be used to implement AskIt": function calling constrains
+model output with JSON Schema instead of TypeScript types.  This module
+provides that bridge -- every AskIt type exports an equivalent (draft
+2020-12 flavoured) JSON Schema -- so the runtime could target either
+constraint mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.types.atoms import AnyType, BoolType, FloatType, IntType, NoneType, StrType
+from repro.types.base import Type
+from repro.types.composites import ListType, RecordType, TupleType, UnionType
+from repro.types.literals import LiteralType
+
+
+def json_schema(type_: Type) -> dict[str, Any]:
+    """The JSON Schema equivalent of an AskIt type."""
+    if isinstance(type_, IntType):
+        return {"type": "integer"}
+    if isinstance(type_, FloatType):
+        return {"type": "number"}
+    if isinstance(type_, BoolType):
+        return {"type": "boolean"}
+    if isinstance(type_, StrType):
+        return {"type": "string"}
+    if isinstance(type_, NoneType):
+        return {"type": "null"}
+    if isinstance(type_, AnyType):
+        return {}
+    if isinstance(type_, LiteralType):
+        return {"const": type_.value}
+    if isinstance(type_, ListType):
+        return {"type": "array", "items": json_schema(type_.element)}
+    if isinstance(type_, TupleType):
+        return {
+            "type": "array",
+            "prefixItems": [json_schema(member) for member in type_.members],
+            "minItems": len(type_.members),
+            "maxItems": len(type_.members),
+        }
+    if isinstance(type_, RecordType):
+        return {
+            "type": "object",
+            "properties": {
+                name: json_schema(field) for name, field in type_.fields.items()
+            },
+            "required": list(type_.fields),
+            "additionalProperties": False,
+        }
+    if isinstance(type_, UnionType):
+        # Unions of literals compact to an enum, the idiomatic schema form.
+        if type_.is_enum_of_literals():
+            return {"enum": [member.value for member in type_.members]}
+        return {"anyOf": [json_schema(member) for member in type_.members]}
+    raise TypeError(f"no JSON Schema translation for {type_!r}")
+
+
+def response_schema(answer_type: Type) -> dict[str, Any]:
+    """The schema of the full ``{reason, answer}`` response envelope."""
+    return {
+        "type": "object",
+        "properties": {
+            "reason": {"type": "string"},
+            "answer": json_schema(answer_type),
+        },
+        "required": ["reason", "answer"],
+        "additionalProperties": False,
+    }

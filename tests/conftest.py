@@ -1,0 +1,31 @@
+"""Shared fixtures: quiet/noisy AskIt configurations with isolated caches."""
+
+import pytest
+
+from repro.core import config_override
+from repro.llm import ChatClient, NoisePolicy, QUIET
+
+
+@pytest.fixture
+def quiet_config(tmp_path):
+    """A deterministic, noise-free configuration with a temp code cache."""
+    client = ChatClient(noise_policy=QUIET)
+    with config_override(client=client, cache_dir=tmp_path / "askit") as config:
+        yield config
+
+
+@pytest.fixture
+def noisy_config(tmp_path):
+    """A configuration with aggressive failure injection (seeded)."""
+    policy = NoisePolicy(direct_corruption_rate=0.9, buggy_code_rate=0.9, seed=99)
+    client = ChatClient(noise_policy=policy)
+    with config_override(client=client, cache_dir=tmp_path / "askit") as config:
+        yield config
+
+
+@pytest.fixture
+def uncached_config():
+    """Quiet configuration with the on-disk cache disabled."""
+    client = ChatClient(noise_policy=QUIET)
+    with config_override(client=client, cache_dir=None) as config:
+        yield config

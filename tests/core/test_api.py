@@ -1,0 +1,117 @@
+"""Tests for the public ask/define API against the simulated model."""
+
+import pytest
+
+import repro.types as t
+from repro import ask, define
+from repro.core import Example
+from repro.errors import TemplateError
+
+
+class TestAsk:
+    def test_sentiment_example_from_paper(self, quiet_config):
+        sentiment = ask(
+            t.union(t.literal("positive"), t.literal("negative")),
+            "What is the sentiment of {{review}}?",
+            review="The product is fantastic. It exceeds all my expectations.",
+        )
+        assert sentiment == "positive"
+
+    def test_parameterless_ask(self, quiet_config):
+        assert ask(t.int, "What is 7 times 8?") == 56
+
+    def test_python_builtin_types_accepted(self, quiet_config):
+        assert ask(int, "What is 7 times 8?") == 56
+
+    def test_typed_record_answer(self, quiet_config):
+        book = t.dict({"title": t.str, "author": t.str, "year": t.int})
+        books = ask(
+            t.list(book),
+            "List {{n}} classic books on {{subject}}.",
+            n=2,
+            subject="compilers",
+        )
+        assert len(books) == 2
+        assert set(books[0]) == {"title", "author", "year"}
+
+
+class TestDefine:
+    def test_define_and_call_with_kwargs(self, quiet_config):
+        get_sentiment = define(
+            t.union(t.literal("positive"), t.literal("negative")),
+            "What is the sentiment of {{review}}?",
+        )
+        assert get_sentiment(review="I love it, best purchase ever") == "positive"
+        assert get_sentiment(review="Horrible. It broke immediately.") == "negative"
+
+    def test_call_with_mapping_like_the_paper(self, quiet_config):
+        get_sentiment = define(
+            t.union(t.literal("positive"), t.literal("negative")),
+            "What is the sentiment of {{review}}?",
+        )
+        assert get_sentiment({"review": "wonderful product"}) == "positive"
+
+    def test_call_positionally(self, quiet_config):
+        factorial = define(t.int, "Calculate the factorial of {{n}}.")
+        assert factorial(5) == 120
+
+    def test_parameters_exposed(self, quiet_config):
+        fn = define(t.int, "Count {{x}} within {{xs}}.")
+        assert fn.parameters == ("x", "xs")
+
+    def test_mixing_args_and_kwargs_rejected(self, quiet_config):
+        fn = define(t.int, "Add {{a}} and {{b}}.")
+        with pytest.raises(TemplateError):
+            fn(1, b=2)
+
+    def test_param_types_must_match_template(self, quiet_config):
+        with pytest.raises(TemplateError):
+            define(t.int, "Square {{n}}.", param_types={"m": t.int})
+
+    def test_examples_normalization(self, quiet_config):
+        fn = define(
+            t.bool,
+            "Is {{n}} even?",
+            examples=[({"n": 2}, True), {"input": {"n": 3}, "output": False}],
+        )
+        assert fn.few_shot_examples == [Example({"n": 2}, True), Example({"n": 3}, False)]
+
+    def test_bad_example_shape_rejected(self, quiet_config):
+        with pytest.raises(TypeError):
+            define(t.bool, "Is {{n}} even?", examples=["nope"])
+
+    def test_last_result_records_attempts_and_latency(self, quiet_config):
+        factorial = define(t.int, "Calculate the factorial of {{n}}.")
+        factorial(n=4)
+        assert factorial.last_result is not None
+        assert factorial.last_result.attempts == 1
+        assert factorial.last_result.latency_s > 0
+
+    def test_direct_answer_for_common_task(self, quiet_config):
+        running_sum = define(
+            t.list(t.int), "Compute the running sum of {{ns}}."
+        )
+        assert running_sum(ns=[1, 2, 3]) == [1, 3, 6]
+
+
+class TestRetryLoop:
+    def test_noisy_model_converges_via_feedback(self, noisy_config):
+        """With 90 % corruption the first tries fail, but feedback retries
+        converge within the budget."""
+        value = ask(t.int, "What is 7 times 8?")
+        assert value == 56
+
+    def test_attempt_count_reflects_retries(self, noisy_config):
+        fn = define(t.int, "What is 7 times 8?")
+        fn()
+        assert fn.last_result.attempts >= 1
+
+    def test_zero_retries_with_certain_corruption_raises(self, tmp_path):
+        from repro.core import config_override
+        from repro.errors import MaxRetriesExceededError
+        from repro.llm import ChatClient, NoisePolicy
+
+        client = ChatClient(noise_policy=NoisePolicy(direct_corruption_rate=1.0, seed=5))
+        with config_override(client=client, max_retries=0, cache_dir=None):
+            with pytest.raises(MaxRetriesExceededError):
+                ask(t.int, "What is 7 times 8?")

@@ -1,0 +1,32 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table2", "fig5", "fig6", "fig7", "table3"):
+            assert name in out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_missing_argument(self):
+        assert main(["run"]) == 2
+
+    def test_run_fig7(self, capsys):
+        """fig7 is pure counting, so it is cheap enough to run for real."""
+        assert main(["run", "fig7"]) == 0
+        assert "Figure 7" in capsys.readouterr().out

@@ -1,0 +1,197 @@
+"""Tests for the code-generation pipeline (define(...).compile())."""
+
+import pytest
+
+import repro.types as t
+from repro import define
+from repro.core import CodeCache, generate_function, load_host, validate_candidate
+from repro.core.codegen import GeneratedFunction
+from repro.errors import CodeGenerationError, CodeValidationError
+from repro.ioexample import Example
+from repro.templates import PromptTemplate
+
+
+class TestCompilePython:
+    def test_factorial_compiles_and_runs(self, quiet_config):
+        factorial = define(
+            t.int,
+            "Calculate the factorial of {{n}}.",
+            test_examples=[({"n": 5}, 120)],
+        ).compile()
+        assert factorial(n=6) == 720
+        assert factorial.language == "python"
+        assert factorial.attempts == 1
+
+    def test_compiled_function_runs_without_llm(self, quiet_config):
+        reverse = define(
+            t.str, "Reverse the string {{s}}.", test_examples=[({"s": "ab"}, "ba")]
+        ).compile()
+        calls_before = quiet_config.client.stats.calls
+        for _ in range(100):
+            assert reverse(s="hello") == "olleh"
+        assert quiet_config.client.stats.calls == calls_before
+
+    def test_source_is_reviewable(self, quiet_config):
+        fib = define(
+            t.list(t.int),
+            "Generate the Fibonacci sequence up to {{n}}.",
+            test_examples=[({"n": 5}, [0, 1, 1, 2, 3])],
+        ).compile()
+        assert "def " in fib.source
+
+    def test_signature_mismatch_task_exhausts_retries(self, quiet_config):
+        """Paper Table II: task #11 never compiles in Python."""
+        unique = define(
+            t.list(t.int),
+            "Return the unique elements in {{xs}}.",
+            test_examples=[({"xs": [1, 2, 2]}, [1, 2])],
+        )
+        with pytest.raises(CodeGenerationError) as excinfo:
+            unique.compile()
+        assert excinfo.value.attempts == 10  # 1 + 9 retries
+
+    def test_unknown_task_fails(self, quiet_config):
+        mystery = define(
+            t.int, "Divine the answer from {{x}}.", test_examples=[({"x": 1}, 42)]
+        )
+        with pytest.raises(CodeGenerationError):
+            mystery.compile()
+
+
+class TestCompileTypeScript:
+    def test_factorial_typescript(self, quiet_config):
+        factorial = define(
+            t.int,
+            "Calculate the factorial of {{n}}.",
+            param_types={"n": t.int},
+            test_examples=[({"n": 5}, 120)],
+        ).compile(language="typescript")
+        assert factorial(n=6) == 720
+        assert factorial.language == "typescript"
+        assert "export function" in factorial.source
+
+    def test_unique_elements_succeeds_in_typescript(self, quiet_config):
+        """The same task that fails in Python works in TS (paper Table II)."""
+        unique = define(
+            t.list(t.int),
+            "Return the unique elements in {{xs}}.",
+            param_types={"xs": t.list(t.int)},
+            test_examples=[({"xs": [1, 2, 2]}, [1, 2])],
+        ).compile(language="typescript")
+        assert unique(xs=[3, 3, 1]) == [3, 1]
+
+
+class TestRetriesAndValidation:
+    def test_buggy_code_is_caught_and_regenerated(self, noisy_config):
+        """With aggressive noise the first attempts carry planted bugs; the
+        example test catches them and retries converge."""
+        fib = define(
+            t.list(t.int),
+            "Generate the Fibonacci sequence up to {{n}}.",
+            test_examples=[({"n": 5}, [0, 1, 1, 2, 3])],
+        ).compile()
+        assert fib(n=7) == [0, 1, 1, 2, 3, 5, 8]
+
+    def test_without_examples_bugs_slip_through(self, tmp_path):
+        """RQ2's point: test examples are vital.  With noise and no examples
+        the buggy first try is accepted."""
+        from repro.core import config_override
+        from repro.llm import ChatClient, NoisePolicy
+
+        client = ChatClient(noise_policy=NoisePolicy(buggy_code_rate=1.0, seed=13))
+        with config_override(client=client, cache_dir=None):
+            fib = define(
+                t.list(t.int), "Generate the Fibonacci sequence up to {{n}}."
+            ).compile()
+            # No validation examples: the off-by-one ships.
+            assert fib(n=5) != [0, 1, 1, 2, 3]
+
+    def test_validate_candidate_reports_mismatches(self, quiet_config):
+        host = load_host("python", "def f(x):\n    return x + 1\n", "f")
+        with pytest.raises(CodeValidationError) as excinfo:
+            validate_candidate(host, [Example({"x": 1}, 3)])
+        assert "expected 3" in excinfo.value.failures[0]
+
+    def test_validate_candidate_reports_exceptions(self, quiet_config):
+        host = load_host("python", "def f(x):\n    return x / 0\n", "f")
+        with pytest.raises(CodeValidationError) as excinfo:
+            validate_candidate(host, [Example({"x": 1}, 1)])
+        assert "ZeroDivisionError" in excinfo.value.failures[0]
+
+    def test_numeric_tolerance_between_languages(self, quiet_config):
+        """TS returns floats where Python returns ints; validation accepts."""
+        host = load_host("python", "def f(x):\n    return float(x)\n", "f")
+        validate_candidate(host, [Example({"x": 3}, 3)])  # no raise
+
+
+class TestCache:
+    def test_second_compile_hits_cache(self, quiet_config):
+        definition = define(
+            t.int, "Calculate the factorial of {{n}}.", test_examples=[({"n": 4}, 24)]
+        )
+        first = definition.compile()
+        calls_after_first = quiet_config.client.stats.calls
+        second = definition.compile()
+        assert quiet_config.client.stats.calls == calls_after_first
+        assert second.from_cache
+        assert not first.from_cache
+        assert second(n=5) == 120
+
+    def test_cache_file_named_after_template(self, quiet_config):
+        define(
+            t.int, "Calculate the factorial of {{n}}.", test_examples=[({"n": 4}, 24)]
+        ).compile()
+        files = list((quiet_config.cache_dir).glob("*.py"))
+        assert len(files) == 1
+        assert "calculate_the_factorial_of_n" in files[0].name
+
+    def test_cache_file_has_provenance_header(self, quiet_config):
+        define(
+            t.int, "Calculate the factorial of {{n}}.", test_examples=[({"n": 4}, 24)]
+        ).compile()
+        content = next(quiet_config.cache_dir.glob("*.py")).read_text()
+        assert content.startswith("# Generated by AskIt")
+
+    def test_use_cache_false_regenerates(self, quiet_config):
+        definition = define(
+            t.int, "Calculate the factorial of {{n}}.", test_examples=[({"n": 4}, 24)]
+        )
+        definition.compile()
+        calls_before = quiet_config.client.stats.calls
+        fresh = definition.compile(use_cache=False)
+        assert quiet_config.client.stats.calls > calls_before
+        assert not fresh.from_cache
+
+    def test_languages_cached_separately(self, quiet_config):
+        definition = define(
+            t.int,
+            "Calculate the factorial of {{n}}.",
+            param_types={"n": t.int},
+            test_examples=[({"n": 4}, 24)],
+        )
+        definition.compile(language="python")
+        definition.compile(language="typescript")
+        assert len(list(quiet_config.cache_dir.glob("*.py"))) == 1
+        assert len(list(quiet_config.cache_dir.glob("*.ts"))) == 1
+
+    def test_cache_round_trip_preserves_behaviour(self, quiet_config):
+        definition = define(
+            t.str, "Reverse the string {{s}}.", test_examples=[({"s": "ab"}, "ba")]
+        )
+        definition.compile()
+        reloaded = definition.compile()
+        assert reloaded.from_cache
+        assert reloaded(s="xyz") == "zyx"
+
+
+class TestGenerateFunctionDirectly:
+    def test_generate_function_api(self, quiet_config):
+        generated = generate_function(
+            PromptTemplate("Compute the absolute difference between {{a}} and {{b}}."),
+            t.INT,
+            test_examples=[Example({"a": 3, "b": 9}, 6)],
+        )
+        assert isinstance(generated, GeneratedFunction)
+        assert generated(a=10, b=4) == 6
+        assert generated.compile_time_s > 0
+        assert generated.retries == 0

@@ -1,0 +1,76 @@
+"""Tests for the module-level compilation driver (Section III-D modes)."""
+
+import sys
+import types
+
+import pytest
+
+import repro.types as t
+from repro import define
+from repro.core.compiler import compile_module, find_definitions
+from repro.errors import AskItError
+
+
+def _make_module(name: str) -> types.ModuleType:
+    module = types.ModuleType(name)
+    module.factorial = define(
+        t.int, "Calculate the factorial of {{n}}.", test_examples=[({"n": 5}, 120)]
+    )
+    module.reverse = define(
+        t.str, "Reverse the string {{s}}.", test_examples=[({"s": "ab"}, "ba")]
+    )
+    # A task the Python backend cannot code (paper Table II, task #11).
+    module.unique = define(
+        t.list(t.int),
+        "Return the unique elements in {{xs}}.",
+        test_examples=[({"xs": [1, 1, 2]}, [1, 2])],
+    )
+    module.not_a_task = 42
+    return module
+
+
+class TestFindDefinitions:
+    def test_finds_only_askit_functions(self, quiet_config):
+        module = _make_module("fake_tasks_a")
+        found = find_definitions(module)
+        assert sorted(found) == ["factorial", "reverse", "unique"]
+
+    def test_accepts_importable_name(self, quiet_config):
+        module = _make_module("fake_tasks_b")
+        sys.modules["fake_tasks_b"] = module
+        try:
+            assert "factorial" in find_definitions("fake_tasks_b")
+        finally:
+            del sys.modules["fake_tasks_b"]
+
+
+class TestCompileModule:
+    def test_file_mode_compiles_everything_it_can(self, quiet_config):
+        report = compile_module(_make_module("fake_tasks_c"))
+        assert sorted(report.compiled) == ["factorial", "reverse"]
+        assert sorted(report.failed) == ["unique"]
+        assert report.success_count == 2
+        assert report.failure_count == 1
+        assert report.compiled["factorial"](n=6) == 720
+
+    def test_function_mode_compiles_only_named(self, quiet_config):
+        report = compile_module(_make_module("fake_tasks_d"), only=["reverse"])
+        assert list(report.compiled) == ["reverse"]
+        assert not report.failed
+
+    def test_unknown_name_raises(self, quiet_config):
+        with pytest.raises(AskItError) as excinfo:
+            compile_module(_make_module("fake_tasks_e"), only=["fibonacci"])
+        assert "fibonacci" in str(excinfo.value)
+
+    def test_results_land_in_shared_cache(self, quiet_config):
+        compile_module(_make_module("fake_tasks_f"), only=["factorial"])
+        cached = list(quiet_config.cache_dir.glob("*.py"))
+        assert len(cached) == 1
+
+    def test_typescript_language(self, quiet_config):
+        report = compile_module(
+            _make_module("fake_tasks_g"), only=["unique"], language="typescript"
+        )
+        # The same task that fails in Python compiles in TypeScript.
+        assert list(report.compiled) == ["unique"]

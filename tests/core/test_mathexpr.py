@@ -1,0 +1,108 @@
+"""Tests for the shared arithmetic expression trees.
+
+The cross-language property at the bottom is the load-bearing one: the
+same emitted expression text must evaluate identically as Python and as
+TypeScript, because the GSM8K experiment validates TS code against
+Python-computed reference answers.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.mathexpr import BinOp, Num, Var, add, div, mul, num, perturb, sub, var
+
+
+class TestEvaluation:
+    def test_constants_and_vars(self):
+        assert num(5).evaluate({}) == 5.0
+        assert var("a").evaluate({"a": 3}) == 3.0
+
+    def test_arithmetic(self):
+        expr = add(mul(var("a"), num(2)), sub(var("b"), num(1)))
+        assert expr.evaluate({"a": 3, "b": 5}) == 10.0
+
+    def test_division(self):
+        assert div(var("a"), num(4)).evaluate({"a": 10}) == 2.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(SolverError):
+            div(num(1), num(0)).evaluate({})
+
+    def test_unbound_variable(self):
+        with pytest.raises(SolverError):
+            var("missing").evaluate({})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("^", num(1), num(2))
+
+
+class TestEmission:
+    def test_simple(self):
+        assert add(var("a"), var("b")).emit() == "a + b"
+
+    def test_precedence_parens(self):
+        assert mul(add(var("a"), var("b")), var("c")).emit() == "(a + b) * c"
+
+    def test_no_redundant_parens(self):
+        assert add(mul(var("a"), var("b")), var("c")).emit() == "a * b + c"
+
+    def test_right_associative_subtraction(self):
+        assert sub(var("a"), sub(var("b"), var("c"))).emit() == "a - (b - c)"
+
+    def test_integral_constants_emit_without_decimal(self):
+        assert mul(var("a"), num(104)).emit() == "a * 104"
+
+    def test_variables_in_order(self):
+        expr = add(mul(var("b"), var("a")), var("c"))
+        assert expr.variables() == ["b", "a", "c"]
+
+
+class TestPerturb:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            add(var("a"), var("b")),
+            sub(var("a"), var("b")),
+            mul(var("a"), var("b")),
+            div(var("a"), var("b")),
+            var("a"),
+        ],
+    )
+    def test_perturbed_differs_on_generic_inputs(self, expr):
+        env = {"a": 7.0, "b": 3.0}
+        assert perturb(expr).evaluate(env) != expr.evaluate(env)
+
+
+# -- cross-language property --------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "d"])
+_exprs = st.recursive(
+    st.one_of(
+        _names.map(var),
+        st.integers(min_value=1, max_value=50).map(num),
+    ),
+    lambda children: st.builds(
+        BinOp, st.sampled_from(["+", "-", "*"]), children, children
+    ),
+    max_leaves=10,
+)
+
+
+@given(_exprs)
+@settings(max_examples=60, deadline=None)
+def test_emitted_text_means_the_same_in_python_and_typescript(expr):
+    env = {"a": 3.0, "b": 5.0, "c": 7.0, "d": 11.0}
+    expected = expr.evaluate(env)
+
+    python_value = eval(expr.emit(), {}, dict(env))  # noqa: S307 - emitted arithmetic only
+    assert python_value == pytest.approx(expected)
+
+    from repro.tslang import Interpreter, parse_expression
+
+    interpreter = Interpreter()
+    interpreter.globals.bindings.update(env)
+    ts_value = interpreter._evaluate(parse_expression(expr.emit()), interpreter.globals)
+    assert ts_value == pytest.approx(expected)

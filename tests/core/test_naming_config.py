@@ -1,0 +1,154 @@
+"""Unit tests for naming, config, cache, and hosts."""
+
+import pytest
+
+from repro.core import (
+    CodeCache,
+    Config,
+    cache_stem,
+    camel_case_name,
+    config_override,
+    configure,
+    function_name,
+    get_config,
+    load_host,
+    snake_case_name,
+    strip_provenance_header,
+)
+from repro.errors import CodeValidationError, ConfigError
+
+
+class TestNaming:
+    def test_snake_case(self):
+        name = snake_case_name("Calculate the factorial of {{n}}")
+        assert name.startswith("calculate_the_factorial_of_n_")
+        assert name.isidentifier()
+
+    def test_camel_case(self):
+        name = camel_case_name("Calculate the factorial of {{n}}")
+        assert name.startswith("calculateTheFactorialOfN")
+        assert name.isidentifier()
+
+    def test_different_templates_different_names(self):
+        assert snake_case_name("Task A") != snake_case_name("Task B")
+
+    def test_same_template_stable_name(self):
+        assert snake_case_name("Task A") == snake_case_name("Task A")
+
+    def test_leading_digit_handled(self):
+        assert snake_case_name("42 things about {{x}}").isidentifier()
+        assert camel_case_name("42 things about {{x}}").isidentifier()
+
+    def test_long_template_truncated(self):
+        name = snake_case_name("word " * 100)
+        assert len(name) < 80
+
+    def test_function_name_dispatch(self):
+        assert function_name("Do it", "python") == snake_case_name("Do it")
+        assert function_name("Do it", "typescript") == camel_case_name("Do it")
+
+    def test_cache_stem_shared(self):
+        assert cache_stem("Task {{x}}") == cache_stem("Task {{x}}")
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = Config()
+        assert config.max_retries == 9
+        assert config.temperature == 1.0
+        assert config.cache_dir is not None and config.cache_dir.name == "askit"
+
+    def test_codegen_model_defaults_to_model(self):
+        config = Config(model="sim-gpt-4")
+        assert config.codegen_model == "sim-gpt-4"
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ConfigError):
+            Config(temperature=3.0)
+
+    def test_invalid_retries(self):
+        with pytest.raises(ConfigError):
+            Config(max_retries=-1)
+
+    def test_invalid_language(self):
+        with pytest.raises(ConfigError):
+            Config(target_language="cobol")
+
+    def test_replace_does_not_mutate(self):
+        config = Config()
+        other = config.replace(model="sim-gpt-3.5-turbo-16k")
+        assert config.model == "sim-gpt-4"
+        assert other.model == "sim-gpt-3.5-turbo-16k"
+
+    def test_config_override_restores(self):
+        before = get_config()
+        with config_override(max_retries=1):
+            assert get_config().max_retries == 1
+        assert get_config() is before
+
+    def test_configure_sets_global(self):
+        before = get_config()
+        try:
+            configure(max_retries=3)
+            assert get_config().max_retries == 3
+        finally:
+            configure(max_retries=before.max_retries)
+
+
+class TestCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = CodeCache(tmp_path)
+        assert cache.load("nothing here", "python") is None
+
+    def test_store_load_round_trip(self, tmp_path):
+        cache = CodeCache(tmp_path)
+        cache.store("My task {{x}}", "python", "def f(x):\n    return x\n")
+        loaded = cache.load("My task {{x}}", "python")
+        assert "def f(x):" in loaded
+        assert strip_provenance_header(loaded) == "def f(x):\n    return x\n"
+
+    def test_invalidate(self, tmp_path):
+        cache = CodeCache(tmp_path)
+        cache.store("task", "python", "pass\n")
+        assert cache.invalidate("task", "python")
+        assert not cache.invalidate("task", "python")
+        assert cache.load("task", "python") is None
+
+    def test_typescript_extension(self, tmp_path):
+        cache = CodeCache(tmp_path)
+        path = cache.store("task", "typescript", "export function f() {}\n")
+        assert path.suffix == ".ts"
+
+
+class TestHosts:
+    def test_python_host_rejects_syntax_errors(self):
+        with pytest.raises(CodeValidationError):
+            load_host("python", "def broken(:\n", "broken")
+
+    def test_python_host_requires_named_function(self):
+        with pytest.raises(CodeValidationError):
+            load_host("python", "x = 5\n", "f")
+
+    def test_typescript_host_rejects_syntax_errors(self):
+        with pytest.raises(CodeValidationError):
+            load_host("typescript", "function broken( {", "broken")
+
+    def test_typescript_host_requires_named_function(self):
+        with pytest.raises(CodeValidationError):
+            load_host("typescript", "function g() { return 1; }", "f")
+
+    def test_unknown_language(self):
+        with pytest.raises(ValueError):
+            load_host("cobol", "", "f")
+
+    def test_python_host_call(self):
+        host = load_host("python", "def add(a, b):\n    return a + b\n", "add")
+        assert host.call({"a": 1, "b": 2}) == 3
+
+    def test_typescript_host_call(self):
+        host = load_host(
+            "typescript",
+            "export function add({a, b}: {a: number, b: number}): number { return a + b; }",
+            "add",
+        )
+        assert host.call({"a": 1, "b": 2}) == 3

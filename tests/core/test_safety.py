@@ -1,0 +1,171 @@
+"""Tests for the static safety analysis of generated code (§VI)."""
+
+import pytest
+
+from repro.core.safety import (
+    ENFORCE,
+    OFF,
+    WARN,
+    SafetyPolicy,
+    scan,
+    scan_python,
+    scan_typescript,
+)
+from repro.errors import CodeValidationError
+
+
+class TestPythonScanner:
+    def test_clean_code(self):
+        assert scan_python("def f(x):\n    return x + 1\n") == []
+
+    def test_dangerous_import(self):
+        findings = scan_python("import subprocess\n")
+        assert findings
+        assert "subprocess" in str(findings[0])
+
+    def test_dangerous_from_import(self):
+        assert scan_python("from socket import socket\n")
+
+    def test_os_system_call(self):
+        findings = scan_python("import os\nos.system('rm -rf /')\n", allow_files=True)
+        assert any("os.system" in str(finding) for finding in findings)
+
+    def test_os_remove_call(self):
+        findings = scan_python("import os\nos.remove(path)\n", allow_files=True)
+        assert any("os.remove" in str(finding) for finding in findings)
+
+    def test_eval_exec(self):
+        assert scan_python("eval('1+1')\n")
+        assert scan_python("exec(code)\n")
+
+    def test_dunder_escape(self):
+        findings = scan_python("x = (1).__class__\n")
+        assert any("__class__" in str(finding) for finding in findings)
+
+    def test_open_for_read_is_fine(self):
+        assert scan_python("open('f.txt').read()\n") == []
+
+    def test_open_for_write_flagged_without_allow_files(self):
+        assert scan_python("open('f.txt', 'w')\n")
+
+    def test_open_for_write_allowed_with_allow_files(self):
+        assert scan_python("open('f.txt', 'w')\n", allow_files=True) == []
+
+    def test_file_module_gated_by_allow_files(self):
+        assert scan_python("import pathlib\n")
+        assert scan_python("import pathlib\n", allow_files=True) == []
+
+    def test_syntax_error_is_a_finding(self):
+        assert scan_python("def broken(:\n")
+
+    def test_findings_carry_lines(self):
+        findings = scan_python("x = 1\nimport subprocess\n")
+        assert findings[0].line == 2
+
+
+class TestTypeScriptScanner:
+    def test_clean_code(self):
+        source = "export function f({x}: {x: number}): number { return x + 1; }"
+        assert scan_typescript(source) == []
+
+    def test_forbidden_global(self):
+        source = "function f() { return process; }"
+        findings = scan_typescript(source)
+        assert any("process" in str(finding) for finding in findings)
+
+    def test_require_flagged(self):
+        source = "function f() { const fs = require; return 1; }"
+        assert scan_typescript(source)
+
+    def test_syntax_error_is_a_finding(self):
+        assert scan_typescript("function broken( {")
+
+
+class TestPolicy:
+    def test_modes_validated(self):
+        with pytest.raises(ValueError):
+            SafetyPolicy("paranoid")
+
+    def test_enforce_raises(self):
+        policy = SafetyPolicy(ENFORCE)
+        findings = scan_python("import subprocess\n")
+        with pytest.raises(CodeValidationError):
+            policy.apply(findings)
+
+    def test_warn_returns_findings(self):
+        policy = SafetyPolicy(WARN)
+        findings = scan_python("import subprocess\n")
+        assert policy.apply(findings) == findings
+
+    def test_clean_enforce_passes(self):
+        assert SafetyPolicy(ENFORCE).apply([]) == []
+
+    def test_scan_dispatch(self):
+        assert scan("x = 1\n", "python") == []
+        with pytest.raises(ValueError):
+            scan("", "cobol")
+
+
+class TestPipelineIntegration:
+    def test_enforce_mode_blocks_dangerous_catalog_entry(self, tmp_path):
+        """A knowledge-base entry with dangerous code is rejected in
+        enforce mode and the task fails rather than executing it."""
+        import repro.types as t
+        from repro.core import config_override, define
+        from repro.errors import CodeGenerationError
+        from repro.llm import ChatClient, QUIET, TaskImplementation
+        from repro.llm.knowledge import KnowledgeBase
+        from repro.llm.simulated import SimulatedLLM
+
+        knowledge = KnowledgeBase()
+        knowledge.register_task(
+            TaskImplementation(
+                key="Tidy up the directory 'path'",
+                parameters=["path"],
+                python_fn=lambda path: None,
+                python_body="import shutil\nshutil.rmtree(path)\nreturn None",
+                ts_body="return null;",
+            )
+        )
+        client = ChatClient(
+            models={"sim-gpt-4": SimulatedLLM(knowledge=knowledge, policy=QUIET)},
+            noise_policy=QUIET,
+        )
+        with config_override(
+            client=client,
+            cache_dir=None,
+            safety_policy=SafetyPolicy(ENFORCE, allow_files=True),
+        ):
+            hazardous = define(t.void, "Tidy up the directory {{path}}")
+            with pytest.raises(CodeGenerationError) as excinfo:
+                hazardous.compile(language="python", use_cache=False)
+            assert "safety" in str(excinfo.value)
+
+    def test_warn_mode_records_findings(self, tmp_path):
+        import repro.types as t
+        from repro.core import config_override, define
+        from repro.llm import ChatClient, QUIET
+
+        client = ChatClient(noise_policy=QUIET)
+        with config_override(
+            client=client,
+            cache_dir=None,
+            safety_policy=SafetyPolicy(WARN, allow_files=True),
+        ):
+            csv_writer = define(
+                t.void,
+                "Append {{review}} and {{sentiment}} as a new row in the CSV "
+                "file named {{filename}}",
+            ).compile(language="python", use_cache=False)
+        # File writing is allowed, so the CSV task is clean under this policy.
+        assert csv_writer.safety_findings == []
+
+    def test_default_policy_reproduces_paper_behaviour(self, quiet_config):
+        """The default is 'off': nothing scanned, nothing recorded."""
+        import repro.types as t
+        from repro import define
+
+        generated = define(
+            t.int, "Calculate the factorial of {{n}}.", test_examples=[({"n": 4}, 24)]
+        ).compile(use_cache=False)
+        assert generated.safety_findings == []

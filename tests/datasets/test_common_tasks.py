@@ -1,0 +1,64 @@
+"""Tests for the Table II task suite and its catalog implementations."""
+
+import pytest
+
+from repro.datasets import common_tasks
+from repro.errors import DatasetError
+from repro.ioexample import outputs_equal
+from repro.llm.knowledge import global_knowledge
+from repro.templates import PromptTemplate
+
+
+class TestSuiteShape:
+    def test_fifty_tasks(self):
+        assert len(common_tasks.all_tasks()) == 50
+
+    def test_numbers_sequential(self):
+        numbers = [task.number for task in common_tasks.all_tasks()]
+        assert numbers == list(range(1, 51))
+
+    def test_get_task_bounds(self):
+        assert common_tasks.get_task(1).number == 1
+        with pytest.raises(DatasetError):
+            common_tasks.get_task(0)
+        with pytest.raises(DatasetError):
+            common_tasks.get_task(51)
+
+    def test_param_types_cover_template_params(self):
+        for task in common_tasks.all_tasks():
+            params = set(PromptTemplate(task.template).parameters)
+            assert set(task.param_types) == params, task.number
+
+    def test_every_task_has_two_examples(self):
+        for task in common_tasks.all_tasks():
+            assert len(task.examples) == 2, task.number
+
+    def test_paper_rows_match(self):
+        """Spot-check the rows printed in the paper's Table II."""
+        assert common_tasks.get_task(1).template == "Reverse the string {{s}}."
+        assert common_tasks.get_task(14).template == (
+            "Generate the Fibonacci sequence up to {{n}}."
+        )
+        assert 11 in common_tasks.PYTHON_FAILING_TASKS
+        assert 24 in common_tasks.PYTHON_FAILING_TASKS
+
+
+class TestCatalogConsistency:
+    """The simulated model's knowledge must agree with the dataset."""
+
+    def test_every_task_registered(self):
+        knowledge = global_knowledge()
+        for task in common_tasks.all_tasks():
+            quoted = PromptTemplate(task.template).quoted()
+            assert knowledge.find_task(quoted) is not None, task.number
+
+    @pytest.mark.parametrize("task", common_tasks.all_tasks(), ids=lambda t: f"task{t.number}")
+    def test_answer_fn_matches_examples(self, task):
+        knowledge = global_knowledge()
+        implementation = knowledge.find_task(PromptTemplate(task.template).quoted())
+        for example in task.examples:
+            actual = implementation.python_fn(**example.inputs)
+            assert outputs_equal(actual, example.output), (
+                f"task #{task.number}: answer_fn({example.inputs}) = {actual!r}, "
+                f"expected {example.output!r}"
+            )

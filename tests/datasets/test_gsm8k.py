@@ -1,0 +1,109 @@
+"""Tests for the synthetic GSM8K corpus."""
+
+import pytest
+
+from repro.datasets import gsm8k
+from repro.errors import DatasetError
+from repro.llm.knowledge import KnowledgeBase, mask_numbers
+
+
+class TestFamilies:
+    def test_family_count(self):
+        assert len(gsm8k.families()) == 36
+
+    def test_skeletons_are_unique(self):
+        skeletons = [family.skeleton() for family in gsm8k.families()]
+        assert len(set(skeletons)) == len(skeletons)
+
+    def test_askit_template_has_placeholders(self):
+        family = gsm8k.families()[0]
+        template = family.askit_template()
+        for slot in family.slot_names:
+            assert "{{" + slot + "}}" in template
+
+    def test_positional_expression_matches_named(self):
+        for family in gsm8k.families():
+            values = family.sampler(__import__("random").Random(1))
+            _, expected = family.instantiate(values)
+            env = {
+                f"n{index}": float(values[slot])
+                for index, slot in enumerate(family.slot_names)
+            }
+            assert family.positional_expression().evaluate(env) == pytest.approx(expected)
+
+    def test_samplers_produce_clean_answers(self):
+        """Across many draws every family yields finite, non-negative,
+        integral answers (the GSM8K style)."""
+        import random
+
+        rng = random.Random(7)
+        for family in gsm8k.families():
+            for _ in range(25):
+                values = family.sampler(rng)
+                _, answer = family.instantiate(values)
+                assert answer >= 0, family.name
+                assert float(answer).is_integer(), (family.name, values, answer)
+
+    def test_instantiate_requires_all_slots(self):
+        family = gsm8k.families()[0]
+        with pytest.raises(DatasetError):
+            family.instantiate({})
+
+
+class TestGeneration:
+    def test_default_count(self):
+        problems = gsm8k.generate_dataset(count=70, knowledge=KnowledgeBase())
+        assert len(problems) == 70
+
+    def test_deterministic_for_seed(self):
+        a = gsm8k.generate_dataset(count=50, seed=42, knowledge=KnowledgeBase())
+        b = gsm8k.generate_dataset(count=50, seed=42, knowledge=KnowledgeBase())
+        assert [p.text for p in a] == [p.text for p in b]
+        assert [p.answer for p in a] == [p.answer for p in b]
+
+    def test_different_seeds_differ(self):
+        a = gsm8k.generate_dataset(count=50, seed=1, knowledge=KnowledgeBase())
+        b = gsm8k.generate_dataset(count=50, seed=2, knowledge=KnowledgeBase())
+        assert [p.text for p in a] != [p.text for p in b]
+
+    def test_problems_cycle_families(self):
+        size = len(gsm8k.families())
+        problems = gsm8k.generate_dataset(count=size + 1, knowledge=KnowledgeBase())
+        assert problems[0].family.name == problems[size].family.name
+
+    def test_registration_teaches_the_model(self):
+        knowledge = KnowledgeBase()
+        problems = gsm8k.generate_dataset(count=10, knowledge=knowledge)
+        for problem in problems:
+            found = knowledge.find_family(problem.text)
+            assert found is not None, problem.text
+            family, numbers = found
+            env = {f"n{i}": v for i, v in enumerate(numbers)}
+            assert family.expression.evaluate(env) == pytest.approx(problem.answer)
+
+    def test_template_args_match_text(self):
+        problems = gsm8k.generate_dataset(count=35, knowledge=KnowledgeBase())
+        for problem in problems:
+            rendered = problem.template
+            for name, value in problem.args.items():
+                rendered = rendered.replace("{{" + name + "}}", str(value))
+            assert rendered == problem.text
+
+    def test_invalid_count(self):
+        with pytest.raises(DatasetError):
+            gsm8k.generate_dataset(count=0, knowledge=KnowledgeBase())
+
+    def test_mask_round_trip(self):
+        problems = gsm8k.generate_dataset(count=35, knowledge=KnowledgeBase())
+        for problem in problems:
+            masked, numbers = mask_numbers(problem.text)
+            assert masked == problem.family.skeleton()
+            assert len(numbers) == len(problem.family.slot_names)
+
+
+class TestScoring:
+    def test_answers_match(self):
+        assert gsm8k.answers_match(10, 10.0)
+        assert gsm8k.answers_match(10, 10.0000000001)
+        assert not gsm8k.answers_match(10, 11)
+        assert not gsm8k.answers_match(10, "ten")

@@ -1,0 +1,98 @@
+"""Tests for the HumanEval-style corpus.
+
+The invariants here protect the Figure 5 experiment: canonical solutions
+must pass their own tests, the model's bodies must pass for solvable
+tasks, and must *fail* at least one test for unsolvable tasks.
+"""
+
+import pytest
+
+from repro.datasets import humaneval
+from repro.errors import DatasetError
+from repro.ioexample import outputs_equal
+from repro.templates import PromptTemplate
+
+
+def _run(source: str, entry_point: str, inputs: dict):
+    namespace: dict = {}
+    exec(source, namespace)  # noqa: S102 - dataset-authored code
+    return namespace[entry_point](**inputs)
+
+
+def _stub_plus_body(task: humaneval.HumanEvalTask) -> str:
+    params = ", ".join(task.params)
+    body = "\n".join("    " + line if line.strip() else "" for line in task.llm_body.splitlines())
+    return f"def {task.entry_point}({params}):\n{body}\n"
+
+
+class TestCorpusShape:
+    def test_corpus_size(self):
+        assert len(humaneval.all_tasks()) == 81
+
+    def test_task_ids_sequential(self):
+        ids = [task.task_id for task in humaneval.all_tasks()]
+        assert ids == [f"SynthEval/{i}" for i in range(len(ids))]
+
+    def test_solvable_fraction_near_paper(self):
+        """Paper: 84.8 % of tasks generated successfully."""
+        assert humaneval.solvable_fraction() == pytest.approx(0.848, abs=0.03)
+
+    def test_descriptions_have_all_params(self):
+        for task in humaneval.all_tasks():
+            template = PromptTemplate(task.description)
+            assert set(template.parameters) == set(task.params), task.task_id
+
+    def test_every_task_has_tests(self):
+        for task in humaneval.all_tasks():
+            assert len(task.tests) >= 3, task.task_id
+
+    def test_get_task(self):
+        task = humaneval.get_task("SynthEval/0")
+        assert task.entry_point == "has_close_elements"
+        with pytest.raises(DatasetError):
+            humaneval.get_task("SynthEval/999")
+
+
+class TestCanonicalSolutions:
+    @pytest.mark.parametrize("task", humaneval.all_tasks(), ids=lambda t: t.task_id)
+    def test_canonical_passes_all_tests(self, task):
+        for example in task.tests:
+            actual = _run(task.canonical_solution, task.entry_point, example.inputs)
+            assert outputs_equal(actual, example.output), (
+                f"{task.task_id}: canonical({example.inputs}) = {actual!r}, "
+                f"expected {example.output!r}"
+            )
+
+
+class TestModelBodies:
+    @pytest.mark.parametrize(
+        "task",
+        [task for task in humaneval.all_tasks() if task.llm_solvable],
+        ids=lambda t: t.task_id,
+    )
+    def test_solvable_body_passes_all_tests(self, task):
+        source = _stub_plus_body(task)
+        for example in task.tests:
+            actual = _run(source, task.entry_point, example.inputs)
+            assert outputs_equal(actual, example.output), (
+                f"{task.task_id}: llm({example.inputs}) = {actual!r}, "
+                f"expected {example.output!r}"
+            )
+
+    @pytest.mark.parametrize(
+        "task",
+        [task for task in humaneval.all_tasks() if not task.llm_solvable],
+        ids=lambda t: t.task_id,
+    )
+    def test_unsolvable_body_fails_some_test(self, task):
+        source = _stub_plus_body(task)
+        failures = 0
+        for example in task.tests:
+            try:
+                actual = _run(source, task.entry_point, example.inputs)
+            except Exception:  # noqa: BLE001 - failing loudly also counts
+                failures += 1
+                continue
+            if not outputs_equal(actual, example.output):
+                failures += 1
+        assert failures > 0, f"{task.task_id}: the 'unsolvable' body passed every test"

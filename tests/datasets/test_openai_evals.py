@@ -1,0 +1,61 @@
+"""Tests for the OpenAI-Evals-style corpus."""
+
+import pytest
+
+from repro.datasets import openai_evals
+from repro.errors import DatasetError
+from repro.types.base import Type
+
+
+class TestCorpusShape:
+    def test_fifty_benchmarks(self):
+        assert len(openai_evals.all_benchmarks()) == 50
+
+    def test_unique_names(self):
+        names = [benchmark.name for benchmark in openai_evals.all_benchmarks()]
+        assert len(set(names)) == len(names)
+
+    def test_every_benchmark_has_a_type(self):
+        for benchmark in openai_evals.all_benchmarks():
+            assert isinstance(benchmark.answer_type, Type)
+
+    def test_get_benchmark(self):
+        benchmark = openai_evals.get_benchmark("2d_movement")
+        assert "grid" in benchmark.original
+        with pytest.raises(DatasetError):
+            openai_evals.get_benchmark("nope")
+
+
+class TestReductionStructure:
+    def test_askit_prompt_is_a_prefix_of_original(self):
+        """The conversion only *deletes* the trailing format directive."""
+        for benchmark in openai_evals.all_benchmarks():
+            assert benchmark.original.startswith(benchmark.askit), benchmark.name
+
+    def test_every_reduction_is_positive(self):
+        for benchmark in openai_evals.all_benchmarks():
+            assert benchmark.reduction_chars > 0, benchmark.name
+
+    def test_mean_reduction_matches_paper(self):
+        assert openai_evals.mean_reduction_percent() == pytest.approx(16.14, abs=1.5)
+
+    def test_shared_system_preamble(self):
+        for benchmark in openai_evals.all_benchmarks():
+            assert benchmark.askit.startswith(openai_evals.SYSTEM_PREAMBLE)
+
+    def test_reduction_distribution_has_a_tail(self):
+        """Figure 6's histogram: most reductions modest, a few large."""
+        reductions = sorted(b.reduction_chars for b in openai_evals.all_benchmarks())
+        assert reductions[len(reductions) // 2] < 100  # median modest
+        assert reductions[-1] > 200  # tail exists
+
+    def test_directives_sound_like_format_instructions(self):
+        """Each deleted span should contain format-directive vocabulary."""
+        keywords = (
+            "only", "exactly", "format", "single", "nothing", "lowercase",
+            "capital", "must", "alone", "no ", "digits", "one word", "list",
+            "just the", "plain", "without",
+        )
+        for benchmark in openai_evals.all_benchmarks():
+            directive = benchmark.original[len(benchmark.askit):].lower()
+            assert any(keyword in directive for keyword in keywords), benchmark.name

@@ -1,0 +1,114 @@
+"""Smoke + shape tests for the experiment modules (small workloads)."""
+
+import pytest
+
+from repro.evalx.experiments import (
+    ablation_examples,
+    ablation_prompt,
+    fig5,
+    fig6,
+    fig7,
+    table2,
+    table3,
+)
+from repro.llm import NoisePolicy, QUIET
+
+
+class TestTable2:
+    def test_run_and_render(self):
+        result = table2.run(noise=QUIET)
+        assert len(result.rows) == 50
+        assert result.python_failures == [11, 21, 22, 23, 24]
+        assert result.mean_ts_loc > result.mean_py_loc  # paper: 7.56 > 6.52
+        text = table2.render(result)
+        assert "Table II" in text
+        assert "paper: 7.56" in text
+
+    def test_retries_appear_under_noise(self):
+        result = table2.run(noise=NoisePolicy(buggy_code_rate=0.9, seed=1))
+        retries = [row.ts_retry for row in result.rows if row.ts_retry]
+        assert retries, "high bug rates must produce at least one retry"
+
+
+class TestFig5:
+    def test_success_rate_matches_paper(self):
+        result = fig5.run(noise=QUIET)
+        assert result.success_rate == pytest.approx(0.848, abs=0.03)
+
+    def test_loc_relationships(self):
+        result = fig5.run(noise=QUIET)
+        assert 1.0 < result.loc_ratio < 1.6  # paper: 1.27x
+        assert 0.2 < result.shorter_fraction < 0.5  # paper: 35.3 %
+        assert result.mean_askit_loc > result.mean_generated_loc  # paper: 23.74 vs 8.05
+
+    def test_render(self):
+        text = fig5.render(fig5.run(noise=QUIET))
+        assert "Figure 5" in text
+        assert "CSV series" in text
+
+
+class TestFig6:
+    def test_mean_reduction_near_paper(self):
+        result = fig6.run(noise=QUIET)
+        assert result.mean_reduction_percent == pytest.approx(16.14, abs=1.5)
+
+    def test_all_responses_conform(self):
+        result = fig6.run(noise=QUIET)
+        assert result.format_conformance_rate == 1.0
+
+    def test_render_histogram(self):
+        text = fig6.render(fig6.run(noise=QUIET))
+        assert "Figure 6" in text
+        assert "paper: 16.14" in text
+
+
+class TestFig7:
+    def test_string_is_most_common_top_level(self):
+        result = fig7.run()
+        assert result.top_level.most_common(1)[0][0] == "string"
+
+    def test_literals_counted_only_in_all_types(self):
+        result = fig7.run()
+        assert result.top_level.get("literal", 0) == 0
+        assert result.all_types["literal"] > 10
+
+    def test_render(self):
+        text = fig7.render(fig7.run())
+        assert "Figure 7" in text
+
+
+class TestTable3:
+    def test_small_run_shape(self):
+        results = table3.run(count=36, noise=QUIET)
+        for language in ("typescript", "python"):
+            stats = results[language]
+            assert stats.total == 36
+            assert 0.7 < stats.solved_directly / stats.total <= 1.0
+            assert stats.latency.value > 1.0  # seconds of simulated latency
+            assert stats.execution.value < 0.01  # real seconds per call
+            assert stats.speedup > 10_000
+        # The paper's ordering: Python executes faster than interpreted TS,
+        # so its speedup ratio is larger.
+        assert results["python"].speedup > results["typescript"].speedup
+
+    def test_render(self):
+        text = table3.render(table3.run(count=18, noise=QUIET))
+        assert "Table III" in text
+        assert "typescript" in text
+
+
+class TestAblations:
+    def test_prompt_ablation_shape(self):
+        rows = ablation_prompt.run(repeats=2)
+        by_label = {row.label: row for row in rows}
+        no_retries = by_label["corruption=60%, retries=0"]
+        with_retries = by_label["corruption=60%, retries=9"]
+        assert with_retries.success_rate > no_retries.success_rate
+        assert with_retries.mean_attempts > 1.0
+
+    def test_examples_ablation_shape(self):
+        rows = ablation_examples.run(bug_rates=(0.0, 0.9))
+        clean, buggy = rows
+        assert clean.with_examples_correct == 1.0
+        assert buggy.with_examples_correct == 1.0
+        assert buggy.without_examples_correct < 0.7

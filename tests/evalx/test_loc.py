@@ -1,0 +1,61 @@
+"""Unit tests for LOC counting."""
+
+import pytest
+
+from repro.evalx import count_loc, count_python_loc, count_typescript_loc
+
+
+class TestPythonLoc:
+    def test_counts_substantive_lines(self):
+        source = "def f(x):\n    return x\n"
+        assert count_python_loc(source) == 2
+
+    def test_skips_blank_lines(self):
+        source = "def f(x):\n\n\n    return x\n\n"
+        assert count_python_loc(source) == 2
+
+    def test_skips_comment_only_lines(self):
+        source = "# header\ndef f(x):\n    # explain\n    return x\n"
+        assert count_python_loc(source) == 2
+
+    def test_trailing_comment_lines_count(self):
+        source = "x = 1  # inline comment\n"
+        assert count_python_loc(source) == 1
+
+    def test_empty_source(self):
+        assert count_python_loc("") == 0
+
+
+class TestTypeScriptLoc:
+    def test_counts_substantive_lines(self):
+        source = "export function f(): number {\n    return 1;\n}\n"
+        assert count_typescript_loc(source) == 3
+
+    def test_skips_line_comments(self):
+        source = "// header\nlet x = 1;\n// footer\n"
+        assert count_typescript_loc(source) == 1
+
+    def test_skips_single_line_block_comment(self):
+        source = "/* note */\nlet x = 1;\n"
+        assert count_typescript_loc(source) == 1
+
+    def test_skips_multi_line_block_comment(self):
+        source = "/*\nlong\ncomment\n*/\nlet x = 1;\n"
+        assert count_typescript_loc(source) == 1
+
+    def test_code_after_block_comment_close_counts(self):
+        source = "/* c */ let x = 1;\n"
+        assert count_typescript_loc(source) == 1
+
+    def test_blank_lines_skipped(self):
+        assert count_typescript_loc("\n\nlet x = 1;\n\n") == 1
+
+
+class TestDispatch:
+    def test_dispatch(self):
+        assert count_loc("x = 1\n", "python") == 1
+        assert count_loc("let x = 1;\n", "typescript") == 1
+
+    def test_unknown_language(self):
+        with pytest.raises(ValueError):
+            count_loc("", "cobol")

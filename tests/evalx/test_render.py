@@ -1,0 +1,105 @@
+"""Unit tests for table/figure rendering and timing helpers."""
+
+import pytest
+
+from repro.evalx import (
+    Mean,
+    csv_text,
+    measure_execution_s,
+    render_bars,
+    render_histogram,
+    render_scatter,
+    render_table,
+    write_csv,
+)
+
+
+class TestTable:
+    def test_basic_table(self):
+        text = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        assert "name" in text
+        assert "bb" in text
+        assert "22" in text
+
+    def test_numeric_right_alignment(self):
+        text = render_table(["n"], [[1], [100]])
+        lines = text.splitlines()
+        assert lines[-2].endswith("100 |")
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Title")
+        assert text.startswith("My Title")
+
+    def test_large_floats_grouped(self):
+        text = render_table(["x"], [[275092.55]])
+        assert "275,092.55" in text
+
+
+class TestHistogram:
+    def test_buckets_and_counts(self):
+        text = render_histogram([1, 2, 3, 30, 31], bucket_width=25)
+        assert "|" in text
+        assert "3" in text  # first bucket count
+
+    def test_empty(self):
+        assert "(no data)" in render_histogram([], 10, title="t")
+
+    def test_bad_bucket_width(self):
+        with pytest.raises(ValueError):
+            render_histogram([1], 0)
+
+
+class TestScatter:
+    def test_renders_points(self):
+        text = render_scatter([1, 2, 3], [1, 4, 9], width=20, height=10)
+        assert "*" in text
+
+    def test_collisions_marked(self):
+        text = render_scatter([1, 1, 5], [1, 1, 5], width=10, height=5)
+        assert "o" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_scatter([1], [1, 2])
+
+    def test_empty(self):
+        assert "(no data)" in render_scatter([], [], title="t")
+
+
+class TestBars:
+    def test_grouped_series(self):
+        text = render_bars(["a", "b"], {"s1": [1, 2], "s2": [3, 4]})
+        assert text.count("[") == 4
+        assert "#" in text
+
+
+class TestCsv:
+    def test_csv_text(self):
+        text = csv_text(["a", "b"], [[1, 2], [3, 4]])
+        assert text.splitlines()[0] == "a,b"
+        assert text.splitlines()[1] == "1,2"
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "data.csv", ["x"], [[1]])
+        assert path.exists()
+        assert path.read_text().startswith("x")
+
+
+class TestTiming:
+    def test_measure_returns_positive(self):
+        elapsed = measure_execution_s(lambda x: x * 2, {"x": 21}, repeats=3)
+        assert elapsed >= 0
+
+    def test_bad_repeats(self):
+        with pytest.raises(ValueError):
+            measure_execution_s(lambda: None, {}, repeats=0)
+
+    def test_mean_streaming(self):
+        mean = Mean()
+        for value in (1.0, 2.0, 3.0):
+            mean.add(value)
+        assert mean.value == 2.0
+        assert mean.count == 3
+
+    def test_mean_empty(self):
+        assert Mean().value == 0.0

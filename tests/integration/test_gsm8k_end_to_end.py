@@ -1,0 +1,106 @@
+"""Integration: the GSM8K pipeline through the public API, end to end.
+
+Covers the full Table III path for a handful of problems: direct answer
+(typed, with chain-of-thought), compile to Python and TypeScript, run the
+generated code, and confirm all three agree with the reference answer.
+"""
+
+import pytest
+
+import repro.types as t
+from repro import define
+from repro.datasets.gsm8k import answers_match, generate_dataset
+from repro.errors import CodeGenerationError
+from repro.llm.knowledge import KnowledgeBase
+from repro.llm.solvers.mathword import is_hard_instance, is_uncodable_family
+from repro.llm.knowledge import mask_numbers
+
+
+@pytest.fixture(scope="module")
+def problems():
+    # Registration happens into the *global* knowledge base the default
+    # client consults, mirroring "the model knows grade-school math".
+    return generate_dataset(count=36, seed=77)
+
+
+def _easy(problems):
+    for problem in problems:
+        skeleton, _ = mask_numbers(problem.text)
+        if not is_hard_instance(problem.text) and not is_uncodable_family(skeleton):
+            yield problem
+
+
+class TestEndToEnd:
+    def test_direct_compile_and_agree(self, problems, quiet_config):
+        checked = 0
+        for problem in _easy(problems):
+            definition = define(
+                t.float,
+                problem.template,
+                param_types={name: t.int for name in problem.args},
+                test_examples=[(problem.args, problem.answer)],
+            )
+            direct = definition(**problem.args)
+            assert answers_match(problem.answer, direct), problem.text
+
+            python_fn = definition.compile(language="python", use_cache=False)
+            assert answers_match(problem.answer, python_fn.call_with(problem.args))
+
+            ts_fn = definition.compile(language="typescript", use_cache=False)
+            assert answers_match(problem.answer, ts_fn.call_with(problem.args))
+
+            checked += 1
+            if checked >= 6:
+                break
+        assert checked == 6
+
+    def test_generated_code_generalizes_to_new_values(self, problems, quiet_config):
+        """The paper's motivation for numbers->variables: generated programs
+        are reused with different values."""
+        problem = next(iter(_easy(problems)))
+        definition = define(
+            t.float,
+            problem.template,
+            param_types={name: t.int for name in problem.args},
+            test_examples=[(problem.args, problem.answer)],
+        )
+        generated = definition.compile(language="python", use_cache=False)
+        fresh_args = {name: value + 1 for name, value in problem.args.items()}
+        expected = problem.family.expression.evaluate(
+            {name: float(value) for name, value in fresh_args.items()}
+        )
+        assert answers_match(expected, generated.call_with(fresh_args))
+
+    def test_chain_of_thought_present(self, problems, quiet_config):
+        problem = next(iter(_easy(problems)))
+        definition = define(t.float, problem.template)
+        definition(**problem.args)
+        assert "step by step" in definition.last_result.reason
+
+    def test_hard_instances_answer_wrong_not_crash(self, problems, quiet_config):
+        hard = [p for p in problems if is_hard_instance(p.text)]
+        if not hard:
+            pytest.skip("no hard instance in this sample")
+        problem = hard[0]
+        definition = define(t.float, problem.template)
+        value = definition(**problem.args)
+        assert not answers_match(problem.answer, value)
+
+    def test_uncodable_family_fails_compile_but_answers_directly(self, quiet_config):
+        problems = generate_dataset(count=1319, seed=77)
+        uncodable = None
+        for problem in problems:
+            skeleton, _ = mask_numbers(problem.text)
+            if is_uncodable_family(skeleton) and not is_hard_instance(problem.text):
+                uncodable = problem
+                break
+        assert uncodable is not None, "expected one uncodable family in the corpus"
+        definition = define(
+            t.float,
+            uncodable.template,
+            param_types={name: t.int for name in uncodable.args},
+            test_examples=[(uncodable.args, uncodable.answer)],
+        )
+        assert answers_match(uncodable.answer, definition(**uncodable.args))
+        with pytest.raises(CodeGenerationError):
+            definition.compile(language="python", use_cache=False)

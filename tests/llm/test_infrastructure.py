@@ -1,0 +1,173 @@
+"""Unit tests for the LLM infrastructure: tokenizer, latency, noise,
+client, and knowledge base."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.llm import (
+    ChatClient,
+    ChatMessage,
+    KnowledgeBase,
+    NoisePolicy,
+    SimulatedLLM,
+    TaskImplementation,
+    VirtualClock,
+    count_tokens,
+    profile_for,
+    stable_fraction,
+    user_message,
+)
+from repro.llm.latency import PROFILES, LatencyProfile
+from repro.llm.noise import CLEAN
+
+
+class TestTokenizer:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_monotone_in_length(self):
+        assert count_tokens("word " * 100) > count_tokens("word " * 10)
+
+    def test_rough_calibration(self):
+        # ~100 English words is roughly 120-160 BPE tokens.
+        text = ("the quick brown fox jumps over the lazy dog " * 12).strip()
+        tokens = count_tokens(text)
+        assert 80 < tokens < 220
+
+    @given(st.text(max_size=200))
+    def test_never_negative(self, text):
+        assert count_tokens(text) >= 0
+
+
+class TestLatency:
+    def test_profiles_exist(self):
+        assert "sim-gpt-4" in PROFILES
+        assert "sim-gpt-3.5-turbo-16k" in PROFILES
+
+    def test_unknown_model_gets_default(self):
+        assert profile_for("mystery-model") is PROFILES["sim-gpt-4"]
+
+    def test_latency_grows_with_completion(self):
+        profile = PROFILES["sim-gpt-4"]
+        assert profile.latency(100, 200) > profile.latency(100, 50)
+
+    def test_gpt4_slower_than_gpt35(self):
+        assert PROFILES["sim-gpt-4"].latency(200, 100) > PROFILES[
+            "sim-gpt-3.5-turbo-16k"
+        ].latency(200, 100)
+
+    def test_latency_floor(self):
+        profile = LatencyProfile(0.0, 0.0, 0.0)
+        assert profile.latency(0, 0) >= 0.05
+
+    def test_virtual_clock(self):
+        clock = VirtualClock()
+        clock.charge(1.5)
+        clock.charge(0.5)
+        assert clock.elapsed_s == 2.0
+        clock.reset()
+        assert clock.elapsed_s == 0.0
+
+    def test_clock_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().charge(-1)
+
+
+class TestNoisePolicy:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            NoisePolicy(direct_corruption_rate=1.5)
+        with pytest.raises(ValueError):
+            NoisePolicy(buggy_code_rate=-0.1)
+
+    def test_zero_rate_always_clean(self):
+        policy = NoisePolicy(direct_corruption_rate=0.0)
+        rng = policy.rng_for("prompt", 1)
+        assert all(policy.direct_corruption(rng, 0) == CLEAN for _ in range(50))
+
+    def test_full_rate_never_clean_first_try(self):
+        policy = NoisePolicy(direct_corruption_rate=1.0)
+        rng = policy.rng_for("prompt", 1)
+        assert all(policy.direct_corruption(rng, 0) != CLEAN for _ in range(50))
+
+    def test_rates_halve_per_attempt(self):
+        policy = NoisePolicy(direct_corruption_rate=1.0, seed=1)
+        rng = policy.rng_for("p", 1)
+        later_attempts = [policy.direct_corruption(rng, 3) for _ in range(200)]
+        clean = sum(1 for kind in later_attempts if kind == CLEAN)
+        assert clean > 140  # rate decayed to 12.5 %
+
+    def test_rng_deterministic_per_call_index(self):
+        policy = NoisePolicy(seed=9)
+        assert policy.rng_for("p", 1).random() == policy.rng_for("p", 1).random()
+        assert policy.rng_for("p", 1).random() != policy.rng_for("p", 2).random()
+
+    def test_stable_fraction_range_and_determinism(self):
+        value = stable_fraction("anything", salt="s")
+        assert 0.0 <= value < 1.0
+        assert value == stable_fraction("anything", salt="s")
+        assert value != stable_fraction("anything", salt="other")
+
+
+class TestChatClient:
+    def test_lazy_model_resolution(self):
+        client = ChatClient()
+        model = client.resolve("sim-gpt-4")
+        assert isinstance(model, SimulatedLLM)
+        assert client.resolve("sim-gpt-4") is model
+
+    def test_string_prompt_wrapped(self):
+        client = ChatClient()
+        result = client.chat_complete("sim-gpt-4", "hello there")
+        assert result.text
+
+    def test_clock_accumulates(self):
+        client = ChatClient()
+        client.chat_complete("sim-gpt-4", "hello")
+        client.chat_complete("sim-gpt-4", "again")
+        assert client.clock.elapsed_s > 0
+
+    def test_stats_recorded(self):
+        client = ChatClient()
+        client.chat_complete("sim-gpt-4", "hello")
+        assert client.stats.calls == 1
+        assert client.stats.prompt_tokens > 0
+
+    def test_message_roles_validated(self):
+        with pytest.raises(ValueError):
+            ChatMessage("wizard", "cast a spell")
+
+    def test_empty_messages_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedLLM().complete([])
+
+
+class TestKnowledgeBase:
+    def test_register_and_find_task(self):
+        knowledge = KnowledgeBase()
+        implementation = TaskImplementation(
+            key="Do the thing with 'x'",
+            parameters=["x"],
+            python_fn=lambda x: x,
+            python_body="return x",
+            ts_body="return x;",
+        )
+        knowledge.register_task(implementation)
+        assert knowledge.find_task("do the thing with 'x'.") is implementation
+        assert knowledge.find_task("unknown") is None
+
+    def test_clear(self):
+        knowledge = KnowledgeBase()
+        knowledge.register_task(
+            TaskImplementation("k", [], lambda: 1, "return 1", "return 1;")
+        )
+        knowledge.clear()
+        assert knowledge.find_task("k") is None
+
+    def test_global_knowledge_has_builtin_catalog(self):
+        from repro.llm import global_knowledge
+
+        knowledge = global_knowledge()
+        assert knowledge.find_task("Reverse the string 's'.") is not None
+        assert knowledge.find_task("Check if 'n' is a prime number.") is not None

@@ -1,0 +1,141 @@
+"""Round-trip tests: prompts built by repro.prompts are recoverable by the
+simulated model's re-parsers."""
+
+import pytest
+
+import repro.types as t
+from repro.errors import SolverError
+from repro.llm.requests import (
+    classify_prompt,
+    parse_codegen_request,
+    parse_direct_request,
+)
+from repro.prompts import (
+    build_codegen_prompt,
+    build_direct_prompt,
+    refine_codegen_prompt,
+    refine_direct_prompt,
+)
+from repro.errors import ResponseFormatError
+from repro.templates import PromptTemplate
+
+
+class TestClassify:
+    def test_direct(self):
+        prompt = build_direct_prompt(PromptTemplate("Hello"), t.STR, {})
+        assert classify_prompt(prompt) == "direct"
+
+    def test_codegen(self):
+        prompt = build_codegen_prompt("python", "f", PromptTemplate("Do {{x}}"), t.INT)
+        assert classify_prompt(prompt) == "codegen"
+
+    def test_chat(self):
+        assert classify_prompt("hey what's up") == "chat"
+
+
+class TestDirectRoundTrip:
+    def test_recovers_type_task_and_bindings(self):
+        template = PromptTemplate("List {{n}} classic books on {{subject}}.")
+        book = t.dict({"title": t.str, "author": t.str, "year": t.int})
+        prompt = build_direct_prompt(
+            template, t.list(book), {"n": 5, "subject": "computer science"}
+        )
+        request = parse_direct_request(prompt)
+        # number parses to the float type, so compare rendered spellings.
+        assert request.answer_type.typescript() == t.list(book).typescript()
+        assert request.task == "List 'n' classic books on 'subject'."
+        assert request.bindings == {"n": 5, "subject": "computer science"}
+        assert not request.is_feedback
+
+    def test_parameterless(self):
+        prompt = build_direct_prompt(PromptTemplate("What is 7 times 8?"), t.INT, {})
+        request = parse_direct_request(prompt)
+        assert request.task == "What is 7 times 8?"
+        assert request.bindings == {}
+
+    def test_task_with_values(self):
+        template = PromptTemplate("Add {{a}} and {{b}}.")
+        prompt = build_direct_prompt(template, t.INT, {"a": 3, "b": 4})
+        request = parse_direct_request(prompt)
+        assert request.task_with_values() == "Add 3 and 4."
+
+    def test_string_binding_with_comma(self):
+        template = PromptTemplate("Summarize {{text}}.")
+        prompt = build_direct_prompt(template, t.STR, {"text": "a, b, and c"})
+        request = parse_direct_request(prompt)
+        assert request.bindings == {"text": "a, b, and c"}
+
+    def test_list_binding(self):
+        template = PromptTemplate("Sort {{ns}}.")
+        prompt = build_direct_prompt(template, t.list(t.int), {"ns": [3, 1, 2]})
+        request = parse_direct_request(prompt)
+        assert request.bindings == {"ns": [3, 1, 2]}
+
+    def test_feedback_prompt_detected(self):
+        prompt = build_direct_prompt(PromptTemplate("Hello"), t.STR, {})
+        error = ResponseFormatError("bad", ResponseFormatError.CRITERION_NO_JSON, "oops")
+        refined = refine_direct_prompt(prompt, error)
+        request = parse_direct_request(refined)
+        assert request.is_feedback
+        assert request.task == "Hello"
+
+    def test_union_type_recovered(self):
+        sentiment = t.union(t.literal("positive"), t.literal("negative"))
+        prompt = build_direct_prompt(
+            PromptTemplate("What is the sentiment of {{review}}?"),
+            sentiment,
+            {"review": "I love it"},
+        )
+        request = parse_direct_request(prompt)
+        assert request.answer_type == sentiment
+
+    def test_rejects_non_direct_prompt(self):
+        with pytest.raises(SolverError):
+            parse_direct_request("no fences here at all")
+
+
+class TestCodegenRoundTrip:
+    def test_typescript(self):
+        template = PromptTemplate("Calculate the factorial of {{n}}")
+        prompt = build_codegen_prompt("typescript", "calculateFactorial", template, t.INT, {"n": t.INT})
+        request = parse_codegen_request(prompt)
+        assert request.language == "typescript"
+        assert request.name == "calculateFactorial"
+        assert request.parameters == ["n"]
+        assert request.return_annotation == "number"
+        assert request.task == "Calculate the factorial of 'n'"
+        assert not request.is_feedback
+
+    def test_python(self):
+        template = PromptTemplate("Reverse the string {{s}}.")
+        prompt = build_codegen_prompt("python", "reverse_string", template, t.STR)
+        request = parse_codegen_request(prompt)
+        assert request.language == "python"
+        assert request.name == "reverse_string"
+        assert request.parameters == ["s"]
+        assert request.task == "Reverse the string 's'."
+
+    def test_takes_last_q_segment(self):
+        """The one-shot example's func must not shadow the real request."""
+        template = PromptTemplate("Sort {{ns}}.")
+        prompt = build_codegen_prompt("typescript", "sortNumbers", template, t.list(t.int))
+        request = parse_codegen_request(prompt)
+        assert request.name == "sortNumbers"
+
+    def test_feedback_detected_with_previous_code(self):
+        template = PromptTemplate("Do {{x}}")
+        prompt = build_codegen_prompt("python", "f", template, t.INT)
+        refined = refine_codegen_prompt(prompt, "def f(x):\n    return 0", ValueError("wrong"))
+        request = parse_codegen_request(refined)
+        assert request.is_feedback
+        assert "return 0" in request.previous_code
+        assert request.name == "f"
+
+    def test_multi_parameter(self):
+        template = PromptTemplate("Interleave {{xs}} and {{ys}}.")
+        prompt = build_codegen_prompt(
+            "typescript", "interleave", template, t.list(t.int),
+            {"xs": t.list(t.int), "ys": t.list(t.int)},
+        )
+        request = parse_codegen_request(prompt)
+        assert request.parameters == ["xs", "ys"]

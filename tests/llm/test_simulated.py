@@ -1,0 +1,261 @@
+"""End-to-end tests for the simulated LLM (text in, text out)."""
+
+import pytest
+
+import repro.types as t
+from repro.llm import QUIET, NoisePolicy, SimulatedLLM, user_message
+from repro.llm.knowledge import KnowledgeBase, WordProblemFamily, mask_numbers
+from repro.mathexpr import add, mul, var
+from repro.parsing import extract_answer, extract_block
+from repro.prompts import build_codegen_prompt, build_direct_prompt
+from repro.templates import PromptTemplate
+
+
+def quiet_model(name="sim-gpt-4"):
+    return SimulatedLLM(name, policy=QUIET)
+
+
+def ask_direct(model, template_text, answer_type, args):
+    prompt = build_direct_prompt(PromptTemplate(template_text), answer_type, args)
+    result = model.complete([user_message(prompt)])
+    return extract_answer(result.text, answer_type).value
+
+
+class TestDirectAnswers:
+    def test_sentiment_positive(self):
+        sentiment = t.union(t.literal("positive"), t.literal("negative"))
+        value = ask_direct(
+            quiet_model(),
+            "What is the sentiment of {{review}}?",
+            sentiment,
+            {"review": "The product is fantastic. It exceeds all my expectations."},
+        )
+        assert value == "positive"
+
+    def test_sentiment_negative(self):
+        sentiment = t.union(t.literal("positive"), t.literal("negative"))
+        value = ask_direct(
+            quiet_model(),
+            "What is the sentiment of {{review}}?",
+            sentiment,
+            {"review": "Terrible quality, broken on arrival, total waste."},
+        )
+        assert value == "negative"
+
+    def test_catalog_task_direct(self):
+        value = ask_direct(
+            quiet_model(),
+            "Calculate the factorial of {{n}}.",
+            t.INT,
+            {"n": 6},
+        )
+        assert value == 720
+
+    def test_sort_task_direct(self):
+        value = ask_direct(
+            quiet_model(),
+            "Sort the numbers {{ns}} in ascending order.",
+            t.list(t.int),
+            {"ns": [5, 1, 4]},
+        )
+        assert value == [1, 4, 5]
+
+    def test_books_task(self):
+        book = t.dict({"title": t.str, "author": t.str, "year": t.int})
+        value = ask_direct(
+            quiet_model(),
+            "List {{n}} classic books on {{subject}}.",
+            t.list(book),
+            {"n": 3, "subject": "computer science"},
+        )
+        assert len(value) == 3
+        assert all(book_entry["year"] >= 1900 for book_entry in value)
+
+    def test_inline_arithmetic(self):
+        value = ask_direct(quiet_model(), "What is 7 times 8?", t.INT, {})
+        assert value == 56
+
+    def test_unknown_task_falls_back_to_typed_guess(self):
+        value = ask_direct(
+            quiet_model(),
+            "Predict tomorrow's lottery numbers for {{city}}.",
+            t.list(t.int),
+            {"city": "Boston"},
+        )
+        assert value == []  # format-conforming guess
+
+    def test_latency_and_usage_reported(self):
+        model = quiet_model()
+        prompt = build_direct_prompt(PromptTemplate("What is 7 times 8?"), t.INT, {})
+        result = model.complete([user_message(prompt)])
+        assert result.latency_s > 0
+        assert result.usage.prompt_tokens > 10
+        assert result.usage.completion_tokens > 0
+
+    def test_gpt4_slower_than_gpt35(self):
+        prompt = build_direct_prompt(PromptTemplate("What is 7 times 8?"), t.INT, {})
+        fast = quiet_model("sim-gpt-3.5-turbo-16k").complete([user_message(prompt)])
+        slow = quiet_model("sim-gpt-4").complete([user_message(prompt)])
+        assert slow.latency_s > fast.latency_s
+
+
+class TestWordProblems:
+    def setup_method(self):
+        self.knowledge = KnowledgeBase()
+        text = "Ava picked 12 apples and 8 pears. How many fruits did Ava pick in total?"
+        skeleton, _ = mask_numbers(text)
+        self.knowledge.register_family(
+            WordProblemFamily(skeleton, add(var("n0"), var("n1")), name="fruits")
+        )
+        self.model = SimulatedLLM(knowledge=self.knowledge, policy=QUIET)
+
+    def test_solves_registered_family(self):
+        prompt = build_direct_prompt(
+            PromptTemplate("Ava picked {{a}} apples and {{b}} pears. How many fruits did Ava pick in total?"),
+            t.INT,
+            {"a": 12, "b": 8},
+        )
+        result = self.model.complete([user_message(prompt)])
+        assert extract_answer(result.text, t.INT).value == 20
+
+    def test_different_numbers_same_family(self):
+        prompt = build_direct_prompt(
+            PromptTemplate("Ava picked {{a}} apples and {{b}} pears. How many fruits did Ava pick in total?"),
+            t.INT,
+            {"a": 100, "b": 1},
+        )
+        result = self.model.complete([user_message(prompt)])
+        assert extract_answer(result.text, t.INT).value == 101
+
+    def test_reason_field_mentions_computation(self):
+        prompt = build_direct_prompt(
+            PromptTemplate("Ava picked {{a}} apples and {{b}} pears. How many fruits did Ava pick in total?"),
+            t.INT,
+            {"a": 2, "b": 3},
+        )
+        result = self.model.complete([user_message(prompt)])
+        parsed = extract_answer(result.text, t.INT)
+        assert "n0" in parsed.reason or "Computing" in parsed.reason
+
+
+class TestCodegen:
+    def test_python_factorial(self):
+        model = quiet_model()
+        prompt = build_codegen_prompt(
+            "python", "calculate_factorial",
+            PromptTemplate("Calculate the factorial of {{n}}."), t.INT,
+        )
+        result = model.complete([user_message(prompt)])
+        code = extract_block(result.text, "python")
+        namespace = {}
+        exec(code, namespace)  # noqa: S102 - test sandbox
+        assert namespace["calculate_factorial"](5) == 120
+
+    def test_typescript_factorial(self):
+        from repro.tslang import load_module
+
+        model = quiet_model()
+        prompt = build_codegen_prompt(
+            "typescript", "calculateFactorial",
+            PromptTemplate("Calculate the factorial of {{n}}."), t.INT, {"n": t.INT},
+        )
+        result = model.complete([user_message(prompt)])
+        code = extract_block(result.text, "typescript")
+        module = load_module(code)
+        assert module.call("calculateFactorial", {"n": 5}) == 120
+
+    def test_python_signature_mismatch_task_fails(self):
+        """Task #11 (unique elements) reproduces the paper's pyaskit failure."""
+        model = quiet_model()
+        prompt = build_codegen_prompt(
+            "python", "unique_elements",
+            PromptTemplate("Return the unique elements in {{xs}}."), t.list(t.int),
+        )
+        result = model.complete([user_message(prompt)])
+        code = extract_block(result.text, "python")
+        namespace = {}
+        exec(code, namespace)  # noqa: S102
+        with pytest.raises(Exception):
+            namespace["unique_elements"]([1, 2, 2])
+
+    def test_same_task_succeeds_in_typescript(self):
+        from repro.tslang import load_module
+
+        model = quiet_model()
+        prompt = build_codegen_prompt(
+            "typescript", "uniqueElements",
+            PromptTemplate("Return the unique elements in {{xs}}."),
+            t.list(t.int), {"xs": t.list(t.int)},
+        )
+        result = model.complete([user_message(prompt)])
+        module = load_module(extract_block(result.text, "typescript"))
+        assert module.call("uniqueElements", {"xs": [1, 2, 2, 3, 1]}) == [1, 2, 3]
+
+    def test_unknown_task_emits_failing_body(self):
+        model = quiet_model()
+        prompt = build_codegen_prompt(
+            "python", "mystery", PromptTemplate("Achieve world peace with {{x}}."), t.INT,
+        )
+        result = model.complete([user_message(prompt)])
+        code = extract_block(result.text, "python")
+        assert "NotImplementedError" in code
+
+    def test_buggy_code_under_noise_then_correct_on_feedback(self):
+        """With noise forced on, first-try Fibonacci carries the paper's
+        off-by-one; the feedback retry fixes it."""
+        from repro.prompts import refine_codegen_prompt
+
+        model = SimulatedLLM(policy=NoisePolicy(buggy_code_rate=1.0, seed=7))
+        prompt = build_codegen_prompt(
+            "python", "fibonacci",
+            PromptTemplate("Generate the Fibonacci sequence up to {{n}}."), t.list(t.int),
+        )
+        first = model.complete([user_message(prompt)])
+        code = extract_block(first.text, "python")
+        namespace = {}
+        exec(code, namespace)  # noqa: S102
+        assert namespace["fibonacci"](5) != [0, 1, 1, 2, 3]  # the planted bug
+
+        # The policy halves rates per attempt, but rate 1.0 stays 0.5 -- so
+        # use an explicit quiet retry to model convergence deterministically.
+        model_converged = SimulatedLLM(policy=QUIET)
+        refined = refine_codegen_prompt(prompt, code, ValueError("failed tests"))
+        second = model_converged.complete([user_message(refined)])
+        code2 = extract_block(second.text, "python")
+        namespace2 = {}
+        exec(code2, namespace2)  # noqa: S102
+        assert namespace2["fibonacci"](5) == [0, 1, 1, 2, 3]
+
+
+class TestNoiseInjection:
+    def test_corruption_rate_zero_always_clean(self):
+        model = quiet_model()
+        prompt = build_direct_prompt(PromptTemplate("What is 7 times 8?"), t.INT, {})
+        for _ in range(10):
+            result = model.complete([user_message(prompt)])
+            assert extract_answer(result.text, t.INT).value == 56
+
+    def test_corruption_rate_one_always_malformed_first_try(self):
+        from repro.errors import ResponseFormatError
+
+        model = SimulatedLLM(policy=NoisePolicy(direct_corruption_rate=1.0, seed=3))
+        prompt = build_direct_prompt(PromptTemplate("What is 7 times 8?"), t.INT, {})
+        failures = 0
+        for _ in range(5):
+            result = model.complete([user_message(prompt)])
+            try:
+                extract_answer(result.text, t.INT)
+            except ResponseFormatError:
+                failures += 1
+        assert failures == 5
+
+    def test_determinism_same_seed_same_output(self):
+        prompt = build_direct_prompt(PromptTemplate("What is 7 times 8?"), t.INT, {})
+        a = SimulatedLLM(policy=NoisePolicy(seed=11)).complete([user_message(prompt)])
+        b = SimulatedLLM(policy=NoisePolicy(seed=11)).complete([user_message(prompt)])
+        assert a.text == b.text
+
+    def test_chat_fallback(self):
+        model = quiet_model()
+        result = model.complete([user_message("hello there")])
+        assert "AskIt" in result.text or "help" in result.text

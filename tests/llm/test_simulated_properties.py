@@ -1,0 +1,82 @@
+"""Property-based tests of the simulated LLM against the public API.
+
+The invariant: for any catalog task and randomized (valid) arguments, a
+quiet model's direct answer through the full ask/parse pipeline equals
+the task's reference function -- i.e. prompt synthesis, the simulated
+model's prompt re-parsing, and answer extraction compose to the identity
+on task semantics.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.types as t
+from repro.core import config_override, define
+from repro.llm import ChatClient, QUIET
+
+_numbers = st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=8)
+_small_text = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz XYZ", min_size=0, max_size=20
+)
+
+_quiet_client = ChatClient(noise_policy=QUIET)
+
+
+def _ask_quiet(return_type, template, **args):
+    with config_override(client=_quiet_client, cache_dir=None):
+        return define(return_type, template)(**args)
+
+
+@given(_numbers)
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_sort_matches_reference(ns):
+    value = _ask_quiet(t.list(t.int), "Sort the numbers {{ns}} in ascending order.", ns=ns)
+    assert value == sorted(ns)
+
+
+@given(_numbers)
+@settings(max_examples=25, deadline=None)
+def test_sum_matches_reference(ns):
+    value = _ask_quiet(t.int, "Calculate the sum of all numbers in {{ns}}.", ns=ns)
+    assert value == sum(ns)
+
+
+@given(_small_text)
+@settings(max_examples=25, deadline=None)
+def test_reverse_matches_reference(s):
+    value = _ask_quiet(t.str, "Reverse the string {{s}}.", s=s)
+    assert value == s[::-1]
+
+
+@given(st.integers(min_value=0, max_value=12))
+@settings(max_examples=13, deadline=None)
+def test_factorial_matches_reference(n):
+    import math
+
+    value = _ask_quiet(t.int, "Calculate the factorial of {{n}}.", n=n)
+    assert value == math.factorial(n)
+
+
+@given(_numbers, st.integers(min_value=-50, max_value=50))
+@settings(max_examples=25, deadline=None)
+def test_count_occurrences_matches_reference(xs, x):
+    value = _ask_quiet(
+        t.int, "Count the number of occurrences of {{x}} in {{xs}}.", xs=xs, x=x
+    )
+    assert value == xs.count(x)
+
+
+@given(_numbers)
+@settings(max_examples=20, deadline=None)
+def test_compiled_function_agrees_with_direct_answer(ns):
+    """The unified-interface invariant: direct answers and compiled code
+    compute the same function."""
+    with config_override(client=_quiet_client, cache_dir=None):
+        definition = define(
+            t.list(t.int),
+            "Compute the running sum of {{ns}}.",
+            test_examples=[({"ns": [1, 2, 3]}, [1, 3, 6])],
+        )
+        direct = definition(ns=ns)
+        compiled = definition.compile(use_cache=False)
+        assert compiled(ns=ns) == direct

@@ -1,0 +1,130 @@
+"""Unit tests for the solvers behind the simulated model."""
+
+import pytest
+
+from repro.llm.knowledge import KnowledgeBase, WordProblemFamily, mask_numbers, mask_quantities, normalize_task
+from repro.llm.solvers.mathword import (
+    is_hard_instance,
+    is_uncodable_family,
+    solve_word_problem,
+)
+from repro.llm.solvers.worldly import (
+    analyze_sentiment,
+    classic_books,
+    match_arithmetic,
+    solve_worldly,
+)
+from repro.mathexpr import add, mul, var
+
+
+class TestMasking:
+    def test_mask_numbers(self):
+        masked, numbers = mask_numbers("Ava has 12 apples and 8.5 pears.")
+        assert masked == "Ava has <N> apples and <N> pears."
+        assert numbers == [12.0, 8.5]
+
+    def test_mask_preserves_words_with_digits(self):
+        masked, numbers = mask_numbers("route66 is a road")
+        assert masked == "route66 is a road"
+        assert numbers == []
+
+    def test_mask_quantities_handles_quoted_names(self):
+        masked, slots = mask_quantities("Ava has 'a' apples and 3 pears.")
+        assert masked == "Ava has <N> apples and <N> pears."
+        assert slots == ["a", 3.0]
+
+    def test_number_and_quoted_mask_identically(self):
+        with_numbers, _ = mask_quantities("She ran 5 miles in 40 minutes.")
+        with_names, _ = mask_quantities("She ran 'x' miles in 'y' minutes.")
+        assert with_numbers == with_names
+
+    def test_normalize_task(self):
+        assert normalize_task("  Reverse the string 's'.  ") == "reverse the string 's'"
+        assert normalize_task("REVERSE the string 's'?") == "reverse the string 's'"
+
+
+class TestWordProblemSolver:
+    def setup_method(self):
+        self.knowledge = KnowledgeBase()
+        text = "A crate holds 10 melons and 4 boxes. How many items in total?"
+        skeleton, _ = mask_numbers(text)
+        self.knowledge.register_family(
+            WordProblemFamily(skeleton, add(var("n0"), var("n1")), "melons")
+        )
+
+    def test_solves_easy_instance(self):
+        # Search for an instance that is not gated as "hard".
+        for a in range(3, 60):
+            text = f"A crate holds {a} melons and 4 boxes. How many items in total?"
+            if not is_hard_instance(text):
+                answer = solve_word_problem(self.knowledge, text)
+                assert answer.is_correct
+                assert answer.value == a + 4
+                return
+        pytest.fail("no easy instance found in range")
+
+    def test_hard_instances_get_wrong_but_plausible_answers(self):
+        for a in range(3, 200):
+            text = f"A crate holds {a} melons and 4 boxes. How many items in total?"
+            if is_hard_instance(text):
+                answer = solve_word_problem(self.knowledge, text)
+                assert not answer.is_correct
+                assert answer.value != a + 4
+                return
+        pytest.fail("no hard instance found in range")
+
+    def test_unknown_problem_returns_none(self):
+        assert solve_word_problem(self.knowledge, "What is love?") is None
+
+    def test_hardness_is_deterministic(self):
+        text = "A crate holds 10 melons and 4 boxes. How many items in total?"
+        assert is_hard_instance(text) == is_hard_instance(text)
+
+    def test_uncodable_gate_deterministic(self):
+        assert is_uncodable_family("skeleton x") == is_uncodable_family("skeleton x")
+
+    def test_reason_narrates_steps(self):
+        for a in range(3, 60):
+            text = f"A crate holds {a} melons and 4 boxes. How many items in total?"
+            if not is_hard_instance(text):
+                answer = solve_word_problem(self.knowledge, text)
+                assert "step by step" in answer.reason
+                assert str(a) in answer.reason
+                return
+
+
+class TestWorldly:
+    def test_sentiment_positive(self):
+        assert analyze_sentiment("I love this fantastic product") == "positive"
+
+    def test_sentiment_negative(self):
+        assert analyze_sentiment("terrible, broken, waste of money") == "negative"
+
+    def test_sentiment_negation_flips(self):
+        assert analyze_sentiment("this is not good at all, awful") == "negative"
+
+    def test_sentiment_tie_breaks_positive(self):
+        assert analyze_sentiment("the box contains a product") == "positive"
+
+    def test_books_deterministic(self):
+        first = classic_books(3, "compilers")
+        second = classic_books(3, "compilers")
+        assert first == second
+        assert len(first) == 3
+        assert all(set(book) == {"title", "author", "year"} for book in first)
+
+    def test_books_vary_by_subject(self):
+        assert classic_books(2, "compilers") != classic_books(2, "databases")
+
+    def test_arithmetic_phrases(self):
+        assert match_arithmetic("What is 7 times 8?", {}) == 56
+        assert match_arithmetic("What is 10 plus 5?", {}) == 15
+        assert match_arithmetic("What is 10 minus 5?", {}) == 5
+        assert match_arithmetic("What is 10 divided by 4?", {}) == 2.5
+        assert match_arithmetic("What is the capital of France?", {}) is None
+
+    def test_solve_worldly_dispatch(self):
+        matched, value = solve_worldly("What is 6 times 6?", {})
+        assert matched and value == 36
+        matched, _ = solve_worldly("Translate this to Klingon", {})
+        assert not matched

@@ -1,0 +1,96 @@
+"""Tests for transcript recording at the model boundary."""
+
+import json
+
+import repro.types as t
+from repro.core import config_override, define
+from repro.llm import ChatClient, QUIET
+from repro.llm.transcript import TranscriptRecorder
+
+
+def _client_with_recorder(max_exchanges=None):
+    recorder = TranscriptRecorder(max_exchanges)
+    return ChatClient(noise_policy=QUIET, recorder=recorder), recorder
+
+
+class TestRecording:
+    def test_records_every_exchange(self):
+        client, recorder = _client_with_recorder()
+        client.chat_complete("sim-gpt-4", "hello")
+        client.chat_complete("sim-gpt-4", "again")
+        assert len(recorder) == 2
+        assert recorder.exchanges[0].prompt == "hello"
+        assert recorder.exchanges[1].index == 1
+
+    def test_captures_usage_and_latency(self):
+        client, recorder = _client_with_recorder()
+        client.chat_complete("sim-gpt-4", "hello")
+        exchange = recorder.exchanges[0]
+        assert exchange.latency_s > 0
+        assert exchange.prompt_tokens > 0
+        assert exchange.model == "sim-gpt-4"
+
+    def test_bounded_recorder_drops_oldest(self):
+        client, recorder = _client_with_recorder(max_exchanges=2)
+        for text in ("a", "b", "c"):
+            client.chat_complete("sim-gpt-4", text)
+        assert len(recorder) == 2
+        assert recorder.exchanges[0].prompt == "b"
+
+    def test_clear(self):
+        client, recorder = _client_with_recorder()
+        client.chat_complete("sim-gpt-4", "hello")
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_no_recorder_no_overhead(self):
+        client = ChatClient(noise_policy=QUIET)
+        client.chat_complete("sim-gpt-4", "hello")  # must not raise
+        assert client.recorder is None
+
+
+class TestRendering:
+    def test_jsonl_round_trips(self):
+        client, recorder = _client_with_recorder()
+        client.chat_complete("sim-gpt-4", "hello")
+        lines = recorder.to_jsonl().splitlines()
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        assert payload["prompt"] == "hello"
+        assert payload["model"] == "sim-gpt-4"
+
+    def test_render_elides_long_payloads(self):
+        client, recorder = _client_with_recorder()
+        client.chat_complete("sim-gpt-4", "x" * 2000)
+        text = recorder.render(max_chars=100)
+        assert "chars elided" in text
+        assert "exchange #0" in text
+
+
+class TestPipelineVisibility:
+    def test_full_ask_pipeline_recorded(self):
+        """The recorder sees the exact Listing-2 prompt and JSON reply."""
+        client, recorder = _client_with_recorder()
+        with config_override(client=client, cache_dir=None):
+            define(t.int, "Calculate the factorial of {{n}}.")(n=5)
+        assert len(recorder) == 1
+        exchange = recorder.exchanges[0]
+        assert "You are a helpful assistant" in exchange.prompt
+        assert "where 'n' = 5" in exchange.prompt
+        assert "```json" in exchange.response
+
+    def test_retries_visible_as_separate_exchanges(self):
+        from repro.llm import NoisePolicy
+
+        recorder = TranscriptRecorder()
+        client = ChatClient(
+            noise_policy=NoisePolicy(direct_corruption_rate=1.0, seed=4),
+            recorder=recorder,
+        )
+        with config_override(client=client, cache_dir=None, max_retries=2):
+            try:
+                define(t.int, "What is 7 times 8?")()
+            except Exception:  # noqa: BLE001 - the corruption may win
+                pass
+        assert len(recorder) >= 2  # original + at least one feedback retry
+        assert "Your previous response was:" in recorder.exchanges[1].prompt

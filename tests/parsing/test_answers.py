@@ -1,0 +1,96 @@
+"""Unit tests for {reason, answer} extraction (Section III-E criteria)."""
+
+import pytest
+
+import repro.types as t
+from repro.errors import ResponseFormatError
+from repro.parsing import extract_answer
+
+
+def _wrap(payload: str) -> str:
+    return f"Here is my answer.\n```json\n{payload}\n```\nHope that helps!"
+
+
+class TestHappyPath:
+    def test_scalar_answer(self):
+        parsed = extract_answer(_wrap('{"reason": "r", "answer": 42}'), t.INT)
+        assert parsed.value == 42
+        assert parsed.reason == "r"
+
+    def test_answer_is_coerced(self):
+        parsed = extract_answer(_wrap('{"reason": "r", "answer": 42.0}'), t.INT)
+        assert parsed.value == 42
+        assert isinstance(parsed.value, int)
+
+    def test_record_answer_drops_extras(self):
+        point = t.dict({"x": t.int, "y": t.int})
+        payload = '{"reason": "r", "answer": {"x": 1, "y": 2, "note": "extra"}}'
+        parsed = extract_answer(_wrap(payload), point)
+        assert parsed.value == {"x": 1, "y": 2}
+
+    def test_union_literal_answer(self):
+        sentiment = t.union(t.literal("positive"), t.literal("negative"))
+        parsed = extract_answer(_wrap('{"reason": "r", "answer": "positive"}'), sentiment)
+        assert parsed.value == "positive"
+
+    def test_missing_reason_tolerated(self):
+        parsed = extract_answer(_wrap('{"answer": true}'), t.BOOL)
+        assert parsed.value is True
+        assert parsed.reason == ""
+
+    def test_relaxed_json_accepted(self):
+        parsed = extract_answer(_wrap("{reason: 'r', answer: [1, 2,]}"), t.list(t.int))
+        assert parsed.value == [1, 2]
+
+    def test_bare_json_without_fence(self):
+        response = 'Sure: {"reason": "r", "answer": "ok"}'
+        parsed = extract_answer(response, t.STR)
+        assert parsed.value == "ok"
+
+
+class TestCriterion1NoJson:
+    def test_plain_text_response(self):
+        with pytest.raises(ResponseFormatError) as excinfo:
+            extract_answer("The answer is positive.", t.STR)
+        assert excinfo.value.criterion == ResponseFormatError.CRITERION_NO_JSON
+
+    def test_unparseable_json(self):
+        with pytest.raises(ResponseFormatError) as excinfo:
+            extract_answer("```json\n{{{\n```", t.STR)
+        assert excinfo.value.criterion == ResponseFormatError.CRITERION_NO_JSON
+
+
+class TestCriterion2NoAnswerField:
+    def test_missing_answer_field(self):
+        with pytest.raises(ResponseFormatError) as excinfo:
+            extract_answer(_wrap('{"reason": "r", "result": 1}'), t.INT)
+        assert excinfo.value.criterion == ResponseFormatError.CRITERION_NO_ANSWER_FIELD
+
+    def test_non_object_payload(self):
+        with pytest.raises(ResponseFormatError) as excinfo:
+            extract_answer(_wrap("[1, 2, 3]"), t.list(t.int))
+        assert excinfo.value.criterion == ResponseFormatError.CRITERION_NO_ANSWER_FIELD
+
+
+class TestCriterion3BadType:
+    def test_wrong_scalar_type(self):
+        with pytest.raises(ResponseFormatError) as excinfo:
+            extract_answer(_wrap('{"reason": "r", "answer": "five"}'), t.INT)
+        assert excinfo.value.criterion == ResponseFormatError.CRITERION_BAD_TYPE
+
+    def test_wrong_enum_member(self):
+        sentiment = t.union(t.literal("positive"), t.literal("negative"))
+        with pytest.raises(ResponseFormatError) as excinfo:
+            extract_answer(_wrap('{"reason": "r", "answer": "neutral"}'), sentiment)
+        assert excinfo.value.criterion == ResponseFormatError.CRITERION_BAD_TYPE
+
+    def test_error_mentions_expected_type(self):
+        with pytest.raises(ResponseFormatError) as excinfo:
+            extract_answer(_wrap('{"reason": "r", "answer": 1}'), t.STR)
+        assert "string" in str(excinfo.value)
+
+    def test_error_carries_response_for_feedback(self):
+        response = _wrap('{"reason": "r", "answer": 1}')
+        with pytest.raises(ResponseFormatError) as excinfo:
+            extract_answer(response, t.STR)
+        assert excinfo.value.response == response

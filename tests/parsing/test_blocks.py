@@ -1,0 +1,93 @@
+"""Unit tests for fenced code block extraction."""
+
+import pytest
+
+from repro.errors import CodeExtractionError
+from repro.parsing import extract_block, extract_json_block, find_blocks
+
+
+class TestFindBlocks:
+    def test_single_block(self):
+        text = "Here you go:\n```json\n{\"a\": 1}\n```\nEnjoy!"
+        blocks = find_blocks(text)
+        assert len(blocks) == 1
+        assert blocks[0].language == "json"
+        assert blocks[0].body == '{"a": 1}\n'
+
+    def test_multiple_blocks_in_order(self):
+        text = "```python\nx = 1\n```\nand\n```typescript\nlet x = 1;\n```\n"
+        blocks = find_blocks(text)
+        assert [b.language for b in blocks] == ["python", "typescript"]
+
+    def test_untagged_block(self):
+        text = "```\nplain\n```"
+        blocks = find_blocks(text)
+        assert blocks[0].language == ""
+
+    def test_no_blocks(self):
+        assert find_blocks("no fences here") == []
+
+    def test_case_insensitive_tag(self):
+        text = "```JSON\n{}\n```"
+        assert find_blocks(text)[0].language == "json"
+
+
+class TestExtractBlock:
+    def test_finds_tagged(self):
+        text = "```typescript\ncode\n```"
+        assert extract_block(text, "typescript") == "code\n"
+
+    def test_alias_ts(self):
+        text = "```ts\ncode\n```"
+        assert extract_block(text, "typescript") == "code\n"
+
+    def test_alias_py(self):
+        text = "```py\ncode\n```"
+        assert extract_block(text, "python") == "code\n"
+
+    def test_skips_other_languages(self):
+        text = "```json\n{}\n```\n```python\npass\n```"
+        assert extract_block(text, "python") == "pass\n"
+
+    def test_untagged_fallback(self):
+        text = "```\ncode\n```"
+        assert extract_block(text, "python", allow_untagged=True) == "code\n"
+
+    def test_untagged_not_used_without_flag(self):
+        text = "```\ncode\n```"
+        with pytest.raises(CodeExtractionError):
+            extract_block(text, "python")
+
+    def test_missing_block_raises(self):
+        with pytest.raises(CodeExtractionError):
+            extract_block("nothing", "python")
+
+
+class TestExtractJsonBlock:
+    def test_tagged_json(self):
+        text = 'Sure!\n```json\n{"answer": 42}\n```'
+        assert extract_json_block(text) == '{"answer": 42}\n'
+
+    def test_untagged_fence(self):
+        text = '```\n{"answer": 42}\n```'
+        assert extract_json_block(text) == '{"answer": 42}\n'
+
+    def test_bare_object_fallback(self):
+        text = 'The answer is {"reason": "because", "answer": 42} as requested.'
+        assert extract_json_block(text) == '{"reason": "because", "answer": 42}'
+
+    def test_bare_nested_object(self):
+        text = 'Result: {"a": {"b": [1, 2]}} done'
+        assert extract_json_block(text) == '{"a": {"b": [1, 2]}}'
+
+    def test_braces_inside_strings_ignored(self):
+        text = '{"s": "curly } inside"} trailing'
+        assert extract_json_block(text) == '{"s": "curly } inside"}'
+
+    def test_no_json_raises(self):
+        with pytest.raises(CodeExtractionError):
+            extract_json_block("there is nothing here")
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(CodeExtractionError):
+            extract_json_block('{"never": "closed"')

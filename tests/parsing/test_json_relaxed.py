@@ -1,0 +1,122 @@
+"""Unit tests for the relaxed JSON parser."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parsing import JsonParseError, loads_relaxed
+
+
+class TestStrictCompatibility:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("{}", {}),
+            ("[]", []),
+            ("42", 42),
+            ("-1.5", -1.5),
+            ('"hi"', "hi"),
+            ("true", True),
+            ("false", False),
+            ("null", None),
+            ('{"a": [1, 2, {"b": null}]}', {"a": [1, 2, {"b": None}]}),
+        ],
+    )
+    def test_valid_json(self, text, expected):
+        assert loads_relaxed(text) == expected
+
+
+class TestRelaxations:
+    def test_single_quoted_strings(self):
+        assert loads_relaxed("{'a': 'b'}") == {"a": "b"}
+
+    def test_trailing_comma_object(self):
+        assert loads_relaxed('{"a": 1,}') == {"a": 1}
+
+    def test_trailing_comma_array(self):
+        assert loads_relaxed("[1, 2,]") == [1, 2]
+
+    def test_unquoted_keys(self):
+        assert loads_relaxed("{answer: 42}") == {"answer": 42}
+
+    def test_line_comments(self):
+        text = '{\n  // the answer\n  "answer": 42\n}'
+        assert loads_relaxed(text) == {"answer": 42}
+
+    def test_block_comments(self):
+        text = '{"a": /* inline */ 1}'
+        assert loads_relaxed(text) == {"a": 1}
+
+    def test_python_spellings(self):
+        assert loads_relaxed("{'ok': True, 'missing': None}") == {
+            "ok": True,
+            "missing": None,
+        }
+
+    def test_nan(self):
+        assert math.isnan(loads_relaxed("NaN"))
+
+    def test_unicode_escape(self):
+        assert loads_relaxed('"\\u0041"') == "A"
+
+    def test_escapes(self):
+        assert loads_relaxed(r'"\n\t\\"') == "\n\t\\"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "{",
+            "[1, 2",
+            "{'a':}",
+            "{'a' 1}",
+            "[1 2]",
+            "{'a': 1} extra",
+            "/* unterminated",
+            "'unterminated",
+            "@bad",
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises((JsonParseError, ValueError)):
+            value = loads_relaxed(text)
+            # "{'a': 1} extra" style inputs must not silently succeed.
+            raise AssertionError(f"parsed {text!r} to {value!r}")
+
+    def test_error_position(self):
+        with pytest.raises(JsonParseError) as excinfo:
+            loads_relaxed("{'a': @}")
+        assert excinfo.value.position > 0
+
+
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=20),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+@given(json_values)
+def test_round_trips_everything_json_dumps_produces(value):
+    import json
+
+    assert loads_relaxed(json.dumps(value)) == value
+
+
+@given(st.text(alphabet="abcdefghij XYZ012_-", max_size=20))
+def test_relaxed_single_quote_rendering(value):
+    """Single-quoted strings (Python repr-ish) parse to the same value."""
+    assert loads_relaxed(f"'{value}'") == value

@@ -1,0 +1,80 @@
+"""Unit tests for code-generation prompt synthesis (Figure 4)."""
+
+import pytest
+
+import repro.types as t
+from repro.prompts import (
+    build_codegen_prompt,
+    python_signature,
+    typescript_signature,
+)
+from repro.templates import PromptTemplate
+
+
+class TestSignatures:
+    def test_typescript_signature_with_types(self):
+        sig = typescript_signature(
+            "calculateFactorial", ["n"], {"n": t.INT}, t.INT
+        )
+        assert sig == "export function calculateFactorial({n}: {n: number}): number"
+
+    def test_typescript_signature_defaults_to_any(self):
+        sig = typescript_signature("f", ["a", "b"], {"a": t.STR}, t.BOOL)
+        assert sig == "export function f({a, b}: {a: string, b: any}): boolean"
+
+    def test_typescript_signature_no_parameters(self):
+        sig = typescript_signature("f", [], None, t.STR)
+        assert sig == "export function f(): string"
+
+    def test_python_signature_is_untyped(self):
+        assert python_signature("f", ["x", "y"]) == "def f(x, y):"
+
+
+class TestFigure4Shape:
+    def test_typescript_prompt_structure(self):
+        template = PromptTemplate("Calculate the factorial of {{n}}")
+        prompt = build_codegen_prompt(
+            "typescript", "calculateFactorial", template, t.INT, {"n": t.INT}
+        )
+        # Segment 1: the fixed worked example question.
+        assert prompt.startswith("Q: Implement the following function:")
+        assert "export function func({x, y}: {x: number, y: number}): number" in prompt
+        assert "// add 'x' and 'y'" in prompt
+        # Segment 2: the fixed worked example answer.
+        assert "A:" in prompt
+        assert "return x + y;" in prompt
+        # Segment 3: the real request.
+        assert (
+            "export function calculateFactorial({n}: {n: number}): number" in prompt
+        )
+        assert "// Calculate the factorial of 'n'" in prompt
+
+    def test_one_shot_example_is_task_independent(self):
+        t1 = build_codegen_prompt(
+            "typescript", "a", PromptTemplate("Task one {{x}}"), t.INT, None
+        )
+        t2 = build_codegen_prompt(
+            "typescript", "b", PromptTemplate("Task two {{y}}"), t.STR, None
+        )
+        split1 = t1.split("Q: Implement the following function:")
+        split2 = t2.split("Q: Implement the following function:")
+        assert split1[1] == split2[1]  # worked example identical
+
+    def test_python_prompt_omits_parameter_types(self):
+        template = PromptTemplate("Return the unique elements in {{xs}}")
+        prompt = build_codegen_prompt(
+            "python", "unique_elements", template, t.list(t.int), {"xs": t.list(t.int)}
+        )
+        assert "def unique_elements(xs):" in prompt
+        assert "number[]" not in prompt  # no TS types leak into Python prompts
+        assert "# Return the unique elements in 'xs'" in prompt
+
+    def test_python_prompt_structure(self):
+        template = PromptTemplate("Add {{a}} and {{b}}")
+        prompt = build_codegen_prompt("python", "add", template, t.INT)
+        assert "```python" in prompt
+        assert "def add(a, b):" in prompt
+
+    def test_unknown_language_rejected(self):
+        with pytest.raises(ValueError):
+            build_codegen_prompt("rust", "f", PromptTemplate("x"), t.INT)

@@ -1,0 +1,71 @@
+"""Unit tests for direct-answer prompt synthesis (Listing 2)."""
+
+import repro.types as t
+from repro.prompts import FewShotExample, build_direct_prompt, response_type_fence
+from repro.templates import PromptTemplate
+
+
+class TestListing2Shape:
+    def test_full_prompt_matches_listing2_structure(self):
+        book = t.dict({"title": t.str, "author": t.str, "year": t.int})
+        template = PromptTemplate("List {{n}} classic books on {{subject}}.")
+        prompt = build_direct_prompt(
+            template, t.list(book), {"n": 5, "subject": "computer science"}
+        )
+        assert prompt.startswith(
+            "You are a helpful assistant that generates responses in JSON format"
+        )
+        assert "```json" in prompt
+        assert '{ "reason": "Step-by-step reason for the answer"' in prompt
+        assert "```ts" in prompt
+        assert (
+            "{ reason: string; answer: "
+            "{ title: string; author: string; year: number }[] }" in prompt
+        )
+        assert "Explain your answer step-by-step in the 'reason' field." in prompt
+        assert "List 'n' classic books on 'subject'." in prompt
+        assert "where 'n' = 5, 'subject' = \"computer science\"" in prompt
+
+    def test_no_where_clause_without_parameters(self):
+        template = PromptTemplate("What is 7 times 8?")
+        prompt = build_direct_prompt(template, t.INT, {})
+        assert "where" not in prompt.splitlines()[-1]
+        assert "What is 7 times 8?" in prompt
+
+    def test_reason_field_always_string_typed(self):
+        fence = response_type_fence(t.BOOL)
+        assert fence == "```ts\n{ reason: string; answer: boolean }\n```\n"
+
+    def test_fixed_preamble_is_task_independent(self):
+        a = build_direct_prompt(PromptTemplate("Task A"), t.INT, {})
+        b = build_direct_prompt(PromptTemplate("Task B {{x}}"), t.STR, {"x": 1})
+        # The first five lines (preamble + example) must be identical.
+        assert a.splitlines()[:5] == b.splitlines()[:5]
+
+
+class TestFewShot:
+    def test_examples_rendered(self):
+        template = PromptTemplate("Is {{n}} even?")
+        examples = [
+            FewShotExample({"n": 2}, True),
+            FewShotExample({"n": 3}, False),
+        ]
+        prompt = build_direct_prompt(template, t.BOOL, {"n": 10}, examples)
+        assert "Examples:" in prompt
+        assert "'n' = 2" in prompt
+        assert '"answer": true' in prompt
+        assert "'n' = 3" in prompt
+        assert '"answer": false' in prompt
+
+    def test_no_examples_section_when_empty(self):
+        prompt = build_direct_prompt(PromptTemplate("Hello"), t.STR, {})
+        assert "Examples:" not in prompt
+
+    def test_parameterless_example(self):
+        prompt = build_direct_prompt(
+            PromptTemplate("Roll a die"),
+            t.INT,
+            {},
+            [FewShotExample({}, 4)],
+        )
+        assert "Respond:" in prompt

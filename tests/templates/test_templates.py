@@ -1,0 +1,130 @@
+"""Unit tests for prompt template parsing and rendering."""
+
+import pytest
+
+from repro.errors import TemplateError
+from repro.templates import (
+    ParamSegment,
+    PromptTemplate,
+    TextSegment,
+    parameter_names,
+    parse_template,
+)
+
+
+class TestParseTemplate:
+    def test_plain_text(self):
+        segments = parse_template("no placeholders here")
+        assert segments == [TextSegment("no placeholders here")]
+
+    def test_single_placeholder(self):
+        segments = parse_template("What is the sentiment of {{review}}?")
+        assert segments == [
+            TextSegment("What is the sentiment of "),
+            ParamSegment("review"),
+            TextSegment("?"),
+        ]
+
+    def test_multiple_placeholders(self):
+        segments = parse_template("{{a}} + {{b}}")
+        assert segments == [ParamSegment("a"), TextSegment(" + "), ParamSegment("b")]
+
+    def test_adjacent_placeholders(self):
+        segments = parse_template("{{a}}{{b}}")
+        assert segments == [ParamSegment("a"), ParamSegment("b")]
+
+    def test_whitespace_inside_braces(self):
+        segments = parse_template("{{ name }}")
+        assert segments == [ParamSegment("name")]
+
+    def test_empty_template(self):
+        assert parse_template("") == []
+
+    def test_unterminated_open(self):
+        with pytest.raises(TemplateError):
+            parse_template("hello {{name")
+
+    def test_stray_close(self):
+        with pytest.raises(TemplateError):
+            parse_template("hello }} there")
+
+    def test_empty_placeholder(self):
+        with pytest.raises(TemplateError):
+            parse_template("hello {{}}")
+
+    def test_invalid_identifier(self):
+        with pytest.raises(TemplateError):
+            parse_template("hello {{9lives}}")
+
+    def test_identifier_with_spaces_rejected(self):
+        with pytest.raises(TemplateError):
+            parse_template("hello {{two words}}")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TemplateError):
+            parse_template(42)
+
+
+class TestParameterNames:
+    def test_order_preserved(self):
+        names = parameter_names(parse_template("{{b}} then {{a}}"))
+        assert names == ["b", "a"]
+
+    def test_duplicates_collapsed(self):
+        names = parameter_names(parse_template("{{x}} and {{x}} again"))
+        assert names == ["x"]
+
+
+class TestPromptTemplate:
+    def test_parameters(self):
+        template = PromptTemplate("List {{n}} classic books on {{subject}}.")
+        assert template.parameters == ("n", "subject")
+
+    def test_quoted(self):
+        template = PromptTemplate("List {{n}} classic books on {{subject}}.")
+        assert template.quoted() == "List 'n' classic books on 'subject'."
+
+    def test_where_clause(self):
+        template = PromptTemplate("List {{n}} classic books on {{subject}}.")
+        clause = template.where_clause({"n": 5, "subject": "computer science"})
+        assert clause == "where 'n' = 5, 'subject' = \"computer science\""
+
+    def test_where_clause_empty_for_no_params(self):
+        template = PromptTemplate("What is 7 times 8?")
+        assert template.where_clause({}) == ""
+
+    def test_substituted(self):
+        template = PromptTemplate("Calculate the factorial of {{n}}")
+        assert template.substituted({"n": 10}) == "Calculate the factorial of 10"
+
+    def test_substituted_quotes_strings(self):
+        template = PromptTemplate("Reverse the string {{s}}.")
+        assert template.substituted({"s": "abc"}) == 'Reverse the string "abc".'
+
+    def test_missing_argument(self):
+        template = PromptTemplate("{{a}} + {{b}}")
+        with pytest.raises(TemplateError) as excinfo:
+            template.where_clause({"a": 1})
+        assert "b" in str(excinfo.value)
+
+    def test_extra_argument(self):
+        template = PromptTemplate("{{a}}")
+        with pytest.raises(TemplateError):
+            template.where_clause({"a": 1, "z": 2})
+
+    def test_bind_positional(self):
+        template = PromptTemplate("{{a}} + {{b}}")
+        assert template.bind_positional([1, 2]) == {"a": 1, "b": 2}
+
+    def test_bind_positional_arity_mismatch(self):
+        template = PromptTemplate("{{a}}")
+        with pytest.raises(TemplateError):
+            template.bind_positional([1, 2])
+
+    def test_equality(self):
+        assert PromptTemplate("{{a}}") == PromptTemplate("{{a}}")
+        assert PromptTemplate("{{a}}") != PromptTemplate("{{b}}")
+
+    def test_repeated_parameter_renders_twice(self):
+        template = PromptTemplate("{{x}} times {{x}}")
+        assert template.substituted({"x": 3}) == "3 times 3"

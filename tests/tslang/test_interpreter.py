@@ -1,0 +1,366 @@
+"""Unit tests for the TypeScript-subset interpreter."""
+
+import pytest
+
+from repro.errors import TsRuntimeError
+from repro.tslang import Interpreter, load_module
+from repro.tslang.interpreter import ThrownValue
+
+
+def run_expr(source: str):
+    """Evaluate an expression through a tiny module wrapper."""
+    module = load_module(f"export function main(): any {{ return {source}; }}")
+    return module.call("main", {})
+
+
+class TestArithmetic:
+    def test_basic_math(self):
+        assert run_expr("1 + 2 * 3") == 7
+
+    def test_division_is_float(self):
+        assert run_expr("1 / 2") == 0.5
+
+    def test_division_by_zero_is_infinity(self):
+        assert run_expr("1 / 0 === Infinity")
+
+    def test_modulo_follows_js_sign(self):
+        assert run_expr("-7 % 3") == -1
+        assert run_expr("7 % -3") == 1
+
+    def test_power(self):
+        assert run_expr("2 ** 10") == 1024
+
+    def test_unary_minus(self):
+        assert run_expr("-(3 + 4)") == -7
+
+    def test_string_concatenation(self):
+        assert run_expr("'a' + 'b'") == "ab"
+
+    def test_number_string_concatenation(self):
+        assert run_expr("'n=' + 5") == "n=5"
+
+    def test_integral_numbers_render_without_decimal(self):
+        assert run_expr("'' + 10") == "10"
+
+
+class TestComparisonsAndLogic:
+    def test_strict_equality(self):
+        assert run_expr("1 === 1") is True
+        assert run_expr("'1' === 1") is False
+
+    def test_loose_equality(self):
+        assert run_expr("'1' == 1") is True
+        assert run_expr("null == undefined") is True
+
+    def test_comparisons(self):
+        assert run_expr("2 < 3") is True
+        assert run_expr("'abc' < 'abd'") is True
+
+    def test_logical_short_circuit(self):
+        assert run_expr("false && crash()") is False
+        assert run_expr("true || crash()") is True
+
+    def test_nullish_coalescing(self):
+        assert run_expr("null ?? 'fallback'") == "fallback"
+        assert run_expr("0 ?? 'fallback'") == 0
+
+    def test_ternary(self):
+        assert run_expr("1 < 2 ? 'yes' : 'no'") == "yes"
+
+    def test_typeof(self):
+        assert run_expr("typeof 1") == "number"
+        assert run_expr("typeof 'x'") == "string"
+        assert run_expr("typeof undefined") == "undefined"
+        assert run_expr("typeof true") == "boolean"
+
+    def test_truthiness(self):
+        assert run_expr("!''") is True
+        assert run_expr("!0") is True
+        assert run_expr("![]") is False
+
+
+class TestFunctions:
+    def test_simple_function(self):
+        module = load_module(
+            "export function add({x, y}: {x: number, y: number}): number {\n"
+            "  return x + y;\n"
+            "}"
+        )
+        assert module.call("add", {"x": 2, "y": 3}) == 5
+
+    def test_plain_parameter_function(self):
+        module = load_module("function double(n) { return n * 2; }")
+        assert module.call("double", {"n": 21}) == 42
+
+    def test_recursion(self):
+        module = load_module(
+            "export function fact({n}: {n: number}): number {\n"
+            "  if (n <= 1) { return 1; }\n"
+            "  return n * fact({n: n - 1});\n"
+            "}"
+        )
+        assert module.call("fact", {"n": 10}) == 3628800
+
+    def test_mutual_recursion_via_hoisting(self):
+        module = load_module(
+            "function isEven(n) { if (n === 0) { return true; } return isOdd(n - 1); }\n"
+            "function isOdd(n) { if (n === 0) { return false; } return isEven(n - 1); }"
+        )
+        assert module.call("isEven", {"n": 10}) is True
+
+    def test_closure_capture(self):
+        module = load_module(
+            "function makeAdder(k) { return x => x + k; }\n"
+            "function apply(n) { const add5 = makeAdder(5); return add5(n); }"
+        )
+        assert module.call("apply", {"n": 10}) == 15
+
+    def test_missing_return_is_undefined(self):
+        module = load_module("function noop(x) { x + 1; }")
+        assert module.call("noop", {"x": 1}) is None
+
+    def test_missing_named_argument_raises(self):
+        module = load_module("function f(a, b) { return a + b; }")
+        with pytest.raises(TsRuntimeError):
+            module.call("f", {"a": 1})
+
+    def test_unknown_function_raises(self):
+        module = load_module("function f() { return 1; }")
+        with pytest.raises(TsRuntimeError):
+            module.call("g", {})
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        module = load_module(
+            "function sumTo(n) { let total = 0; let i = 1;\n"
+            "  while (i <= n) { total += i; i++; }\n"
+            "  return total; }"
+        )
+        assert module.call("sumTo", {"n": 100}) == 5050
+
+    def test_classic_for(self):
+        module = load_module(
+            "function squares(n) { const out = [];\n"
+            "  for (let i = 1; i <= n; i++) { out.push(i * i); }\n"
+            "  return out; }"
+        )
+        assert module.call("squares", {"n": 4}) == [1, 4, 9, 16]
+
+    def test_for_of(self):
+        module = load_module(
+            "function total(xs) { let sum = 0; for (const x of xs) { sum += x; } return sum; }"
+        )
+        assert module.call("total", {"xs": [1, 2, 3, 4]}) == 10
+
+    def test_break(self):
+        module = load_module(
+            "function firstOver(xs, limit) {\n"
+            "  let found = -1;\n"
+            "  for (const x of xs) { if (x > limit) { found = x; break; } }\n"
+            "  return found; }"
+        )
+        assert module.call("firstOver", {"xs": [1, 5, 9], "limit": 4}) == 5
+
+    def test_continue(self):
+        module = load_module(
+            "function evens(xs) { const out = [];\n"
+            "  for (const x of xs) { if (x % 2 !== 0) { continue; } out.push(x); }\n"
+            "  return out; }"
+        )
+        assert module.call("evens", {"xs": [1, 2, 3, 4]}) == [2, 4]
+
+    def test_do_while(self):
+        module = load_module(
+            "function atLeastOnce(n) { let count = 0; do { count++; } while (count < n); return count; }"
+        )
+        assert module.call("atLeastOnce", {"n": 0}) == 1
+
+    def test_throw_becomes_runtime_error(self):
+        module = load_module("function boom() { throw new Error('bad input'); }")
+        with pytest.raises(ThrownValue):
+            module.call("boom", {})
+
+    def test_infinite_loop_hits_step_budget(self):
+        module = load_module("function spin() { while (true) { } }", step_budget=10_000)
+        with pytest.raises(TsRuntimeError) as excinfo:
+            module.call("spin", {})
+        assert "step budget" in str(excinfo.value)
+
+
+class TestStrings:
+    def test_split_join_reverse(self):
+        module = load_module(
+            "function rev(s) { return s.split('').reverse().join(''); }"
+        )
+        assert module.call("rev", {"s": "hello"}) == "olleh"
+
+    def test_case_methods(self):
+        assert run_expr("'MiXeD'.toLowerCase()") == "mixed"
+        assert run_expr("'MiXeD'.toUpperCase()") == "MIXED"
+
+    def test_includes_indexof(self):
+        assert run_expr("'hello'.includes('ell')") is True
+        assert run_expr("'hello'.indexOf('l')") == 2
+        assert run_expr("'hello'.indexOf('z')") == -1
+
+    def test_slice_negative(self):
+        assert run_expr("'hello'.slice(-3)") == "llo"
+
+    def test_substring_swaps(self):
+        assert run_expr("'hello'.substring(3, 1)") == "el"
+
+    def test_trim_replace_repeat(self):
+        assert run_expr("'  x  '.trim()") == "x"
+        assert run_expr("'aaa'.replace('a', 'b')") == "baa"
+        assert run_expr("'aaa'.replaceAll('a', 'b')") == "bbb"
+        assert run_expr("'ab'.repeat(3)") == "ababab"
+
+    def test_pad(self):
+        assert run_expr("'7'.padStart(3, '0')") == "007"
+
+    def test_char_access(self):
+        assert run_expr("'abc'.charAt(1)") == "b"
+        assert run_expr("'abc'.charCodeAt(0)") == 97
+        assert run_expr("'abc'[2]") == "c"
+
+    def test_length(self):
+        assert run_expr("'hello'.length") == 5
+
+    def test_template_literal(self):
+        module = load_module("function greet(name) { return `hi ${name}!`; }")
+        assert module.call("greet", {"name": "sam"}) == "hi sam!"
+
+
+class TestArrays:
+    def test_map_filter_reduce(self):
+        assert run_expr("[1, 2, 3, 4].map(x => x * 2)") == [2, 4, 6, 8]
+        assert run_expr("[1, 2, 3, 4].filter(x => x % 2 === 0)") == [2, 4]
+        assert run_expr("[1, 2, 3, 4].reduce((a, b) => a + b, 0)") == 10
+
+    def test_reduce_without_seed(self):
+        assert run_expr("[5, 6].reduce((a, b) => a + b)") == 11
+
+    def test_reduce_empty_without_seed_raises(self):
+        with pytest.raises(TsRuntimeError):
+            run_expr("[].reduce((a, b) => a + b)")
+
+    def test_sort_numeric_with_comparator(self):
+        assert run_expr("[3, 1, 10, 2].sort((a, b) => a - b)") == [1, 2, 3, 10]
+
+    def test_sort_default_is_lexicographic(self):
+        assert run_expr("[10, 9, 1].sort()") == [1, 10, 9]
+
+    def test_push_pop(self):
+        module = load_module(
+            "function f() { const xs = [1]; xs.push(2, 3); xs.pop(); return xs; }"
+        )
+        assert module.call("f", {}) == [1, 2]
+
+    def test_indexof_includes(self):
+        assert run_expr("[1, 2, 3].indexOf(2)") == 1
+        assert run_expr("[1, 2, 3].includes(4)") is False
+
+    def test_slice_concat(self):
+        assert run_expr("[1, 2, 3, 4].slice(1, 3)") == [2, 3]
+        assert run_expr("[1].concat([2, 3], 4)") == [1, 2, 3, 4]
+
+    def test_join(self):
+        assert run_expr("[1, 2, 3].join('-')") == "1-2-3"
+
+    def test_some_every_find(self):
+        assert run_expr("[1, 2, 3].some(x => x > 2)") is True
+        assert run_expr("[1, 2, 3].every(x => x > 0)") is True
+        assert run_expr("[1, 2, 3].find(x => x > 1)") == 2
+        assert run_expr("[1, 2, 3].findIndex(x => x > 5)") == -1
+
+    def test_flat(self):
+        assert run_expr("[[1, 2], [3], 4].flat()") == [1, 2, 3, 4]
+
+    def test_spread(self):
+        assert run_expr("[...[1, 2], 3]") == [1, 2, 3]
+
+    def test_index_assignment_extends(self):
+        module = load_module(
+            "function f() { const xs = []; xs[2] = 9; return xs.length; }"
+        )
+        assert module.call("f", {}) == 3
+
+    def test_array_length(self):
+        assert run_expr("[1, 2, 3].length") == 3
+
+    def test_splice(self):
+        module = load_module(
+            "function f() { const xs = [1, 2, 3, 4]; xs.splice(1, 2); return xs; }"
+        )
+        assert module.call("f", {}) == [1, 4]
+
+
+class TestObjectsAndBuiltins:
+    def test_object_literal_access(self):
+        assert run_expr("({a: 1, b: 2}).a") == 1
+
+    def test_object_keys_values(self):
+        assert run_expr("Object.keys({a: 1, b: 2})") == ["a", "b"]
+        assert run_expr("Object.values({a: 1, b: 2})") == [1, 2]
+
+    def test_missing_property_is_undefined(self):
+        assert run_expr("({a: 1}).b === undefined")
+
+    def test_math(self):
+        assert run_expr("Math.floor(2.7)") == 2
+        assert run_expr("Math.max(1, 9, 4)") == 9
+        assert run_expr("Math.abs(-3)") == 3
+        assert run_expr("Math.sqrt(16)") == 4
+        assert run_expr("Math.pow(2, 8)") == 256
+
+    def test_number_conversions(self):
+        assert run_expr("Number('42')") == 42
+        assert run_expr("parseInt('101', 2)") == 5
+        assert run_expr("parseFloat('2.5abc')") == 2.5
+        assert run_expr("Number.isInteger(4)") is True
+
+    def test_string_conversion(self):
+        assert run_expr("String(42)") == "42"
+        assert run_expr("String.fromCharCode(97, 98)") == "ab"
+
+    def test_json_round_trip(self):
+        assert run_expr("JSON.parse(JSON.stringify({a: [1, 2]}))") == {"a": [1, 2]}
+
+    def test_set_semantics(self):
+        assert run_expr("Array.from(new Set([1, 2, 2, 3, 1]))") == [1, 2, 3]
+        assert run_expr("new Set([1, 2, 2]).size") == 2
+
+    def test_array_from_string(self):
+        assert run_expr("Array.from('abc')") == ["a", "b", "c"]
+
+    def test_console_log_captured(self):
+        interp = Interpreter()
+        interp.run("console.log('hello', 42)")
+        assert interp.console_log == ["hello 42"]
+
+    def test_date_difference(self):
+        module = load_module(
+            "function days(d1, d2) {\n"
+            "  return Math.abs(new Date(d2).getTime() - new Date(d1).getTime()) / 86400000;\n"
+            "}"
+        )
+        assert module.call("days", {"d1": "2024-01-01", "d2": "2024-01-11"}) == 10
+
+
+class TestModule:
+    def test_function_names(self):
+        module = load_module("function a() {}\nfunction b() {}")
+        assert module.function_names() == ["a", "b"]
+
+    def test_top_level_statements_execute(self):
+        module = load_module("let shared = 10;\nfunction get() { return shared; }")
+        assert module.call("get", {}) == 10
+
+    def test_signature_annotation_recovered(self):
+        module = load_module(
+            "export function f({xs}: {xs: number[]}): number { return xs.length; }"
+        )
+        declaration = module.declaration("f")
+        assert declaration.params[0].annotation == "{ xs: number[] }"
+        assert declaration.return_annotation == "number"

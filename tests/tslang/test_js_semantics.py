@@ -1,0 +1,123 @@
+"""Behavioural tests pinning JavaScript semantics the synthesizer relies on."""
+
+import pytest
+
+from repro.errors import TsRuntimeError
+from repro.tslang import load_module
+
+
+def run_expr(source: str):
+    module = load_module(f"export function main(): any {{ return {source}; }}")
+    return module.call("main", {})
+
+
+class TestNumbers:
+    def test_nan_comparisons_false(self):
+        assert run_expr("NaN < 1") is False
+        assert run_expr("NaN === NaN") is False
+
+    def test_infinity_arithmetic(self):
+        assert run_expr("Infinity + 1 === Infinity")
+        assert run_expr("-1 / 0 === -Infinity")
+
+    def test_zero_over_zero_is_nan(self):
+        assert run_expr("isNaN(0 / 0)") is True
+
+    def test_to_fixed(self):
+        assert run_expr("(2.345).toFixed(2)") == "2.35" or run_expr("(2.345).toFixed(2)") == "2.34"
+        assert run_expr("(5).toFixed(0)") == "5"
+
+    def test_number_tostring(self):
+        assert run_expr("(255).toString()") == "255"
+
+
+class TestStringsAndArrays:
+    def test_split_empty_string_separator(self):
+        assert run_expr("'abc'.split('')") == ["a", "b", "c"]
+
+    def test_split_no_separator(self):
+        assert run_expr("'a b'.split()") == ["a b"]
+
+    def test_join_renders_null_undefined_empty(self):
+        assert run_expr("[1, null, 2].join('-')") == "1--2"
+
+    def test_negative_modulo_in_rotation_idiom(self):
+        # The catalog's rotate uses `k % xs.length` -- JS keeps the sign.
+        assert run_expr("-1 % 3") == -1
+
+    def test_array_tostring_via_concat(self):
+        assert run_expr("'' + [1, 2]") == "1,2"
+
+    def test_sort_stability_with_comparator(self):
+        assert run_expr(
+            "[{k: 'a', v: 2}, {k: 'b', v: 1}, {k: 'c', v: 2}]"
+            ".sort((x, y) => x.v - y.v).map(e => e.k).join('')"
+        ) == "bac"
+
+    def test_shift_unshift(self):
+        module = load_module(
+            "function f() { const xs = [2, 3]; xs.unshift(1); const first = xs.shift(); return [first, xs]; }"
+        )
+        assert module.call("f", {}) == [1, [2, 3]]
+
+    def test_includes_uses_strict_equality(self):
+        assert run_expr("[1, 2].includes('1')") is False
+
+
+class TestScoping:
+    def test_block_scoping(self):
+        module = load_module(
+            "function f() { let x = 1; { let x = 2; } return x; }"
+        )
+        assert module.call("f", {}) == 1
+
+    def test_assignment_crosses_blocks(self):
+        module = load_module(
+            "function f() { let x = 1; { x = 2; } return x; }"
+        )
+        assert module.call("f", {}) == 2
+
+    def test_undeclared_assignment_rejected(self):
+        module = load_module("function f() { ghost = 1; return ghost; }")
+        with pytest.raises(TsRuntimeError):
+            module.call("f", {})
+
+    def test_undefined_variable_read_rejected(self):
+        module = load_module("function f() { return missing; }")
+        with pytest.raises(TsRuntimeError):
+            module.call("f", {})
+
+    def test_loop_variable_captured_per_iteration_for_of(self):
+        module = load_module(
+            "function f() { const fns = [];\n"
+            "  for (const x of [1, 2, 3]) { fns.push(() => x); }\n"
+            "  return fns.map(g => g()); }"
+        )
+        assert module.call("f", {}) == [1, 2, 3]
+
+
+class TestErrors:
+    def test_calling_non_function(self):
+        module = load_module("function f() { const x = 5; return x(); }")
+        with pytest.raises(TsRuntimeError):
+            module.call("f", {})
+
+    def test_property_of_null(self):
+        module = load_module("function f() { const x = null; return x.y; }")
+        with pytest.raises(TsRuntimeError):
+            module.call("f", {})
+
+    def test_unknown_string_method(self):
+        module = load_module("function f() { return 'x'.frobnicate(); }")
+        with pytest.raises(TsRuntimeError):
+            module.call("f", {})
+
+    def test_unknown_constructor(self):
+        module = load_module("function f() { return new Widget(); }")
+        with pytest.raises(TsRuntimeError):
+            module.call("f", {})
+
+    def test_console_output_not_an_error(self):
+        module = load_module("function f() { console.log('dbg'); return 1; }")
+        assert module.call("f", {}) == 1
+        assert module.interpreter.console_log == ["dbg"]

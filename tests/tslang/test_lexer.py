@@ -1,0 +1,114 @@
+"""Unit tests for the TypeScript-subset lexer."""
+
+import pytest
+
+from repro.errors import TsSyntaxError
+from repro.tslang.lexer import tokenize
+from repro.tslang.tokens import EOF, IDENT, KEYWORD, NUMBER, PUNCT, STRING, TEMPLATE
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def values(source):
+    return [token.value for token in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == EOF
+
+    def test_numbers(self):
+        assert values("1 2.5 0.125 1e3 2E-2") == [1.0, 2.5, 0.125, 1000.0, 0.02]
+
+    def test_hex_number(self):
+        assert values("0xff") == [255.0]
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("let answer = compute")
+        assert tokens[0].kind == KEYWORD
+        assert tokens[1].kind == IDENT
+        assert tokens[1].value == "answer"
+        assert tokens[3].value == "compute"
+
+    def test_dollar_and_underscore_identifiers(self):
+        assert values("$x _private") == ["$x", "_private"]
+
+    def test_strings_both_quotes(self):
+        assert values("'abc' \"def\"") == ["abc", "def"]
+
+    def test_string_escapes(self):
+        assert values(r"'a\nb\t\\'") == ["a\nb\t\\"]
+
+    def test_unicode_escape(self):
+        assert values(r"'A'") == ["A"]
+
+    def test_punctuator_maximal_munch(self):
+        assert values("=== == = => >= >") == ["===", "==", "=", "=>", ">=", ">"]
+
+    def test_increment_vs_plus(self):
+        assert values("++ + +=") == ["++", "+", "+="]
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("1 // comment\n2") == [1.0, 2.0]
+
+    def test_block_comment(self):
+        assert values("1 /* hi */ 2") == [1.0, 2.0]
+
+    def test_multiline_block_comment(self):
+        assert values("1 /* a\nb\nc */ 2") == [1.0, 2.0]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(TsSyntaxError):
+            tokenize("/* never closed")
+
+
+class TestTemplates:
+    def test_plain_template(self):
+        tokens = tokenize("`hello`")
+        assert tokens[0].kind == TEMPLATE
+        assert tokens[0].value == ["hello"]
+
+    def test_interpolation(self):
+        tokens = tokenize("`a${x + 1}b`")
+        parts = tokens[0].value
+        assert parts[0] == "a"
+        assert parts[1] == ("expr", "x + 1")
+        assert parts[2] == "b"
+
+    def test_nested_braces_in_interpolation(self):
+        tokens = tokenize("`${ {a: 1}.a }`")
+        assert tokens[0].value[0][0] == "expr"
+
+    def test_unterminated_template(self):
+        with pytest.raises(TsSyntaxError):
+            tokenize("`never closed")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(TsSyntaxError):
+            tokenize("'oops")
+
+    def test_newline_in_string(self):
+        with pytest.raises(TsSyntaxError):
+            tokenize("'line\nbreak'")
+
+    def test_unexpected_character(self):
+        with pytest.raises(TsSyntaxError):
+            tokenize("let x = #")
+
+    def test_error_has_position(self):
+        with pytest.raises(TsSyntaxError) as excinfo:
+            tokenize("a\nb #")
+        assert excinfo.value.line == 2

@@ -1,0 +1,248 @@
+"""Unit tests for the TypeScript-subset parser."""
+
+import pytest
+
+from repro.errors import TsSyntaxError
+from repro.tslang import nodes
+from repro.tslang.parser import parse_expression, parse_program
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        tree = parse_expression("1 + 2 * 3")
+        assert isinstance(tree, nodes.Binary)
+        assert tree.op == "+"
+        assert isinstance(tree.right, nodes.Binary)
+        assert tree.right.op == "*"
+
+    def test_power_right_associative(self):
+        tree = parse_expression("2 ** 3 ** 2")
+        assert tree.op == "**"
+        assert isinstance(tree.right, nodes.Binary)
+        assert tree.right.op == "**"
+
+    def test_comparison_chain(self):
+        tree = parse_expression("a < b === c")
+        assert tree.op == "==="
+
+    def test_logical_operators(self):
+        tree = parse_expression("a && b || c")
+        assert isinstance(tree, nodes.Logical)
+        assert tree.op == "||"
+
+    def test_nullish(self):
+        tree = parse_expression("a ?? b")
+        assert tree.op == "??"
+
+    def test_ternary(self):
+        tree = parse_expression("a ? b : c")
+        assert isinstance(tree, nodes.Conditional)
+
+    def test_unary(self):
+        tree = parse_expression("!-x")
+        assert isinstance(tree, nodes.Unary)
+        assert tree.op == "!"
+        assert isinstance(tree.operand, nodes.Unary)
+
+    def test_member_chain(self):
+        tree = parse_expression("a.b.c")
+        assert isinstance(tree, nodes.Member)
+        assert tree.name == "c"
+
+    def test_index(self):
+        tree = parse_expression("xs[i + 1]")
+        assert isinstance(tree, nodes.Index)
+
+    def test_call_with_arguments(self):
+        tree = parse_expression("f(1, 'two', g())")
+        assert isinstance(tree, nodes.Call)
+        assert len(tree.arguments) == 3
+
+    def test_method_call(self):
+        tree = parse_expression("xs.map(f)")
+        assert isinstance(tree, nodes.Call)
+        assert isinstance(tree.callee, nodes.Member)
+
+    def test_array_literal(self):
+        tree = parse_expression("[1, 2, 3]")
+        assert isinstance(tree, nodes.ArrayLit)
+        assert len(tree.elements) == 3
+
+    def test_spread_in_array(self):
+        tree = parse_expression("[...xs, 1]")
+        assert isinstance(tree.elements[0], nodes.SpreadElement)
+
+    def test_object_literal(self):
+        tree = parse_expression("{a: 1, 'b c': 2}")
+        assert isinstance(tree, nodes.ObjectLit)
+        assert [key for key, _ in tree.entries] == ["a", "b c"]
+
+    def test_object_shorthand(self):
+        tree = parse_expression("{a}")
+        key, value = tree.entries[0]
+        assert key == "a"
+        assert isinstance(value, nodes.Identifier)
+
+    def test_arrow_single_param(self):
+        tree = parse_expression("x => x + 1")
+        assert isinstance(tree, nodes.Arrow)
+        assert tree.params == ["x"]
+        assert tree.is_expression
+
+    def test_arrow_multi_param(self):
+        tree = parse_expression("(a, b) => a - b")
+        assert tree.params == ["a", "b"]
+
+    def test_arrow_with_block_body(self):
+        tree = parse_expression("(a) => { return a; }")
+        assert not tree.is_expression
+
+    def test_arrow_with_annotations(self):
+        tree = parse_expression("(a: number, b: number) => a + b")
+        assert tree.params == ["a", "b"]
+
+    def test_parenthesized_expression_not_arrow(self):
+        tree = parse_expression("(1 + 2) * 3")
+        assert isinstance(tree, nodes.Binary)
+        assert tree.op == "*"
+
+    def test_new_set(self):
+        tree = parse_expression("new Set(xs)")
+        assert isinstance(tree, nodes.New)
+
+    def test_assignment(self):
+        tree = parse_expression("x = y = 1")
+        assert isinstance(tree, nodes.Assign)
+        assert isinstance(tree.value, nodes.Assign)
+
+    def test_compound_assignment(self):
+        tree = parse_expression("x += 2")
+        assert tree.op == "+="
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(TsSyntaxError):
+            parse_expression("1 = 2")
+
+    def test_postfix_update(self):
+        tree = parse_expression("i++")
+        assert isinstance(tree, nodes.Update)
+        assert not tree.prefix
+
+    def test_template_literal_expression(self):
+        tree = parse_expression("`n = ${n}`")
+        assert isinstance(tree, nodes.TemplateLit)
+        assert isinstance(tree.parts[1], nodes.Identifier)
+
+
+class TestStatements:
+    def test_function_declaration(self):
+        program = parse_program(
+            "export function add({x, y}: {x: number, y: number}): number {\n"
+            "  return x + y;\n"
+            "}"
+        )
+        fn = program.functions()["add"]
+        assert fn.exported
+        assert fn.params[0].destructured
+        assert fn.params[0].names == ["x", "y"]
+        assert fn.return_annotation == "number"
+
+    def test_destructured_param_annotation_captured(self):
+        program = parse_program(
+            "function f({a}: {a: string[]}): string { return a[0]; }"
+        )
+        fn = program.functions()["f"]
+        assert "string[]" in fn.params[0].annotation
+
+    def test_plain_params(self):
+        program = parse_program("function f(a, b) { return a; }")
+        fn = program.functions()["f"]
+        assert [param.names[0] for param in fn.params] == ["a", "b"]
+        assert not fn.params[0].destructured
+
+    def test_var_declarations(self):
+        program = parse_program("let a = 1, b;\nconst c = 'x';")
+        decl = program.statements[0]
+        assert isinstance(decl, nodes.VarDecl)
+        assert decl.kind == "let"
+        assert len(decl.declarations) == 2
+
+    def test_var_with_type_annotation(self):
+        program = parse_program("let total: number = 0;")
+        assert isinstance(program.statements[0], nodes.VarDecl)
+
+    def test_if_else(self):
+        program = parse_program("if (a) { b; } else { c; }")
+        statement = program.statements[0]
+        assert isinstance(statement, nodes.If)
+        assert statement.alternate is not None
+
+    def test_else_if_chain(self):
+        program = parse_program("if (a) x; else if (b) y; else z;")
+        statement = program.statements[0]
+        assert isinstance(statement.alternate, nodes.If)
+
+    def test_classic_for(self):
+        program = parse_program("for (let i = 0; i < 10; i++) { total += i; }")
+        statement = program.statements[0]
+        assert isinstance(statement, nodes.For)
+
+    def test_for_of(self):
+        program = parse_program("for (const x of xs) { total += x; }")
+        statement = program.statements[0]
+        assert isinstance(statement, nodes.ForOf)
+        assert statement.name == "x"
+
+    def test_while(self):
+        program = parse_program("while (n > 1) { n -= 1; }")
+        assert isinstance(program.statements[0], nodes.While)
+
+    def test_do_while(self):
+        program = parse_program("do { n += 1; } while (n < 3);")
+        assert isinstance(program.statements[0], nodes.DoWhile)
+
+    def test_break_continue(self):
+        program = parse_program("while (true) { break; }\nwhile (true) { continue; }")
+        assert isinstance(program.statements[0].body.statements[0], nodes.Break)
+        assert isinstance(program.statements[1].body.statements[0], nodes.Continue)
+
+    def test_throw(self):
+        program = parse_program("throw new Error('bad');")
+        assert isinstance(program.statements[0], nodes.Throw)
+
+    def test_semicolons_optional(self):
+        program = parse_program("let a = 1\nlet b = 2\nreturn_like(a)\n")
+        assert len(program.statements) == 3
+
+    def test_return_without_value(self):
+        program = parse_program("function f() { return; }")
+        body = program.functions()["f"].body
+        assert body.statements[0].value is None
+
+    def test_stray_semicolons_tolerated(self):
+        program = parse_program(";;let a = 1;;")
+        assert len(program.statements) == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "function () {}",
+            "function f( { return 1; }",
+            "let = 5;",
+            "if a) {}",
+            "for (;;",
+            "x ===",
+            "{ unterminated",
+            "f(1,",
+        ],
+    )
+    def test_rejects_malformed(self, source):
+        with pytest.raises(TsSyntaxError):
+            parse_program(source)
+
+    def test_error_carries_location(self):
+        with pytest.raises(TsSyntaxError) as excinfo:
+            parse_program("let x = ;")
+        assert excinfo.value.line >= 1

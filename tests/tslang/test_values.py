@@ -1,0 +1,175 @@
+"""Unit tests for the interpreter's value model (JS semantics corners)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TsRuntimeError
+from repro.tslang.values import (
+    UNDEFINED,
+    JSMap,
+    JSSet,
+    from_python,
+    loose_equals,
+    strict_equals,
+    to_display_string,
+    to_number,
+    to_python,
+    truthy,
+    type_of,
+)
+
+
+class TestTruthiness:
+    @pytest.mark.parametrize("value", [0, 0.0, "", None, UNDEFINED, float("nan"), False])
+    def test_falsy(self, value):
+        assert not truthy(value)
+
+    @pytest.mark.parametrize("value", [1, -1, "0", " ", [], {}, True, [0]])
+    def test_truthy(self, value):
+        assert truthy(value)
+
+
+class TestDisplayString:
+    def test_integral_float(self):
+        assert to_display_string(5.0) == "5"
+
+    def test_fractional(self):
+        assert to_display_string(2.5) == "2.5"
+
+    def test_specials(self):
+        assert to_display_string(float("nan")) == "NaN"
+        assert to_display_string(float("inf")) == "Infinity"
+        assert to_display_string(None) == "null"
+        assert to_display_string(UNDEFINED) == "undefined"
+        assert to_display_string(True) == "true"
+
+    def test_array_joins_with_commas(self):
+        assert to_display_string([1.0, 2.0]) == "1,2"
+
+    def test_object(self):
+        assert to_display_string({"a": 1}) == "[object Object]"
+
+
+class TestToNumber:
+    def test_bool(self):
+        assert to_number(True) == 1.0
+        assert to_number(False) == 0.0
+
+    def test_null_and_undefined(self):
+        assert to_number(None) == 0.0
+        assert math.isnan(to_number(UNDEFINED))
+
+    def test_numeric_strings(self):
+        assert to_number("42") == 42.0
+        assert to_number("  2.5  ") == 2.5
+        assert to_number("") == 0.0
+        assert math.isnan(to_number("abc"))
+
+
+class TestEquality:
+    def test_strict_numbers(self):
+        assert strict_equals(1, 1.0)
+        assert not strict_equals(1, "1")
+        assert not strict_equals(True, 1)
+
+    def test_strict_objects_by_identity(self):
+        xs = [1]
+        assert strict_equals(xs, xs)
+        assert not strict_equals([1], [1])
+
+    def test_loose_coercions(self):
+        assert loose_equals("1", 1)
+        assert loose_equals(None, UNDEFINED)
+        assert loose_equals(True, 1)
+        assert not loose_equals("x", 1)
+
+
+class TestTypeOf:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (UNDEFINED, "undefined"),
+            (True, "boolean"),
+            (1.5, "number"),
+            ("x", "string"),
+            ([1], "object"),
+            ({"a": 1}, "object"),
+            (None, "object"),
+        ],
+    )
+    def test_type_of(self, value, expected):
+        assert type_of(value) == expected
+
+
+class TestJSSet:
+    def test_insertion_order_dedupe(self):
+        s = JSSet([3.0, 1.0, 3.0, 2.0, 1.0])
+        assert s.items == [3.0, 1.0, 2.0]
+        assert s.size == 3
+
+    def test_bool_and_number_distinct(self):
+        s = JSSet([True, 1.0])
+        assert s.size == 2
+
+    def test_delete(self):
+        s = JSSet([1.0, 2.0])
+        assert s.delete(1.0)
+        assert not s.delete(9.0)
+        assert s.items == [2.0]
+
+
+class TestJSMap:
+    def test_set_get_update(self):
+        m = JSMap()
+        m.set("a", 1.0)
+        m.set("a", 2.0)
+        assert m.get("a") == 2.0
+        assert m.size == 1
+
+    def test_missing_is_undefined(self):
+        assert JSMap().get("missing") is UNDEFINED
+
+    def test_delete(self):
+        m = JSMap()
+        m.set("a", 1.0)
+        assert m.delete("a")
+        assert not m.has("a")
+
+
+class TestConversions:
+    def test_round_trip_simple(self):
+        for value in (1, 2.5, "x", True, None, [1, "a"], {"k": [1]}):
+            assert to_python(from_python(value)) == value
+
+    def test_to_python_integralizes(self):
+        assert to_python(5.0) == 5
+        assert isinstance(to_python(5.0), int)
+        assert to_python(5.5) == 5.5
+
+    def test_undefined_becomes_none(self):
+        assert to_python(UNDEFINED) is None
+
+    def test_set_becomes_list(self):
+        assert to_python(JSSet([1.0, 2.0])) == [1, 2]
+
+    def test_from_python_rejects_exotics(self):
+        with pytest.raises(TsRuntimeError):
+            from_python(object())
+
+    @given(
+        st.recursive(
+            st.one_of(
+                st.integers(min_value=-(2**40), max_value=2**40),
+                st.booleans(),
+                st.text(max_size=8),
+                st.none(),
+            ),
+            lambda children: st.lists(children, max_size=3),
+            max_leaves=10,
+        )
+    )
+    def test_round_trip_property(self, value):
+        assert to_python(from_python(value)) == value

@@ -1,0 +1,120 @@
+"""Unit tests for atomic types."""
+
+import pytest
+
+import repro.types as t
+from repro.errors import TypeMismatchError
+
+
+class TestIntType:
+    def test_renders_as_number(self):
+        assert t.INT.typescript() == "number"
+
+    def test_accepts_int(self):
+        assert t.INT.validate(5)
+        assert t.INT.validate(-3)
+        assert t.INT.validate(0)
+
+    def test_accepts_integral_float(self):
+        assert t.INT.validate(7.0)
+
+    def test_rejects_fractional_float(self):
+        assert not t.INT.validate(7.5)
+
+    def test_rejects_bool(self):
+        assert not t.INT.validate(True)
+        assert not t.INT.validate(False)
+
+    def test_rejects_string(self):
+        assert not t.INT.validate("5")
+
+    def test_coerces_integral_float_to_int(self):
+        coerced = t.INT.coerce(7.0)
+        assert coerced == 7
+        assert isinstance(coerced, int)
+
+    def test_coerce_raises_with_issues(self):
+        with pytest.raises(TypeMismatchError) as excinfo:
+            t.INT.coerce("five")
+        assert excinfo.value.issues
+
+    def test_tag(self):
+        assert t.INT.tag == "number"
+
+
+class TestFloatType:
+    def test_renders_as_number(self):
+        assert t.FLOAT.typescript() == "number"
+
+    def test_accepts_int_and_float(self):
+        assert t.FLOAT.validate(3)
+        assert t.FLOAT.validate(3.25)
+
+    def test_rejects_bool(self):
+        assert not t.FLOAT.validate(True)
+
+    def test_coerces_int_to_float(self):
+        coerced = t.FLOAT.coerce(3)
+        assert coerced == 3.0
+        assert isinstance(coerced, float)
+
+
+class TestBoolType:
+    def test_renders_as_boolean(self):
+        assert t.BOOL.typescript() == "boolean"
+
+    def test_accepts_bools_only(self):
+        assert t.BOOL.validate(True)
+        assert t.BOOL.validate(False)
+        assert not t.BOOL.validate(1)
+        assert not t.BOOL.validate(0)
+        assert not t.BOOL.validate("true")
+
+
+class TestStrType:
+    def test_renders_as_string(self):
+        assert t.STR.typescript() == "string"
+
+    def test_accepts_strings_only(self):
+        assert t.STR.validate("hello")
+        assert t.STR.validate("")
+        assert not t.STR.validate(5)
+        assert not t.STR.validate(None)
+
+
+class TestNoneType:
+    def test_renders_as_void(self):
+        assert t.NONE.typescript() == "void"
+
+    def test_accepts_none_only(self):
+        assert t.NONE.validate(None)
+        assert not t.NONE.validate(0)
+        assert not t.NONE.validate("")
+
+    def test_is_void(self):
+        assert t.NONE.is_void()
+        assert not t.INT.is_void()
+
+
+class TestAnyType:
+    def test_renders_as_any(self):
+        assert t.ANY.typescript() == "any"
+
+    @pytest.mark.parametrize("value", [None, 1, 1.5, "x", True, [1], {"a": 1}])
+    def test_accepts_everything(self, value):
+        assert t.ANY.validate(value)
+
+
+class TestEquality:
+    def test_atoms_are_interned_equal(self):
+        import repro.types.atoms as atoms
+
+        assert atoms.IntType() == t.INT
+        assert atoms.IntType() is not t.INT
+        assert hash(atoms.IntType()) == hash(t.INT)
+
+    def test_int_and_float_differ(self):
+        assert t.INT != t.FLOAT
+
+    def test_not_equal_to_non_type(self):
+        assert t.INT != "number"

@@ -1,0 +1,147 @@
+"""Unit tests for composite types: lists, records, unions, tuples."""
+
+import pytest
+
+import repro.types as t
+from repro.errors import TypeMismatchError
+
+
+class TestListType:
+    def test_render(self):
+        assert t.list(t.int).typescript() == "number[]"
+        assert t.list(t.list(t.str)).typescript() == "string[][]"
+
+    def test_union_element_is_parenthesized(self):
+        elem = t.union(t.literal("a"), t.literal("b"))
+        assert t.list(elem).typescript() == "('a' | 'b')[]"
+
+    def test_validate(self):
+        numbers = t.list(t.int)
+        assert numbers.validate([1, 2, 3])
+        assert numbers.validate([])
+        assert not numbers.validate([1, "two"])
+        assert not numbers.validate("not a list")
+
+    def test_issue_paths_carry_indices(self):
+        issues = t.list(t.int).check([1, "x", 3.5])
+        paths = [issue.path for issue in issues]
+        assert "$[1]" in paths
+        assert "$[2]" in paths
+
+    def test_coerce_elementwise(self):
+        assert t.list(t.int).coerce([1.0, 2.0]) == [1, 2]
+
+    def test_requires_type_element(self):
+        with pytest.raises(TypeError):
+            t.list("int")
+
+
+class TestRecordType:
+    def test_render(self):
+        book = t.dict({"title": t.str, "year": t.int})
+        assert book.typescript() == "{ title: string; year: number }"
+
+    def test_validate(self):
+        point = t.dict({"x": t.int, "y": t.int})
+        assert point.validate({"x": 1, "y": 2})
+        assert not point.validate({"x": 1})
+        assert not point.validate([1, 2])
+        assert not point.validate({"x": 1, "y": "two"})
+
+    def test_extra_keys_tolerated_and_dropped(self):
+        point = t.dict({"x": t.int, "y": t.int})
+        value = {"x": 1, "y": 2, "comment": "llm chatter"}
+        assert point.validate(value)
+        assert point.coerce(value) == {"x": 1, "y": 2}
+
+    def test_missing_field_reported_by_name(self):
+        point = t.dict({"x": t.int, "y": t.int})
+        issues = point.check({"x": 1})
+        assert any("'y'" in str(issue) for issue in issues)
+
+    def test_nested_paths(self):
+        shape = t.dict({"inner": t.dict({"n": t.int})})
+        issues = shape.check({"inner": {"n": "bad"}})
+        assert issues[0].path == "$.inner.n"
+
+    def test_rejects_empty(self):
+        with pytest.raises(TypeError):
+            t.dict({})
+
+    def test_field_order_does_not_affect_equality(self):
+        a = t.dict({"x": t.int, "y": t.str})
+        b = t.dict({"y": t.str, "x": t.int})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestUnionType:
+    def test_render(self):
+        sentiment = t.union(t.literal("positive"), t.literal("negative"))
+        assert sentiment.typescript() == "'positive' | 'negative'"
+
+    def test_flattens_and_dedupes(self):
+        inner = t.union(t.literal("a"), t.literal("b"))
+        outer = t.union(inner, t.literal("b"), t.literal("c"))
+        assert outer.typescript() == "'a' | 'b' | 'c'"
+
+    def test_collapses_single_member(self):
+        assert t.union(t.int, t.int) == t.INT
+
+    def test_validate_any_member(self):
+        mixed = t.union(t.int, t.str)
+        assert mixed.validate(5)
+        assert mixed.validate("five")
+        assert not mixed.validate(None)
+
+    def test_coerce_uses_first_matching_member(self):
+        mixed = t.union(t.int, t.float)
+        assert mixed.coerce(2.0) == 2
+        assert isinstance(mixed.coerce(2.0), int)
+
+    def test_enum_detection(self):
+        enum = t.union(t.literal("yes"), t.literal("no"))
+        assert enum.is_enum_of_literals()
+        mixed = t.union(t.literal("yes"), t.int)
+        assert not mixed.is_enum_of_literals()
+
+    def test_order_matters_for_equality(self):
+        a = t.union(t.int, t.str)
+        b = t.union(t.str, t.int)
+        assert a != b
+
+
+def test_union_class_requires_two_distinct():
+    from repro.types.composites import UnionType
+
+    with pytest.raises(TypeError):
+        UnionType([t.INT])
+
+
+class TestTupleType:
+    def test_render(self):
+        pair = t.tuple_of(t.int, t.str)
+        assert pair.typescript() == "[number, string]"
+
+    def test_validate_length_and_members(self):
+        pair = t.tuple_of(t.int, t.int)
+        assert pair.validate([1, 2])
+        assert not pair.validate([1])
+        assert not pair.validate([1, 2, 3])
+        assert not pair.validate([1, "x"])
+        assert not pair.validate("nope")
+
+    def test_coerce(self):
+        pair = t.tuple_of(t.int, t.float)
+        assert pair.coerce([1.0, 2]) == [1, 2.0]
+
+
+class TestWalk:
+    def test_walk_visits_all_components(self):
+        shape = t.list(t.dict({"x": t.int, "tag": t.union(t.literal("a"), t.literal("b"))}))
+        tags = [node.tag for node in shape.walk()]
+        assert tags[0] == "Array"
+        assert "object" in tags
+        assert "number" in tags
+        assert "union" in tags
+        assert tags.count("literal") == 2

@@ -1,0 +1,91 @@
+"""Unit tests for type inference from example values."""
+
+import pytest
+
+import repro.types as t
+from repro.types import infer_type, unify, unify_all
+
+
+class TestInferScalars:
+    def test_int(self):
+        assert infer_type(5) == t.INT
+
+    def test_bool_before_int(self):
+        assert infer_type(True) == t.BOOL
+
+    def test_float(self):
+        assert infer_type(2.5) == t.FLOAT
+
+    def test_str(self):
+        assert infer_type("hi") == t.STR
+
+    def test_none(self):
+        assert infer_type(None) == t.NONE
+
+
+class TestInferContainers:
+    def test_homogeneous_list(self):
+        assert infer_type([1, 2, 3]) == t.list(t.int)
+
+    def test_numeric_list_widens(self):
+        assert infer_type([1, 2.5]) == t.list(t.float)
+
+    def test_mixed_list_unions(self):
+        assert infer_type([1, "a"]) == t.list(t.union(t.int, t.str))
+
+    def test_empty_list(self):
+        assert infer_type([]) == t.list(t.any)
+
+    def test_dict(self):
+        assert infer_type({"x": 1, "y": "a"}) == t.dict({"x": t.int, "y": t.str})
+
+    def test_tuple(self):
+        assert infer_type((1, "a")) == t.tuple_of(t.int, t.str)
+
+    def test_nested(self):
+        value = [{"title": "a", "year": 1}, {"title": "b", "year": 2}]
+        assert infer_type(value) == t.list(t.dict({"title": t.str, "year": t.int}))
+
+    def test_unsupported(self):
+        with pytest.raises(TypeError):
+            infer_type(object())
+
+
+class TestUnify:
+    def test_identical(self):
+        assert unify(t.INT, t.INT) == t.INT
+
+    def test_numeric_widening(self):
+        assert unify(t.INT, t.FLOAT) == t.FLOAT
+        assert unify(t.FLOAT, t.INT) == t.FLOAT
+
+    def test_any_absorbs(self):
+        assert unify(t.ANY, t.STR) == t.ANY
+
+    def test_lists_unify_elementwise(self):
+        assert unify(t.list(t.int), t.list(t.float)) == t.list(t.float)
+
+    def test_records_with_same_fields(self):
+        a = t.dict({"x": t.int})
+        b = t.dict({"x": t.float})
+        assert unify(a, b) == t.dict({"x": t.float})
+
+    def test_records_with_different_fields_union(self):
+        a = t.dict({"x": t.int})
+        b = t.dict({"y": t.int})
+        assert unify(a, b) == t.union(a, b)
+
+    def test_fallback_union(self):
+        assert unify(t.STR, t.BOOL) == t.union(t.str, t.bool)
+
+    def test_unify_all(self):
+        assert unify_all([t.INT, t.FLOAT, t.INT]) == t.FLOAT
+
+    def test_unify_all_empty(self):
+        with pytest.raises(ValueError):
+            unify_all([])
+
+    def test_inferred_examples_unify(self):
+        outputs = [[1, 2], [3.5], []]
+        unified = unify_all([infer_type(o) for o in outputs])
+        assert unified == t.list(t.any)

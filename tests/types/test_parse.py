@@ -1,0 +1,150 @@
+"""Unit tests for the TypeScript type-expression parser."""
+
+import pytest
+
+import repro.types as t
+from repro.errors import TypeSyntaxError
+from repro.types import parse_type
+
+
+class TestAtoms:
+    def test_number(self):
+        assert parse_type("number") == t.FLOAT
+
+    def test_string(self):
+        assert parse_type("string") == t.STR
+
+    def test_boolean(self):
+        assert parse_type("boolean") == t.BOOL
+
+    def test_any(self):
+        assert parse_type("any") == t.ANY
+
+    @pytest.mark.parametrize("spelling", ["void", "null", "undefined"])
+    def test_void_spellings(self, spelling):
+        assert parse_type(spelling) == t.NONE
+
+
+class TestLiterals:
+    def test_string_literal_single_quotes(self):
+        assert parse_type("'positive'") == t.literal("positive")
+
+    def test_string_literal_double_quotes(self):
+        assert parse_type('"negative"') == t.literal("negative")
+
+    def test_number_literal(self):
+        assert parse_type("123") == t.literal(123)
+
+    def test_negative_number_literal(self):
+        assert parse_type("-4") == t.literal(-4)
+
+    def test_float_literal(self):
+        assert parse_type("1.5") == t.literal(1.5)
+
+    def test_boolean_literals(self):
+        assert parse_type("true") == t.literal(True)
+        assert parse_type("false") == t.literal(False)
+
+    def test_escaped_quote_in_literal(self):
+        assert parse_type(r"'it\'s'") == t.literal("it's")
+
+
+class TestComposites:
+    def test_array(self):
+        assert parse_type("number[]") == t.list(t.float)
+
+    def test_nested_array(self):
+        assert parse_type("string[][]") == t.list(t.list(t.str))
+
+    def test_array_generic_syntax(self):
+        assert parse_type("Array<number>") == t.list(t.float)
+
+    def test_union(self):
+        expected = t.union(t.literal("positive"), t.literal("negative"))
+        assert parse_type("'positive' | 'negative'") == expected
+
+    def test_union_dedupes(self):
+        assert parse_type("'a' | 'a'") == t.literal("a")
+
+    def test_parenthesized_union_array(self):
+        parsed = parse_type("('a' | 'b')[]")
+        assert parsed == t.list(t.union(t.literal("a"), t.literal("b")))
+
+    def test_record(self):
+        parsed = parse_type("{ x: number; y: number }")
+        assert parsed == t.dict({"x": t.float, "y": t.float})
+
+    def test_record_comma_separator(self):
+        parsed = parse_type("{ x: number, y: string }")
+        assert parsed == t.dict({"x": t.float, "y": t.str})
+
+    def test_record_trailing_separator(self):
+        parsed = parse_type("{ x: number; }")
+        assert parsed == t.dict({"x": t.float})
+
+    def test_listing2_response_type(self):
+        text = "{ reason: string; answer: { title: string; author: string; year: number }[] }"
+        parsed = parse_type(text)
+        book = t.dict({"title": t.str, "author": t.str, "year": t.float})
+        assert parsed == t.dict({"reason": t.str, "answer": t.list(book)})
+
+    def test_tuple(self):
+        assert parse_type("[number, string]") == t.tuple_of(t.float, t.str)
+
+    def test_quoted_field_name(self):
+        parsed = parse_type("{ 'weird key': number }")
+        assert parsed == t.dict({"weird key": t.float})
+
+
+class TestRoundTrip:
+    """Rendering a parsed type reproduces the canonical spelling."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "number",
+            "string",
+            "boolean",
+            "any",
+            "void",
+            "number[]",
+            "string[][]",
+            "'positive' | 'negative'",
+            "('a' | 'b')[]",
+            "{ x: number; y: number }",
+            "{ title: string; author: string; year: number }[]",
+            "[number, string]",
+            "123",
+            "true",
+            "number | string",
+        ],
+    )
+    def test_round_trip(self, text):
+        assert parse_type(text).typescript() == text
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "number[",
+            "{ x: }",
+            "{ }",
+            "'unterminated",
+            "number |",
+            "mystery_type",
+            "number]",
+            "number number",
+            "[“",
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(TypeSyntaxError):
+            parse_type(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(TypeSyntaxError) as excinfo:
+            parse_type("number | | string")
+        assert excinfo.value.position >= 0

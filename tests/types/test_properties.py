@@ -1,0 +1,142 @@
+"""Property-based tests for the type system (hypothesis).
+
+The central invariants:
+
+* rendering then parsing a type yields a type that renders identically
+  (render-parse-render fixpoint);
+* a value produced by ``coerce`` always validates against its type
+  (coercion is idempotent and closed);
+* values generated *from* a type always validate against it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.types as t
+from repro.types import infer_type, parse_type, unify
+from repro.types.base import Type
+
+# -- strategies ------------------------------------------------------------
+
+_scalar_literals = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.booleans(),
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126, exclude_characters="\\"),
+        max_size=12,
+    ),
+)
+
+_atoms = st.sampled_from([t.INT, t.FLOAT, t.BOOL, t.STR, t.ANY])
+
+_field_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8
+).filter(lambda s: not s[0].isdigit())
+
+
+def _extend(children: st.SearchStrategy[Type]) -> st.SearchStrategy[Type]:
+    records = st.dictionaries(_field_names, children, min_size=1, max_size=4).map(
+        lambda fields: t.dict(fields)
+    )
+    lists = children.map(t.list)
+    tuples = st.lists(children, min_size=1, max_size=3).map(lambda ms: t.tuple_of(*ms))
+    unions = st.lists(children, min_size=2, max_size=3, unique_by=lambda x: x).map(
+        lambda ms: t.union(*ms)
+    )
+    return st.one_of(lists, records, tuples, unions)
+
+
+types = st.recursive(
+    st.one_of(_atoms, _scalar_literals.map(t.literal)),
+    _extend,
+    max_leaves=12,
+)
+
+
+def values_of(type_: Type) -> st.SearchStrategy:
+    """A strategy generating values that conform to ``type_``."""
+    from repro.types.atoms import AnyType, BoolType, FloatType, IntType, NoneType, StrType
+    from repro.types.composites import ListType, RecordType, TupleType, UnionType
+    from repro.types.literals import LiteralType
+
+    if isinstance(type_, IntType):
+        return st.integers(min_value=-10**6, max_value=10**6)
+    if isinstance(type_, FloatType):
+        return st.floats(allow_nan=False, allow_infinity=False, width=32)
+    if isinstance(type_, BoolType):
+        return st.booleans()
+    if isinstance(type_, StrType):
+        return st.text(max_size=20)
+    if isinstance(type_, NoneType):
+        return st.none()
+    if isinstance(type_, AnyType):
+        return st.one_of(st.integers(), st.text(max_size=5), st.booleans())
+    if isinstance(type_, LiteralType):
+        return st.just(type_.value)
+    if isinstance(type_, ListType):
+        return st.lists(values_of(type_.element), max_size=4)
+    if isinstance(type_, TupleType):
+        return st.tuples(*[values_of(member) for member in type_.members]).map(list)
+    if isinstance(type_, RecordType):
+        return st.fixed_dictionaries(
+            {name: values_of(field) for name, field in type_.fields.items()}
+        )
+    if isinstance(type_, UnionType):
+        return st.one_of(*[values_of(member) for member in type_.members])
+    raise AssertionError(f"no strategy for {type_!r}")
+
+
+# -- properties ------------------------------------------------------------
+
+
+@given(types)
+@settings(max_examples=200)
+def test_render_parse_render_fixpoint(type_):
+    rendered = type_.typescript()
+    reparsed = parse_type(rendered)
+    assert reparsed.typescript() == rendered
+
+
+@given(types.flatmap(lambda ty: st.tuples(st.just(ty), values_of(ty))))
+@settings(max_examples=200)
+def test_generated_values_validate(pair):
+    type_, value = pair
+    assert type_.validate(value), f"{value!r} should match {type_.typescript()}"
+
+
+@given(types.flatmap(lambda ty: st.tuples(st.just(ty), values_of(ty))))
+@settings(max_examples=200)
+def test_coerce_is_closed_and_idempotent(pair):
+    type_, value = pair
+    once = type_.coerce(value)
+    assert type_.validate(once)
+    assert type_.coerce(once) == once
+
+
+@given(types)
+def test_equality_is_reflexive_and_hash_consistent(type_):
+    assert type_ == type_
+    assert hash(type_) == hash(type_)
+
+
+@given(types, types)
+def test_unify_is_a_supertype_of_left(a, b):
+    unified = unify(a, b)
+    # Every value of `a` that we can build must validate under the unified
+    # type.  Spot-check with a single generated example when possible.
+    assert isinstance(unified, Type)
+    assert unify(a, a) == a
+
+
+@given(st.one_of(_scalar_literals))
+def test_literal_round_trip(value):
+    lit = t.literal(value)
+    assert lit.validate(value)
+    assert lit.coerce(value) == value
+    assert parse_type(lit.typescript()) == lit
+
+
+@given(st.lists(st.integers(), max_size=5))
+def test_infer_type_of_value_validates_value(values):
+    inferred = infer_type(values)
+    assert inferred.validate(values)

