@@ -7,10 +7,16 @@ Run with::
 Everything below runs against the bundled simulated LLM -- no network, no
 API key -- but the code is exactly what you would write against a hosted
 model.
+
+Sections 1-3 use the classic module-level API (unchanged from the paper's
+implementation); sections 4-6 show the Session front door: isolated
+state, batched ``map()`` execution, and async calls.
 """
 
+import asyncio
+
 import repro.types as t
-from repro import ask, define
+from repro import Session, ask, define
 
 # ---------------------------------------------------------------------------
 # 1. One-shot ask: type-guided output control.
@@ -54,3 +60,54 @@ print("\nThree classic books on compilers:")
 for book in books:
     print(f"  {book['year']}: {book['title']} ({book['author']})")
 assert len(books) == 3
+
+# ---------------------------------------------------------------------------
+# 4. Sessions: per-workload config, client, and accounting.
+#
+# A Session takes a snapshot of the configuration and owns a private
+# client, so its stats and virtual clock never mix with other sessions'
+# (the module-level API above runs on a default session that tracks the
+# global configuration -- old code keeps working unchanged).
+# ---------------------------------------------------------------------------
+
+session = Session(model="sim-gpt-4", cache_dir=None)
+
+answer = session.ask(t.int, "Calculate the factorial of {{n}}.", n=6)
+print(f"\nsession.ask() -> {answer}")
+assert answer == 720
+print(f"session accounting: {session.stats}, {session.clock.elapsed_s:.1f}s simulated")
+
+# ---------------------------------------------------------------------------
+# 5. Batched execution: fan a dataset out over a worker pool.
+#
+# map() returns outcomes in input order, captures per-item failures
+# instead of aborting the batch, deduplicates identical bindings, and
+# charges the virtual clock with the *parallel* wall-clock.
+# ---------------------------------------------------------------------------
+
+factorial = session.define(t.int, "Calculate the factorial of {{n}}.")
+batch = factorial.map([{"n": n} for n in range(1, 9)], max_concurrency=8)
+
+print(f"\nfactorial.map(1..8) -> {list(batch)}")
+print(
+    f"virtual wall-clock {batch.wall_s:.1f}s vs sequential "
+    f"{batch.sequential_s:.1f}s ({batch.speedup:.1f}x speedup)"
+)
+assert list(batch) == [1, 2, 6, 24, 120, 720, 5040, 40320]
+assert batch.wall_s < batch.sequential_s
+
+# ---------------------------------------------------------------------------
+# 6. Async execution: the same calls, awaitable.
+# ---------------------------------------------------------------------------
+
+
+async def concurrent_asks() -> list[int]:
+    return await asyncio.gather(
+        factorial.acall(n=5),
+        session.ask_async(t.int, "What is 7 times 8?"),
+    )
+
+
+five_bang, seven_by_eight = asyncio.run(concurrent_asks())
+print(f"\nasync results -> factorial(5) = {five_bang}, 7*8 = {seven_by_eight}")
+assert (five_bang, seven_by_eight) == (120, 56)

@@ -20,19 +20,65 @@ Public API (mirrors the paper's Python implementation)::
 
     factorial = define(t.int, "Calculate the factorial of {{n}}").compile()
     factorial(n=10)
+
+Sessions (new front door)
+-------------------------
+
+``Session`` makes concurrency, batching, and backend selection
+per-session properties instead of global state::
+
+    from repro import Session
+
+    session = Session(model="sim-gpt-4")          # isolated client + stats
+    answer = session.ask(t.int, "{{a}} + {{b}}?", a=2, b=3)
+    answer = await session.ask_async(t.int, "{{a}} + {{b}}?", a=2, b=3)
+
+    classify = session.define(t.str, "Classify {{ticket}}.")
+    batch = classify.map(tickets, max_concurrency=16)   # ordered, isolated
+    print(session.stats, session.clock.elapsed_s)
+
+Migration note: the module-level ``ask``/``define``/``configure``/
+``config_override`` API is unchanged -- it is now a facade over a default
+session that tracks the global configuration, so existing code keeps
+working verbatim.  New code that needs isolation, async execution, or
+``map()`` batching should construct a ``Session``.  Third-party backends
+plug in through :func:`repro.llm.providers.register_provider` without
+touching the client.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.errors import AskItError
 
-__all__ = ["AskItError", "ask", "define", "Example", "configure", "get_config", "__version__"]
+__all__ = [
+    "AskItError",
+    "ask",
+    "define",
+    "Session",
+    "default_session",
+    "Example",
+    "configure",
+    "get_config",
+    "config_override",
+    "__version__",
+]
+
+_LAZY_CORE = {
+    "ask",
+    "define",
+    "Session",
+    "default_session",
+    "Example",
+    "configure",
+    "get_config",
+    "config_override",
+}
 
 
 def __getattr__(name: str):
     # The core API is imported lazily so that `import repro.types` does not
     # pull in the full runtime stack.
-    if name in {"ask", "define", "Example", "configure", "get_config"}:
+    if name in _LAZY_CORE:
         from repro import core
 
         return getattr(core, name)

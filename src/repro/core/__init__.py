@@ -1,8 +1,14 @@
 """AskIt's core DSL: the unified programming interface."""
 
 from repro.core.api import ask, define
+from repro.core.batch import MapOutcome, MapResult, run_batch
 from repro.core.cache import CodeCache, strip_provenance_header
-from repro.core.codegen import GeneratedFunction, generate_function, validate_candidate
+from repro.core.codegen import (
+    GeneratedFunction,
+    generate_function,
+    generate_function_async,
+    validate_candidate,
+)
 from repro.core.config import (
     DEFAULT_MAX_RETRIES,
     Config,
@@ -13,20 +19,28 @@ from repro.core.config import (
 from repro.core.function import AskItFunction
 from repro.core.hosts import FunctionHost, PythonHost, TypeScriptHost, load_host
 from repro.core.naming import cache_stem, camel_case_name, function_name, snake_case_name
-from repro.core.runtime import DirectResult, execute_direct
+from repro.core.runtime import DirectResult, execute_direct, execute_direct_async
 from repro.core.safety import SafetyFinding, SafetyPolicy, scan_python, scan_typescript
+from repro.core.session import Session, default_session
 from repro.ioexample import Example, outputs_equal
 
 __all__ = [
     "ask",
     "define",
+    "Session",
+    "default_session",
+    "MapResult",
+    "MapOutcome",
+    "run_batch",
     "Example",
     "outputs_equal",
     "AskItFunction",
     "GeneratedFunction",
     "generate_function",
+    "generate_function_async",
     "validate_candidate",
     "execute_direct",
+    "execute_direct_async",
     "DirectResult",
     "Config",
     "configure",

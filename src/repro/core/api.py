@@ -1,6 +1,9 @@
-"""The public AskIt API: ``ask`` and ``define``.
+"""The module-level AskIt API: ``ask`` and ``define``.
 
-Usage mirrors the paper's Python implementation (Section III-F)::
+Both are thin facades over the process-default :class:`Session`
+(:func:`repro.core.session.default_session`), kept 100% signature- and
+behaviour-compatible with the paper's Python implementation (Section
+III-F)::
 
     import repro.types as t
     from repro import ask, define
@@ -19,6 +22,19 @@ Usage mirrors the paper's Python implementation (Section III-F)::
 
     factorial = define(t.int, 'Calculate the factorial of {{n}}').compile()
     factorial(n=10)   # runs generated code; no LLM in the loop
+
+The default session tracks the global configuration, so ``configure()``
+and ``config_override()`` affect these facades exactly as before.  For
+isolated state, async execution, and batching, construct a session of
+your own::
+
+    from repro.core import Session
+
+    session = Session(model='sim-gpt-4', cache_dir=None)
+    answer = await session.ask_async(t.int, 'Sum of first {{n}} primes?', n=10)
+
+    classify = session.define(t.str, 'Classify {{ticket}}.')
+    labels = classify.map(tickets, max_concurrency=16).values
 """
 
 from __future__ import annotations
@@ -27,27 +43,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.core.config import Config
 from repro.core.function import AskItFunction
-from repro.ioexample import Example
-from repro.templates import PromptTemplate
-from repro.types import lift
-
-
-def _normalize_examples(examples: Sequence[Any] | None) -> list[Example]:
-    normalized: list[Example] = []
-    for example in examples or ():
-        if isinstance(example, Example):
-            normalized.append(example)
-        elif isinstance(example, Mapping) and "input" in example and "output" in example:
-            # Listing 1's literal syntax: {input: {...}, output: ...}.
-            normalized.append(Example(example["input"], example["output"]))
-        elif isinstance(example, tuple) and len(example) == 2:
-            normalized.append(Example(example[0], example[1]))
-        else:
-            raise TypeError(
-                "examples must be Example objects, {'input':..., 'output':...} "
-                f"dicts, or (inputs, output) tuples; got {example!r}"
-            )
-    return normalized
+from repro.core.session import default_session
 
 
 def define(
@@ -66,18 +62,19 @@ def define(
     ``{{placeholders}}`` become the function's named parameters.  The first
     example set feeds few-shot prompting; ``test_examples`` validate
     generated code when ``.compile()`` is used.
+
+    The returned :class:`AskItFunction` supports four execution modes:
+    direct sync ``fn(...)``, direct async ``await fn.acall(...)``, batched
+    ``fn.map(list_of_bindings, max_concurrency=...)``, and compiled
+    ``fn.compile()`` (no LLM at call time).  ``config`` pins the function
+    to a specific configuration; otherwise it follows the global one.
     """
-    lifted_params = (
-        {param: lift(type_) for param, type_ in param_types.items()}
-        if param_types
-        else None
-    )
-    return AskItFunction(
-        lift(return_type),
-        PromptTemplate(template),
-        lifted_params,
-        _normalize_examples(examples),
-        _normalize_examples(test_examples),
+    return default_session().define(
+        return_type,
+        template,
+        param_types=param_types,
+        examples=examples,
+        test_examples=test_examples,
         name=name,
         config=config,
     )
@@ -95,6 +92,12 @@ def ask(
     Template parameters are supplied as keyword arguments::
 
         ask(t.int, 'How many legs do {{n}} spiders have?', n=3)
+
+    Runs on the process-default session; use
+    :meth:`Session.ask <repro.core.session.Session.ask>` /
+    :meth:`Session.ask_async <repro.core.session.Session.ask_async>` for
+    isolated or asynchronous execution.
     """
-    fn = define(return_type, template, examples=examples, config=config)
-    return fn(**args)
+    return default_session().ask(
+        return_type, template, examples=examples, config=config, **args
+    )

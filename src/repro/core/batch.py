@@ -1,0 +1,242 @@
+"""Batched fan-out execution for sessions and AskIt functions.
+
+``AskItFunction.map`` and ``Session.run_parallel`` push many LLM-backed
+calls through a bounded worker pool.  The machinery here keeps three
+promises:
+
+* **order** -- outcomes come back in input order, whatever order workers
+  finish in;
+* **isolation** -- one item exhausting its retries
+  (:class:`~repro.errors.MaxRetriesExceededError`, or any other library
+  error) is captured on that item's outcome and never aborts the batch;
+* **deduplication** -- items carrying the same key (for ``map()``, the
+  same bound arguments, hence the same prompt) execute once and share the
+  result instead of racing duplicate in-flight requests.
+
+Simulated latency is charged inside a
+:meth:`~repro.llm.latency.VirtualClock.concurrent` region with one lane
+per work item, so the batch advances the virtual clock by its *parallel*
+wall-clock -- the ideal schedule of the per-item latencies over the
+worker budget -- rather than the sum of every call.  Because the estimate
+uses charged lane totals, not real thread interleaving, it is as
+reproducible as the latencies themselves.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.errors import AskItError, ConfigError
+from repro.llm.latency import VirtualClock
+
+
+def binding_key(bindings: dict[str, Any]) -> str:
+    """A canonical, hashable key for one set of bound arguments."""
+    return json.dumps(bindings, sort_keys=True, default=repr)
+
+
+class MapOutcome:
+    """One item's result within a batch."""
+
+    __slots__ = ("index", "key", "value", "error", "detail", "deduped", "lane_s")
+
+    def __init__(
+        self,
+        index: int,
+        key: str | None,
+        value: Any,
+        error: Exception | None,
+        detail: Any,
+        deduped: bool,
+        lane_s: float = 0.0,
+    ) -> None:
+        self.index = index
+        #: Dedup key (``None`` when deduplication was not applicable).
+        self.key = key
+        self.value = value
+        #: The captured per-item failure, or ``None`` on success.
+        self.error = error
+        #: Execution detail (a :class:`~repro.core.runtime.DirectResult`
+        #: for ``map()`` items; ``None`` for plain callables).
+        self.detail = detail
+        #: Whether this item shared another identical item's execution.
+        self.deduped = deduped
+        #: Seconds this item charged to its clock lane -- counted even when
+        #: the item ultimately failed (its retries still spent time).
+        self.lane_s = lane_s
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def latency_s(self) -> float:
+        """Simulated LLM seconds spent on this item (0 when unknown).
+
+        Failed items report the time their attempts charged, not 0, so
+        batch accounting stays honest in the presence of failures.
+        """
+        if self.lane_s > 0.0:
+            return self.lane_s
+        return getattr(self.detail, "latency_s", 0.0)
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"error={type(self.error).__name__}"
+        return f"MapOutcome(#{self.index}, {status}, deduped={self.deduped})"
+
+
+class MapResult(Sequence):
+    """Ordered outcomes of one batch, with batch-level accounting.
+
+    Behaves as a sequence of *values*: ``len``, indexing, and iteration
+    yield each item's value, re-raising that item's captured error on
+    access.  Use :attr:`outcomes` / :attr:`failures` to inspect without
+    raising.
+    """
+
+    def __init__(self, outcomes: list[MapOutcome], wall_s: float) -> None:
+        self.outcomes = outcomes
+        #: Virtual wall-clock of the batch (per-item latencies scheduled
+        #: over the worker budget).
+        self.wall_s = wall_s
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def failures(self) -> list[MapOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def values(self) -> list[Any]:
+        """All values in input order; raises the first captured error."""
+        return [self[i] for i in range(len(self.outcomes))]
+
+    @property
+    def sequential_s(self) -> float:
+        """Simulated seconds the same calls would have taken serially."""
+        return sum(
+            outcome.latency_s for outcome in self.outcomes if not outcome.deduped
+        )
+
+    @property
+    def speedup(self) -> float:
+        """Sequential over parallel virtual time (1.0 when unknown)."""
+        if self.wall_s <= 0.0:
+            return 1.0
+        return self.sequential_s / self.wall_s
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self.outcomes)))]
+        outcome = self.outcomes[index]
+        if outcome.error is not None:
+            raise outcome.error
+        return outcome.value
+
+    def __repr__(self) -> str:
+        return (
+            f"MapResult({len(self.outcomes)} items, {len(self.failures)} failed, "
+            f"wall={self.wall_s:.2f}s)"
+        )
+
+
+def run_batch(
+    thunks: Sequence[Callable[[], Any]],
+    *,
+    keys: Sequence[str | None] | None = None,
+    max_concurrency: int = 8,
+    clock: VirtualClock | None = None,
+    unwrap: Callable[[Any], tuple[Any, Any]] | None = None,
+    catch: tuple[type[Exception], ...] = (AskItError,),
+) -> MapResult:
+    """Run ``thunks`` over a worker pool; outcomes return in input order.
+
+    ``keys[i]`` (when given and non-``None``) deduplicates: items with
+    equal keys execute once and share the outcome.  ``unwrap`` splits a
+    thunk's raw return into ``(value, detail)``.  Exceptions of the
+    ``catch`` types are captured per item; anything else propagates.
+    """
+    if max_concurrency < 1:
+        raise ConfigError("max_concurrency must be >= 1")
+    if keys is not None and len(keys) != len(thunks):
+        raise ConfigError("keys must align one-to-one with thunks")
+    if unwrap is None:
+        unwrap = lambda raw: (raw, None)  # noqa: E731 - trivial default
+
+    # Plan unique executions: the first item with each key runs, later
+    # identical items share its slot.
+    slot_of: dict[str, int] = {}
+    plan: list[tuple[int, bool]] = []  # (execution slot, deduped)
+    unique: list[Callable[[], Any]] = []
+    for index, thunk in enumerate(thunks):
+        key = keys[index] if keys is not None else None
+        if key is not None and key in slot_of:
+            plan.append((slot_of[key], True))
+            continue
+        slot = len(unique)
+        unique.append(thunk)
+        if key is not None:
+            slot_of[key] = slot
+        plan.append((slot, False))
+
+    workers = min(max_concurrency, len(unique)) if unique else None
+
+    def execute(slot_and_thunk: tuple[int, Callable[[], Any]], region):
+        slot, thunk = slot_and_thunk
+        # Each work item charges its own clock lane, so the batch's
+        # wall-clock depends on the per-item latencies and the worker
+        # budget -- never on how the OS interleaved the pool threads.
+        lane = (
+            clock.in_lane(region, ("item", slot))
+            if clock is not None and region is not None
+            else contextlib.nullcontext()
+        )
+        with lane:
+            try:
+                return thunk(), None
+            except catch as error:
+                return None, error
+
+    clock_region = (
+        clock.concurrent(workers) if clock is not None else contextlib.nullcontext()
+    )
+    with clock_region as region:
+        if unique:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                raw = list(
+                    pool.map(
+                        lambda pair: execute(pair, region), enumerate(unique)
+                    )
+                )
+        else:
+            raw = []
+    wall_s = region.wall_s if region is not None else 0.0
+
+    def lane_seconds(slot: int) -> float:
+        if region is None:
+            return 0.0
+        return region.lanes.get(("item", slot), 0.0)
+
+    outcomes: list[MapOutcome] = []
+    for index, (slot, deduped) in enumerate(plan):
+        returned, error = raw[slot]
+        key = keys[index] if keys is not None else None
+        lane_s = lane_seconds(slot)
+        if error is not None:
+            outcomes.append(
+                MapOutcome(index, key, None, error, None, deduped, lane_s)
+            )
+        else:
+            value, detail = unwrap(returned)
+            outcomes.append(
+                MapOutcome(index, key, value, None, detail, deduped, lane_s)
+            )
+    return MapResult(outcomes, wall_s)

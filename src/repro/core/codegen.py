@@ -131,6 +131,87 @@ def validate_candidate(
         raise CodeValidationError("generated code failed validation", failures)
 
 
+class _CodegenRun:
+    """State machine for one generation: prompt, validation, refinement.
+
+    Shared by the sync and async drivers below so there is exactly one
+    copy of the extract/scan/validate/cache logic; the drivers own only
+    how the completion is awaited.
+    """
+
+    def __init__(
+        self,
+        template: PromptTemplate,
+        return_type: Type,
+        param_types: Mapping[str, Type] | None,
+        test_examples: Sequence[Example],
+        language: str | None,
+        name: str | None,
+        config: Config,
+        use_cache: bool,
+    ) -> None:
+        self.config = config
+        self.template = template
+        self.return_type = return_type
+        self.test_examples = test_examples
+        self.language = language or config.target_language
+        self.name = name or function_name(template.text, self.language)
+        self.cache = (
+            CodeCache(config.cache_dir) if (use_cache and config.cache_dir) else None
+        )
+        self.prompt = build_codegen_prompt(
+            self.language, self.name, template, return_type, param_types
+        )
+        self.current = self.prompt
+        self.llm_latency = 0.0
+        self.validation_time = 0.0
+        self.last_failure: Exception | None = None
+
+    def cached(self) -> GeneratedFunction | None:
+        if self.cache is None:
+            return None
+        stored = self.cache.load(self.template.text, self.language)
+        if stored is None:
+            return None
+        source = strip_provenance_header(stored)
+        host = load_host(self.language, source, self.name)
+        return GeneratedFunction(host, 0, 0.0, 0.0, from_cache=True)
+
+    def accept(self, completion, attempt: int) -> GeneratedFunction | None:
+        self.llm_latency += completion.latency_s
+        try:
+            code = extract_block(completion.text, self.language, allow_untagged=True)
+        except CodeExtractionError as error:
+            self.last_failure = error
+            self.current = refine_codegen_prompt(self.prompt, completion.text, error)
+            return None
+
+        started = time.perf_counter()
+        try:
+            findings = _safety_check(code, self.language, self.config)
+            host = load_host(self.language, code, self.name)
+            validate_candidate(host, self.test_examples, self.return_type)
+        except CodeValidationError as error:
+            self.validation_time += time.perf_counter() - started
+            self.last_failure = error
+            self.current = refine_codegen_prompt(self.prompt, code, error)
+            return None
+        self.validation_time += time.perf_counter() - started
+
+        if self.cache is not None:
+            self.cache.store(self.template.text, self.language, code)
+        return GeneratedFunction(
+            host, attempt + 1, self.llm_latency, self.validation_time, False, findings
+        )
+
+    def exhausted(self) -> CodeGenerationError:
+        return CodeGenerationError(
+            f"code generation failed after {self.config.max_retries + 1} attempts "
+            f"(last failure: {self.last_failure})",
+            attempts=self.config.max_retries + 1,
+        )
+
+
 def generate_function(
     template: PromptTemplate,
     return_type: Type,
@@ -146,58 +227,52 @@ def generate_function(
     Raises :class:`CodeGenerationError` after exhausting retries.
     """
     config = config or get_config()
-    language = language or config.target_language
-    name = name or function_name(template.text, language)
-    cache = CodeCache(config.cache_dir) if (use_cache and config.cache_dir) else None
-
-    if cache is not None:
-        cached = cache.load(template.text, language)
-        if cached is not None:
-            source = strip_provenance_header(cached)
-            host = load_host(language, source, name)
-            return GeneratedFunction(host, 0, 0.0, 0.0, from_cache=True)
-
-    prompt = build_codegen_prompt(language, name, template, return_type, param_types)
-    current = prompt
-    llm_latency = 0.0
-    validation_time = 0.0
-    last_failure: Exception | None = None
-
+    run = _CodegenRun(
+        template, return_type, param_types, test_examples, language, name, config, use_cache
+    )
+    cached = run.cached()
+    if cached is not None:
+        return cached
     for attempt in range(config.max_retries + 1):
         completion = config.client.chat_complete(
-            config.codegen_model, current, config.temperature
+            config.codegen_model, run.current, config.temperature
         )
-        llm_latency += completion.latency_s
-        try:
-            code = extract_block(completion.text, language, allow_untagged=True)
-        except CodeExtractionError as error:
-            last_failure = error
-            current = refine_codegen_prompt(prompt, completion.text, error)
-            continue
+        generated = run.accept(completion, attempt)
+        if generated is not None:
+            return generated
+    raise run.exhausted()
 
-        started = time.perf_counter()
-        try:
-            findings = _safety_check(code, language, config)
-            host = load_host(language, code, name)
-            validate_candidate(host, test_examples, return_type)
-        except CodeValidationError as error:
-            validation_time += time.perf_counter() - started
-            last_failure = error
-            current = refine_codegen_prompt(prompt, code, error)
-            continue
-        validation_time += time.perf_counter() - started
 
-        if cache is not None:
-            cache.store(template.text, language, code)
-        return GeneratedFunction(
-            host, attempt + 1, llm_latency, validation_time, False, findings
-        )
+async def generate_function_async(
+    template: PromptTemplate,
+    return_type: Type,
+    param_types: Mapping[str, Type] | None = None,
+    test_examples: Sequence[Example] = (),
+    language: str | None = None,
+    name: str | None = None,
+    config: Config | None = None,
+    use_cache: bool = True,
+) -> GeneratedFunction:
+    """Async counterpart of :func:`generate_function`; same retry semantics.
 
-    raise CodeGenerationError(
-        f"code generation failed after {config.max_retries + 1} attempts "
-        f"(last failure: {last_failure})",
-        attempts=config.max_retries + 1,
+    Candidate validation (which executes the generated code) still runs on
+    the calling thread; only the LLM round-trips are awaited.
+    """
+    config = config or get_config()
+    run = _CodegenRun(
+        template, return_type, param_types, test_examples, language, name, config, use_cache
     )
+    cached = run.cached()
+    if cached is not None:
+        return cached
+    for attempt in range(config.max_retries + 1):
+        completion = await config.client.achat_complete(
+            config.codegen_model, run.current, config.temperature
+        )
+        generated = run.accept(completion, attempt)
+        if generated is not None:
+            return generated
+    raise run.exhausted()
 
 
 def _safety_check(code: str, language: str, config: Config) -> list[SafetyFinding]:

@@ -89,7 +89,12 @@ def get_config() -> Config:
 
 
 def configure(**changes) -> Config:
-    """Update the global configuration; returns the new config."""
+    """Update the global configuration; returns the new config.
+
+    Affects the module-level ``ask``/``define`` facades (and any session
+    tracking the global config); sessions constructed with an explicit
+    config or overrides are isolated snapshots and do not observe this.
+    """
     global _GLOBAL_CONFIG
     _GLOBAL_CONFIG = _GLOBAL_CONFIG.replace(**changes)
     return _GLOBAL_CONFIG
@@ -97,7 +102,12 @@ def configure(**changes) -> Config:
 
 @contextlib.contextmanager
 def config_override(**changes) -> Iterator[Config]:
-    """Temporarily override the global configuration (tests, experiments)."""
+    """Temporarily override the global configuration (tests, experiments).
+
+    Like :func:`configure`, this is scoped to the global config: isolated
+    :class:`~repro.core.session.Session` objects are unaffected, so
+    overrides no longer leak across sessions.
+    """
     global _GLOBAL_CONFIG
     saved = _GLOBAL_CONFIG
     _GLOBAL_CONFIG = saved.replace(**changes)

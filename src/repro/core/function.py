@@ -5,16 +5,29 @@ calling ``.compile()`` turns it into a generated function that runs
 without the LLM (Section III-D / III-F).  Both paths share the same
 template and type information -- the paper's central "unified interface"
 claim -- so switching between them never requires touching the prompt.
+
+Beyond the paper's sync call, a function offers two scalable execution
+modes (see :mod:`repro.core.session`):
+
+* ``await fn.acall(...)`` -- one call, awaitable, event-loop friendly;
+* ``fn.map(list_of_bindings, max_concurrency=...)`` -- many calls fanned
+  out over a worker pool with per-item retry isolation, deduplication of
+  identical in-flight prompts, and parallel virtual-clock accounting.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
-from repro.core.codegen import GeneratedFunction, generate_function
+from repro.core.batch import MapResult, binding_key, run_batch
+from repro.core.codegen import (
+    GeneratedFunction,
+    generate_function,
+    generate_function_async,
+)
 from repro.core.config import Config, get_config
-from repro.core.runtime import DirectResult, execute_direct
-from repro.errors import TemplateError
+from repro.core.runtime import DirectResult, execute_direct, execute_direct_async
+from repro.errors import MaxRetriesExceededError, TemplateError
 from repro.ioexample import Example
 from repro.templates import PromptTemplate
 from repro.types.base import Type
@@ -74,6 +87,87 @@ class AskItFunction:
         self.last_result = result
         return result.value
 
+    async def acall(self, *args: Any, **kwargs: Any) -> Any:
+        """Async counterpart of calling the function: same binding, same
+        retry semantics, awaitable.
+
+        ``last_result`` is still updated for convenience, but under
+        concurrent ``acall`` invocations it reflects whichever call
+        finished last -- read the :class:`DirectResult` from
+        :meth:`map` outcomes when you need per-call detail.
+        """
+        bound = self._bind(args, kwargs)
+        result = await execute_direct_async(
+            self.template,
+            self.return_type,
+            bound,
+            self.few_shot_examples,
+            self.config,
+        )
+        self.last_result = result
+        return result.value
+
+    # -- batched execution ------------------------------------------------------
+
+    def map(
+        self,
+        bindings: Iterable[Any],
+        *,
+        max_concurrency: int = 8,
+        dedup: bool | None = None,
+        config: Config | None = None,
+    ) -> MapResult:
+        """Run this task once per binding over a bounded worker pool.
+
+        Each item of ``bindings`` is bound exactly as a call would be: a
+        mapping of keyword arguments, a tuple of positional values, or --
+        for single-parameter templates -- a bare value::
+
+            classify = session.define(t.str, "Classify {{ticket}}.")
+            batch = classify.map(tickets, max_concurrency=16)
+            labels = batch.values          # input order, raises on failure
+            bad = batch.failures           # per-item captured errors
+
+        Guarantees (see :mod:`repro.core.batch`): results return in input
+        order; one item exhausting its retries is captured on its outcome
+        (:class:`~repro.errors.MaxRetriesExceededError`) without aborting
+        the batch; and identical bindings are deduplicated into one
+        in-flight request when the backing provider is deterministic
+        (``dedup`` forces the behaviour either way).  Simulated latency is
+        charged as *parallel* wall-clock: ``batch.wall_s`` is the per-item
+        latencies scheduled over ``max_concurrency`` workers, and
+        ``batch.speedup`` compares it against the sequential sum.
+        """
+        config = config or self.config
+        bound_list = [self._bind_item(item) for item in bindings]
+        if dedup is None:
+            provider = config.client.provider_for(config.model)
+            dedup = provider.deterministic
+        keys = [binding_key(bound) for bound in bound_list] if dedup else None
+
+        def thunk_for(bound: dict[str, Any]):
+            def thunk() -> DirectResult:
+                return execute_direct(
+                    self.template,
+                    self.return_type,
+                    bound,
+                    self.few_shot_examples,
+                    config,
+                )
+
+            return thunk
+
+        return run_batch(
+            [thunk_for(bound) for bound in bound_list],
+            keys=keys,
+            max_concurrency=max_concurrency,
+            clock=config.client.clock,
+            unwrap=lambda result: (result.value, result),
+            catch=(MaxRetriesExceededError,),
+        )
+
+    # -- argument binding --------------------------------------------------------
+
     def _bind(self, args: tuple, kwargs: dict) -> dict[str, Any]:
         if args and kwargs:
             raise TemplateError(
@@ -83,9 +177,27 @@ class AskItFunction:
             # One positional dict mirrors the paper's TS call style
             # `getSentiment({review: ...})`.
             if len(args) == 1 and isinstance(args[0], Mapping):
-                return dict(args[0])
+                return self._checked(dict(args[0]))
             return self.template.bind_positional(list(args))
-        return dict(kwargs)
+        return self._checked(dict(kwargs))
+
+    def _bind_item(self, item: Any) -> dict[str, Any]:
+        """Bind one ``map()`` element the way a direct call would."""
+        if isinstance(item, Mapping):
+            return self._checked(dict(item))
+        if isinstance(item, tuple):
+            return self.template.bind_positional(list(item))
+        if len(self.template.parameters) == 1:
+            return {self.template.parameters[0]: item}
+        raise TemplateError(
+            f"map() items for template {self.template.text!r} must be mappings "
+            f"or tuples binding {list(self.template.parameters)}; got {item!r}"
+        )
+
+    def _checked(self, bound: dict[str, Any]) -> dict[str, Any]:
+        """Validate named bindings against the template's parameters."""
+        self.template.require_exact_args(bound)
+        return bound
 
     # -- compilation ------------------------------------------------------------
 
@@ -101,6 +213,24 @@ class AskItFunction:
         without any LLM involvement.
         """
         return generate_function(
+            self.template,
+            self.return_type,
+            self.param_types or None,
+            self.test_examples,
+            language=language,
+            name=self.name if self.name else None,
+            config=self.config,
+            use_cache=use_cache,
+        )
+
+    async def acompile(
+        self,
+        language: str | None = None,
+        use_cache: bool = True,
+    ) -> GeneratedFunction:
+        """Async :meth:`compile`: LLM round-trips are awaited; candidate
+        validation still runs on the calling thread."""
+        return await generate_function_async(
             self.template,
             self.return_type,
             self.param_types or None,

@@ -4,6 +4,10 @@ For each call the runtime synthesizes the Listing-2 prompt, sends it to
 the model, parses the typed JSON answer, and -- when a response fails one
 of the three validation criteria -- re-prompts with the offending response
 plus a pointed instruction, up to the retry limit.
+
+One retry/parse core (:class:`_DirectRun`) drives both the synchronous
+:func:`execute_direct` and asynchronous :func:`execute_direct_async`
+entry points; the drivers differ only in how the completion is awaited.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from typing import Any, Mapping, Sequence
 from repro.core.config import Config, get_config
 from repro.errors import MaxRetriesExceededError, ResponseFormatError
 from repro.ioexample import Example
+from repro.llm.base import CompletionResult
 from repro.parsing import extract_answer
 from repro.prompts import FewShotExample, build_direct_prompt, refine_direct_prompt
 from repro.templates import PromptTemplate
@@ -48,6 +53,59 @@ def _few_shot(examples: Sequence[Example]) -> list[FewShotExample]:
     return [FewShotExample(example.inputs, example.output) for example in examples]
 
 
+class _DirectRun:
+    """State machine for one direct call: prompt, refinement, parsing.
+
+    The driver loop owns only transport: it asks :attr:`current` for the
+    next prompt, obtains a completion however it likes, and feeds it to
+    :meth:`accept`, which either returns the finished
+    :class:`DirectResult` or refines the prompt for the next attempt.
+    """
+
+    def __init__(
+        self,
+        template: PromptTemplate,
+        answer_type: Type,
+        args: Mapping[str, Any],
+        examples: Sequence[Example],
+        config: Config,
+    ) -> None:
+        self.config = config
+        self.answer_type = answer_type
+        self.prompt = build_direct_prompt(template, answer_type, args, _few_shot(examples))
+        self.current = self.prompt
+        self.total_latency = 0.0
+        self.responses: list[str] = []
+        self.last_error: ResponseFormatError | None = None
+
+    def accept(self, completion: CompletionResult, attempt: int) -> DirectResult | None:
+        self.total_latency += completion.latency_s
+        self.responses.append(completion.text)
+        try:
+            parsed = extract_answer(completion.text, self.answer_type)
+        except ResponseFormatError as error:
+            self.last_error = error
+            self.current = refine_direct_prompt(self.prompt, error)
+            return None
+        return DirectResult(
+            parsed.value,
+            parsed.reason,
+            attempt + 1,
+            self.total_latency,
+            self.prompt,
+            self.responses,
+        )
+
+    def exhausted(self) -> MaxRetriesExceededError:
+        assert self.last_error is not None
+        return MaxRetriesExceededError(
+            f"no valid response after {self.config.max_retries + 1} attempts: "
+            f"{self.last_error}",
+            attempts=self.config.max_retries + 1,
+            last_response=self.last_error.response,
+        )
+
+
 def execute_direct(
     template: PromptTemplate,
     answer_type: Type,
@@ -61,29 +119,32 @@ def execute_direct(
     response satisfying all three criteria of Section III-E.
     """
     config = config or get_config()
-    prompt = build_direct_prompt(template, answer_type, args, _few_shot(examples))
-    current = prompt
-    total_latency = 0.0
-    responses: list[str] = []
-    last_error: ResponseFormatError | None = None
-
+    run = _DirectRun(template, answer_type, args, examples, config)
     for attempt in range(config.max_retries + 1):
-        completion = config.client.chat_complete(config.model, current, config.temperature)
-        total_latency += completion.latency_s
-        responses.append(completion.text)
-        try:
-            parsed = extract_answer(completion.text, answer_type)
-        except ResponseFormatError as error:
-            last_error = error
-            current = refine_direct_prompt(prompt, error)
-            continue
-        return DirectResult(
-            parsed.value, parsed.reason, attempt + 1, total_latency, prompt, responses
+        completion = config.client.chat_complete(
+            config.model, run.current, config.temperature
         )
+        result = run.accept(completion, attempt)
+        if result is not None:
+            return result
+    raise run.exhausted()
 
-    assert last_error is not None
-    raise MaxRetriesExceededError(
-        f"no valid response after {config.max_retries + 1} attempts: {last_error}",
-        attempts=config.max_retries + 1,
-        last_response=last_error.response,
-    )
+
+async def execute_direct_async(
+    template: PromptTemplate,
+    answer_type: Type,
+    args: Mapping[str, Any],
+    examples: Sequence[Example] = (),
+    config: Config | None = None,
+) -> DirectResult:
+    """Async counterpart of :func:`execute_direct`; same retry semantics."""
+    config = config or get_config()
+    run = _DirectRun(template, answer_type, args, examples, config)
+    for attempt in range(config.max_retries + 1):
+        completion = await config.client.achat_complete(
+            config.model, run.current, config.temperature
+        )
+        result = run.accept(completion, attempt)
+        if result is not None:
+            return result
+    raise run.exhausted()

@@ -1,0 +1,244 @@
+"""``Session``: the front door of the AskIt runtime.
+
+A session owns everything one workload needs -- configuration, LLM
+client (and with it stats, virtual clock, and code cache location) --
+so concurrency, batching, and backend selection are per-session
+properties instead of process-global state::
+
+    from repro.core import Session
+    import repro.types as t
+
+    session = Session(model="sim-gpt-4", cache_dir=None)
+    sentiment = session.ask(t.str, "Summarize {{review}} in one word.",
+                            review="Loved it!")
+
+    classify = session.define(t.str, "Classify {{ticket}}.")
+    batch = classify.map([{"ticket": text} for text in tickets],
+                         max_concurrency=16)
+
+Two construction modes:
+
+* ``Session()`` with no arguments *tracks the global configuration*:
+  it sees ``configure()`` / ``config_override()`` changes live and uses
+  the shared default client.  The module-level ``ask``/``define`` are
+  facades over exactly this session, which is what keeps them 100%
+  backward compatible.
+* ``Session(config)`` or ``Session(model=..., ...)`` takes a snapshot:
+  the session is *isolated* -- later ``configure()``/``config_override()``
+  calls do not leak into it, and (unless the config carries an explicit
+  client) it gets a private :class:`~repro.llm.client.ChatClient`, so two
+  sessions never interleave stats, clocks, or model state.
+
+Async variants (``ask_async``, and ``AskItFunction.acall`` /
+``AskItFunction.map`` on functions the session defines) share the same
+retry/parse core as the sync paths; see :mod:`repro.core.runtime` and
+:mod:`repro.core.batch`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.batch import MapResult, run_batch
+from repro.core.config import Config, get_config
+from repro.core.function import AskItFunction
+from repro.errors import AskItError
+from repro.ioexample import Example
+from repro.llm.client import ChatClient, ClientStats
+from repro.llm.latency import VirtualClock
+from repro.templates import PromptTemplate
+from repro.types import lift
+
+
+def _normalize_examples(examples: Sequence[Any] | None) -> list[Example]:
+    normalized: list[Example] = []
+    for example in examples or ():
+        if isinstance(example, Example):
+            normalized.append(example)
+        elif isinstance(example, Mapping) and "input" in example and "output" in example:
+            # Listing 1's literal syntax: {input: {...}, output: ...}.
+            normalized.append(Example(example["input"], example["output"]))
+        elif isinstance(example, tuple) and len(example) == 2:
+            normalized.append(Example(example[0], example[1]))
+        else:
+            raise TypeError(
+                "examples must be Example objects, {'input':..., 'output':...} "
+                f"dicts, or (inputs, output) tuples; got {example!r}"
+            )
+    return normalized
+
+
+class Session:
+    """A self-contained AskIt runtime: config + client + stats + cache."""
+
+    def __init__(self, config: Config | None = None, **overrides: Any) -> None:
+        if config is None and not overrides:
+            # Track the global configuration live (the default session's
+            # mode; keeps configure()/config_override() working).
+            self._config: Config | None = None
+            return
+        base = config if config is not None else get_config()
+        snapshot = base.replace(**overrides) if overrides else base
+        if snapshot._client is None:
+            # Isolated sessions get a private client so their stats,
+            # virtual clock, and simulated-model state never interleave
+            # with other sessions'.
+            snapshot = snapshot.replace(client=ChatClient())
+        self._config = snapshot
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def tracks_global_config(self) -> bool:
+        """Whether this session follows ``configure()`` changes live."""
+        return self._config is None
+
+    @property
+    def config(self) -> Config:
+        return self._config if self._config is not None else get_config()
+
+    @property
+    def client(self) -> ChatClient:
+        return self.config.client
+
+    @property
+    def stats(self) -> ClientStats:
+        """Usage accounting for this session's client (per-model too)."""
+        return self.client.stats
+
+    @property
+    def clock(self) -> VirtualClock:
+        """This session's virtual clock of simulated LLM seconds."""
+        return self.client.clock
+
+    def replace(self, **changes: Any) -> "Session":
+        """A new isolated session with ``changes`` applied to this config."""
+        return Session(self.config, **changes)
+
+    def reset(self) -> None:
+        """Zero this session's stats and virtual clock (not its caches)."""
+        self.stats.reset()
+        self.clock.reset()
+
+    # -- the unified interface -------------------------------------------------
+
+    def define(
+        self,
+        return_type: Any,
+        template: str,
+        param_types: Mapping[str, Any] | None = None,
+        examples: Sequence[Any] | None = None,
+        test_examples: Sequence[Any] | None = None,
+        name: str | None = None,
+        config: Config | None = None,
+    ) -> AskItFunction:
+        """Define a reusable task bound to this session.
+
+        Mirrors the module-level :func:`repro.core.api.define`;
+        ``return_type`` takes a type object from :mod:`repro.types` and the
+        template's ``{{placeholders}}`` become the function's parameters.
+        The returned :class:`AskItFunction` executes against this session's
+        client and supports ``fn(...)``, ``await fn.acall(...)``,
+        ``fn.map(list_of_bindings)``, and ``fn.compile()``.
+
+        ``config`` overrides the session's configuration for this one
+        definition (the module-level facade forwards its ``config=``
+        argument this way).
+        """
+        lifted_params = (
+            {param: lift(type_) for param, type_ in param_types.items()}
+            if param_types
+            else None
+        )
+        return AskItFunction(
+            lift(return_type),
+            PromptTemplate(template),
+            lifted_params,
+            _normalize_examples(examples),
+            _normalize_examples(test_examples),
+            name=name,
+            config=config if config is not None else self._config,
+        )
+
+    def ask(
+        self,
+        return_type: Any,
+        template: str,
+        examples: Sequence[Any] | None = None,
+        config: Config | None = None,
+        **args: Any,
+    ) -> Any:
+        """Ask the LLM to perform a task once and return the typed answer.
+
+        Template parameters are supplied as keyword arguments::
+
+            session.ask(t.int, 'How many legs do {{n}} spiders have?', n=3)
+        """
+        fn = self.define(return_type, template, examples=examples, config=config)
+        return fn(**args)
+
+    async def ask_async(
+        self,
+        return_type: Any,
+        template: str,
+        examples: Sequence[Any] | None = None,
+        config: Config | None = None,
+        **args: Any,
+    ) -> Any:
+        """Async :meth:`ask`: awaitable, never blocks the event loop.
+
+        Sync-only backends are transparently run on a worker thread; see
+        :meth:`repro.llm.client.ChatClient.achat_complete`.
+        """
+        fn = self.define(return_type, template, examples=examples, config=config)
+        return await fn.acall(**args)
+
+    # -- batched execution -----------------------------------------------------
+
+    def run_parallel(
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        *,
+        max_concurrency: int = 8,
+        keys: Sequence[str | None] | None = None,
+        catch: tuple[type[Exception], ...] = (AskItError,),
+    ) -> MapResult:
+        """Fan arbitrary session work out over a bounded worker pool.
+
+        Each thunk is a zero-argument callable (typically closing over one
+        dataset item and calling session-defined functions).  Outcomes come
+        back in input order; per-item library errors are captured on the
+        outcome instead of aborting the batch; and simulated latency is
+        charged as *parallel* wall-clock on this session's virtual clock.
+        ``keys`` optionally deduplicates identical items.
+        """
+        return run_batch(
+            thunks,
+            keys=keys,
+            max_concurrency=max_concurrency,
+            clock=self.clock,
+            catch=catch,
+        )
+
+    def __repr__(self) -> str:
+        mode = "tracking-global" if self.tracks_global_config else "isolated"
+        return f"Session({self.config!r}, {mode})"
+
+
+_DEFAULT_SESSION: Session | None = None
+_DEFAULT_SESSION_LOCK = threading.Lock()
+
+
+def default_session() -> Session:
+    """The process-default session behind the module-level ``ask``/``define``.
+
+    It tracks the global configuration, so ``configure()`` and
+    ``config_override()`` keep working exactly as before sessions existed.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        with _DEFAULT_SESSION_LOCK:
+            if _DEFAULT_SESSION is None:
+                _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION

@@ -5,11 +5,15 @@ and in Python with the ``sim-gpt-3.5-turbo-16k`` backend (as in the
 paper), recording generated LOC and retries.  Python rows for tasks
 #11/#21-#24 fail by design (pyaskit passes no parameter types); failures
 report 0 LOC, exactly as the paper's table does.
+
+The driver runs on an isolated :class:`~repro.core.session.Session` and
+sweeps the 50 tasks through ``session.run_parallel`` -- rows come back in
+task order and one task's failure never aborts the sweep.
 """
 
 from __future__ import annotations
 
-from repro.core import config_override, define
+from repro.core import Session
 from repro.datasets.common_tasks import CommonTask, all_tasks
 from repro.errors import CodeGenerationError
 from repro.evalx.loc import count_loc
@@ -61,9 +65,9 @@ class Table2Result:
         return [row.task.number for row in self.rows if row.py_loc is None]
 
 
-def _compile_one(task: CommonTask, language: str):
+def _compile_one(session: Session, task: CommonTask, language: str):
     """Compile one task; returns (loc, retries) or (None, attempts-1)."""
-    definition = define(
+    definition = session.define(
         task.return_type,
         task.template,
         param_types=task.param_types,
@@ -76,15 +80,34 @@ def _compile_one(task: CommonTask, language: str):
     return count_loc(generated.source, language), generated.retries
 
 
-def run(noise: NoisePolicy | None = None) -> Table2Result:
+def run(noise: NoisePolicy | None = None, max_concurrency: int = 8) -> Table2Result:
     """Run the full experiment; returns the populated table."""
-    client = ChatClient(noise_policy=noise or DEFAULT_NOISE)
-    rows: list[TaskRow] = []
-    with config_override(client=client, model=MODEL, cache_dir=None):
-        for task in all_tasks():
-            ts_loc, ts_retry = _compile_one(task, "typescript")
-            py_loc, py_retry = _compile_one(task, "python")
-            rows.append(TaskRow(task, ts_loc, ts_retry, py_loc, py_retry))
+    session = Session(
+        model=MODEL,
+        cache_dir=None,
+        client=ChatClient(noise_policy=noise or DEFAULT_NOISE),
+    )
+
+    def measure(task: CommonTask):
+        def thunk() -> TaskRow:
+            ts_loc, ts_retry = _compile_one(session, task, "typescript")
+            py_loc, py_retry = _compile_one(session, task, "python")
+            return TaskRow(task, ts_loc, ts_retry, py_loc, py_retry)
+
+        return thunk
+
+    tasks = list(all_tasks())
+    batch = session.run_parallel(
+        [measure(task) for task in tasks], max_concurrency=max_concurrency
+    )
+    # Read outcomes, not values: a task that failed outright (captured on
+    # its outcome) becomes an all-failure row instead of aborting the sweep.
+    rows = [
+        outcome.value
+        if outcome.ok
+        else TaskRow(task, None, None, None, None)
+        for task, outcome in zip(tasks, batch.outcomes)
+    ]
     return Table2Result(rows)
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 
 import repro.types as t
-from repro.core import config_override, define
+from repro.core import AskItFunction, Session
 from repro.datasets.gsm8k import GsmProblem, answers_match, generate_dataset
 from repro.errors import CodeGenerationError, MaxRetriesExceededError
 from repro.evalx.tables import render_table
@@ -68,9 +68,11 @@ class LanguageStats:
         ]
 
 
-def _measure_problem(problem: GsmProblem, language: str, stats: LanguageStats) -> None:
-    stats.total += 1
-    definition = define(
+def _answer_directly(
+    session: Session, problem: GsmProblem
+) -> tuple[AskItFunction, float | None]:
+    """Phase-1 work item: define the task and answer it through the LLM."""
+    definition = session.define(
         t.float,
         problem.template,
         param_types={name: t.int for name in problem.args},
@@ -79,12 +81,17 @@ def _measure_problem(problem: GsmProblem, language: str, stats: LanguageStats) -
     try:
         value = definition(**problem.args)
     except MaxRetriesExceededError:
-        return
-    stats.latency.add(definition.last_result.latency_s)
-    if not answers_match(problem.answer, value):
-        return
-    stats.solved_directly += 1
+        return definition, None
+    return definition, value
 
+
+def _measure_generated(
+    definition: AskItFunction,
+    problem: GsmProblem,
+    language: str,
+    stats: LanguageStats,
+) -> None:
+    """Phase-2 work item: compile a directly solved task and time it."""
     try:
         generated = definition.compile(language=language, use_cache=False)
     except CodeGenerationError:
@@ -100,16 +107,42 @@ def run(
     count: int | None = None,
     noise: NoisePolicy | None = None,
     languages: tuple[str, ...] = ("typescript", "python"),
+    max_concurrency: int = 8,
 ) -> dict[str, LanguageStats]:
-    """Run the experiment; returns per-language stats."""
+    """Run the experiment; returns per-language stats.
+
+    The direct-answer sweep fans out over each language's session worker
+    pool (``session.run_parallel``); compilation and execution timing stay
+    sequential so the real-time measurements are uncontended.
+    """
     problems = generate_dataset(count or problem_count())
     results: dict[str, LanguageStats] = {}
     for language in languages:
-        client = ChatClient(noise_policy=noise or DEFAULT_NOISE)
+        session = Session(
+            model=MODEL,
+            cache_dir=None,
+            client=ChatClient(noise_policy=noise or DEFAULT_NOISE),
+        )
         stats = LanguageStats(language)
-        with config_override(client=client, model=MODEL, cache_dir=None):
-            for problem in problems:
-                _measure_problem(problem, language, stats)
+        answered = session.run_parallel(
+            [
+                lambda problem=problem: _answer_directly(session, problem)
+                for problem in problems
+            ],
+            max_concurrency=max_concurrency,
+        )
+        for problem, outcome in zip(problems, answered.outcomes):
+            stats.total += 1
+            if not outcome.ok:
+                continue
+            definition, value = outcome.value
+            if value is None:
+                continue
+            stats.latency.add(definition.last_result.latency_s)
+            if not answers_match(problem.answer, value):
+                continue
+            stats.solved_directly += 1
+            _measure_generated(definition, problem, language, stats)
         results[language] = stats
     return results
 

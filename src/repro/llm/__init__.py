@@ -1,7 +1,20 @@
-"""The LLM substrate: chat interface, simulated model, noise, latency."""
+"""The LLM substrate: chat interface, providers, simulated model, noise, latency."""
 
 from repro.llm.base import ChatMessage, CompletionResult, LanguageModel, Usage, user_message
-from repro.llm.client import ChatClient, ClientStats, default_client, reset_default_client
+from repro.llm.client import (
+    ChatClient,
+    ClientStats,
+    ModelStats,
+    default_client,
+    reset_default_client,
+)
+from repro.llm.providers import (
+    Provider,
+    ProviderBase,
+    register_provider,
+    registered_prefixes,
+    unregister_provider,
+)
 from repro.llm.knowledge import (
     KnowledgeBase,
     TaskImplementation,
@@ -25,8 +38,14 @@ __all__ = [
     "user_message",
     "ChatClient",
     "ClientStats",
+    "ModelStats",
     "default_client",
     "reset_default_client",
+    "Provider",
+    "ProviderBase",
+    "register_provider",
+    "unregister_provider",
+    "registered_prefixes",
     "SimulatedLLM",
     "KnowledgeBase",
     "TaskImplementation",

@@ -8,6 +8,7 @@ one requires implementing a single method.
 
 from __future__ import annotations
 
+import asyncio
 from typing import Sequence
 
 
@@ -77,3 +78,10 @@ class LanguageModel:
     def complete(self, messages: Sequence[ChatMessage], temperature: float = 1.0) -> CompletionResult:
         """Generate a completion for a conversation."""
         raise NotImplementedError
+
+    async def acomplete(
+        self, messages: Sequence[ChatMessage], temperature: float = 1.0
+    ) -> CompletionResult:
+        """Async completion; defaults to running :meth:`complete` on a
+        worker thread so sync-only backends stay event-loop friendly."""
+        return await asyncio.to_thread(self.complete, messages, temperature)

@@ -2,34 +2,109 @@
 
 AskIt's runtime and compiler talk to this client the way the paper's
 implementation talks to the OpenAI API: a model name, a message list, a
-temperature.  The client resolves model names to backends (simulated by
-default), charges simulated latency to a virtual clock, and keeps usage
-statistics that the experiments report.
+temperature.  The client resolves model names to providers through the
+registry in :mod:`repro.llm.providers` (simulated by default), charges
+simulated latency to a virtual clock, and keeps usage statistics that the
+experiments report.
+
+The client is thread-safe: ``Session.map``/``run_parallel`` issue
+completions from a worker pool, and stats, clock, and transcript all
+account correctly under concurrency.
 """
 
 from __future__ import annotations
 
+import asyncio
+import threading
 from typing import Sequence
 
 from repro.llm.base import ChatMessage, CompletionResult, LanguageModel, user_message
 from repro.llm.latency import VirtualClock
 from repro.llm.noise import NoisePolicy
-from repro.llm.simulated import SimulatedLLM
+from repro.llm.providers import (
+    Provider,
+    RegisteredModelProvider,
+    resolve_factory,
+)
 from repro.llm.transcript import TranscriptRecorder
 
 
-class ClientStats:
-    """Aggregate usage across all calls made through one client."""
+class ModelStats:
+    """Usage accumulated for one model name."""
+
+    __slots__ = ("calls", "prompt_tokens", "completion_tokens")
 
     def __init__(self) -> None:
         self.calls = 0
         self.prompt_tokens = 0
         self.completion_tokens = 0
 
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelStats(calls={self.calls}, prompt_tokens={self.prompt_tokens}, "
+            f"completion_tokens={self.completion_tokens})"
+        )
+
+
+class ClientStats:
+    """Aggregate usage across all calls made through one client.
+
+    Accumulation is lock-protected so concurrent ``map()`` workers never
+    lose updates; ``per_model`` breaks the totals down by model name and
+    ``reset()`` zeroes everything (e.g. between experiment phases).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.prompt_tokens = 0
+        self.completion_tokens = 0
+        self._per_model: dict[str, ModelStats] = {}
+
     def record(self, result: CompletionResult) -> None:
-        self.calls += 1
-        self.prompt_tokens += result.usage.prompt_tokens
-        self.completion_tokens += result.usage.completion_tokens
+        with self._lock:
+            self.calls += 1
+            self.prompt_tokens += result.usage.prompt_tokens
+            self.completion_tokens += result.usage.completion_tokens
+            model = self._per_model.setdefault(result.model, ModelStats())
+            model.calls += 1
+            model.prompt_tokens += result.usage.prompt_tokens
+            model.completion_tokens += result.usage.completion_tokens
+
+    @staticmethod
+    def _copy(live: ModelStats) -> ModelStats:
+        snapshot = ModelStats()
+        snapshot.calls = live.calls
+        snapshot.prompt_tokens = live.prompt_tokens
+        snapshot.completion_tokens = live.completion_tokens
+        return snapshot
+
+    @property
+    def per_model(self) -> dict[str, ModelStats]:
+        """A consistent snapshot of the per-model breakdown.
+
+        Copied under the lock, so iterating it while batch workers record
+        concurrently is safe (the live dict is never exposed).
+        """
+        with self._lock:
+            return {name: self._copy(live) for name, live in self._per_model.items()}
+
+    def for_model(self, name: str) -> ModelStats:
+        """A snapshot of one model's usage (zeros if never called)."""
+        with self._lock:
+            live = self._per_model.get(name)
+            return self._copy(live) if live is not None else ModelStats()
+
+    def reset(self) -> None:
+        with self._lock:
+            self.calls = 0
+            self.prompt_tokens = 0
+            self.completion_tokens = 0
+            self._per_model = {}
 
     def __repr__(self) -> str:
         return (
@@ -39,7 +114,14 @@ class ClientStats:
 
 
 class ChatClient:
-    """Routes chat completions to named models and accounts for time."""
+    """Routes chat completions to providers and accounts for time.
+
+    Model names resolve to providers by longest registered prefix
+    (:func:`repro.llm.providers.register_provider`); names matching no
+    prefix get the simulated backend, and a :class:`LanguageModel`
+    registered by exact name via :meth:`register` takes precedence over
+    any prefix.
+    """
 
     def __init__(
         self,
@@ -55,15 +137,52 @@ class ChatClient:
         #: Optional transcript recorder (off by default; see
         #: :mod:`repro.llm.transcript`).
         self.recorder = recorder
+        self._providers: dict[str, Provider] = {}
+        # Adapters for models registered by exact name via register();
+        # these shadow prefix routing.  Backends a provider lazily caches
+        # in ``models`` (the simulated family) never appear here.
+        self._exact: dict[str, RegisteredModelProvider] = {
+            name: RegisteredModelProvider(model)
+            for name, model in self.models.items()
+        }
+        self._lock = threading.Lock()
+        self._recorder_lock = threading.Lock()
+
+    def provider_for(self, model: str) -> Provider:
+        """The provider serving ``model`` (instantiated once per client)."""
+        adapter = self._exact.get(model)
+        if adapter is not None:
+            return adapter
+        prefix, factory = resolve_factory(model)
+        provider = self._providers.get(prefix)
+        if provider is not None:
+            return provider
+        # Instantiate outside the lock: factories receive the owning
+        # client and may legitimately call back into it (e.g. to wrap
+        # another provider).  A racing duplicate is discarded.
+        created = factory(self)
+        with self._lock:
+            return self._providers.setdefault(prefix, created)
 
     def resolve(self, name: str) -> LanguageModel:
-        """The backend for ``name``; simulated backends are created lazily."""
-        if name not in self.models:
-            self.models[name] = SimulatedLLM(name, policy=self.noise_policy)
-        return self.models[name]
+        """The backend for ``name``; simulated backends are created lazily.
+
+        Only providers that expose per-name ``language_model`` objects (the
+        simulated family and exact-name registrations) can be resolved this
+        way; wire-level providers serve completions without one.
+        """
+        provider = self.provider_for(name)
+        language_model = getattr(provider, "language_model", None)
+        if language_model is None:
+            raise LookupError(
+                f"provider {provider.name!r} for model {name!r} does not "
+                "expose a LanguageModel; call chat_complete instead"
+            )
+        return language_model(name)
 
     def register(self, model: LanguageModel) -> None:
         self.models[model.name] = model
+        self._exact[model.name] = RegisteredModelProvider(model)
 
     def chat_complete(
         self,
@@ -73,15 +192,50 @@ class ChatClient:
     ) -> CompletionResult:
         """Complete a conversation; a bare string is wrapped as one user
         message (the shape AskIt's prompts use)."""
+        messages = self._as_messages(messages)
+        result = self.provider_for(model).complete(model, messages, temperature)
+        self._account(model, messages, result)
+        return result
+
+    async def achat_complete(
+        self,
+        model: str,
+        messages: Sequence[ChatMessage] | str,
+        temperature: float = 1.0,
+    ) -> CompletionResult:
+        """Async counterpart of :meth:`chat_complete`.
+
+        Uses the provider's native async path when it has one; otherwise
+        the sync ``complete`` runs on a worker thread so the event loop
+        never blocks.
+        """
+        messages = self._as_messages(messages)
+        provider = self.provider_for(model)
+        if provider.supports_async:
+            result = await provider.acomplete(model, messages, temperature)
+        else:
+            result = await asyncio.to_thread(
+                provider.complete, model, messages, temperature
+            )
+        self._account(model, messages, result)
+        return result
+
+    @staticmethod
+    def _as_messages(messages: Sequence[ChatMessage] | str) -> Sequence[ChatMessage]:
         if isinstance(messages, str):
-            messages = [user_message(messages)]
-        backend = self.resolve(model)
-        result = backend.complete(messages, temperature)
+            return [user_message(messages)]
+        return messages
+
+    def _account(
+        self, model: str, messages: Sequence[ChatMessage], result: CompletionResult
+    ) -> None:
         self.clock.charge(result.latency_s)
         self.stats.record(result)
         if self.recorder is not None:
-            self.recorder.record(model, messages, result)
-        return result
+            # Dedicated lock: a slow recorder must not block provider
+            # resolution for concurrent batch workers.
+            with self._recorder_lock:
+                self.recorder.record(model, messages, result)
 
 
 _DEFAULT_CLIENT: ChatClient | None = None

@@ -15,6 +15,7 @@ light normalization.
 from __future__ import annotations
 
 import re
+import threading
 from typing import Any, Callable
 
 from repro.mathexpr import Expr
@@ -171,14 +172,23 @@ def global_knowledge() -> KnowledgeBase:
 
 
 _catalog_loaded = False
+_catalog_lock = threading.Lock()
 
 
 def _ensure_builtin_catalog() -> None:
     """Load the built-in task catalog exactly once (lazily, to avoid import
-    cycles between the LLM substrate and the datasets)."""
+    cycles between the LLM substrate and the datasets).
+
+    Thread-safe: the flag flips only after registration completes, so a
+    concurrent first access never observes a partially filled catalog.
+    """
     global _catalog_loaded
-    if not _catalog_loaded:
-        _catalog_loaded = True
+    if _catalog_loaded:
+        return
+    with _catalog_lock:
+        if _catalog_loaded:
+            return
         from repro.llm.synthesis import catalog
 
         catalog.register_builtin_tasks(GLOBAL_KNOWLEDGE)
+        _catalog_loaded = True

@@ -12,6 +12,10 @@ completion and accumulated by the caller; nothing sleeps.
 
 from __future__ import annotations
 
+import contextlib
+import threading
+from typing import Iterator
+
 
 class LatencyProfile:
     """Seconds of simulated latency per completion."""
@@ -63,16 +67,108 @@ def profile_for(model: str) -> LatencyProfile:
     return PROFILES.get(model, DEFAULT_PROFILE)
 
 
+class ConcurrentRegion:
+    """Handle for one :meth:`VirtualClock.concurrent` region.
+
+    While the region is open, charges accumulate on *lanes* (one per work
+    item when opened by :func:`repro.core.batch.run_batch`, one per thread
+    for ad-hoc use).  On exit, ``wall_s`` is the time the lanes would have
+    taken executing on ``workers`` parallel slots: the longest lane when
+    ``workers`` is unbounded, otherwise a greedy longest-first schedule.
+    The estimate depends only on the charged amounts -- never on how the
+    OS actually interleaved the threads -- so batch wall-clocks are
+    reproducible.
+    """
+
+    __slots__ = ("lanes", "wall_s", "workers")
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.lanes: dict[object, float] = {}
+        self.wall_s = 0.0
+        self.workers = workers
+
+    def scheduled_wall_s(self) -> float:
+        """Ideal parallel wall-clock of the charged lanes over ``workers``."""
+        times = sorted(self.lanes.values(), reverse=True)
+        if not times:
+            return 0.0
+        if self.workers is None or self.workers >= len(times):
+            return times[0]
+        slots = [0.0] * self.workers
+        for duration in times:  # longest-first onto the least-loaded slot
+            index = min(range(len(slots)), key=slots.__getitem__)
+            slots[index] += duration
+        return max(slots)
+
+
 class VirtualClock:
-    """Accumulates simulated seconds; experiments read ``elapsed_s``."""
+    """Accumulates simulated seconds; experiments read ``elapsed_s``.
+
+    Thread-safe: concurrent callers may ``charge`` freely.  Outside a
+    :meth:`concurrent` region charges add up serially (the pre-batching
+    behaviour); inside one, lanes overlap and only the region's scheduled
+    wall-clock advances the clock.  Regions bind to threads explicitly
+    (:meth:`in_lane`), so two batches overlapping on one clock each keep
+    their own accounting instead of stealing each other's charges.
+    """
 
     def __init__(self) -> None:
         self.elapsed_s = 0.0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _frames(self) -> list[tuple[ConcurrentRegion, object]]:
+        """This thread's stack of (region, lane-key) bindings."""
+        frames = getattr(self._local, "frames", None)
+        if frames is None:
+            frames = self._local.frames = []
+        return frames
 
     def charge(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("cannot charge negative time")
-        self.elapsed_s += seconds
+        frames = self._frames()
+        with self._lock:
+            if frames:
+                region, lane = frames[-1]
+                region.lanes[lane] = region.lanes.get(lane, 0.0) + seconds
+            else:
+                self.elapsed_s += seconds
+
+    @contextlib.contextmanager
+    def in_lane(self, region: ConcurrentRegion, lane: object) -> Iterator[None]:
+        """Bind this thread's charges to ``region`` under ``lane``.
+
+        Batch workers wrap each work item in one lane, so a region's
+        accounting is per item regardless of worker-thread reuse, and
+        sibling regions on other threads are unaffected.
+        """
+        frames = self._frames()
+        frames.append((region, lane))
+        try:
+            yield
+        finally:
+            frames.pop()
+
+    @contextlib.contextmanager
+    def concurrent(self, workers: int | None = None) -> Iterator[ConcurrentRegion]:
+        """Open a region in which charged lanes overlap.
+
+        Charges from the opening thread land on its own lane; worker
+        threads join via :meth:`in_lane`.  On exit the region's scheduled
+        wall-clock is charged onward -- to the enclosing region when this
+        one is nested (the inner batch occupies one lane of the outer),
+        else to ``elapsed_s``.
+        """
+        region = ConcurrentRegion(workers)
+        try:
+            with self.in_lane(region, ("thread", threading.get_ident())):
+                yield region
+        finally:
+            with self._lock:
+                region.wall_s = region.scheduled_wall_s()
+            self.charge(region.wall_s)
 
     def reset(self) -> None:
-        self.elapsed_s = 0.0
+        with self._lock:
+            self.elapsed_s = 0.0

@@ -1,0 +1,106 @@
+"""The provider registry: model-name prefixes to backend factories.
+
+``ChatClient`` asks :func:`resolve_factory` for the factory owning a model
+name; the longest registered prefix wins, and names matching no prefix
+fall back to the simulated provider (so ``sim-gpt-4`` and any ad-hoc
+model name behave exactly as before the registry existed).
+
+A factory is any ``callable(client) -> Provider``; provider classes whose
+``__init__`` takes the owning client (or ignores it) can be registered
+directly.  Registration is process-global and thread-safe::
+
+    from repro.llm.providers import register_provider
+    register_provider("acme-", AcmeProvider)
+
+    ask(t.str, "...", config=Config(model="acme-large"))
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConfigError
+from repro.llm.providers.base import Provider, ProviderBase
+from repro.llm.providers.openai_stub import OpenAIStubProvider
+from repro.llm.providers.simulated import RegisteredModelProvider, SimulatedProvider
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.llm.client import ChatClient
+
+ProviderFactory = Callable[["ChatClient"], Provider]
+
+_LOCK = threading.Lock()
+_FACTORIES: dict[str, ProviderFactory] = {}
+
+#: Prefix of the built-in simulated models; also the fallback for names
+#: matching no registered prefix.
+SIMULATED_PREFIX = "sim-"
+
+#: The fallback factory used when no registered prefix matches.
+DEFAULT_FACTORY: ProviderFactory = SimulatedProvider
+
+
+def register_provider(
+    prefix: str, factory: ProviderFactory, *, replace: bool = False
+) -> None:
+    """Route model names starting with ``prefix`` to ``factory``.
+
+    Raises :class:`ConfigError` on an empty prefix or a duplicate
+    registration unless ``replace`` is set.
+    """
+    if not prefix:
+        raise ConfigError("provider prefix must be a non-empty string")
+    with _LOCK:
+        if prefix in _FACTORIES and not replace:
+            raise ConfigError(
+                f"a provider is already registered for prefix {prefix!r} "
+                "(pass replace=True to override)"
+            )
+        _FACTORIES[prefix] = factory
+
+
+def unregister_provider(prefix: str) -> bool:
+    """Remove a registration; returns whether it existed."""
+    with _LOCK:
+        return _FACTORIES.pop(prefix, None) is not None
+
+
+def registered_prefixes() -> tuple[str, ...]:
+    """Currently registered prefixes, longest first."""
+    with _LOCK:
+        return tuple(sorted(_FACTORIES, key=len, reverse=True))
+
+
+def resolve_factory(model: str) -> tuple[str, ProviderFactory]:
+    """The ``(prefix, factory)`` serving ``model``.
+
+    Longest matching prefix wins; unmatched names get the simulated
+    fallback under the pseudo-prefix ``""``.
+    """
+    with _LOCK:
+        best = ""
+        for prefix in _FACTORIES:
+            if model.startswith(prefix) and len(prefix) > len(best):
+                best = prefix
+        if best:
+            return best, _FACTORIES[best]
+    return "", DEFAULT_FACTORY
+
+
+register_provider(SIMULATED_PREFIX, SimulatedProvider)
+
+__all__ = [
+    "Provider",
+    "ProviderBase",
+    "ProviderFactory",
+    "SimulatedProvider",
+    "RegisteredModelProvider",
+    "OpenAIStubProvider",
+    "register_provider",
+    "unregister_provider",
+    "registered_prefixes",
+    "resolve_factory",
+    "SIMULATED_PREFIX",
+    "DEFAULT_FACTORY",
+]

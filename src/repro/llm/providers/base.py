@@ -1,0 +1,67 @@
+"""The ``Provider`` protocol: the seam between ``ChatClient`` and backends.
+
+A provider owns everything behind one family of model names (``sim-*``,
+``openai-stub-*``, ...): how a request is sent, how the reply maps back to
+a :class:`~repro.llm.base.CompletionResult`, and whether the transport is
+natively asynchronous.  ``ChatClient`` resolves a provider per model name
+through the registry in :mod:`repro.llm.providers` -- third parties add
+backends by registering a factory, never by editing the client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+from repro.llm.base import ChatMessage, CompletionResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.llm.client import ChatClient
+
+
+@runtime_checkable
+class Provider(Protocol):
+    """What a backend must offer to serve completions through ``ChatClient``.
+
+    Capability flags:
+
+    * ``supports_async`` -- the provider has a *native* ``acomplete``; when
+      false the client runs ``complete`` on a worker thread instead.
+    * ``deterministic`` -- same request, same reply (the simulated backend
+      is; a hosted endpoint is not).  Batch deduplication consults this
+      before sharing one in-flight result across identical prompts.
+    """
+
+    name: str
+    supports_async: bool
+    deterministic: bool
+
+    def complete(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> CompletionResult:
+        """Serve one chat completion synchronously."""
+        ...
+
+    async def acomplete(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> CompletionResult:
+        """Serve one chat completion asynchronously."""
+        ...
+
+
+class ProviderBase:
+    """Convenience base: sync providers inherit a thread-offloaded ``acomplete``."""
+
+    name = "provider"
+    supports_async = False
+    deterministic = False
+
+    def complete(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> CompletionResult:
+        raise NotImplementedError
+
+    async def acomplete(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> CompletionResult:
+        return await asyncio.to_thread(self.complete, model, messages, temperature)

@@ -1,0 +1,113 @@
+"""An OpenAI-shaped provider stub.
+
+This provider speaks the ``chat.completions`` wire shape -- a request dict
+with ``model``/``messages``/``temperature``, a response dict with
+``choices`` and ``usage`` -- without any network or SDK.  It exists to
+prove the provider seam: everything a real hosted adapter would do
+(marshal the request, unmarshal the reply, account tokens) happens here
+against a local responder, so swapping in the real OpenAI client is a
+transport change only.
+
+Tests register it under a prefix of their choosing via
+:func:`repro.llm.providers.register_provider` to demonstrate third-party
+backends without touching ``ChatClient``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.llm.base import ChatMessage, CompletionResult, Usage
+from repro.llm.providers.base import ProviderBase
+from repro.llm.tokenizer import count_tokens
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.llm.client import ChatClient
+
+#: Seconds of simulated latency the stub reports per completion.
+STUB_LATENCY_S = 0.01
+
+
+def _echo_responder(request: dict[str, Any]) -> dict[str, Any]:
+    """Default responder: acknowledge the last user message."""
+    last = request["messages"][-1]["content"] if request["messages"] else ""
+    text = f"[stub:{request['model']}] {last[:120]}"
+    prompt_tokens = sum(
+        count_tokens(message["content"]) + 4 for message in request["messages"]
+    )
+    return {
+        "id": "chatcmpl-stub",
+        "object": "chat.completion",
+        "model": request["model"],
+        "choices": [
+            {
+                "index": 0,
+                "message": {"role": "assistant", "content": text},
+                "finish_reason": "stop",
+            }
+        ],
+        "usage": {
+            "prompt_tokens": prompt_tokens,
+            "completion_tokens": count_tokens(text),
+        },
+    }
+
+
+class OpenAIStubProvider(ProviderBase):
+    """OpenAI-wire-shaped provider with a pluggable local responder."""
+
+    name = "openai-stub"
+    supports_async = True
+    deterministic = True
+
+    def __init__(
+        self,
+        client: "ChatClient | None" = None,
+        responder: Callable[[dict[str, Any]], dict[str, Any]] | None = None,
+    ) -> None:
+        # ``client`` is accepted (and ignored) so the class itself can be
+        # passed to register_provider as a factory.
+        self._responder = responder or _echo_responder
+
+    # -- wire marshalling ---------------------------------------------------
+
+    @staticmethod
+    def build_request(
+        model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> dict[str, Any]:
+        return {
+            "model": model,
+            "temperature": temperature,
+            "messages": [
+                {"role": message.role, "content": message.content}
+                for message in messages
+            ],
+        }
+
+    @staticmethod
+    def parse_response(response: dict[str, Any]) -> CompletionResult:
+        choice = response["choices"][0]
+        usage = response.get("usage", {})
+        return CompletionResult(
+            choice["message"]["content"],
+            Usage(
+                usage.get("prompt_tokens", 0),
+                usage.get("completion_tokens", 0),
+            ),
+            STUB_LATENCY_S,
+            response["model"],
+        )
+
+    # -- Provider -----------------------------------------------------------
+
+    def complete(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> CompletionResult:
+        request = self.build_request(model, messages, temperature)
+        return self.parse_response(self._responder(request))
+
+    async def acomplete(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> CompletionResult:
+        # Native async path: no thread hop, the responder is local.
+        return self.complete(model, messages, temperature)

@@ -1,0 +1,85 @@
+"""The default provider: simulated GPT-class backends.
+
+Wraps :class:`~repro.llm.simulated.SimulatedLLM` behind the
+:class:`~repro.llm.providers.base.Provider` protocol.  Model instances are
+shared with the owning client's ``models`` dict so ``client.resolve(name)``
+and provider-routed completions observe the same backend object (and the
+same per-prompt occurrence counters, which seed the noise RNG).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Sequence
+
+from repro.llm.base import ChatMessage, CompletionResult, LanguageModel
+from repro.llm.providers.base import ProviderBase
+from repro.llm.simulated import SimulatedLLM
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.llm.client import ChatClient
+
+
+class SimulatedProvider(ProviderBase):
+    """Serves any model name with a lazily created :class:`SimulatedLLM`."""
+
+    name = "simulated"
+    supports_async = False
+
+    def __init__(self, client: "ChatClient") -> None:
+        self._client = client
+        self._create_lock = threading.Lock()
+
+    @property
+    def deterministic(self) -> bool:  # type: ignore[override]
+        """Same request, same reply -- only under a noise-free policy.
+
+        With failure injection enabled, repeated identical prompts draw
+        fresh noise (the per-prompt occurrence counter advances), so
+        batch deduplication must treat them as independent samples.
+        """
+        policy = self._client.noise_policy
+        return (
+            policy is not None
+            and policy.direct_corruption_rate == 0.0
+            and policy.buggy_code_rate == 0.0
+        )
+
+    def language_model(self, model: str) -> LanguageModel:
+        """The backend instance for ``model``, created on first use."""
+        models = self._client.models
+        if model not in models:
+            with self._create_lock:
+                if model not in models:
+                    models[model] = SimulatedLLM(
+                        model, policy=self._client.noise_policy
+                    )
+        return models[model]
+
+    def complete(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> CompletionResult:
+        return self.language_model(model).complete(messages, temperature)
+
+
+class RegisteredModelProvider(ProviderBase):
+    """Adapter for a :class:`LanguageModel` registered by exact name.
+
+    Keeps ``client.register(model)`` working unchanged: an explicitly
+    registered backend takes precedence over any prefix-matched provider.
+    """
+
+    name = "registered-model"
+    supports_async = False
+    deterministic = False
+
+    def __init__(self, model: LanguageModel) -> None:
+        self._model = model
+
+    def language_model(self, model: str) -> LanguageModel:
+        return self._model
+
+    def complete(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> CompletionResult:
+        return self._model.complete(messages, temperature)

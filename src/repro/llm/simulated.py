@@ -15,7 +15,9 @@ leaks around the prompt.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import threading
 from typing import Any, Sequence
 
 from repro.llm import noise as noise_mod
@@ -56,6 +58,15 @@ class SimulatedLLM(LanguageModel):
         self._knowledge = knowledge
         self.policy = policy or NoisePolicy()
         self.call_count = 0
+        # Per-prompt occurrence counts seed the noise RNG: identical runs
+        # stay reproducible even when calls for *different* prompts are
+        # issued concurrently in scheduler-dependent order (each prompt's
+        # own retries are sequential, so its counter is deterministic).
+        # Keyed by prompt digest, not prompt text, so a long-lived model
+        # retains a few dozen bytes per distinct prompt rather than the
+        # prompt itself.
+        self._prompt_counts: dict[bytes, int] = {}
+        self._count_lock = threading.Lock()
 
     @property
     def knowledge(self) -> KnowledgeBase:
@@ -69,8 +80,12 @@ class SimulatedLLM(LanguageModel):
         if not messages:
             raise ValueError("complete() needs at least one message")
         prompt = messages[-1].content
-        self.call_count += 1
-        rng = self.policy.rng_for(prompt, self.call_count if temperature > 0 else 0)
+        digest = hashlib.sha256(prompt.encode()).digest()
+        with self._count_lock:
+            self.call_count += 1
+            occurrence = self._prompt_counts.get(digest, 0) + 1
+            self._prompt_counts[digest] = occurrence
+        rng = self.policy.rng_for(prompt, occurrence if temperature > 0 else 0)
 
         kind = classify_prompt(prompt)
         if kind == "direct":

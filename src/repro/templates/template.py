@@ -48,7 +48,7 @@ class PromptTemplate:
         Returns an empty string for parameterless templates.  Values are
         rendered as JSON so the LLM sees unambiguous constants.
         """
-        self._require_exact_args(args)
+        self.require_exact_args(args)
         if not self.parameters:
             return ""
         bindings = ", ".join(
@@ -58,7 +58,7 @@ class PromptTemplate:
 
     def substituted(self, args: Mapping[str, Any]) -> str:
         """Render with placeholders replaced by rendered argument values."""
-        self._require_exact_args(args)
+        self.require_exact_args(args)
         parts: list[str] = []
         for segment in self.segments:
             if isinstance(segment, TextSegment):
@@ -69,18 +69,23 @@ class PromptTemplate:
 
     # -- argument checking ---------------------------------------------
 
-    def _require_exact_args(self, args: Mapping[str, Any]) -> None:
+    def require_exact_args(self, args: Mapping[str, Any]) -> None:
+        """Raise :class:`TemplateError` naming any unknown/missing parameters."""
+        unknown = [name for name in args if name not in self.parameters]
         missing = [name for name in self.parameters if name not in args]
-        if missing:
+        if unknown or missing:
+            problems = []
+            if unknown:
+                problems.append(f"unknown parameter(s) {unknown}")
+            if missing:
+                problems.append(f"missing parameter(s) {missing}")
             raise TemplateError(
-                f"missing arguments {missing} for template {self.text!r}"
-            )
-        extra = [name for name in args if name not in self.parameters]
-        if extra:
-            raise TemplateError(
-                f"unexpected arguments {extra} for template {self.text!r} "
+                f"{' and '.join(problems)} for template {self.text!r} "
                 f"(declared parameters: {list(self.parameters)})"
             )
+
+    # Backwards-compatible alias (pre-Session internal name).
+    _require_exact_args = require_exact_args
 
     def bind_positional(self, values: Sequence[Any]) -> dict[str, Any]:
         """Map positional values onto parameters in declaration order."""

@@ -1,0 +1,349 @@
+"""Concurrency suite for the Session-centric API.
+
+Covers the redesign's contracts: session isolation, no config leakage,
+``map()`` ordering / per-item failure isolation / deduplication,
+async-sync parity, and the thread-safety of the shared accounting
+(ClientStats, VirtualClock).
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+import repro.types as t
+from repro import Session, ask, default_session
+from repro.core import Config, config_override, configure, get_config
+from repro.errors import MaxRetriesExceededError, TemplateError
+from repro.llm import (
+    ChatClient,
+    CompletionResult,
+    LanguageModel,
+    QUIET,
+    Usage,
+)
+from repro.llm.latency import VirtualClock
+
+
+def quiet_session(**overrides) -> Session:
+    return Session(
+        client=ChatClient(noise_policy=QUIET), cache_dir=None, **overrides
+    )
+
+
+class ParityModel(LanguageModel):
+    """Answers ``factorial-style`` prompts for even ``n``; garbage for odd.
+
+    Gives ``map()`` a data-dependent failure mode: odd items exhaust their
+    retries while even items succeed.
+    """
+
+    def __init__(self, name: str = "parity-model") -> None:
+        self.name = name
+
+    def complete(self, messages, temperature: float = 1.0) -> CompletionResult:
+        prompt = messages[-1].content
+        # The direct prompt carries `where 'n' = <value>`.
+        marker = "'n' = "
+        n = int(prompt.split(marker, 1)[1].split(",")[0].split("\n")[0])
+        if n % 2 == 0:
+            text = f"```json\n{json.dumps({'reason': 'even', 'answer': n * 10})}\n```"
+        else:
+            text = "I would rather not answer with JSON today."
+        return CompletionResult(text, Usage(10, 5), 2.0, self.name)
+
+
+class TestSessionIsolation:
+    def test_two_sessions_do_not_interleave_state(self):
+        s1 = quiet_session(model="sim-gpt-4")
+        s2 = quiet_session(model="sim-gpt-3.5-turbo-16k")
+        assert s1.client is not s2.client
+
+        s1.ask(t.int, "What is 7 times 8?")
+        s1.ask(t.int, "What is 7 times 8?")
+        s2.ask(t.int, "What is 7 times 8?")
+
+        assert s1.stats.calls == 2
+        assert s2.stats.calls == 1
+        assert set(s1.stats.per_model) == {"sim-gpt-4"}
+        assert set(s2.stats.per_model) == {"sim-gpt-3.5-turbo-16k"}
+        assert s1.clock.elapsed_s > 0
+        assert s1.clock.elapsed_s != pytest.approx(s2.clock.elapsed_s)
+
+    def test_isolated_session_gets_private_client(self):
+        s = Session(model="sim-gpt-4")
+        assert s.client is not get_config().client
+        assert not s.tracks_global_config
+
+    def test_config_override_does_not_leak_into_session(self, quiet_config):
+        session = quiet_session(model="sim-gpt-4")
+        with config_override(model="sim-other-model"):
+            assert session.config.model == "sim-gpt-4"
+            fn = session.define(t.int, "What is 7 times 8?")
+            assert fn.config.model == "sim-gpt-4"
+            assert fn() == 56
+            assert set(session.stats.per_model) == {"sim-gpt-4"}
+
+    def test_configure_does_not_leak_into_session(self):
+        session = quiet_session(model="sim-gpt-4")
+        saved = get_config()
+        try:
+            configure(model="sim-elsewhere")
+            assert session.config.model == "sim-gpt-4"
+        finally:
+            configure(model=saved.model)
+
+    def test_default_session_tracks_global_config(self, quiet_config):
+        assert default_session().tracks_global_config
+        assert default_session().config is get_config()
+        with config_override(model="sim-gpt-3.5-turbo-16k"):
+            assert default_session().config.model == "sim-gpt-3.5-turbo-16k"
+
+    def test_module_api_is_a_facade_over_default_session(self, quiet_config):
+        before = default_session().stats.calls
+        assert ask(t.int, "What is 7 times 8?") == 56
+        assert default_session().stats.calls == before + 1
+
+    def test_replace_derives_isolated_session(self):
+        base = quiet_session(model="sim-gpt-4")
+        derived = base.replace(model="sim-gpt-3.5-turbo-16k")
+        assert base.config.model == "sim-gpt-4"
+        assert derived.config.model == "sim-gpt-3.5-turbo-16k"
+
+    def test_session_reset_zeroes_stats_and_clock(self):
+        session = quiet_session()
+        session.ask(t.int, "What is 7 times 8?")
+        assert session.stats.calls == 1 and session.clock.elapsed_s > 0
+        session.reset()
+        assert session.stats.calls == 0
+        assert session.clock.elapsed_s == 0.0
+        assert session.stats.per_model == {}
+
+
+class TestBindValidation:
+    def test_unknown_kwarg_raises_template_error_naming_it(self):
+        fn = quiet_session().define(t.str, "Summarize {{subject}}.")
+        with pytest.raises(TemplateError, match=r"sbject"):
+            fn(sbject="typo")
+
+    def test_missing_kwarg_raises_template_error_naming_it(self):
+        fn = quiet_session().define(t.int, "Add {{a}} and {{b}}.")
+        with pytest.raises(TemplateError, match=r"missing parameter\(s\) \['b'\]"):
+            fn(a=1)
+
+    def test_mapping_call_style_is_validated_too(self):
+        fn = quiet_session().define(t.str, "Summarize {{subject}}.")
+        with pytest.raises(TemplateError, match=r"unknown parameter\(s\)"):
+            fn({"subject": "ok", "stray": 1})
+
+
+class TestMap:
+    def test_results_preserve_input_order(self):
+        session = quiet_session()
+        factorial = session.define(t.int, "Calculate the factorial of {{n}}.")
+        batch = factorial.map([{"n": n} for n in (6, 3, 5, 1, 4)], max_concurrency=4)
+        assert list(batch) == [720, 6, 120, 1, 24]
+        assert batch.ok
+
+    def test_bare_values_bind_single_parameter_templates(self):
+        session = quiet_session()
+        factorial = session.define(t.int, "Calculate the factorial of {{n}}.")
+        assert factorial.map([3, 4]).values == [6, 24]
+
+    def test_per_item_failures_are_isolated(self):
+        session = quiet_session(model="parity-model", max_retries=0)
+        session.client.register(ParityModel())
+        fn = session.define(t.int, "Scale {{n}} by ten.")
+        batch = fn.map([{"n": n} for n in range(6)], max_concurrency=3)
+
+        assert [o.ok for o in batch.outcomes] == [True, False, True, False, True, False]
+        assert [batch[i] for i in (0, 2, 4)] == [0, 20, 40]
+        for failure in batch.failures:
+            assert isinstance(failure.error, MaxRetriesExceededError)
+        with pytest.raises(MaxRetriesExceededError):
+            batch[1]
+        with pytest.raises(MaxRetriesExceededError):
+            batch.values  # noqa: B018 - property access raises
+
+    def test_identical_bindings_deduplicate(self):
+        session = quiet_session()
+        factorial = session.define(t.int, "Calculate the factorial of {{n}}.")
+        before = session.stats.calls
+        batch = factorial.map([{"n": 5}] * 4 + [{"n": 6}], max_concurrency=4)
+        assert list(batch) == [120, 120, 120, 120, 720]
+        assert session.stats.calls - before == 2
+        assert [o.deduped for o in batch.outcomes] == [False, True, True, True, False]
+
+    def test_dedup_can_be_disabled(self):
+        session = quiet_session()
+        factorial = session.define(t.int, "Calculate the factorial of {{n}}.")
+        before = session.stats.calls
+        factorial.map([{"n": 5}] * 3, dedup=False)
+        assert session.stats.calls - before == 3
+
+    def test_batch_wall_clock_beats_sequential(self):
+        session = quiet_session()
+        factorial = session.define(t.int, "Calculate the factorial of {{n}}.")
+        batch = factorial.map([{"n": n} for n in range(1, 9)], max_concurrency=8)
+        assert batch.wall_s > 0
+        assert batch.sequential_s > batch.wall_s
+        assert session.clock.elapsed_s == pytest.approx(batch.wall_s)
+
+    def test_invalid_map_item_raises_before_any_call(self):
+        session = quiet_session()
+        fn = session.define(t.int, "Add {{a}} and {{b}}.")
+        before = session.stats.calls
+        with pytest.raises(TemplateError):
+            fn.map([7])
+        assert session.stats.calls == before
+
+
+class TestAsyncParity:
+    def test_acall_matches_sync_call(self):
+        session = quiet_session()
+        factorial = session.define(t.int, "Calculate the factorial of {{n}}.")
+        sync_value = factorial(n=6)
+        async_value = asyncio.run(factorial.acall(n=6))
+        assert async_value == sync_value == 720
+
+    def test_ask_async_matches_ask(self):
+        session = quiet_session()
+        sync_value = session.ask(t.int, "What is 7 times 8?")
+        async_value = asyncio.run(session.ask_async(t.int, "What is 7 times 8?"))
+        assert async_value == sync_value == 56
+
+    def test_concurrent_acalls_on_one_loop(self):
+        session = quiet_session()
+        factorial = session.define(t.int, "Calculate the factorial of {{n}}.")
+
+        async def fan_out():
+            return await asyncio.gather(
+                *(factorial.acall(n=n) for n in (3, 4, 5))
+            )
+
+        assert asyncio.run(fan_out()) == [6, 24, 120]
+
+    def test_acall_validates_bindings(self):
+        session = quiet_session()
+        fn = session.define(t.int, "Add {{a}} and {{b}}.")
+        with pytest.raises(TemplateError):
+            asyncio.run(fn.acall(a=1, c=2))
+
+
+class TestAccountingThreadSafety:
+    def test_client_stats_accumulate_atomically(self):
+        stats = ChatClient().stats
+        result = CompletionResult("x", Usage(3, 2), 0.5, "m")
+
+        def hammer():
+            for _ in range(500):
+                stats.record(result)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.calls == 4000
+        assert stats.prompt_tokens == 12000
+        assert stats.completion_tokens == 8000
+        assert stats.for_model("m").calls == 4000
+        assert stats.for_model("never-called").calls == 0
+
+    def test_virtual_clock_charges_atomically(self):
+        clock = VirtualClock()
+
+        def hammer():
+            for _ in range(1000):
+                clock.charge(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert clock.elapsed_s == pytest.approx(8.0)
+
+    def test_concurrent_region_takes_longest_lane(self):
+        clock = VirtualClock()
+
+        def lane(region, index: int, seconds: float):
+            with clock.in_lane(region, ("item", index)):
+                clock.charge(seconds)
+
+        with clock.concurrent() as region:
+            threads = [
+                threading.Thread(target=lane, args=(region, i, s))
+                for i, s in enumerate((1.0, 2.0, 3.0))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert region.wall_s == pytest.approx(3.0)
+        assert clock.elapsed_s == pytest.approx(3.0)
+
+    def test_bounded_workers_schedule_lanes(self):
+        clock = VirtualClock()
+        with clock.concurrent(workers=2) as region:
+            for index, seconds in enumerate((3.0, 2.0, 2.0, 1.0)):
+                with clock.in_lane(region, ("item", index)):
+                    clock.charge(seconds)
+        # Longest-first over 2 slots: [3, 1] and [2, 2] -> wall 4.
+        assert region.wall_s == pytest.approx(4.0)
+        assert clock.elapsed_s == pytest.approx(4.0)
+
+    def test_sibling_regions_do_not_steal_charges(self):
+        clock = VirtualClock()
+        results = {}
+
+        def batch(name: str, seconds: float, ready: threading.Barrier):
+            with clock.concurrent() as region:
+                with clock.in_lane(region, ("item", 0)):
+                    ready.wait()  # both regions open before either charges
+                    clock.charge(seconds)
+            results[name] = region.wall_s
+
+        ready = threading.Barrier(2)
+        threads = [
+            threading.Thread(target=batch, args=("a", 10.0, ready)),
+            threading.Thread(target=batch, args=("b", 1.0, ready)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == {"a": pytest.approx(10.0), "b": pytest.approx(1.0)}
+        assert clock.elapsed_s == pytest.approx(11.0)
+
+    def test_stats_reset(self):
+        stats = ChatClient().stats
+        stats.record(CompletionResult("x", Usage(1, 1), 0.1, "m"))
+        stats.reset()
+        assert stats.calls == 0 and stats.per_model == {}
+
+
+class TestSessionConfigHandling:
+    def test_session_accepts_explicit_config_object(self):
+        config = Config(model="sim-gpt-4", cache_dir=None)
+        session = Session(config)
+        assert session.config.model == "sim-gpt-4"
+        assert session.client is not None
+
+    def test_session_overrides_compose_with_config(self):
+        config = Config(model="sim-gpt-4", cache_dir=None)
+        session = Session(config, model="sim-gpt-3.5-turbo-16k")
+        assert session.config.model == "sim-gpt-3.5-turbo-16k"
+
+    def test_run_parallel_orders_and_isolates(self):
+        session = quiet_session()
+
+        def work(n):
+            def thunk():
+                return session.ask(t.int, "Calculate the factorial of {{n}}.", n=n)
+
+            return thunk
+
+        batch = session.run_parallel([work(n) for n in (2, 3, 4)], max_concurrency=3)
+        assert list(batch) == [2, 6, 24]

@@ -1,0 +1,205 @@
+"""Provider registry and third-party backend seam tests.
+
+The acceptance contract: a third-party provider can be registered via the
+``Provider`` protocol and serve completions through ``ChatClient`` (and
+the whole ask/define stack) without editing ``repro/llm/client.py``.
+"""
+
+import asyncio
+
+import pytest
+
+import repro.types as t
+from repro import Session
+from repro.errors import ConfigError
+from repro.llm import QUIET, ChatClient, CompletionResult, Usage
+from repro.llm.base import user_message
+from repro.llm.providers import (
+    OpenAIStubProvider,
+    Provider,
+    ProviderBase,
+    SIMULATED_PREFIX,
+    register_provider,
+    registered_prefixes,
+    resolve_factory,
+    unregister_provider,
+)
+from repro.llm.simulated import SimulatedLLM
+
+
+@pytest.fixture
+def registered(request):
+    """Register provider factories for the test, always unregistering."""
+
+    prefixes: list[str] = []
+
+    def add(prefix: str, factory) -> None:
+        register_provider(prefix, factory)
+        prefixes.append(prefix)
+
+    yield add
+    for prefix in prefixes:
+        unregister_provider(prefix)
+
+
+class TestRegistry:
+    def test_simulated_prefix_is_preregistered(self):
+        assert SIMULATED_PREFIX in registered_prefixes()
+
+    def test_unmatched_names_fall_back_to_simulated(self):
+        prefix, factory = resolve_factory("totally-unknown-model")
+        assert prefix == ""
+        provider = factory(ChatClient(noise_policy=QUIET))
+        assert provider.name == "simulated"
+        assert provider.deterministic
+
+    def test_simulated_determinism_tracks_noise_policy(self):
+        _, factory = resolve_factory("sim-gpt-4")
+        assert factory(ChatClient(noise_policy=QUIET)).deterministic
+        # No policy means the default *noisy* NoisePolicy: repeated
+        # identical prompts draw fresh noise, so dedup must not collapse
+        # them into one sample.
+        assert not factory(ChatClient()).deterministic
+
+    def test_longest_prefix_wins(self, registered):
+        short = OpenAIStubProvider
+        long = OpenAIStubProvider
+        registered("acme-", short)
+        registered("acme-turbo-", long)
+        assert resolve_factory("acme-turbo-x")[0] == "acme-turbo-"
+        assert resolve_factory("acme-basic")[0] == "acme-"
+
+    def test_duplicate_registration_needs_replace(self, registered):
+        registered("dup-", OpenAIStubProvider)
+        with pytest.raises(ConfigError):
+            register_provider("dup-", OpenAIStubProvider)
+        register_provider("dup-", OpenAIStubProvider, replace=True)
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ConfigError):
+            register_provider("", OpenAIStubProvider)
+
+    def test_unregister_reports_existence(self):
+        register_provider("gone-", OpenAIStubProvider)
+        assert unregister_provider("gone-") is True
+        assert unregister_provider("gone-") is False
+
+
+class CountingProvider(ProviderBase):
+    """A minimal third-party provider written against the protocol only."""
+
+    name = "counting"
+    supports_async = False
+    deterministic = True
+
+    def __init__(self, client) -> None:
+        self.calls = 0
+
+    def complete(self, model, messages, temperature):
+        self.calls += 1
+        return CompletionResult(
+            '```json\n{"reason": "counted", "answer": 42}\n```',
+            Usage(5, 5),
+            1.5,
+            model,
+        )
+
+
+class TestThirdPartySeam:
+    def test_protocol_conformance_is_structural(self):
+        assert isinstance(CountingProvider(None), Provider)
+        assert isinstance(OpenAIStubProvider(), Provider)
+
+    def test_counting_provider_serves_full_ask_stack(self, registered):
+        registered("thirdparty-", CountingProvider)
+        session = Session(model="thirdparty-large", cache_dir=None)
+        assert session.ask(t.int, "What is the answer?") == 42
+        provider = session.client.provider_for("thirdparty-large")
+        assert isinstance(provider, CountingProvider)
+        assert provider.calls == 1
+        assert session.stats.for_model("thirdparty-large").calls == 1
+        assert session.clock.elapsed_s == pytest.approx(1.5)
+
+    def test_provider_instances_are_per_client(self, registered):
+        registered("percl-", CountingProvider)
+        c1, c2 = ChatClient(), ChatClient()
+        assert c1.provider_for("percl-a") is c1.provider_for("percl-b")
+        assert c1.provider_for("percl-a") is not c2.provider_for("percl-a")
+
+    def test_wire_only_provider_cannot_be_resolved_to_language_model(self, registered):
+        registered("wire-", CountingProvider)
+        client = ChatClient()
+        with pytest.raises(LookupError):
+            client.resolve("wire-model")
+
+
+class TestOpenAIStub:
+    def test_wire_shapes_round_trip(self):
+        stub = OpenAIStubProvider()
+        request = stub.build_request(
+            "oai-stub-small", [user_message("hello there")], 0.3
+        )
+        assert request["model"] == "oai-stub-small"
+        assert request["temperature"] == 0.3
+        assert request["messages"] == [{"role": "user", "content": "hello there"}]
+
+        result = stub.complete("oai-stub-small", [user_message("hello there")], 0.3)
+        assert result.model == "oai-stub-small"
+        assert "hello there" in result.text
+        assert result.usage.prompt_tokens > 0
+        assert result.usage.completion_tokens > 0
+
+    def test_custom_responder_drives_answers(self, registered):
+        def responder(request):
+            return {
+                "model": request["model"],
+                "choices": [
+                    {
+                        "index": 0,
+                        "message": {
+                            "role": "assistant",
+                            "content": '```json\n{"reason": "stub", "answer": 7}\n```',
+                        },
+                        "finish_reason": "stop",
+                    }
+                ],
+                "usage": {"prompt_tokens": 11, "completion_tokens": 13},
+            }
+
+        registered("oai-stub-", lambda client: OpenAIStubProvider(client, responder))
+        session = Session(model="oai-stub-gpt", cache_dir=None)
+        assert session.ask(t.int, "Lucky number?") == 7
+        assert session.stats.for_model("oai-stub-gpt").prompt_tokens == 11
+
+    def test_native_async_path_is_used(self, registered):
+        registered("oai-stub-", OpenAIStubProvider)
+        session = Session(model="oai-stub-gpt", cache_dir=None)
+        provider = session.client.provider_for("oai-stub-gpt")
+        assert provider.supports_async
+
+        async def roundtrip():
+            return await session.client.achat_complete(
+                "oai-stub-gpt", "ping", temperature=0.0
+            )
+
+        result = asyncio.run(roundtrip())
+        assert result.model == "oai-stub-gpt"
+        assert session.stats.calls == 1
+
+
+class TestExactNameRegistration:
+    def test_registered_model_shadows_prefix_routing(self):
+        client = ChatClient()
+        special = SimulatedLLM("sim-special")
+        client.register(special)
+        provider = client.provider_for("sim-special")
+        assert provider.name == "registered-model"
+        assert client.resolve("sim-special") is special
+
+    def test_lazily_created_simulated_models_do_not_shadow(self):
+        client = ChatClient(noise_policy=QUIET)
+        client.chat_complete("sim-gpt-4", [user_message("hi")], 0.0)
+        # The simulated provider cached its model in client.models, but
+        # prefix routing (and the deterministic flag) must survive.
+        assert client.provider_for("sim-gpt-4").name == "simulated"
+        assert client.provider_for("sim-gpt-4").deterministic
