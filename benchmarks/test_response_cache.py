@@ -1,0 +1,142 @@
+"""Benchmark: the persistent response cache on a repeated 24-task workload.
+
+The tentpole acceptance criterion for the response cache
+(:mod:`repro.core.response_cache`): re-running a 24-task ``map()``
+workload against a warm cache must finish at least **5x** faster on the
+virtual clock than the cold run that populated it, with
+:class:`~repro.llm.client.ClientStats` accounting every hit, miss, and
+coalesced call.  Sessions are fresh for every run -- only the on-disk
+cache directory is shared -- so the speedup is entirely due to response
+replay, not in-process state.
+
+A second benchmark exercises the warm-cache sweep of the Table 2
+experiment driver end-to-end (codegen traffic included).
+"""
+
+import pytest
+
+import repro.types as t
+from repro.core import Session
+from repro.evalx.experiments import table2
+from repro.llm import ChatClient, QUIET, NoisePolicy
+
+TASK_COUNT = 24
+MAX_CONCURRENCY = 8
+
+TEMPLATE = "Calculate the factorial of {{n}}."
+
+
+def fresh_session(cache_dir, mode="read-write") -> Session:
+    return Session(
+        model="sim-gpt-4",
+        cache_dir=cache_dir,
+        cache=mode,
+        client=ChatClient(noise_policy=QUIET),
+    )
+
+
+def bindings() -> list[dict]:
+    return [{"n": 1 + (i % 12)} for i in range(TASK_COUNT)]
+
+
+def run_workload(cache_dir) -> tuple[list, float, Session]:
+    session = fresh_session(cache_dir)
+    fn = session.define(t.int, TEMPLATE)
+    batch = fn.map(bindings(), max_concurrency=MAX_CONCURRENCY, dedup=False)
+    return list(batch), session.clock.elapsed_s, session
+
+
+class TestWarmCacheSpeedup:
+    def test_warm_run_is_5x_faster_with_full_accounting(self, tmp_path, benchmark):
+        cache_dir = tmp_path / "askit"
+
+        cold_values, cold_s, cold_session = run_workload(cache_dir)
+        warm_values, warm_s, warm_session = benchmark.pedantic(
+            run_workload, args=(cache_dir,), rounds=1, iterations=1
+        )
+
+        # Same answers in input order, cold and warm.
+        assert warm_values == cold_values
+        assert len(warm_values) == TASK_COUNT
+
+        # The acceptance criterion: >= 5x on the virtual clock.
+        assert cold_s > 0
+        assert warm_s * 5 <= cold_s, (
+            f"warm run took {warm_s:.2f} virtual seconds vs {cold_s:.2f} cold "
+            f"-- expected >= 5x speedup from the response cache"
+        )
+
+        # Cold run: 12 unique prompts reach the provider; the 12 duplicate
+        # bindings are served by the cache (as hits or coalesced calls,
+        # depending on in-flight timing).  Nothing is double-charged.
+        cold = cold_session.stats
+        assert cold.calls == 12
+        assert cold.cache_misses == 12
+        assert cold.cache_hits + cold.coalesced == TASK_COUNT - 12
+
+        # Warm run: pure replay -- no provider calls, no tokens.
+        warm = warm_session.stats
+        assert warm.calls == 0
+        assert warm.cache_misses == 0
+        assert warm.cache_hits + warm.coalesced == TASK_COUNT
+        assert warm.prompt_tokens == warm.completion_tokens == 0
+
+        # Per-model breakdown carries the same counters.
+        per_model = warm.per_model["sim-gpt-4"]
+        assert per_model.calls == 0
+        assert per_model.cache_hits + per_model.coalesced == TASK_COUNT
+
+    def test_identical_in_flight_requests_coalesce(self, tmp_path):
+        session = fresh_session(tmp_path / "askit")
+        fn = session.define(t.int, TEMPLATE)
+        batch = fn.map([{"n": 7}] * TASK_COUNT, max_concurrency=MAX_CONCURRENCY, dedup=False)
+        assert list(batch) == [5040] * TASK_COUNT
+        # Exactly one provider call: every other lane coalesced onto it
+        # or replayed the stored entry, guaranteed by the cache's
+        # store-before-release ordering.
+        assert session.stats.calls == 1
+        assert session.stats.cache_misses == 1
+        assert session.stats.cache_hits + session.stats.coalesced == TASK_COUNT - 1
+
+    def test_read_mode_replays_but_never_persists(self, tmp_path):
+        cache_dir = tmp_path / "askit"
+        run_workload(cache_dir)  # populate read-write
+
+        session = fresh_session(cache_dir, mode="read")
+        fn = session.define(t.int, TEMPLATE)
+        fn(n=99)  # unseen prompt: a miss that must NOT be persisted
+        assert session.stats.cache_misses == 1
+
+        replay = fresh_session(cache_dir, mode="read")
+        fn2 = replay.define(t.int, TEMPLATE)
+        fn2(n=1)  # seen in the cold run: replays
+        fn2(n=99)  # still a miss: read mode persisted nothing
+        assert replay.stats.cache_hits == 1
+        assert replay.stats.cache_misses == 1
+
+
+class TestTable2WarmSweep:
+    def test_warm_sweep_replays_the_whole_experiment(self, tmp_path, benchmark):
+        # Noise-free so every row is deterministic across cold and warm.
+        noise = NoisePolicy(direct_corruption_rate=0.0, buggy_code_rate=0.0, seed=7)
+        cold, warm = benchmark.pedantic(
+            table2.run_cache_sweep,
+            args=(tmp_path / "askit",),
+            kwargs={"noise": noise},
+            rounds=1,
+            iterations=1,
+        )
+        assert len(cold.rows) == 50 and len(warm.rows) == 50
+        # Same table, cold and warm.
+        for cold_row, warm_row in zip(cold.rows, warm.rows):
+            assert (cold_row.ts_loc, cold_row.py_loc) == (warm_row.ts_loc, warm_row.py_loc)
+        # The warm sweep never touches a provider and collapses to ~zero
+        # simulated wall-clock.
+        assert warm.client_stats.calls == 0
+        assert warm.client_stats.cache_hits > 0
+        assert cold.wall_s > 0
+        assert warm.wall_s * 5 <= cold.wall_s
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

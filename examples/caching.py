@@ -1,0 +1,75 @@
+"""Caching demo: cold vs. warm runs of one workload, plus cache inspection.
+
+Run with::
+
+    PYTHONPATH=src python examples/caching.py
+
+Everything runs against the bundled simulated LLM.  The demo executes a
+24-call workload three times against one cache directory:
+
+1. **cold** -- every unique prompt pays a provider round-trip; duplicate
+   in-flight prompts coalesce onto one call;
+2. **warm, same process** -- a fresh session replays everything from the
+   on-disk cache at zero simulated latency;
+3. **inspection** -- what the cache directory actually holds.
+"""
+
+import tempfile
+from pathlib import Path
+
+import repro.types as t
+from repro import Session
+from repro.llm import ChatClient, QUIET
+
+TEMPLATE = "Calculate the factorial of {{n}}."
+WORKLOAD = [{"n": 1 + (i % 12)} for i in range(24)]  # 12 unique, 12 repeats
+
+
+def fresh_session(cache_dir: Path) -> Session:
+    """An isolated session wired to the shared response-cache directory."""
+    return Session(
+        model="sim-gpt-4",
+        cache_dir=cache_dir,
+        cache="read-write",
+        client=ChatClient(noise_policy=QUIET),
+    )
+
+
+def run_once(label: str, cache_dir: Path) -> None:
+    session = fresh_session(cache_dir)
+    fn = session.define(t.int, TEMPLATE)
+    batch = fn.map(WORKLOAD, max_concurrency=8, dedup=False)
+    stats = session.stats
+    print(f"{label:6} answers[:6]={batch.values[:6]}")
+    print(
+        f"       provider calls={stats.calls:2d}  hits={stats.cache_hits:2d}  "
+        f"coalesced={stats.coalesced:2d}  misses={stats.cache_misses:2d}"
+    )
+    print(f"       simulated wall-clock: {session.clock.elapsed_s:8.2f} s\n")
+
+
+def inspect(cache_dir: Path) -> None:
+    session = fresh_session(cache_dir)
+    cache = session.response_cache
+    entries = list(cache)
+    print(f"cache at {cache.directory} holds {len(entries)} entries:")
+    for entry in entries[:5]:
+        print(
+            f"  {entry.key[:12]}...  model={entry.model}  "
+            f"saved {entry.provider_latency_s:5.2f}s  "
+            f"prompt tail: {entry.prompt_preview[-48:]!r}"
+        )
+    if len(entries) > 5:
+        print(f"  ... and {len(entries) - 5} more")
+
+
+def main() -> None:
+    cache_dir = Path(tempfile.mkdtemp(prefix="askit-cache-demo-"))
+
+    run_once("cold", cache_dir)    # 12 provider calls, 12 shared
+    run_once("warm", cache_dir)    # 0 provider calls, ~0 s wall-clock
+    inspect(cache_dir)
+
+
+if __name__ == "__main__":
+    main()

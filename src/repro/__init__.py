@@ -44,6 +44,45 @@ working verbatim.  New code that needs isolation, async execution, or
 ``map()`` batching should construct a ``Session``.  Third-party backends
 plug in through :func:`repro.llm.providers.register_provider` without
 touching the client.
+
+Response caching (persistent, with request coalescing)
+------------------------------------------------------
+
+``cache="read-write"`` persists every completion under
+``cache_dir/responses/`` and replays it on any later identical request,
+at zero simulated latency; concurrent identical requests coalesce onto
+one provider call (see ``docs/caching.md``)::
+
+    session = Session(model="sim-gpt-4", cache_dir="askit",
+                      cache="read-write")
+    session.ask(t.int, "{{a}} + {{b}}?", a=2, b=3)   # provider call
+    session.ask(t.int, "{{a}} + {{b}}?", a=2, b=3)   # cache hit
+    session.stats.cache_hits                          # -> 1
+
+Exported names
+--------------
+
+===================  =======================================================
+``ask``              Perform a task once; returns the typed answer.
+                     ``ask(t.int, 'How many legs do {{n}} spiders have?', n=3)``
+``define``           Package a template as a reusable typed function.
+                     ``fn = define(t.str, 'Summarize {{text}}.'); fn(text=...)``
+``Session``          An isolated runtime: config + client + stats + caches.
+                     ``Session(model='sim-gpt-4').ask(t.int, '{{a}}+{{b}}?', a=1, b=2)``
+``default_session``  The process-default session behind ``ask``/``define``.
+                     ``default_session().stats``
+``Example``          One input/output pair for few-shot or test examples.
+                     ``Example({'n': 3}, 6)``
+``configure``        Update the global configuration in place.
+                     ``configure(model='sim-gpt-3.5-turbo-16k')``
+``get_config``       Read the active global configuration.
+                     ``get_config().model``
+``config_override``  Temporarily override the global configuration.
+                     ``with config_override(cache='read-write'): ...``
+``AskItError``       Base class of every library error.
+                     ``except AskItError: ...``
+``__version__``      The package version string.
+===================  =======================================================
 """
 
 __version__ = "1.1.0"

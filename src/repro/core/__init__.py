@@ -19,6 +19,12 @@ from repro.core.config import (
 from repro.core.function import AskItFunction
 from repro.core.hosts import FunctionHost, PythonHost, TypeScriptHost, load_host
 from repro.core.naming import cache_stem, camel_case_name, function_name, snake_case_name
+from repro.core.response_cache import (
+    CACHE_MODES,
+    CacheEntry,
+    ResponseCache,
+    response_key,
+)
 from repro.core.runtime import DirectResult, execute_direct, execute_direct_async
 from repro.core.safety import SafetyFinding, SafetyPolicy, scan_python, scan_typescript
 from repro.core.session import Session, default_session
@@ -49,6 +55,10 @@ __all__ = [
     "DEFAULT_MAX_RETRIES",
     "CodeCache",
     "strip_provenance_header",
+    "ResponseCache",
+    "CacheEntry",
+    "response_key",
+    "CACHE_MODES",
     "FunctionHost",
     "PythonHost",
     "TypeScriptHost",

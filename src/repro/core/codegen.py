@@ -233,9 +233,10 @@ def generate_function(
     cached = run.cached()
     if cached is not None:
         return cached
+    response_cache = config.response_cache
     for attempt in range(config.max_retries + 1):
         completion = config.client.chat_complete(
-            config.codegen_model, run.current, config.temperature
+            config.codegen_model, run.current, config.temperature, cache=response_cache
         )
         generated = run.accept(completion, attempt)
         if generated is not None:
@@ -265,9 +266,10 @@ async def generate_function_async(
     cached = run.cached()
     if cached is not None:
         return cached
+    response_cache = config.response_cache
     for attempt in range(config.max_retries + 1):
         completion = await config.client.achat_complete(
-            config.codegen_model, run.current, config.temperature
+            config.codegen_model, run.current, config.temperature, cache=response_cache
         )
         generated = run.accept(completion, attempt)
         if generated is not None:

@@ -10,9 +10,11 @@ model per Table: ``sim-gpt-3.5-turbo-16k`` for the 50 common tasks,
 from __future__ import annotations
 
 import contextlib
+import threading
 from pathlib import Path
 from typing import Iterator
 
+from repro.core.response_cache import CACHE_MODES, ResponseCache
 from repro.core.safety import SafetyPolicy
 from repro.errors import ConfigError
 from repro.llm.client import ChatClient, default_client
@@ -21,9 +23,56 @@ from repro.prompts.codegen import PYTHON, TYPESCRIPT
 #: The paper sets the retry limit for code regeneration to 9.
 DEFAULT_MAX_RETRIES = 9
 
+#: Subdirectory of ``cache_dir`` holding response-cache entries (the
+#: directory itself holds the generated-code cache, as in the paper).
+RESPONSE_CACHE_SUBDIR = "responses"
+
 
 class Config:
-    """Runtime configuration for ``ask``/``define``."""
+    """Runtime configuration for ``ask``/``define``.
+
+    Every knob the runtime consults lives here; sessions snapshot a
+    ``Config`` so overrides never leak across workloads::
+
+        from repro.core import Config, Session
+
+        config = Config(model="sim-gpt-4", cache="read-write")
+        session = Session(config)
+
+    Parameters
+    ----------
+    model:
+        Model name answering direct ``ask()`` calls.
+    codegen_model:
+        Model used by ``.compile()``; defaults to ``model``.
+    temperature:
+        Sampling temperature in [0.0, 2.0] (the OpenAI API range).
+    max_retries:
+        Retry budget beyond the first attempt (the paper uses 9).
+    cache_dir:
+        Directory holding the generated-code cache (paper Section
+        III-D's ``askit`` directory) and, under ``responses/``, the
+        persistent response cache.  ``None`` disables on-disk caching;
+        the response cache then runs in memory only.
+    target_language:
+        ``"python"`` or ``"typescript"`` for generated code.
+    client:
+        Explicit :class:`~repro.llm.client.ChatClient`; defaults to the
+        process-wide client.
+    safety_policy:
+        Static-scan policy for generated code (``off`` by default, the
+        paper's behaviour).
+    cache:
+        Response-cache mode: ``"off"`` (default -- every call reaches a
+        provider), ``"read"`` (replay stored entries, never persist new
+        ones), or ``"read-write"`` (replay and persist).  Any mode other
+        than ``"off"`` also coalesces concurrent identical requests onto
+        one provider call.
+    cache_ttl:
+        Seconds before a stored response expires (``None`` = never).
+    cache_max_entries:
+        LRU bound on stored responses.
+    """
 
     def __init__(
         self,
@@ -35,6 +84,9 @@ class Config:
         target_language: str = PYTHON,
         client: ChatClient | None = None,
         safety_policy: SafetyPolicy | None = None,
+        cache: str = "off",
+        cache_ttl: float | None = None,
+        cache_max_entries: int = 4096,
     ) -> None:
         if max_retries < 0:
             raise ConfigError("max_retries must be >= 0")
@@ -42,6 +94,14 @@ class Config:
             raise ConfigError("temperature must be in [0.0, 2.0] (OpenAI API range)")
         if target_language not in (PYTHON, TYPESCRIPT):
             raise ConfigError(f"unsupported target language {target_language!r}")
+        if cache not in CACHE_MODES:
+            raise ConfigError(
+                f"cache must be one of {CACHE_MODES}, got {cache!r}"
+            )
+        if cache_ttl is not None and cache_ttl <= 0:
+            raise ConfigError("cache_ttl must be positive (or None for no expiry)")
+        if cache_max_entries < 1:
+            raise ConfigError("cache_max_entries must be >= 1")
         self.model = model
         self.codegen_model = codegen_model or model
         self.temperature = temperature
@@ -52,11 +112,46 @@ class Config:
         # code", i.e. no automated safety gate; see §VI for the extension
         # this implements when switched to "warn" or "enforce".
         self.safety_policy = safety_policy or SafetyPolicy("off", allow_files=True)
+        self.cache = cache
+        self.cache_ttl = cache_ttl
+        self.cache_max_entries = cache_max_entries
         self._client = client
+        self._response_cache: ResponseCache | None = None
+        self._response_cache_lock = threading.Lock()
 
     @property
     def client(self) -> ChatClient:
+        """The chat client serving this config's completions."""
         return self._client if self._client is not None else default_client()
+
+    @property
+    def response_cache(self) -> ResponseCache | None:
+        """The response cache this config enables, or ``None`` when off.
+
+        Created once per config (the in-flight coalescing table lives on
+        the instance, so every call through one config shares it).  With
+        a ``cache_dir``, entries persist under
+        ``cache_dir/responses/``; without one the cache is memory-only
+        -- coalescing and hit accounting still apply, nothing survives
+        the process.
+        """
+        if self.cache == "off":
+            return None
+        if self._response_cache is None:
+            with self._response_cache_lock:
+                if self._response_cache is None:
+                    directory = (
+                        self.cache_dir / RESPONSE_CACHE_SUBDIR
+                        if self.cache_dir is not None
+                        else None
+                    )
+                    self._response_cache = ResponseCache(
+                        directory,
+                        mode=self.cache,
+                        ttl_s=self.cache_ttl,
+                        max_entries=self.cache_max_entries,
+                    )
+        return self._response_cache
 
     def replace(self, **changes) -> "Config":
         """A copy of this config with ``changes`` applied."""
@@ -69,6 +164,9 @@ class Config:
             "target_language": self.target_language,
             "client": self._client,
             "safety_policy": self.safety_policy,
+            "cache": self.cache,
+            "cache_ttl": self.cache_ttl,
+            "cache_max_entries": self.cache_max_entries,
         }
         current.update(changes)
         return Config(**current)
@@ -76,7 +174,8 @@ class Config:
     def __repr__(self) -> str:
         return (
             f"Config(model={self.model!r}, codegen_model={self.codegen_model!r}, "
-            f"retries={self.max_retries}, target={self.target_language!r})"
+            f"retries={self.max_retries}, target={self.target_language!r}, "
+            f"cache={self.cache!r})"
         )
 
 

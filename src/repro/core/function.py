@@ -66,10 +66,12 @@ class AskItFunction:
 
     @property
     def config(self) -> Config:
+        """The configuration this function executes under (pinned or global)."""
         return self._config or get_config()
 
     @property
     def parameters(self) -> tuple[str, ...]:
+        """The template's parameter names, in declaration order."""
         return self.template.parameters
 
     # -- direct execution -----------------------------------------------------
@@ -229,7 +231,8 @@ class AskItFunction:
         use_cache: bool = True,
     ) -> GeneratedFunction:
         """Async :meth:`compile`: LLM round-trips are awaited; candidate
-        validation still runs on the calling thread."""
+        validation still runs on the calling thread.
+        """
         return await generate_function_async(
             self.template,
             self.return_type,

@@ -1,0 +1,556 @@
+"""Persistent, content-addressed cache of LLM responses with coalescing.
+
+The paper caches generated *code* (Section III-D/III-F: a template
+compiled once never costs a second code-generation round-trip), but
+direct ``ask()`` responses were recomputed on every call.  This module
+closes that gap, following the lead of LMQL and APPL, whose runtimes
+show that transparent response caching/coalescing is the biggest
+throughput lever in prompt programming:
+
+* **Content-addressed persistence** -- every completion is keyed by a
+  SHA-256 of the fully rendered messages plus the model name and the
+  decoding parameters (:func:`response_key`).  Entries are one JSON file
+  each, written atomically (temp file + ``os.replace``) exactly like
+  :class:`~repro.core.cache.CodeCache`, so concurrent readers never see
+  a truncated entry and cache directories can be shared between
+  processes or committed next to the ``askit`` code cache.
+* **TTL and LRU bounds** -- entries older than ``ttl_s`` are expired on
+  read; when the entry count exceeds ``max_entries`` the least recently
+  *used* entries are evicted (hits refresh recency).
+* **In-flight request coalescing** -- when several threads (for
+  example different :meth:`~repro.core.function.AskItFunction.map`
+  lanes, or two maps on one session) request the *same* completion
+  concurrently, only the first becomes the **leader** and calls the
+  provider; the rest become **followers** and wait for the leader's
+  result.  This generalizes the same-batch deduplication in
+  :mod:`repro.core.batch` to any concurrent execution sharing one
+  cache.
+
+The cache is consulted by :class:`~repro.llm.client.ChatClient` when a
+:class:`~repro.core.config.Config` enables it (``cache="read"`` or
+``"read-write"``); see :attr:`repro.core.config.Config.response_cache`
+and ``docs/caching.md`` for the full story, including how retry loops
+interact with replayed responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Awaitable, Callable, Iterator, Sequence
+
+from repro.core.cache import atomic_write_text
+from repro.errors import ConfigError
+from repro.llm.base import ChatMessage, CompletionResult, Usage
+
+#: Bumped whenever the key derivation or entry layout changes, so stale
+#: on-disk formats can never be misread as current entries.
+CACHE_FORMAT_VERSION = 1
+
+#: The cache modes a :class:`~repro.core.config.Config` accepts.
+CACHE_MODES = ("off", "read", "read-write")
+
+
+def response_key(
+    model: str,
+    messages: Sequence[ChatMessage],
+    temperature: float,
+    extra: dict | None = None,
+) -> str:
+    """Derive the content address of one completion request.
+
+    The key covers everything that determines a reply: the model name,
+    the decoding parameters (temperature today; ``extra`` for future
+    parameters such as ``top_p``), and every rendered message with its
+    role.  Two requests share a key exactly when a provider would be
+    asked the same question -- so a template rendered with different
+    arguments, a refined retry prompt, or the same prompt on another
+    model all get distinct entries.
+    """
+    payload = {
+        "v": CACHE_FORMAT_VERSION,
+        "model": model,
+        "temperature": round(float(temperature), 6),
+        "messages": [[message.role, message.content] for message in messages],
+    }
+    if extra:
+        payload["extra"] = extra
+    canonical = json.dumps(payload, sort_keys=True, ensure_ascii=False)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CacheEntry:
+    """One stored response, as surfaced by :meth:`ResponseCache.entries`."""
+
+    __slots__ = ("key", "model", "temperature", "prompt_preview", "text", "usage", "provider_latency_s", "created_at")
+
+    def __init__(
+        self,
+        key: str,
+        model: str,
+        temperature: float,
+        prompt_preview: str,
+        text: str,
+        usage: Usage,
+        provider_latency_s: float,
+        created_at: float,
+    ) -> None:
+        self.key = key
+        self.model = model
+        self.temperature = temperature
+        #: First 120 characters of the last user message, for inspection.
+        self.prompt_preview = prompt_preview
+        self.text = text
+        self.usage = usage
+        #: What the original provider call cost; replays charge zero.
+        self.provider_latency_s = provider_latency_s
+        self.created_at = created_at
+
+    def replay(self) -> CompletionResult:
+        """Reconstruct the completion as a zero-latency, ``cached`` result."""
+        return CompletionResult(
+            self.text,
+            Usage(self.usage.prompt_tokens, self.usage.completion_tokens),
+            0.0,
+            self.model,
+            cached=True,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheEntry({self.key[:12]}..., model={self.model!r}, "
+            f"saved={self.provider_latency_s:.2f}s)"
+        )
+
+
+class _Flight:
+    """The in-flight execution of one key: a leader, any number of followers."""
+
+    __slots__ = ("_event", "result", "error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.result: CompletionResult | None = None
+        self.error: BaseException | None = None
+
+    def resolve(self, result: CompletionResult) -> None:
+        self.result = result
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self._event.set()
+
+    def wait(self) -> CompletionResult:
+        self._event.wait()
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+
+def _preview(messages: Sequence[ChatMessage]) -> str:
+    # The task statement sits at the *end* of AskIt's rendered prompts
+    # (after the format preamble), so the tail is the informative part.
+    for message in reversed(messages):
+        if message.role == "user":
+            return message.content.strip()[-120:]
+    return messages[-1].content.strip()[-120:] if messages else ""
+
+
+class ResponseCache:
+    """Disk-backed (or in-memory) response store with request coalescing.
+
+    ``directory=None`` keeps entries purely in memory -- coalescing and
+    hit accounting still work, nothing persists.  With a directory, every
+    entry is one JSON file named after its key, written atomically.
+
+    ``mode`` is ``"read"`` (consult but never persist new entries) or
+    ``"read-write"`` (the default).  ``"off"`` is handled a level up:
+    :attr:`Config.response_cache <repro.core.config.Config.response_cache>`
+    returns ``None`` and the client skips the cache entirely.
+    """
+
+    def __init__(
+        self,
+        directory: Path | str | None = None,
+        *,
+        mode: str = "read-write",
+        ttl_s: float | None = None,
+        max_entries: int = 4096,
+        time_source: Callable[[], float] = time.time,
+    ) -> None:
+        if mode not in ("read", "read-write"):
+            raise ConfigError(
+                f"ResponseCache mode must be 'read' or 'read-write', got {mode!r}"
+            )
+        if ttl_s is not None and ttl_s <= 0:
+            raise ConfigError("cache_ttl must be positive (or None for no expiry)")
+        if max_entries < 1:
+            raise ConfigError("max_entries must be >= 1")
+        self.directory = Path(directory) if directory is not None else None
+        self.mode = mode
+        self.ttl_s = ttl_s
+        self.max_entries = max_entries
+        self._now = time_source
+        # In-memory store: always the fast path; also the only store when
+        # no directory is configured.  Maps key -> (entry, last_used).
+        self._memory: dict[str, tuple[CacheEntry, float]] = {}
+        self._memory_lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
+
+    # -- key derivation --------------------------------------------------------
+
+    key = staticmethod(response_key)
+
+    @property
+    def writable(self) -> bool:
+        """Whether new completions are persisted (``read-write`` mode)."""
+        return self.mode == "read-write"
+
+    # -- lookup ----------------------------------------------------------------
+
+    def load(self, key: str) -> CompletionResult | None:
+        """The replayed completion for ``key``, or ``None`` on a miss.
+
+        Expired entries (older than ``ttl_s``) are dropped and reported
+        as misses; fresh hits update the entry's recency for LRU.
+        """
+        entry = self._load_entry(key)
+        if entry is None:
+            return None
+        return entry.replay()
+
+    def _load_entry(self, key: str) -> CacheEntry | None:
+        now = self._now()
+        with self._memory_lock:
+            held = self._memory.get(key)
+            if held is not None:
+                entry, _ = held
+                if self._expired(entry, now):
+                    del self._memory[key]
+                else:
+                    self._memory[key] = (entry, now)
+        if held is not None:
+            # Filesystem work happens outside the lock so concurrent
+            # hits never serialize on disk-metadata syscalls.
+            if self._expired(held[0], now):
+                self._unlink(key)
+                return None
+            self._touch(key)
+            return held[0]
+        entry = self._read_disk(key)
+        if entry is None:
+            return None
+        if self._expired(entry, now):
+            self._unlink(key)
+            return None
+        with self._memory_lock:
+            self._memory[key] = (entry, now)
+            self._evict_memory_locked()
+        self._touch(key)
+        return entry
+
+    def _expired(self, entry: CacheEntry, now: float) -> bool:
+        return self.ttl_s is not None and now - entry.created_at > self.ttl_s
+
+    # -- storage ---------------------------------------------------------------
+
+    def store(
+        self,
+        key: str,
+        result: CompletionResult,
+        messages: Sequence[ChatMessage],
+        temperature: float,
+    ) -> CacheEntry:
+        """Persist one completion under ``key`` (atomic on disk)."""
+        entry = CacheEntry(
+            key,
+            result.model,
+            temperature,
+            _preview(messages),
+            result.text,
+            Usage(result.usage.prompt_tokens, result.usage.completion_tokens),
+            result.latency_s,
+            self._now(),
+        )
+        with self._memory_lock:
+            self._memory[key] = (entry, entry.created_at)
+            self._evict_memory_locked()
+        if self.directory is not None:
+            self._write_disk(entry)
+            self._evict_disk()
+        return entry
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed anywhere."""
+        with self._memory_lock:
+            existed = self._memory.pop(key, None) is not None
+        return self._unlink(key) or existed
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many distinct keys were dropped."""
+        with self._memory_lock:
+            keys = set(self._memory)
+            self._memory.clear()
+        if self.directory is not None and self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                keys.add(path.stem)
+        return len(keys)
+
+    def entries(self) -> list[CacheEntry]:
+        """Every live (unexpired) entry, most recently created first."""
+        seen: dict[str, CacheEntry] = {}
+        if self.directory is not None and self.directory.is_dir():
+            for path in sorted(self.directory.glob("*.json")):
+                entry = self._read_disk(path.stem)
+                if entry is not None:
+                    seen[entry.key] = entry
+        with self._memory_lock:
+            for key, (entry, _) in self._memory.items():
+                seen.setdefault(key, entry)
+        now = self._now()
+        live = [entry for entry in seen.values() if not self._expired(entry, now)]
+        return sorted(live, key=lambda entry: entry.created_at, reverse=True)
+
+    def __len__(self) -> int:
+        """The number of stored keys (without parsing entry bodies).
+
+        With a TTL configured, falls back to :meth:`entries` so expired
+        entries are not counted.
+        """
+        if self.ttl_s is not None:
+            return len(self.entries())
+        keys: set[str] = set()
+        if self.directory is not None and self.directory.is_dir():
+            keys.update(path.stem for path in self.directory.glob("*.json"))
+        with self._memory_lock:
+            keys.update(self._memory)
+        return len(keys)
+
+    def __iter__(self) -> Iterator[CacheEntry]:
+        return iter(self.entries())
+
+    # -- the coalescing fetch path --------------------------------------------
+
+    def fetch(
+        self,
+        model: str,
+        messages: Sequence[ChatMessage],
+        temperature: float,
+        call: Callable[[], CompletionResult],
+    ) -> tuple[str, CompletionResult]:
+        """Serve one request through the cache.
+
+        Returns ``(status, result)`` where status is ``"hit"`` (replayed
+        from the store), ``"coalesced"`` (shared a concurrent identical
+        request's provider call), or ``"miss"`` (``call()`` ran and, in
+        read-write mode, its result was persisted).  Only misses touch
+        the provider; hits and coalesced replays charge zero latency.
+        """
+        key = self.key(model, messages, temperature)
+        cached = self.load(key)
+        if cached is not None:
+            return "hit", cached
+        leader, flight = self._join(key)
+        if not leader:
+            flight.wait()
+            assert flight.result is not None
+            return "coalesced", self._replay_of(flight.result)
+        # Leadership established: re-check the store.  A racing leader may
+        # have stored the entry between our load() and _join(), and the
+        # store-before-release ordering below makes this re-check
+        # sufficient to guarantee one provider call per key.
+        cached = self.load(key)
+        if cached is not None:
+            flight.resolve(cached)
+            self._leave(key)
+            return "hit", cached
+        try:
+            result = call()
+        except BaseException as error:
+            flight.fail(error)
+            self._leave(key)
+            raise
+        self._finish(key, flight, result, messages, temperature)
+        return "miss", result
+
+    async def afetch(
+        self,
+        model: str,
+        messages: Sequence[ChatMessage],
+        temperature: float,
+        acall: Callable[[], Awaitable[CompletionResult]],
+    ) -> tuple[str, CompletionResult]:
+        """Async :meth:`fetch`: disk I/O and waits run off the event loop."""
+        key = self.key(model, messages, temperature)
+        cached = await asyncio.to_thread(self.load, key)
+        if cached is not None:
+            return "hit", cached
+        leader, flight = self._join(key)
+        if not leader:
+            await asyncio.to_thread(flight.wait)
+            assert flight.result is not None
+            return "coalesced", self._replay_of(flight.result)
+        cached = await asyncio.to_thread(self.load, key)
+        if cached is not None:
+            flight.resolve(cached)
+            self._leave(key)
+            return "hit", cached
+        try:
+            result = await acall()
+        except BaseException as error:
+            flight.fail(error)
+            self._leave(key)
+            raise
+        # The persist + evict pass also runs on a worker thread so slow
+        # storage never stalls unrelated coroutines.
+        await asyncio.to_thread(self._finish, key, flight, result, messages, temperature)
+        return "miss", result
+
+    def _join(self, key: str) -> tuple[bool, _Flight]:
+        """Join the in-flight table: ``(True, flight)`` makes us leader."""
+        with self._flights_lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                return False, flight
+            flight = _Flight()
+            self._flights[key] = flight
+            return True, flight
+
+    def _leave(self, key: str) -> None:
+        with self._flights_lock:
+            self._flights.pop(key, None)
+
+    def _finish(
+        self,
+        key: str,
+        flight: _Flight,
+        result: CompletionResult,
+        messages: Sequence[ChatMessage],
+        temperature: float,
+    ) -> None:
+        # Store *before* releasing the flight so a request arriving after
+        # the flight disappears is guaranteed to find the disk/memory
+        # entry instead of re-calling the provider (read-write mode).
+        if self.writable:
+            self.store(key, result, messages, temperature)
+        flight.resolve(result)
+        self._leave(key)
+
+    @staticmethod
+    def _replay_of(result: CompletionResult) -> CompletionResult:
+        """A follower's copy of the leader's result: zero latency, cached."""
+        return CompletionResult(
+            result.text,
+            Usage(result.usage.prompt_tokens, result.usage.completion_tokens),
+            0.0,
+            result.model,
+            cached=True,
+        )
+
+    # -- disk layer ------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def _read_disk(self, key: str) -> CacheEntry | None:
+        if self.directory is None:
+            return None
+        path = self._path(key)
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(raw, dict) or raw.get("version") != CACHE_FORMAT_VERSION:
+            return None
+        try:
+            return CacheEntry(
+                key,
+                raw["model"],
+                float(raw["temperature"]),
+                raw.get("prompt_preview", ""),
+                raw["text"],
+                Usage(int(raw["prompt_tokens"]), int(raw["completion_tokens"])),
+                float(raw["provider_latency_s"]),
+                float(raw["created_at"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _write_disk(self, entry: CacheEntry) -> None:
+        assert self.directory is not None
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "model": entry.model,
+            "temperature": entry.temperature,
+            "prompt_preview": entry.prompt_preview,
+            "text": entry.text,
+            "prompt_tokens": entry.usage.prompt_tokens,
+            "completion_tokens": entry.usage.completion_tokens,
+            "provider_latency_s": entry.provider_latency_s,
+            "created_at": entry.created_at,
+        }
+        atomic_write_text(self._path(entry.key), json.dumps(payload, ensure_ascii=False))
+
+    def _touch(self, key: str) -> None:
+        """Refresh a disk entry's recency (mtime drives LRU eviction)."""
+        if self.directory is None:
+            return
+        try:
+            os.utime(self._path(key))
+        except OSError:
+            pass
+
+    def _unlink(self, key: str) -> bool:
+        if self.directory is None:
+            return False
+        try:
+            self._path(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def _evict_memory_locked(self) -> None:
+        while len(self._memory) > self.max_entries:
+            oldest = min(self._memory, key=lambda key: self._memory[key][1])
+            del self._memory[oldest]
+
+    def _evict_disk(self) -> None:
+        assert self.directory is not None
+        try:
+            paths = list(self.directory.glob("*.json"))
+        except OSError:
+            return
+        if len(paths) <= self.max_entries:
+            return
+
+        def mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+
+        paths.sort(key=mtime)
+        for path in paths[: len(paths) - self.max_entries]:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._memory_lock:
+                self._memory.pop(path.stem, None)
+
+    def __repr__(self) -> str:
+        where = str(self.directory) if self.directory is not None else "memory"
+        return f"ResponseCache({where!r}, mode={self.mode!r}, ttl={self.ttl_s})"

@@ -120,9 +120,10 @@ def execute_direct(
     """
     config = config or get_config()
     run = _DirectRun(template, answer_type, args, examples, config)
+    cache = config.response_cache
     for attempt in range(config.max_retries + 1):
         completion = config.client.chat_complete(
-            config.model, run.current, config.temperature
+            config.model, run.current, config.temperature, cache=cache
         )
         result = run.accept(completion, attempt)
         if result is not None:
@@ -140,9 +141,10 @@ async def execute_direct_async(
     """Async counterpart of :func:`execute_direct`; same retry semantics."""
     config = config or get_config()
     run = _DirectRun(template, answer_type, args, examples, config)
+    cache = config.response_cache
     for attempt in range(config.max_retries + 1):
         completion = await config.client.achat_complete(
-            config.model, run.current, config.temperature
+            config.model, run.current, config.temperature, cache=cache
         )
         result = run.accept(completion, attempt)
         if result is not None:

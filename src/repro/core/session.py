@@ -43,6 +43,7 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.core.batch import MapResult, run_batch
 from repro.core.config import Config, get_config
 from repro.core.function import AskItFunction
+from repro.core.response_cache import ResponseCache
 from repro.errors import AskItError
 from repro.ioexample import Example
 from repro.llm.client import ChatClient, ClientStats
@@ -96,10 +97,12 @@ class Session:
 
     @property
     def config(self) -> Config:
+        """The active configuration (live global, or this session's snapshot)."""
         return self._config if self._config is not None else get_config()
 
     @property
     def client(self) -> ChatClient:
+        """The chat client executing this session's completions."""
         return self.config.client
 
     @property
@@ -111,6 +114,20 @@ class Session:
     def clock(self) -> VirtualClock:
         """This session's virtual clock of simulated LLM seconds."""
         return self.client.clock
+
+    @property
+    def response_cache(self) -> "ResponseCache | None":
+        """The persistent response cache, or ``None`` when ``cache="off"``.
+
+        Enable it per session and inspect what it holds::
+
+            session = Session(model="sim-gpt-4", cache="read-write",
+                              cache_dir="askit")
+            session.ask(t.int, "{{a}} + {{b}}?", a=2, b=3)   # miss
+            session.ask(t.int, "{{a}} + {{b}}?", a=2, b=3)   # hit, zero latency
+            print(session.stats.cache_hits, len(session.response_cache))
+        """
+        return self.config.response_cache
 
     def replace(self, **changes: Any) -> "Session":
         """A new isolated session with ``changes`` applied to this config."""

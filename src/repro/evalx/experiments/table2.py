@@ -9,9 +9,18 @@ report 0 LOC, exactly as the paper's table does.
 The driver runs on an isolated :class:`~repro.core.session.Session` and
 sweeps the 50 tasks through ``session.run_parallel`` -- rows come back in
 task order and one task's failure never aborts the sweep.
+
+Warm-cache sweeps: ``run(cache="read-write", cache_dir=...)`` records
+every completion in the persistent response cache, and
+:func:`run_cache_sweep` performs the cold-then-warm pair against one
+cache directory -- the warm sweep replays all LLM traffic with zero
+simulated latency, so its ``wall_s`` collapses and its ``client_stats``
+show pure hits.
 """
 
 from __future__ import annotations
+
+from pathlib import Path
 
 from repro.core import Session
 from repro.datasets.common_tasks import CommonTask, all_tasks
@@ -42,8 +51,15 @@ class TaskRow:
 
 
 class Table2Result:
-    def __init__(self, rows: list[TaskRow]) -> None:
+    """The populated table plus the sweep's runtime accounting."""
+
+    def __init__(self, rows: list[TaskRow], wall_s: float = 0.0, client_stats=None) -> None:
         self.rows = rows
+        #: Simulated wall-clock of the whole sweep (parallel schedule).
+        self.wall_s = wall_s
+        #: The session's :class:`~repro.llm.client.ClientStats` -- includes
+        #: cache hit/miss/coalesced counters when a response cache was on.
+        self.client_stats = client_stats
 
     def _mean(self, attribute: str) -> float:
         values = [getattr(row, attribute) for row in self.rows]
@@ -80,11 +96,23 @@ def _compile_one(session: Session, task: CommonTask, language: str):
     return count_loc(generated.source, language), generated.retries
 
 
-def run(noise: NoisePolicy | None = None, max_concurrency: int = 8) -> Table2Result:
-    """Run the full experiment; returns the populated table."""
+def run(
+    noise: NoisePolicy | None = None,
+    max_concurrency: int = 8,
+    *,
+    cache: str = "off",
+    cache_dir: str | Path | None = None,
+) -> Table2Result:
+    """Run the full experiment; returns the populated table.
+
+    ``cache``/``cache_dir`` enable the persistent response cache for the
+    sweep (see :mod:`repro.core.response_cache`); re-running against the
+    same directory replays every completion instead of recomputing it.
+    """
     session = Session(
         model=MODEL,
-        cache_dir=None,
+        cache_dir=cache_dir,
+        cache=cache,
         client=ChatClient(noise_policy=noise or DEFAULT_NOISE),
     )
 
@@ -108,7 +136,23 @@ def run(noise: NoisePolicy | None = None, max_concurrency: int = 8) -> Table2Res
         else TaskRow(task, None, None, None, None)
         for task, outcome in zip(tasks, batch.outcomes)
     ]
-    return Table2Result(rows)
+    return Table2Result(rows, wall_s=session.clock.elapsed_s, client_stats=session.stats)
+
+
+def run_cache_sweep(
+    cache_dir: str | Path,
+    noise: NoisePolicy | None = None,
+    max_concurrency: int = 8,
+) -> tuple[Table2Result, Table2Result]:
+    """Run the sweep cold then warm against one response-cache directory.
+
+    Both runs use fresh sessions; only the on-disk cache is shared, so
+    the warm run's speedup is entirely due to response replay.  Returns
+    ``(cold, warm)`` -- compare their ``wall_s`` and ``client_stats``.
+    """
+    cold = run(noise, max_concurrency, cache="read-write", cache_dir=cache_dir)
+    warm = run(noise, max_concurrency, cache="read-write", cache_dir=cache_dir)
+    return cold, warm
 
 
 def render(result: Table2Result) -> str:

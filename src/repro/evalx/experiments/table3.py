@@ -15,11 +15,17 @@ paper's transformation) the experiment:
 
 Problem count defaults to the full 1,319 but honours the
 ``REPRO_GSM8K_COUNT`` environment variable so benchmarks can subsample.
+
+Warm-cache sweeps: ``run(cache="read-write", cache_dir=...)`` persists
+every completion (direct answers *and* code generation) in the response
+cache; :func:`run_cache_sweep` performs the cold-then-warm pair and the
+warm run replays all LLM traffic at zero simulated latency.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import repro.types as t
 from repro.core import AskItFunction, Session
@@ -49,6 +55,11 @@ class LanguageStats:
         self.latency = Mean()
         self.execution = Mean()
         self.compilation = Mean()
+        #: Simulated wall-clock of this language's direct-answer sweep.
+        self.wall_s = 0.0
+        #: The session's :class:`~repro.llm.client.ClientStats` (includes
+        #: cache hit/miss/coalesced counters when a response cache is on).
+        self.client_stats = None
 
     @property
     def speedup(self) -> float:
@@ -108,19 +119,25 @@ def run(
     noise: NoisePolicy | None = None,
     languages: tuple[str, ...] = ("typescript", "python"),
     max_concurrency: int = 8,
+    *,
+    cache: str = "off",
+    cache_dir: str | Path | None = None,
 ) -> dict[str, LanguageStats]:
     """Run the experiment; returns per-language stats.
 
     The direct-answer sweep fans out over each language's session worker
     pool (``session.run_parallel``); compilation and execution timing stay
     sequential so the real-time measurements are uncontended.
+    ``cache``/``cache_dir`` enable the persistent response cache, making
+    repeated runs against one directory replay instead of recompute.
     """
     problems = generate_dataset(count or problem_count())
     results: dict[str, LanguageStats] = {}
     for language in languages:
         session = Session(
             model=MODEL,
-            cache_dir=None,
+            cache_dir=cache_dir,
+            cache=cache,
             client=ChatClient(noise_policy=noise or DEFAULT_NOISE),
         )
         stats = LanguageStats(language)
@@ -143,8 +160,32 @@ def run(
                 continue
             stats.solved_directly += 1
             _measure_generated(definition, problem, language, stats)
+        stats.wall_s = session.clock.elapsed_s
+        stats.client_stats = session.stats
         results[language] = stats
     return results
+
+
+def run_cache_sweep(
+    cache_dir: str | Path,
+    count: int | None = None,
+    noise: NoisePolicy | None = None,
+    languages: tuple[str, ...] = ("typescript", "python"),
+    max_concurrency: int = 8,
+) -> tuple[dict[str, LanguageStats], dict[str, LanguageStats]]:
+    """Run the experiment cold then warm against one response-cache dir.
+
+    Fresh sessions both times; only the on-disk cache is shared.  Returns
+    ``(cold, warm)`` -- the warm run's per-language ``wall_s`` collapses
+    because every completion replays from the cache.  Note that direct
+    answers are language-independent, so within the cold run the second
+    language already hits the first language's direct-answer entries
+    (its codegen traffic, which embeds the target language, still
+    misses).
+    """
+    cold = run(count, noise, languages, max_concurrency, cache="read-write", cache_dir=cache_dir)
+    warm = run(count, noise, languages, max_concurrency, cache="read-write", cache_dir=cache_dir)
+    return cold, warm
 
 
 PAPER_ROWS = {

@@ -56,18 +56,31 @@ class CompletionResult:
     ``latency_s`` is *simulated* wall-clock time on a virtual clock -- the
     time a comparable hosted model would have taken -- so experiments can
     report realistic latencies without sleeping.
+
+    ``cached`` marks replays served by the response cache
+    (:mod:`repro.core.response_cache`); such results carry zero latency
+    and are excluded from provider-call accounting.
     """
 
-    __slots__ = ("text", "usage", "latency_s", "model")
+    __slots__ = ("text", "usage", "latency_s", "model", "cached")
 
-    def __init__(self, text: str, usage: Usage, latency_s: float, model: str) -> None:
+    def __init__(
+        self,
+        text: str,
+        usage: Usage,
+        latency_s: float,
+        model: str,
+        cached: bool = False,
+    ) -> None:
         self.text = text
         self.usage = usage
         self.latency_s = latency_s
         self.model = model
+        self.cached = cached
 
     def __repr__(self) -> str:
-        return f"CompletionResult({self.model}, {self.latency_s:.2f}s, {self.usage!r})"
+        origin = ", cached" if self.cached else ""
+        return f"CompletionResult({self.model}, {self.latency_s:.2f}s, {self.usage!r}{origin})"
 
 
 class LanguageModel:

@@ -16,9 +16,12 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.llm.base import ChatMessage, CompletionResult, LanguageModel, user_message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports llm)
+    from repro.core.response_cache import ResponseCache
 from repro.llm.latency import VirtualClock
 from repro.llm.noise import NoisePolicy
 from repro.llm.providers import (
@@ -30,14 +33,32 @@ from repro.llm.transcript import TranscriptRecorder
 
 
 class ModelStats:
-    """Usage accumulated for one model name."""
+    """Usage accumulated for one model name.
 
-    __slots__ = ("calls", "prompt_tokens", "completion_tokens")
+    ``calls`` counts *provider* calls only; requests served without
+    touching the provider show up as ``cache_hits`` (replayed from the
+    response cache) or ``coalesced`` (shared a concurrent identical
+    request's call).  ``cache_misses`` counts provider calls made with a
+    cache consulted first, so ``cache_hits / (cache_hits + cache_misses)``
+    is the hit rate of cache-enabled traffic.
+    """
+
+    __slots__ = (
+        "calls",
+        "prompt_tokens",
+        "completion_tokens",
+        "cache_hits",
+        "cache_misses",
+        "coalesced",
+    )
 
     def __init__(self) -> None:
         self.calls = 0
         self.prompt_tokens = 0
         self.completion_tokens = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.coalesced = 0
 
     @property
     def total_tokens(self) -> int:
@@ -46,7 +67,9 @@ class ModelStats:
     def __repr__(self) -> str:
         return (
             f"ModelStats(calls={self.calls}, prompt_tokens={self.prompt_tokens}, "
-            f"completion_tokens={self.completion_tokens})"
+            f"completion_tokens={self.completion_tokens}, "
+            f"hits={self.cache_hits}, misses={self.cache_misses}, "
+            f"coalesced={self.coalesced})"
         )
 
 
@@ -63,6 +86,9 @@ class ClientStats:
         self.calls = 0
         self.prompt_tokens = 0
         self.completion_tokens = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.coalesced = 0
         self._per_model: dict[str, ModelStats] = {}
 
     def record(self, result: CompletionResult) -> None:
@@ -75,12 +101,38 @@ class ClientStats:
             model.prompt_tokens += result.usage.prompt_tokens
             model.completion_tokens += result.usage.completion_tokens
 
+    def record_cache(self, model: str, status: str) -> None:
+        """Count one response-cache outcome for ``model``.
+
+        ``status`` is ``"hit"``, ``"miss"``, or ``"coalesced"`` (the
+        values :meth:`ResponseCache.fetch
+        <repro.core.response_cache.ResponseCache.fetch>` returns).  A
+        miss still triggers a normal :meth:`record` for the provider
+        call that follows; hits and coalesced replays never do.
+        """
+        with self._lock:
+            per_model = self._per_model.setdefault(model, ModelStats())
+            if status == "hit":
+                self.cache_hits += 1
+                per_model.cache_hits += 1
+            elif status == "coalesced":
+                self.coalesced += 1
+                per_model.coalesced += 1
+            elif status == "miss":
+                self.cache_misses += 1
+                per_model.cache_misses += 1
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown cache status {status!r}")
+
     @staticmethod
     def _copy(live: ModelStats) -> ModelStats:
         snapshot = ModelStats()
         snapshot.calls = live.calls
         snapshot.prompt_tokens = live.prompt_tokens
         snapshot.completion_tokens = live.completion_tokens
+        snapshot.cache_hits = live.cache_hits
+        snapshot.cache_misses = live.cache_misses
+        snapshot.coalesced = live.coalesced
         return snapshot
 
     @property
@@ -104,12 +156,21 @@ class ClientStats:
             self.calls = 0
             self.prompt_tokens = 0
             self.completion_tokens = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.coalesced = 0
             self._per_model = {}
 
     def __repr__(self) -> str:
+        cache = ""
+        if self.cache_hits or self.cache_misses or self.coalesced:
+            cache = (
+                f", hits={self.cache_hits}, misses={self.cache_misses}, "
+                f"coalesced={self.coalesced}"
+            )
         return (
             f"ClientStats(calls={self.calls}, prompt_tokens={self.prompt_tokens}, "
-            f"completion_tokens={self.completion_tokens})"
+            f"completion_tokens={self.completion_tokens}{cache})"
         )
 
 
@@ -189,12 +250,30 @@ class ChatClient:
         model: str,
         messages: Sequence[ChatMessage] | str,
         temperature: float = 1.0,
+        cache: "ResponseCache | None" = None,
     ) -> CompletionResult:
         """Complete a conversation; a bare string is wrapped as one user
-        message (the shape AskIt's prompts use)."""
+        message (the shape AskIt's prompts use).
+
+        When ``cache`` (a :class:`~repro.core.response_cache.ResponseCache`)
+        is given, the request is served through it: a stored entry replays
+        with zero latency, a concurrent identical request coalesces onto
+        one provider call, and only true misses reach the provider (and
+        get persisted in read-write mode).  Hit/miss/coalesced outcomes
+        are tallied on :attr:`stats`.
+        """
         messages = self._as_messages(messages)
-        result = self.provider_for(model).complete(model, messages, temperature)
-        self._account(model, messages, result)
+        if cache is None:
+            result = self.provider_for(model).complete(model, messages, temperature)
+            self._account(model, messages, result)
+            return result
+        status, result = cache.fetch(
+            model,
+            messages,
+            temperature,
+            lambda: self.provider_for(model).complete(model, messages, temperature),
+        )
+        self._settle_cached(model, messages, status, result)
         return result
 
     async def achat_complete(
@@ -202,23 +281,49 @@ class ChatClient:
         model: str,
         messages: Sequence[ChatMessage] | str,
         temperature: float = 1.0,
+        cache: "ResponseCache | None" = None,
     ) -> CompletionResult:
         """Async counterpart of :meth:`chat_complete`.
 
         Uses the provider's native async path when it has one; otherwise
         the sync ``complete`` runs on a worker thread so the event loop
-        never blocks.
+        never blocks.  ``cache`` behaves exactly as in
+        :meth:`chat_complete`; coalesced followers await the leader
+        without blocking the loop.
         """
         messages = self._as_messages(messages)
+        if cache is None:
+            result = await self._acomplete_provider(model, messages, temperature)
+            self._account(model, messages, result)
+            return result
+        status, result = await cache.afetch(
+            model,
+            messages,
+            temperature,
+            lambda: self._acomplete_provider(model, messages, temperature),
+        )
+        self._settle_cached(model, messages, status, result)
+        return result
+
+    async def _acomplete_provider(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> CompletionResult:
         provider = self.provider_for(model)
         if provider.supports_async:
-            result = await provider.acomplete(model, messages, temperature)
-        else:
-            result = await asyncio.to_thread(
-                provider.complete, model, messages, temperature
-            )
-        self._account(model, messages, result)
-        return result
+            return await provider.acomplete(model, messages, temperature)
+        return await asyncio.to_thread(provider.complete, model, messages, temperature)
+
+    def _settle_cached(
+        self,
+        model: str,
+        messages: Sequence[ChatMessage],
+        status: str,
+        result: CompletionResult,
+    ) -> None:
+        """Account one cache-served request: misses charge, replays don't."""
+        self.stats.record_cache(model, status)
+        if status == "miss":
+            self._account(model, messages, result)
 
     @staticmethod
     def _as_messages(messages: Sequence[ChatMessage] | str) -> Sequence[ChatMessage]:

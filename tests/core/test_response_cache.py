@@ -1,0 +1,416 @@
+"""Unit tests for the persistent response cache and its wiring.
+
+Covers key derivation, TTL expiry, LRU eviction, persistence and
+corruption tolerance, read vs read-write modes, in-flight coalescing
+(sync and async), and the Config/Session/ClientStats surface.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+import repro.types as t
+from repro.core import CACHE_MODES, Config, ResponseCache, Session, config_override, response_key
+from repro.core.response_cache import CACHE_FORMAT_VERSION
+from repro.errors import ConfigError
+from repro.llm import ChatClient, QUIET, NoisePolicy
+from repro.llm.base import ChatMessage, CompletionResult, Usage, user_message
+
+
+def completion(text="answer", model="sim-gpt-4", latency=2.5) -> CompletionResult:
+    return CompletionResult(text, Usage(10, 20), latency, model)
+
+
+def messages(content="hello") -> list[ChatMessage]:
+    return [user_message(content)]
+
+
+class FakeTime:
+    def __init__(self, start=1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestKeyDerivation:
+    def test_key_is_stable_and_content_addressed(self):
+        key = response_key("m", messages("q"), 1.0)
+        assert key == response_key("m", messages("q"), 1.0)
+        assert len(key) == 64 and all(c in "0123456789abcdef" for c in key)
+
+    def test_key_covers_model_temperature_content_and_role(self):
+        base = response_key("m", messages("q"), 1.0)
+        assert response_key("other", messages("q"), 1.0) != base
+        assert response_key("m", messages("q"), 0.5) != base
+        assert response_key("m", messages("other"), 1.0) != base
+        assert response_key("m", [ChatMessage("system", "q")], 1.0) != base
+
+    def test_key_covers_extra_decoding_params(self):
+        base = response_key("m", messages(), 1.0)
+        assert response_key("m", messages(), 1.0, extra={"top_p": 0.9}) != base
+
+
+class TestStoreAndLoad:
+    def test_round_trip_replays_with_zero_latency(self, tmp_path):
+        cache = ResponseCache(tmp_path)
+        key = cache.key("sim-gpt-4", messages(), 1.0)
+        cache.store(key, completion(latency=9.9), messages(), 1.0)
+
+        replayed = cache.load(key)
+        assert replayed is not None
+        assert replayed.text == "answer"
+        assert replayed.cached is True
+        assert replayed.latency_s == 0.0
+        assert (replayed.usage.prompt_tokens, replayed.usage.completion_tokens) == (10, 20)
+
+    def test_entries_persist_across_instances(self, tmp_path):
+        first = ResponseCache(tmp_path)
+        key = first.key("m", messages(), 1.0)
+        first.store(key, completion(), messages(), 1.0)
+
+        second = ResponseCache(tmp_path)
+        assert second.load(key) is not None
+        assert len(second) == 1
+
+    def test_memory_only_cache_works_without_directory(self):
+        cache = ResponseCache(None)
+        key = cache.key("m", messages(), 1.0)
+        assert cache.load(key) is None
+        cache.store(key, completion(), messages(), 1.0)
+        assert cache.load(key) is not None
+
+    def test_atomic_writes_leave_no_temp_files(self, tmp_path):
+        cache = ResponseCache(tmp_path)
+        for index in range(5):
+            key = cache.key("m", messages(str(index)), 1.0)
+            cache.store(key, completion(), messages(str(index)), 1.0)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert len(list(tmp_path.glob("*.json"))) == 5
+
+    def test_corrupt_and_foreign_files_read_as_misses(self, tmp_path):
+        cache = ResponseCache(tmp_path)
+        key = cache.key("m", messages(), 1.0)
+        cache.store(key, completion(), messages(), 1.0)
+        path = tmp_path / f"{key}.json"
+
+        path.write_text("not json", encoding="utf-8")
+        assert ResponseCache(tmp_path).load(key) is None
+
+        payload = json.loads(json.dumps({"version": CACHE_FORMAT_VERSION + 1}))
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert ResponseCache(tmp_path).load(key) is None
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = ResponseCache(tmp_path)
+        keys = []
+        for index in range(3):
+            key = cache.key("m", messages(str(index)), 1.0)
+            cache.store(key, completion(), messages(str(index)), 1.0)
+            keys.append(key)
+        assert cache.invalidate(keys[0]) is True
+        assert cache.invalidate(keys[0]) is False
+        assert cache.load(keys[0]) is None
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestExpiryAndEviction:
+    def test_ttl_expires_entries(self, tmp_path):
+        clock = FakeTime()
+        cache = ResponseCache(tmp_path, ttl_s=60.0, time_source=clock)
+        key = cache.key("m", messages(), 1.0)
+        cache.store(key, completion(), messages(), 1.0)
+
+        clock.now += 59.0
+        assert cache.load(key) is not None
+        clock.now += 2.0
+        assert cache.load(key) is None
+        # Expired entries are dropped from disk as well.
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_expired_disk_entry_is_a_miss_for_a_fresh_instance(self, tmp_path):
+        clock = FakeTime()
+        writer = ResponseCache(tmp_path, ttl_s=10.0, time_source=clock)
+        key = writer.key("m", messages(), 1.0)
+        writer.store(key, completion(), messages(), 1.0)
+
+        clock.now += 11.0
+        reader = ResponseCache(tmp_path, ttl_s=10.0, time_source=clock)
+        assert reader.load(key) is None
+
+    def test_lru_eviction_bounds_entry_count(self, tmp_path):
+        clock = FakeTime()
+        cache = ResponseCache(tmp_path, max_entries=3, time_source=clock)
+        keys = []
+        for index in range(5):
+            clock.now += 1.0
+            key = cache.key("m", messages(str(index)), 1.0)
+            cache.store(key, completion(), messages(str(index)), 1.0)
+            keys.append(key)
+        assert len(list(tmp_path.glob("*.json"))) == 3
+        # The oldest entries went first.
+        assert cache.load(keys[0]) is None
+        assert cache.load(keys[1]) is None
+        assert cache.load(keys[4]) is not None
+
+    def test_hits_refresh_recency(self):
+        clock = FakeTime()
+        cache = ResponseCache(None, max_entries=2, time_source=clock)
+        key_a = cache.key("m", messages("a"), 1.0)
+        key_b = cache.key("m", messages("b"), 1.0)
+        cache.store(key_a, completion(), messages("a"), 1.0)
+        clock.now += 1.0
+        cache.store(key_b, completion(), messages("b"), 1.0)
+        clock.now += 1.0
+        assert cache.load(key_a) is not None  # refresh a; b is now oldest
+        clock.now += 1.0
+        key_c = cache.key("m", messages("c"), 1.0)
+        cache.store(key_c, completion(), messages("c"), 1.0)
+        assert cache.load(key_a) is not None
+        assert cache.load(key_b) is None
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_share_one_call(self):
+        cache = ResponseCache(None)
+        calls = []
+        release = threading.Event()
+
+        def slow_call():
+            calls.append(1)
+            release.wait(timeout=5.0)
+            return completion()
+
+        statuses = []
+        results = []
+
+        def request():
+            status, result = cache.fetch("m", messages(), 1.0, slow_call)
+            statuses.append(status)
+            results.append(result)
+
+        threads = [threading.Thread(target=request) for _ in range(5)]
+        for thread in threads:
+            thread.start()
+        # Wait until the leader is inside the provider call, then release.
+        for _ in range(100):
+            if calls:
+                break
+            threading.Event().wait(0.01)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+        assert len(calls) == 1
+        assert sorted(statuses).count("miss") == 1
+        assert all(result.text == "answer" for result in results)
+        # Followers get zero-latency cached replays.
+        followers = [r for r, s in zip(results, statuses) if s != "miss"]
+        assert all(r.cached and r.latency_s == 0.0 for r in followers)
+
+    def test_leader_failure_propagates_to_followers_and_releases_key(self):
+        cache = ResponseCache(None)
+        started = threading.Event()
+        release = threading.Event()
+
+        def failing_call():
+            started.set()
+            release.wait(timeout=5.0)
+            raise RuntimeError("provider down")
+
+        errors = []
+
+        def request():
+            try:
+                cache.fetch("m", messages(), 1.0, failing_call)
+            except RuntimeError as error:
+                errors.append(error)
+
+        leader = threading.Thread(target=request)
+        leader.start()
+        assert started.wait(timeout=5.0)
+        follower = threading.Thread(target=request)
+        follower.start()
+        threading.Event().wait(0.05)
+        release.set()
+        leader.join(timeout=5.0)
+        follower.join(timeout=5.0)
+        # Depending on timing the follower either coalesced onto the
+        # failure or retried as a fresh leader and failed itself.
+        assert 1 <= len(errors) <= 2
+        # The key is released: a later request calls the provider again.
+        status, result = cache.fetch("m", messages(), 1.0, lambda: completion("ok"))
+        assert status == "miss" and result.text == "ok"
+
+    def test_async_coalescing(self):
+        cache = ResponseCache(None)
+        calls = []
+
+        async def acall():
+            calls.append(1)
+            await asyncio.sleep(0.02)
+            return completion()
+
+        async def go():
+            pairs = await asyncio.gather(
+                *(cache.afetch("m", messages(), 1.0, acall) for _ in range(4))
+            )
+            return pairs
+
+        pairs = asyncio.run(go())
+        assert len(calls) == 1
+        statuses = sorted(status for status, _ in pairs)
+        assert statuses.count("miss") == 1
+        assert all(result.text == "answer" for _, result in pairs)
+
+    def test_read_mode_coalesces_but_does_not_persist(self, tmp_path):
+        cache = ResponseCache(tmp_path, mode="read")
+        status, _ = cache.fetch("m", messages(), 1.0, completion)
+        assert status == "miss"
+        assert not list(tmp_path.glob("*.json"))
+        # And the next request misses again (nothing was stored).
+        status, _ = cache.fetch("m", messages(), 1.0, completion)
+        assert status == "miss"
+
+
+class TestConfigSurface:
+    def test_cache_mode_validation(self):
+        assert CACHE_MODES == ("off", "read", "read-write")
+        with pytest.raises(ConfigError):
+            Config(cache="write-only")
+        with pytest.raises(ConfigError):
+            Config(cache_ttl=0)
+        with pytest.raises(ConfigError):
+            Config(cache_max_entries=0)
+        with pytest.raises(ConfigError):
+            ResponseCache(None, mode="off")
+
+    def test_off_config_has_no_response_cache(self):
+        assert Config().response_cache is None
+
+    def test_response_cache_is_memoized_per_config(self, tmp_path):
+        config = Config(cache="read-write", cache_dir=tmp_path)
+        cache = config.response_cache
+        assert cache is config.response_cache
+        assert cache.directory == tmp_path / "responses"
+        assert cache.ttl_s is None
+
+    def test_config_override_surfaces_cache_settings(self, tmp_path):
+        with config_override(
+            cache="read", cache_dir=tmp_path, cache_ttl=30.0, cache_max_entries=7
+        ) as config:
+            cache = config.response_cache
+            assert cache is not None
+            assert cache.mode == "read"
+            assert cache.ttl_s == 30.0
+            assert cache.max_entries == 7
+
+    def test_replace_carries_cache_settings(self):
+        config = Config(cache="read-write", cache_ttl=5.0, cache_max_entries=9)
+        copy = config.replace(model="sim-gpt-3.5-turbo-16k")
+        assert copy.cache == "read-write"
+        assert copy.cache_ttl == 5.0
+        assert copy.cache_max_entries == 9
+
+
+class TestSessionIntegration:
+    def fresh(self, tmp_path, **overrides) -> Session:
+        return Session(
+            model="sim-gpt-4",
+            cache_dir=tmp_path / "askit",
+            cache="read-write",
+            client=ChatClient(noise_policy=QUIET),
+            **overrides,
+        )
+
+    def test_repeated_ask_hits_the_cache(self, tmp_path):
+        session = self.fresh(tmp_path)
+        first = session.ask(t.int, "Calculate the factorial of {{n}}.", n=5)
+        elapsed_after_first = session.clock.elapsed_s
+        second = session.ask(t.int, "Calculate the factorial of {{n}}.", n=5)
+        assert first == second == 120
+        assert session.stats.calls == 1
+        assert session.stats.cache_hits == 1
+        # The hit charged nothing to the virtual clock.
+        assert session.clock.elapsed_s == elapsed_after_first
+
+    def test_warm_session_replays_persisted_responses(self, tmp_path):
+        cold = self.fresh(tmp_path)
+        assert cold.ask(t.int, "Calculate the factorial of {{n}}.", n=6) == 720
+
+        warm = self.fresh(tmp_path)
+        assert warm.ask(t.int, "Calculate the factorial of {{n}}.", n=6) == 720
+        assert warm.stats.calls == 0
+        assert warm.stats.cache_hits == 1
+        assert warm.clock.elapsed_s == 0.0
+
+    def test_async_path_uses_the_cache(self, tmp_path):
+        session = self.fresh(tmp_path)
+
+        async def run():
+            a = await session.ask_async(t.int, "Calculate the factorial of {{n}}.", n=4)
+            b = await session.ask_async(t.int, "Calculate the factorial of {{n}}.", n=4)
+            return a, b
+
+        a, b = asyncio.run(run())
+        assert a == b == 24
+        assert session.stats.calls == 1
+        assert session.stats.cache_hits == 1
+
+    def test_session_response_cache_property_and_inspection(self, tmp_path):
+        session = self.fresh(tmp_path)
+        assert session.response_cache is not None
+        session.ask(t.int, "Calculate the factorial of {{n}}.", n=3)
+        entries = list(session.response_cache)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.model == "sim-gpt-4"
+        assert entry.provider_latency_s > 0
+        assert "factorial" in entry.prompt_preview
+
+    def test_retry_chain_replays_deterministically(self, tmp_path):
+        """A noisy call's whole retry transcript replays from the cache."""
+        noise = NoisePolicy(direct_corruption_rate=0.9, buggy_code_rate=0.0, seed=99)
+        cold = Session(
+            model="sim-gpt-4",
+            cache_dir=tmp_path / "askit",
+            cache="read-write",
+            max_retries=30,
+            client=ChatClient(noise_policy=noise),
+        )
+        fn = cold.define(t.int, "Calculate the factorial of {{n}}.")
+        value = fn(n=5)
+        attempts = fn.last_result.attempts
+        assert attempts >= 1
+        # One cache entry per attempt (initial prompt + each refinement).
+        assert len(cold.response_cache) == attempts
+
+        warm = Session(
+            model="sim-gpt-4",
+            cache_dir=tmp_path / "askit",
+            cache="read-write",
+            max_retries=30,
+            client=ChatClient(noise_policy=noise),
+        )
+        warm_fn = warm.define(t.int, "Calculate the factorial of {{n}}.")
+        assert warm_fn(n=5) == value
+        assert warm_fn.last_result.attempts == attempts
+        assert warm.stats.calls == 0
+        assert warm.stats.cache_hits == attempts
+
+    def test_codegen_traffic_is_cached_too(self, tmp_path):
+        cold = self.fresh(tmp_path)
+        fn = cold.define(t.int, "Calculate the factorial of {{n}}.")
+        compiled = fn.compile(use_cache=False)
+        assert compiled(n=5) == 120
+        codegen_calls = cold.stats.calls
+
+        warm = self.fresh(tmp_path)
+        warm_fn = warm.define(t.int, "Calculate the factorial of {{n}}.")
+        warm_compiled = warm_fn.compile(use_cache=False)
+        assert warm_compiled(n=5) == 120
+        assert warm.stats.calls == 0
+        assert warm.stats.cache_hits == codegen_calls

@@ -1,0 +1,1 @@
+"""Documentation smoke tests."""

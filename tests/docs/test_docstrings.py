@@ -1,0 +1,84 @@
+"""The public surface must stay documented.
+
+CI additionally runs ruff's pydocstyle (``D``) rules over these modules
+(see ``.github/workflows/ci.yml``); this test enforces the same core
+contract locally, without requiring ruff in the environment: every
+public module, class, method, and function on the public surface
+carries a docstring, and multi-line docstrings close on their own line
+(pydocstyle D100-D106, D209).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The modules the documentation satellite covers: the package front
+#: door and the ``Session`` / ``AskItFunction`` / ``Config`` surface,
+#: plus the new response cache.
+PUBLIC_SURFACE = [
+    "src/repro/__init__.py",
+    "src/repro/core/config.py",
+    "src/repro/core/session.py",
+    "src/repro/core/function.py",
+    "src/repro/core/response_cache.py",
+]
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _missing_docstrings(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), str(path))
+    problems = []
+    if not ast.get_docstring(tree):
+        problems.append("module (D100)")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and _is_public(node.name):
+            if not ast.get_docstring(node):
+                problems.append(f"class {node.name} (D101)")
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and _is_public(item.name)
+                    and not ast.get_docstring(item)
+                ):
+                    problems.append(f"method {node.name}.{item.name} (D102)")
+        elif (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and _is_public(node.name)
+            and node.col_offset == 0
+            and not ast.get_docstring(node)
+        ):
+            problems.append(f"function {node.name} (D103)")
+    return problems
+
+
+def _bad_closings(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), str(path))
+    problems = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            docstring = ast.get_docstring(node, clean=False)
+            if docstring and "\n" in docstring and not docstring.rstrip(" ").endswith("\n"):
+                problems.append(getattr(node, "name", "module"))
+    return problems
+
+
+@pytest.mark.parametrize("relative", PUBLIC_SURFACE)
+def test_public_surface_is_fully_documented(relative):
+    path = REPO_ROOT / relative
+    missing = _missing_docstrings(path)
+    assert not missing, f"{relative} is missing docstrings: {missing}"
+
+
+@pytest.mark.parametrize("relative", PUBLIC_SURFACE)
+def test_multiline_docstrings_close_on_their_own_line(relative):
+    path = REPO_ROOT / relative
+    bad = _bad_closings(path)
+    assert not bad, f"{relative} has docstrings closing mid-line (D209): {bad}"
