@@ -59,6 +59,21 @@ one provider call (see ``docs/caching.md``)::
     session.ask(t.int, "{{a}} + {{b}}?", a=2, b=3)   # cache hit
     session.stats.cache_hits                          # -> 1
 
+Request scheduling (rate limits, adaptive concurrency, deadlines)
+-----------------------------------------------------------------
+
+``scheduler="adaptive"`` routes provider calls through an admission
+gate: per-model token buckets pace requests/min and tokens/min, an
+AIMD window adapts concurrency to observed latency and 429s,
+priorities order contending requests, and deadlines fail hopeless
+requests fast.  Waits are charged to the virtual clock, never slept
+(see ``docs/scheduling.md``)::
+
+    session = Session(model="sim-gpt-4", scheduler="adaptive",
+                      requests_per_minute=120)
+    batch = session.define(t.str, "Classify {{x}}.").map(items)
+    session.stats.throttled, session.stats.throttle_wait_s
+
 Exported names
 --------------
 

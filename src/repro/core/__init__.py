@@ -27,6 +27,13 @@ from repro.core.response_cache import (
 )
 from repro.core.runtime import DirectResult, execute_direct, execute_direct_async
 from repro.core.safety import SafetyFinding, SafetyPolicy, scan_python, scan_typescript
+from repro.core.scheduler import (
+    SCHEDULER_MODES,
+    AdaptiveConcurrency,
+    PacingBucket,
+    RequestScheduler,
+    SchedulerPolicy,
+)
 from repro.core.session import Session, default_session
 from repro.ioexample import Example, outputs_equal
 
@@ -59,6 +66,11 @@ __all__ = [
     "CacheEntry",
     "response_key",
     "CACHE_MODES",
+    "RequestScheduler",
+    "SchedulerPolicy",
+    "PacingBucket",
+    "AdaptiveConcurrency",
+    "SCHEDULER_MODES",
     "FunctionHost",
     "PythonHost",
     "TypeScriptHost",

@@ -234,9 +234,14 @@ def generate_function(
     if cached is not None:
         return cached
     response_cache = config.response_cache
+    scheduler = config.request_scheduler
     for attempt in range(config.max_retries + 1):
         completion = config.client.chat_complete(
-            config.codegen_model, run.current, config.temperature, cache=response_cache
+            config.codegen_model,
+            run.current,
+            config.temperature,
+            cache=response_cache,
+            scheduler=scheduler,
         )
         generated = run.accept(completion, attempt)
         if generated is not None:
@@ -267,9 +272,14 @@ async def generate_function_async(
     if cached is not None:
         return cached
     response_cache = config.response_cache
+    scheduler = config.request_scheduler
     for attempt in range(config.max_retries + 1):
         completion = await config.client.achat_complete(
-            config.codegen_model, run.current, config.temperature, cache=response_cache
+            config.codegen_model,
+            run.current,
+            config.temperature,
+            cache=response_cache,
+            scheduler=scheduler,
         )
         generated = run.accept(completion, attempt)
         if generated is not None:

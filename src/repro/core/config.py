@@ -16,6 +16,7 @@ from typing import Iterator
 
 from repro.core.response_cache import CACHE_MODES, ResponseCache
 from repro.core.safety import SafetyPolicy
+from repro.core.scheduler import SCHEDULER_MODES, RequestScheduler, SchedulerPolicy
 from repro.errors import ConfigError
 from repro.llm.client import ChatClient, default_client
 from repro.prompts.codegen import PYTHON, TYPESCRIPT
@@ -72,6 +73,27 @@ class Config:
         Seconds before a stored response expires (``None`` = never).
     cache_max_entries:
         LRU bound on stored responses.
+    scheduler:
+        Request-scheduling mode: ``"off"`` (default -- provider calls are
+        issued immediately; 429s fall back to naive exponential backoff)
+        or ``"adaptive"`` (calls pass through a
+        :class:`~repro.core.scheduler.RequestScheduler`: rate pacing,
+        AIMD concurrency, priorities, deadlines).
+    requests_per_minute:
+        Sustained per-model request pacing for the scheduler
+        (``None`` = no request bucket).
+    tokens_per_minute:
+        Sustained per-model token pacing for the scheduler
+        (``None`` = no token bucket).
+    deadline_s:
+        Default per-request deadline in virtual seconds; a request whose
+        projected waits exceed it raises
+        :class:`~repro.errors.DeadlineExceededError` (``None`` = none).
+    scheduler_policy:
+        Full :class:`~repro.core.scheduler.SchedulerPolicy` for the
+        advanced knobs (burst, AIMD bounds, requeue budget...).  The
+        ``requests_per_minute``/``tokens_per_minute``/``deadline_s``
+        arguments override the policy's matching fields when given.
     """
 
     def __init__(
@@ -87,6 +109,11 @@ class Config:
         cache: str = "off",
         cache_ttl: float | None = None,
         cache_max_entries: int = 4096,
+        scheduler: str = "off",
+        requests_per_minute: float | None = None,
+        tokens_per_minute: float | None = None,
+        deadline_s: float | None = None,
+        scheduler_policy: SchedulerPolicy | None = None,
     ) -> None:
         if max_retries < 0:
             raise ConfigError("max_retries must be >= 0")
@@ -102,6 +129,10 @@ class Config:
             raise ConfigError("cache_ttl must be positive (or None for no expiry)")
         if cache_max_entries < 1:
             raise ConfigError("cache_max_entries must be >= 1")
+        if scheduler not in SCHEDULER_MODES:
+            raise ConfigError(
+                f"scheduler must be one of {SCHEDULER_MODES}, got {scheduler!r}"
+            )
         self.model = model
         self.codegen_model = codegen_model or model
         self.temperature = temperature
@@ -115,9 +146,25 @@ class Config:
         self.cache = cache
         self.cache_ttl = cache_ttl
         self.cache_max_entries = cache_max_entries
+        self.scheduler = scheduler
+        # Fold the convenience knobs into one policy; SchedulerPolicy
+        # validates them (positive rates, positive deadline).
+        base_policy = scheduler_policy or SchedulerPolicy()
+        overrides = {}
+        if requests_per_minute is not None:
+            overrides["requests_per_minute"] = requests_per_minute
+        if tokens_per_minute is not None:
+            overrides["tokens_per_minute"] = tokens_per_minute
+        if deadline_s is not None:
+            overrides["deadline_s"] = deadline_s
+        self.scheduler_policy = (
+            base_policy.replace(**overrides) if overrides else base_policy
+        )
         self._client = client
         self._response_cache: ResponseCache | None = None
         self._response_cache_lock = threading.Lock()
+        self._request_scheduler: RequestScheduler | None = None
+        self._request_scheduler_lock = threading.Lock()
 
     @property
     def client(self) -> ChatClient:
@@ -153,6 +200,37 @@ class Config:
                     )
         return self._response_cache
 
+    @property
+    def requests_per_minute(self) -> float | None:
+        """The scheduler's per-model request pacing (None = unpaced)."""
+        return self.scheduler_policy.requests_per_minute
+
+    @property
+    def tokens_per_minute(self) -> float | None:
+        """The scheduler's per-model token pacing (None = unpaced)."""
+        return self.scheduler_policy.tokens_per_minute
+
+    @property
+    def deadline_s(self) -> float | None:
+        """The default per-request virtual deadline (None = none)."""
+        return self.scheduler_policy.deadline_s
+
+    @property
+    def request_scheduler(self) -> RequestScheduler | None:
+        """The request scheduler this config enables, or ``None`` when off.
+
+        Created once per config, so every call through one config (or
+        one session) shares pacing buckets and AIMD state -- the whole
+        point of admission control.  See :mod:`repro.core.scheduler`.
+        """
+        if self.scheduler == "off":
+            return None
+        if self._request_scheduler is None:
+            with self._request_scheduler_lock:
+                if self._request_scheduler is None:
+                    self._request_scheduler = RequestScheduler(self.scheduler_policy)
+        return self._request_scheduler
+
     def replace(self, **changes) -> "Config":
         """A copy of this config with ``changes`` applied."""
         current = {
@@ -167,6 +245,8 @@ class Config:
             "cache": self.cache,
             "cache_ttl": self.cache_ttl,
             "cache_max_entries": self.cache_max_entries,
+            "scheduler": self.scheduler,
+            "scheduler_policy": self.scheduler_policy,
         }
         current.update(changes)
         return Config(**current)
@@ -175,7 +255,7 @@ class Config:
         return (
             f"Config(model={self.model!r}, codegen_model={self.codegen_model!r}, "
             f"retries={self.max_retries}, target={self.target_language!r}, "
-            f"cache={self.cache!r})"
+            f"cache={self.cache!r}, scheduler={self.scheduler!r})"
         )
 
 

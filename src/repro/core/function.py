@@ -27,7 +27,12 @@ from repro.core.codegen import (
 )
 from repro.core.config import Config, get_config
 from repro.core.runtime import DirectResult, execute_direct, execute_direct_async
-from repro.errors import MaxRetriesExceededError, TemplateError
+from repro.errors import (
+    DeadlineExceededError,
+    MaxRetriesExceededError,
+    RateLimitError,
+    TemplateError,
+)
 from repro.ioexample import Example
 from repro.templates import PromptTemplate
 from repro.types.base import Type
@@ -118,6 +123,7 @@ class AskItFunction:
         max_concurrency: int = 8,
         dedup: bool | None = None,
         config: Config | None = None,
+        priority: int = 0,
     ) -> MapResult:
         """Run this task once per binding over a bounded worker pool.
 
@@ -139,6 +145,14 @@ class AskItFunction:
         charged as *parallel* wall-clock: ``batch.wall_s`` is the per-item
         latencies scheduled over ``max_concurrency`` workers, and
         ``batch.speedup`` compares it against the sequential sum.
+
+        Throttle failures are isolated the same way: an item that blows
+        its scheduler deadline
+        (:class:`~repro.errors.DeadlineExceededError`) or exhausts its
+        rate-limit retries (:class:`~repro.errors.RateLimitError`) is
+        captured on its outcome.  ``priority`` orders this batch's
+        requests against other traffic at the scheduler's admission gate
+        (lower goes first) when the config enables one.
         """
         config = config or self.config
         bound_list = [self._bind_item(item) for item in bindings]
@@ -155,6 +169,7 @@ class AskItFunction:
                     bound,
                     self.few_shot_examples,
                     config,
+                    priority=priority,
                 )
 
             return thunk
@@ -165,7 +180,7 @@ class AskItFunction:
             max_concurrency=max_concurrency,
             clock=config.client.clock,
             unwrap=lambda result: (result.value, result),
-            catch=(MaxRetriesExceededError,),
+            catch=(MaxRetriesExceededError, DeadlineExceededError, RateLimitError),
         )
 
     # -- argument binding --------------------------------------------------------

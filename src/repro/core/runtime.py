@@ -112,8 +112,12 @@ def execute_direct(
     args: Mapping[str, Any],
     examples: Sequence[Example] = (),
     config: Config | None = None,
+    priority: int = 0,
 ) -> DirectResult:
     """Run a directly answerable task through the LLM with retries.
+
+    ``priority`` orders contending requests at the scheduler's admission
+    gate when the config enables one (lower goes first).
 
     Raises :class:`MaxRetriesExceededError` when no attempt yields a
     response satisfying all three criteria of Section III-E.
@@ -121,9 +125,15 @@ def execute_direct(
     config = config or get_config()
     run = _DirectRun(template, answer_type, args, examples, config)
     cache = config.response_cache
+    scheduler = config.request_scheduler
     for attempt in range(config.max_retries + 1):
         completion = config.client.chat_complete(
-            config.model, run.current, config.temperature, cache=cache
+            config.model,
+            run.current,
+            config.temperature,
+            cache=cache,
+            scheduler=scheduler,
+            priority=priority,
         )
         result = run.accept(completion, attempt)
         if result is not None:
@@ -137,14 +147,21 @@ async def execute_direct_async(
     args: Mapping[str, Any],
     examples: Sequence[Example] = (),
     config: Config | None = None,
+    priority: int = 0,
 ) -> DirectResult:
     """Async counterpart of :func:`execute_direct`; same retry semantics."""
     config = config or get_config()
     run = _DirectRun(template, answer_type, args, examples, config)
     cache = config.response_cache
+    scheduler = config.request_scheduler
     for attempt in range(config.max_retries + 1):
         completion = await config.client.achat_complete(
-            config.model, run.current, config.temperature, cache=cache
+            config.model,
+            run.current,
+            config.temperature,
+            cache=cache,
+            scheduler=scheduler,
+            priority=priority,
         )
         result = run.accept(completion, attempt)
         if result is not None:

@@ -1,0 +1,608 @@
+"""Rate-limited request scheduling with adaptive concurrency.
+
+The ROADMAP's north star -- heavy traffic served as fast as the hardware
+allows -- lives or dies on admission control: a runtime that fires every
+``map()`` item at the provider simultaneously spends most of its time in
+429 penalty boxes.  This module adds the missing layer between
+:class:`~repro.llm.client.ChatClient` and the provider registry
+(following LMQL and APPL, which both move query mechanics into the
+runtime so they can be optimized systematically):
+
+* **Pacing buckets** -- per-model GCRA token buckets for requests/min and
+  tokens/min.  Instead of letting the provider refuse, the scheduler
+  computes how long a request must wait to conform and charges that wait
+  to the caller's virtual clock *before* issuing, so paced traffic never
+  draws a 429 from a same-shaped provider limit.
+* **Adaptive concurrency (AIMD)** -- an effective-parallelism window per
+  model: additive increase on success, multiplicative decrease on a rate
+  limit or a latency spike.  On the virtual clock "concurrency" is
+  expressed as pacing -- a window of ``w`` over an observed latency of
+  ``L`` seconds admits at most ``w / L`` requests per virtual second --
+  so the controller composes with the rate buckets instead of fighting
+  the worker pool.
+* **Priority-aware admission** -- contending requests are admitted in
+  ``(priority, arrival)`` order through a turnstile, so latency-sensitive
+  traffic overtakes bulk sweeps at the gate.
+* **Deadlines** -- a request whose projected delay exceeds its deadline
+  fails fast with :class:`~repro.errors.DeadlineExceededError` *before*
+  spending wait budget; requeued requests re-check against their original
+  submission time.
+* **Requeue on 429** -- a refusal that slips through (e.g. a limit
+  tighter than the configured pacing) is not fatal: the scheduler charges
+  the provider's ``retry_after_s``, shrinks the AIMD window, and requeues
+  the request up to ``max_requeues`` times.
+
+Everything is accounted on the deterministic virtual clock
+(:class:`~repro.llm.latency.VirtualClock`): waits are *charged*, never
+slept, so scheduled benchmarks reproduce.  Throttle/requeue/deadline
+events are tallied on :class:`~repro.llm.client.ClientStats`, total and
+per model.  See ``docs/scheduling.md`` for the operator's guide.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import TYPE_CHECKING, Awaitable, Callable, Sequence
+
+from repro.errors import ConfigError, DeadlineExceededError, RateLimitError
+from repro.llm.base import ChatMessage, CompletionResult
+from repro.llm.tokenizer import count_message_tokens
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (llm imports core)
+    from repro.llm.client import ChatClient
+
+#: The scheduler modes a :class:`~repro.core.config.Config` accepts.
+SCHEDULER_MODES = ("off", "adaptive")
+
+
+class SchedulerPolicy:
+    """Tuning knobs for one :class:`RequestScheduler`.
+
+    The common knobs (``requests_per_minute``, ``tokens_per_minute``,
+    ``deadline_s``) are surfaced directly on
+    :class:`~repro.core.config.Config`; everything else lives here with
+    defaults chosen for the simulated backends.
+
+    Parameters
+    ----------
+    requests_per_minute:
+        Sustained request pacing per model (``None`` = no request bucket).
+    tokens_per_minute:
+        Sustained token pacing per model, enforced on estimated cost:
+        prompt tokens plus ``expected_completion_tokens``
+        (``None`` = no token bucket).
+    deadline_s:
+        Default per-request deadline in virtual seconds (``None`` = no
+        deadline).  A single request may override it.
+    burst:
+        Bucket depth -- how many requests (or that many requests' worth
+        of tokens) may be admitted back-to-back before pacing kicks in.
+        Match the provider's advertised burst.
+    expected_completion_tokens:
+        Completion-size estimate used for token pacing (the reply's true
+        size is unknown at admission time).
+    initial_window / min_window / max_window:
+        AIMD window bounds (effective concurrent requests per model).
+    ramp_every:
+        Successes required per additive window increase.
+    spike_factor:
+        A completion slower than ``spike_factor`` times the latency EWMA
+        is treated as overload and halves the window.
+    ewma_alpha:
+        Smoothing factor of the latency EWMA in (0, 1].
+    max_requeues:
+        How many 429-triggered requeues one request tolerates before the
+        refusal propagates.
+    serialize_issue:
+        Hold the admission turnstile across the provider call so calls
+        are issued in admission order.  Correct (and free) for simulated
+        backends, whose calls cost microseconds of real time while
+        latency is charged virtually; switch off for wire providers,
+        where it would serialize real round-trips -- at the price of
+        rare admission-order inversions that surface as requeues.
+    """
+
+    __slots__ = (
+        "requests_per_minute",
+        "tokens_per_minute",
+        "deadline_s",
+        "burst",
+        "expected_completion_tokens",
+        "initial_window",
+        "min_window",
+        "max_window",
+        "ramp_every",
+        "spike_factor",
+        "ewma_alpha",
+        "max_requeues",
+        "serialize_issue",
+    )
+
+    def __init__(
+        self,
+        requests_per_minute: float | None = None,
+        tokens_per_minute: float | None = None,
+        deadline_s: float | None = None,
+        burst: int = 4,
+        expected_completion_tokens: int = 256,
+        initial_window: int = 8,
+        min_window: int = 1,
+        max_window: int = 64,
+        ramp_every: int = 4,
+        spike_factor: float = 4.0,
+        ewma_alpha: float = 0.3,
+        max_requeues: int = 8,
+        serialize_issue: bool = True,
+    ) -> None:
+        if requests_per_minute is not None and requests_per_minute <= 0:
+            raise ConfigError("requests_per_minute must be positive (or None)")
+        if tokens_per_minute is not None and tokens_per_minute <= 0:
+            raise ConfigError("tokens_per_minute must be positive (or None)")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigError("deadline_s must be positive (or None)")
+        if burst < 1:
+            raise ConfigError("burst must be >= 1")
+        if expected_completion_tokens < 0:
+            raise ConfigError("expected_completion_tokens must be >= 0")
+        if not 1 <= min_window <= initial_window <= max_window:
+            raise ConfigError(
+                "window bounds must satisfy 1 <= min_window <= initial_window "
+                "<= max_window"
+            )
+        if ramp_every < 1:
+            raise ConfigError("ramp_every must be >= 1")
+        if spike_factor <= 1.0:
+            raise ConfigError("spike_factor must be > 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ConfigError("ewma_alpha must be in (0, 1]")
+        if max_requeues < 0:
+            raise ConfigError("max_requeues must be >= 0")
+        self.requests_per_minute = requests_per_minute
+        self.tokens_per_minute = tokens_per_minute
+        self.deadline_s = deadline_s
+        self.burst = burst
+        self.expected_completion_tokens = expected_completion_tokens
+        self.initial_window = initial_window
+        self.min_window = min_window
+        self.max_window = max_window
+        self.ramp_every = ramp_every
+        self.spike_factor = spike_factor
+        self.ewma_alpha = ewma_alpha
+        self.max_requeues = max_requeues
+        self.serialize_issue = serialize_issue
+
+    def replace(self, **changes) -> "SchedulerPolicy":
+        """A copy of this policy with ``changes`` applied."""
+        current = {name: getattr(self, name) for name in self.__slots__}
+        current.update(changes)
+        return SchedulerPolicy(**current)
+
+    def __repr__(self) -> str:
+        return (
+            f"SchedulerPolicy(rpm={self.requests_per_minute}, "
+            f"tpm={self.tokens_per_minute}, deadline={self.deadline_s}, "
+            f"burst={self.burst}, window={self.initial_window}"
+            f"..{self.max_window})"
+        )
+
+
+class PacingBucket:
+    """A GCRA pacing bucket on the virtual timeline.
+
+    Unlike a rejecting limiter, a pacing bucket answers "how long must
+    this request *wait* to conform?".  It tolerates non-monotonic arrival
+    times (concurrent lanes each live on their own stretch of the virtual
+    timeline) by pacing against a theoretical-arrival-time that only ever
+    moves forward: the k-th admitted unit of cost may not start before
+    ``(k + 1 - burst) / rate``, wherever its lane currently stands.
+    """
+
+    __slots__ = ("rate_per_s", "burst", "_tat", "_lock")
+
+    def __init__(self, rate_per_s: float, burst: float) -> None:
+        if rate_per_s <= 0:
+            raise ConfigError("rate_per_s must be positive")
+        if burst <= 0:
+            raise ConfigError("burst must be positive")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._tat = 0.0
+        self._lock = threading.Lock()
+
+    def reserve(self, arrival: float, cost: float = 1.0) -> float:
+        """Admit ``cost`` units arriving at ``arrival``; return the wait.
+
+        The wait is the virtual time the caller must charge before
+        issuing so the paced stream never exceeds ``rate_per_s`` with
+        more than ``burst`` units in flight ahead of schedule.
+        """
+        if cost <= 0:
+            return 0.0
+        with self._lock:
+            tolerance = self.burst / self.rate_per_s
+            start = max(arrival, self._tat - tolerance)
+            self._tat = max(self._tat, start) + cost / self.rate_per_s
+            return start - arrival
+
+    def peek_wait(self, arrival: float, cost: float = 1.0) -> float:
+        """The wait :meth:`reserve` would return, without reserving."""
+        if cost <= 0:
+            return 0.0
+        with self._lock:
+            return max(0.0, (self._tat - self.burst / self.rate_per_s) - arrival)
+
+    def set_rate(self, rate_per_s: float) -> None:
+        """Retarget the bucket's rate, keeping its pacing history.
+
+        The adaptive controller retunes its bucket as the AIMD window
+        and the latency EWMA drift; the theoretical arrival time carries
+        over so a resize never forgets what was already admitted.
+        """
+        if rate_per_s <= 0:
+            raise ConfigError("rate_per_s must be positive")
+        with self._lock:
+            self.rate_per_s = rate_per_s
+
+
+class AdaptiveConcurrency:
+    """An AIMD effective-concurrency controller for one model.
+
+    Successes ramp the window additively (+1 every ``ramp_every``); a
+    rate-limit refusal or a completion slower than ``spike_factor`` times
+    the latency EWMA halves it.  The window converts to admission pacing:
+    ``window`` effective slots over an observed per-request latency of
+    ``L`` virtual seconds admit ``window / L`` requests per second.
+    """
+
+    __slots__ = ("policy", "window", "ewma_latency_s", "_successes", "_lock")
+
+    def __init__(self, policy: SchedulerPolicy) -> None:
+        self.policy = policy
+        self.window = float(policy.initial_window)
+        self.ewma_latency_s: float | None = None
+        self._successes = 0
+        self._lock = threading.Lock()
+
+    def rate_per_s(self) -> float | None:
+        """Admission rate the current window supports (None = unknown)."""
+        with self._lock:
+            if self.ewma_latency_s is None or self.ewma_latency_s <= 0:
+                return None
+            return self.window / self.ewma_latency_s
+
+    def on_success(self, latency_s: float) -> None:
+        """Record a completion; ramp the window, or back off on a spike."""
+        with self._lock:
+            spike = (
+                self.ewma_latency_s is not None
+                and self.ewma_latency_s > 0
+                and latency_s > self.policy.spike_factor * self.ewma_latency_s
+            )
+            alpha = self.policy.ewma_alpha
+            if self.ewma_latency_s is None:
+                self.ewma_latency_s = latency_s
+            else:
+                self.ewma_latency_s += alpha * (latency_s - self.ewma_latency_s)
+            if spike:
+                self._shrink_locked()
+                return
+            self._successes += 1
+            if self._successes >= self.policy.ramp_every:
+                self._successes = 0
+                self.window = min(float(self.policy.max_window), self.window + 1.0)
+
+    def on_rate_limit(self) -> None:
+        """Multiplicative decrease after a provider refusal."""
+        with self._lock:
+            self._shrink_locked()
+
+    def _shrink_locked(self) -> None:
+        self._successes = 0
+        self.window = max(float(self.policy.min_window), self.window / 2.0)
+
+
+class _PriorityTurnstile:
+    """Admit contending threads one at a time in ``(priority, seq)`` order.
+
+    Lower priority values go first; ties break by arrival.  This is the
+    scheduler's admission queue: while one request is being paced (and,
+    with ``serialize_issue``, issued), later arrivals with a better
+    priority overtake earlier bulk traffic.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._waiting: list[tuple[int, int]] = []
+        self._busy = False
+        self._seq = itertools.count()
+
+    def acquire(self, priority: int = 0) -> None:
+        """Wait for the gate; among waiters, lowest ``priority`` first."""
+        token = (priority, next(self._seq))
+        with self._cond:
+            heapq.heappush(self._waiting, token)
+            while self._busy or self._waiting[0] != token:
+                self._cond.wait()
+            heapq.heappop(self._waiting)
+            self._busy = True
+
+    def release(self) -> None:
+        """Open the gate for the best-priority waiter."""
+        with self._cond:
+            self._busy = False
+            self._cond.notify_all()
+
+
+class RequestScheduler:
+    """Admission control between a :class:`ChatClient` and its providers.
+
+    One scheduler guards one workload (a
+    :class:`~repro.core.config.Config` memoizes one, a
+    :class:`~repro.core.session.Session` exposes it); per-model pacing
+    and AIMD state live on the instance.  The scheduler is stateless with
+    respect to the client -- clock and stats are taken from the client
+    passed to :meth:`run`, so a scheduler can be shared by sync and async
+    paths alike.
+    """
+
+    def __init__(self, policy: SchedulerPolicy | None = None) -> None:
+        self.policy = policy or SchedulerPolicy()
+        self._turnstile = _PriorityTurnstile()
+        self._request_buckets: dict[str, PacingBucket] = {}
+        self._token_buckets: dict[str, PacingBucket] = {}
+        self._adaptive: dict[str, AdaptiveConcurrency] = {}
+        self._adaptive_buckets: dict[str, PacingBucket] = {}
+        self._lock = threading.Lock()
+
+    # -- state ---------------------------------------------------------------
+
+    def adaptive_state(self, model: str) -> AdaptiveConcurrency:
+        """The AIMD controller for ``model`` (created on first use)."""
+        with self._lock:
+            state = self._adaptive.get(model)
+            if state is None:
+                state = self._adaptive[model] = AdaptiveConcurrency(self.policy)
+            return state
+
+    def _request_bucket(self, model: str) -> PacingBucket | None:
+        rpm = self.policy.requests_per_minute
+        if rpm is None:
+            return None
+        with self._lock:
+            bucket = self._request_buckets.get(model)
+            if bucket is None:
+                bucket = self._request_buckets[model] = PacingBucket(
+                    rpm / 60.0, float(self.policy.burst)
+                )
+            return bucket
+
+    def _token_bucket(self, model: str) -> PacingBucket | None:
+        tpm = self.policy.tokens_per_minute
+        if tpm is None:
+            return None
+        with self._lock:
+            bucket = self._token_buckets.get(model)
+            if bucket is None:
+                # Burst depth in tokens: the same number of back-to-back
+                # *requests* the request bucket tolerates.
+                per_request = self.policy.expected_completion_tokens or 1
+                bucket = self._token_buckets[model] = PacingBucket(
+                    tpm / 60.0, float(self.policy.burst * per_request)
+                )
+            return bucket
+
+    def estimate_cost_tokens(self, messages: Sequence[ChatMessage]) -> int:
+        """Token cost charged against the tokens/min bucket at admission.
+
+        The reply's true size is unknown until the provider answers, so
+        pacing uses the rendered prompt plus a configured completion
+        allowance -- the same estimate real clients budget with.
+        """
+        prompt = count_message_tokens([message.content for message in messages])
+        return prompt + self.policy.expected_completion_tokens
+
+    # -- the scheduled paths --------------------------------------------------
+
+    def run(
+        self,
+        client: "ChatClient",
+        model: str,
+        messages: Sequence[ChatMessage],
+        call: Callable[[], CompletionResult],
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> CompletionResult:
+        """Issue one provider call under admission control.
+
+        Pacing waits (and any 429 penalties) are charged to the calling
+        thread's lane on ``client.clock``; throttle, requeue, and
+        deadline events are tallied on ``client.stats``.
+        """
+        submitted = client.clock.now()
+        deadline = self.policy.deadline_s if deadline_s is None else deadline_s
+        requeues = 0
+        while True:
+            self._turnstile.acquire(priority)
+            held = True
+            try:
+                self._admit(client, model, messages, submitted, deadline)
+                if not self.policy.serialize_issue:
+                    self._turnstile.release()
+                    held = False
+                try:
+                    result = call()
+                except RateLimitError as refusal:
+                    requeues = self._requeue(
+                        client, model, refusal, submitted, deadline, requeues
+                    )
+                    continue
+            finally:
+                if held:
+                    self._turnstile.release()
+            self.adaptive_state(model).on_success(result.latency_s)
+            return result
+
+    async def arun(
+        self,
+        client: "ChatClient",
+        model: str,
+        messages: Sequence[ChatMessage],
+        call: Callable[[], Awaitable[CompletionResult]],
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> CompletionResult:
+        """Async :meth:`run`.
+
+        The admission turnstile is a thread primitive, so it is entered
+        via a worker thread and -- unlike the sync path -- never held
+        across the awaited provider call: holding it would deadlock a
+        single-threaded event loop running two scheduled requests.  The
+        price is the same admission-order inversion window
+        ``serialize_issue=False`` accepts; a resulting refusal requeues.
+        """
+        import asyncio
+
+        submitted = client.clock.now()
+        deadline = self.policy.deadline_s if deadline_s is None else deadline_s
+        requeues = 0
+        while True:
+            await asyncio.to_thread(self._turnstile.acquire, priority)
+            try:
+                self._admit(client, model, messages, submitted, deadline)
+            finally:
+                self._turnstile.release()
+            try:
+                result = await call()
+            except RateLimitError as refusal:
+                requeues = self._requeue(
+                    client, model, refusal, submitted, deadline, requeues
+                )
+                continue
+            self.adaptive_state(model).on_success(result.latency_s)
+            return result
+
+    # -- admission internals ---------------------------------------------------
+
+    def _admit(
+        self,
+        client: "ChatClient",
+        model: str,
+        messages: Sequence[ChatMessage],
+        submitted: float,
+        deadline: float | None,
+    ) -> None:
+        """Reserve bucket capacity and charge the pacing wait.
+
+        Raises :class:`DeadlineExceededError` -- before reserving or
+        charging anything -- when the projected delay cannot meet the
+        deadline, so hopeless requests spend no budget.
+        """
+        clock = client.clock
+        arrival = clock.now()
+        wait = 0.0
+        request_bucket = self._request_bucket(model)
+        token_bucket = self._token_bucket(model)
+        adaptive_bucket = self._adaptive_bucket(model)
+        cost = (
+            self.estimate_cost_tokens(messages) if token_bucket is not None else 0
+        )
+        if deadline is not None:
+            projected = (arrival - submitted) + self._peek_wait(
+                model, arrival, cost, request_bucket, token_bucket, adaptive_bucket
+            )
+            if projected > deadline:
+                client.stats.record_deadline(model)
+                raise DeadlineExceededError(
+                    f"request for {model!r} would wait {projected:.2f}s of "
+                    f"virtual time, past its {deadline:.2f}s deadline",
+                    deadline_s=deadline,
+                    projected_s=projected,
+                )
+        if request_bucket is not None:
+            wait = max(wait, request_bucket.reserve(arrival))
+        if token_bucket is not None:
+            wait = max(wait, token_bucket.reserve(arrival, float(cost)))
+        if adaptive_bucket is not None:
+            wait = max(wait, adaptive_bucket.reserve(arrival))
+        if wait > 0.0:
+            clock.charge(wait)
+            client.stats.record_throttle(model, wait)
+
+    def _peek_wait(
+        self,
+        model: str,
+        arrival: float,
+        cost: int,
+        request_bucket: PacingBucket | None,
+        token_bucket: PacingBucket | None,
+        adaptive_bucket: PacingBucket | None,
+    ) -> float:
+        wait = 0.0
+        if request_bucket is not None:
+            wait = max(wait, request_bucket.peek_wait(arrival))
+        if token_bucket is not None:
+            wait = max(wait, token_bucket.peek_wait(arrival, float(cost)))
+        if adaptive_bucket is not None:
+            wait = max(wait, adaptive_bucket.peek_wait(arrival))
+        return wait
+
+    def _adaptive_bucket(self, model: str) -> PacingBucket | None:
+        """A pacing bucket expressing the current AIMD window, or None.
+
+        Retargeted whenever the window/EWMA-implied rate drifts; the
+        bucket keeps its pacing history across resizes.
+        """
+        rate = self.adaptive_state(model).rate_per_s()
+        if rate is None:
+            return None
+        with self._lock:
+            bucket = self._adaptive_buckets.get(model)
+            if bucket is None:
+                bucket = self._adaptive_buckets[model] = PacingBucket(
+                    rate, float(self.policy.burst)
+                )
+            elif bucket.rate_per_s != rate:
+                bucket.set_rate(rate)
+            return bucket
+
+    def _requeue(
+        self,
+        client: "ChatClient",
+        model: str,
+        refusal: RateLimitError,
+        submitted: float,
+        deadline: float | None,
+        requeues: int,
+    ) -> int:
+        """Handle one provider refusal; returns the new requeue count.
+
+        Charges the provider's ``retry_after_s``, shrinks the AIMD
+        window, and re-admits -- unless the requeue budget or the
+        deadline is exhausted, in which case the refusal (or a
+        :class:`DeadlineExceededError`) propagates.
+        """
+        stats = client.stats
+        stats.record_rate_limited(model)
+        self.adaptive_state(model).on_rate_limit()
+        if requeues >= self.policy.max_requeues:
+            raise refusal
+        penalty = refusal.retry_after_s
+        if deadline is not None:
+            projected = (client.clock.now() - submitted) + penalty
+            if projected > deadline:
+                stats.record_deadline(model)
+                raise DeadlineExceededError(
+                    f"rate-limited request for {model!r} cannot be requeued "
+                    f"within its {deadline:.2f}s deadline "
+                    f"(projected delay {projected:.2f}s)",
+                    deadline_s=deadline,
+                    projected_s=projected,
+                ) from refusal
+        client.clock.charge(penalty)
+        stats.record_requeue(model, penalty)
+        return requeues + 1
+
+    def __repr__(self) -> str:
+        return f"RequestScheduler({self.policy!r})"

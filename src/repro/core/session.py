@@ -44,6 +44,7 @@ from repro.core.batch import MapResult, run_batch
 from repro.core.config import Config, get_config
 from repro.core.function import AskItFunction
 from repro.core.response_cache import ResponseCache
+from repro.core.scheduler import RequestScheduler
 from repro.errors import AskItError
 from repro.ioexample import Example
 from repro.llm.client import ChatClient, ClientStats
@@ -128,6 +129,20 @@ class Session:
             print(session.stats.cache_hits, len(session.response_cache))
         """
         return self.config.response_cache
+
+    @property
+    def scheduler(self) -> "RequestScheduler | None":
+        """The request scheduler, or ``None`` when ``scheduler="off"``.
+
+        Enable it per session to pace traffic under provider rate limits
+        (see :mod:`repro.core.scheduler` and ``docs/scheduling.md``)::
+
+            session = Session(model="sim-gpt-4", scheduler="adaptive",
+                              requests_per_minute=120)
+            batch = session.define(t.str, "Classify {{x}}.").map(items)
+            print(session.stats.throttled, session.stats.throttle_wait_s)
+        """
+        return self.config.request_scheduler
 
     def replace(self, **changes: Any) -> "Session":
         """A new isolated session with ``changes`` applied to this config."""

@@ -86,6 +86,38 @@ class MaxRetriesExceededError(AskItError):
         self.last_response = last_response
 
 
+class RateLimitError(AskItError):
+    """A provider refused a request because a rate limit was exceeded.
+
+    ``retry_after_s`` carries the provider's suggested wait (seconds of
+    virtual time) before the request may be retried -- the scheduler's
+    requeue path and the client's naive backoff both honour it.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0, model: str = "") -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.model = model
+
+
+class DeadlineExceededError(AskItError):
+    """A request could not be served within its virtual-time deadline.
+
+    Raised by the scheduler *before* spending wait budget that would blow
+    the deadline (admission control fails fast), and while requeueing
+    rate-limited requests whose accumulated delay has exceeded it.
+    """
+
+    def __init__(
+        self, message: str, deadline_s: float = 0.0, projected_s: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        #: The configured per-request deadline, in virtual seconds.
+        self.deadline_s = deadline_s
+        #: The delay the request would have accumulated had it proceeded.
+        self.projected_s = projected_s
+
+
 class SolverError(AskItError):
     """The simulated LLM could not understand or solve a task."""
 

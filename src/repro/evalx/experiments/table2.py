@@ -16,18 +16,25 @@ every completion in the persistent response cache, and
 cache directory -- the warm sweep replays all LLM traffic with zero
 simulated latency, so its ``wall_s`` collapses and its ``client_stats``
 show pure hits.
+
+Scheduled sweeps: ``run(rate_limit=..., scheduler="adaptive",
+scheduler_policy=...)`` runs the whole experiment under a provider rate
+limit with the request scheduler pacing admission, and
+:func:`run_scheduled_sweep` performs the naive-then-scheduled pair
+against equally throttled providers -- compare the two results'
+``wall_s`` and throttle counters to see what admission control buys.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from repro.core import Session
+from repro.core import SchedulerPolicy, Session
 from repro.datasets.common_tasks import CommonTask, all_tasks
 from repro.errors import CodeGenerationError
 from repro.evalx.loc import count_loc
 from repro.evalx.tables import render_table
-from repro.llm import ChatClient, NoisePolicy
+from repro.llm import ChatClient, NoisePolicy, SimulatedRateLimit
 
 #: The paper runs this experiment on GPT-3.5 Turbo 16k.
 MODEL = "sim-gpt-3.5-turbo-16k"
@@ -102,18 +109,28 @@ def run(
     *,
     cache: str = "off",
     cache_dir: str | Path | None = None,
+    scheduler: str = "off",
+    scheduler_policy: SchedulerPolicy | None = None,
+    rate_limit: SimulatedRateLimit | None = None,
 ) -> Table2Result:
     """Run the full experiment; returns the populated table.
 
     ``cache``/``cache_dir`` enable the persistent response cache for the
     sweep (see :mod:`repro.core.response_cache`); re-running against the
     same directory replays every completion instead of recomputing it.
+
+    ``rate_limit`` throttles the simulated provider (emitting 429s under
+    load) and ``scheduler``/``scheduler_policy`` enable the request
+    scheduler that paces the sweep through the limit; the result's
+    ``client_stats`` then carry the throttle/requeue counters.
     """
     session = Session(
         model=MODEL,
         cache_dir=cache_dir,
         cache=cache,
-        client=ChatClient(noise_policy=noise or DEFAULT_NOISE),
+        scheduler=scheduler,
+        scheduler_policy=scheduler_policy,
+        client=ChatClient(noise_policy=noise or DEFAULT_NOISE, rate_limit=rate_limit),
     )
 
     def measure(task: CommonTask):
@@ -153,6 +170,40 @@ def run_cache_sweep(
     cold = run(noise, max_concurrency, cache="read-write", cache_dir=cache_dir)
     warm = run(noise, max_concurrency, cache="read-write", cache_dir=cache_dir)
     return cold, warm
+
+
+def run_scheduled_sweep(
+    requests_per_minute: float = 120.0,
+    burst: int = 4,
+    min_retry_after_s: float = 20.0,
+    noise: NoisePolicy | None = None,
+    max_concurrency: int = 8,
+) -> tuple[Table2Result, Table2Result]:
+    """Run the sweep naively then scheduled under one provider rate limit.
+
+    Both runs face an identically configured
+    :class:`~repro.llm.ratelimit.SimulatedRateLimit`; only the second
+    routes through the request scheduler (paced to the same limit).
+    Returns ``(naive, scheduled)`` -- compare their ``wall_s`` and the
+    ``rate_limited``/``throttled`` counters on ``client_stats``.
+    """
+
+    def limit() -> SimulatedRateLimit:
+        return SimulatedRateLimit(
+            requests_per_minute, burst=burst, min_retry_after_s=min_retry_after_s
+        )
+
+    naive = run(noise, max_concurrency, rate_limit=limit())
+    scheduled = run(
+        noise,
+        max_concurrency,
+        scheduler="adaptive",
+        scheduler_policy=SchedulerPolicy(
+            requests_per_minute=requests_per_minute, burst=burst
+        ),
+        rate_limit=limit(),
+    )
+    return naive, scheduled
 
 
 def render(result: Table2Result) -> str:

@@ -28,12 +28,12 @@ import os
 from pathlib import Path
 
 import repro.types as t
-from repro.core import AskItFunction, Session
+from repro.core import AskItFunction, SchedulerPolicy, Session
 from repro.datasets.gsm8k import GsmProblem, answers_match, generate_dataset
 from repro.errors import CodeGenerationError, MaxRetriesExceededError
 from repro.evalx.tables import render_table
 from repro.evalx.timing import Mean, measure_execution_s
-from repro.llm import ChatClient, NoisePolicy
+from repro.llm import ChatClient, NoisePolicy, SimulatedRateLimit
 
 MODEL = "sim-gpt-4"
 
@@ -122,6 +122,9 @@ def run(
     *,
     cache: str = "off",
     cache_dir: str | Path | None = None,
+    scheduler: str = "off",
+    scheduler_policy: SchedulerPolicy | None = None,
+    rate_limit: SimulatedRateLimit | None = None,
 ) -> dict[str, LanguageStats]:
     """Run the experiment; returns per-language stats.
 
@@ -130,15 +133,36 @@ def run(
     sequential so the real-time measurements are uncontended.
     ``cache``/``cache_dir`` enable the persistent response cache, making
     repeated runs against one directory replay instead of recompute.
+    ``rate_limit`` throttles the simulated provider and
+    ``scheduler``/``scheduler_policy`` pace the sweep through it (see
+    :mod:`repro.core.scheduler`); each language's ``client_stats`` then
+    carry the throttle/requeue counters its sweep incurred.
     """
     problems = generate_dataset(count or problem_count())
     results: dict[str, LanguageStats] = {}
     for language in languages:
+        # Each language runs on its own session, hence its own virtual
+        # clock starting at zero -- so each sweep faces a *fresh* limiter
+        # with the same parameters (sharing TAT state across clocks would
+        # refuse the second sweep's entire opening burst).
+        limit = (
+            SimulatedRateLimit(
+                rate_limit.requests_per_minute,
+                burst=rate_limit.burst,
+                min_retry_after_s=rate_limit.min_retry_after_s,
+            )
+            if rate_limit is not None
+            else None
+        )
         session = Session(
             model=MODEL,
             cache_dir=cache_dir,
             cache=cache,
-            client=ChatClient(noise_policy=noise or DEFAULT_NOISE),
+            scheduler=scheduler,
+            scheduler_policy=scheduler_policy,
+            client=ChatClient(
+                noise_policy=noise or DEFAULT_NOISE, rate_limit=limit
+            ),
         )
         stats = LanguageStats(language)
         answered = session.run_parallel(
@@ -186,6 +210,40 @@ def run_cache_sweep(
     cold = run(count, noise, languages, max_concurrency, cache="read-write", cache_dir=cache_dir)
     warm = run(count, noise, languages, max_concurrency, cache="read-write", cache_dir=cache_dir)
     return cold, warm
+
+
+def run_scheduled_sweep(
+    requests_per_minute: float = 120.0,
+    burst: int = 4,
+    min_retry_after_s: float = 20.0,
+    count: int | None = None,
+    noise: NoisePolicy | None = None,
+    languages: tuple[str, ...] = ("typescript", "python"),
+    max_concurrency: int = 8,
+) -> tuple[dict[str, LanguageStats], dict[str, LanguageStats]]:
+    """Run the experiment naively then scheduled under one rate limit.
+
+    Both runs face identically configured provider limits; the second
+    paces through the request scheduler.  Returns ``(naive, scheduled)``
+    -- compare per-language ``wall_s`` and the throttle counters on
+    ``client_stats``.
+    """
+    limit = SimulatedRateLimit(
+        requests_per_minute, burst=burst, min_retry_after_s=min_retry_after_s
+    )
+    naive = run(count, noise, languages, max_concurrency, rate_limit=limit)
+    scheduled = run(
+        count,
+        noise,
+        languages,
+        max_concurrency,
+        scheduler="adaptive",
+        scheduler_policy=SchedulerPolicy(
+            requests_per_minute=requests_per_minute, burst=burst
+        ),
+        rate_limit=limit,
+    )
+    return naive, scheduled
 
 
 PAPER_ROWS = {

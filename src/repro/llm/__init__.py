@@ -26,6 +26,7 @@ from repro.llm.knowledge import (
 )
 from repro.llm.latency import PROFILES, LatencyProfile, VirtualClock, profile_for
 from repro.llm.noise import QUIET, NoisePolicy, stable_fraction
+from repro.llm.ratelimit import SimulatedRateLimit
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.tokenizer import count_tokens
 from repro.llm.transcript import Exchange, TranscriptRecorder
@@ -57,6 +58,7 @@ __all__ = [
     "NoisePolicy",
     "QUIET",
     "stable_fraction",
+    "SimulatedRateLimit",
     "LatencyProfile",
     "VirtualClock",
     "PROFILES",

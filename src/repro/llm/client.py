@@ -16,12 +16,14 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro.errors import RateLimitError
 from repro.llm.base import ChatMessage, CompletionResult, LanguageModel, user_message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports llm)
     from repro.core.response_cache import ResponseCache
+    from repro.core.scheduler import RequestScheduler
 from repro.llm.latency import VirtualClock
 from repro.llm.noise import NoisePolicy
 from repro.llm.providers import (
@@ -29,7 +31,17 @@ from repro.llm.providers import (
     RegisteredModelProvider,
     resolve_factory,
 )
+from repro.llm.ratelimit import SimulatedRateLimit
 from repro.llm.transcript import TranscriptRecorder
+
+#: Retries the *unscheduled* path grants a rate-limited request (the
+#: scheduler has its own requeue budget; see ``SchedulerPolicy``).
+RATE_LIMIT_MAX_ATTEMPTS = 8
+
+#: The naive backoff multiplies the provider's ``retry_after_s`` hint by
+#: this factor per successive refusal of one request -- the standard
+#: exponential backoff a client without admission control falls back to.
+RATE_LIMIT_BACKOFF_BASE = 2.0
 
 
 class ModelStats:
@@ -50,6 +62,11 @@ class ModelStats:
         "cache_hits",
         "cache_misses",
         "coalesced",
+        "throttled",
+        "throttle_wait_s",
+        "rate_limited",
+        "requeued",
+        "deadline_exceeded",
     )
 
     def __init__(self) -> None:
@@ -59,6 +76,16 @@ class ModelStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.coalesced = 0
+        #: Requests that paid a pacing wait at the scheduler's admission gate.
+        self.throttled = 0
+        #: Virtual seconds spent waiting: pacing waits, 429 backoffs, requeues.
+        self.throttle_wait_s = 0.0
+        #: 429-style refusals received from providers.
+        self.rate_limited = 0
+        #: Scheduler requeues after a refusal (each also counts a refusal).
+        self.requeued = 0
+        #: Requests rejected because their virtual-time deadline was hopeless.
+        self.deadline_exceeded = 0
 
     @property
     def total_tokens(self) -> int:
@@ -69,7 +96,8 @@ class ModelStats:
             f"ModelStats(calls={self.calls}, prompt_tokens={self.prompt_tokens}, "
             f"completion_tokens={self.completion_tokens}, "
             f"hits={self.cache_hits}, misses={self.cache_misses}, "
-            f"coalesced={self.coalesced})"
+            f"coalesced={self.coalesced}, throttled={self.throttled}, "
+            f"rate_limited={self.rate_limited})"
         )
 
 
@@ -89,6 +117,11 @@ class ClientStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.coalesced = 0
+        self.throttled = 0
+        self.throttle_wait_s = 0.0
+        self.rate_limited = 0
+        self.requeued = 0
+        self.deadline_exceeded = 0
         self._per_model: dict[str, ModelStats] = {}
 
     def record(self, result: CompletionResult) -> None:
@@ -124,6 +157,40 @@ class ClientStats:
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown cache status {status!r}")
 
+    def record_throttle(self, model: str, wait_s: float) -> None:
+        """Count one pacing wait the scheduler charged for ``model``."""
+        with self._lock:
+            per_model = self._per_model.setdefault(model, ModelStats())
+            self.throttled += 1
+            self.throttle_wait_s += wait_s
+            per_model.throttled += 1
+            per_model.throttle_wait_s += wait_s
+
+    def record_rate_limited(self, model: str, wait_s: float = 0.0) -> None:
+        """Count one provider refusal (``wait_s``: naive backoff charged)."""
+        with self._lock:
+            per_model = self._per_model.setdefault(model, ModelStats())
+            self.rate_limited += 1
+            self.throttle_wait_s += wait_s
+            per_model.rate_limited += 1
+            per_model.throttle_wait_s += wait_s
+
+    def record_requeue(self, model: str, wait_s: float = 0.0) -> None:
+        """Count one scheduler requeue (``wait_s``: the Retry-After charged)."""
+        with self._lock:
+            per_model = self._per_model.setdefault(model, ModelStats())
+            self.requeued += 1
+            self.throttle_wait_s += wait_s
+            per_model.requeued += 1
+            per_model.throttle_wait_s += wait_s
+
+    def record_deadline(self, model: str) -> None:
+        """Count one request rejected by its virtual-time deadline."""
+        with self._lock:
+            per_model = self._per_model.setdefault(model, ModelStats())
+            self.deadline_exceeded += 1
+            per_model.deadline_exceeded += 1
+
     @staticmethod
     def _copy(live: ModelStats) -> ModelStats:
         snapshot = ModelStats()
@@ -133,6 +200,11 @@ class ClientStats:
         snapshot.cache_hits = live.cache_hits
         snapshot.cache_misses = live.cache_misses
         snapshot.coalesced = live.coalesced
+        snapshot.throttled = live.throttled
+        snapshot.throttle_wait_s = live.throttle_wait_s
+        snapshot.rate_limited = live.rate_limited
+        snapshot.requeued = live.requeued
+        snapshot.deadline_exceeded = live.deadline_exceeded
         return snapshot
 
     @property
@@ -159,6 +231,11 @@ class ClientStats:
             self.cache_hits = 0
             self.cache_misses = 0
             self.coalesced = 0
+            self.throttled = 0
+            self.throttle_wait_s = 0.0
+            self.rate_limited = 0
+            self.requeued = 0
+            self.deadline_exceeded = 0
             self._per_model = {}
 
     def __repr__(self) -> str:
@@ -168,9 +245,15 @@ class ClientStats:
                 f", hits={self.cache_hits}, misses={self.cache_misses}, "
                 f"coalesced={self.coalesced}"
             )
+        throttle = ""
+        if self.throttled or self.rate_limited or self.deadline_exceeded:
+            throttle = (
+                f", throttled={self.throttled}, rate_limited={self.rate_limited}, "
+                f"requeued={self.requeued}, wait={self.throttle_wait_s:.2f}s"
+            )
         return (
             f"ClientStats(calls={self.calls}, prompt_tokens={self.prompt_tokens}, "
-            f"completion_tokens={self.completion_tokens}{cache})"
+            f"completion_tokens={self.completion_tokens}{cache}{throttle})"
         )
 
 
@@ -190,10 +273,15 @@ class ChatClient:
         clock: VirtualClock | None = None,
         noise_policy: NoisePolicy | None = None,
         recorder: "TranscriptRecorder | None" = None,
+        rate_limit: SimulatedRateLimit | None = None,
     ) -> None:
         self.models: dict[str, LanguageModel] = dict(models or {})
         self.clock = clock or VirtualClock()
         self.noise_policy = noise_policy
+        #: Optional provider-side throttling for the simulated family
+        #: (:class:`~repro.llm.ratelimit.SimulatedRateLimit`); ``None``
+        #: means simulated models never refuse.
+        self.rate_limit = rate_limit
         self.stats = ClientStats()
         #: Optional transcript recorder (off by default; see
         #: :mod:`repro.llm.transcript`).
@@ -251,6 +339,8 @@ class ChatClient:
         messages: Sequence[ChatMessage] | str,
         temperature: float = 1.0,
         cache: "ResponseCache | None" = None,
+        scheduler: "RequestScheduler | None" = None,
+        priority: int = 0,
     ) -> CompletionResult:
         """Complete a conversation; a bare string is wrapped as one user
         message (the shape AskIt's prompts use).
@@ -261,17 +351,26 @@ class ChatClient:
         one provider call, and only true misses reach the provider (and
         get persisted in read-write mode).  Hit/miss/coalesced outcomes
         are tallied on :attr:`stats`.
+
+        When ``scheduler`` (a
+        :class:`~repro.core.scheduler.RequestScheduler`) is given, the
+        provider call passes through its admission gate -- rate pacing,
+        adaptive concurrency, deadlines, 429 requeues -- at ``priority``
+        (lower goes first).  Cache hits and coalesced replays never touch
+        the scheduler: only genuine provider traffic is throttled.
+        Without a scheduler, a rate-limited request falls back to naive
+        exponential backoff around the provider's ``retry_after_s`` hint.
         """
         messages = self._as_messages(messages)
         if cache is None:
-            result = self.provider_for(model).complete(model, messages, temperature)
+            result = self._issue(model, messages, temperature, scheduler, priority)
             self._account(model, messages, result)
             return result
         status, result = cache.fetch(
             model,
             messages,
             temperature,
-            lambda: self.provider_for(model).complete(model, messages, temperature),
+            lambda: self._issue(model, messages, temperature, scheduler, priority),
         )
         self._settle_cached(model, messages, status, result)
         return result
@@ -282,28 +381,97 @@ class ChatClient:
         messages: Sequence[ChatMessage] | str,
         temperature: float = 1.0,
         cache: "ResponseCache | None" = None,
+        scheduler: "RequestScheduler | None" = None,
+        priority: int = 0,
     ) -> CompletionResult:
         """Async counterpart of :meth:`chat_complete`.
 
         Uses the provider's native async path when it has one; otherwise
         the sync ``complete`` runs on a worker thread so the event loop
-        never blocks.  ``cache`` behaves exactly as in
+        never blocks.  ``cache`` and ``scheduler`` behave exactly as in
         :meth:`chat_complete`; coalesced followers await the leader
-        without blocking the loop.
+        without blocking the loop, and scheduled admission never holds a
+        lock across the awaited provider call.
         """
         messages = self._as_messages(messages)
         if cache is None:
-            result = await self._acomplete_provider(model, messages, temperature)
+            result = await self._aissue(
+                model, messages, temperature, scheduler, priority
+            )
             self._account(model, messages, result)
             return result
         status, result = await cache.afetch(
             model,
             messages,
             temperature,
-            lambda: self._acomplete_provider(model, messages, temperature),
+            lambda: self._aissue(model, messages, temperature, scheduler, priority),
         )
         self._settle_cached(model, messages, status, result)
         return result
+
+    def _issue(
+        self,
+        model: str,
+        messages: Sequence[ChatMessage],
+        temperature: float,
+        scheduler: "RequestScheduler | None",
+        priority: int,
+    ) -> CompletionResult:
+        """One provider round-trip: scheduled, or naive-backoff on 429s."""
+        call = lambda: self.provider_for(model).complete(  # noqa: E731
+            model, messages, temperature
+        )
+        if scheduler is not None:
+            return scheduler.run(self, model, messages, call, priority=priority)
+        return self._complete_with_backoff(model, call)
+
+    async def _aissue(
+        self,
+        model: str,
+        messages: Sequence[ChatMessage],
+        temperature: float,
+        scheduler: "RequestScheduler | None",
+        priority: int,
+    ) -> CompletionResult:
+        call = lambda: self._acomplete_provider(  # noqa: E731
+            model, messages, temperature
+        )
+        if scheduler is not None:
+            return await scheduler.arun(
+                self, model, messages, call, priority=priority
+            )
+        for attempt in range(RATE_LIMIT_MAX_ATTEMPTS + 1):
+            try:
+                return await call()
+            except RateLimitError as refusal:
+                self._backoff(model, refusal, attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _complete_with_backoff(
+        self, model: str, call: "Callable[[], CompletionResult]"
+    ) -> CompletionResult:
+        """The unscheduled path's 429 handling: wait out the hint, retry.
+
+        Each successive refusal of one request doubles the charged wait
+        (``retry_after_s * RATE_LIMIT_BACKOFF_BASE ** attempt``) -- the
+        classic uncoordinated client.  Compare the scheduler, which paces
+        *before* issuing and rarely sees a refusal at all.
+        """
+        for attempt in range(RATE_LIMIT_MAX_ATTEMPTS + 1):
+            try:
+                return call()
+            except RateLimitError as refusal:
+                self._backoff(model, refusal, attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _backoff(self, model: str, refusal: RateLimitError, attempt: int) -> None:
+        """Charge one naive backoff wait, or re-raise when out of attempts."""
+        if attempt >= RATE_LIMIT_MAX_ATTEMPTS:
+            self.stats.record_rate_limited(model)
+            raise refusal
+        wait = refusal.retry_after_s * (RATE_LIMIT_BACKOFF_BASE**attempt)
+        self.clock.charge(wait)
+        self.stats.record_rate_limited(model, wait)
 
     async def _acomplete_provider(
         self, model: str, messages: Sequence[ChatMessage], temperature: float

@@ -135,6 +135,23 @@ class VirtualClock:
             else:
                 self.elapsed_s += seconds
 
+    def now(self) -> float:
+        """This thread's current virtual moment, in simulated seconds.
+
+        Outside a :meth:`concurrent` region this is simply ``elapsed_s``.
+        Inside one, a thread's "now" is the time already settled on the
+        clock plus everything its own lane stack has accumulated -- the
+        point on the virtual timeline this thread's work has reached,
+        regardless of what sibling lanes are doing.  Rate limiters and
+        the request scheduler use this as the arrival time of a request.
+        """
+        frames = self._frames()
+        with self._lock:
+            total = self.elapsed_s
+            for region, lane in frames:
+                total += region.lanes.get(lane, 0.0)
+            return total
+
     @contextlib.contextmanager
     def in_lane(self, region: ConcurrentRegion, lane: object) -> Iterator[None]:
         """Bind this thread's charges to ``region`` under ``lane``.

@@ -5,6 +5,13 @@ Wraps :class:`~repro.llm.simulated.SimulatedLLM` behind the
 shared with the owning client's ``models`` dict so ``client.resolve(name)``
 and provider-routed completions observe the same backend object (and the
 same per-prompt occurrence counters, which seed the noise RNG).
+
+When the owning client carries a
+:class:`~repro.llm.ratelimit.SimulatedRateLimit`, every completion is
+checked against it first -- requests arriving faster than the configured
+rate draw a :class:`~repro.errors.RateLimitError` (a simulated HTTP 429)
+instead of a reply, exercising the scheduler's admission control and the
+client's backoff path.
 """
 
 from __future__ import annotations
@@ -59,6 +66,12 @@ class SimulatedProvider(ProviderBase):
     def complete(
         self, model: str, messages: Sequence[ChatMessage], temperature: float
     ) -> CompletionResult:
+        limit = self._client.rate_limit
+        if limit is not None:
+            # Arrival time is the caller's virtual "now": a caller that
+            # charged its Retry-After wait has genuinely moved later on
+            # the timeline, so honouring the hint always admits.
+            limit.check(model, self._client.clock.now())
         return self.language_model(model).complete(messages, temperature)
 
 

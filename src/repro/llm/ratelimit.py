@@ -1,0 +1,120 @@
+"""Simulated provider-side rate limiting.
+
+Hosted LLM endpoints meter traffic per model -- so many requests per
+minute, so many tokens per minute -- and answer violations with HTTP 429
+plus a ``Retry-After`` hint.  :class:`SimulatedRateLimit` reproduces that
+behaviour on the virtual clock so the scheduler's admission control
+(:mod:`repro.core.scheduler`) and the client's backoff path are exercised
+end to end without a network.
+
+The limiter is a GCRA ("leaky bucket as meter") per model name: each
+admitted request advances a theoretical-arrival-time (TAT) by one emission
+interval, and a request arriving earlier than ``TAT - burst * interval``
+is refused.  Arrival times come from
+:meth:`repro.llm.latency.VirtualClock.now`, so a caller that *charges*
+waiting time to its clock genuinely moves itself later in virtual time --
+exactly how waiting out a ``Retry-After`` works against a real endpoint.
+
+Attach one to a client to enable throttling for every simulated model it
+serves::
+
+    from repro.llm import ChatClient, SimulatedRateLimit
+
+    limit = SimulatedRateLimit(requests_per_minute=60, burst=4)
+    client = ChatClient(rate_limit=limit)
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ConfigError, RateLimitError
+
+#: Guard band (virtual seconds) absorbing float rounding in arrival
+#: comparisons, so a request paced to start exactly on its emission slot
+#: is never refused by an epsilon.
+_SLACK_S = 1e-9
+
+
+class SimulatedRateLimit:
+    """Deterministic 429 emission for the simulated provider family.
+
+    Parameters
+    ----------
+    requests_per_minute:
+        Sustained request rate each model tolerates.
+    burst:
+        How many requests beyond the sustained rate may arrive
+        back-to-back before the limiter refuses (the bucket depth).
+    min_retry_after_s:
+        Floor on the ``retry_after_s`` a refusal reports.  Real endpoints
+        round the hint up generously; a punitive floor is what makes
+        naive retry loops measurably slower than scheduled admission.
+    """
+
+    def __init__(
+        self,
+        requests_per_minute: float,
+        burst: int = 4,
+        min_retry_after_s: float = 10.0,
+    ) -> None:
+        if requests_per_minute <= 0:
+            raise ConfigError("requests_per_minute must be positive")
+        if burst < 1:
+            raise ConfigError("burst must be >= 1")
+        if min_retry_after_s < 0:
+            raise ConfigError("min_retry_after_s must be >= 0")
+        self.requests_per_minute = float(requests_per_minute)
+        self.burst = int(burst)
+        self.min_retry_after_s = float(min_retry_after_s)
+        self._interval_s = 60.0 / self.requests_per_minute
+        self._tat: dict[str, float] = {}
+        self._lock = threading.Lock()
+        #: Total refusals issued, per model (inspection/testing aid).
+        self.refusals: dict[str, int] = {}
+
+    @property
+    def interval_s(self) -> float:
+        """Virtual seconds between requests at the sustained rate."""
+        return self._interval_s
+
+    @property
+    def tolerance_s(self) -> float:
+        """How far ahead of schedule an arrival may be (the burst depth)."""
+        return self.burst * self._interval_s
+
+    def check(self, model: str, now: float) -> None:
+        """Admit one request for ``model`` arriving at virtual time ``now``.
+
+        Raises :class:`~repro.errors.RateLimitError` carrying a
+        ``retry_after_s`` hint when the arrival violates the limit.
+        Refusals do not advance the limiter state (a rejected request
+        consumed no capacity), so honouring the hint always succeeds.
+        """
+        with self._lock:
+            tat = self._tat.get(model, 0.0)
+            earliest = tat - self.tolerance_s
+            if now + _SLACK_S >= earliest:
+                self._tat[model] = max(tat, now) + self._interval_s
+                return
+            self.refusals[model] = self.refusals.get(model, 0) + 1
+            retry_after = max(self.min_retry_after_s, earliest - now)
+        raise RateLimitError(
+            f"rate limit exceeded for {model!r} "
+            f"({self.requests_per_minute:g} requests/min, burst {self.burst}); "
+            f"retry after {retry_after:.2f}s",
+            retry_after_s=retry_after,
+            model=model,
+        )
+
+    def reset(self) -> None:
+        """Forget all per-model state (tests use this between phases)."""
+        with self._lock:
+            self._tat.clear()
+            self.refusals.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedRateLimit(rpm={self.requests_per_minute:g}, "
+            f"burst={self.burst}, min_retry_after={self.min_retry_after_s:g}s)"
+        )

@@ -1,0 +1,388 @@
+"""The request scheduler: pacing, AIMD, priorities, deadlines, requeues.
+
+Every throttle path is exercised on the virtual clock -- nothing sleeps:
+
+* pacing buckets charge deterministic waits (GCRA math);
+* 429 refusals requeue with the Retry-After charged, then succeed;
+* deadlines reject hopeless requests with a typed error before any
+  budget is spent;
+* the AIMD controller ramps on success and halves on refusals/spikes;
+* every event lands on ``ClientStats``, total and per model.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+import repro.types as t
+from repro.core import Config, SchedulerPolicy, Session
+from repro.core.scheduler import (
+    AdaptiveConcurrency,
+    PacingBucket,
+    RequestScheduler,
+    _PriorityTurnstile,
+)
+from repro.errors import ConfigError, DeadlineExceededError, RateLimitError
+from repro.llm import ChatClient, QUIET, SimulatedRateLimit
+from repro.llm.base import CompletionResult, Usage, user_message
+
+MODEL = "sim-gpt-4"
+
+
+def quiet_client(rate_limit=None) -> ChatClient:
+    return ChatClient(noise_policy=QUIET, rate_limit=rate_limit)
+
+
+def fake_call(latency_s: float = 1.0):
+    """A provider-call stand-in returning a canned completion."""
+
+    def call() -> CompletionResult:
+        return CompletionResult("ok", Usage(10, 5), latency_s, MODEL)
+
+    return call
+
+
+MESSAGES = [user_message("hello")]
+
+
+class TestPacingBucket:
+    def test_burst_is_free_then_requests_pace_at_the_rate(self):
+        bucket = PacingBucket(rate_per_s=1.0, burst=2.0)
+        waits = [bucket.reserve(0.0) for _ in range(6)]
+        # Two-and-a-bit requests ride the burst; the rest space out 1/s.
+        assert waits[:3] == [0.0, 0.0, 0.0]
+        assert waits[3:] == [1.0, 2.0, 3.0]
+
+    def test_late_arrivals_do_not_wait(self):
+        bucket = PacingBucket(rate_per_s=1.0, burst=1.0)
+        for _ in range(3):
+            bucket.reserve(0.0)
+        assert bucket.reserve(100.0) == 0.0
+
+    def test_cost_scales_the_reservation(self):
+        bucket = PacingBucket(rate_per_s=10.0, burst=10.0)  # 10 tokens/s
+        assert bucket.reserve(0.0, cost=10.0) == 0.0
+        assert bucket.reserve(0.0, cost=20.0) == 0.0  # rides the tolerance
+        # 30 tokens consumed against a 10-token allowance: the next
+        # request waits for the 20-token overdraft to refill at 10/s.
+        assert bucket.reserve(0.0, cost=10.0) == pytest.approx(2.0)
+
+    def test_peek_does_not_reserve(self):
+        bucket = PacingBucket(rate_per_s=1.0, burst=1.0)
+        bucket.reserve(0.0)
+        bucket.reserve(0.0)
+        before = bucket.peek_wait(0.0)
+        assert bucket.peek_wait(0.0) == before
+        assert bucket.reserve(0.0) == pytest.approx(before)
+
+
+class TestAdaptiveConcurrency:
+    def policy(self, **overrides) -> SchedulerPolicy:
+        defaults = dict(initial_window=4, max_window=8, ramp_every=2, spike_factor=2.0)
+        defaults.update(overrides)
+        return SchedulerPolicy(**defaults)
+
+    def test_ramps_additively_on_success(self):
+        aimd = AdaptiveConcurrency(self.policy())
+        for _ in range(4):
+            aimd.on_success(1.0)
+        # 4 successes / ramp_every 2 => +2.
+        assert aimd.window == 6.0
+
+    def test_window_is_capped(self):
+        aimd = AdaptiveConcurrency(self.policy())
+        for _ in range(100):
+            aimd.on_success(1.0)
+        assert aimd.window == 8.0
+
+    def test_rate_limit_halves_the_window(self):
+        aimd = AdaptiveConcurrency(self.policy())
+        aimd.on_rate_limit()
+        assert aimd.window == 2.0
+        for _ in range(10):
+            aimd.on_rate_limit()
+        assert aimd.window == 1.0  # floored at min_window
+
+    def test_latency_spike_halves_the_window(self):
+        aimd = AdaptiveConcurrency(self.policy())
+        for _ in range(10):
+            aimd.on_success(1.0)  # settle the EWMA near 1s
+        before = aimd.window
+        aimd.on_success(50.0)  # 50x the EWMA: overload signal
+        assert aimd.window == before / 2
+
+    def test_rate_follows_window_over_ewma(self):
+        aimd = AdaptiveConcurrency(self.policy(ramp_every=100))
+        assert aimd.rate_per_s() is None  # no latency observed yet
+        aimd.on_success(2.0)
+        assert aimd.rate_per_s() == pytest.approx(4.0 / 2.0)
+
+
+class TestPriorityTurnstile:
+    def test_lower_priority_value_admitted_first(self):
+        turnstile = _PriorityTurnstile()
+        turnstile.acquire(0)  # hold the gate while contenders queue up
+        order: list[int] = []
+
+        def contend(priority: int) -> None:
+            turnstile.acquire(priority)
+            order.append(priority)
+            turnstile.release()
+
+        threads = [
+            threading.Thread(target=contend, args=(p,)) for p in (5, 1, 3)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.time() + 5.0
+        while len(turnstile._waiting) < 3 and time.time() < deadline:
+            time.sleep(0.001)
+        turnstile.release()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert order == [1, 3, 5]
+
+
+class TestScheduledAdmission:
+    def scheduler(self, **policy) -> RequestScheduler:
+        return RequestScheduler(SchedulerPolicy(**policy))
+
+    def test_paced_requests_charge_waits_to_the_clock_and_stats(self):
+        client = quiet_client()
+        scheduler = self.scheduler(requests_per_minute=60, burst=1)
+        for _ in range(3):
+            scheduler.run(client, MODEL, MESSAGES, fake_call(0.0))
+        # burst(1)+1 free, then 1/s pacing; latency 0 keeps arrivals at 0.
+        assert client.clock.elapsed_s == pytest.approx(1.0)
+        assert client.stats.throttled == 1
+        assert client.stats.throttle_wait_s == pytest.approx(1.0)
+        per_model = client.stats.for_model(MODEL)
+        assert per_model.throttled == 1
+        assert per_model.throttle_wait_s == pytest.approx(1.0)
+
+    def test_token_pacing_uses_estimated_cost(self):
+        client = quiet_client()
+        scheduler = self.scheduler(
+            tokens_per_minute=600, burst=1, expected_completion_tokens=0
+        )
+        cost = scheduler.estimate_cost_tokens(MESSAGES)
+        scheduler.run(client, MODEL, MESSAGES, fake_call(0.0))
+        scheduler.run(client, MODEL, MESSAGES, fake_call(0.0))
+        # Bucket: 10 tokens/s with a 1-token burst allowance; the second
+        # request waits for its cost (minus the allowance) to refill.
+        assert client.stats.throttled == 1
+        assert client.clock.elapsed_s == pytest.approx((cost - 1) / 10.0)
+
+    def test_deadline_rejects_before_spending_budget(self):
+        client = quiet_client()
+        scheduler = self.scheduler(requests_per_minute=60, burst=1, deadline_s=0.5)
+        # Two requests ride the burst allowance free of charge; the third
+        # would wait 1.0s -- over the 0.5s deadline -- so it must raise
+        # instead of charging.
+        scheduler.run(client, MODEL, MESSAGES, fake_call(0.0))
+        scheduler.run(client, MODEL, MESSAGES, fake_call(0.0))
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            scheduler.run(client, MODEL, MESSAGES, fake_call(0.0))
+        assert excinfo.value.deadline_s == 0.5
+        assert excinfo.value.projected_s > 0.5
+        assert client.stats.deadline_exceeded == 1
+        assert client.stats.for_model(MODEL).deadline_exceeded == 1
+
+    def test_deadline_rejection_charges_nothing(self):
+        client = quiet_client()
+        scheduler = self.scheduler(requests_per_minute=60, burst=1, deadline_s=0.25)
+        scheduler.run(client, MODEL, MESSAGES, fake_call(0.0))
+        scheduler.run(client, MODEL, MESSAGES, fake_call(0.0))
+        elapsed = client.clock.elapsed_s
+        with pytest.raises(DeadlineExceededError):
+            scheduler.run(client, MODEL, MESSAGES, fake_call(0.0))
+        assert client.clock.elapsed_s == elapsed
+
+    def test_per_request_deadline_overrides_the_policy_default(self):
+        client = quiet_client()
+        scheduler = self.scheduler(requests_per_minute=60, burst=1, deadline_s=0.1)
+        scheduler.run(client, MODEL, MESSAGES, fake_call(0.0))
+        scheduler.run(client, MODEL, MESSAGES, fake_call(0.0))
+        # The third request waits 1.0s -- over the 0.1s default, but a
+        # generous per-request override admits it anyway.
+        scheduler.run(client, MODEL, MESSAGES, fake_call(0.0), deadline_s=10.0)
+        assert client.stats.deadline_exceeded == 0
+        assert client.stats.throttled == 1
+
+    def test_refusal_requeues_with_the_retry_after_charged(self):
+        limit = SimulatedRateLimit(
+            requests_per_minute=60, burst=1, min_retry_after_s=5.0
+        )
+        client = quiet_client(rate_limit=limit)
+        # No pacing configured: the scheduler runs straight into the
+        # provider's limit and must recover via requeue.
+        scheduler = self.scheduler()
+
+        def provider_call():
+            limit.check(MODEL, client.clock.now())
+            return CompletionResult("ok", Usage(10, 5), 0.0, MODEL)
+
+        for _ in range(5):
+            scheduler.run(client, MODEL, MESSAGES, provider_call)
+        # Two requests ride the provider's burst; of the rest, two are
+        # refused, charged the Retry-After, requeued, and served (the
+        # charged penalties advance the clock far enough that the other
+        # conforms outright).
+        stats = client.stats
+        assert stats.rate_limited == 2
+        assert stats.requeued == 2
+        assert stats.throttle_wait_s >= 10.0  # two charged Retry-Afters
+        assert stats.for_model(MODEL).requeued == 2
+        assert limit.refusals[MODEL] == 2
+
+    def test_requeue_budget_exhaustion_propagates_the_refusal(self):
+        client = quiet_client()
+        scheduler = self.scheduler(max_requeues=0)
+
+        def always_refuse():
+            raise RateLimitError("nope", retry_after_s=5.0, model=MODEL)
+
+        with pytest.raises(RateLimitError):
+            scheduler.run(client, MODEL, MESSAGES, always_refuse)
+        assert client.stats.rate_limited == 1
+        assert client.stats.requeued == 0
+
+    def test_refusal_shrinks_the_adaptive_window(self):
+        client = quiet_client()
+        scheduler = self.scheduler(initial_window=8, max_requeues=0)
+        with pytest.raises(RateLimitError):
+            scheduler.run(
+                client,
+                MODEL,
+                MESSAGES,
+                lambda: (_ for _ in ()).throw(
+                    RateLimitError("nope", retry_after_s=1.0)
+                ),
+            )
+        assert scheduler.adaptive_state(MODEL).window == 4.0
+
+    def test_success_ramps_the_adaptive_window(self):
+        client = quiet_client()
+        scheduler = self.scheduler(initial_window=2, ramp_every=1, max_window=64)
+        for _ in range(3):
+            scheduler.run(client, MODEL, MESSAGES, fake_call(1.0))
+        assert scheduler.adaptive_state(MODEL).window == 5.0
+        assert scheduler.adaptive_state(MODEL).ewma_latency_s == pytest.approx(1.0)
+
+
+class TestSchedulerThroughSessions:
+    def session(self, rate_limit=None, **overrides) -> Session:
+        return Session(
+            model=MODEL,
+            cache_dir=None,
+            scheduler="adaptive",
+            client=quiet_client(rate_limit),
+            **overrides,
+        )
+
+    def test_scheduled_map_under_provider_limit_drops_nothing(self):
+        limit = SimulatedRateLimit(
+            requests_per_minute=60, burst=2, min_retry_after_s=20.0
+        )
+        session = self.session(
+            limit, scheduler_policy=SchedulerPolicy(requests_per_minute=60, burst=2)
+        )
+        fn = session.define(t.int, "Calculate the factorial of {{n}}.")
+        batch = fn.map(
+            [{"n": 1 + (i % 6)} for i in range(12)], max_concurrency=4, dedup=False
+        )
+        assert batch.ok
+        assert batch.values == [
+            [1, 2, 6, 24, 120, 720][i % 6] for i in range(12)
+        ]
+        # Pacing kept the provider conforming: throttle waits, no 429s.
+        assert session.stats.throttled > 0
+        assert session.stats.rate_limited == 0
+        assert limit.refusals == {}
+
+    def test_deadline_failures_are_isolated_per_map_item(self):
+        session = self.session(
+            scheduler_policy=SchedulerPolicy(
+                requests_per_minute=1, burst=1, deadline_s=30.0
+            )
+        )
+        fn = session.define(t.int, "Calculate the factorial of {{n}}.")
+        batch = fn.map(
+            [{"n": n} for n in (3, 4, 5, 6)], max_concurrency=4, dedup=False
+        )
+        # Two requests ride the burst allowance; the others would wait
+        # >= 60s, past the 30s deadline -- captured per item, the batch
+        # never aborts.
+        assert not batch.ok
+        assert len(batch.failures) == 2
+        assert all(
+            isinstance(outcome.error, DeadlineExceededError)
+            for outcome in batch.failures
+        )
+        assert session.stats.deadline_exceeded == 2
+
+    def test_async_path_is_scheduled_too(self):
+        session = self.session(
+            scheduler_policy=SchedulerPolicy(requests_per_minute=1, burst=1)
+        )
+
+        async def burst():
+            for n in (3, 4, 5):
+                await session.ask_async(
+                    t.int, "Calculate the factorial of {{n}}.", n=n
+                )
+
+        asyncio.run(burst())
+        assert session.stats.throttled >= 1
+        assert session.stats.throttle_wait_s > 0.0
+
+    def test_session_exposes_the_scheduler(self):
+        session = self.session(requests_per_minute=10)
+        assert isinstance(session.scheduler, RequestScheduler)
+        assert session.scheduler is session.scheduler  # memoized per config
+        assert session.scheduler.policy.requests_per_minute == 10
+
+    def test_scheduler_off_by_default(self):
+        session = Session(model=MODEL, cache_dir=None, client=quiet_client())
+        assert session.scheduler is None
+
+
+class TestConfigKnobs:
+    def test_scheduler_mode_is_validated(self):
+        with pytest.raises(ConfigError):
+            Config(scheduler="sometimes")
+
+    def test_rate_knobs_are_validated(self):
+        with pytest.raises(ConfigError):
+            Config(requests_per_minute=0)
+        with pytest.raises(ConfigError):
+            Config(tokens_per_minute=-5)
+        with pytest.raises(ConfigError):
+            Config(deadline_s=0)
+
+    def test_convenience_knobs_override_the_policy(self):
+        config = Config(
+            scheduler="adaptive",
+            requests_per_minute=30,
+            scheduler_policy=SchedulerPolicy(requests_per_minute=99, burst=7),
+        )
+        assert config.requests_per_minute == 30
+        assert config.scheduler_policy.burst == 7
+
+    def test_replace_preserves_scheduler_settings(self):
+        config = Config(scheduler="adaptive", requests_per_minute=30)
+        replaced = config.replace(model="sim-gpt-3.5-turbo-16k")
+        assert replaced.scheduler == "adaptive"
+        assert replaced.requests_per_minute == 30
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigError):
+            SchedulerPolicy(burst=0)
+        with pytest.raises(ConfigError):
+            SchedulerPolicy(initial_window=100, max_window=8)
+        with pytest.raises(ConfigError):
+            SchedulerPolicy(spike_factor=1.0)
+        with pytest.raises(ConfigError):
+            SchedulerPolicy(max_requeues=-1)

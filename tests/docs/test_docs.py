@@ -7,9 +7,14 @@ Doctest-style smoke for the documentation surface:
   a document reads top-to-bottom like a script) with the working
   directory moved to a temp dir (so ``askit`` cache writes never land
   in the repo);
+* every script under ``examples/`` runs to completion in a subprocess
+  (again from a temp working directory);
 * every relative markdown link must point at a file or directory that
   exists (anchors are stripped; external ``http(s)``/``mailto`` links
-  are not fetched).
+  are not fetched);
+* ``docs/architecture.md`` must reference every public module of
+  ``repro.core`` and ``repro.llm``, so the module reference cannot
+  silently rot as the runtime grows.
 
 Blocks that are deliberately non-runnable use a different info string
 (```` ```text ````, ```` ```bash ````) and are skipped by construction.
@@ -17,7 +22,10 @@ Blocks that are deliberately non-runnable use a different info string
 
 from __future__ import annotations
 
+import os
 import re
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
@@ -104,3 +112,66 @@ def test_readme_documents_the_paper_section_map():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     for path in re.findall(r"`(src/repro/[\w/]+(?:\.py)?)`", text):
         assert (REPO_ROOT / path).exists(), f"README references missing {path}"
+
+
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"), key=lambda p: p.name)
+
+
+def test_the_example_scripts_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "caching.py", "high_throughput.py"} <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.name)
+def test_example_scripts_run(script, tmp_path):
+    """Every script under ``examples/`` executes cleanly, start to finish.
+
+    Each runs in its own interpreter (they are documentation for the
+    command line, not a library) from a temp working directory, with
+    ``src/`` prepended to ``PYTHONPATH`` exactly as the README says.
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, (
+        f"examples/{script.name} exited {proc.returncode}\n"
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+
+
+def public_runtime_modules() -> list[str]:
+    """Every public module/subpackage of ``repro.core`` and ``repro.llm``.
+
+    Rendered as the repo-relative shorthand the architecture doc uses:
+    ``core/session.py`` for modules, ``llm/providers/`` for packages.
+    """
+    references = []
+    for package in ("core", "llm"):
+        package_dir = REPO_ROOT / "src" / "repro" / package
+        for path in sorted(package_dir.iterdir(), key=lambda p: p.name):
+            if path.name.startswith(("_", ".")):
+                continue
+            if path.is_dir():
+                references.append(f"{package}/{path.name}/")
+            elif path.suffix == ".py":
+                references.append(f"{package}/{path.name}")
+    return references
+
+
+def test_architecture_references_every_public_runtime_module():
+    """The architecture doc's module reference keeps pace with the code."""
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    missing = [ref for ref in public_runtime_modules() if ref not in text]
+    assert not missing, (
+        "docs/architecture.md does not mention these public modules: "
+        f"{missing} -- add them to its module reference"
+    )

@@ -19,13 +19,16 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 
 #: The modules the documentation satellite covers: the package front
 #: door and the ``Session`` / ``AskItFunction`` / ``Config`` surface,
-#: plus the new response cache.
+#: plus the response cache, the request scheduler, and the simulated
+#: rate limit.
 PUBLIC_SURFACE = [
     "src/repro/__init__.py",
     "src/repro/core/config.py",
     "src/repro/core/session.py",
     "src/repro/core/function.py",
     "src/repro/core/response_cache.py",
+    "src/repro/core/scheduler.py",
+    "src/repro/llm/ratelimit.py",
 ]
 
 

@@ -1,0 +1,142 @@
+"""Simulated provider-side rate limiting and the client's backoff path.
+
+The limiter is a GCRA per model on the virtual clock: bursts are
+admitted, sustained over-rate traffic is refused with a Retry-After
+hint, and a caller that charges the hint to its clock always conforms
+on retry.  Without a scheduler, ``ChatClient`` falls back to naive
+exponential backoff around that hint -- the baseline the scheduler's
+admission control is measured against.
+"""
+
+import pytest
+
+from repro.errors import ConfigError, RateLimitError
+from repro.llm import ChatClient, QUIET, SimulatedRateLimit
+from repro.llm.client import RATE_LIMIT_BACKOFF_BASE
+
+MODEL = "sim-gpt-4"
+PROMPT = "Calculate the factorial of 5."
+
+
+class TestSimulatedRateLimit:
+    def limit(self, **overrides) -> SimulatedRateLimit:
+        defaults = dict(requests_per_minute=60, burst=2, min_retry_after_s=5.0)
+        defaults.update(overrides)
+        return SimulatedRateLimit(**defaults)
+
+    def test_burst_admits_then_refuses(self):
+        limit = self.limit()
+        for _ in range(3):
+            limit.check(MODEL, 0.0)  # the burst allowance
+        with pytest.raises(RateLimitError) as excinfo:
+            limit.check(MODEL, 0.0)
+        assert excinfo.value.model == MODEL
+        assert excinfo.value.retry_after_s >= 5.0
+        assert limit.refusals[MODEL] == 1
+
+    def test_honouring_retry_after_always_conforms(self):
+        limit = self.limit()
+        now = 0.0
+        for _ in range(20):
+            try:
+                limit.check(MODEL, now)
+            except RateLimitError as refusal:
+                now += refusal.retry_after_s  # wait it out, as charged waits do
+                limit.check(MODEL, now)  # must succeed now
+
+    def test_sustained_rate_is_never_refused(self):
+        limit = self.limit()
+        for k in range(50):
+            limit.check(MODEL, float(k))  # exactly 60/min
+        assert limit.refusals == {}
+
+    def test_models_are_limited_independently(self):
+        limit = self.limit()
+        for _ in range(3):
+            limit.check("sim-gpt-4", 0.0)
+        limit.check("sim-gpt-3.5-turbo-16k", 0.0)  # untouched bucket
+
+    def test_refusals_do_not_consume_capacity(self):
+        limit = self.limit()
+        for _ in range(3):
+            limit.check(MODEL, 0.0)
+        for _ in range(5):
+            with pytest.raises(RateLimitError):
+                limit.check(MODEL, 0.0)
+        # The refusals did not advance the limiter: one interval later
+        # the next request conforms exactly as if they never happened.
+        limit.check(MODEL, 1.0)
+
+    def test_reset_forgets_state(self):
+        limit = self.limit()
+        for _ in range(3):
+            limit.check(MODEL, 0.0)
+        limit.reset()
+        limit.check(MODEL, 0.0)
+        assert limit.refusals == {}
+
+    def test_parameters_are_validated(self):
+        with pytest.raises(ConfigError):
+            SimulatedRateLimit(requests_per_minute=0)
+        with pytest.raises(ConfigError):
+            SimulatedRateLimit(requests_per_minute=60, burst=0)
+        with pytest.raises(ConfigError):
+            SimulatedRateLimit(requests_per_minute=60, min_retry_after_s=-1)
+
+
+class TestClientBackoff:
+    def test_unscheduled_client_waits_out_429s_and_completes(self):
+        # 6/min = one request per 10 virtual seconds, well below the
+        # ~4s/call simulated latency, so sequential calls genuinely
+        # outpace the limit and draw refusals.
+        limit = SimulatedRateLimit(
+            requests_per_minute=6, burst=1, min_retry_after_s=5.0
+        )
+        client = ChatClient(noise_policy=QUIET, rate_limit=limit)
+        for _ in range(4):
+            client.chat_complete(MODEL, PROMPT)
+        # Every request completed despite refusals along the way...
+        assert client.stats.calls == 4
+        assert client.stats.rate_limited > 0
+        assert limit.refusals[MODEL] == client.stats.rate_limited
+        # ...and each refusal's Retry-After was charged to the clock on
+        # top of the completions' simulated latency.
+        assert client.stats.throttle_wait_s >= 5.0 * client.stats.rate_limited
+        assert client.clock.elapsed_s > client.stats.throttle_wait_s
+
+    def test_backoff_is_exponential_per_request(self):
+        refusals = [
+            RateLimitError("nope", retry_after_s=2.0, model=MODEL) for _ in range(3)
+        ]
+        client = ChatClient(noise_policy=QUIET)
+        for attempt, refusal in enumerate(refusals):
+            client._backoff(MODEL, refusal, attempt)
+        expected = sum(2.0 * RATE_LIMIT_BACKOFF_BASE**k for k in range(3))
+        assert client.clock.elapsed_s == pytest.approx(expected)
+        assert client.stats.rate_limited == 3
+
+    def test_per_model_counters_track_the_totals(self):
+        limit = SimulatedRateLimit(
+            requests_per_minute=6, burst=1, min_retry_after_s=5.0
+        )
+        client = ChatClient(noise_policy=QUIET, rate_limit=limit)
+        for _ in range(4):
+            client.chat_complete(MODEL, PROMPT)
+        per_model = client.stats.for_model(MODEL)
+        assert per_model.rate_limited == client.stats.rate_limited
+        assert per_model.throttle_wait_s == pytest.approx(
+            client.stats.throttle_wait_s
+        )
+
+    def test_stats_reset_clears_throttle_counters(self):
+        client = ChatClient(noise_policy=QUIET)
+        client.stats.record_rate_limited(MODEL, 3.0)
+        client.stats.record_throttle(MODEL, 1.0)
+        client.stats.record_requeue(MODEL, 2.0)
+        client.stats.record_deadline(MODEL)
+        client.stats.reset()
+        assert client.stats.rate_limited == 0
+        assert client.stats.throttled == 0
+        assert client.stats.requeued == 0
+        assert client.stats.deadline_exceeded == 0
+        assert client.stats.throttle_wait_s == 0.0
