@@ -1,0 +1,57 @@
+"""Perf-trajectory snapshots: ``BENCH_<name>.json`` at the repo root.
+
+Each benchmark that guards an acceptance criterion also emits a small
+JSON snapshot of the numbers behind it.  The files are committed, so
+the perf trajectory of the repo is visible in plain ``git log -p``
+without re-running anything -- and a regression shows up as a diff in
+review, not as an archaeology project.
+
+Snapshots are observability, not assertions: the hard thresholds stay
+in the benchmarks themselves.  Only stable, machine-independent metrics
+belong here (virtual-clock seconds, counts, ratios); host-dependent
+wall-clock timings would churn on every machine.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+#: The repo root -- benchmarks/ lives one level below it.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_path(name: str) -> Path:
+    """Where the snapshot for ``name`` lives (``BENCH_<name>.json``)."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def write_snapshot(name: str, metrics: Mapping[str, Any]) -> Path:
+    """Write ``metrics`` to ``BENCH_<name>.json`` and return the path.
+
+    Values must be JSON-serializable; floats are rounded to keep diffs
+    readable across runs that differ only in float noise.
+    """
+    payload = {
+        "version": SNAPSHOT_VERSION,
+        "name": name,
+        "python": platform.python_version(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "metrics": {key: _round(value) for key, value in sorted(metrics.items())},
+    }
+    path = snapshot_path(name)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def _round(value: Any) -> Any:
+    if isinstance(value, float):
+        return round(value, 4)
+    return value

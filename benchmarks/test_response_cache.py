@@ -16,6 +16,7 @@ experiment driver end-to-end (codegen traffic included).
 import pytest
 
 import repro.types as t
+from benchmarks.snapshots import write_snapshot
 from repro.core import Session
 from repro.evalx.experiments import table2
 from repro.llm import ChatClient, QUIET, NoisePolicy
@@ -85,6 +86,19 @@ class TestWarmCacheSpeedup:
         per_model = warm.per_model["sim-gpt-4"]
         assert per_model.calls == 0
         assert per_model.cache_hits + per_model.coalesced == TASK_COUNT
+
+        write_snapshot(
+            "response_cache",
+            {
+                "tasks": TASK_COUNT,
+                "cold_virtual_s": cold_s,
+                "warm_virtual_s": warm_s,
+                "speedup_x": (cold_s / warm_s) if warm_s else None,
+                "cold_calls": cold.calls,
+                "warm_calls": warm.calls,
+                "warm_hits_plus_coalesced": warm.cache_hits + warm.coalesced,
+            },
+        )
 
     def test_identical_in_flight_requests_coalesce(self, tmp_path):
         session = fresh_session(tmp_path / "askit")

@@ -17,6 +17,7 @@ virtual clock -- no sleeping -- so the comparison reproduces.
 import pytest
 
 import repro.types as t
+from benchmarks.snapshots import write_snapshot
 from repro.core import SchedulerPolicy, Session
 from repro.llm import ChatClient, QUIET, SimulatedRateLimit
 
@@ -107,6 +108,18 @@ class TestSchedulerThroughput:
             scheduled_stats.throttle_wait_s
         )
         assert naive_session.stats.rate_limited > 0
+
+        write_snapshot(
+            "scheduler",
+            {
+                "tasks": TASK_COUNT,
+                "naive_virtual_s": naive_s,
+                "scheduled_virtual_s": scheduled_s,
+                "speedup_x": naive_s / scheduled_s,
+                "naive_rate_limited": naive_session.stats.rate_limited,
+                "scheduled_throttled": scheduled_stats.throttled,
+            },
+        )
 
     def test_adaptive_only_scheduler_recovers_via_requeue(self):
         """Without a configured rate bucket the scheduler still converges:

@@ -1,0 +1,131 @@
+"""Benchmark: the wire-transport stack with zero live HTTP.
+
+Two hermetic measurements of the new provider plumbing
+(:mod:`repro.llm.http`, :mod:`repro.llm.cassette`, the provider
+adapters):
+
+* **adapter marshal/parse throughput** -- how fast each adapter can
+  build its wire request and parse a canned reply through the full
+  ``HTTPClient`` pipeline (the per-completion CPU overhead the real
+  providers add on top of network time);
+* **cassette replay throughput** -- completions per second served from
+  a recorded cassette directory, which bounds how fast a hermetic
+  tier-1 run can drive the real provider code path.
+
+Both emit ``BENCH_transport.json`` so the perf trajectory is tracked in
+git alongside the scheduler and response-cache snapshots.
+"""
+
+import json
+
+from benchmarks.snapshots import snapshot_path, write_snapshot
+from repro.llm.base import user_message
+from repro.llm.cassette import CassetteTransport
+from repro.llm.http import HTTPClient
+from repro.llm.providers import AnthropicProvider, GeminiProvider, OpenAIProvider
+from repro.llm.providers.wire import WirePolicy
+
+from tests.llm.fakes import (
+    ScriptedTransport,
+    anthropic_reply,
+    gemini_reply,
+    json_response,
+    openai_reply,
+)
+
+OFFLINE = WirePolicy(live=False, cassette_dir=None, env={})
+
+EXCHANGES = 200
+
+MESSAGES = [user_message("Summarize the transport stack in one sentence.")]
+
+ADAPTERS = [
+    (OpenAIProvider, "gpt-bench", openai_reply("the stack, summarized")),
+    (AnthropicProvider, "claude-bench", anthropic_reply("the stack, summarized")),
+    (GeminiProvider, "gemini-bench", gemini_reply("the stack, summarized")),
+]
+
+
+def drive_adapters() -> dict:
+    """EXCHANGES completions through each adapter against a canned reply."""
+    counts = {}
+    for provider_class, model, reply in ADAPTERS:
+        provider = provider_class(
+            None,
+            api_key="bench-key",
+            policy=OFFLINE,
+            http=HTTPClient(ScriptedTransport([json_response(reply)])),
+        )
+        for _ in range(EXCHANGES):
+            result = provider.complete(model, MESSAGES, 0.0)
+        counts[provider_class.name] = result.usage.total_tokens
+    return counts
+
+
+def record_cassettes(directory) -> None:
+    for provider_class, model, reply in ADAPTERS:
+        provider = provider_class(
+            None,
+            api_key="bench-key",
+            policy=OFFLINE,
+            http=HTTPClient(
+                CassetteTransport(
+                    directory, mode="record", inner=ScriptedTransport([json_response(reply)])
+                )
+            ),
+        )
+        provider.complete(model, MESSAGES, 0.0)
+
+
+def drive_replay(directory) -> int:
+    """EXCHANGES replayed completions per adapter, policy-wired only."""
+    policy = WirePolicy(live=False, cassette_dir=directory, env={})
+    served = 0
+    for provider_class, model, _reply in ADAPTERS:
+        provider = provider_class(None, policy=policy)
+        for _ in range(EXCHANGES):
+            provider.complete(model, MESSAGES, 0.0)
+            served += 1
+    return served
+
+
+class TestTransportThroughput:
+    def test_adapter_marshal_parse_throughput(self, benchmark):
+        counts = benchmark.pedantic(drive_adapters, rounds=3, iterations=1)
+        assert set(counts) == {"openai", "anthropic", "gemini"}
+        assert all(total > 0 for total in counts.values())
+
+        per_exchange_us = benchmark.stats.stats.mean / (EXCHANGES * len(ADAPTERS)) * 1e6
+        write_snapshot(
+            "transport",
+            {
+                "adapters": len(ADAPTERS),
+                "exchanges_per_adapter": EXCHANGES,
+                "adapter_pipeline_us_per_completion": per_exchange_us,
+            },
+        )
+
+    def test_cassette_replay_throughput(self, tmp_path, benchmark):
+        record_cassettes(tmp_path)
+        served = benchmark.pedantic(
+            drive_replay, args=(tmp_path,), rounds=3, iterations=1
+        )
+        assert served == EXCHANGES * len(ADAPTERS)
+
+        replays_per_s = served / benchmark.stats.stats.mean
+        path = snapshot_path("transport")
+        existing = (
+            json.loads(path.read_text(encoding="utf-8"))["metrics"]
+            if path.exists()
+            else {}
+        )
+        existing.update(
+            {
+                "cassette_replays_per_s": replays_per_s,
+                "cassette_recordings": len(ADAPTERS),
+            }
+        )
+        write_snapshot("transport", existing)
+        # Replay must be fast enough that hermetic suites stay cheap:
+        # well north of a thousand completions per second.
+        assert replays_per_s > 1000, f"cassette replay too slow: {replays_per_s:.0f}/s"

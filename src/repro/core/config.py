@@ -19,6 +19,7 @@ from repro.core.safety import SafetyPolicy
 from repro.core.scheduler import SCHEDULER_MODES, RequestScheduler, SchedulerPolicy
 from repro.errors import ConfigError
 from repro.llm.client import ChatClient, default_client
+from repro.llm.providers.wire import WirePolicy
 from repro.prompts.codegen import PYTHON, TYPESCRIPT
 
 #: The paper sets the retry limit for code regeneration to 9.
@@ -94,6 +95,15 @@ class Config:
         advanced knobs (burst, AIMD bounds, requeue budget...).  The
         ``requests_per_minute``/``tokens_per_minute``/``deadline_s``
         arguments override the policy's matching fields when given.
+    wire_policy:
+        How real-wire providers (``gpt-``/``claude-``/``gemini-`` model
+        names) reach the network
+        (:class:`~repro.llm.providers.wire.WirePolicy`: live opt-in,
+        cassette directory and mode, timeout).  ``None`` (the default)
+        resolves from the environment -- hermetic unless ``REPRO_LIVE=1``.
+        When set without an explicit ``client``, this config gets its
+        own :class:`~repro.llm.client.ChatClient` carrying the policy,
+        so wire transports never leak into the shared default client.
     """
 
     def __init__(
@@ -114,6 +124,7 @@ class Config:
         tokens_per_minute: float | None = None,
         deadline_s: float | None = None,
         scheduler_policy: SchedulerPolicy | None = None,
+        wire_policy: WirePolicy | None = None,
     ) -> None:
         if max_retries < 0:
             raise ConfigError("max_retries must be >= 0")
@@ -160,7 +171,10 @@ class Config:
         self.scheduler_policy = (
             base_policy.replace(**overrides) if overrides else base_policy
         )
+        self.wire_policy = wire_policy
         self._client = client
+        self._wire_client: ChatClient | None = None
+        self._wire_client_lock = threading.Lock()
         self._response_cache: ResponseCache | None = None
         self._response_cache_lock = threading.Lock()
         self._request_scheduler: RequestScheduler | None = None
@@ -168,8 +182,21 @@ class Config:
 
     @property
     def client(self) -> ChatClient:
-        """The chat client serving this config's completions."""
-        return self._client if self._client is not None else default_client()
+        """The chat client serving this config's completions.
+
+        An explicit ``client`` wins; otherwise a ``wire_policy`` earns
+        the config a dedicated client carrying it (memoized), and with
+        neither the process-wide default client serves.
+        """
+        if self._client is not None:
+            return self._client
+        if self.wire_policy is not None:
+            if self._wire_client is None:
+                with self._wire_client_lock:
+                    if self._wire_client is None:
+                        self._wire_client = ChatClient(wire_policy=self.wire_policy)
+            return self._wire_client
+        return default_client()
 
     @property
     def response_cache(self) -> ResponseCache | None:
@@ -247,6 +274,7 @@ class Config:
             "cache_max_entries": self.cache_max_entries,
             "scheduler": self.scheduler,
             "scheduler_policy": self.scheduler_policy,
+            "wire_policy": self.wire_policy,
         }
         current.update(changes)
         return Config(**current)

@@ -46,7 +46,12 @@ import itertools
 import threading
 from typing import TYPE_CHECKING, Awaitable, Callable, Sequence
 
-from repro.errors import ConfigError, DeadlineExceededError, RateLimitError
+from repro.errors import (
+    ConfigError,
+    DeadlineExceededError,
+    RateLimitError,
+    ServerError,
+)
 from repro.llm.base import ChatMessage, CompletionResult
 from repro.llm.tokenizer import count_message_tokens
 
@@ -438,6 +443,11 @@ class RequestScheduler:
                         client, model, refusal, submitted, deadline, requeues
                     )
                     continue
+                except ServerError as failure:
+                    requeues = self._requeue_server(
+                        client, model, failure, submitted, deadline, requeues
+                    )
+                    continue
             finally:
                 if held:
                     self._turnstile.release()
@@ -478,6 +488,11 @@ class RequestScheduler:
             except RateLimitError as refusal:
                 requeues = self._requeue(
                     client, model, refusal, submitted, deadline, requeues
+                )
+                continue
+            except ServerError as failure:
+                requeues = self._requeue_server(
+                    client, model, failure, submitted, deadline, requeues
                 )
                 continue
             self.adaptive_state(model).on_success(result.latency_s)
@@ -600,6 +615,45 @@ class RequestScheduler:
                     deadline_s=deadline,
                     projected_s=projected,
                 ) from refusal
+        client.clock.charge(penalty)
+        stats.record_requeue(model, penalty)
+        return requeues + 1
+
+    def _requeue_server(
+        self,
+        client: "ChatClient",
+        model: str,
+        failure: ServerError,
+        submitted: float,
+        deadline: float | None,
+        requeues: int,
+    ) -> int:
+        """Handle one 5xx provider failure; returns the new requeue count.
+
+        A 5xx that survives the transport's own retries is treated like
+        a refusal: the AIMD window shrinks (an overloaded backend wants
+        less pressure, not more), the failure's ``retry_after_s`` is
+        charged, and the request requeues against the same budget and
+        deadline as a 429.  Out of budget, the :class:`ServerError`
+        propagates.
+        """
+        stats = client.stats
+        stats.record_server_error(model)
+        self.adaptive_state(model).on_rate_limit()
+        if requeues >= self.policy.max_requeues:
+            raise failure
+        penalty = failure.retry_after_s
+        if deadline is not None:
+            projected = (client.clock.now() - submitted) + penalty
+            if projected > deadline:
+                stats.record_deadline(model)
+                raise DeadlineExceededError(
+                    f"server-failing request for {model!r} cannot be requeued "
+                    f"within its {deadline:.2f}s deadline "
+                    f"(projected delay {projected:.2f}s)",
+                    deadline_s=deadline,
+                    projected_s=projected,
+                ) from failure
         client.clock.charge(penalty)
         stats.record_requeue(model, penalty)
         return requeues + 1

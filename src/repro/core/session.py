@@ -85,8 +85,11 @@ class Session:
         if snapshot._client is None:
             # Isolated sessions get a private client so their stats,
             # virtual clock, and simulated-model state never interleave
-            # with other sessions'.
-            snapshot = snapshot.replace(client=ChatClient())
+            # with other sessions'.  The wire policy rides along so a
+            # Session(wire_policy=...) reaches its cassettes/live flag.
+            snapshot = snapshot.replace(
+                client=ChatClient(wire_policy=snapshot.wire_policy)
+            )
         self._config = snapshot
 
     # -- state ----------------------------------------------------------------

@@ -100,6 +100,130 @@ class RateLimitError(AskItError):
         self.model = model
 
 
+class TransportError(AskItError):
+    """A wire-level transport failure: DNS, connect, TLS, resets.
+
+    Base of the HTTP transport taxonomy raised by
+    :class:`repro.llm.http.HTTPClient` and everything built on it (the
+    wire providers, the cassette transport).  ``url`` is the request
+    target with credentials redacted; ``cause`` keeps the underlying
+    OS-level exception for diagnostics.
+    """
+
+    def __init__(
+        self, message: str, *, url: str = "", cause: BaseException | None = None
+    ) -> None:
+        super().__init__(message)
+        self.url = url
+        self.cause = cause
+        #: Whether retrying the exchange could plausibly succeed.  True
+        #: for genuine network faults; cassette misses and deliberately
+        #: offline transports set it False so nothing sleeps on them.
+        self.retryable = True
+
+
+class TransportTimeoutError(TransportError):
+    """A request timed out before the response arrived.
+
+    ``phase`` distinguishes ``"connect"`` from ``"read"`` timeouts when
+    the transport can tell them apart (``"request"`` when it cannot).
+    Re-exported as ``repro.llm.http.TimeoutError``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        timeout_s: float = 0.0,
+        phase: str = "request",
+        url: str = "",
+        cause: BaseException | None = None,
+    ) -> None:
+        super().__init__(message, url=url, cause=cause)
+        self.timeout_s = timeout_s
+        self.phase = phase
+
+
+class HTTPStatusError(TransportError):
+    """The server answered with a non-success HTTP status.
+
+    Subclasses carve out the statuses with dedicated handling (401/403
+    auth failures, 5xx retryables); a 429 maps to
+    :class:`RateLimitError` instead so the scheduler machinery applies.
+    ``body_preview`` holds the first few hundred bytes of the error
+    body, which is where providers put their diagnostic message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 0,
+        body_preview: str = "",
+        url: str = "",
+        cause: BaseException | None = None,
+    ) -> None:
+        super().__init__(message, url=url, cause=cause)
+        self.status = status
+        self.body_preview = body_preview
+
+
+class AuthError(HTTPStatusError):
+    """The provider rejected the request's credentials (401/403).
+
+    Never retried: a bad key stays bad.  The message names the missing
+    or refused environment variable when the wire provider knows it.
+    """
+
+
+class ServerError(HTTPStatusError):
+    """The provider failed server-side (HTTP 5xx).
+
+    Retryable: :class:`~repro.llm.http.HTTPClient` retries it with
+    backoff, and the request scheduler requeues it the way it requeues
+    a 429, charging ``retry_after_s`` (the ``Retry-After`` header when
+    the server sent one, else a default penalty).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 500,
+        retry_after_s: float = 1.0,
+        body_preview: str = "",
+        url: str = "",
+        cause: BaseException | None = None,
+    ) -> None:
+        super().__init__(
+            message, status=status, body_preview=body_preview, url=url, cause=cause
+        )
+        self.retry_after_s = retry_after_s
+
+
+class MalformedResponseError(TransportError):
+    """A success response whose body the adapter could not interpret.
+
+    Covers truncated/invalid JSON and JSON missing the fields the wire
+    shape guarantees (``choices``, ``content``, ``candidates``...).
+    Not retryable by the transport -- the bytes arrived fine.
+    """
+
+
+class CassetteMissError(TransportError):
+    """Strict cassette replay found no recording for a request.
+
+    Carries the content-addressed ``key`` the request hashed to, so the
+    fix (record the interaction, or point ``REPRO_CASSETTE_DIR`` at the
+    right directory) is one file name away.
+    """
+
+    def __init__(self, message: str, *, key: str = "", url: str = "") -> None:
+        super().__init__(message, url=url)
+        self.key = key
+        self.retryable = False
+
+
 class DeadlineExceededError(AskItError):
     """A request could not be served within its virtual-time deadline.
 

@@ -8,9 +8,16 @@ from repro.llm.client import (
     default_client,
     reset_default_client,
 )
+from repro.llm.cassette import CassetteTransport, cassette_key
+from repro.llm.http import HTTPClient, HTTPRequest, HTTPResponse, UrllibTransport
 from repro.llm.providers import (
+    AnthropicProvider,
+    GeminiProvider,
+    OpenAIProvider,
     Provider,
     ProviderBase,
+    WirePolicy,
+    WireProvider,
     register_provider,
     registered_prefixes,
     unregister_provider,
@@ -47,6 +54,17 @@ __all__ = [
     "register_provider",
     "unregister_provider",
     "registered_prefixes",
+    "OpenAIProvider",
+    "AnthropicProvider",
+    "GeminiProvider",
+    "WireProvider",
+    "WirePolicy",
+    "HTTPClient",
+    "HTTPRequest",
+    "HTTPResponse",
+    "UrllibTransport",
+    "CassetteTransport",
+    "cassette_key",
     "SimulatedLLM",
     "KnowledgeBase",
     "TaskImplementation",

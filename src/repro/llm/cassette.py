@@ -1,0 +1,280 @@
+"""Record/replay cassettes for wire-provider traffic.
+
+A cassette directory holds one JSON file per recorded HTTP interaction,
+content-addressed exactly the way the response cache addresses
+completions (:func:`repro.core.response_cache.response_key`): a SHA-256
+over a canonical JSON rendering of everything that determines the
+reply -- method, redacted URL, and the (JSON-canonicalized) request
+body.  Identical requests therefore hash to identical file names in
+every process, which is what makes recordings shareable, diffable, and
+stable across machines.
+
+:class:`CassetteTransport` plugs into :class:`~repro.llm.http.HTTPClient`
+like any transport:
+
+* ``replay`` (the default) -- strictly hermetic: a request with no
+  recording raises :class:`~repro.errors.CassetteMissError` naming the
+  missing key; nothing ever touches the network.
+* ``record`` -- always forwards to the inner (live) transport and
+  overwrites the recording.
+* ``auto`` -- replay when a recording exists, record otherwise (the
+  mode ``REPRO_LIVE=1`` runs use to grow a cassette library).
+
+Recordings never contain credentials: ``Authorization``, API-key
+headers, and key-carrying query parameters are redacted on write (and
+excluded from the key derivation, so a replay run without keys matches
+a recording made with them).  Replayed responses carry their *recorded*
+round-trip time as ``elapsed_s``, keeping latency accounting
+deterministic on the virtual clock.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+from urllib.parse import parse_qsl, urlencode, urlsplit, urlunsplit
+
+from repro.errors import CassetteMissError, ConfigError, TransportError
+from repro.llm.http import HTTPRequest, HTTPResponse, Transport
+
+#: Bumped whenever the key derivation or recording layout changes, so a
+#: stale on-disk format can never replay as a current recording.
+CASSETTE_FORMAT_VERSION = 1
+
+#: The modes a :class:`CassetteTransport` accepts.
+CASSETTE_MODES = ("replay", "record", "auto")
+
+#: What redacted secrets are replaced with in recorded files.
+REDACTED = "[REDACTED]"
+
+#: Headers whose values are secrets (case-insensitive match).
+SENSITIVE_HEADERS = frozenset(
+    {
+        "authorization",
+        "proxy-authorization",
+        "x-api-key",
+        "api-key",
+        "x-goog-api-key",
+        "openai-organization",
+        "cookie",
+        "set-cookie",
+    }
+)
+
+#: URL query parameters whose values are secrets.
+SENSITIVE_QUERY_PARAMS = frozenset({"key", "api_key", "apikey", "access_token"})
+
+
+def redact_headers(headers: dict[str, str]) -> dict[str, str]:
+    """A copy of ``headers`` with every secret-bearing value replaced."""
+    return {
+        name: (REDACTED if name.lower() in SENSITIVE_HEADERS else value)
+        for name, value in headers.items()
+    }
+
+
+def redact_url(url: str) -> str:
+    """``url`` with secret-bearing query parameter values replaced."""
+    parts = urlsplit(url)
+    if not parts.query:
+        return url
+    cleaned = [
+        (name, REDACTED if name.lower() in SENSITIVE_QUERY_PARAMS else value)
+        for name, value in parse_qsl(parts.query, keep_blank_values=True)
+    ]
+    return urlunsplit(parts._replace(query=urlencode(cleaned)))
+
+
+def _canonical_body(body: bytes | None) -> Any:
+    """The request body in canonical form for hashing and storage.
+
+    JSON bodies canonicalize to their parsed value (so key order and
+    whitespace never perturb the hash); anything else falls back to a
+    base64 marker object.
+    """
+    if body is None:
+        return None
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return {"__base64__": base64.b64encode(body).decode("ascii")}
+
+
+def cassette_key(request: HTTPRequest) -> str:
+    """The content address of one wire request.
+
+    Mirrors :func:`repro.core.response_cache.response_key`: a SHA-256
+    over a sorted-key JSON rendering of the request's identity --
+    method, redacted URL, canonical body.  Headers are deliberately
+    excluded: they carry credentials and client chrome, not identity,
+    so a replay run without API keys hashes to the same recordings a
+    keyed recording run produced.
+    """
+    payload = {
+        "v": CASSETTE_FORMAT_VERSION,
+        "method": request.method,
+        "url": redact_url(request.url),
+        "body": _canonical_body(request.body),
+    }
+    canonical = json.dumps(payload, sort_keys=True, ensure_ascii=False)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _encode_bytes(data: bytes) -> dict[str, Any]:
+    """Bytes as a JSON-storable object (utf-8 text when possible)."""
+    try:
+        return {"text": data.decode("utf-8")}
+    except UnicodeDecodeError:
+        return {"base64": base64.b64encode(data).decode("ascii")}
+
+
+def _decode_bytes(stored: dict[str, Any]) -> bytes:
+    if "text" in stored:
+        return stored["text"].encode("utf-8")
+    return base64.b64decode(stored["base64"])
+
+
+class CassetteTransport:
+    """A recording/replaying :class:`~repro.llm.http.Transport`.
+
+    ``directory`` holds one ``<key>.json`` per interaction.  ``inner``
+    is the live transport consulted in ``record``/``auto`` mode; replay
+    mode needs none and can therefore run with sockets blocked.
+    """
+
+    def __init__(
+        self,
+        directory: Path | str,
+        *,
+        mode: str = "replay",
+        inner: Transport | None = None,
+        time_source=time.time,
+    ) -> None:
+        if mode not in CASSETTE_MODES:
+            raise ConfigError(
+                f"cassette mode must be one of {CASSETTE_MODES}, got {mode!r}"
+            )
+        if mode == "record" and inner is None:
+            raise ConfigError("cassette 'record' mode requires an inner transport")
+        self.directory = Path(directory)
+        self.mode = mode
+        self.inner = inner
+        self._now = time_source
+        #: Interactions served from disk since construction.
+        self.replayed = 0
+        #: Interactions forwarded to the inner transport and recorded.
+        self.recorded = 0
+
+    key = staticmethod(cassette_key)
+
+    def path_for(self, request: HTTPRequest) -> Path:
+        """Where ``request``'s recording lives (whether or not it exists)."""
+        return self.directory / f"{cassette_key(request)}.json"
+
+    def __call__(self, request: HTTPRequest) -> HTTPResponse:
+        """Replay ``request`` from disk, or record it via the inner transport."""
+        key = cassette_key(request)
+        path = self.directory / f"{key}.json"
+        if self.mode != "record":
+            response = self._load(path)
+            if response is not None:
+                self.replayed += 1
+                return response
+            if self.mode == "replay":
+                raise CassetteMissError(
+                    f"no cassette recording for {request.method} "
+                    f"{redact_url(request.url)} (key {key[:16]}...) in "
+                    f"{self.directory}; record one with REPRO_LIVE=1 "
+                    "(cassette mode 'auto'/'record') or point "
+                    "REPRO_CASSETTE_DIR at the right directory",
+                    key=key,
+                    url=redact_url(request.url),
+                )
+        if self.inner is None:
+            raise TransportError(
+                "cassette has no recording and no live inner transport "
+                f"to record with (mode {self.mode!r})",
+                url=redact_url(request.url),
+            )
+        response = self.inner(request)
+        self._store(key, path, request, response)
+        self.recorded += 1
+        return response
+
+    # -- disk layer ---------------------------------------------------------
+
+    def _load(self, path: Path) -> HTTPResponse | None:
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(raw, dict) or raw.get("version") != CASSETTE_FORMAT_VERSION:
+            return None
+        try:
+            stored = raw["response"]
+            return HTTPResponse(
+                int(stored["status"]),
+                dict(stored.get("headers", {})),
+                _decode_bytes(stored["body"]),
+                float(stored.get("elapsed_s", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _store(
+        self, key: str, path: Path, request: HTTPRequest, response: HTTPResponse
+    ) -> None:
+        payload = {
+            "version": CASSETTE_FORMAT_VERSION,
+            "key": key,
+            "recorded_at": self._now(),
+            "request": {
+                "method": request.method,
+                "url": redact_url(request.url),
+                "headers": redact_headers(request.headers),
+                "body": _canonical_body(request.body),
+            },
+            "response": {
+                "status": response.status,
+                "headers": redact_headers(response.headers),
+                "body": _encode_bytes(response.body),
+                "elapsed_s": response.elapsed_s,
+            },
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(payload, ensure_ascii=False, indent=2, sort_keys=True)
+        # Atomic write (temp + rename), same discipline as the response
+        # cache, so concurrent readers never see a truncated recording.
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(text + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        """How many recordings the cassette directory currently holds."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"CassetteTransport({str(self.directory)!r}, mode={self.mode!r}, "
+            f"replayed={self.replayed}, recorded={self.recorded})"
+        )
+
+
+__all__ = [
+    "CASSETTE_FORMAT_VERSION",
+    "CASSETTE_MODES",
+    "REDACTED",
+    "SENSITIVE_HEADERS",
+    "SENSITIVE_QUERY_PARAMS",
+    "CassetteTransport",
+    "cassette_key",
+    "redact_headers",
+    "redact_url",
+]

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import RateLimitError
 from repro.llm.base import ChatMessage, CompletionResult, LanguageModel, user_message
+from repro.llm.providers.wire import WirePolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports llm)
     from repro.core.response_cache import ResponseCache
@@ -67,6 +68,7 @@ class ModelStats:
         "rate_limited",
         "requeued",
         "deadline_exceeded",
+        "server_errors",
     )
 
     def __init__(self) -> None:
@@ -86,6 +88,8 @@ class ModelStats:
         self.requeued = 0
         #: Requests rejected because their virtual-time deadline was hopeless.
         self.deadline_exceeded = 0
+        #: 5xx provider failures that reached the scheduler's requeue path.
+        self.server_errors = 0
 
     @property
     def total_tokens(self) -> int:
@@ -122,6 +126,7 @@ class ClientStats:
         self.rate_limited = 0
         self.requeued = 0
         self.deadline_exceeded = 0
+        self.server_errors = 0
         self._per_model: dict[str, ModelStats] = {}
 
     def record(self, result: CompletionResult) -> None:
@@ -184,6 +189,15 @@ class ClientStats:
             per_model.requeued += 1
             per_model.throttle_wait_s += wait_s
 
+    def record_server_error(self, model: str, wait_s: float = 0.0) -> None:
+        """Count one 5xx provider failure (``wait_s``: the penalty charged)."""
+        with self._lock:
+            per_model = self._per_model.setdefault(model, ModelStats())
+            self.server_errors += 1
+            self.throttle_wait_s += wait_s
+            per_model.server_errors += 1
+            per_model.throttle_wait_s += wait_s
+
     def record_deadline(self, model: str) -> None:
         """Count one request rejected by its virtual-time deadline."""
         with self._lock:
@@ -205,6 +219,7 @@ class ClientStats:
         snapshot.rate_limited = live.rate_limited
         snapshot.requeued = live.requeued
         snapshot.deadline_exceeded = live.deadline_exceeded
+        snapshot.server_errors = live.server_errors
         return snapshot
 
     @property
@@ -236,6 +251,7 @@ class ClientStats:
             self.rate_limited = 0
             self.requeued = 0
             self.deadline_exceeded = 0
+            self.server_errors = 0
             self._per_model = {}
 
     def __repr__(self) -> str:
@@ -274,10 +290,15 @@ class ChatClient:
         noise_policy: NoisePolicy | None = None,
         recorder: "TranscriptRecorder | None" = None,
         rate_limit: SimulatedRateLimit | None = None,
+        wire_policy: WirePolicy | None = None,
     ) -> None:
         self.models: dict[str, LanguageModel] = dict(models or {})
         self.clock = clock or VirtualClock()
         self.noise_policy = noise_policy
+        #: How wire providers instantiated for this client reach the
+        #: network (:class:`~repro.llm.providers.wire.WirePolicy`);
+        #: ``None`` resolves from the environment (hermetic by default).
+        self.wire_policy = wire_policy
         #: Optional provider-side throttling for the simulated family
         #: (:class:`~repro.llm.ratelimit.SimulatedRateLimit`); ``None``
         #: means simulated models never refuse.

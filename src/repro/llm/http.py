@@ -1,0 +1,383 @@
+"""Zero-dependency HTTP substrate for the wire providers.
+
+Real backends (OpenAI, Anthropic, Gemini) differ only in how a chat
+request is marshalled; everything transport-shaped is identical and
+lives here, built purely on the standard library (``urllib`` over
+``http.client``) so the repo stays free of SDK dependencies:
+
+* :class:`HTTPRequest` / :class:`HTTPResponse` -- the value objects one
+  wire exchange is made of.  A *transport* is any callable mapping a
+  request to a response: :class:`UrllibTransport` does real sockets,
+  :class:`~repro.llm.cassette.CassetteTransport` replays recordings,
+  and tests script arbitrary faults.
+* :class:`HTTPClient` -- drives a transport and maps the outcome into
+  the typed error taxonomy of :mod:`repro.errors`
+  (:class:`~repro.errors.TransportError`,
+  :class:`~repro.errors.TransportTimeoutError` -- re-exported here as
+  ``TimeoutError`` -- :class:`~repro.errors.AuthError`,
+  :class:`~repro.errors.RateLimitError` carrying ``retry_after_s``,
+  :class:`~repro.errors.ServerError`,
+  :class:`~repro.errors.MalformedResponseError`).  Transient failures
+  (network errors, timeouts, 5xx) are retried with exponential backoff;
+  429s propagate immediately because admission control -- the
+  scheduler's requeue path or the client's naive backoff -- owns them.
+
+The taxonomy is exactly what the layers above key on: a 429 becomes the
+same :class:`~repro.errors.RateLimitError` the simulated rate limit
+raises, so the whole PR 1-3 scheduler/cache stack works unchanged
+against real wire protocols.
+"""
+
+from __future__ import annotations
+
+import builtins
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Mapping, Protocol, runtime_checkable
+
+from repro.errors import (
+    AuthError,
+    HTTPStatusError,
+    MalformedResponseError,
+    RateLimitError,
+    ServerError,
+    TransportError,
+    TransportTimeoutError,
+)
+
+#: The taxonomy name the ISSUE/paper-facing docs use; the class lives in
+#: :mod:`repro.errors` under a non-shadowing name.
+TimeoutError = TransportTimeoutError
+
+#: Default per-request timeout for live transports, in real seconds.
+DEFAULT_TIMEOUT_S = 30.0
+
+#: How many times :class:`HTTPClient` attempts one request before a
+#: transient failure (network error, timeout, 5xx) propagates.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: First retry backoff in real seconds; doubles per attempt.
+DEFAULT_BACKOFF_BASE_S = 0.5
+
+#: How much of an error body is kept on raised status errors.
+BODY_PREVIEW_BYTES = 400
+
+
+class HTTPRequest:
+    """One wire request: method, URL, headers, raw body bytes."""
+
+    __slots__ = ("method", "url", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        url: str,
+        headers: Mapping[str, str] | None = None,
+        body: bytes | None = None,
+    ) -> None:
+        self.method = method.upper()
+        self.url = url
+        self.headers = dict(headers or {})
+        self.body = body
+
+    @classmethod
+    def json_request(
+        cls,
+        method: str,
+        url: str,
+        payload: Any,
+        headers: Mapping[str, str] | None = None,
+    ) -> "HTTPRequest":
+        """A request whose body is ``payload`` serialized as JSON."""
+        merged = {"Content-Type": "application/json", **(headers or {})}
+        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+        return cls(method, url, merged, body)
+
+    def json(self) -> Any:
+        """The body decoded as JSON (``None`` for a bodyless request)."""
+        if self.body is None:
+            return None
+        return json.loads(self.body.decode("utf-8"))
+
+    def __repr__(self) -> str:
+        size = len(self.body) if self.body is not None else 0
+        return f"HTTPRequest({self.method} {self.url}, {size} body bytes)"
+
+
+class HTTPResponse:
+    """One wire response: status, headers, raw body, elapsed time.
+
+    ``elapsed_s`` is the transport's measured round-trip in seconds --
+    real time for live transports, the *recorded* round-trip for
+    cassette replays, which is what keeps replayed latency accounting
+    deterministic.
+    """
+
+    __slots__ = ("status", "headers", "body", "elapsed_s")
+
+    def __init__(
+        self,
+        status: int,
+        headers: Mapping[str, str] | None = None,
+        body: bytes = b"",
+        elapsed_s: float = 0.0,
+    ) -> None:
+        self.status = status
+        self.headers = dict(headers or {})
+        self.body = body
+        self.elapsed_s = elapsed_s
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """A header value by case-insensitive name."""
+        lowered = name.lower()
+        for key, value in self.headers.items():
+            if key.lower() == lowered:
+                return value
+        return default
+
+    def json(self) -> Any:
+        """The body decoded as JSON (raises ``ValueError`` when it isn't)."""
+        return json.loads(self.body.decode("utf-8"))
+
+    def __repr__(self) -> str:
+        return f"HTTPResponse({self.status}, {len(self.body)} body bytes)"
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Anything that exchanges an :class:`HTTPRequest` for a response.
+
+    Implementations raise :class:`~repro.errors.TransportError` (or a
+    subclass) for failures below the HTTP layer and return a response --
+    *whatever its status* -- once one arrives; status classification is
+    :class:`HTTPClient`'s job, so live, cassette, and fault-injection
+    transports all flow through identical error handling.
+    """
+
+    def __call__(self, request: HTTPRequest) -> HTTPResponse:
+        """Perform one exchange."""
+        ...
+
+
+class UrllibTransport:
+    """The live transport: stdlib ``urllib`` over real sockets."""
+
+    def __init__(self, timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
+        self.timeout_s = timeout_s
+
+    def __call__(self, request: HTTPRequest) -> HTTPResponse:
+        """Send ``request`` over the network; never raises for status."""
+        wire = urllib.request.Request(
+            request.url,
+            data=request.body,
+            headers=dict(request.headers),
+            method=request.method,
+        )
+        started = time.monotonic()
+        try:
+            with urllib.request.urlopen(wire, timeout=self.timeout_s) as raw:
+                body = raw.read()
+                return HTTPResponse(
+                    raw.status,
+                    dict(raw.headers.items()),
+                    body,
+                    time.monotonic() - started,
+                )
+        except urllib.error.HTTPError as error:
+            # Non-2xx statuses arrive as exceptions from urllib; normalize
+            # them back into plain responses for uniform classification.
+            body = error.read()
+            return HTTPResponse(
+                error.code,
+                dict(error.headers.items()) if error.headers else {},
+                body,
+                time.monotonic() - started,
+            )
+        except urllib.error.URLError as error:
+            reason = getattr(error, "reason", error)
+            if isinstance(reason, (socket.timeout, builtins.TimeoutError)):
+                raise TransportTimeoutError(
+                    f"request to {request.url} timed out after {self.timeout_s}s",
+                    timeout_s=self.timeout_s,
+                    phase="connect",
+                    url=request.url,
+                    cause=error,
+                ) from error
+            raise TransportError(
+                f"request to {request.url} failed: {reason}",
+                url=request.url,
+                cause=error,
+            ) from error
+        except socket.timeout as error:
+            raise TransportTimeoutError(
+                f"request to {request.url} timed out after {self.timeout_s}s",
+                timeout_s=self.timeout_s,
+                phase="read",
+                url=request.url,
+                cause=error,
+            ) from error
+        except OSError as error:
+            raise TransportError(
+                f"request to {request.url} failed: {error}",
+                url=request.url,
+                cause=error,
+            ) from error
+
+
+def parse_retry_after(value: str | None) -> float | None:
+    """Seconds promised by a ``Retry-After`` header, or ``None``.
+
+    Only the delta-seconds form is honoured (every LLM provider uses
+    it); HTTP-date values and garbage parse to ``None`` so callers fall
+    back to their default penalty.
+    """
+    if value is None:
+        return None
+    try:
+        seconds = float(value.strip())
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
+
+
+class HTTPClient:
+    """Drives a transport and raises the typed taxonomy.
+
+    One client is shared per provider instance; it is stateless apart
+    from its retry knobs, so it is thread-safe by construction.  The
+    ``sleep`` hook exists so fault-injection tests can count backoffs
+    without waiting real time.
+    """
+
+    def __init__(
+        self,
+        transport: Transport | None = None,
+        *,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        # Identity check, not truthiness: an empty CassetteTransport is
+        # falsy (len() == 0) but must never be swapped for a live one.
+        self.transport: Transport = (
+            transport if transport is not None else UrllibTransport(timeout_s)
+        )
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self._sleep = sleep
+
+    def post_json(
+        self,
+        url: str,
+        payload: Any,
+        headers: Mapping[str, str] | None = None,
+        *,
+        model: str = "",
+    ) -> tuple[Any, HTTPResponse]:
+        """POST ``payload`` as JSON; returns ``(decoded_body, response)``."""
+        return self.send(
+            HTTPRequest.json_request("POST", url, payload, headers), model=model
+        )
+
+    def send(
+        self, request: HTTPRequest, *, model: str = ""
+    ) -> tuple[Any, HTTPResponse]:
+        """One classified exchange: ``(decoded JSON body, response)``.
+
+        Transient failures -- :class:`~repro.errors.TransportError`,
+        timeouts, 5xx -- are retried up to ``max_attempts`` with
+        exponential backoff (a 5xx ``Retry-After`` stretches the wait).
+        Everything else raises immediately: 401/403 as
+        :class:`~repro.errors.AuthError`, 429 as
+        :class:`~repro.errors.RateLimitError` with the server's
+        ``retry_after_s``, other non-2xx as
+        :class:`~repro.errors.HTTPStatusError`, and undecodable success
+        bodies as :class:`~repro.errors.MalformedResponseError`.
+        """
+        failure: TransportError | None = None
+        for attempt in range(self.max_attempts):
+            if attempt:
+                wait = self.backoff_base_s * (2.0 ** (attempt - 1))
+                if isinstance(failure, ServerError):
+                    wait = max(wait, failure.retry_after_s)
+                self._sleep(wait)
+            try:
+                response = self.transport(request)
+            except TransportError as error:
+                if not error.retryable:
+                    raise
+                failure = error
+                continue
+            try:
+                return self._classify(request, response, model), response
+            except ServerError as error:
+                failure = error
+                continue
+        assert failure is not None
+        raise failure
+
+    def _classify(
+        self, request: HTTPRequest, response: HTTPResponse, model: str
+    ) -> Any:
+        """Map one response to decoded JSON or the right taxonomy error."""
+        status = response.status
+        preview = response.body[:BODY_PREVIEW_BYTES].decode("utf-8", "replace")
+        if status in (401, 403):
+            raise AuthError(
+                f"{request.url} rejected the request's credentials "
+                f"(HTTP {status}): {preview}",
+                status=status,
+                body_preview=preview,
+                url=request.url,
+            )
+        if status == 429:
+            retry_after = parse_retry_after(response.header("Retry-After"))
+            raise RateLimitError(
+                f"{request.url} rate-limited the request (HTTP 429)",
+                retry_after_s=retry_after if retry_after is not None else 1.0,
+                model=model,
+            )
+        if status >= 500:
+            retry_after = parse_retry_after(response.header("Retry-After"))
+            raise ServerError(
+                f"{request.url} failed server-side (HTTP {status}): {preview}",
+                status=status,
+                retry_after_s=retry_after if retry_after is not None else 1.0,
+                body_preview=preview,
+                url=request.url,
+            )
+        if not 200 <= status < 300:
+            raise HTTPStatusError(
+                f"{request.url} answered HTTP {status}: {preview}",
+                status=status,
+                body_preview=preview,
+                url=request.url,
+            )
+        try:
+            return response.json()
+        except ValueError as error:
+            raise MalformedResponseError(
+                f"{request.url} returned undecodable JSON "
+                f"(HTTP {status}, {len(response.body)} bytes): {preview}",
+                url=request.url,
+                cause=error,
+            ) from error
+
+
+__all__ = [
+    "HTTPRequest",
+    "HTTPResponse",
+    "Transport",
+    "UrllibTransport",
+    "HTTPClient",
+    "parse_retry_after",
+    "TimeoutError",
+    "DEFAULT_TIMEOUT_S",
+    "DEFAULT_MAX_ATTEMPTS",
+]

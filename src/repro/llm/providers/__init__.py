@@ -21,9 +21,13 @@ import threading
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ConfigError
+from repro.llm.providers.anthropic import AnthropicProvider
 from repro.llm.providers.base import Provider, ProviderBase
+from repro.llm.providers.gemini import GeminiProvider
+from repro.llm.providers.openai import OpenAIProvider
 from repro.llm.providers.openai_stub import OpenAIStubProvider
 from repro.llm.providers.simulated import RegisteredModelProvider, SimulatedProvider
+from repro.llm.providers.wire import WirePolicy, WireProvider
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.llm.client import ChatClient
@@ -90,6 +94,21 @@ def resolve_factory(model: str) -> tuple[str, ProviderFactory]:
 
 register_provider(SIMULATED_PREFIX, SimulatedProvider)
 
+#: The real-wire adapters pre-registered by model-name prefix.  Hermetic
+#: by default: without ``REPRO_LIVE=1`` or a ``REPRO_CASSETTE_DIR``
+#: these providers refuse every exchange with a pointer at both opt-ins,
+#: so merely routing a ``gpt-``/``claude-``/``gemini-`` model name can
+#: never cause network traffic.
+WIRE_PROVIDERS: dict[str, ProviderFactory] = {
+    "gpt-": OpenAIProvider,
+    "openai-": OpenAIProvider,
+    "claude-": AnthropicProvider,
+    "gemini-": GeminiProvider,
+}
+for _prefix, _factory in WIRE_PROVIDERS.items():
+    register_provider(_prefix, _factory)
+del _prefix, _factory
+
 __all__ = [
     "Provider",
     "ProviderBase",
@@ -97,6 +116,12 @@ __all__ = [
     "SimulatedProvider",
     "RegisteredModelProvider",
     "OpenAIStubProvider",
+    "OpenAIProvider",
+    "AnthropicProvider",
+    "GeminiProvider",
+    "WireProvider",
+    "WirePolicy",
+    "WIRE_PROVIDERS",
     "register_provider",
     "unregister_provider",
     "registered_prefixes",

@@ -1,0 +1,76 @@
+"""The Anthropic wire adapter (Messages API shape).
+
+``POST {base}/v1/messages`` with ``x-api-key``/``anthropic-version``
+headers; system prompts ride in the dedicated ``system`` field, replies
+carry a ``content`` block list and ``usage`` with
+``input_tokens``/``output_tokens``.
+
+Registered for the ``claude-`` model-name prefix.  The key comes from
+``ANTHROPIC_API_KEY``; ``ANTHROPIC_BASE_URL`` overrides the endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.llm.base import ChatMessage
+from repro.llm.http import HTTPRequest
+from repro.llm.providers.wire import WireProvider
+
+#: The Messages API requires an explicit completion budget.
+DEFAULT_MAX_TOKENS = 1024
+
+#: Pinned wire protocol version (the API requires the header).
+ANTHROPIC_VERSION = "2023-06-01"
+
+
+class AnthropicProvider(WireProvider):
+    """Real Anthropic Messages backend over the shared transport."""
+
+    name = "anthropic"
+    api_key_env = "ANTHROPIC_API_KEY"
+    base_url_env = "ANTHROPIC_BASE_URL"
+    default_base_url = "https://api.anthropic.com"
+
+    #: Completion budget sent as ``max_tokens`` (the API mandates one).
+    max_tokens = DEFAULT_MAX_TOKENS
+
+    def build_request(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> HTTPRequest:
+        """``POST /v1/messages`` with system text split out of the turns."""
+        system, turns = self.split_system(messages)
+        payload = {
+            "model": model,
+            "max_tokens": self.max_tokens,
+            "temperature": temperature,
+            "messages": [
+                {"role": message.role, "content": message.content}
+                for message in turns
+            ],
+        }
+        if system:
+            payload["system"] = system
+        return HTTPRequest.json_request(
+            "POST",
+            f"{self.base_url}/v1/messages",
+            payload,
+            {
+                "x-api-key": self.api_key(),
+                "anthropic-version": ANTHROPIC_VERSION,
+            },
+        )
+
+    def parse_payload(self, payload: dict) -> tuple[str, int, int]:
+        """Concatenated text blocks plus input/output token usage."""
+        text = "".join(
+            block["text"]
+            for block in payload["content"]
+            if block.get("type") == "text"
+        )
+        usage = payload.get("usage", {})
+        return (
+            text,
+            usage.get("input_tokens", 0),
+            usage.get("output_tokens", 0),
+        )

@@ -1,0 +1,74 @@
+"""The Gemini wire adapter (``generateContent`` shape).
+
+``POST {base}/models/{model}:generateContent`` with the key in the
+``x-goog-api-key`` header (never in the URL, so recordings and logs
+stay secret-free); chat turns become ``contents`` with ``user``/
+``model`` roles, system prompts ride in ``systemInstruction``, replies
+carry ``candidates`` and ``usageMetadata``.
+
+Registered for the ``gemini-`` model-name prefix.  The key comes from
+``GEMINI_API_KEY`` (falling back to ``GOOGLE_API_KEY``);
+``GEMINI_BASE_URL`` overrides the endpoint.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.llm.base import ChatMessage
+from repro.llm.http import HTTPRequest
+from repro.llm.providers.wire import WireProvider
+
+class GeminiProvider(WireProvider):
+    """Real Gemini ``generateContent`` backend over the shared transport."""
+
+    name = "gemini"
+    api_key_env = "GEMINI_API_KEY"
+    base_url_env = "GEMINI_BASE_URL"
+    default_base_url = "https://generativelanguage.googleapis.com/v1beta"
+
+    def api_key(self) -> str:
+        """``GEMINI_API_KEY`` with a ``GOOGLE_API_KEY`` fallback."""
+        if not self._api_key and not os.environ.get(self.api_key_env):
+            fallback = os.environ.get("GOOGLE_API_KEY")
+            if fallback:
+                return fallback
+        return super().api_key()
+
+    def build_request(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> HTTPRequest:
+        """``POST /models/{model}:generateContent`` with role-mapped turns."""
+        system, turns = self.split_system(messages)
+        payload: dict = {
+            "contents": [
+                {
+                    "role": "model" if message.role == "assistant" else "user",
+                    "parts": [{"text": message.content}],
+                }
+                for message in turns
+            ],
+            "generationConfig": {"temperature": temperature},
+        }
+        if system:
+            payload["systemInstruction"] = {"parts": [{"text": system}]}
+        return HTTPRequest.json_request(
+            "POST",
+            f"{self.base_url}/models/{model}:generateContent",
+            payload,
+            {"x-goog-api-key": self.api_key()},
+        )
+
+    def parse_payload(self, payload: dict) -> tuple[str, int, int]:
+        """First candidate's concatenated parts plus ``usageMetadata``."""
+        candidate = payload["candidates"][0]
+        text = "".join(
+            part.get("text", "") for part in candidate["content"]["parts"]
+        )
+        usage = payload.get("usageMetadata", {})
+        return (
+            text,
+            usage.get("promptTokenCount", 0),
+            usage.get("candidatesTokenCount", 0),
+        )

@@ -1,0 +1,71 @@
+"""The OpenAI wire adapter (``chat.completions`` shape).
+
+Canonical request/response marshalling for OpenAI-compatible endpoints
+-- ``POST {base}/chat/completions`` with ``model``/``messages``/
+``temperature``, replies carrying ``choices`` and ``usage``.  This is
+the one OpenAI code path in the registry: the local test stub
+(:mod:`repro.llm.providers.openai_stub`) subclasses it and swaps the
+transport, so the stub exercises exactly these adapters.
+
+Registered for the ``gpt-`` and ``openai-`` model-name prefixes.  The
+key comes from ``OPENAI_API_KEY``; ``OPENAI_BASE_URL`` points the
+adapter at any compatible endpoint (proxies, local servers).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.llm.base import ChatMessage
+from repro.llm.http import HTTPRequest
+from repro.llm.providers.wire import WireProvider
+
+class OpenAIProvider(WireProvider):
+    """Real OpenAI ``chat.completions`` backend over the shared transport."""
+
+    name = "openai"
+    api_key_env = "OPENAI_API_KEY"
+    base_url_env = "OPENAI_BASE_URL"
+    default_base_url = "https://api.openai.com/v1"
+
+    def build_request(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> HTTPRequest:
+        """``POST /chat/completions`` with the standard body shape."""
+        payload = {
+            "model": self.wire_model(model),
+            "temperature": temperature,
+            "messages": [
+                {"role": message.role, "content": message.content}
+                for message in messages
+            ],
+        }
+        return HTTPRequest.json_request(
+            "POST",
+            f"{self.base_url}/chat/completions",
+            payload,
+            {"Authorization": f"Bearer {self.api_key()}"},
+        )
+
+    def parse_payload(self, payload: dict) -> tuple[str, int, int]:
+        """First choice's message content plus the usage block."""
+        text = payload["choices"][0]["message"]["content"]
+        usage = payload.get("usage", {})
+        return (
+            text,
+            usage.get("prompt_tokens", 0),
+            usage.get("completion_tokens", 0),
+        )
+
+    @staticmethod
+    def wire_model(model: str) -> str:
+        """The model name sent on the wire.
+
+        The registry routes ``openai-<name>`` here as a namespaced
+        alias; the prefix is stripped so ``openai-gpt-4o-mini`` asks
+        the endpoint for ``gpt-4o-mini``.  Bare ``gpt-*`` names pass
+        through untouched.
+        """
+        if model.startswith("openai-"):
+            return model[len("openai-"):]
+        return model

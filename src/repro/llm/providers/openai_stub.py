@@ -1,24 +1,28 @@
-"""An OpenAI-shaped provider stub.
+"""The OpenAI test stub, subsumed by the real adapter.
 
-This provider speaks the ``chat.completions`` wire shape -- a request dict
-with ``model``/``messages``/``temperature``, a response dict with
-``choices`` and ``usage`` -- without any network or SDK.  It exists to
-prove the provider seam: everything a real hosted adapter would do
-(marshal the request, unmarshal the reply, account tokens) happens here
-against a local responder, so swapping in the real OpenAI client is a
-transport change only.
+Historically this module carried its own copy of the
+``chat.completions`` wire shape.  Now that a real adapter exists
+(:class:`repro.llm.providers.openai.OpenAIProvider`), the stub is a
+thin subclass that swaps the network for an in-process responder: the
+request the responder receives and the reply it returns pass through
+*exactly* the canonical adapter's marshalling and the shared
+:class:`~repro.llm.http.HTTPClient` classification, so there is one
+OpenAI code path in the registry and the stub can never drift from it.
 
 Tests register it under a prefix of their choosing via
-:func:`repro.llm.providers.register_provider` to demonstrate third-party
-backends without touching ``ChatClient``.
+:func:`repro.llm.providers.register_provider`; a custom ``responder``
+(a ``dict -> dict`` function over the wire shapes) scripts the replies.
 """
 
 from __future__ import annotations
 
+import json
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.llm.base import ChatMessage, CompletionResult, Usage
-from repro.llm.providers.base import ProviderBase
+from repro.llm.http import HTTPClient, HTTPRequest, HTTPResponse
+from repro.llm.providers.openai import OpenAIProvider
+from repro.llm.providers.wire import WirePolicy
 from repro.llm.tokenizer import count_tokens
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -26,6 +30,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Seconds of simulated latency the stub reports per completion.
 STUB_LATENCY_S = 0.01
+
+Responder = Callable[[dict[str, Any]], dict[str, Any]]
 
 
 def _echo_responder(request: dict[str, Any]) -> dict[str, Any]:
@@ -53,8 +59,24 @@ def _echo_responder(request: dict[str, Any]) -> dict[str, Any]:
     }
 
 
-class OpenAIStubProvider(ProviderBase):
-    """OpenAI-wire-shaped provider with a pluggable local responder."""
+class _ResponderTransport:
+    """A :class:`~repro.llm.http.Transport` backed by a local responder."""
+
+    def __init__(self, responder: Responder) -> None:
+        self._responder = responder
+
+    def __call__(self, request: HTTPRequest) -> HTTPResponse:
+        reply = self._responder(request.json())
+        return HTTPResponse(
+            200,
+            {"Content-Type": "application/json"},
+            json.dumps(reply, ensure_ascii=False).encode("utf-8"),
+            STUB_LATENCY_S,
+        )
+
+
+class OpenAIStubProvider(OpenAIProvider):
+    """The canonical OpenAI adapter mounted on an in-process responder."""
 
     name = "openai-stub"
     supports_async = True
@@ -63,51 +85,56 @@ class OpenAIStubProvider(ProviderBase):
     def __init__(
         self,
         client: "ChatClient | None" = None,
-        responder: Callable[[dict[str, Any]], dict[str, Any]] | None = None,
+        responder: Responder | None = None,
     ) -> None:
         # ``client`` is accepted (and ignored) so the class itself can be
         # passed to register_provider as a factory.
-        self._responder = responder or _echo_responder
-
-    # -- wire marshalling ---------------------------------------------------
-
-    @staticmethod
-    def build_request(
-        model: str, messages: Sequence[ChatMessage], temperature: float
-    ) -> dict[str, Any]:
-        return {
-            "model": model,
-            "temperature": temperature,
-            "messages": [
-                {"role": message.role, "content": message.content}
-                for message in messages
-            ],
-        }
-
-    @staticmethod
-    def parse_response(response: dict[str, Any]) -> CompletionResult:
-        choice = response["choices"][0]
-        usage = response.get("usage", {})
-        return CompletionResult(
-            choice["message"]["content"],
-            Usage(
-                usage.get("prompt_tokens", 0),
-                usage.get("completion_tokens", 0),
-            ),
-            STUB_LATENCY_S,
-            response["model"],
+        super().__init__(
+            None,
+            api_key="stub-key",
+            policy=WirePolicy(live=False, cassette_dir=None, env={}),
+            http=HTTPClient(_ResponderTransport(responder or _echo_responder)),
         )
 
-    # -- Provider -----------------------------------------------------------
+    # -- wire marshalling (back-compat dict shapes) --------------------------
+
+    def build_request(  # type: ignore[override]
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> dict[str, Any]:
+        """The request *body* as a dict (the stub's historical shape).
+
+        The real adapter's :meth:`OpenAIProvider.build_request` returns
+        a full :class:`~repro.llm.http.HTTPRequest`; the stub keeps its
+        original dict-shaped helper for tests that inspect the wire
+        body directly, and rebuilds the HTTP envelope in
+        :meth:`wire_request`.
+        """
+        return super().build_request(model, messages, temperature).json()
+
+    def wire_request(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> HTTPRequest:
+        """The full HTTP envelope the canonical adapter would send."""
+        return OpenAIProvider.build_request(self, model, messages, temperature)
+
+    # -- Provider ------------------------------------------------------------
 
     def complete(
         self, model: str, messages: Sequence[ChatMessage], temperature: float
     ) -> CompletionResult:
-        request = self.build_request(model, messages, temperature)
-        return self.parse_response(self._responder(request))
+        """Serve one completion through the canonical adapter pipeline."""
+        request = self.wire_request(model, messages, temperature)
+        payload, response = self.http.send(request, model=model)
+        text, prompt_tokens, completion_tokens = self.parse_payload(payload)
+        return CompletionResult(
+            text,
+            Usage(int(prompt_tokens), int(completion_tokens)),
+            response.elapsed_s,
+            model,
+        )
 
     async def acomplete(
         self, model: str, messages: Sequence[ChatMessage], temperature: float
     ) -> CompletionResult:
-        # Native async path: no thread hop, the responder is local.
+        """Native async path: no thread hop, the responder is local."""
         return self.complete(model, messages, temperature)

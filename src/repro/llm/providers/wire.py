@@ -1,0 +1,278 @@
+"""Shared machinery for real HTTP providers.
+
+A wire provider is an adapter pair -- build the provider's request
+shape, parse its response shape -- mounted on the shared transport
+stack (:mod:`repro.llm.http`, :mod:`repro.llm.cassette`).  Everything
+else is common and lives here:
+
+* :class:`WirePolicy` -- how the network is reached.  Resolved from the
+  environment by default: tier-1 never goes live (``REPRO_LIVE=1`` is
+  the explicit opt-in), and a cassette directory
+  (``REPRO_CASSETTE_DIR``) makes the identical code path hermetic by
+  replaying recordings.
+* :class:`WireProvider` -- the :class:`~repro.llm.providers.base.Provider`
+  implementation: API-key resolution from environment variables,
+  request/response plumbing through :class:`~repro.llm.http.HTTPClient`
+  (which owns the error taxonomy, retries, and 429 mapping), usage
+  accounting, and latency taken from the transport's measured (or
+  recorded) round-trip so virtual clocks stay meaningful.
+
+The seam to the rest of the stack is exactly the simulated provider's:
+a 429 surfaces as :class:`~repro.errors.RateLimitError` with the
+server's ``retry_after_s``, so the scheduler's requeue path, AIMD
+window, and the naive-backoff fallback all apply unchanged to real
+backends.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import AuthError, ConfigError, MalformedResponseError
+from repro.llm.base import ChatMessage, CompletionResult, Usage
+from repro.llm.cassette import CASSETTE_MODES, CassetteTransport
+from repro.llm.http import (
+    DEFAULT_TIMEOUT_S,
+    HTTPClient,
+    HTTPRequest,
+    Transport,
+    UrllibTransport,
+)
+from repro.llm.providers.base import ProviderBase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.llm.client import ChatClient
+
+#: Environment flag that permits live network traffic (opt-in).
+LIVE_ENV = "REPRO_LIVE"
+
+#: Environment variable naming the cassette directory.
+CASSETTE_DIR_ENV = "REPRO_CASSETTE_DIR"
+
+#: Environment variable overriding the cassette mode.
+CASSETTE_MODE_ENV = "REPRO_CASSETTE_MODE"
+
+#: Placeholder credential used when replaying cassettes without a key
+#: (credentials are redacted out of recordings and key derivation, so
+#: replay runs never need the real secret).
+REPLAY_PLACEHOLDER_KEY = "cassette-replay-placeholder"
+
+
+def live_enabled(env: dict[str, str] | None = None) -> bool:
+    """Whether the environment opts into real network traffic."""
+    return (env if env is not None else os.environ).get(LIVE_ENV) == "1"
+
+
+class WirePolicy:
+    """How wire providers reach (or avoid) the network.
+
+    ``None`` fields resolve from the environment at construction:
+    ``REPRO_LIVE=1`` enables live traffic, ``REPRO_CASSETTE_DIR`` names
+    the recording directory, and ``REPRO_CASSETTE_MODE`` forces a
+    cassette mode.  The default cassette mode is ``auto`` when live
+    (replay what exists, record what doesn't) and strict ``replay``
+    otherwise -- so the hermetic configuration is the zero-setup one.
+
+    With neither live mode nor a cassette directory, providers are
+    *offline*: any attempted exchange raises a
+    :class:`~repro.errors.TransportError` pointing at both opt-ins,
+    which is what keeps tier-1 incapable of accidental network calls.
+    """
+
+    __slots__ = ("live", "cassette_dir", "cassette_mode", "timeout_s")
+
+    def __init__(
+        self,
+        live: bool | None = None,
+        cassette_dir: Path | str | None = None,
+        cassette_mode: str | None = None,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        env: dict[str, str] | None = None,
+    ) -> None:
+        environ = env if env is not None else dict(os.environ)
+        self.live = live_enabled(environ) if live is None else live
+        if cassette_dir is None:
+            from_env = environ.get(CASSETTE_DIR_ENV)
+            cassette_dir = Path(from_env) if from_env else None
+        self.cassette_dir = Path(cassette_dir) if cassette_dir is not None else None
+        if cassette_mode is None:
+            cassette_mode = environ.get(CASSETTE_MODE_ENV) or (
+                "auto" if self.live else "replay"
+            )
+        if cassette_mode not in CASSETTE_MODES:
+            raise ConfigError(
+                f"cassette mode must be one of {CASSETTE_MODES}, "
+                f"got {cassette_mode!r}"
+            )
+        self.cassette_mode = cassette_mode
+        self.timeout_s = timeout_s
+
+    def transport(self) -> Transport:
+        """The transport this policy prescribes.
+
+        Live + cassette records through the cassette; cassette alone
+        replays strictly; live alone goes straight to the wire; neither
+        yields an offline transport that fails with pointers to both
+        opt-ins.
+        """
+        inner = UrllibTransport(self.timeout_s) if self.live else None
+        if self.cassette_dir is not None:
+            return CassetteTransport(
+                self.cassette_dir, mode=self.cassette_mode, inner=inner
+            )
+        if inner is not None:
+            return inner
+        return _offline_transport
+
+    def __repr__(self) -> str:
+        where = str(self.cassette_dir) if self.cassette_dir else None
+        return (
+            f"WirePolicy(live={self.live}, cassette_dir={where!r}, "
+            f"cassette_mode={self.cassette_mode!r})"
+        )
+
+
+def _offline_transport(request: HTTPRequest) -> Any:
+    """The no-network default: every exchange fails with the opt-ins."""
+    from repro.errors import TransportError
+    from repro.llm.cassette import redact_url
+
+    error = TransportError(
+        f"wire providers are offline by default (attempted {request.method} "
+        f"{redact_url(request.url)}); set {LIVE_ENV}=1 for live traffic or "
+        f"point {CASSETTE_DIR_ENV} at a recorded cassette directory",
+        url=redact_url(request.url),
+    )
+    error.retryable = False  # retrying an offline transport cannot help
+    raise error
+
+
+class WireProvider(ProviderBase):
+    """Base class of the real HTTP chat providers.
+
+    Subclasses define the adapter pair :meth:`build_request` /
+    :meth:`parse_payload` plus their identity (``name``,
+    ``api_key_env``, ``default_base_url``, ``base_url_env``); this base
+    provides key/transport resolution and the complete() pipeline.
+
+    Construction order for the transport: an explicit ``http`` client
+    wins, then an explicit ``policy``, then the owning
+    :class:`~repro.llm.client.ChatClient`'s ``wire_policy``, then the
+    environment.  ``deterministic`` stays ``False``: hosted endpoints
+    sample (cassette replays are deterministic, but the *provider
+    contract* is what batch dedup consults, and claiming determinism
+    would collapse distinct live samples).
+    """
+
+    name = "wire"
+    supports_async = False
+    deterministic = False
+
+    #: Environment variable holding the API key (subclass sets).
+    api_key_env = ""
+    #: Environment variable overriding the endpoint base URL.
+    base_url_env = ""
+    #: Default endpoint base URL (subclass sets).
+    default_base_url = ""
+
+    def __init__(
+        self,
+        client: "ChatClient | None" = None,
+        *,
+        api_key: str | None = None,
+        base_url: str | None = None,
+        policy: WirePolicy | None = None,
+        http: HTTPClient | None = None,
+    ) -> None:
+        if policy is None:
+            policy = getattr(client, "wire_policy", None) or WirePolicy()
+        self.policy = policy
+        self._api_key = api_key
+        self.base_url = (
+            base_url
+            or (os.environ.get(self.base_url_env) if self.base_url_env else None)
+            or self.default_base_url
+        ).rstrip("/")
+        self.http = http or HTTPClient(
+            policy.transport(), timeout_s=policy.timeout_s
+        )
+
+    # -- credentials --------------------------------------------------------
+
+    def api_key(self) -> str:
+        """The credential sent with live requests.
+
+        Explicit key, else the provider's environment variable.  A
+        missing key is an :class:`~repro.errors.AuthError` only when
+        the policy is live; hermetic replay runs get a placeholder
+        (recordings neither store nor key on credentials).
+        """
+        if self._api_key:
+            return self._api_key
+        from_env = os.environ.get(self.api_key_env, "") if self.api_key_env else ""
+        if from_env:
+            return from_env
+        if self.policy.live:
+            raise AuthError(
+                f"provider {self.name!r} needs an API key: set "
+                f"{self.api_key_env} (or pass api_key=...)",
+            )
+        return REPLAY_PLACEHOLDER_KEY
+
+    # -- the adapter pair (subclass implements) ------------------------------
+
+    def build_request(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> HTTPRequest:
+        """Marshal one chat completion into the provider's wire shape."""
+        raise NotImplementedError
+
+    def parse_payload(self, payload: dict) -> tuple[str, int, int]:
+        """Unmarshal a success body to ``(text, prompt_tokens, completion_tokens)``.
+
+        Raise ``KeyError``/``IndexError``/``TypeError`` freely; the
+        pipeline wraps them as
+        :class:`~repro.errors.MalformedResponseError`.
+        """
+        raise NotImplementedError
+
+    # -- Provider ------------------------------------------------------------
+
+    def complete(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> CompletionResult:
+        """One wire round-trip mapped into a :class:`CompletionResult`."""
+        request = self.build_request(model, messages, temperature)
+        payload, response = self.http.send(request, model=model)
+        try:
+            text, prompt_tokens, completion_tokens = self.parse_payload(payload)
+        except (KeyError, IndexError, TypeError, ValueError) as error:
+            raise MalformedResponseError(
+                f"{self.name} response for model {model!r} is missing the "
+                f"fields its wire shape guarantees: {error!r}",
+                url=request.url,
+                cause=error,
+            ) from error
+        return CompletionResult(
+            text,
+            Usage(int(prompt_tokens), int(completion_tokens)),
+            response.elapsed_s,
+            model,
+        )
+
+    @staticmethod
+    def split_system(
+        messages: Sequence[ChatMessage],
+    ) -> tuple[str, list[ChatMessage]]:
+        """``(joined system text, non-system messages)`` -- the shape
+        Anthropic and Gemini want system prompts in."""
+        system = "\n\n".join(
+            message.content for message in messages if message.role == "system"
+        )
+        rest = [message for message in messages if message.role != "system"]
+        return system, rest
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(base_url={self.base_url!r}, {self.policy!r})"

@@ -1,9 +1,54 @@
-"""Shared fixtures: quiet/noisy AskIt configurations with isolated caches."""
+"""Shared fixtures: quiet/noisy AskIt configurations with isolated caches.
+
+Also home of the tier-1 hermeticity guard: an autouse fixture blocks
+every real socket connection, so an accidental live HTTP call from any
+test fails loudly instead of flaking on (or leaking traffic to) the
+network.  Wire-provider code paths are exercised through fakes and
+recorded cassettes; only tests marked ``live`` *and* run with
+``REPRO_LIVE=1`` may touch the wire.
+"""
+
+import os
+import socket
 
 import pytest
 
 from repro.core import config_override
 from repro.llm import ChatClient, NoisePolicy, QUIET
+
+_BLOCK_MESSAGE = (
+    "tier-1 tests are hermetic: network access is blocked (attempted "
+    "connection to {address!r}). Route wire traffic through a recorded "
+    "cassette (REPRO_CASSETTE_DIR) or a fake transport; genuinely live "
+    "tests must carry @pytest.mark.live and run with REPRO_LIVE=1."
+)
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_network(request, monkeypatch):
+    """Fail any test that opens a real network connection.
+
+    Tests marked ``live`` keep their sockets only when the environment
+    opts in with ``REPRO_LIVE=1`` -- without the flag they are expected
+    to skip themselves before touching the network.
+    """
+    if (
+        request.node.get_closest_marker("live") is not None
+        and os.environ.get("REPRO_LIVE") == "1"
+    ):
+        yield
+        return
+
+    def _blocked_connect(self, address, *args, **kwargs):
+        raise RuntimeError(_BLOCK_MESSAGE.format(address=address))
+
+    def _blocked_create_connection(address, *args, **kwargs):
+        raise RuntimeError(_BLOCK_MESSAGE.format(address=address))
+
+    monkeypatch.setattr(socket.socket, "connect", _blocked_connect)
+    monkeypatch.setattr(socket.socket, "connect_ex", _blocked_connect)
+    monkeypatch.setattr(socket, "create_connection", _blocked_create_connection)
+    yield
 
 
 @pytest.fixture

@@ -1,0 +1,153 @@
+"""Fault-injection fakes for the wire-transport stack.
+
+:class:`ScriptedTransport` is a :class:`~repro.llm.http.Transport` that
+plays back a script of outcomes -- responses, taxonomy errors, or
+callables -- one per exchange, recording every request it saw.  It is
+how the tests drive every branch of the transport error taxonomy
+(timeouts, auth failures, 429 with and without ``Retry-After``, 5xx,
+malformed bodies) through the *identical* code path live traffic takes.
+
+Helpers build well-formed wire replies for each provider shape so
+adapter tests read as data, not plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterable
+
+from repro.llm.http import HTTPRequest, HTTPResponse
+
+Outcome = Any  # HTTPResponse | BaseException | Callable[[HTTPRequest], HTTPResponse]
+
+
+class ScriptedTransport:
+    """Replays a scripted sequence of outcomes, one per exchange.
+
+    Each element of ``script`` is an :class:`HTTPResponse` to return,
+    an exception instance to raise, or a callable taking the request.
+    When the script runs dry the last element repeats (so a one-element
+    script behaves like a constant responder).  Every request is
+    appended to :attr:`requests` for assertions.
+    """
+
+    def __init__(self, script: Iterable[Outcome]) -> None:
+        self.script: list[Outcome] = list(script)
+        if not self.script:
+            raise ValueError("ScriptedTransport needs at least one outcome")
+        self.requests: list[HTTPRequest] = []
+        self.calls = 0
+
+    def __call__(self, request: HTTPRequest) -> HTTPResponse:
+        self.requests.append(request)
+        index = min(self.calls, len(self.script) - 1)
+        self.calls += 1
+        outcome = self.script[index]
+        if isinstance(outcome, BaseException):
+            raise outcome
+        if callable(outcome) and not isinstance(outcome, HTTPResponse):
+            return outcome(request)
+        return outcome
+
+
+def json_response(
+    payload: Any,
+    status: int = 200,
+    headers: dict[str, str] | None = None,
+    elapsed_s: float = 0.25,
+) -> HTTPResponse:
+    """An :class:`HTTPResponse` carrying ``payload`` as a JSON body."""
+    merged = {"Content-Type": "application/json", **(headers or {})}
+    return HTTPResponse(
+        status, merged, json.dumps(payload, ensure_ascii=False).encode("utf-8"), elapsed_s
+    )
+
+
+def error_response(
+    status: int,
+    body: str = "",
+    headers: dict[str, str] | None = None,
+    elapsed_s: float = 0.05,
+) -> HTTPResponse:
+    """A non-2xx response with a plain-text body."""
+    return HTTPResponse(status, dict(headers or {}), body.encode("utf-8"), elapsed_s)
+
+
+def truncated_json_response(status: int = 200) -> HTTPResponse:
+    """A success response whose JSON body was cut off mid-stream."""
+    return HTTPResponse(
+        status,
+        {"Content-Type": "application/json"},
+        b'{"choices": [{"message": {"content": "hal',
+        0.05,
+    )
+
+
+def openai_reply(
+    text: str, model: str = "gpt-test", prompt_tokens: int = 7, completion_tokens: int = 5
+) -> dict:
+    """A minimal, well-formed ``chat.completions`` response body."""
+    return {
+        "id": "chatcmpl-fake",
+        "object": "chat.completion",
+        "model": model,
+        "choices": [
+            {
+                "index": 0,
+                "message": {"role": "assistant", "content": text},
+                "finish_reason": "stop",
+            }
+        ],
+        "usage": {
+            "prompt_tokens": prompt_tokens,
+            "completion_tokens": completion_tokens,
+        },
+    }
+
+
+def anthropic_reply(
+    text: str, model: str = "claude-test", input_tokens: int = 7, output_tokens: int = 5
+) -> dict:
+    """A minimal, well-formed Messages API response body."""
+    return {
+        "id": "msg-fake",
+        "type": "message",
+        "role": "assistant",
+        "model": model,
+        "content": [{"type": "text", "text": text}],
+        "stop_reason": "end_turn",
+        "usage": {"input_tokens": input_tokens, "output_tokens": output_tokens},
+    }
+
+
+def gemini_reply(
+    text: str, prompt_tokens: int = 7, completion_tokens: int = 5
+) -> dict:
+    """A minimal, well-formed ``generateContent`` response body."""
+    return {
+        "candidates": [
+            {
+                "content": {"role": "model", "parts": [{"text": text}]},
+                "finishReason": "STOP",
+            }
+        ],
+        "usageMetadata": {
+            "promptTokenCount": prompt_tokens,
+            "candidatesTokenCount": completion_tokens,
+            "totalTokenCount": prompt_tokens + completion_tokens,
+        },
+    }
+
+
+def no_sleep(_seconds: float) -> None:
+    """A ``sleep`` stand-in so retry backoffs cost no real time."""
+
+
+class SleepRecorder:
+    """A ``sleep`` stand-in that records every requested backoff."""
+
+    def __init__(self) -> None:
+        self.waits: list[float] = []
+
+    def __call__(self, seconds: float) -> None:
+        self.waits.append(seconds)

@@ -1,0 +1,252 @@
+"""Cassette record/replay: round-trips, key stability, strict misses, redaction.
+
+The contract under test is the one that keeps tier-1 hermetic while the
+identical provider code path can hit live backends: record once through
+any transport, replay forever from disk with sockets blocked, and never
+let a credential reach a recorded file.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import CassetteMissError, ConfigError, TransportError
+from repro.llm.cassette import (
+    CASSETTE_FORMAT_VERSION,
+    REDACTED,
+    CassetteTransport,
+    cassette_key,
+    redact_headers,
+    redact_url,
+)
+from repro.llm.http import HTTPClient, HTTPRequest, HTTPResponse
+
+from tests.llm.fakes import ScriptedTransport, json_response
+
+
+def wire_request(
+    body=None, url="https://api.example.test/v1/chat", headers=None
+) -> HTTPRequest:
+    payload = {"model": "gpt-test", "messages": [{"role": "user", "content": "hi"}]}
+    return HTTPRequest.json_request("POST", url, body or payload, headers)
+
+
+class TestRoundTrip:
+    def test_record_then_replay_returns_identical_response(self, tmp_path):
+        reply = json_response({"answer": 42}, headers={"X-Request-Id": "abc"}, elapsed_s=0.9)
+        recorder = CassetteTransport(
+            tmp_path, mode="record", inner=ScriptedTransport([reply])
+        )
+        recorded = recorder(wire_request())
+        assert recorder.recorded == 1
+        assert len(recorder) == 1
+
+        replayer = CassetteTransport(tmp_path)  # strict replay, no inner
+        replayed = replayer(wire_request())
+        assert replayer.replayed == 1
+        assert replayed.status == recorded.status
+        assert replayed.body == recorded.body  # byte-identical
+        assert replayed.header("X-Request-Id") == "abc"
+        assert replayed.elapsed_s == pytest.approx(0.9)  # recorded latency survives
+
+    def test_auto_mode_records_misses_then_replays_hits(self, tmp_path):
+        inner = ScriptedTransport([json_response({"n": 1})])
+        cassette = CassetteTransport(tmp_path, mode="auto", inner=inner)
+        cassette(wire_request())
+        cassette(wire_request())
+        assert cassette.recorded == 1
+        assert cassette.replayed == 1
+        assert inner.calls == 1  # the second exchange never hit the inner transport
+
+    def test_replay_through_http_client_end_to_end(self, tmp_path):
+        recorder = CassetteTransport(
+            tmp_path, mode="record", inner=ScriptedTransport([json_response({"ok": True})])
+        )
+        recorder(wire_request())
+        payload, response = HTTPClient(CassetteTransport(tmp_path)).send(wire_request())
+        assert payload == {"ok": True}
+        assert response.status == 200
+
+    def test_record_mode_overwrites_stale_recordings(self, tmp_path):
+        first = CassetteTransport(
+            tmp_path, mode="record", inner=ScriptedTransport([json_response({"rev": 1})])
+        )
+        first(wire_request())
+        second = CassetteTransport(
+            tmp_path, mode="record", inner=ScriptedTransport([json_response({"rev": 2})])
+        )
+        second(wire_request())
+        assert len(second) == 1
+        assert json.loads(CassetteTransport(tmp_path)(wire_request()).body) == {"rev": 2}
+
+    def test_binary_response_body_survives_base64_round_trip(self, tmp_path):
+        blob = bytes(range(256))
+        recorder = CassetteTransport(
+            tmp_path, mode="record", inner=ScriptedTransport([HTTPResponse(200, {}, blob, 0.1)])
+        )
+        recorder(wire_request())
+        assert CassetteTransport(tmp_path)(wire_request()).body == blob
+
+
+class TestKeyStability:
+    def test_key_ignores_headers_and_body_key_order(self):
+        base = wire_request()
+        with_auth = wire_request(headers={"Authorization": "Bearer sk-secret"})
+        assert cassette_key(base) == cassette_key(with_auth)
+
+        shuffled = HTTPRequest(
+            "POST",
+            base.url,
+            dict(base.headers),
+            b'{"messages": [{"content": "hi", "role": "user"}], "model": "gpt-test"}',
+        )
+        assert cassette_key(base) == cassette_key(shuffled)
+
+    def test_key_distinguishes_distinct_requests(self):
+        assert cassette_key(wire_request()) != cassette_key(
+            wire_request(body={"model": "gpt-test", "messages": []})
+        )
+        assert cassette_key(wire_request()) != cassette_key(
+            wire_request(url="https://api.example.test/v2/chat")
+        )
+
+    def test_key_is_stable_across_processes(self, tmp_path):
+        """Same request hashes identically in a fresh interpreter.
+
+        This is what makes recordings shareable between machines and CI
+        runs: no per-process salt (PYTHONHASHSEED) may leak into keys.
+        """
+        here = cassette_key(wire_request())
+        script = (
+            "from repro.llm.cassette import cassette_key\n"
+            "from repro.llm.http import HTTPRequest\n"
+            "request = HTTPRequest.json_request(\n"
+            "    'POST', 'https://api.example.test/v1/chat',\n"
+            "    {'model': 'gpt-test', 'messages': [{'role': 'user', 'content': 'hi'}]},\n"
+            ")\n"
+            "print(cassette_key(request))\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src), "PYTHONHASHSEED": "12345"},
+            check=True,
+        )
+        assert result.stdout.strip() == here
+
+    def test_path_for_names_files_by_key(self, tmp_path):
+        cassette = CassetteTransport(tmp_path)
+        request = wire_request()
+        assert cassette.path_for(request) == tmp_path / f"{cassette_key(request)}.json"
+
+
+class TestStrictMisses:
+    def test_replay_miss_raises_cassette_miss_error(self, tmp_path):
+        cassette = CassetteTransport(tmp_path)
+        with pytest.raises(CassetteMissError) as info:
+            cassette(wire_request())
+        message = str(info.value)
+        assert info.value.key == cassette_key(wire_request())
+        assert "REPRO_LIVE=1" in message  # the fix is named in the error
+        assert str(tmp_path) in message
+
+    def test_miss_is_not_retried_by_the_http_client(self, tmp_path):
+        calls = []
+        cassette = CassetteTransport(tmp_path)
+
+        def counting(request):
+            calls.append(request)
+            return cassette(request)
+
+        with pytest.raises(CassetteMissError):
+            HTTPClient(counting, max_attempts=3).send(wire_request())
+        assert len(calls) == 1  # a miss is deterministic; retrying cannot help
+
+    def test_corrupt_recording_is_a_miss_not_a_crash(self, tmp_path):
+        cassette = CassetteTransport(tmp_path)
+        path = cassette.path_for(wire_request())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"version": ', encoding="utf-8")  # truncated JSON
+        with pytest.raises(CassetteMissError):
+            cassette(wire_request())
+
+    def test_stale_format_version_is_a_miss(self, tmp_path):
+        recorder = CassetteTransport(
+            tmp_path, mode="record", inner=ScriptedTransport([json_response({})])
+        )
+        request = wire_request()
+        recorder(request)
+        path = recorder.path_for(request)
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        raw["version"] = CASSETTE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(raw), encoding="utf-8")
+        with pytest.raises(CassetteMissError):
+            CassetteTransport(tmp_path)(request)
+
+    def test_record_mode_without_inner_is_a_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            CassetteTransport(tmp_path, mode="record")
+
+    def test_unknown_mode_is_a_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            CassetteTransport(tmp_path, mode="playback")
+
+    def test_auto_miss_without_inner_is_a_transport_error(self, tmp_path):
+        with pytest.raises(TransportError):
+            CassetteTransport(tmp_path, mode="auto")(wire_request())
+
+
+class TestRedaction:
+    SECRET = "sk-live-abc123-DO-NOT-LEAK"
+
+    def recorded_file(self, tmp_path, request) -> dict:
+        recorder = CassetteTransport(
+            tmp_path,
+            mode="record",
+            inner=ScriptedTransport(
+                [json_response({"ok": True}, headers={"Set-Cookie": "session=top-secret"})]
+            ),
+        )
+        recorder(request)
+        return json.loads(recorder.path_for(request).read_text(encoding="utf-8"))
+
+    @pytest.mark.parametrize(
+        "header",
+        ["Authorization", "x-api-key", "X-Goog-Api-Key", "api-key", "OpenAI-Organization"],
+    )
+    def test_api_key_headers_never_reach_disk(self, tmp_path, header):
+        raw = self.recorded_file(tmp_path, wire_request(headers={header: self.SECRET}))
+        assert raw["request"]["headers"][header] == REDACTED
+        assert self.SECRET not in json.dumps(raw)
+
+    def test_response_cookie_headers_are_redacted_too(self, tmp_path):
+        raw = self.recorded_file(tmp_path, wire_request())
+        assert raw["response"]["headers"]["Set-Cookie"] == REDACTED
+        assert "top-secret" not in json.dumps(raw)
+
+    def test_query_parameter_keys_are_redacted_in_stored_urls(self, tmp_path):
+        url = f"https://api.example.test/v1/models?key={self.SECRET}&alt=json"
+        raw = self.recorded_file(tmp_path, wire_request(url=url))
+        stored_url = raw["request"]["url"]
+        assert self.SECRET not in stored_url
+        assert "alt=json" in stored_url  # non-secret params survive
+        assert self.SECRET not in json.dumps(raw)
+
+    def test_key_matches_with_and_without_query_secret(self):
+        """A keyless replay run must hit recordings made with a key."""
+        keyed = wire_request(url=f"https://api.example.test/v1/chat?key={self.SECRET}")
+        keyless = wire_request(url=f"https://api.example.test/v1/chat?key={REDACTED}")
+        assert cassette_key(keyed) == cassette_key(keyless)
+
+    def test_redact_helpers_preserve_non_secrets(self):
+        headers = {"Content-Type": "application/json", "Authorization": "Bearer x"}
+        cleaned = redact_headers(headers)
+        assert cleaned["Content-Type"] == "application/json"
+        assert cleaned["Authorization"] == REDACTED
+        assert headers["Authorization"] == "Bearer x"  # input not mutated
+        assert redact_url("https://x.test/path") == "https://x.test/path"

@@ -1,0 +1,115 @@
+"""The tier-1 hermeticity guard itself.
+
+These tests prove the autouse socket block in ``tests/conftest.py``
+actually intercepts every common path to the network, that its error
+message tells the reader how to fix the test (cassettes, fakes, the
+``live`` marker), and that the offline-by-default wire policy composes
+with it -- so a provider misconfiguration fails on the *policy* layer
+before a socket is ever touched.
+"""
+
+import socket
+import urllib.request
+
+import pytest
+
+from repro.errors import TransportError
+from repro.llm.http import HTTPRequest, UrllibTransport
+from repro.llm.providers.wire import WirePolicy
+
+
+class TestSocketBlock:
+    def test_raw_socket_connect_is_blocked(self):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            with pytest.raises(RuntimeError, match="hermetic"):
+                sock.connect(("93.184.216.34", 443))
+        finally:
+            sock.close()
+
+    def test_create_connection_is_blocked(self):
+        with pytest.raises(RuntimeError, match="hermetic"):
+            socket.create_connection(("example.com", 80), timeout=1)
+
+    def test_urllib_cannot_reach_the_wire(self):
+        """The block is a RuntimeError, deliberately not an OSError:
+        urllib must not wrap it into a URLError that retry machinery
+        would then treat as a transient network fault."""
+        with pytest.raises(RuntimeError, match="hermetic"):
+            urllib.request.urlopen("http://example.com/", timeout=1)
+
+    def test_urllib_transport_does_not_swallow_the_block(self):
+        """A blocked socket surfaces loudly through UrllibTransport
+        instead of being classified as a retryable TransportError --
+        otherwise the HTTPClient would sleep-retry a test bug."""
+        transport = UrllibTransport(timeout_s=1.0)
+        request = HTTPRequest.json_request(
+            "POST", "http://example.com/v1/chat", {"model": "m"}
+        )
+        with pytest.raises(RuntimeError, match="hermetic"):
+            transport(request)
+
+    def test_block_message_names_the_escape_hatches(self):
+        with pytest.raises(RuntimeError) as info:
+            socket.create_connection(("example.com", 80))
+        message = str(info.value)
+        assert "cassette" in message
+        assert "@pytest.mark.live" in message
+        assert "REPRO_LIVE=1" in message
+
+    def test_localhost_is_blocked_too(self):
+        """No carve-out for loopback: hermetic means hermetic."""
+        with pytest.raises(RuntimeError, match="hermetic"):
+            socket.create_connection(("127.0.0.1", 65535))
+
+
+class TestOfflinePolicyLayer:
+    """The wire policy fails closed before sockets even matter."""
+
+    def test_default_policy_without_opt_ins_is_offline(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LIVE", raising=False)
+        monkeypatch.delenv("REPRO_CASSETTE_DIR", raising=False)
+        policy = WirePolicy()
+        assert policy.live is False
+        assert policy.cassette_dir is None
+
+    def test_env_opt_in_is_exactly_the_string_one(self):
+        assert WirePolicy(env={"REPRO_LIVE": "1"}).live is True
+        for value in ("0", "", "true", "yes"):
+            assert WirePolicy(env={"REPRO_LIVE": value}).live is False
+
+    def test_offline_transport_raises_before_any_socket_work(self):
+        transport = WirePolicy(live=False, cassette_dir=None, env={}).transport()
+        request = HTTPRequest.json_request(
+            "POST", "https://api.openai.com/v1/chat/completions", {"model": "m"}
+        )
+        with pytest.raises(TransportError) as info:
+            transport(request)
+        assert info.value.retryable is False
+
+
+class TestLiveTestDiscipline:
+    """Live tests must be double-gated: marker + environment flag."""
+
+    def test_live_marker_is_registered(self, pytestconfig):
+        markers = pytestconfig.getini("markers")
+        assert any(line.startswith("live:") for line in markers)
+
+    def test_live_wire_module_skips_itself_without_the_flag(self, monkeypatch):
+        """Every test in the live-wire module carries a skipif guard
+        keyed on REPRO_LIVE, so `pytest tests/llm/test_live_wire.py`
+        on a dev box with no keys is a no-op, not a hang."""
+        monkeypatch.delenv("REPRO_LIVE", raising=False)
+        from tests.llm import test_live_wire
+
+        assert test_live_wire.pytestmark  # module-level gating exists
+        names = {
+            getattr(mark, "name", None) for mark in test_live_wire.pytestmark
+        }
+        assert "live" in names
+        skipifs = [
+            mark
+            for mark in test_live_wire.pytestmark
+            if getattr(mark, "name", None) == "skipif"
+        ]
+        assert skipifs, "live module must carry a skipif on REPRO_LIVE"

@@ -1,0 +1,219 @@
+"""The shared HTTP client: every taxonomy branch, driven by fakes.
+
+The acceptance contract of ``repro/llm/http.py``: one classification
+path maps transport outcomes -- timeouts, auth failures, 429s with and
+without ``Retry-After``, 5xx, malformed bodies -- onto the typed errors
+the scheduler/backoff machinery keys on, identically for live, fake,
+and cassette transports.
+"""
+
+import pytest
+
+from repro.errors import (
+    AuthError,
+    HTTPStatusError,
+    MalformedResponseError,
+    RateLimitError,
+    ServerError,
+    TransportError,
+    TransportTimeoutError,
+)
+from repro.llm.http import (
+    HTTPClient,
+    HTTPRequest,
+    HTTPResponse,
+    parse_retry_after,
+)
+from repro.llm import http as http_module
+
+from tests.llm.fakes import (
+    ScriptedTransport,
+    SleepRecorder,
+    error_response,
+    json_response,
+    no_sleep,
+    truncated_json_response,
+)
+
+
+def request() -> HTTPRequest:
+    return HTTPRequest.json_request(
+        "POST", "https://api.example.test/v1/chat", {"model": "m", "messages": []}
+    )
+
+
+def client(script, **kwargs) -> tuple[HTTPClient, ScriptedTransport]:
+    transport = ScriptedTransport(script)
+    kwargs.setdefault("sleep", no_sleep)
+    return HTTPClient(transport, **kwargs), transport
+
+
+class TestTaxonomyNaming:
+    def test_issue_taxonomy_names_resolve(self):
+        """The taxonomy is importable under the documented names."""
+        assert http_module.TimeoutError is TransportTimeoutError
+        for error_type in (
+            TransportError,
+            TransportTimeoutError,
+            AuthError,
+            RateLimitError,
+            ServerError,
+            MalformedResponseError,
+        ):
+            assert issubclass(error_type, Exception)
+        assert issubclass(TransportTimeoutError, TransportError)
+        assert issubclass(AuthError, HTTPStatusError)
+        assert issubclass(ServerError, HTTPStatusError)
+        assert issubclass(HTTPStatusError, TransportError)
+
+
+class TestSuccess:
+    def test_success_returns_decoded_body_and_response(self):
+        http, transport = client([json_response({"ok": True}, elapsed_s=0.4)])
+        payload, response = http.send(request())
+        assert payload == {"ok": True}
+        assert response.status == 200
+        assert response.elapsed_s == pytest.approx(0.4)
+        assert transport.calls == 1
+
+    def test_header_lookup_is_case_insensitive(self):
+        response = HTTPResponse(200, {"Retry-After": "7"}, b"{}")
+        assert response.header("retry-after") == "7"
+        assert response.header("RETRY-AFTER") == "7"
+        assert response.header("absent", "fallback") == "fallback"
+
+
+class TestTimeouts:
+    def test_connect_timeout_propagates_after_retries(self):
+        fault = TransportTimeoutError("connect timed out", timeout_s=5.0, phase="connect")
+        http, transport = client([fault], max_attempts=3)
+        with pytest.raises(TransportTimeoutError) as info:
+            http.send(request())
+        assert info.value.phase == "connect"
+        assert info.value.timeout_s == 5.0
+        assert transport.calls == 3  # retried to exhaustion
+
+    def test_read_timeout_then_success_recovers(self):
+        fault = TransportTimeoutError("read timed out", timeout_s=5.0, phase="read")
+        http, transport = client([fault, json_response({"ok": 1})])
+        payload, _ = http.send(request())
+        assert payload == {"ok": 1}
+        assert transport.calls == 2
+
+    def test_network_fault_backoff_is_exponential(self):
+        sleeps = SleepRecorder()
+        fault = TransportError("connection reset")
+        http, _ = client(
+            [fault, fault, json_response({})],
+            max_attempts=3,
+            backoff_base_s=0.5,
+            sleep=sleeps,
+        )
+        http.send(request())
+        assert sleeps.waits == [0.5, 1.0]
+
+
+class TestAuth:
+    @pytest.mark.parametrize("status", [401, 403])
+    def test_auth_failures_raise_and_never_retry(self, status):
+        http, transport = client([error_response(status, "bad key")])
+        with pytest.raises(AuthError) as info:
+            http.send(request())
+        assert info.value.status == status
+        assert "bad key" in info.value.body_preview
+        assert transport.calls == 1  # a bad key stays bad
+
+
+class TestRateLimit:
+    def test_429_with_retry_after_carries_the_hint(self):
+        http, transport = client(
+            [error_response(429, "slow down", {"Retry-After": "12.5"})]
+        )
+        with pytest.raises(RateLimitError) as info:
+            http.send(request(), model="gpt-test")
+        assert info.value.retry_after_s == pytest.approx(12.5)
+        assert info.value.model == "gpt-test"
+        assert transport.calls == 1  # admission control owns 429 retries
+
+    def test_429_without_retry_after_uses_default_hint(self):
+        http, _ = client([error_response(429)])
+        with pytest.raises(RateLimitError) as info:
+            http.send(request())
+        assert info.value.retry_after_s == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "header,expected",
+        [("30", 30.0), ("0", 0.0), ("2.5", 2.5), ("garbage", None), (None, None), ("-3", None)],
+    )
+    def test_retry_after_parsing(self, header, expected):
+        assert parse_retry_after(header) == expected
+
+
+class TestServerErrors:
+    def test_5xx_retries_then_propagates_as_server_error(self):
+        http, transport = client([error_response(503, "overloaded")], max_attempts=3)
+        with pytest.raises(ServerError) as info:
+            http.send(request())
+        assert info.value.status == 503
+        assert transport.calls == 3
+
+    def test_5xx_retry_honours_retry_after_header(self):
+        sleeps = SleepRecorder()
+        http, _ = client(
+            [error_response(500, headers={"Retry-After": "4"}), json_response({})],
+            sleep=sleeps,
+        )
+        http.send(request())
+        assert sleeps.waits == [4.0]  # stretched past the 0.5s base backoff
+
+    def test_5xx_then_success_recovers(self):
+        http, transport = client([error_response(502), json_response({"ok": 2})])
+        payload, _ = http.send(request())
+        assert payload == {"ok": 2}
+        assert transport.calls == 2
+
+
+class TestOtherStatuses:
+    def test_unexpected_4xx_raises_status_error_without_retry(self):
+        http, transport = client([error_response(404, "no such model")])
+        with pytest.raises(HTTPStatusError) as info:
+            http.send(request())
+        assert info.value.status == 404
+        assert transport.calls == 1
+
+
+class TestMalformedBodies:
+    def test_truncated_json_raises_malformed_response(self):
+        http, transport = client([truncated_json_response()])
+        with pytest.raises(MalformedResponseError):
+            http.send(request())
+        assert transport.calls == 1  # the bytes arrived; retrying cannot help
+
+    def test_non_json_success_body_raises_malformed_response(self):
+        http, _ = client([error_response(200, "<html>not json</html>")])
+        with pytest.raises(MalformedResponseError) as info:
+            http.send(request())
+        assert "not json" in str(info.value)
+
+    def test_non_retryable_transport_error_raises_immediately(self):
+        fault = TransportError("offline by policy")
+        fault.retryable = False
+        http, transport = client([fault], max_attempts=3)
+        with pytest.raises(TransportError):
+            http.send(request())
+        assert transport.calls == 1
+
+
+class TestRequestShapes:
+    def test_json_request_sets_content_type_and_serializes(self):
+        built = HTTPRequest.json_request(
+            "post", "https://x.test/y", {"a": 1}, {"X-Extra": "yes"}
+        )
+        assert built.method == "POST"
+        assert built.headers["Content-Type"] == "application/json"
+        assert built.headers["X-Extra"] == "yes"
+        assert built.json() == {"a": 1}
+
+    def test_max_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HTTPClient(ScriptedTransport([json_response({})]), max_attempts=0)

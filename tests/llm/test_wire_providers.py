@@ -1,0 +1,520 @@
+"""Wire adapters: marshalling, registry routing, scheduler integration.
+
+Three contracts:
+
+* each adapter builds its provider's documented wire shape and parses
+  the documented reply shape into a ``CompletionResult``;
+* the registry routes ``gpt-``/``claude-``/``gemini-`` model names to
+  the adapters while staying hermetic by default (offline transport);
+* transport faults flow into the existing scheduler machinery -- 429s
+  and 5xx requeue, ``ClientStats`` throttle counters tally -- exactly
+  as they do for the simulated provider.
+"""
+
+import pytest
+
+from repro.core.scheduler import RequestScheduler, SchedulerPolicy
+from repro.errors import (
+    AuthError,
+    MalformedResponseError,
+    ServerError,
+    TransportError,
+)
+from repro.llm import ChatClient, WirePolicy
+from repro.llm.base import ChatMessage, user_message
+from repro.llm.http import HTTPClient
+from repro.llm.providers import (
+    AnthropicProvider,
+    GeminiProvider,
+    OpenAIProvider,
+    OpenAIStubProvider,
+    Provider,
+    WIRE_PROVIDERS,
+    resolve_factory,
+)
+
+from tests.llm.fakes import (
+    ScriptedTransport,
+    anthropic_reply,
+    error_response,
+    gemini_reply,
+    json_response,
+    no_sleep,
+    openai_reply,
+    truncated_json_response,
+)
+
+OFFLINE = WirePolicy(live=False, cassette_dir=None, env={})
+
+AMBIENT_ENV_VARS = [
+    "OPENAI_API_KEY",
+    "OPENAI_BASE_URL",
+    "ANTHROPIC_API_KEY",
+    "ANTHROPIC_BASE_URL",
+    "GEMINI_API_KEY",
+    "GEMINI_BASE_URL",
+    "GOOGLE_API_KEY",
+]
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_provider_env(monkeypatch):
+    """Strip provider env vars so defaults are what's under test."""
+    for name in AMBIENT_ENV_VARS:
+        monkeypatch.delenv(name, raising=False)
+
+CONVERSATION = [
+    ChatMessage("system", "You are terse."),
+    user_message("What is 6 times 7?"),
+    ChatMessage("assistant", "42."),
+    user_message("And squared?"),
+]
+
+
+def provider_with(provider_class, script, **kwargs):
+    transport = ScriptedTransport(script)
+    provider = provider_class(
+        None,
+        api_key="test-key",
+        policy=OFFLINE,
+        http=HTTPClient(transport, sleep=no_sleep),
+        **kwargs,
+    )
+    return provider, transport
+
+
+class TestRegistryRouting:
+    @pytest.mark.parametrize(
+        "model,provider_class",
+        [
+            ("gpt-4o-mini", OpenAIProvider),
+            ("openai-gpt-4o", OpenAIProvider),
+            ("claude-3-5-haiku-20241022", AnthropicProvider),
+            ("gemini-1.5-flash", GeminiProvider),
+        ],
+    )
+    def test_wire_prefixes_resolve_to_adapters(self, model, provider_class):
+        prefix, factory = resolve_factory(model)
+        assert factory is provider_class
+        assert prefix in WIRE_PROVIDERS
+
+    def test_simulated_fallback_is_untouched(self):
+        _, factory = resolve_factory("sim-gpt-4")
+        assert factory is not OpenAIProvider
+        _, fallback = resolve_factory("some-unknown-model")
+        assert fallback.__name__ == "SimulatedProvider"
+
+    def test_wire_providers_satisfy_the_protocol(self):
+        for provider_class in (OpenAIProvider, AnthropicProvider, GeminiProvider):
+            provider = provider_class(None, api_key="k", policy=OFFLINE)
+            assert isinstance(provider, Provider)
+            assert provider.deterministic is False
+
+    def test_default_wire_provider_is_offline_not_live(self):
+        client = ChatClient(wire_policy=OFFLINE)
+        provider = client.provider_for("gpt-4o-mini")
+        with pytest.raises(TransportError) as info:
+            provider.complete("gpt-4o-mini", [user_message("hi")], 0.0)
+        assert "REPRO_LIVE" in str(info.value)
+        assert "REPRO_CASSETTE_DIR" in str(info.value)
+
+
+class TestOpenAIAdapter:
+    def test_request_shape(self):
+        provider, transport = provider_with(
+            OpenAIProvider, [json_response(openai_reply("1764."))]
+        )
+        provider.complete("gpt-4o-mini", CONVERSATION, 0.3)
+        sent = transport.requests[0]
+        assert sent.method == "POST"
+        assert sent.url == "https://api.openai.com/v1/chat/completions"
+        assert sent.headers["Authorization"] == "Bearer test-key"
+        body = sent.json()
+        assert body["model"] == "gpt-4o-mini"
+        assert body["temperature"] == 0.3
+        assert body["messages"][0] == {"role": "system", "content": "You are terse."}
+        assert body["messages"][-1] == {"role": "user", "content": "And squared?"}
+
+    def test_response_parsing_and_usage(self):
+        provider, _ = provider_with(
+            OpenAIProvider,
+            [json_response(openai_reply("1764.", prompt_tokens=21, completion_tokens=3), elapsed_s=0.8)],
+        )
+        result = provider.complete("gpt-4o-mini", CONVERSATION, 0.3)
+        assert result.text == "1764."
+        assert result.usage.prompt_tokens == 21
+        assert result.usage.completion_tokens == 3
+        assert result.latency_s == pytest.approx(0.8)
+        assert result.model == "gpt-4o-mini"
+
+    def test_openai_namespace_prefix_is_stripped_on_the_wire(self):
+        provider, transport = provider_with(
+            OpenAIProvider, [json_response(openai_reply("ok"))]
+        )
+        result = provider.complete("openai-gpt-4o", CONVERSATION, 0.0)
+        assert transport.requests[0].json()["model"] == "gpt-4o"
+        assert result.model == "openai-gpt-4o"  # local name kept for stats
+
+    def test_base_url_override(self):
+        provider = OpenAIProvider(
+            None,
+            api_key="k",
+            base_url="http://localhost:8000/v1/",
+            policy=OFFLINE,
+            http=HTTPClient(ScriptedTransport([json_response(openai_reply("x"))])),
+        )
+        provider.complete("gpt-local", [user_message("q")], 0.0)
+        assert provider.http.transport.requests[0].url == (
+            "http://localhost:8000/v1/chat/completions"
+        )
+
+    def test_missing_choices_is_malformed_response(self):
+        provider, _ = provider_with(OpenAIProvider, [json_response({"usage": {}})])
+        with pytest.raises(MalformedResponseError):
+            provider.complete("gpt-4o-mini", CONVERSATION, 0.0)
+
+
+class TestAnthropicAdapter:
+    def test_request_shape_splits_system(self):
+        provider, transport = provider_with(
+            AnthropicProvider, [json_response(anthropic_reply("1764."))]
+        )
+        provider.complete("claude-3-5-haiku", CONVERSATION, 0.7)
+        sent = transport.requests[0]
+        assert sent.url == "https://api.anthropic.com/v1/messages"
+        assert sent.headers["x-api-key"] == "test-key"
+        assert sent.headers["anthropic-version"] == "2023-06-01"
+        body = sent.json()
+        assert body["system"] == "You are terse."
+        assert body["max_tokens"] == AnthropicProvider.max_tokens
+        assert all(m["role"] != "system" for m in body["messages"])
+        assert body["messages"][0] == {"role": "user", "content": "What is 6 times 7?"}
+
+    def test_response_parsing_joins_text_blocks(self):
+        reply = anthropic_reply("17")
+        reply["content"].append({"type": "text", "text": "64."})
+        reply["content"].append({"type": "tool_use", "id": "x", "name": "n", "input": {}})
+        provider, _ = provider_with(AnthropicProvider, [json_response(reply)])
+        result = provider.complete("claude-3-5-haiku", CONVERSATION, 0.0)
+        assert result.text == "1764."
+        assert result.usage.prompt_tokens == 7
+        assert result.usage.completion_tokens == 5
+
+    def test_missing_content_is_malformed_response(self):
+        provider, _ = provider_with(AnthropicProvider, [json_response({"usage": {}})])
+        with pytest.raises(MalformedResponseError):
+            provider.complete("claude-3-5-haiku", CONVERSATION, 0.0)
+
+
+class TestGeminiAdapter:
+    def test_request_shape_maps_roles_and_system_instruction(self):
+        provider, transport = provider_with(
+            GeminiProvider, [json_response(gemini_reply("1764."))]
+        )
+        provider.complete("gemini-1.5-flash", CONVERSATION, 0.2)
+        sent = transport.requests[0]
+        assert sent.url.endswith("/models/gemini-1.5-flash:generateContent")
+        assert sent.headers["x-goog-api-key"] == "test-key"
+        assert "key=" not in sent.url  # secrets ride in headers, never URLs
+        body = sent.json()
+        assert body["systemInstruction"] == {"parts": [{"text": "You are terse."}]}
+        roles = [content["role"] for content in body["contents"]]
+        assert roles == ["user", "model", "user"]
+        assert body["generationConfig"] == {"temperature": 0.2}
+
+    def test_response_parsing_concatenates_parts(self):
+        reply = gemini_reply("17")
+        reply["candidates"][0]["content"]["parts"].append({"text": "64."})
+        provider, _ = provider_with(GeminiProvider, [json_response(reply)])
+        result = provider.complete("gemini-1.5-flash", CONVERSATION, 0.0)
+        assert result.text == "1764."
+
+    def test_google_api_key_fallback(self, monkeypatch):
+        monkeypatch.delenv("GEMINI_API_KEY", raising=False)
+        monkeypatch.setenv("GOOGLE_API_KEY", "google-key")
+        provider = GeminiProvider(None, policy=OFFLINE)
+        assert provider.api_key() == "google-key"
+
+    def test_missing_candidates_is_malformed_response(self):
+        provider, _ = provider_with(GeminiProvider, [json_response({"usageMetadata": {}})])
+        with pytest.raises(MalformedResponseError):
+            provider.complete("gemini-1.5-flash", CONVERSATION, 0.0)
+
+
+class TestKeyResolution:
+    def test_env_key_is_used(self, monkeypatch):
+        monkeypatch.setenv("OPENAI_API_KEY", "from-env")
+        provider = OpenAIProvider(None, policy=OFFLINE)
+        assert provider.api_key() == "from-env"
+
+    def test_missing_key_in_live_mode_is_auth_error(self, monkeypatch):
+        monkeypatch.delenv("OPENAI_API_KEY", raising=False)
+        live = WirePolicy(live=True, cassette_dir=None, env={"REPRO_LIVE": "1"})
+        provider = OpenAIProvider(
+            None, policy=live, http=HTTPClient(ScriptedTransport([json_response({})]))
+        )
+        with pytest.raises(AuthError) as info:
+            provider.api_key()
+        assert "OPENAI_API_KEY" in str(info.value)
+
+    def test_missing_key_in_replay_mode_gets_placeholder(self, monkeypatch):
+        monkeypatch.delenv("OPENAI_API_KEY", raising=False)
+        provider = OpenAIProvider(None, policy=OFFLINE)
+        assert provider.api_key()  # placeholder, no raise
+
+
+class TestSchedulerIntegration:
+    """Transport faults drive the same requeue machinery as simulation."""
+
+    def wired_client(self, provider_class, model, script) -> ChatClient:
+        client = ChatClient(wire_policy=OFFLINE)
+        provider, _ = provider_with(provider_class, script)
+        client._providers[model.split("-")[0] + "-"] = provider
+        return client
+
+    def test_429_with_retry_after_requeues_and_charges_hint(self):
+        client = self.wired_client(
+            OpenAIProvider,
+            "gpt-test",
+            [
+                error_response(429, headers={"Retry-After": "9"}),
+                json_response(openai_reply("recovered")),
+            ],
+        )
+        scheduler = RequestScheduler(SchedulerPolicy(max_requeues=3))
+        result = client.chat_complete("gpt-test", "hello", scheduler=scheduler)
+        assert result.text == "recovered"
+        stats = client.stats
+        assert stats.rate_limited == 1
+        assert stats.requeued == 1
+        assert stats.throttle_wait_s == pytest.approx(9.0)
+        assert client.clock.elapsed_s == pytest.approx(9.0 + result.latency_s)
+
+    def test_429_without_retry_after_uses_default_penalty(self):
+        client = self.wired_client(
+            OpenAIProvider,
+            "gpt-test",
+            [error_response(429), json_response(openai_reply("ok"))],
+        )
+        scheduler = RequestScheduler(SchedulerPolicy(max_requeues=3))
+        client.chat_complete("gpt-test", "hello", scheduler=scheduler)
+        assert client.stats.throttle_wait_s == pytest.approx(1.0)
+
+    def test_5xx_requeues_through_scheduler_and_counts(self):
+        client = self.wired_client(
+            OpenAIProvider,
+            "gpt-test",
+            [
+                error_response(503, headers={"Retry-After": "5"}),
+                error_response(503, headers={"Retry-After": "5"}),
+                error_response(503, headers={"Retry-After": "5"}),
+                json_response(openai_reply("alive")),
+            ],
+        )
+        # max_attempts=1 in the provider's HTTPClient would be needed to
+        # see each 5xx individually; with the default the transport
+        # itself retries.  Either way the scheduler path must cope: here
+        # the transport's internal retries consume the first three
+        # faults and the call succeeds without a scheduler requeue.
+        scheduler = RequestScheduler(SchedulerPolicy(max_requeues=3))
+        result = client.chat_complete("gpt-test", "hello", scheduler=scheduler)
+        assert result.text == "alive"
+
+    def test_5xx_that_survives_transport_retries_requeues(self):
+        provider, transport = provider_with(
+            OpenAIProvider,
+            [
+                error_response(500, "boom"),
+                error_response(500, "boom"),
+                error_response(500, "boom"),
+                json_response(openai_reply("back")),
+            ],
+        )
+        provider.http.max_attempts = 3  # transport burns its budget first
+        client = ChatClient(wire_policy=OFFLINE)
+        client._providers["gpt-"] = provider
+        scheduler = RequestScheduler(SchedulerPolicy(max_requeues=2))
+        result = client.chat_complete("gpt-test", "hello", scheduler=scheduler)
+        assert result.text == "back"
+        assert client.stats.server_errors == 1
+        assert client.stats.requeued == 1
+        assert transport.calls == 4
+
+    def test_server_error_exhausts_requeue_budget_and_propagates(self):
+        provider, _ = provider_with(OpenAIProvider, [error_response(500, "down")])
+        client = ChatClient(wire_policy=OFFLINE)
+        client._providers["gpt-"] = provider
+        scheduler = RequestScheduler(SchedulerPolicy(max_requeues=1))
+        with pytest.raises(ServerError):
+            client.chat_complete("gpt-test", "hello", scheduler=scheduler)
+        assert client.stats.server_errors == 2  # initial + one requeue
+        assert client.stats.requeued == 1
+
+    def test_unscheduled_429_falls_back_to_naive_backoff(self):
+        client = self.wired_client(
+            OpenAIProvider,
+            "gpt-test",
+            [
+                error_response(429, headers={"Retry-After": "2"}),
+                error_response(429, headers={"Retry-After": "2"}),
+                json_response(openai_reply("eventually")),
+            ],
+        )
+        result = client.chat_complete("gpt-test", "hello")
+        assert result.text == "eventually"
+        assert client.stats.rate_limited == 2
+        # Naive exponential backoff: 2 * 2^0 + 2 * 2^1 virtual seconds.
+        assert client.stats.throttle_wait_s == pytest.approx(6.0)
+
+    def test_malformed_body_propagates_through_scheduler(self):
+        client = self.wired_client(
+            OpenAIProvider, "gpt-test", [truncated_json_response()]
+        )
+        scheduler = RequestScheduler(SchedulerPolicy())
+        with pytest.raises(MalformedResponseError):
+            client.chat_complete("gpt-test", "hello", scheduler=scheduler)
+
+    def test_adaptive_window_shrinks_on_wire_429(self):
+        client = self.wired_client(
+            OpenAIProvider,
+            "gpt-test",
+            [error_response(429), json_response(openai_reply("ok"))],
+        )
+        scheduler = RequestScheduler(SchedulerPolicy(initial_window=8))
+        client.chat_complete("gpt-test", "hello", scheduler=scheduler)
+        assert scheduler.adaptive_state("gpt-test").window == pytest.approx(4.0)
+
+
+class TestCassetteAcceptance:
+    """The ISSUE acceptance criterion: a recorded cassette replays
+    byte-identically through the OpenAI, Anthropic, and Gemini adapters
+    -- the same ``CompletionResult`` comes back with zero live HTTP
+    calls (sockets are blocked by the autouse conftest guard)."""
+
+    CASES = [
+        (OpenAIProvider, "gpt-4o-mini", openai_reply("recorded answer")),
+        (AnthropicProvider, "claude-3-5-haiku", anthropic_reply("recorded answer")),
+        (GeminiProvider, "gemini-1.5-flash", gemini_reply("recorded answer")),
+    ]
+
+    @pytest.mark.parametrize(
+        "provider_class,model,reply",
+        CASES,
+        ids=[case[0].name for case in CASES],
+    )
+    def test_record_then_replay_yields_identical_completion(
+        self, tmp_path, provider_class, model, reply
+    ):
+        from repro.llm.cassette import CassetteTransport
+
+        inner = ScriptedTransport([json_response(reply, elapsed_s=0.6)])
+        recorder = provider_class(
+            None,
+            api_key="recording-key",
+            policy=OFFLINE,
+            http=HTTPClient(CassetteTransport(tmp_path, mode="record", inner=inner)),
+        )
+        recorded = recorder.complete(model, CONVERSATION, 0.1)
+        assert inner.calls == 1
+
+        # A fresh provider, wired only through the policy: replay mode,
+        # no API key, no inner transport -- nothing can reach the wire.
+        replayer = provider_class(
+            None,
+            policy=WirePolicy(live=False, cassette_dir=str(tmp_path), env={}),
+        )
+        replayed = replayer.complete(model, CONVERSATION, 0.1)
+
+        assert inner.calls == 1  # zero additional live exchanges
+        assert replayed.text == recorded.text
+        assert replayed.model == recorded.model
+        assert replayed.usage.prompt_tokens == recorded.usage.prompt_tokens
+        assert replayed.usage.completion_tokens == recorded.usage.completion_tokens
+        assert replayed.latency_s == pytest.approx(recorded.latency_s)
+
+    def test_replay_is_deterministic_across_provider_instances(self, tmp_path):
+        from repro.llm.cassette import CassetteTransport
+
+        inner = ScriptedTransport([json_response(openai_reply("stable"))])
+        recorder = OpenAIProvider(
+            None,
+            api_key="k",
+            policy=OFFLINE,
+            http=HTTPClient(CassetteTransport(tmp_path, mode="record", inner=inner)),
+        )
+        recorder.complete("gpt-4o-mini", CONVERSATION, 0.0)
+        policy = WirePolicy(live=False, cassette_dir=str(tmp_path), env={})
+        results = [
+            OpenAIProvider(None, policy=policy).complete("gpt-4o-mini", CONVERSATION, 0.0)
+            for _ in range(3)
+        ]
+        assert len({(r.text, r.latency_s, r.usage.total_tokens) for r in results}) == 1
+
+
+class TestSessionWiring:
+    """`wire_policy` must survive every path to the provider."""
+
+    def test_session_private_client_carries_the_wire_policy(self):
+        from repro.core import Session
+
+        policy = OFFLINE
+        session = Session(model="gpt-4o-mini", cache_dir=None, wire_policy=policy)
+        # Isolated sessions build a private ChatClient; the policy must
+        # ride along or cassette/live opt-ins silently fall back to the
+        # ambient environment.
+        assert session.client.wire_policy is policy
+        assert session.client.provider_for("gpt-4o-mini").policy is policy
+
+    def test_session_replays_a_cassette_through_ask(self, tmp_path):
+        import repro.types as t
+        from repro.core import Session
+        from repro.llm.cassette import CassetteTransport
+
+        def answer(request):
+            body = (
+                '```json\n{"reason": "arithmetic", "answer": 42}\n```'
+            )
+            return json_response(openai_reply(body), elapsed_s=0.33)
+
+        recorder = OpenAIProvider(
+            None,
+            api_key="sk-probe",
+            policy=OFFLINE,
+            http=HTTPClient(
+                CassetteTransport(tmp_path, mode="record", inner=answer)
+            ),
+        )
+        rec_client = ChatClient(wire_policy=OFFLINE)
+        rec_client._providers["gpt-"] = recorder
+        rec_session = Session(model="gpt-4o-mini", cache_dir=None, client=rec_client)
+        assert rec_session.ask(t.int, "What is six times seven?") == 42
+
+        replay_session = Session(
+            model="gpt-4o-mini",
+            cache_dir=None,
+            wire_policy=WirePolicy(live=False, cassette_dir=tmp_path, env={}),
+        )
+        assert replay_session.ask(t.int, "What is six times seven?") == 42
+        assert replay_session.clock.elapsed_s == pytest.approx(0.33)
+
+
+class TestStubSubsumption:
+    """The stub is the real adapter on a local transport -- one code path."""
+
+    def test_stub_is_an_openai_provider(self):
+        assert issubclass(OpenAIStubProvider, OpenAIProvider)
+
+    def test_stub_uses_canonical_parsing(self):
+        stub = OpenAIStubProvider()
+        result = stub.complete("oai-stub-small", [user_message("hi")], 0.0)
+        assert result.text.startswith("[stub:oai-stub-small]")
+        assert result.latency_s == pytest.approx(0.01)
+
+    def test_stub_request_body_matches_canonical_wire_body(self):
+        stub = OpenAIStubProvider()
+        messages = [user_message("compare me")]
+        body = stub.build_request("oai-stub-x", messages, 0.5)
+        canonical = OpenAIProvider(
+            None, api_key="k", policy=OFFLINE
+        ).build_request("oai-stub-x", messages, 0.5).json()
+        assert body == canonical
