@@ -12,6 +12,7 @@ run advances it only by the longest worker lane.
 import pytest
 
 import repro.types as t
+from benchmarks.snapshots import write_snapshot
 from repro.core import Session
 from repro.llm import ChatClient, QUIET
 
@@ -65,6 +66,16 @@ class TestBatchThroughput:
         assert batched_s < sequential_s / 2, (
             f"map() took {batched_s:.2f} virtual seconds vs "
             f"{sequential_s:.2f} sequential -- expected >= 2x speedup"
+        )
+        write_snapshot(
+            "batch_throughput",
+            {
+                "tasks": TASK_COUNT,
+                "max_concurrency": MAX_CONCURRENCY,
+                "sequential_virtual_s": sequential_s,
+                "batched_virtual_s": batched_s,
+                "speedup": sequential_s / batched_s,
+            },
         )
 
     def test_dedup_collapses_identical_prompts(self):

@@ -1,0 +1,87 @@
+"""Telemetry-overhead gate: tracing must not distort the workload.
+
+The observability layer's acceptance criterion: running the standard
+24-task ``map()`` with ``telemetry="on"`` must finish within 5% of the
+telemetry-off virtual wall-clock.  Spans are *stamped* from the virtual
+clock, never charged to it, so the two runs should in fact be
+identical -- the 5% envelope only absorbs worker-lane scheduling
+nondeterminism in how latencies pack onto the pool.
+
+The committed ``BENCH_telemetry.json`` snapshot records both sides plus
+the per-span bookkeeping volume, so a change that starts charging (or
+dropping) time shows up as a diff in review.
+"""
+
+import pytest
+
+import repro.types as t
+from benchmarks.snapshots import write_snapshot
+from repro.core import Session
+from repro.llm import ChatClient, QUIET
+
+TASK_COUNT = 24
+MAX_CONCURRENCY = 8
+
+#: The acceptance envelope: telemetry-on virtual wall-clock may exceed
+#: telemetry-off by at most this fraction.
+MAX_OVERHEAD = 0.05
+
+TEMPLATE = "Calculate the factorial of {{n}}."
+
+
+def fresh_session(telemetry: str) -> Session:
+    return Session(
+        model="sim-gpt-4",
+        cache_dir=None,
+        client=ChatClient(noise_policy=QUIET),
+        telemetry=telemetry,
+    )
+
+
+def bindings() -> list[dict]:
+    return [{"n": 1 + i} for i in range(TASK_COUNT)]
+
+
+def run_map(telemetry: str) -> tuple[Session, float]:
+    session = fresh_session(telemetry)
+    fn = session.define(t.int, TEMPLATE)
+    batch = fn.map(bindings(), max_concurrency=MAX_CONCURRENCY)
+    assert len(list(batch)) == TASK_COUNT
+    return session, session.clock.elapsed_s
+
+
+class TestTelemetryOverhead:
+    def test_tracing_stays_within_the_overhead_envelope(self):
+        _, off_s = run_map("off")
+        traced_session, on_s = run_map("on")
+
+        assert off_s > 0
+        overhead = on_s / off_s - 1.0
+        assert overhead <= MAX_OVERHEAD, (
+            f"telemetry-on map took {on_s:.3f} virtual seconds vs "
+            f"{off_s:.3f} with telemetry off -- {overhead:.1%} overhead "
+            f"exceeds the {MAX_OVERHEAD:.0%} gate"
+        )
+        # Stamping is free on the virtual clock: the runs are identical,
+        # not merely close.
+        assert on_s == pytest.approx(off_s)
+
+        spans = traced_session.telemetry.spans()
+        assert len(spans) >= TASK_COUNT * 6  # full waterfall per item
+        write_snapshot(
+            "telemetry",
+            {
+                "tasks": TASK_COUNT,
+                "max_concurrency": MAX_CONCURRENCY,
+                "telemetry_off_virtual_s": off_s,
+                "telemetry_on_virtual_s": on_s,
+                "overhead_ratio": on_s / off_s,
+                "spans_per_map": len(spans),
+                "traces_per_map": len(traced_session.telemetry.traces()),
+            },
+        )
+
+    def test_disabled_telemetry_emits_nothing(self):
+        session, _ = run_map("off")
+        assert session.telemetry is None
+        assert session.client.telemetry is None

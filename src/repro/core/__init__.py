@@ -36,6 +36,7 @@ from repro.core.scheduler import (
 )
 from repro.core.session import Session, default_session
 from repro.ioexample import Example, outputs_equal
+from repro.obs.telemetry import TELEMETRY_MODES, Telemetry, TelemetryPolicy
 
 __all__ = [
     "ask",
@@ -71,6 +72,9 @@ __all__ = [
     "PacingBucket",
     "AdaptiveConcurrency",
     "SCHEDULER_MODES",
+    "Telemetry",
+    "TelemetryPolicy",
+    "TELEMETRY_MODES",
     "FunctionHost",
     "PythonHost",
     "TypeScriptHost",

@@ -12,7 +12,7 @@ from __future__ import annotations
 import contextlib
 import threading
 from pathlib import Path
-from typing import Iterator
+from typing import ContextManager, Iterator
 
 from repro.core.response_cache import CACHE_MODES, ResponseCache
 from repro.core.safety import SafetyPolicy
@@ -20,6 +20,8 @@ from repro.core.scheduler import SCHEDULER_MODES, RequestScheduler, SchedulerPol
 from repro.errors import ConfigError
 from repro.llm.client import ChatClient, default_client
 from repro.llm.providers.wire import WirePolicy
+from repro.obs.telemetry import Telemetry, TelemetryPolicy, resolve_telemetry_mode
+from repro.obs.trace import Span
 from repro.prompts.codegen import PYTHON, TYPESCRIPT
 
 #: The paper sets the retry limit for code regeneration to 9.
@@ -104,6 +106,16 @@ class Config:
         When set without an explicit ``client``, this config gets its
         own :class:`~repro.llm.client.ChatClient` carrying the policy,
         so wire transports never leak into the shared default client.
+    telemetry:
+        Observability mode: ``"off"`` (default -- zero tracing overhead)
+        or ``"on"`` (every request emits hierarchical spans and stage
+        metrics, queryable via :attr:`telemetry` /
+        ``Session.telemetry``).  A full
+        :class:`~repro.obs.telemetry.TelemetryPolicy` enables telemetry
+        with explicit knobs (trace directory, span capacity).  Setting
+        the ``REPRO_TRACE_DIR`` environment variable switches telemetry
+        on and points the JSON-lines span sink and Prometheus dump at
+        that directory.
     """
 
     def __init__(
@@ -125,6 +137,7 @@ class Config:
         deadline_s: float | None = None,
         scheduler_policy: SchedulerPolicy | None = None,
         wire_policy: WirePolicy | None = None,
+        telemetry: "str | TelemetryPolicy" = "off",
     ) -> None:
         if max_retries < 0:
             raise ConfigError("max_retries must be >= 0")
@@ -172,6 +185,9 @@ class Config:
             base_policy.replace(**overrides) if overrides else base_policy
         )
         self.wire_policy = wire_policy
+        # resolve_telemetry_mode validates the knob and honours
+        # REPRO_TRACE_DIR (which upgrades "off" to "on" with a sink).
+        self.telemetry_mode, self._telemetry_policy = resolve_telemetry_mode(telemetry)
         self._client = client
         self._wire_client: ChatClient | None = None
         self._wire_client_lock = threading.Lock()
@@ -179,6 +195,8 @@ class Config:
         self._response_cache_lock = threading.Lock()
         self._request_scheduler: RequestScheduler | None = None
         self._request_scheduler_lock = threading.Lock()
+        self._telemetry: Telemetry | None = None
+        self._telemetry_lock = threading.Lock()
 
     @property
     def client(self) -> ChatClient:
@@ -258,6 +276,40 @@ class Config:
                     self._request_scheduler = RequestScheduler(self.scheduler_policy)
         return self._request_scheduler
 
+    @property
+    def telemetry(self) -> Telemetry | None:
+        """The telemetry attached to this config, or ``None`` when off.
+
+        Created once per config on first use and attached to
+        :attr:`client` -- the tracer reads the client's virtual clock,
+        and the span/stage metrics land in the same registry as
+        :class:`~repro.llm.client.ClientStats`, so one Prometheus dump
+        covers both.
+        """
+        if self.telemetry_mode == "off":
+            return None
+        if self._telemetry is None:
+            with self._telemetry_lock:
+                if self._telemetry is None:
+                    policy = self._telemetry_policy or TelemetryPolicy()
+                    self._telemetry = Telemetry(policy).attach(self.client)
+        return self._telemetry
+
+    def span(
+        self, name: str, root: bool = False, **attributes
+    ) -> ContextManager[Span | None]:
+        """A tracer span context when telemetry is on, else a no-op.
+
+        Yields the open :class:`~repro.obs.trace.Span` (or ``None`` when
+        telemetry is off); ``root=True`` starts a fresh trace instead of
+        parenting onto the ambient span.  This is the hook the runtime
+        layers (direct execution, ``map()``) instrument through.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return contextlib.nullcontext()
+        return telemetry.tracer.span(name, attributes, root=root)
+
     def replace(self, **changes) -> "Config":
         """A copy of this config with ``changes`` applied."""
         current = {
@@ -275,6 +327,13 @@ class Config:
             "scheduler": self.scheduler,
             "scheduler_policy": self.scheduler_policy,
             "wire_policy": self.wire_policy,
+            # An explicit policy survives the copy; a bare mode string
+            # re-resolves (so REPRO_TRACE_DIR changes are honoured).
+            "telemetry": (
+                self._telemetry_policy
+                if self._telemetry_policy is not None
+                else self.telemetry_mode
+            ),
         }
         current.update(changes)
         return Config(**current)

@@ -161,21 +161,31 @@ class AskItFunction:
             dedup = provider.deterministic
         keys = [binding_key(bound) for bound in bound_list] if dedup else None
 
-        def thunk_for(bound: dict[str, Any]):
+        def thunk_for(index: int, bound: dict[str, Any]):
             def thunk() -> DirectResult:
-                return execute_direct(
-                    self.template,
-                    self.return_type,
-                    bound,
-                    self.few_shot_examples,
-                    config,
-                    priority=priority,
-                )
+                # Each item is its own trace: a fresh root span per
+                # binding keeps worker-pool threads from chaining onto
+                # whatever trace the submitting thread happened to hold,
+                # and per-item failures stay isolated to their trace.
+                with config.span(
+                    "askit.map.item", root=True, item=index
+                ) as item_span:
+                    result = execute_direct(
+                        self.template,
+                        self.return_type,
+                        bound,
+                        self.few_shot_examples,
+                        config,
+                        priority=priority,
+                    )
+                    if item_span is not None:
+                        item_span.set_attribute("attempts", result.attempts)
+                    return result
 
             return thunk
 
         return run_batch(
-            [thunk_for(bound) for bound in bound_list],
+            [thunk_for(index, bound) for index, bound in enumerate(bound_list)],
             keys=keys,
             max_concurrency=max_concurrency,
             clock=config.client.clock,

@@ -47,6 +47,7 @@ from typing import Awaitable, Callable, Iterator, Sequence
 from repro.core.cache import atomic_write_text
 from repro.errors import ConfigError
 from repro.llm.base import ChatMessage, CompletionResult, Usage
+from repro.obs.trace import Span, annotate, current_span
 
 #: Bumped whenever the key derivation or entry layout changes, so stale
 #: on-disk formats can never be misread as current entries.
@@ -131,12 +132,15 @@ class CacheEntry:
 class _Flight:
     """The in-flight execution of one key: a leader, any number of followers."""
 
-    __slots__ = ("_event", "result", "error")
+    __slots__ = ("_event", "result", "error", "leader_span")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self.result: CompletionResult | None = None
         self.error: BaseException | None = None
+        #: The leader's ambient span when the flight was opened (``None``
+        #: with tracing off); followers link their trace to it.
+        self.leader_span: Span | None = None
 
     def resolve(self, result: CompletionResult) -> None:
         self.result = result
@@ -366,6 +370,7 @@ class ResponseCache:
         if not leader:
             flight.wait()
             assert flight.result is not None
+            self._link_leader(flight)
             return "coalesced", self._replay_of(flight.result)
         # Leadership established: re-check the store.  A racing leader may
         # have stored the entry between our load() and _join(), and the
@@ -401,6 +406,7 @@ class ResponseCache:
         if not leader:
             await asyncio.to_thread(flight.wait)
             assert flight.result is not None
+            self._link_leader(flight)
             return "coalesced", self._replay_of(flight.result)
         cached = await asyncio.to_thread(self.load, key)
         if cached is not None:
@@ -425,8 +431,23 @@ class ResponseCache:
             if flight is not None:
                 return False, flight
             flight = _Flight()
+            # Remember where the provider call will actually happen, so
+            # coalesced followers can point their trace at the leader's.
+            flight.leader_span = current_span()
             self._flights[key] = flight
             return True, flight
+
+    @staticmethod
+    def _link_leader(flight: _Flight) -> None:
+        """Annotate the follower's ambient span with the leader's identity."""
+        lead = flight.leader_span
+        if lead is not None:
+            annotate(
+                **{
+                    "coalesced.leader_trace_id": lead.trace_id,
+                    "coalesced.leader_span_id": lead.span_id,
+                }
+            )
 
     def _leave(self, key: str) -> None:
         with self._flights_lock:

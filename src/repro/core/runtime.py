@@ -123,22 +123,29 @@ def execute_direct(
     response satisfying all three criteria of Section III-E.
     """
     config = config or get_config()
-    run = _DirectRun(template, answer_type, args, examples, config)
-    cache = config.response_cache
-    scheduler = config.request_scheduler
-    for attempt in range(config.max_retries + 1):
-        completion = config.client.chat_complete(
-            config.model,
-            run.current,
-            config.temperature,
-            cache=cache,
-            scheduler=scheduler,
-            priority=priority,
-        )
-        result = run.accept(completion, attempt)
-        if result is not None:
-            return result
-    raise run.exhausted()
+    with config.span("askit.ask", model=config.model) as ask_span:
+        with config.span("askit.bind"):
+            run = _DirectRun(template, answer_type, args, examples, config)
+        cache = config.response_cache
+        scheduler = config.request_scheduler
+        for attempt in range(config.max_retries + 1):
+            completion = config.client.chat_complete(
+                config.model,
+                run.current,
+                config.temperature,
+                cache=cache,
+                scheduler=scheduler,
+                priority=priority,
+            )
+            with config.span("askit.parse", attempt=attempt) as parse_span:
+                result = run.accept(completion, attempt)
+                if parse_span is not None and result is None:
+                    parse_span.set_attribute("refined", True)
+            if result is not None:
+                if ask_span is not None:
+                    ask_span.set_attribute("attempts", result.attempts)
+                return result
+        raise run.exhausted()
 
 
 async def execute_direct_async(
@@ -151,19 +158,26 @@ async def execute_direct_async(
 ) -> DirectResult:
     """Async counterpart of :func:`execute_direct`; same retry semantics."""
     config = config or get_config()
-    run = _DirectRun(template, answer_type, args, examples, config)
-    cache = config.response_cache
-    scheduler = config.request_scheduler
-    for attempt in range(config.max_retries + 1):
-        completion = await config.client.achat_complete(
-            config.model,
-            run.current,
-            config.temperature,
-            cache=cache,
-            scheduler=scheduler,
-            priority=priority,
-        )
-        result = run.accept(completion, attempt)
-        if result is not None:
-            return result
-    raise run.exhausted()
+    with config.span("askit.ask", model=config.model) as ask_span:
+        with config.span("askit.bind"):
+            run = _DirectRun(template, answer_type, args, examples, config)
+        cache = config.response_cache
+        scheduler = config.request_scheduler
+        for attempt in range(config.max_retries + 1):
+            completion = await config.client.achat_complete(
+                config.model,
+                run.current,
+                config.temperature,
+                cache=cache,
+                scheduler=scheduler,
+                priority=priority,
+            )
+            with config.span("askit.parse", attempt=attempt) as parse_span:
+                result = run.accept(completion, attempt)
+                if parse_span is not None and result is None:
+                    parse_span.set_attribute("refined", True)
+            if result is not None:
+                if ask_span is not None:
+                    ask_span.set_attribute("attempts", result.attempts)
+                return result
+        raise run.exhausted()

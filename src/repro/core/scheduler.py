@@ -54,6 +54,7 @@ from repro.errors import (
 )
 from repro.llm.base import ChatMessage, CompletionResult
 from repro.llm.tokenizer import count_message_tokens
+from repro.obs.trace import add_event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (llm imports core)
     from repro.llm.client import ChatClient
@@ -432,7 +433,13 @@ class RequestScheduler:
             self._turnstile.acquire(priority)
             held = True
             try:
-                self._admit(client, model, messages, submitted, deadline)
+                with client._span(
+                    "askit.admission", model=model, priority=priority
+                ) as admission:
+                    wait = self._admit(client, model, messages, submitted, deadline)
+                    if admission is not None:
+                        admission.set_attribute("pacing_wait_s", wait)
+                        admission.set_attribute("requeues", requeues)
                 if not self.policy.serialize_issue:
                     self._turnstile.release()
                     held = False
@@ -480,7 +487,13 @@ class RequestScheduler:
         while True:
             await asyncio.to_thread(self._turnstile.acquire, priority)
             try:
-                self._admit(client, model, messages, submitted, deadline)
+                with client._span(
+                    "askit.admission", model=model, priority=priority
+                ) as admission:
+                    wait = self._admit(client, model, messages, submitted, deadline)
+                    if admission is not None:
+                        admission.set_attribute("pacing_wait_s", wait)
+                        admission.set_attribute("requeues", requeues)
             finally:
                 self._turnstile.release()
             try:
@@ -507,9 +520,10 @@ class RequestScheduler:
         messages: Sequence[ChatMessage],
         submitted: float,
         deadline: float | None,
-    ) -> None:
+    ) -> float:
         """Reserve bucket capacity and charge the pacing wait.
 
+        Returns the virtual wait charged (0.0 when admission was free).
         Raises :class:`DeadlineExceededError` -- before reserving or
         charging anything -- when the projected delay cannot meet the
         deadline, so hopeless requests spend no budget.
@@ -544,6 +558,7 @@ class RequestScheduler:
         if wait > 0.0:
             clock.charge(wait)
             client.stats.record_throttle(model, wait)
+        return wait
 
     def _peek_wait(
         self,
@@ -617,6 +632,12 @@ class RequestScheduler:
                 ) from refusal
         client.clock.charge(penalty)
         stats.record_requeue(model, penalty)
+        add_event(
+            "scheduler.requeue",
+            reason="rate_limited",
+            retry_after_s=penalty,
+            requeues=requeues + 1,
+        )
         return requeues + 1
 
     def _requeue_server(
@@ -656,6 +677,12 @@ class RequestScheduler:
                 ) from failure
         client.clock.charge(penalty)
         stats.record_requeue(model, penalty)
+        add_event(
+            "scheduler.requeue",
+            reason="server_error",
+            retry_after_s=penalty,
+            requeues=requeues + 1,
+        )
         return requeues + 1
 
     def __repr__(self) -> str:

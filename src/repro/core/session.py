@@ -49,6 +49,7 @@ from repro.errors import AskItError
 from repro.ioexample import Example
 from repro.llm.client import ChatClient, ClientStats
 from repro.llm.latency import VirtualClock
+from repro.obs.telemetry import Telemetry
 from repro.templates import PromptTemplate
 from repro.types import lift
 
@@ -146,6 +147,22 @@ class Session:
             print(session.stats.throttled, session.stats.throttle_wait_s)
         """
         return self.config.request_scheduler
+
+    @property
+    def telemetry(self) -> "Telemetry | None":
+        """The observability surface, or ``None`` when ``telemetry="off"``.
+
+        Enable it per session to get per-request span waterfalls, stage
+        latency percentiles, and machine-readable exports (see
+        :mod:`repro.obs` and ``docs/observability.md``)::
+
+            session = Session(model="sim-gpt-4", cache_dir=None,
+                              telemetry="on")
+            session.ask(t.int, "{{a}} + {{b}}?", a=2, b=3)
+            print(session.telemetry.summary()["stages"].keys())
+            print(session.telemetry.slowest(3))
+        """
+        return self.config.telemetry
 
     def replace(self, **changes: Any) -> "Session":
         """A new isolated session with ``changes`` applied to this config."""

@@ -153,7 +153,9 @@ def run(
         else TaskRow(task, None, None, None, None)
         for task, outcome in zip(tasks, batch.outcomes)
     ]
-    return Table2Result(rows, wall_s=session.clock.elapsed_s, client_stats=session.stats)
+    return Table2Result(
+        rows, wall_s=session.clock.elapsed_s, client_stats=session.stats.snapshot()
+    )
 
 
 def run_cache_sweep(

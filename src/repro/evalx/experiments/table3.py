@@ -185,7 +185,7 @@ def run(
             stats.solved_directly += 1
             _measure_generated(definition, problem, language, stats)
         stats.wall_s = session.clock.elapsed_s
-        stats.client_stats = session.stats
+        stats.client_stats = session.stats.snapshot()
         results[language] = stats
     return results
 

@@ -16,15 +16,19 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import TYPE_CHECKING, Callable, Sequence
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Any, Callable, ContextManager, Sequence
 
 from repro.errors import RateLimitError
 from repro.llm.base import ChatMessage, CompletionResult, LanguageModel, user_message
 from repro.llm.providers.wire import WirePolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports llm)
     from repro.core.response_cache import ResponseCache
     from repro.core.scheduler import RequestScheduler
+    from repro.obs.telemetry import Telemetry
 from repro.llm.latency import VirtualClock
 from repro.llm.noise import NoisePolicy
 from repro.llm.providers import (
@@ -95,6 +99,10 @@ class ModelStats:
     def total_tokens(self) -> int:
         return self.prompt_tokens + self.completion_tokens
 
+    def as_dict(self) -> dict[str, int | float]:
+        """The counters as a plain JSON-able dict."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
     def __repr__(self) -> str:
         return (
             f"ModelStats(calls={self.calls}, prompt_tokens={self.prompt_tokens}, "
@@ -108,36 +116,82 @@ class ModelStats:
 class ClientStats:
     """Aggregate usage across all calls made through one client.
 
-    Accumulation is lock-protected so concurrent ``map()`` workers never
-    lose updates; ``per_model`` breaks the totals down by model name and
-    ``reset()`` zeroes everything (e.g. between experiment phases).
+    Every figure is a *view* over a
+    :class:`~repro.obs.metrics.MetricsRegistry` -- the same registry a
+    :class:`~repro.obs.telemetry.Telemetry` exports -- so a Prometheus
+    dump and this API can never disagree.  The counters are individually
+    lock-protected, so concurrent ``map()`` workers never lose updates;
+    ``per_model`` breaks the totals down by model name and ``reset()``
+    zeroes everything (e.g. between experiment phases).
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.calls = 0
-        self.prompt_tokens = 0
-        self.completion_tokens = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.coalesced = 0
-        self.throttled = 0
-        self.throttle_wait_s = 0.0
-        self.rate_limited = 0
-        self.requeued = 0
-        self.deadline_exceeded = 0
-        self.server_errors = 0
-        self._per_model: dict[str, ModelStats] = {}
+    #: ``(attribute, metric name, help)`` for every model-labelled counter
+    #: except the cache statuses, which share one counter.
+    _COUNTERS = (
+        ("calls", "askit_provider_calls_total", "Provider calls issued."),
+        ("prompt_tokens", "askit_prompt_tokens_total", "Prompt tokens consumed."),
+        (
+            "completion_tokens",
+            "askit_completion_tokens_total",
+            "Completion tokens produced.",
+        ),
+        (
+            "throttled",
+            "askit_throttled_total",
+            "Requests that paid a pacing wait at admission.",
+        ),
+        (
+            "throttle_wait_s",
+            "askit_throttle_wait_virtual_seconds_total",
+            "Virtual seconds spent waiting: pacing, backoffs, requeues.",
+        ),
+        (
+            "rate_limited",
+            "askit_rate_limited_total",
+            "429-style refusals received from providers.",
+        ),
+        (
+            "requeued",
+            "askit_requeued_total",
+            "Scheduler requeues after a refusal or server error.",
+        ),
+        (
+            "deadline_exceeded",
+            "askit_deadline_exceeded_total",
+            "Requests rejected by their virtual-time deadline.",
+        ),
+        (
+            "server_errors",
+            "askit_server_errors_total",
+            "5xx provider failures reaching the requeue path.",
+        ),
+    )
+
+    #: The shared cache-outcome counter (labels: ``model``, ``status``).
+    _CACHE_METRIC = "askit_cache_events_total"
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        #: The backing registry -- also the session's Prometheus surface.
+        self.registry = registry or MetricsRegistry()
+        self._counters = {
+            attr: self.registry.counter(name, help)
+            for attr, name, help in self._COUNTERS
+        }
+        self._cache_events = self.registry.counter(
+            self._CACHE_METRIC, "Response-cache outcomes by status."
+        )
+
+    # ----- recording ------------------------------------------------------
 
     def record(self, result: CompletionResult) -> None:
-        with self._lock:
-            self.calls += 1
-            self.prompt_tokens += result.usage.prompt_tokens
-            self.completion_tokens += result.usage.completion_tokens
-            model = self._per_model.setdefault(result.model, ModelStats())
-            model.calls += 1
-            model.prompt_tokens += result.usage.prompt_tokens
-            model.completion_tokens += result.usage.completion_tokens
+        """Account one provider call's usage."""
+        self._counters["calls"].inc(model=result.model)
+        self._counters["prompt_tokens"].inc(
+            result.usage.prompt_tokens, model=result.model
+        )
+        self._counters["completion_tokens"].inc(
+            result.usage.completion_tokens, model=result.model
+        )
 
     def record_cache(self, model: str, status: str) -> None:
         """Count one response-cache outcome for ``model``.
@@ -148,111 +202,179 @@ class ClientStats:
         miss still triggers a normal :meth:`record` for the provider
         call that follows; hits and coalesced replays never do.
         """
-        with self._lock:
-            per_model = self._per_model.setdefault(model, ModelStats())
-            if status == "hit":
-                self.cache_hits += 1
-                per_model.cache_hits += 1
-            elif status == "coalesced":
-                self.coalesced += 1
-                per_model.coalesced += 1
-            elif status == "miss":
-                self.cache_misses += 1
-                per_model.cache_misses += 1
-            else:  # pragma: no cover - defensive
-                raise ValueError(f"unknown cache status {status!r}")
+        if status not in ("hit", "miss", "coalesced"):  # pragma: no cover
+            raise ValueError(f"unknown cache status {status!r}")
+        self._cache_events.inc(model=model, status=status)
 
     def record_throttle(self, model: str, wait_s: float) -> None:
         """Count one pacing wait the scheduler charged for ``model``."""
-        with self._lock:
-            per_model = self._per_model.setdefault(model, ModelStats())
-            self.throttled += 1
-            self.throttle_wait_s += wait_s
-            per_model.throttled += 1
-            per_model.throttle_wait_s += wait_s
+        self._counters["throttled"].inc(model=model)
+        self._counters["throttle_wait_s"].inc(wait_s, model=model)
 
     def record_rate_limited(self, model: str, wait_s: float = 0.0) -> None:
         """Count one provider refusal (``wait_s``: naive backoff charged)."""
-        with self._lock:
-            per_model = self._per_model.setdefault(model, ModelStats())
-            self.rate_limited += 1
-            self.throttle_wait_s += wait_s
-            per_model.rate_limited += 1
-            per_model.throttle_wait_s += wait_s
+        self._counters["rate_limited"].inc(model=model)
+        self._counters["throttle_wait_s"].inc(wait_s, model=model)
 
     def record_requeue(self, model: str, wait_s: float = 0.0) -> None:
         """Count one scheduler requeue (``wait_s``: the Retry-After charged)."""
-        with self._lock:
-            per_model = self._per_model.setdefault(model, ModelStats())
-            self.requeued += 1
-            self.throttle_wait_s += wait_s
-            per_model.requeued += 1
-            per_model.throttle_wait_s += wait_s
+        self._counters["requeued"].inc(model=model)
+        self._counters["throttle_wait_s"].inc(wait_s, model=model)
 
     def record_server_error(self, model: str, wait_s: float = 0.0) -> None:
         """Count one 5xx provider failure (``wait_s``: the penalty charged)."""
-        with self._lock:
-            per_model = self._per_model.setdefault(model, ModelStats())
-            self.server_errors += 1
-            self.throttle_wait_s += wait_s
-            per_model.server_errors += 1
-            per_model.throttle_wait_s += wait_s
+        self._counters["server_errors"].inc(model=model)
+        self._counters["throttle_wait_s"].inc(wait_s, model=model)
 
     def record_deadline(self, model: str) -> None:
         """Count one request rejected by its virtual-time deadline."""
-        with self._lock:
-            per_model = self._per_model.setdefault(model, ModelStats())
-            self.deadline_exceeded += 1
-            per_model.deadline_exceeded += 1
+        self._counters["deadline_exceeded"].inc(model=model)
 
-    @staticmethod
-    def _copy(live: ModelStats) -> ModelStats:
-        snapshot = ModelStats()
-        snapshot.calls = live.calls
-        snapshot.prompt_tokens = live.prompt_tokens
-        snapshot.completion_tokens = live.completion_tokens
-        snapshot.cache_hits = live.cache_hits
-        snapshot.cache_misses = live.cache_misses
-        snapshot.coalesced = live.coalesced
-        snapshot.throttled = live.throttled
-        snapshot.throttle_wait_s = live.throttle_wait_s
-        snapshot.rate_limited = live.rate_limited
-        snapshot.requeued = live.requeued
-        snapshot.deadline_exceeded = live.deadline_exceeded
-        snapshot.server_errors = live.server_errors
-        return snapshot
+    # ----- totals (registry views) ---------------------------------------
+
+    @property
+    def calls(self) -> int:
+        """Provider calls issued (cache hits/coalesced excluded)."""
+        return int(self._counters["calls"].total())
+
+    @property
+    def prompt_tokens(self) -> int:
+        """Prompt tokens across all provider calls."""
+        return int(self._counters["prompt_tokens"].total())
+
+    @property
+    def completion_tokens(self) -> int:
+        """Completion tokens across all provider calls."""
+        return int(self._counters["completion_tokens"].total())
+
+    @property
+    def cache_hits(self) -> int:
+        """Requests replayed from the response cache."""
+        return int(self._cache_events.total(status="hit"))
+
+    @property
+    def cache_misses(self) -> int:
+        """Cache-consulted requests that reached the provider."""
+        return int(self._cache_events.total(status="miss"))
+
+    @property
+    def coalesced(self) -> int:
+        """Requests that shared a concurrent identical request's call."""
+        return int(self._cache_events.total(status="coalesced"))
+
+    @property
+    def throttled(self) -> int:
+        """Requests that paid a pacing wait at the admission gate."""
+        return int(self._counters["throttled"].total())
+
+    @property
+    def throttle_wait_s(self) -> float:
+        """Virtual seconds spent waiting: pacing, backoffs, requeues."""
+        return self._counters["throttle_wait_s"].total()
+
+    @property
+    def rate_limited(self) -> int:
+        """429-style refusals received from providers."""
+        return int(self._counters["rate_limited"].total())
+
+    @property
+    def requeued(self) -> int:
+        """Scheduler requeues after a refusal (each also counts a refusal)."""
+        return int(self._counters["requeued"].total())
+
+    @property
+    def deadline_exceeded(self) -> int:
+        """Requests rejected because their deadline was hopeless."""
+        return int(self._counters["deadline_exceeded"].total())
+
+    @property
+    def server_errors(self) -> int:
+        """5xx provider failures that reached the requeue path."""
+        return int(self._counters["server_errors"].total())
+
+    # ----- breakdowns and export -----------------------------------------
+
+    def _model_view(self, name: str) -> ModelStats:
+        view = ModelStats()
+        view.calls = int(self._counters["calls"].value(model=name))
+        view.prompt_tokens = int(self._counters["prompt_tokens"].value(model=name))
+        view.completion_tokens = int(
+            self._counters["completion_tokens"].value(model=name)
+        )
+        view.cache_hits = int(self._cache_events.value(model=name, status="hit"))
+        view.cache_misses = int(self._cache_events.value(model=name, status="miss"))
+        view.coalesced = int(self._cache_events.value(model=name, status="coalesced"))
+        view.throttled = int(self._counters["throttled"].value(model=name))
+        view.throttle_wait_s = self._counters["throttle_wait_s"].value(model=name)
+        view.rate_limited = int(self._counters["rate_limited"].value(model=name))
+        view.requeued = int(self._counters["requeued"].value(model=name))
+        view.deadline_exceeded = int(
+            self._counters["deadline_exceeded"].value(model=name)
+        )
+        view.server_errors = int(self._counters["server_errors"].value(model=name))
+        return view
+
+    def _model_names(self) -> set[str]:
+        names: set[str] = set()
+        for counter in self._counters.values():
+            names |= counter.label_values("model")
+        names |= self._cache_events.label_values("model")
+        return names
 
     @property
     def per_model(self) -> dict[str, ModelStats]:
         """A consistent snapshot of the per-model breakdown.
 
-        Copied under the lock, so iterating it while batch workers record
-        concurrently is safe (the live dict is never exposed).
+        Each :class:`ModelStats` is a detached copy, so iterating it
+        while batch workers record concurrently is safe.
         """
-        with self._lock:
-            return {name: self._copy(live) for name, live in self._per_model.items()}
+        return {name: self._model_view(name) for name in sorted(self._model_names())}
 
     def for_model(self, name: str) -> ModelStats:
         """A snapshot of one model's usage (zeros if never called)."""
-        with self._lock:
-            live = self._per_model.get(name)
-            return self._copy(live) if live is not None else ModelStats()
+        return self._model_view(name)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Every total plus the per-model breakdown, as plain data.
+
+        The shape is stable and JSON-able -- what eval drivers should
+        persist instead of reaching into attributes.
+        """
+        totals: dict[str, Any] = {
+            attr: getattr(self, attr) for attr, _name, _help in self._COUNTERS
+        }
+        totals["cache_hits"] = self.cache_hits
+        totals["cache_misses"] = self.cache_misses
+        totals["coalesced"] = self.coalesced
+        totals["per_model"] = {
+            name: view.as_dict() for name, view in self.per_model.items()
+        }
+        return totals
+
+    def snapshot(self) -> "ClientStats":
+        """A detached point-in-time copy backed by its own registry.
+
+        The copy never changes when the live client keeps recording --
+        what drivers want when they store "stats after phase one".
+        """
+        frozen = ClientStats()
+        for attr, _name, _help in self._COUNTERS:
+            source, target = self._counters[attr], frozen._counters[attr]
+            for key, value in source.series().items():
+                target.inc(value, **dict(key))
+        for key, value in self._cache_events.series().items():
+            frozen._cache_events.inc(value, **dict(key))
+        return frozen
 
     def reset(self) -> None:
-        with self._lock:
-            self.calls = 0
-            self.prompt_tokens = 0
-            self.completion_tokens = 0
-            self.cache_hits = 0
-            self.cache_misses = 0
-            self.coalesced = 0
-            self.throttled = 0
-            self.throttle_wait_s = 0.0
-            self.rate_limited = 0
-            self.requeued = 0
-            self.deadline_exceeded = 0
-            self.server_errors = 0
-            self._per_model = {}
+        """Zero every counter this stats object writes.
+
+        Only the stats-owned instruments are touched; telemetry series
+        sharing the registry (span counts, stage histograms) survive.
+        """
+        for counter in self._counters.values():
+            counter.reset()
+        self._cache_events.reset()
 
     def __repr__(self) -> str:
         cache = ""
@@ -304,6 +426,10 @@ class ChatClient:
         #: means simulated models never refuse.
         self.rate_limit = rate_limit
         self.stats = ClientStats()
+        #: The attached :class:`~repro.obs.telemetry.Telemetry`, set by
+        #: :meth:`Telemetry.attach`; ``None`` keeps tracing off (the
+        #: instrumented paths reduce to a single ``is None`` check).
+        self.telemetry: "Telemetry | None" = None
         #: Optional transcript recorder (off by default; see
         #: :mod:`repro.llm.transcript`).
         self.recorder = recorder
@@ -383,18 +509,26 @@ class ChatClient:
         exponential backoff around the provider's ``retry_after_s`` hint.
         """
         messages = self._as_messages(messages)
-        if cache is None:
-            result = self._issue(model, messages, temperature, scheduler, priority)
-            self._account(model, messages, result)
+        with self._span(
+            "askit.request", model=model, scheduled=scheduler is not None
+        ):
+            if cache is None:
+                result = self._issue(model, messages, temperature, scheduler, priority)
+                self._account(model, messages, result)
+                return result
+            with self._span("askit.cache", model=model) as cache_span:
+                status, result = cache.fetch(
+                    model,
+                    messages,
+                    temperature,
+                    lambda: self._issue(
+                        model, messages, temperature, scheduler, priority
+                    ),
+                )
+                if cache_span is not None:
+                    cache_span.set_attribute("cache.status", status)
+            self._settle_cached(model, messages, status, result)
             return result
-        status, result = cache.fetch(
-            model,
-            messages,
-            temperature,
-            lambda: self._issue(model, messages, temperature, scheduler, priority),
-        )
-        self._settle_cached(model, messages, status, result)
-        return result
 
     async def achat_complete(
         self,
@@ -415,20 +549,28 @@ class ChatClient:
         lock across the awaited provider call.
         """
         messages = self._as_messages(messages)
-        if cache is None:
-            result = await self._aissue(
-                model, messages, temperature, scheduler, priority
-            )
-            self._account(model, messages, result)
+        with self._span(
+            "askit.request", model=model, scheduled=scheduler is not None
+        ):
+            if cache is None:
+                result = await self._aissue(
+                    model, messages, temperature, scheduler, priority
+                )
+                self._account(model, messages, result)
+                return result
+            with self._span("askit.cache", model=model) as cache_span:
+                status, result = await cache.afetch(
+                    model,
+                    messages,
+                    temperature,
+                    lambda: self._aissue(
+                        model, messages, temperature, scheduler, priority
+                    ),
+                )
+                if cache_span is not None:
+                    cache_span.set_attribute("cache.status", status)
+            self._settle_cached(model, messages, status, result)
             return result
-        status, result = await cache.afetch(
-            model,
-            messages,
-            temperature,
-            lambda: self._aissue(model, messages, temperature, scheduler, priority),
-        )
-        self._settle_cached(model, messages, status, result)
-        return result
 
     def _issue(
         self,
@@ -439,7 +581,7 @@ class ChatClient:
         priority: int,
     ) -> CompletionResult:
         """One provider round-trip: scheduled, or naive-backoff on 429s."""
-        call = lambda: self.provider_for(model).complete(  # noqa: E731
+        call = lambda: self._transport_complete(  # noqa: E731
             model, messages, temperature
         )
         if scheduler is not None:
@@ -494,13 +636,44 @@ class ChatClient:
         self.clock.charge(wait)
         self.stats.record_rate_limited(model, wait)
 
+    def _span(self, name: str, **attributes: Any) -> ContextManager[Span | None]:
+        """A tracer span when telemetry is attached, else a no-op context."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return nullcontext()
+        return telemetry.tracer.span(name, attributes)
+
+    def _transport_complete(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> CompletionResult:
+        """One provider call inside an ``askit.transport`` span.
+
+        A refusal (429) or server error surfaces as an error-status
+        transport span, so every attempt -- including the ones the
+        scheduler requeues -- leaves its own span in the same trace.
+        """
+        with self._span("askit.transport", model=model) as span:
+            result = self.provider_for(model).complete(model, messages, temperature)
+            if span is not None:
+                span.set_attribute("latency_s", result.latency_s)
+                span.set_attribute("cached", result.cached)
+            return result
+
     async def _acomplete_provider(
         self, model: str, messages: Sequence[ChatMessage], temperature: float
     ) -> CompletionResult:
-        provider = self.provider_for(model)
-        if provider.supports_async:
-            return await provider.acomplete(model, messages, temperature)
-        return await asyncio.to_thread(provider.complete, model, messages, temperature)
+        with self._span("askit.transport", model=model) as span:
+            provider = self.provider_for(model)
+            if provider.supports_async:
+                result = await provider.acomplete(model, messages, temperature)
+            else:
+                result = await asyncio.to_thread(
+                    provider.complete, model, messages, temperature
+                )
+            if span is not None:
+                span.set_attribute("latency_s", result.latency_s)
+                span.set_attribute("cached", result.cached)
+            return result
 
     def _settle_cached(
         self,

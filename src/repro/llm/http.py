@@ -47,6 +47,7 @@ from repro.errors import (
     TransportError,
     TransportTimeoutError,
 )
+from repro.obs.trace import add_event
 
 #: The taxonomy name the ISSUE/paper-facing docs use; the class lives in
 #: :mod:`repro.errors` under a non-shadowing name.
@@ -306,14 +307,27 @@ class HTTPClient:
                 wait = self.backoff_base_s * (2.0 ** (attempt - 1))
                 if isinstance(failure, ServerError):
                     wait = max(wait, failure.retry_after_s)
+                add_event("http.retry", attempt=attempt, backoff_s=wait)
                 self._sleep(wait)
             try:
                 response = self.transport(request)
             except TransportError as error:
                 if not error.retryable:
                     raise
+                add_event(
+                    "http.transport_error",
+                    attempt=attempt + 1,
+                    error=type(error).__name__,
+                )
                 failure = error
                 continue
+            add_event(
+                "http.response",
+                status=response.status,
+                attempt=attempt + 1,
+                elapsed_s=response.elapsed_s,
+                retry_after=response.header("Retry-After"),
+            )
             try:
                 return self._classify(request, response, model), response
             except ServerError as error:

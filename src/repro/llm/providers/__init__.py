@@ -24,8 +24,9 @@ from repro.errors import ConfigError
 from repro.llm.providers.anthropic import AnthropicProvider
 from repro.llm.providers.base import Provider, ProviderBase
 from repro.llm.providers.gemini import GeminiProvider
-from repro.llm.providers.openai import OpenAIProvider
-from repro.llm.providers.openai_stub import OpenAIStubProvider
+# OpenAIStubProvider historically lived in a separate openai_stub
+# module; it is now defined alongside the canonical adapter.
+from repro.llm.providers.openai import OpenAIProvider, OpenAIStubProvider
 from repro.llm.providers.simulated import RegisteredModelProvider, SimulatedProvider
 from repro.llm.providers.wire import WirePolicy, WireProvider
 

@@ -1,11 +1,12 @@
-"""The OpenAI wire adapter (``chat.completions`` shape).
+"""The OpenAI wire adapter (``chat.completions`` shape) and its stub.
 
 Canonical request/response marshalling for OpenAI-compatible endpoints
 -- ``POST {base}/chat/completions`` with ``model``/``messages``/
 ``temperature``, replies carrying ``choices`` and ``usage``.  This is
 the one OpenAI code path in the registry: the local test stub
-(:mod:`repro.llm.providers.openai_stub`) subclasses it and swaps the
-transport, so the stub exercises exactly these adapters.
+(:class:`OpenAIStubProvider`, below) subclasses it and swaps the
+transport for an in-process responder, so the stub exercises exactly
+these adapters and can never drift from the wire shape.
 
 Registered for the ``gpt-`` and ``openai-`` model-name prefixes.  The
 key comes from ``OPENAI_API_KEY``; ``OPENAI_BASE_URL`` points the
@@ -14,11 +15,22 @@ adapter at any compatible endpoint (proxies, local servers).
 
 from __future__ import annotations
 
-from typing import Sequence
+import json
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
-from repro.llm.base import ChatMessage
-from repro.llm.http import HTTPRequest
-from repro.llm.providers.wire import WireProvider
+from repro.llm.base import ChatMessage, CompletionResult, Usage
+from repro.llm.http import HTTPClient, HTTPRequest, HTTPResponse
+from repro.llm.providers.wire import WirePolicy, WireProvider
+from repro.llm.tokenizer import count_tokens
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.llm.client import ChatClient
+
+#: Seconds of simulated latency the stub reports per completion.
+STUB_LATENCY_S = 0.01
+
+Responder = Callable[[dict[str, Any]], dict[str, Any]]
+
 
 class OpenAIProvider(WireProvider):
     """Real OpenAI ``chat.completions`` backend over the shared transport."""
@@ -69,3 +81,115 @@ class OpenAIProvider(WireProvider):
         if model.startswith("openai-"):
             return model[len("openai-"):]
         return model
+
+
+def _echo_responder(request: dict[str, Any]) -> dict[str, Any]:
+    """Default responder: acknowledge the last user message."""
+    last = request["messages"][-1]["content"] if request["messages"] else ""
+    text = f"[stub:{request['model']}] {last[:120]}"
+    prompt_tokens = sum(
+        count_tokens(message["content"]) + 4 for message in request["messages"]
+    )
+    return {
+        "id": "chatcmpl-stub",
+        "object": "chat.completion",
+        "model": request["model"],
+        "choices": [
+            {
+                "index": 0,
+                "message": {"role": "assistant", "content": text},
+                "finish_reason": "stop",
+            }
+        ],
+        "usage": {
+            "prompt_tokens": prompt_tokens,
+            "completion_tokens": count_tokens(text),
+        },
+    }
+
+
+class _ResponderTransport:
+    """A :class:`~repro.llm.http.Transport` backed by a local responder."""
+
+    def __init__(self, responder: Responder) -> None:
+        self._responder = responder
+
+    def __call__(self, request: HTTPRequest) -> HTTPResponse:
+        reply = self._responder(request.json())
+        return HTTPResponse(
+            200,
+            {"Content-Type": "application/json"},
+            json.dumps(reply, ensure_ascii=False).encode("utf-8"),
+            STUB_LATENCY_S,
+        )
+
+
+class OpenAIStubProvider(OpenAIProvider):
+    """The canonical OpenAI adapter mounted on an in-process responder.
+
+    Tests register it under a prefix of their choosing via
+    :func:`repro.llm.providers.register_provider`; a custom
+    ``responder`` (a ``dict -> dict`` function over the wire shapes)
+    scripts the replies.
+    """
+
+    name = "openai-stub"
+    supports_async = True
+    deterministic = True
+
+    def __init__(
+        self,
+        client: "ChatClient | None" = None,
+        responder: Responder | None = None,
+    ) -> None:
+        # ``client`` is accepted (and ignored) so the class itself can be
+        # passed to register_provider as a factory.
+        super().__init__(
+            None,
+            api_key="stub-key",
+            policy=WirePolicy(live=False, cassette_dir=None, env={}),
+            http=HTTPClient(_ResponderTransport(responder or _echo_responder)),
+        )
+
+    # -- wire marshalling (back-compat dict shapes) --------------------------
+
+    def build_request(  # type: ignore[override]
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> dict[str, Any]:
+        """The request *body* as a dict (the stub's historical shape).
+
+        The real adapter's :meth:`OpenAIProvider.build_request` returns
+        a full :class:`~repro.llm.http.HTTPRequest`; the stub keeps its
+        original dict-shaped helper for tests that inspect the wire
+        body directly, and rebuilds the HTTP envelope in
+        :meth:`wire_request`.
+        """
+        return super().build_request(model, messages, temperature).json()
+
+    def wire_request(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> HTTPRequest:
+        """The full HTTP envelope the canonical adapter would send."""
+        return OpenAIProvider.build_request(self, model, messages, temperature)
+
+    # -- Provider ------------------------------------------------------------
+
+    def complete(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> CompletionResult:
+        """Serve one completion through the canonical adapter pipeline."""
+        request = self.wire_request(model, messages, temperature)
+        payload, response = self.http.send(request, model=model)
+        text, prompt_tokens, completion_tokens = self.parse_payload(payload)
+        return CompletionResult(
+            text,
+            Usage(int(prompt_tokens), int(completion_tokens)),
+            response.elapsed_s,
+            model,
+        )
+
+    async def acomplete(
+        self, model: str, messages: Sequence[ChatMessage], temperature: float
+    ) -> CompletionResult:
+        """Native async path: no thread hop, the responder is local."""
+        return self.complete(model, messages, temperature)

@@ -1,0 +1,58 @@
+"""Observability: tracing, metrics, and exporters for the runtime.
+
+The package is zero-dependency and off by default.  Four modules:
+
+* :mod:`repro.obs.trace` -- hierarchical :class:`Span` trees with
+  virtual + wall clocks and ambient context propagation.
+* :mod:`repro.obs.metrics` -- :class:`MetricsRegistry` of counters,
+  gauges, and fixed-bucket histograms; the single source of truth
+  behind :class:`~repro.llm.client.ClientStats`.
+* :mod:`repro.obs.export` -- JSON-lines span sink (atomic append,
+  size-capped rotation) and Prometheus text dumps.
+* :mod:`repro.obs.telemetry` -- the :class:`Telemetry` facade wiring
+  the above to a session, plus the in-process query surface
+  (percentiles, slowest-span top-k) reachable as
+  ``Session.telemetry``.
+
+Enable with ``Config(telemetry="on")``, a full
+:class:`TelemetryPolicy`, or the ``REPRO_TRACE_DIR`` environment
+variable.
+"""
+
+from repro.obs.export import JsonLinesSpanSink, read_spans, write_prometheus
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.telemetry import (
+    TELEMETRY_MODES,
+    TRACE_DIR_ENV,
+    Telemetry,
+    TelemetryPolicy,
+    resolve_telemetry_mode,
+)
+from repro.obs.trace import Span, Tracer, add_event, annotate, current_span
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_span",
+    "annotate",
+    "add_event",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "JsonLinesSpanSink",
+    "read_spans",
+    "write_prometheus",
+    "Telemetry",
+    "TelemetryPolicy",
+    "TELEMETRY_MODES",
+    "TRACE_DIR_ENV",
+    "resolve_telemetry_mode",
+]

@@ -1,0 +1,106 @@
+"""Span and metrics exporters: JSON-lines sink and Prometheus dump.
+
+Two machine-readable surfaces, both zero-dependency:
+
+* :class:`JsonLinesSpanSink` -- one JSON object per finished span,
+  appended as a single atomic ``write()`` under a lock so concurrent
+  ``map()`` workers never interleave partial lines.  Rotation is
+  size-capped: when the file would exceed ``max_bytes`` it is renamed
+  to ``<name>.1`` (replacing any previous rotation) and a fresh file
+  starts, bounding disk use at roughly twice the cap.
+  :func:`read_spans` round-trips the file back into
+  :class:`~repro.obs.trace.Span` objects.
+* :func:`write_prometheus` -- dumps a
+  :class:`~repro.obs.metrics.MetricsRegistry` in the text exposition
+  format, atomically (temp file + rename), for scrape-by-file setups.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span
+
+#: Default rotation threshold for the JSONL sink, in bytes.
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+
+class JsonLinesSpanSink:
+    """Appends finished spans to a JSONL file with size-capped rotation.
+
+    Designed to be registered as a tracer ``on_end`` hook (it is
+    callable).  Every span becomes exactly one line; the encode happens
+    outside the lock, the single ``write()`` inside it.
+    """
+
+    def __init__(self, path: str | Path, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def __call__(self, span: Span) -> None:
+        """Append one span (the tracer hook entry point)."""
+        self.write(span.to_dict())
+
+    def write(self, row: dict) -> None:
+        """Append one JSON-able row as a single line."""
+        line = json.dumps(row, ensure_ascii=False, default=str) + "\n"
+        encoded = line.encode("utf-8")
+        with self._lock:
+            self._rotate_if_needed(len(encoded))
+            # O_APPEND + one write() call: atomic on POSIX, so parallel
+            # writers (or a second sink on the same path) never shear a
+            # line.
+            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, encoded)
+            finally:
+                os.close(fd)
+
+    def _rotate_if_needed(self, incoming: int) -> None:
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return
+        if size + incoming <= self.max_bytes:
+            return
+        os.replace(self.path, self.path.with_name(self.path.name + ".1"))
+
+    def __repr__(self) -> str:
+        return f"JsonLinesSpanSink({self.path}, max_bytes={self.max_bytes})"
+
+
+def read_spans(path: str | Path) -> list[Span]:
+    """Load every span from a JSONL sink file, oldest first."""
+    spans: list[Span] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def write_prometheus(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Dump ``registry`` as Prometheus text, atomically; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    staging = target.with_name(target.name + ".tmp")
+    staging.write_text(registry.prometheus_text(), encoding="utf-8")
+    os.replace(staging, target)
+    return target
+
+
+__all__ = [
+    "JsonLinesSpanSink",
+    "read_spans",
+    "write_prometheus",
+    "DEFAULT_MAX_BYTES",
+]

@@ -1,0 +1,457 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The runtime's latency/throughput facts used to live in ad-hoc
+lock-protected tallies (``ClientStats``, scheduler throttle counters,
+cache hit counts) with no export path.  This module gives them a single
+home: a :class:`MetricsRegistry` of named instruments, each holding one
+time series per label set, thread-safe and deterministic (no wall-clock
+reads, no background threads).
+
+Three instrument kinds, mirroring the Prometheus data model:
+
+* :class:`Counter` -- a monotonically increasing sum per label set
+  (``askit_provider_calls_total{model="sim-gpt-4"}``).
+* :class:`Gauge` -- a value that can go up and down (window sizes,
+  queue depths).
+* :class:`Histogram` -- observations bucketed over fixed boundaries,
+  with per-series count and sum, supporting percentile estimates.
+
+:class:`~repro.llm.client.ClientStats` is a *view* over one registry --
+every counter it reports is backed by an instrument here -- so a
+Prometheus dump (:meth:`MetricsRegistry.prometheus_text`) and the
+``ClientStats`` API can never disagree.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ConfigError
+
+#: One label set, canonicalized: sorted ``(name, value)`` pairs.
+LabelKey = tuple
+
+#: Default histogram boundaries, in (virtual) seconds.  Spans in this
+#: runtime range from microsecond parse steps to multi-minute throttle
+#: waits, so the grid is log-ish and wide.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.025,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+    300.0,
+    600.0,
+)
+
+
+def label_key(labels: Mapping[str, Any]) -> LabelKey:
+    """Canonicalize one label mapping into a hashable, sorted key."""
+    return tuple(sorted((str(name), str(value)) for name, value in labels.items()))
+
+
+def _matches(key: LabelKey, subset: Mapping[str, Any]) -> bool:
+    """Whether a series key carries every label of ``subset``."""
+    if not subset:
+        return True
+    held = dict(key)
+    return all(held.get(name) == str(value) for name, value in subset.items())
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*key, *extra]
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(value)}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Instrument:
+    """Base of all instruments: a name, help text, and a series lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def reset(self) -> None:
+        """Drop every series (subclasses hold the storage)."""
+        raise NotImplementedError
+
+    def prometheus_lines(self) -> list[str]:
+        """This instrument rendered in the Prometheus text format."""
+        raise NotImplementedError
+
+    def _header(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(Instrument):
+    """A monotonically increasing sum, one series per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._series: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (>= 0) to the series for ``labels``.
+
+        An increment of zero still materializes the series, so a label
+        value (e.g. a model name) becomes visible the moment it is
+        first touched.
+        """
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        key = label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """The exact series value for ``labels`` (0.0 when absent)."""
+        with self._lock:
+            return self._series.get(label_key(labels), 0.0)
+
+    def total(self, **labels: Any) -> float:
+        """The sum over every series matching the ``labels`` subset."""
+        with self._lock:
+            return sum(
+                value for key, value in self._series.items() if _matches(key, labels)
+            )
+
+    def series(self) -> dict[LabelKey, float]:
+        """A consistent copy of every series."""
+        with self._lock:
+            return dict(self._series)
+
+    def label_values(self, label: str) -> set[str]:
+        """Every distinct value the series hold for ``label``."""
+        with self._lock:
+            found = set()
+            for key in self._series:
+                for name, value in key:
+                    if name == label:
+                        found.add(value)
+            return found
+
+    def reset(self) -> None:
+        """Zero the counter by dropping every series."""
+        with self._lock:
+            self._series.clear()
+
+    def prometheus_lines(self) -> list[str]:
+        """Render ``name{labels} value`` lines, sorted for stable diffs."""
+        lines = self._header()
+        for key in sorted(self.series()):
+            lines.append(
+                f"{self.name}{_format_labels(key)} "
+                f"{_format_value(self._series.get(key, 0.0))}"
+            )
+        return lines
+
+
+class Gauge(Instrument):
+    """A point-in-time value that may go up or down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._series: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set the series for ``labels`` to ``value``."""
+        with self._lock:
+            self._series[label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: Any) -> None:
+        """Adjust the series for ``labels`` by ``amount`` (may be negative)."""
+        key = label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """The series value for ``labels`` (0.0 when absent)."""
+        with self._lock:
+            return self._series.get(label_key(labels), 0.0)
+
+    def series(self) -> dict[LabelKey, float]:
+        """A consistent copy of every series."""
+        with self._lock:
+            return dict(self._series)
+
+    def reset(self) -> None:
+        """Drop every series."""
+        with self._lock:
+            self._series.clear()
+
+    def prometheus_lines(self) -> list[str]:
+        """Render ``name{labels} value`` lines, sorted for stable diffs."""
+        lines = self._header()
+        series = self.series()
+        for key in sorted(series):
+            lines.append(f"{self.name}{_format_labels(key)} {_format_value(series[key])}")
+        return lines
+
+
+class _HistogramSeries:
+    """Bucket counts, sum, and count for one label set."""
+
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, buckets: int) -> None:
+        # One slot per finite boundary plus the +Inf overflow bucket.
+        self.bucket_counts = [0] * (buckets + 1)
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(Instrument):
+    """Observations over fixed bucket boundaries, one series per label set.
+
+    Boundaries are upper-inclusive (`le`), Prometheus-style; everything
+    above the last finite boundary lands in the implicit ``+Inf``
+    bucket.  Percentiles are estimated by linear interpolation inside
+    the bucket holding the target rank -- exact enough for latency
+    reporting, and entirely deterministic.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] | None = None,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(sorted(buckets)) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds:
+            raise ConfigError(f"histogram {name} needs at least one bucket boundary")
+        self.bounds = bounds
+        self._series: dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation into the series for ``labels``."""
+        key = label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.bounds))
+            index = len(self.bounds)  # +Inf by default
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    index = i
+                    break
+            series.bucket_counts[index] += 1
+            series.total += value
+            series.count += 1
+
+    def count(self, **labels: Any) -> int:
+        """Observations recorded across series matching ``labels``."""
+        with self._lock:
+            return sum(
+                series.count
+                for key, series in self._series.items()
+                if _matches(key, labels)
+            )
+
+    def sum(self, **labels: Any) -> float:
+        """Sum of observations across series matching ``labels``."""
+        with self._lock:
+            return sum(
+                series.total
+                for key, series in self._series.items()
+                if _matches(key, labels)
+            )
+
+    def _merged_counts(self, labels: Mapping[str, Any]) -> list[int]:
+        with self._lock:
+            merged = [0] * (len(self.bounds) + 1)
+            for key, series in self._series.items():
+                if _matches(key, labels):
+                    for i, held in enumerate(series.bucket_counts):
+                        merged[i] += held
+            return merged
+
+    def percentile(self, q: float, **labels: Any) -> float:
+        """Estimate the ``q``-th percentile (0-100) over matching series.
+
+        Returns 0.0 when no observations match.  The estimate
+        interpolates linearly within the winning bucket; ranks landing
+        in the ``+Inf`` bucket report the last finite boundary.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile q must be in [0, 100]")
+        counts = self._merged_counts(labels)
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        rank = (q / 100.0) * total
+        cumulative = 0
+        for i, held in enumerate(counts):
+            previous = cumulative
+            cumulative += held
+            if cumulative >= rank and held > 0:
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i]
+                fraction = (rank - previous) / held if held else 0.0
+                return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+        return self.bounds[-1]  # pragma: no cover - defensive
+
+    def series_keys(self) -> list[LabelKey]:
+        """Every label set currently holding observations."""
+        with self._lock:
+            return sorted(self._series)
+
+    def reset(self) -> None:
+        """Drop every series."""
+        with self._lock:
+            self._series.clear()
+
+    def prometheus_lines(self) -> list[str]:
+        """Cumulative ``_bucket``/``_sum``/``_count`` lines per series."""
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._series.items())
+            for key, series in items:
+                cumulative = 0
+                for bound, held in zip(self.bounds, series.bucket_counts):
+                    cumulative += held
+                    labels = _format_labels(key, (("le", _format_value(bound)),))
+                    lines.append(f"{self.name}_bucket{labels} {cumulative}")
+                cumulative += series.bucket_counts[-1]
+                labels = _format_labels(key, (("le", "+Inf"),))
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+                lines.append(
+                    f"{self.name}_sum{_format_labels(key)} "
+                    f"{_format_value(series.total)}"
+                )
+                lines.append(f"{self.name}_count{_format_labels(key)} {series.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of instruments with one export surface.
+
+    Instruments are created on first use and memoized by name --
+    requesting an existing name returns the same object, and requesting
+    it as a different kind raises :class:`~repro.errors.ConfigError`.
+    One registry is the single source of truth for one client/session:
+    :class:`~repro.llm.client.ClientStats` writes its counters here, a
+    :class:`~repro.obs.telemetry.Telemetry` adds span/stage series, and
+    :meth:`prometheus_text` exports everything at once.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, kind: type, factory) -> Any:
+        with self._lock:
+            held = self._instruments.get(name)
+            if held is not None:
+                if not isinstance(held, kind):
+                    raise ConfigError(
+                        f"metric {name!r} already registered as {held.kind}, "
+                        f"not {kind.kind}"
+                    )
+                return held
+            created = factory()
+            self._instruments[name] = created
+            return created
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Iterable[float] | None = None
+    ) -> Histogram:
+        """The histogram named ``name`` (created on first use).
+
+        ``buckets`` only applies on creation; later calls return the
+        existing instrument with its original boundaries.
+        """
+        return self._get(name, Histogram, lambda: Histogram(name, help, buckets))
+
+    def instruments(self) -> list[Instrument]:
+        """Every registered instrument, sorted by name."""
+        with self._lock:
+            return [self._instruments[name] for name in sorted(self._instruments)]
+
+    def reset(self) -> None:
+        """Zero every instrument (the instruments themselves survive)."""
+        for instrument in self.instruments():
+            instrument.reset()
+
+    def prometheus_text(self) -> str:
+        """The whole registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for instrument in self.instruments():
+            lines.extend(instrument.prometheus_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able dump: ``{name: {kind, series: {labels: value}}}``."""
+        dump: dict[str, Any] = {}
+        for instrument in self.instruments():
+            if isinstance(instrument, (Counter, Gauge)):
+                series = {
+                    _format_labels(key) or "{}": value
+                    for key, value in instrument.series().items()
+                }
+                dump[instrument.name] = {"kind": instrument.kind, "series": series}
+            elif isinstance(instrument, Histogram):
+                series = {
+                    _format_labels(key)
+                    or "{}": {
+                        "count": instrument.count(**dict(key)),
+                        "sum": instrument.sum(**dict(key)),
+                    }
+                    for key in instrument.series_keys()
+                }
+                dump[instrument.name] = {
+                    "kind": instrument.kind,
+                    "buckets": list(instrument.bounds),
+                    "series": series,
+                }
+        return dump
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._instruments)} instruments)"

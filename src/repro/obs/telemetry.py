@@ -1,0 +1,261 @@
+"""The telemetry facade: policy knob, tracer wiring, query surface.
+
+:class:`Telemetry` is what the rest of the runtime sees.  One instance
+binds together a :class:`~repro.obs.trace.Tracer`, the session's
+:class:`~repro.obs.metrics.MetricsRegistry` (the same one backing
+:class:`~repro.llm.client.ClientStats`, via :meth:`Telemetry.attach`),
+and an optional :class:`~repro.obs.export.JsonLinesSpanSink`.  Every
+finished span is folded into two registry series --
+
+* ``askit_spans_total{stage, status}`` -- span counts, and
+* ``askit_stage_virtual_seconds{stage}`` -- a histogram of
+  virtual-clock durations per lifecycle stage --
+
+and, when a trace directory is configured, appended to
+``spans.jsonl``.  On top of the retained spans the class offers the
+in-process query surface the ISSUE asks for: per-stage latency
+percentiles (:meth:`percentile`, :meth:`stage_summary`) and a
+slowest-span top-k (:meth:`slowest`).
+
+Everything is off by default.  ``Config(telemetry="on")`` (or a full
+:class:`TelemetryPolicy`) enables it per session, and the
+``REPRO_TRACE_DIR`` environment variable both enables telemetry and
+points the JSONL/Prometheus exporters at a directory.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.errors import ConfigError
+from repro.obs.export import JsonLinesSpanSink, write_prometheus
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.trace import DEFAULT_CAPACITY, Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.llm.client import ChatClient
+
+#: Valid values for ``Config(telemetry=...)``.
+TELEMETRY_MODES = ("off", "on")
+
+#: Environment variable that switches telemetry on and selects where
+#: the JSONL span sink and Prometheus dump land.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: File names written under the trace directory.
+SPANS_FILENAME = "spans.jsonl"
+PROMETHEUS_FILENAME = "metrics.prom"
+
+
+class TelemetryPolicy:
+    """The knobs one :class:`Telemetry` instance is built from.
+
+    ``trace_dir=None`` keeps everything in process (no files); setting
+    it enables the JSONL span sink and gives :meth:`Telemetry.dump` a
+    home for the Prometheus text dump.
+    """
+
+    __slots__ = ("trace_dir", "max_spans", "sink_max_bytes", "stage_buckets")
+
+    def __init__(
+        self,
+        trace_dir: str | Path | None = None,
+        max_spans: int = DEFAULT_CAPACITY,
+        sink_max_bytes: int = 16 * 1024 * 1024,
+        stage_buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if max_spans < 1:
+            raise ConfigError("max_spans must be >= 1")
+        if sink_max_bytes < 1:
+            raise ConfigError("sink_max_bytes must be >= 1")
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.max_spans = max_spans
+        self.sink_max_bytes = sink_max_bytes
+        self.stage_buckets = tuple(stage_buckets)
+
+    @classmethod
+    def from_env(cls, environ: dict[str, str] | None = None) -> "TelemetryPolicy":
+        """A policy honouring ``REPRO_TRACE_DIR`` (may still be dir-less)."""
+        env = os.environ if environ is None else environ
+        trace_dir = env.get(TRACE_DIR_ENV) or None
+        return cls(trace_dir=trace_dir)
+
+    def __repr__(self) -> str:
+        return (
+            f"TelemetryPolicy(trace_dir={self.trace_dir!r}, "
+            f"max_spans={self.max_spans})"
+        )
+
+
+def _stage_of(span: Span) -> str:
+    """The lifecycle-stage label for a span (``askit.cache`` -> ``cache``)."""
+    name = span.name
+    return name[len("askit.") :] if name.startswith("askit.") else name
+
+
+class Telemetry:
+    """Tracing + metrics + exporters for one session, behind one handle.
+
+    Build one with a policy, then :meth:`attach` it to a
+    :class:`~repro.llm.client.ChatClient`: attaching points the tracer
+    at the client's virtual clock, adopts the client's stats registry
+    (so spans and :class:`~repro.llm.client.ClientStats` export
+    through the same Prometheus text), and makes the client emit spans
+    for every request.  :class:`~repro.core.config.Config` does this
+    automatically when ``telemetry`` is enabled.
+    """
+
+    def __init__(self, policy: TelemetryPolicy | None = None) -> None:
+        self.policy = policy or TelemetryPolicy()
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(capacity=self.policy.max_spans)
+        self.sink: JsonLinesSpanSink | None = None
+        if self.policy.trace_dir is not None:
+            self.sink = JsonLinesSpanSink(
+                self.policy.trace_dir / SPANS_FILENAME,
+                max_bytes=self.policy.sink_max_bytes,
+            )
+        self.tracer.on_end(self._on_span_end)
+
+    def attach(self, client: "ChatClient") -> "Telemetry":
+        """Bind to ``client``: adopt its clock and registry, start tracing."""
+        self.registry = client.stats.registry
+        self.tracer.virtual_now = client.clock.now
+        client.telemetry = self
+        return self
+
+    def _on_span_end(self, span: Span) -> None:
+        """Fold one finished span into metrics and the sink."""
+        stage = _stage_of(span)
+        # Re-fetch instruments each time: attach() swaps the registry.
+        self.registry.counter(
+            "askit_spans_total", "Finished spans by lifecycle stage and status."
+        ).inc(stage=stage, status=span.status)
+        self.registry.histogram(
+            "askit_stage_virtual_seconds",
+            "Virtual-clock span duration per lifecycle stage.",
+            buckets=self.policy.stage_buckets,
+        ).observe(span.duration_s(), stage=stage)
+        if self.sink is not None:
+            self.sink(span)
+
+    # ----- query surface -------------------------------------------------
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        """Finished spans, oldest first, optionally for one trace."""
+        return self.tracer.spans(trace_id)
+
+    def traces(self) -> dict[str, list[Span]]:
+        """Finished spans grouped by ``trace_id``."""
+        return self.tracer.traces()
+
+    def slowest(self, k: int = 10, stage: str | None = None) -> list[Span]:
+        """The top-``k`` spans by virtual duration (optionally one stage)."""
+        held = self.tracer.spans()
+        if stage is not None:
+            held = [span for span in held if _stage_of(span) == stage]
+        return sorted(held, key=lambda span: span.duration_s(), reverse=True)[:k]
+
+    def percentile(self, stage: str, q: float) -> float:
+        """The ``q``-th percentile of a stage's virtual duration."""
+        return self.registry.histogram(
+            "askit_stage_virtual_seconds",
+            buckets=self.policy.stage_buckets,
+        ).percentile(q, stage=stage)
+
+    def stage_summary(self) -> dict[str, dict[str, float]]:
+        """Per-stage ``{count, total_s, p50_s, p95_s, max_s}`` rollup.
+
+        Counts and totals come from the histogram (exact); the
+        percentiles are bucket-interpolated estimates; ``max_s`` is
+        exact, read from the retained spans.
+        """
+        histogram = self.registry.histogram(
+            "askit_stage_virtual_seconds", buckets=self.policy.stage_buckets
+        )
+        maxima: dict[str, float] = {}
+        for span in self.tracer.spans():
+            stage = _stage_of(span)
+            maxima[stage] = max(maxima.get(stage, 0.0), span.duration_s())
+        summary: dict[str, dict[str, float]] = {}
+        for key in histogram.series_keys():
+            stage = dict(key).get("stage", "")
+            summary[stage] = {
+                "count": float(histogram.count(stage=stage)),
+                "total_s": histogram.sum(stage=stage),
+                "p50_s": histogram.percentile(50, stage=stage),
+                "p95_s": histogram.percentile(95, stage=stage),
+                "max_s": maxima.get(stage, 0.0),
+            }
+        return summary
+
+    def summary(self) -> dict[str, Any]:
+        """One JSON-able overview: trace/span counts + stage rollup."""
+        traces = self.traces()
+        return {
+            "traces": len(traces),
+            "spans": sum(len(spans) for spans in traces.values()),
+            "stages": self.stage_summary(),
+        }
+
+    def prometheus_text(self) -> str:
+        """The attached registry in Prometheus text format."""
+        return self.registry.prometheus_text()
+
+    def dump(self, trace_dir: str | Path | None = None) -> Path:
+        """Write the Prometheus dump under the trace directory.
+
+        Uses ``trace_dir`` when given, else the policy's; raises
+        :class:`~repro.errors.ConfigError` when neither is set.
+        """
+        target = Path(trace_dir) if trace_dir is not None else self.policy.trace_dir
+        if target is None:
+            raise ConfigError(
+                "no trace directory configured; pass trace_dir= or set "
+                f"{TRACE_DIR_ENV}"
+            )
+        return write_prometheus(self.registry, target / PROMETHEUS_FILENAME)
+
+    def reset(self) -> None:
+        """Drop retained spans (metrics stay with the registry owner)."""
+        self.tracer.reset()
+
+    def __repr__(self) -> str:
+        return f"Telemetry({len(self.tracer.spans())} spans retained)"
+
+
+def resolve_telemetry_mode(value: Any) -> tuple[str, TelemetryPolicy | None]:
+    """Normalize ``Config(telemetry=...)`` input to ``(mode, policy)``.
+
+    Accepts a mode string (``"off"``/``"on"``) or a full
+    :class:`TelemetryPolicy` (implies ``"on"``).  A ``REPRO_TRACE_DIR``
+    in the environment upgrades ``"off"`` to ``"on"`` with that
+    directory, and supplies the directory when a mode string enabled
+    telemetry without one.
+    """
+    if isinstance(value, TelemetryPolicy):
+        return "on", value
+    if not isinstance(value, str) or value not in TELEMETRY_MODES:
+        raise ConfigError(
+            f"telemetry must be one of {TELEMETRY_MODES} or a TelemetryPolicy, "
+            f"got {value!r}"
+        )
+    env_dir = os.environ.get(TRACE_DIR_ENV) or None
+    if value == "off":
+        if env_dir:
+            return "on", TelemetryPolicy(trace_dir=env_dir)
+        return "off", None
+    return "on", TelemetryPolicy(trace_dir=env_dir)
+
+
+__all__ = [
+    "Telemetry",
+    "TelemetryPolicy",
+    "TELEMETRY_MODES",
+    "TRACE_DIR_ENV",
+    "SPANS_FILENAME",
+    "PROMETHEUS_FILENAME",
+    "resolve_telemetry_mode",
+]

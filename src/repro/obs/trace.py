@@ -1,0 +1,301 @@
+"""Hierarchical spans with ambient context propagation.
+
+A :class:`Tracer` produces :class:`Span` trees describing one request's
+journey through the runtime: ``askit.map.item`` at the root, then
+``askit.ask`` -> ``askit.bind`` / ``askit.request`` ->
+``askit.cache`` / ``askit.admission`` / ``askit.transport`` /
+``askit.parse``.  Every span carries
+
+* identity -- ``trace_id`` shared by the whole tree, ``span_id``, and
+  ``parent_id`` linking child to parent;
+* both clocks -- wall time (``time.time``) for correlation with the
+  outside world and the session's *virtual* clock
+  (:meth:`~repro.llm.latency.VirtualClock.now`) for deterministic
+  durations that match what benchmarks assert on;
+* ``attributes`` (set at creation or via :meth:`Span.set_attribute`),
+  timestamped ``events``, and a terminal ``status`` of ``"ok"`` or
+  ``"error"`` (the error message is preserved and the exception still
+  propagates).
+
+The *current* span rides a :mod:`contextvars` variable, so parenthood
+follows the code path: nested ``with tracer.span(...)`` blocks nest
+spans, ``async`` code inherits context automatically, and ``map()``
+worker threads start fresh roots per item (each item is its own trace
+by design -- nothing leaks between pool threads).
+
+Instrumented modules that should not depend on a tracer instance use
+the module-level helpers :func:`current_span`, :func:`annotate`, and
+:func:`add_event`: they act on whatever span is ambient and are no-ops
+when tracing is off, which keeps the disabled path allocation-free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Iterator
+
+#: The ambient span for the current thread/task, if any.
+_CURRENT: ContextVar["Span | None"] = ContextVar("repro_obs_current_span", default=None)
+
+#: How many finished spans a tracer retains in memory by default.
+DEFAULT_CAPACITY = 10_000
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def current_span() -> "Span | None":
+    """The span ambient on this thread/task, or ``None``."""
+    return _CURRENT.get()
+
+
+def annotate(**attributes: Any) -> None:
+    """Set attributes on the ambient span; no-op when none is active."""
+    span = _CURRENT.get()
+    if span is not None:
+        for name, value in attributes.items():
+            span.set_attribute(name, value)
+
+
+def add_event(name: str, **attributes: Any) -> None:
+    """Append a timestamped event to the ambient span; no-op when none."""
+    span = _CURRENT.get()
+    if span is not None:
+        span.event(name, **attributes)
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    Spans are created through :meth:`Tracer.span`; they record both the
+    virtual clock (``start_v``/``end_v``, whose difference is
+    :meth:`duration_s`) and wall clock (``start_wall``/``end_wall``).
+    A span is mutable while open and effectively frozen once its
+    context manager exits.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "attributes",
+        "events",
+        "status",
+        "error",
+        "start_wall",
+        "end_wall",
+        "start_v",
+        "end_v",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        attributes: dict[str, Any] | None = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.events: list[dict[str, Any]] = []
+        self.status = "ok"
+        self.error: str | None = None
+        self.start_wall = tracer.wall_now()
+        self.end_wall: float | None = None
+        self.start_v = tracer.virtual_time()
+        self.end_v: float | None = None
+        self._tracer = tracer
+
+    def set_attribute(self, name: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attributes[name] = value
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Append a named event stamped with both clocks."""
+        self.events.append(
+            {
+                "name": name,
+                "wall": self._tracer.wall_now(),
+                "virtual": self._tracer.virtual_time(),
+                **attributes,
+            }
+        )
+
+    @property
+    def finished(self) -> bool:
+        """Whether the span's context manager has exited."""
+        return self.end_v is not None
+
+    def duration_s(self) -> float:
+        """Virtual-clock duration (0.0 while still open)."""
+        if self.end_v is None:
+            return 0.0
+        return self.end_v - self.start_v
+
+    def wall_duration_s(self) -> float:
+        """Wall-clock duration (0.0 while still open)."""
+        if self.end_wall is None:
+            return 0.0
+        return self.end_wall - self.start_wall
+
+    def to_dict(self) -> dict[str, Any]:
+        """The span as a JSON-able dict (the JSONL exporter's row)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "status": self.status,
+            "error": self.error,
+            "start_wall": self.start_wall,
+            "end_wall": self.end_wall,
+            "start_v": self.start_v,
+            "end_v": self.end_v,
+            "duration_s": self.duration_s(),
+            "attributes": dict(self.attributes),
+            "events": list(self.events),
+        }
+
+    @classmethod
+    def from_dict(cls, row: dict[str, Any]) -> "Span":
+        """Rebuild a finished span from :meth:`to_dict` output."""
+        span = cls.__new__(cls)
+        span.trace_id = row["trace_id"]
+        span.span_id = row["span_id"]
+        span.parent_id = row.get("parent_id")
+        span.name = row["name"]
+        span.attributes = dict(row.get("attributes") or {})
+        span.events = list(row.get("events") or [])
+        span.status = row.get("status", "ok")
+        span.error = row.get("error")
+        span.start_wall = row.get("start_wall", 0.0)
+        span.end_wall = row.get("end_wall")
+        span.start_v = row.get("start_v", 0.0)
+        span.end_v = row.get("end_v")
+        span._tracer = None  # type: ignore[assignment]
+        return span
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, trace={self.trace_id[:8]}, "
+            f"status={self.status!r}, duration={self.duration_s():.4f}s)"
+        )
+
+
+class Tracer:
+    """Produces spans and retains the finished ones for querying.
+
+    ``virtual_now`` supplies the deterministic clock (normally the
+    session's :meth:`~repro.llm.latency.VirtualClock.now`); ``wall_now``
+    supplies real time.  Finished spans land in a bounded ring
+    (``capacity`` newest kept) and are offered to every ``on_end`` hook
+    -- that is how the telemetry layer feeds histograms and the JSONL
+    sink without the tracer knowing about either.
+    """
+
+    def __init__(
+        self,
+        virtual_now: Callable[[], float] | None = None,
+        wall_now: Callable[[], float] = time.time,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.virtual_now = virtual_now
+        self.wall_now = wall_now
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._hooks: list[Callable[[Span], None]] = []
+        self._lock = threading.Lock()
+
+    def virtual_time(self) -> float:
+        """The current virtual-clock reading (0.0 when no clock is set)."""
+        return self.virtual_now() if self.virtual_now is not None else 0.0
+
+    def on_end(self, hook: Callable[[Span], None]) -> None:
+        """Register a callback fired with every finished span."""
+        with self._lock:
+            self._hooks.append(hook)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        attributes: dict[str, Any] | None = None,
+        root: bool = False,
+    ) -> Iterator[Span]:
+        """Open a span as the ambient context for the ``with`` body.
+
+        The new span parents onto the ambient span unless ``root=True``
+        (or none is active), in which case it starts a fresh trace.  An
+        exception raised in the body marks the span ``status="error"``
+        with the message preserved, then propagates unchanged.
+        """
+        parent = None if root else _CURRENT.get()
+        if parent is not None:
+            span = Span(
+                self, name, parent.trace_id, _new_id(), parent.span_id, attributes
+            )
+        else:
+            span = Span(self, name, _new_id(), _new_id(), None, attributes)
+        token = _CURRENT.set(span)
+        try:
+            yield span
+        except BaseException as error:
+            span.status = "error"
+            span.error = f"{type(error).__name__}: {error}"
+            raise
+        finally:
+            _CURRENT.reset(token)
+            span.end_wall = self.wall_now()
+            span.end_v = self.virtual_time()
+            with self._lock:
+                self._finished.append(span)
+                hooks = list(self._hooks)
+            for hook in hooks:
+                hook(span)
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        """Finished spans, oldest first, optionally for one trace."""
+        with self._lock:
+            held = list(self._finished)
+        if trace_id is None:
+            return held
+        return [span for span in held if span.trace_id == trace_id]
+
+    def traces(self) -> dict[str, list[Span]]:
+        """Finished spans grouped by ``trace_id`` (insertion-ordered)."""
+        grouped: dict[str, list[Span]] = {}
+        for span in self.spans():
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def reset(self) -> None:
+        """Drop every retained span (hooks stay registered)."""
+        with self._lock:
+            self._finished.clear()
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self._finished)} finished spans)"
+
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_span",
+    "annotate",
+    "add_event",
+    "DEFAULT_CAPACITY",
+]

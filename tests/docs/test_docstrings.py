@@ -19,8 +19,8 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 
 #: The modules the documentation satellite covers: the package front
 #: door and the ``Session`` / ``AskItFunction`` / ``Config`` surface,
-#: plus the response cache, the request scheduler, and the simulated
-#: rate limit.
+#: plus the response cache, the request scheduler, the simulated rate
+#: limit, and the observability layer.
 PUBLIC_SURFACE = [
     "src/repro/__init__.py",
     "src/repro/core/config.py",
@@ -29,6 +29,11 @@ PUBLIC_SURFACE = [
     "src/repro/core/response_cache.py",
     "src/repro/core/scheduler.py",
     "src/repro/llm/ratelimit.py",
+    "src/repro/obs/__init__.py",
+    "src/repro/obs/metrics.py",
+    "src/repro/obs/trace.py",
+    "src/repro/obs/export.py",
+    "src/repro/obs/telemetry.py",
 ]
 
 

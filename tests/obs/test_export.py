@@ -1,0 +1,102 @@
+"""Unit tests for the exporters: JSONL span sink and Prometheus dump.
+
+The sink's contracts: one span per line, concurrent writers never
+shear a line, rotation caps disk use, and :func:`read_spans`
+round-trips the file back into spans.  The Prometheus dump must land
+atomically (no ``.tmp`` debris).
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    JsonLinesSpanSink,
+    MetricsRegistry,
+    Tracer,
+    read_spans,
+    write_prometheus,
+)
+
+
+def finish_span(tracer: Tracer, name: str, **attributes):
+    with tracer.span(name, attributes or None) as span:
+        pass
+    return span
+
+
+class TestJsonLinesSink:
+    def test_sink_appends_one_line_per_span(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer()
+        tracer.on_end(JsonLinesSpanSink(path))
+        finish_span(tracer, "a", model="m")
+        finish_span(tracer, "b")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "a"
+        assert json.loads(lines[0])["attributes"] == {"model": "m"}
+
+    def test_read_spans_round_trips(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer()
+        tracer.on_end(JsonLinesSpanSink(path))
+        written = [finish_span(tracer, f"s{i}", index=i) for i in range(3)]
+        loaded = read_spans(path)
+        assert [span.span_id for span in loaded] == [
+            span.span_id for span in written
+        ]
+        assert [span.attributes["index"] for span in loaded] == [0, 1, 2]
+
+    def test_sink_creates_missing_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "spans.jsonl"
+        tracer = Tracer()
+        tracer.on_end(JsonLinesSpanSink(path))
+        finish_span(tracer, "row")
+        assert read_spans(path)[0].name == "row"
+
+    def test_rotation_caps_the_live_file(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = JsonLinesSpanSink(path, max_bytes=200)
+        for index in range(50):
+            sink.write({"name": f"span-{index}", "pad": "x" * 40})
+        rotated = path.with_name(path.name + ".1")
+        assert rotated.exists()
+        assert path.stat().st_size <= 200
+        # No rows are lost mid-line: both files parse cleanly.
+        for held in (path, rotated):
+            for line in held.read_text(encoding="utf-8").splitlines():
+                json.loads(line)
+
+    def test_concurrent_writers_never_interleave_lines(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = JsonLinesSpanSink(path)
+
+        def spin(worker: int):
+            for index in range(100):
+                sink.write({"worker": worker, "index": index})
+
+        threads = [threading.Thread(target=spin, args=(w,)) for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        rows = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert len(rows) == 800
+
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonLinesSpanSink(tmp_path / "s.jsonl", max_bytes=0)
+
+
+class TestPrometheusDump:
+    def test_dump_matches_registry_text_and_leaves_no_debris(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("calls_total").inc(7, model="m")
+        target = write_prometheus(registry, tmp_path / "metrics.prom")
+        assert target.read_text(encoding="utf-8") == registry.prometheus_text()
+        assert list(tmp_path.iterdir()) == [target]

@@ -1,0 +1,178 @@
+"""Unit tests for the zero-dependency metrics registry.
+
+Covers the instrument contracts (counter monotonicity, gauge
+adjustment, histogram bucketing/percentiles), label-set series
+semantics, and the Prometheus text rendering that the exporters and
+``ClientStats`` both stand on.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import Counter, DEFAULT_BUCKETS, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import label_key
+
+
+class TestCounter:
+    def test_inc_and_value_per_label_set(self):
+        counter = Counter("requests_total")
+        counter.inc(model="a")
+        counter.inc(2, model="a")
+        counter.inc(model="b")
+        assert counter.value(model="a") == 3.0
+        assert counter.value(model="b") == 1.0
+        assert counter.value(model="absent") == 0.0
+
+    def test_total_sums_over_label_subsets(self):
+        counter = Counter("events_total")
+        counter.inc(model="a", status="hit")
+        counter.inc(model="a", status="miss")
+        counter.inc(model="b", status="hit")
+        assert counter.total() == 3.0
+        assert counter.total(model="a") == 2.0
+        assert counter.total(status="hit") == 2.0
+        assert counter.total(model="b", status="hit") == 1.0
+
+    def test_counters_cannot_decrease(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_zero_increment_materializes_the_series(self):
+        counter = Counter("c")
+        counter.inc(0, model="a")
+        assert label_key({"model": "a"}) in counter.series()
+        assert counter.label_values("model") == {"a"}
+
+    def test_reset_drops_every_series(self):
+        counter = Counter("c")
+        counter.inc(model="a")
+        counter.reset()
+        assert counter.total() == 0.0
+        assert counter.series() == {}
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        counter = Counter("c")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc(model="x")
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(model="x") == 8000.0
+
+
+class TestGauge:
+    def test_set_add_and_negative_adjustments(self):
+        gauge = Gauge("depth")
+        gauge.set(5, queue="q")
+        gauge.add(-2, queue="q")
+        assert gauge.value(queue="q") == 3.0
+        gauge.add(-10, queue="q")
+        assert gauge.value(queue="q") == -7.0
+
+
+class TestHistogram:
+    def test_observations_land_in_upper_inclusive_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.0)   # le=1.0 (upper-inclusive)
+        histogram.observe(1.5)   # le=2.0
+        histogram.observe(99.0)  # +Inf
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(101.5)
+        lines = histogram.prometheus_lines()
+        assert 'h_bucket{le="1"} 1' in lines
+        assert 'h_bucket{le="2"} 2' in lines
+        assert 'h_bucket{le="+Inf"} 3' in lines
+
+    def test_percentile_interpolates_and_handles_edges(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            histogram.observe(value)
+        assert histogram.percentile(0) == 0.0
+        # Ranks past the last finite bound report that bound.
+        histogram.observe(100.0)
+        assert histogram.percentile(100) == 4.0
+        # Empty histograms report 0.0 rather than raising.
+        assert Histogram("empty", buckets=(1.0,)).percentile(95) == 0.0
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_percentile_merges_matching_label_sets(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(0.5, stage="a")
+        histogram.observe(5.0, stage="b")
+        assert histogram.count() == 2
+        assert histogram.count(stage="a") == 1
+        assert histogram.percentile(100, stage="a") <= 1.0
+        assert histogram.percentile(100) == pytest.approx(10.0)
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ConfigError):
+            Histogram("h", buckets=())
+
+    def test_default_buckets_are_sorted_and_wide(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+        assert DEFAULT_BUCKETS[0] <= 0.001 and DEFAULT_BUCKETS[-1] >= 600.0
+
+
+class TestRegistry:
+    def test_instruments_are_memoized_by_name(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", "help text")
+        assert registry.counter("c") is first
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("taken")
+        with pytest.raises(ConfigError):
+            registry.gauge("taken")
+        with pytest.raises(ConfigError):
+            registry.histogram("taken")
+
+    def test_prometheus_text_covers_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("calls_total", "Calls.").inc(3, model="m")
+        registry.gauge("depth").set(2)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        text = registry.prometheus_text()
+        assert "# HELP calls_total Calls." in text
+        assert "# TYPE calls_total counter" in text
+        assert 'calls_total{model="m"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped_in_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(model='we"ird\\name\nhere')
+        text = registry.prometheus_text()
+        assert 'model="we\\"ird\\\\name\\nhere"' in text
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(model="m")
+        registry.histogram("h", buckets=(1.0,)).observe(0.5, stage="s")
+        dump = registry.snapshot()
+        json.dumps(dump)  # must not raise
+        assert dump["c"]["series"]['{model="m"}'] == 1.0
+        assert dump["h"]["series"]['{stage="s"}']["count"] == 1
+
+    def test_reset_zeroes_but_keeps_instruments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        registry.reset()
+        assert registry.counter("c") is counter
+        assert counter.total() == 0.0

@@ -1,0 +1,186 @@
+"""The telemetry facade: policy knobs, config wiring, query surface.
+
+Covers :func:`resolve_telemetry_mode` (mode strings, policies, the
+``REPRO_TRACE_DIR`` upgrade), the ``Config``/``Session`` surfaces
+(off by default, memoized once per config, attached to the client's
+registry and clock), and the span-fed query methods.
+"""
+
+import pytest
+
+import repro.types as t
+from repro import Session
+from repro.core import Config, Telemetry, TelemetryPolicy, TELEMETRY_MODES
+from repro.errors import ConfigError
+from repro.llm import ChatClient, QUIET
+from repro.obs.telemetry import (
+    PROMETHEUS_FILENAME,
+    SPANS_FILENAME,
+    TRACE_DIR_ENV,
+    resolve_telemetry_mode,
+)
+
+
+def quiet_session(**overrides) -> Session:
+    return Session(
+        client=ChatClient(noise_policy=QUIET), cache_dir=None, **overrides
+    )
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TelemetryPolicy(max_spans=0)
+        with pytest.raises(ConfigError):
+            TelemetryPolicy(sink_max_bytes=0)
+
+    def test_from_env_reads_the_trace_dir(self, tmp_path):
+        policy = TelemetryPolicy.from_env({TRACE_DIR_ENV: str(tmp_path)})
+        assert policy.trace_dir == tmp_path
+        assert TelemetryPolicy.from_env({}).trace_dir is None
+
+
+class TestModeResolution:
+    def test_mode_strings(self, monkeypatch):
+        monkeypatch.delenv(TRACE_DIR_ENV, raising=False)
+        assert resolve_telemetry_mode("off") == ("off", None)
+        mode, policy = resolve_telemetry_mode("on")
+        assert mode == "on" and policy.trace_dir is None
+
+    def test_policy_implies_on(self):
+        policy = TelemetryPolicy()
+        assert resolve_telemetry_mode(policy) == ("on", policy)
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ConfigError):
+            resolve_telemetry_mode("loud")
+        with pytest.raises(ConfigError):
+            resolve_telemetry_mode(True)
+
+    def test_trace_dir_env_upgrades_off_to_on(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        mode, policy = resolve_telemetry_mode("off")
+        assert mode == "on"
+        assert policy.trace_dir == tmp_path
+        mode, policy = resolve_telemetry_mode("on")
+        assert mode == "on" and policy.trace_dir == tmp_path
+
+    def test_modes_tuple_is_the_config_contract(self):
+        assert TELEMETRY_MODES == ("off", "on")
+
+
+class TestConfigSurface:
+    def test_telemetry_is_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(TRACE_DIR_ENV, raising=False)
+        config = Config(model="sim-gpt-4")
+        assert config.telemetry_mode == "off"
+        assert config.telemetry is None
+        assert quiet_session(model="sim-gpt-4").telemetry is None
+
+    def test_telemetry_is_memoized_per_config(self):
+        session = quiet_session(model="sim-gpt-4", telemetry="on")
+        held = session.telemetry
+        assert held is not None
+        assert session.telemetry is held
+
+    def test_attach_adopts_the_clients_registry_and_clock(self):
+        session = quiet_session(model="sim-gpt-4", telemetry="on")
+        telemetry = session.telemetry
+        assert telemetry.registry is session.stats.registry
+        assert telemetry.tracer.virtual_now == session.clock.now
+        assert session.client.telemetry is telemetry
+
+    def test_replace_carries_the_telemetry_policy(self, tmp_path):
+        policy = TelemetryPolicy(trace_dir=tmp_path)
+        config = Config(model="sim-gpt-4", telemetry=policy)
+        carried = config.replace(temperature=0.0)
+        assert carried.telemetry_mode == "on"
+        assert carried._telemetry_policy is policy
+
+    def test_span_helper_is_a_no_op_when_off(self, monkeypatch):
+        monkeypatch.delenv(TRACE_DIR_ENV, raising=False)
+        config = Config(model="sim-gpt-4")
+        with config.span("askit.ask") as span:
+            assert span is None
+
+
+class TestQuerySurface:
+    def test_asks_feed_traces_stage_metrics_and_percentiles(self):
+        session = quiet_session(model="sim-gpt-4", telemetry="on")
+        session.ask(t.int, "What is {{a}} times {{b}}?", a=3, b=4)
+        telemetry = session.telemetry
+        summary = telemetry.summary()
+        assert summary["traces"] == 1
+        assert summary["spans"] >= 4
+        stages = summary["stages"]
+        for stage in ("ask", "bind", "request", "transport", "parse"):
+            assert stage in stages, f"missing stage {stage!r}"
+            assert stages[stage]["count"] >= 1
+        # The request stage carries the charged latency; percentiles and
+        # maxima follow the virtual clock.
+        assert stages["request"]["total_s"] == pytest.approx(
+            session.clock.elapsed_s
+        )
+        assert telemetry.percentile("request", 50) > 0.0
+        assert stages["request"]["max_s"] <= session.clock.elapsed_s
+
+    def test_slowest_ranks_by_virtual_duration(self):
+        session = quiet_session(model="sim-gpt-4", telemetry="on")
+        session.ask(t.int, "What is {{a}} times {{b}}?", a=2, b=2)
+        slowest = session.telemetry.slowest(3)
+        assert len(slowest) == 3
+        durations = [span.duration_s() for span in slowest]
+        assert durations == sorted(durations, reverse=True)
+        only_requests = session.telemetry.slowest(5, stage="request")
+        assert all(span.name == "askit.request" for span in only_requests)
+
+    def test_reset_drops_spans_but_not_client_counters(self):
+        session = quiet_session(model="sim-gpt-4", telemetry="on")
+        session.ask(t.int, "What is {{a}} times {{b}}?", a=2, b=3)
+        telemetry = session.telemetry
+        assert telemetry.spans()
+        telemetry.reset()
+        assert telemetry.spans() == []
+        assert session.stats.calls == 1
+
+
+class TestExportsThroughTelemetry:
+    def test_trace_dir_policy_sinks_spans_and_dump_writes_prometheus(
+        self, tmp_path
+    ):
+        session = quiet_session(
+            model="sim-gpt-4", telemetry=TelemetryPolicy(trace_dir=tmp_path)
+        )
+        session.ask(t.int, "What is {{a}} times {{b}}?", a=5, b=6)
+        spans_file = tmp_path / SPANS_FILENAME
+        assert spans_file.exists()
+        from repro.obs import read_spans
+
+        loaded = read_spans(spans_file)
+        assert {span.span_id for span in loaded} == {
+            span.span_id for span in session.telemetry.spans()
+        }
+        target = session.telemetry.dump()
+        assert target == tmp_path / PROMETHEUS_FILENAME
+        assert "askit_provider_calls_total" in target.read_text(encoding="utf-8")
+
+    def test_dump_without_a_directory_raises(self):
+        session = quiet_session(model="sim-gpt-4", telemetry="on")
+        with pytest.raises(ConfigError):
+            session.telemetry.dump()
+
+    def test_prometheus_text_agrees_with_client_stats(self):
+        session = quiet_session(model="sim-gpt-4", telemetry="on")
+        session.ask(t.int, "What is {{a}} times {{b}}?", a=7, b=8)
+        text = session.telemetry.prometheus_text()
+        assert (
+            f'askit_provider_calls_total{{model="sim-gpt-4"}} '
+            f"{session.stats.calls}" in text
+        )
+        assert 'askit_spans_total{stage="request",status="ok"} 1' in text
+
+    def test_standalone_telemetry_keeps_its_own_registry(self):
+        telemetry = Telemetry()
+        with telemetry.tracer.span("askit.custom"):
+            pass
+        assert telemetry.registry.counter("askit_spans_total").total() == 1.0

@@ -1,0 +1,191 @@
+"""Unit tests for the tracer: span trees, ambient context, clocks.
+
+The contracts the instrumented runtime leans on: nesting follows the
+code path, ``root=True`` starts a fresh trace, exceptions mark spans
+errored without swallowing anything, worker threads never chain onto
+another thread's trace by accident, and spans round-trip losslessly
+through their dict form (the JSONL exporter's row).
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import Span, Tracer, add_event, annotate, current_span
+
+
+class FakeClock:
+    """A manually advanced stand-in for the session's virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestSpanTree:
+    def test_nested_spans_share_a_trace_and_link_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_root_spans_start_fresh_traces(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("island", root=True) as island:
+                assert island.trace_id != outer.trace_id
+                assert island.parent_id is None
+            # The ambient span is restored after the root span exits.
+            assert current_span() is outer
+
+    def test_sibling_spans_share_the_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == b.parent_id == parent.span_id
+
+    def test_exceptions_mark_error_status_and_propagate(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("failing") as span:
+                raise ValueError("boom")
+        assert span.status == "error"
+        assert span.error == "ValueError: boom"
+        assert span.finished
+        # The errored span is still retained and queryable.
+        assert tracer.spans(span.trace_id) == [span]
+
+    def test_threads_do_not_inherit_the_spawning_threads_span(self):
+        tracer = Tracer()
+        seen = []
+
+        def worker():
+            # contextvars do not flow into manually created threads, so
+            # a pool worker starts ambient-free and its spans are roots.
+            seen.append(current_span())
+            with tracer.span("worker") as span:
+                seen.append(span.parent_id)
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None, None]
+
+
+class TestAmbientHelpers:
+    def test_annotate_and_add_event_act_on_the_ambient_span(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            annotate(items=3, mode="batch")
+            add_event("progress", done=1)
+        assert span.attributes["items"] == 3
+        assert span.attributes["mode"] == "batch"
+        assert span.events[0]["name"] == "progress"
+        assert span.events[0]["done"] == 1
+
+    def test_helpers_are_no_ops_without_an_ambient_span(self):
+        assert current_span() is None
+        annotate(ignored=True)  # must not raise
+        add_event("ignored")
+
+
+class TestClocks:
+    def test_virtual_durations_come_from_the_injected_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(virtual_now=clock)
+        with tracer.span("timed") as span:
+            clock.advance(2.5)
+            span.event("mark")
+        assert span.duration_s() == pytest.approx(2.5)
+        assert span.events[0]["virtual"] == pytest.approx(2.5)
+        assert span.wall_duration_s() >= 0.0
+
+    def test_clockless_tracer_reports_zero_durations(self):
+        tracer = Tracer()
+        with tracer.span("untimed") as span:
+            pass
+        assert span.duration_s() == 0.0
+
+    def test_open_spans_report_zero_duration(self):
+        clock = FakeClock()
+        tracer = Tracer(virtual_now=clock)
+        with tracer.span("open") as span:
+            clock.advance(1.0)
+            assert not span.finished
+            assert span.duration_s() == 0.0
+
+
+class TestRetention:
+    def test_capacity_bounds_retained_spans(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        names = [span.name for span in tracer.spans()]
+        assert names == ["s2", "s3", "s4"]
+
+    def test_traces_group_by_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("a.child"):
+                pass
+        with tracer.span("b"):
+            pass
+        grouped = tracer.traces()
+        assert len(grouped) == 2
+        assert sorted(len(spans) for spans in grouped.values()) == [1, 2]
+
+    def test_on_end_hooks_fire_for_every_finished_span(self):
+        tracer = Tracer()
+        finished = []
+        tracer.on_end(finished.append)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in finished] == ["inner", "outer"]
+
+    def test_reset_drops_spans_but_keeps_hooks(self):
+        tracer = Tracer()
+        finished = []
+        tracer.on_end(finished.append)
+        with tracer.span("before"):
+            pass
+        tracer.reset()
+        assert tracer.spans() == []
+        with tracer.span("after"):
+            pass
+        assert [span.name for span in finished] == ["before", "after"]
+
+
+class TestSerialization:
+    def test_to_dict_from_dict_round_trip(self):
+        clock = FakeClock()
+        tracer = Tracer(virtual_now=clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("req", attributes={"model": "m"}) as span:
+                clock.advance(1.5)
+                span.event("retry", attempt=2)
+                raise RuntimeError("bad")
+        row = span.to_dict()
+        rebuilt = Span.from_dict(row)
+        assert rebuilt.trace_id == span.trace_id
+        assert rebuilt.span_id == span.span_id
+        assert rebuilt.parent_id is None
+        assert rebuilt.name == "req"
+        assert rebuilt.status == "error"
+        assert rebuilt.error == "RuntimeError: bad"
+        assert rebuilt.attributes == {"model": "m"}
+        assert rebuilt.events[0]["attempt"] == 2
+        assert rebuilt.duration_s() == pytest.approx(1.5)
+        assert rebuilt.finished

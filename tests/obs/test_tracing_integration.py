@@ -1,0 +1,358 @@
+"""End-to-end tracing acceptance: one waterfall per ``map()`` item.
+
+The tentpole's acceptance criteria: a traced 24-task ``map()`` through
+the scheduler *and* the response cache yields exactly one trace per
+item whose spans cover every lifecycle stage (bind, cache, admission,
+transport, parse), whose durations sum consistently to the item's
+virtual wall-clock, and which round-trips through the JSONL exporter;
+the Prometheus export agrees exactly with ``ClientStats``.
+
+Plus the propagation edge cases: per-item failures stay isolated to
+their trace, a requeued request's retries all land in one trace, and a
+coalesced follower's span links back to the leader's trace.
+"""
+
+import json
+import threading
+
+import pytest
+
+import repro.types as t
+from repro import Session
+from repro.core.response_cache import ResponseCache
+from repro.errors import MaxRetriesExceededError
+from repro.llm import (
+    ChatClient,
+    CompletionResult,
+    LanguageModel,
+    QUIET,
+    SimulatedRateLimit,
+    Usage,
+)
+from repro.obs import TelemetryPolicy, read_spans
+from repro.obs.telemetry import SPANS_FILENAME
+
+TASK_COUNT = 24
+
+TEMPLATE = "Calculate the factorial of {{n}}."
+
+
+def bindings() -> list[dict]:
+    # 24 *distinct* bindings: identical ones would be deduplicated into
+    # a single in-flight request before ever reaching the cache.
+    return [{"n": 1 + i} for i in range(TASK_COUNT)]
+
+
+def traced_session(tmp_path) -> Session:
+    return Session(
+        model="sim-gpt-4",
+        client=ChatClient(noise_policy=QUIET),
+        cache="read-write",
+        cache_dir=tmp_path / "askit",
+        scheduler="adaptive",
+        requests_per_minute=600.0,
+        telemetry=TelemetryPolicy(trace_dir=tmp_path / "trace"),
+    )
+
+
+def stages_of(spans) -> set:
+    return {span.name for span in spans}
+
+
+class TestTracedMapWaterfall:
+    @pytest.fixture(scope="class")
+    def run(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("traced-map")
+        session = traced_session(tmp_path)
+        fn = session.define(t.int, TEMPLATE)
+        batch = fn.map(bindings(), max_concurrency=8)
+        return session, batch, tmp_path
+
+    def test_one_trace_per_item_covering_every_stage(self, run):
+        import math
+
+        session, batch, _ = run
+        assert list(batch) == [math.factorial(1 + i) for i in range(TASK_COUNT)]
+        traces = session.telemetry.traces()
+        assert len(traces) == TASK_COUNT
+        for spans in traces.values():
+            names = stages_of(spans)
+            assert {
+                "askit.map.item",
+                "askit.ask",
+                "askit.bind",
+                "askit.request",
+                "askit.cache",
+                "askit.admission",
+                "askit.transport",
+                "askit.parse",
+            } <= names, f"incomplete waterfall: {sorted(names)}"
+            roots = [span for span in spans if span.parent_id is None]
+            assert len(roots) == 1
+            assert roots[0].name == "askit.map.item"
+
+    def test_parenthood_follows_the_lifecycle(self, run):
+        session, _, _ = run
+        for spans in session.telemetry.traces().values():
+            by_id = {span.span_id: span for span in spans}
+            for span in spans:
+                if span.parent_id is None:
+                    continue
+                parent = by_id[span.parent_id]
+                if span.name == "askit.ask":
+                    assert parent.name == "askit.map.item"
+                elif span.name in ("askit.bind", "askit.request"):
+                    assert parent.name == "askit.ask"
+                elif span.name == "askit.cache":
+                    assert parent.name == "askit.request"
+                elif span.name in ("askit.admission", "askit.transport"):
+                    # Scheduled, cache-mediated calls issue inside the
+                    # cache span; unscheduled ones directly under request.
+                    assert parent.name in ("askit.cache", "askit.request")
+
+    def test_durations_sum_to_the_items_virtual_wall_clock(self, run):
+        session, _, _ = run
+        for spans in session.telemetry.traces().values():
+            item = next(s for s in spans if s.name == "askit.map.item")
+            requests = [s for s in spans if s.name == "askit.request"]
+            assert item.duration_s() > 0.0
+            # Every virtual-second of an item's life is charged inside a
+            # request span (latency, pacing waits, penalties), so the
+            # request durations account for the item exactly.
+            assert sum(s.duration_s() for s in requests) == pytest.approx(
+                item.duration_s()
+            )
+            for span in spans:
+                assert span.start_v >= item.start_v
+                assert span.end_v <= item.end_v
+
+    def test_admission_and_transport_attributes(self, run):
+        session, _, _ = run
+        spans = session.telemetry.spans()
+        admissions = [s for s in spans if s.name == "askit.admission"]
+        transports = [s for s in spans if s.name == "askit.transport"]
+        assert admissions and transports
+        for span in admissions:
+            # The admission span's virtual duration is exactly its
+            # charged pacing wait.
+            assert span.duration_s() == pytest.approx(
+                span.attributes["pacing_wait_s"]
+            )
+        for span in transports:
+            assert span.attributes["latency_s"] > 0.0
+        assert sum(s.attributes["pacing_wait_s"] for s in admissions) == (
+            pytest.approx(session.stats.throttle_wait_s)
+        )
+
+    def test_spans_round_trip_through_the_jsonl_exporter(self, run):
+        session, _, tmp_path = run
+        loaded = read_spans(tmp_path / "trace" / SPANS_FILENAME)
+        held = session.telemetry.spans()
+        assert {span.span_id for span in loaded} == {
+            span.span_id for span in held
+        }
+        by_id = {span.span_id: span for span in loaded}
+        for span in held:
+            twin = by_id[span.span_id]
+            assert twin.trace_id == span.trace_id
+            assert twin.parent_id == span.parent_id
+            assert twin.name == span.name
+            assert twin.duration_s() == pytest.approx(span.duration_s())
+
+    def test_prometheus_totals_match_client_stats_exactly(self, run):
+        session, _, _ = run
+        stats = session.stats
+        text = session.telemetry.prometheus_text()
+
+        def series_total(metric: str) -> float:
+            total = 0.0
+            for line in text.splitlines():
+                if line.startswith(metric + "{") or line == metric:
+                    total += float(line.rsplit(" ", 1)[1])
+            return total
+
+        assert series_total("askit_provider_calls_total") == stats.calls
+        assert series_total("askit_prompt_tokens_total") == stats.prompt_tokens
+        assert series_total("askit_completion_tokens_total") == (
+            stats.completion_tokens
+        )
+        assert series_total("askit_throttled_total") == stats.throttled
+        assert series_total("askit_throttle_wait_virtual_seconds_total") == (
+            pytest.approx(stats.throttle_wait_s)
+        )
+        cache_total = (
+            stats.cache_hits + stats.cache_misses + stats.coalesced
+        )
+        assert series_total("askit_cache_events_total") == cache_total
+        # And the structured dump agrees with the same registry.
+        assert stats.as_dict()["calls"] == stats.calls
+
+
+class ParityModel(LanguageModel):
+    """Even ``a`` answers properly; odd ``a`` replies garbage forever."""
+
+    def __init__(self, name: str = "parity-model") -> None:
+        self.name = name
+
+    def complete(self, messages, temperature: float = 1.0) -> CompletionResult:
+        prompt = messages[-1].content
+        marker = "'a' = "
+        a = int(prompt.split(marker, 1)[1].split(",")[0].split("\n")[0])
+        if a % 2 == 0:
+            text = (
+                "```json\n"
+                + json.dumps({"reason": "even", "answer": a * 100})
+                + "\n```"
+            )
+        else:
+            text = "no json from me today"
+        return CompletionResult(text, Usage(10, 5), 2.0, self.name)
+
+
+class TestPropagationEdgeCases:
+    def test_per_item_failures_stay_isolated_to_their_trace(self):
+        client = ChatClient(noise_policy=QUIET)
+        client.register(ParityModel())
+        session = Session(model="parity-model", client=client, cache_dir=None)
+        fn = session.replace(telemetry="on", max_retries=1).define(
+            t.int, "Scale {{a}}."
+        )
+        batch = fn.map([{"a": n} for n in range(6)], dedup=False)
+        assert [outcome.ok for outcome in batch.outcomes] == [
+            n % 2 == 0 for n in range(6)
+        ]
+        assert all(
+            isinstance(outcome.error, MaxRetriesExceededError)
+            for outcome in batch.outcomes
+            if not outcome.ok
+        )
+        traces = fn.config.telemetry.traces()
+        assert len(traces) == 6
+        failed = ok = 0
+        for spans in traces.values():
+            item = next(s for s in spans if s.name == "askit.map.item")
+            if item.status == "error":
+                failed += 1
+                assert "MaxRetriesExceededError" in item.error
+                # The failing item's parse attempts are its own spans...
+                parses = [s for s in spans if s.name == "askit.parse"]
+                assert len(parses) == 2  # max_retries=1 -> two attempts
+            else:
+                ok += 1
+                assert all(s.status == "ok" for s in spans)
+        # ...and the failure never leaks into a neighbouring trace.
+        assert (ok, failed) == (3, 3)
+
+    def test_requeued_request_keeps_one_trace(self):
+        session = Session(
+            model="sim-gpt-4",
+            client=ChatClient(
+                noise_policy=QUIET,
+                rate_limit=SimulatedRateLimit(
+                    60.0, burst=2, min_retry_after_s=10.0
+                ),
+            ),
+            cache_dir=None,
+            scheduler="adaptive",
+            telemetry="on",
+        )
+        fn = session.define(t.int, TEMPLATE)
+        batch = fn.map(bindings()[:8], max_concurrency=8)
+        assert len(list(batch)) == 8
+        assert session.stats.requeued > 0
+        telemetry = session.telemetry
+        requeue_spans = [
+            span
+            for span in telemetry.spans()
+            if any(e["name"] == "scheduler.requeue" for e in span.events)
+        ]
+        assert requeue_spans, "expected at least one requeued request"
+        for span in requeue_spans:
+            assert span.name == "askit.request"
+            trace = telemetry.spans(span.trace_id)
+            # Every retry re-admits and re-issues *inside the same
+            # trace*: one admission + one transport span per attempt.
+            attempts = 1 + sum(
+                1
+                for e in span.events
+                if e["name"] == "scheduler.requeue"
+            )
+            admissions = [s for s in trace if s.name == "askit.admission"]
+            transports = [s for s in trace if s.name == "askit.transport"]
+            assert len(admissions) >= attempts
+            assert len(transports) >= attempts
+            refused = [s for s in transports if s.status == "error"]
+            assert refused, "refused attempts must leave error spans"
+            roots = {s.trace_id for s in trace}
+            assert roots == {span.trace_id}
+
+    def test_coalesced_follower_links_to_the_leader_span(self):
+        client = ChatClient(noise_policy=QUIET)
+        cache = ResponseCache(None)
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry().attach(client)
+        release = threading.Event()
+        entered = threading.Event()
+
+        class SlowModel(LanguageModel):
+            name = "slow-model"
+
+            def complete(self, messages, temperature=1.0):
+                entered.set()
+                assert release.wait(timeout=5.0)
+                return CompletionResult("42", Usage(3, 1), 1.0, self.name)
+
+        client.register(SlowModel())
+        statuses = []
+
+        def request():
+            status, _ = cache.fetch(
+                "slow-model",
+                client._as_messages("prompt"),
+                1.0,
+                lambda: client._transport_complete(
+                    "slow-model", client._as_messages("prompt"), 1.0
+                ),
+            )
+            statuses.append(status)
+
+        def traced_request():
+            with telemetry.tracer.span("askit.cache", root=True):
+                request()
+
+        leader = threading.Thread(target=traced_request)
+        leader.start()
+        assert entered.wait(timeout=5.0)
+        follower = threading.Thread(target=traced_request)
+        follower.start()
+        # Give the follower time to join the in-flight entry, then let
+        # the leader's provider call finish.
+        threading.Event().wait(0.05)
+        release.set()
+        leader.join(timeout=5.0)
+        follower.join(timeout=5.0)
+
+        assert sorted(statuses) == ["coalesced", "miss"]
+        cache_spans = [
+            span for span in telemetry.spans() if span.name == "askit.cache"
+        ]
+        assert len(cache_spans) == 2
+        followers = [
+            span
+            for span in cache_spans
+            if "coalesced.leader_trace_id" in span.attributes
+        ]
+        assert len(followers) == 1
+        leader_span = next(s for s in cache_spans if s not in followers)
+        follower_span = followers[0]
+        # Distinct traces, explicitly linked follower -> leader.
+        assert follower_span.trace_id != leader_span.trace_id
+        assert (
+            follower_span.attributes["coalesced.leader_trace_id"]
+            == leader_span.trace_id
+        )
+        assert (
+            follower_span.attributes["coalesced.leader_span_id"]
+            == leader_span.span_id
+        )
