@@ -13,11 +13,12 @@ import pytest
 
 import repro.types as t
 from benchmarks.snapshots import write_snapshot
-from repro.core import Session
+from repro.core import SchedulerPolicy, Session
 from repro.llm import ChatClient, QUIET
 
 TASK_COUNT = 24
 MAX_CONCURRENCY = 8
+COALESCE_TASKS = 48
 
 TEMPLATE = "Calculate the factorial of {{n}}."
 
@@ -92,3 +93,87 @@ class TestBatchThroughput:
         assert batch.wall_s == pytest.approx(session.clock.elapsed_s)
         assert batch.speedup == pytest.approx(batch.sequential_s / batch.wall_s)
         assert batch.speedup > 2.0
+
+
+def scheduled_session(max_batch: int) -> Session:
+    """A rate-limited session; ``max_batch > 1`` turns on coalescing."""
+    return Session(
+        model="sim-gpt-4",
+        cache="off",
+        cache_dir=None,
+        temperature=0.0,
+        scheduler="adaptive",
+        scheduler_policy=SchedulerPolicy(
+            requests_per_minute=120, max_batch=max_batch, batch_window_s=60.0
+        ),
+        client=ChatClient(noise_policy=QUIET),
+    )
+
+
+def run_scheduled(max_batch: int) -> tuple[Session, list]:
+    session = scheduled_session(max_batch)
+    fn = session.define(t.int, TEMPLATE)
+    batch = fn.map(
+        [{"n": 1 + (i % 12)} for i in range(COALESCE_TASKS)],
+        max_concurrency=MAX_CONCURRENCY,
+        dedup=False,
+    )
+    assert batch.ok
+    session.last_map = batch  # stash for the caller
+    return session, list(batch)
+
+
+class TestBatchCoalescing:
+    """Cross-request batching: grouped wire calls under a rate limit.
+
+    The tentpole's second half: a 48-task map over the batch-capable
+    simulated provider must coalesce its cache-missing requests into
+    grouped wire calls -- at least halving the wire traffic and beating
+    the solo run's virtual wall-clock, with zero reordering.
+    """
+
+    def test_grouped_wire_calls_halve_the_traffic(self):
+        solo_session, solo_values = run_scheduled(max_batch=1)
+        batched_session, batched_values = run_scheduled(max_batch=16)
+
+        # Byte-identical answers, in input order.
+        assert batched_values == solo_values
+        assert len(batched_values) == COALESCE_TASKS
+
+        solo_wire = solo_session.client.provider_for("sim-gpt-4").wire_calls
+        batched_wire = batched_session.client.provider_for("sim-gpt-4").wire_calls
+        assert solo_session.stats.batch_calls == 0
+        assert batched_session.stats.batch_calls >= 1
+        # The acceptance criterion: >= 2x fewer wire round-trips.
+        assert batched_wire * 2 <= solo_wire, (
+            f"batching made {batched_wire} wire calls vs {solo_wire} solo -- "
+            "expected at least a 2x reduction"
+        )
+        # Stats identity: every grouped call collapses its members into
+        # one round-trip.
+        stats = batched_session.stats
+        assert stats.calls - stats.batched + stats.batch_calls == batched_wire
+
+        # Fewer admission waits under the same 120 rpm limit: the
+        # batched run's virtual wall-clock must come in lower.
+        solo_wall = solo_session.last_map.wall_s
+        batched_wall = batched_session.last_map.wall_s
+        assert batched_wall < solo_wall
+
+        write_snapshot(
+            "batch_coalescing",
+            {
+                "tasks": COALESCE_TASKS,
+                "max_concurrency": MAX_CONCURRENCY,
+                "max_batch": 16,
+                "requests_per_minute": 120,
+                "wire_calls_solo": solo_wire,
+                "wire_calls_batched": batched_wire,
+                "wire_reduction_x": solo_wire / batched_wire,
+                "batch_calls": stats.batch_calls,
+                "batched_requests": stats.batched,
+                "mean_group_size": stats.batched / stats.batch_calls,
+                "solo_virtual_s": solo_wall,
+                "batched_virtual_s": batched_wall,
+            },
+        )

@@ -3,6 +3,7 @@
 from repro.core.api import ask, define
 from repro.core.batch import MapOutcome, MapResult, run_batch
 from repro.core.cache import CodeCache, strip_provenance_header
+from repro.core.cache_store import FrequencySketch, SegmentStore
 from repro.core.codegen import (
     GeneratedFunction,
     generate_function,
@@ -20,6 +21,7 @@ from repro.core.function import AskItFunction
 from repro.core.hosts import FunctionHost, PythonHost, TypeScriptHost, load_host
 from repro.core.naming import cache_stem, camel_case_name, function_name, snake_case_name
 from repro.core.response_cache import (
+    CACHE_BACKENDS,
     CACHE_MODES,
     CacheEntry,
     ResponseCache,
@@ -30,6 +32,7 @@ from repro.core.safety import SafetyFinding, SafetyPolicy, scan_python, scan_typ
 from repro.core.scheduler import (
     SCHEDULER_MODES,
     AdaptiveConcurrency,
+    BatchRequest,
     PacingBucket,
     RequestScheduler,
     SchedulerPolicy,
@@ -67,8 +70,12 @@ __all__ = [
     "CacheEntry",
     "response_key",
     "CACHE_MODES",
+    "CACHE_BACKENDS",
+    "SegmentStore",
+    "FrequencySketch",
     "RequestScheduler",
     "SchedulerPolicy",
+    "BatchRequest",
     "PacingBucket",
     "AdaptiveConcurrency",
     "SCHEDULER_MODES",

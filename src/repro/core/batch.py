@@ -154,6 +154,7 @@ def run_batch(
     keys: Sequence[str | None] | None = None,
     max_concurrency: int = 8,
     clock: VirtualClock | None = None,
+    scheduler: Any = None,
     unwrap: Callable[[Any], tuple[Any, Any]] | None = None,
     catch: tuple[type[Exception], ...] = (AskItError,),
 ) -> MapResult:
@@ -163,6 +164,11 @@ def run_batch(
     equal keys execute once and share the outcome.  ``unwrap`` splits a
     thunk's raw return into ``(value, detail)``.  Exceptions of the
     ``catch`` types are captured per item; anything else propagates.
+
+    ``scheduler`` (a :class:`~repro.core.scheduler.RequestScheduler`)
+    opens a batch window around the pool when its policy enables
+    batching (``max_batch > 1``), so the items' cache-missing requests
+    can share grouped provider calls; see ``docs/scheduling.md``.
     """
     if max_concurrency < 1:
         raise ConfigError("max_concurrency must be >= 1")
@@ -189,8 +195,13 @@ def run_batch(
 
     workers = min(max_concurrency, len(unique)) if unique else None
 
-    def execute(slot_and_thunk: tuple[int, Callable[[], Any]], region):
+    def execute(slot_and_thunk: tuple[int, Callable[[], Any]], region, window):
         slot, thunk = slot_and_thunk
+        if window is not None:
+            # Register with the batch window first: only the pool's own
+            # threads may rendezvous into grouped wire calls (requests
+            # from nested pools or foreign threads schedule solo).
+            window.adopt()
         # Each work item charges its own clock lane, so the batch's
         # wall-clock depends on the per-item latencies and the worker
         # budget -- never on how the OS interleaved the pool threads.
@@ -204,16 +215,28 @@ def run_batch(
                 return thunk(), None
             except catch as error:
                 return None, error
+            finally:
+                if window is not None:
+                    # Whatever the item did -- requested, hit the cache,
+                    # or died before either -- square the window's
+                    # arithmetic so forming groups never starve.
+                    window.settle_thread()
 
     clock_region = (
         clock.concurrent(workers) if clock is not None else contextlib.nullcontext()
     )
-    with clock_region as region:
+    window_ctx = (
+        scheduler.batch_window(len(unique), workers)
+        if scheduler is not None and workers is not None
+        else contextlib.nullcontext()
+    )
+    with clock_region as region, window_ctx as window:
         if unique:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 raw = list(
                     pool.map(
-                        lambda pair: execute(pair, region), enumerate(unique)
+                        lambda pair: execute(pair, region, window),
+                        enumerate(unique),
                     )
                 )
         else:

@@ -1,0 +1,1051 @@
+"""A sharded, log-structured key-value store for the response cache.
+
+The one-JSON-file-per-entry backend behind
+:class:`~repro.core.response_cache.ResponseCache` is fine at 10^3
+entries and pathological at 10^6: every entry costs an inode, eviction
+rescans the directory's mtimes, and a cold open stats the world.  This
+module replaces it with the design used by log-structured caches:
+
+* **Shards** -- keys hash to one of N shard directories, bounding every
+  per-shard structure and spreading directory pressure.
+* **Append-only segments** -- each shard holds segment files to which
+  CRC-framed records (``put`` / ``del``) are only ever appended.  A
+  record is a single ``os.write``; torn records are detected by frame
+  length + CRC on scan and dropped without poisoning what follows in
+  other files.
+* **In-memory index** -- key -> (segment, offset, length), rebuilt on
+  open by scanning the segments in order.  Lookups are one ``pread``.
+* **Write-behind** -- ``put``/``delete`` enqueue onto a bounded dirty
+  queue drained by one writer thread; readers see pending values from
+  the index immediately.  ``flush()`` drains the queue and re-raises
+  any writer failure; ``put(..., sync=True)`` is enqueue + flush.
+* **Compaction** -- when a shard's sealed segments exceed a dead-record
+  ratio, live records are rewritten into a fresh segment (temp file +
+  atomic rename) and the sources unlinked.  A crash at any point leaves
+  a replayable log.
+* **Frequency-informed segmented LRU** -- admission/eviction uses
+  probation + protected queues (O(1) ``OrderedDict`` moves) and a
+  count-min frequency sketch choosing among probation-head candidates,
+  replacing the global mtime scan.  Evictions are index-local: the
+  record stays on disk until compaction, and a reopen may resurrect it
+  (harmless for a cache; the open-time trim re-enforces ``max_entries``).
+
+Cross-process discipline (lock-free): every *writer* appends only to
+segment files it created -- names embed the creating PID -- so two
+processes sharing a directory never interleave writes in one file.
+Readers pick up other writers' committed records via :meth:`refresh`,
+which rescans grown or new segments.  Replay order across files is
+``(sequence, pid)``; concurrent writes of the *same* key from two
+processes may resolve either way, which is sound for a content-addressed
+cache (the value is a pure function of the key).
+
+Crash injection for tests: pass ``fault_hook``; it is invoked with a
+fault-point name (``"append.partial"``, ``"compact.wrote-tmp"``,
+``"compact.renamed"``) and may raise to simulate a crash mid-operation.
+Only when a hook is installed is a record append split into two writes
+(to make ``append.partial`` able to tear a frame); production appends
+are always a single write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+import zlib
+from collections import OrderedDict
+from typing import Any, Callable, Iterator
+
+__all__ = ["SegmentStore", "SegmentCrashError", "FrequencySketch"]
+
+#: Fixed-width record header: ``"%08x %08x\n" % (len(body), crc32(body))``.
+_HEADER_LEN = 18
+
+#: Protected segment's share of ``max_entries`` (the rest is probation).
+_PROTECTED_SHARE = 0.8
+
+
+class SegmentCrashError(RuntimeError):
+    """Raised by a test fault hook to simulate a crash mid-write."""
+
+
+class FrequencySketch:
+    """A count-min sketch with periodic aging (TinyLFU-style).
+
+    Estimates how often a key has been touched, in four rows of
+    saturating byte counters.  Every ``sample_factor * width`` updates,
+    all counters halve, so ancient popularity decays.  Estimates only
+    rank eviction candidates -- collisions inflate counts, never lose
+    data.
+    """
+
+    __slots__ = ("_rows", "_mask", "_adds", "_reset_every")
+
+    _ROWS = 4
+    _HALVE = bytes(value >> 1 for value in range(256))
+
+    def __init__(self, width: int = 1 << 16, sample_factor: int = 8) -> None:
+        if width & (width - 1):
+            raise ValueError("sketch width must be a power of two")
+        self._rows = [bytearray(width) for _ in range(self._ROWS)]
+        self._mask = width - 1
+        self._adds = 0
+        self._reset_every = sample_factor * width
+
+    def _indices(self, key: str) -> list[int]:
+        digest = zlib.crc32(key.encode()) | (zlib.adler32(key.encode()) << 32)
+        return [
+            (digest >> (16 * row)) & self._mask for row in range(self._ROWS)
+        ]
+
+    def add(self, key: str) -> None:
+        """Record one touch of ``key``."""
+        for row, index in zip(self._rows, self._indices(key)):
+            if row[index] < 255:
+                row[index] += 1
+        self._adds += 1
+        if self._adds >= self._reset_every:
+            self._adds = 0
+            for position, row in enumerate(self._rows):
+                self._rows[position] = bytearray(row.translate(self._HALVE))
+
+    def estimate(self, key: str) -> int:
+        """The (over-)estimated touch count of ``key``."""
+        return min(
+            row[index] for row, index in zip(self._rows, self._indices(key))
+        )
+
+
+class _Pending:
+    """A value accepted but not yet appended to a segment."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: dict[str, Any]) -> None:
+        self.value = value
+
+
+class _Slot:
+    """Where a committed record lives: (segment name, offset, length).
+
+    ``seq`` is the record's store-wide operation sequence number --
+    recency that survives a reopen (segment scan order is shard-major,
+    so without it the open-time capacity trim would evict whole shards
+    instead of the oldest entries) and the tie-breaker when replay finds
+    the same key in two files.
+    """
+
+    __slots__ = ("segment", "offset", "length", "seq")
+
+    def __init__(self, segment: str, offset: int, length: int, seq: int) -> None:
+        self.segment = segment
+        self.offset = offset
+        self.length = length
+        self.seq = seq
+
+
+class _Segment:
+    """Metadata for one segment file of one shard."""
+
+    __slots__ = (
+        "name",
+        "path",
+        "size",
+        "scanned",
+        "observed",
+        "records",
+        "dead",
+        "sealed",
+    )
+
+    def __init__(self, name: str, path: str) -> None:
+        self.name = name
+        self.path = path
+        self.size = 0
+        #: How far this process has replayed records (refresh resumes here).
+        self.scanned = 0
+        #: File size at the last scan.  A torn/in-flight tail keeps
+        #: ``scanned`` short of ``observed``; it is rescanned only when
+        #: the file grows again (the frame may have completed by then).
+        self.observed = 0
+        self.records = 0
+        self.dead = 0
+        #: Sealed segments take no more appends (from this process).
+        self.sealed = True
+
+
+class _Shard:
+    """One shard: its directory, its segments, its slice of the index."""
+
+    __slots__ = (
+        "index",
+        "directory",
+        "segments",
+        "next_seq",
+        "active",
+        "fds",
+        "write_fd",
+    )
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.index: dict[str, _Pending | _Slot] = {}
+        self.segments: dict[str, _Segment] = {}
+        self.next_seq = 1
+        #: The writer thread's open segment (name), if any.
+        self.active: str | None = None
+        #: Read fd cache, one per segment file (O_RDONLY; pread only).
+        self.fds: dict[str, int] = {}
+        #: The writer thread's append fd for the active segment.
+        self.write_fd: int | None = None
+
+
+def _segment_sort_key(name: str) -> tuple[int, int]:
+    """Replay order of segment files: ``(sequence, creating pid)``."""
+    stem = name[len("seg-") : -len(".log")]
+    seq_text, _, pid_text = stem.partition("-")
+    return (int(seq_text), int(pid_text or 0))
+
+
+class SegmentStore:
+    """A sharded append-only log store mapping keys to JSON values.
+
+    Parameters
+    ----------
+    directory:
+        Root directory; ``shard-NN/`` subdirectories are created inside.
+        Coexists with legacy ``*.json`` entries (which this class never
+        touches -- migration happens in ``ResponseCache``).
+    shards:
+        Number of shards (keys spread by hash of the key's hex prefix).
+    max_entries:
+        Index capacity; beyond it, the frequency-informed segmented LRU
+        evicts.  ``None`` = unbounded.
+    segment_max_bytes:
+        Active segments roll over (seal) past this size.
+    compact_dead_ratio:
+        Compact a shard when its sealed segments' dead-record share
+        exceeds this ratio (and ``compact_min_records`` is met).
+    compact_min_records:
+        Minimum sealed records before compaction is considered.
+    dirty_queue_max:
+        Bound of the write-behind queue; producers block (backpressure)
+        when the writer falls this far behind.
+    fault_hook:
+        Test-only crash injection; see the module docstring.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        *,
+        shards: int = 8,
+        max_entries: int | None = None,
+        segment_max_bytes: int = 8 << 20,
+        compact_dead_ratio: float = 0.5,
+        compact_min_records: int = 64,
+        dirty_queue_max: int = 2048,
+        fault_hook: Callable[[str], None] | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
+        if not 0.0 < compact_dead_ratio <= 1.0:
+            raise ValueError("compact_dead_ratio must be in (0, 1]")
+        self.directory = os.fspath(directory)
+        self.shard_count = shards
+        self.max_entries = max_entries
+        self.segment_max_bytes = segment_max_bytes
+        self.compact_dead_ratio = compact_dead_ratio
+        self.compact_min_records = compact_min_records
+        self.fault_hook = fault_hook
+        self._lock = threading.RLock()
+        self._queue: queue.Queue = queue.Queue(maxsize=dirty_queue_max)
+        self._writer: threading.Thread | None = None
+        self._writer_error: BaseException | None = None
+        self._closed = False
+        self._count = 0
+        #: Store-wide operation sequence stamped into every record.
+        self._op_seq = 0
+        self._probation: OrderedDict[str, None] = OrderedDict()
+        self._protected: OrderedDict[str, None] = OrderedDict()
+        self._sketch = FrequencySketch()
+        self.stats: dict[str, int | float] = {
+            "evictions": 0,
+            "compactions": 0,
+            "torn_records": 0,
+            "rebuild_s": 0.0,
+        }
+        self._shards: list[_Shard] = []
+        for position in range(shards):
+            shard_dir = os.path.join(self.directory, f"shard-{position:02d}")
+            os.makedirs(shard_dir, exist_ok=True)
+            self._shards.append(_Shard(shard_dir))
+        self._rebuild()
+
+    # -- public surface ------------------------------------------------------
+
+    def put(self, key: str, value: dict[str, Any], *, sync: bool = False) -> None:
+        """Store ``value`` under ``key`` (readable immediately).
+
+        The record is appended by the writer thread; ``sync=True`` waits
+        for it (and re-raises any writer failure).
+        """
+        self._check_open()
+        shard = self._shard_for(key)
+        pending = _Pending(dict(value))
+        with self._lock:
+            old = shard.index.get(key)
+            shard.index[key] = pending
+            if isinstance(old, _Slot):
+                self._mark_dead(shard, old)
+            if old is None:
+                self._count += 1
+                self._admit_locked(key)
+            else:
+                self._touch_locked(key)
+            self._evict_locked(protect=key)
+        self._queue.put(("put", shard, key, pending))
+        if sync:
+            self.flush()
+
+    def get(self, key: str, *, refresh: bool = True) -> dict[str, Any] | None:
+        """The value stored under ``key``, or ``None``.
+
+        On an index miss (or a read that fails because another process
+        compacted the segment away), the key's shard is rescanned once
+        for records committed by other processes before giving up.
+        """
+        self._check_open()
+        shard = self._shard_for(key)
+        with self._lock:
+            entry = shard.index.get(key)
+            if isinstance(entry, _Pending):
+                self._touch_locked(key)
+                return dict(entry.value)
+            if isinstance(entry, _Slot):
+                value = self._read_slot(shard, entry, key)
+                if value is not None:
+                    self._touch_locked(key)
+                    return value
+                shard.index.pop(key, None)
+                self._forget_locked(key)
+                self._count -= 1
+            if not refresh:
+                return None
+            self._refresh_shard_locked(shard)
+            entry = shard.index.get(key)
+            if isinstance(entry, _Pending):
+                return dict(entry.value)
+            if isinstance(entry, _Slot):
+                value = self._read_slot(shard, entry, key)
+                if value is not None:
+                    self._touch_locked(key)
+                    return value
+            return None
+
+    def touch(self, key: str) -> None:
+        """Bump ``key``'s recency/frequency without reading it."""
+        with self._lock:
+            shard = self._shard_for(key)
+            if key in shard.index:
+                self._touch_locked(key)
+
+    def delete(self, key: str, *, sync: bool = False) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        self._check_open()
+        shard = self._shard_for(key)
+        with self._lock:
+            old = shard.index.pop(key, None)
+            if old is not None:
+                if isinstance(old, _Slot):
+                    self._mark_dead(shard, old)
+                self._forget_locked(key)
+                self._count -= 1
+        self._queue.put(("del", shard, key))
+        if sync:
+            self.flush()
+        return old is not None
+
+    def clear(self) -> int:
+        """Drop every entry and delete every segment file."""
+        self._check_open()
+        with self._lock:
+            removed = self._count
+            for shard in self._shards:
+                shard.index.clear()
+            self._probation.clear()
+            self._protected.clear()
+            self._count = 0
+        self._queue.put(("clear",))
+        self.flush()
+        return removed
+
+    def compact(self, shard_index: int | None = None) -> None:
+        """Force compaction (all shards, or one); waits for completion."""
+        self._check_open()
+        targets = (
+            self._shards
+            if shard_index is None
+            else [self._shards[shard_index]]
+        )
+        for shard in targets:
+            self._queue.put(("compact", shard, True))
+        self.flush()
+
+    def refresh(self) -> None:
+        """Rescan every shard for records committed by other processes."""
+        with self._lock:
+            for shard in self._shards:
+                self._refresh_shard_locked(shard)
+
+    def flush(self) -> None:
+        """Drain the write-behind queue; re-raise any writer failure."""
+        self._ensure_writer()
+        self._queue.join()
+        if self._writer_error is not None:
+            raise self._writer_error
+
+    def keys(self) -> list[str]:
+        """Every readable key (committed and pending)."""
+        with self._lock:
+            found: list[str] = []
+            for shard in self._shards:
+                found.extend(shard.index)
+            return found
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._shard_for(key).index
+
+    def items(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Iterate ``(key, value)`` pairs (values read lazily)."""
+        for key in self.keys():
+            value = self.get(key, refresh=False)
+            if value is not None:
+                yield key, value
+
+    def close(self) -> None:
+        """Stop the writer and close every file descriptor.  Never raises."""
+        if self._closed:
+            return
+        self._closed = True
+        writer = self._writer
+        if writer is not None and writer.is_alive():
+            self._queue.put(None)
+            writer.join(timeout=10.0)
+        with self._lock:
+            for shard in self._shards:
+                for fd in shard.fds.values():
+                    try:
+                        os.close(fd)
+                    except OSError:  # pragma: no cover - already closed
+                        pass
+                shard.fds.clear()
+                shard.active = None
+                self._close_write_fd(shard)
+
+    def __enter__(self) -> "SegmentStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def segment_files(self) -> list[str]:
+        """Every segment file path (tests use this to poke at the log)."""
+        found: list[str] = []
+        for shard in self._shards:
+            for segment in shard.segments.values():
+                found.append(segment.path)
+        return sorted(found)
+
+    # -- sharding and recency ------------------------------------------------
+
+    def _shard_for(self, key: str) -> _Shard:
+        return self._shards[zlib.crc32(key.encode()) % self.shard_count]
+
+    def _admit_locked(self, key: str) -> None:
+        self._sketch.add(key)
+        self._probation[key] = None
+
+    def _touch_locked(self, key: str) -> None:
+        self._sketch.add(key)
+        if key in self._protected:
+            self._protected.move_to_end(key)
+            return
+        if key in self._probation:
+            del self._probation[key]
+            self._protected[key] = None
+            limit = self._protected_limit()
+            while len(self._protected) > limit:
+                demoted, _ = self._protected.popitem(last=False)
+                self._probation[demoted] = None
+
+    def _forget_locked(self, key: str) -> None:
+        self._probation.pop(key, None)
+        self._protected.pop(key, None)
+
+    def _protected_limit(self) -> int:
+        if self.max_entries is None:
+            return 1 << 30
+        return max(1, int(self.max_entries * _PROTECTED_SHARE))
+
+    def _evict_locked(self, protect: str | None = None) -> None:
+        """Evict down to ``max_entries`` (never evicting ``protect``)."""
+        if self.max_entries is None:
+            return
+        while self._count > self.max_entries:
+            victim = self._pick_victim_locked(protect)
+            if victim is None:  # pragma: no cover - recency out of sync
+                break
+            shard = self._shard_for(victim)
+            old = shard.index.pop(victim, None)
+            if isinstance(old, _Slot):
+                self._mark_dead(shard, old)
+            self._forget_locked(victim)
+            self._count -= 1
+            self.stats["evictions"] += 1
+
+    def _pick_victim_locked(self, protect: str | None) -> str | None:
+        """The coldest probation candidate (lowest sketch estimate wins).
+
+        Looks at up to three keys from the probation front and evicts
+        the least-frequent -- the "TinyLFU informs a segmented LRU"
+        move.  Falls back to the protected front when probation is dry;
+        the entry being admitted (``protect``) is never a candidate, so
+        a fresh ``put`` always round-trips.
+        """
+        source = self._probation or self._protected
+        if not source:
+            return None
+        candidates: list[str] = []
+        for key in source:
+            if key == protect:
+                continue
+            candidates.append(key)
+            if len(candidates) == 3:
+                break
+        if not candidates:
+            return None
+        return min(candidates, key=self._sketch.estimate)
+
+    # -- record framing ------------------------------------------------------
+
+    @staticmethod
+    def _frame(body: bytes) -> bytes:
+        header = b"%08x %08x\n" % (len(body), zlib.crc32(body))
+        return header + body + b"\n"
+
+    @staticmethod
+    def _put_body(key: str, value: dict[str, Any], seq: int) -> bytes:
+        return json.dumps(
+            {"op": "put", "key": key, "s": seq, "value": value},
+            separators=(",", ":"),
+        ).encode()
+
+    @staticmethod
+    def _del_body(key: str, seq: int) -> bytes:
+        return json.dumps(
+            {"op": "del", "key": key, "s": seq}, separators=(",", ":")
+        ).encode()
+
+    def _read_slot(
+        self, shard: _Shard, slot: _Slot, key: str
+    ) -> dict[str, Any] | None:
+        segment = shard.segments.get(slot.segment)
+        if segment is None:
+            return None
+        fd = shard.fds.get(slot.segment)
+        if fd is None:
+            try:
+                fd = os.open(segment.path, os.O_RDONLY)
+            except OSError:
+                return None
+            shard.fds[slot.segment] = fd
+        try:
+            blob = os.pread(fd, slot.length, slot.offset)
+        except OSError:  # pragma: no cover - segment vanished mid-read
+            return None
+        record = self._parse_record(blob)
+        if record is None or record.get("op") != "put" or record.get("key") != key:
+            return None
+        return record.get("value")
+
+    @staticmethod
+    def _parse_record(blob: bytes) -> dict[str, Any] | None:
+        if len(blob) < _HEADER_LEN:
+            return None
+        header = blob[:_HEADER_LEN]
+        try:
+            length = int(header[:8], 16)
+            crc = int(header[9:17], 16)
+        except ValueError:
+            return None
+        body = blob[_HEADER_LEN : _HEADER_LEN + length]
+        if len(body) < length or zlib.crc32(body) != crc:
+            return None
+        try:
+            return json.loads(body)
+        except ValueError:  # pragma: no cover - CRC already vouched
+            return None
+
+    # -- the writer thread ---------------------------------------------------
+
+    def _ensure_writer(self) -> None:
+        with self._lock:
+            if self._writer is not None and self._writer.is_alive():
+                return
+            if self._writer is not None and self._writer_error is not None:
+                # The writer died reporting a failure; keep it dead so
+                # flush() keeps raising instead of silently restarting.
+                return
+            writer = threading.Thread(
+                target=self._writer_loop, name="segment-store-writer", daemon=True
+            )
+            self._writer = writer
+            writer.start()
+
+    def _writer_loop(self) -> None:
+        while True:
+            op = self._queue.get()
+            if op is None:
+                self._queue.task_done()
+                return
+            try:
+                if self._writer_error is None:
+                    self._apply(op)
+            except BaseException as failure:  # noqa: BLE001 - surfaced on flush
+                self._writer_error = failure
+            finally:
+                self._queue.task_done()
+
+    def _apply(self, op: tuple) -> None:
+        kind = op[0]
+        if kind == "put":
+            _, shard, key, pending = op
+            with self._lock:
+                self._op_seq += 1
+                seq = self._op_seq
+            self._append_record(
+                shard,
+                key,
+                self._put_body(key, pending.value, seq),
+                seq,
+                pending=pending,
+            )
+        elif kind == "del":
+            _, shard, key = op
+            with self._lock:
+                self._op_seq += 1
+                seq = self._op_seq
+            self._append_record(
+                shard, key, self._del_body(key, seq), seq, deletion=True
+            )
+        elif kind == "clear":
+            self._apply_clear()
+        elif kind == "compact":
+            _, shard, force = op
+            self._compact_shard(shard, force=force)
+
+    def _fault(self, point: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(point)
+
+    def _append_record(
+        self,
+        shard: _Shard,
+        key: str,
+        body: bytes,
+        seq: int,
+        *,
+        pending: _Pending | None = None,
+        deletion: bool = False,
+    ) -> None:
+        record = self._frame(body)
+        with self._lock:
+            segment = self._active_segment_locked(shard)
+            fd = shard.write_fd
+            offset = segment.size
+        if self.fault_hook is None:
+            os.write(fd, record)
+        else:
+            # Two-phase write so "append.partial" can tear a frame.
+            half = len(record) // 2
+            os.write(fd, record[:half])
+            self._fault("append.partial")
+            os.write(fd, record[half:])
+        with self._lock:
+            segment.size = offset + len(record)
+            segment.scanned = segment.size
+            segment.observed = segment.size
+            segment.records += 1
+            if deletion:
+                segment.dead += 1
+            else:
+                current = shard.index.get(key)
+                if current is pending:
+                    # Identity check: a *newer* pending value for the same
+                    # key must not be clobbered by this older record.
+                    shard.index[key] = _Slot(segment.name, offset, len(record), seq)
+                else:
+                    # Superseded (or evicted) while queued: dead on arrival.
+                    segment.dead += 1
+            roll = segment.size >= self.segment_max_bytes
+            if roll:
+                segment.sealed = True
+                shard.active = None
+                self._close_write_fd(shard)
+        if roll or deletion:
+            self._compact_shard(shard, force=False)
+
+    def _active_segment_locked(self, shard: _Shard) -> _Segment:
+        if shard.active is not None:
+            return shard.segments[shard.active]
+        while True:
+            name = f"seg-{shard.next_seq:08d}-{os.getpid()}.log"
+            shard.next_seq += 1
+            path = os.path.join(shard.directory, name)
+            try:
+                # O_EXCL: the pid suffix de-conflicts processes, but two
+                # stores in one process (or a recycled pid) could collide
+                # on a name -- and appending to a foreign segment would
+                # wreck both writers' offset bookkeeping.
+                fd = os.open(
+                    path,
+                    os.O_WRONLY | os.O_CREAT | os.O_EXCL | os.O_APPEND,
+                    0o644,
+                )
+            except FileExistsError:
+                continue
+            break
+        segment = _Segment(name, path)
+        segment.sealed = False
+        shard.write_fd = fd
+        shard.segments[name] = segment
+        shard.active = name
+        return segment
+
+    @staticmethod
+    def _close_write_fd(shard: _Shard) -> None:
+        if shard.write_fd is not None:
+            try:
+                os.close(shard.write_fd)
+            except OSError:  # pragma: no cover - already closed
+                pass
+            shard.write_fd = None
+
+    def _apply_clear(self) -> None:
+        with self._lock:
+            for shard in self._shards:
+                for fd in shard.fds.values():
+                    try:
+                        os.close(fd)
+                    except OSError:  # pragma: no cover
+                        pass
+                shard.fds.clear()
+                shard.active = None
+                self._close_write_fd(shard)
+                for segment in shard.segments.values():
+                    try:
+                        os.unlink(segment.path)
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+                shard.segments.clear()
+
+    # -- compaction ----------------------------------------------------------
+
+    def _compact_shard(self, shard: _Shard, *, force: bool) -> None:
+        """Rewrite a shard's sealed segments if dead records dominate."""
+        own_suffix = f"-{os.getpid()}.log"
+        with self._lock:
+            sealed = [
+                segment
+                for segment in shard.segments.values()
+                if segment.sealed
+                and segment.records > 0
+                # Unforced compaction only rewrites segments this process
+                # created: a foreign segment may still be growing under
+                # another live writer, and unlinking it would drop that
+                # writer's subsequent records.  compact() (forced) takes
+                # everything -- callers assert a single-writer phase.
+                and (force or segment.name.endswith(own_suffix))
+            ]
+            records = sum(segment.records for segment in sealed)
+            dead = sum(segment.dead for segment in sealed)
+            if not sealed:
+                return
+            if not force:
+                if records < self.compact_min_records:
+                    return
+                if dead / records <= self.compact_dead_ratio:
+                    return
+            sources = {segment.name for segment in sealed}
+            live: list[tuple[str, _Slot]] = []
+            for key, entry in shard.index.items():
+                if isinstance(entry, _Slot) and entry.segment in sources:
+                    live.append((key, entry))
+            payload = bytearray()
+            moved: list[tuple[str, int, int, int]] = []
+            for key, slot in live:
+                blob = self._read_record_bytes(shard, slot)
+                if blob is None:  # pragma: no cover - source vanished
+                    continue
+                moved.append((key, len(payload), len(blob), slot.seq))
+                payload += blob
+            name = f"seg-{shard.next_seq:08d}-{os.getpid()}.log"
+            shard.next_seq += 1
+            path = os.path.join(shard.directory, name)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(payload)
+        self._fault("compact.wrote-tmp")
+        os.replace(tmp_path, path)
+        self._fault("compact.renamed")
+        with self._lock:
+            segment = _Segment(name, path)
+            segment.size = len(payload)
+            segment.scanned = segment.size
+            segment.observed = segment.size
+            segment.records = len(moved)
+            shard.segments[name] = segment
+            for key, offset, length, seq in moved:
+                current = shard.index.get(key)
+                if (
+                    isinstance(current, _Slot)
+                    and current.segment in sources
+                ):
+                    shard.index[key] = _Slot(name, offset, length, seq)
+                else:
+                    segment.dead += 1
+            for source in sources:
+                fd = shard.fds.pop(source, None)
+                if fd is not None:
+                    try:
+                        os.close(fd)
+                    except OSError:  # pragma: no cover
+                        pass
+                old = shard.segments.pop(source, None)
+                if old is not None:
+                    try:
+                        os.unlink(old.path)
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+            self.stats["compactions"] += 1
+
+    def _read_record_bytes(self, shard: _Shard, slot: _Slot) -> bytes | None:
+        segment = shard.segments.get(slot.segment)
+        if segment is None:
+            return None
+        fd = shard.fds.get(slot.segment)
+        if fd is None:
+            try:
+                fd = os.open(segment.path, os.O_RDONLY)
+            except OSError:
+                return None
+            shard.fds[slot.segment] = fd
+        try:
+            return os.pread(fd, slot.length, slot.offset)
+        except OSError:  # pragma: no cover
+            return None
+
+    # -- scanning / rebuild --------------------------------------------------
+
+    def _mark_dead(self, shard: _Shard, slot: _Slot) -> None:
+        segment = shard.segments.get(slot.segment)
+        if segment is not None:
+            segment.dead += 1
+
+    def _rebuild(self) -> None:
+        """Scan every shard's segments and rebuild the index."""
+        started = time.perf_counter()
+        with self._lock:
+            for shard in self._shards:
+                self._refresh_shard_locked(shard)
+            # Segment scan order is shard-major; reorder recency by each
+            # record's operation sequence so the capacity trim below (and
+            # future evictions) target genuinely old entries.
+            by_age: list[tuple[int, str]] = []
+            for shard in self._shards:
+                for key, entry in shard.index.items():
+                    if isinstance(entry, _Slot):
+                        by_age.append((entry.seq, key))
+            by_age.sort()
+            self._probation.clear()
+            self._protected.clear()
+            for _seq, key in by_age:
+                self._probation[key] = None
+            # Re-enforce the capacity bound: evictions are index-local,
+            # so a reopen can resurrect more entries than fit.
+            self._evict_locked()
+        self.stats["rebuild_s"] = time.perf_counter() - started
+
+    def _refresh_shard_locked(self, shard: _Shard) -> None:
+        try:
+            names = [
+                name
+                for name in os.listdir(shard.directory)
+                if name.startswith("seg-") and name.endswith(".log")
+            ]
+        except OSError:  # pragma: no cover - directory vanished
+            return
+        present = set(names)
+        for name in list(shard.segments):
+            if name not in present and name != shard.active:
+                # Another process compacted it away; drop its slots.
+                shard.fds.pop(name, None)
+                shard.segments.pop(name, None)
+                stale = [
+                    key
+                    for key, entry in shard.index.items()
+                    if isinstance(entry, _Slot) and entry.segment == name
+                ]
+                for key in stale:
+                    shard.index.pop(key, None)
+                    self._forget_locked(key)
+                    self._count -= 1
+        for name in sorted(names, key=_segment_sort_key):
+            segment = shard.segments.get(name)
+            if segment is None:
+                segment = _Segment(name, os.path.join(shard.directory, name))
+                shard.segments[name] = segment
+            try:
+                size = os.path.getsize(segment.path)
+            except OSError:  # pragma: no cover - raced deletion
+                continue
+            if size > segment.observed:
+                self._scan_segment_locked(shard, segment, size)
+            seq = _segment_sort_key(name)[0]
+            if seq >= shard.next_seq:
+                shard.next_seq = seq + 1
+
+    def _scan_segment_locked(
+        self, shard: _Shard, segment: _Segment, size: int
+    ) -> None:
+        """Replay ``segment``'s records from its scan offset."""
+        try:
+            with open(segment.path, "rb") as handle:
+                handle.seek(segment.scanned)
+                data = handle.read(size - segment.scanned)
+        except OSError:  # pragma: no cover - raced deletion
+            return
+        position = 0
+        base = segment.scanned
+        while position < len(data):
+            remaining = len(data) - position
+            if remaining < _HEADER_LEN:
+                self.stats["torn_records"] += 1
+                break
+            header = data[position : position + _HEADER_LEN]
+            try:
+                length = int(header[:8], 16)
+                crc = int(header[9:17], 16)
+            except ValueError:
+                self.stats["torn_records"] += 1
+                break
+            total = _HEADER_LEN + length + 1
+            body = data[position + _HEADER_LEN : position + _HEADER_LEN + length]
+            if len(body) < length or zlib.crc32(body) != crc:
+                self.stats["torn_records"] += 1
+                break
+            try:
+                record = json.loads(body)
+            except ValueError:
+                self.stats["torn_records"] += 1
+                break
+            key = record.get("key")
+            if isinstance(key, str):
+                seq = record.get("s", 0)
+                if not isinstance(seq, int):
+                    seq = 0
+                if seq > self._op_seq:
+                    self._op_seq = seq
+                self._replay_locked(
+                    shard,
+                    segment,
+                    key,
+                    record,
+                    _Slot(segment.name, base + position, total, seq),
+                )
+            segment.records += 1
+            position += total
+        segment.scanned = base + position
+        segment.observed = size
+        segment.size = max(segment.size, segment.scanned)
+
+    def _replay_locked(
+        self,
+        shard: _Shard,
+        segment: _Segment,
+        key: str,
+        record: dict[str, Any],
+        slot: _Slot,
+    ) -> None:
+        old = shard.index.get(key)
+        if record.get("op") == "del":
+            segment.dead += 1
+            if isinstance(old, _Slot) and old.seq <= slot.seq:
+                self._mark_dead(shard, old)
+                shard.index.pop(key, None)
+                self._forget_locked(key)
+                self._count -= 1
+            # A pending local put (or a newer slot) outranks this deletion.
+            return
+        if isinstance(old, _Pending):
+            # Local pending write wins over anything scanned.
+            segment.dead += 1
+            return
+        if isinstance(old, _Slot):
+            if old.seq > slot.seq:
+                # The indexed record is newer than the scanned one.
+                segment.dead += 1
+                return
+            self._mark_dead(shard, old)
+            shard.index[key] = slot
+            self._touch_locked(key)
+            return
+        shard.index[key] = slot
+        self._count += 1
+        self._admit_locked(key)
+
+    # -- misc ----------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("SegmentStore is closed")
+        self._ensure_writer()
+
+    def store_stats(self) -> dict[str, Any]:
+        """Operational counters plus segment totals (JSON-able)."""
+        with self._lock:
+            segments = sum(len(shard.segments) for shard in self._shards)
+            records = sum(
+                segment.records
+                for shard in self._shards
+                for segment in shard.segments.values()
+            )
+            dead = sum(
+                segment.dead
+                for shard in self._shards
+                for segment in shard.segments.values()
+            )
+            return {
+                "entries": self._count,
+                "shards": self.shard_count,
+                "segments": segments,
+                "records": records,
+                "dead_records": dead,
+                **self.stats,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentStore({self.directory!r}, shards={self.shard_count}, "
+            f"entries={self._count})"
+        )

@@ -14,7 +14,7 @@ import threading
 from pathlib import Path
 from typing import ContextManager, Iterator
 
-from repro.core.response_cache import CACHE_MODES, ResponseCache
+from repro.core.response_cache import CACHE_BACKENDS, CACHE_MODES, ResponseCache
 from repro.core.safety import SafetyPolicy
 from repro.core.scheduler import SCHEDULER_MODES, RequestScheduler, SchedulerPolicy
 from repro.errors import ConfigError
@@ -76,6 +76,14 @@ class Config:
         Seconds before a stored response expires (``None`` = never).
     cache_max_entries:
         LRU bound on stored responses.
+    cache_backend:
+        On-disk layout of the response cache: ``"segments"`` (default --
+        the sharded log-structured
+        :class:`~repro.core.cache_store.SegmentStore`, built for large
+        caches) or ``"files"`` (the original one-JSON-file-per-entry
+        layout).  The segments backend reads and migrates entries a
+        files-backend cache wrote, so existing directories upgrade in
+        place; memory-only caches (``cache_dir=None``) ignore this.
     scheduler:
         Request-scheduling mode: ``"off"`` (default -- provider calls are
         issued immediately; 429s fall back to naive exponential backoff)
@@ -131,6 +139,7 @@ class Config:
         cache: str = "off",
         cache_ttl: float | None = None,
         cache_max_entries: int = 4096,
+        cache_backend: str = "segments",
         scheduler: str = "off",
         requests_per_minute: float | None = None,
         tokens_per_minute: float | None = None,
@@ -153,6 +162,11 @@ class Config:
             raise ConfigError("cache_ttl must be positive (or None for no expiry)")
         if cache_max_entries < 1:
             raise ConfigError("cache_max_entries must be >= 1")
+        if cache_backend not in CACHE_BACKENDS:
+            raise ConfigError(
+                f"cache_backend must be one of {CACHE_BACKENDS}, "
+                f"got {cache_backend!r}"
+            )
         if scheduler not in SCHEDULER_MODES:
             raise ConfigError(
                 f"scheduler must be one of {SCHEDULER_MODES}, got {scheduler!r}"
@@ -170,6 +184,7 @@ class Config:
         self.cache = cache
         self.cache_ttl = cache_ttl
         self.cache_max_entries = cache_max_entries
+        self.cache_backend = cache_backend
         self.scheduler = scheduler
         # Fold the convenience knobs into one policy; SchedulerPolicy
         # validates them (positive rates, positive deadline).
@@ -242,6 +257,7 @@ class Config:
                         mode=self.cache,
                         ttl_s=self.cache_ttl,
                         max_entries=self.cache_max_entries,
+                        backend=self.cache_backend,
                     )
         return self._response_cache
 
@@ -324,6 +340,7 @@ class Config:
             "cache": self.cache,
             "cache_ttl": self.cache_ttl,
             "cache_max_entries": self.cache_max_entries,
+            "cache_backend": self.cache_backend,
             "scheduler": self.scheduler,
             "scheduler_policy": self.scheduler_policy,
             "wire_policy": self.wire_policy,

@@ -189,6 +189,7 @@ class AskItFunction:
             keys=keys,
             max_concurrency=max_concurrency,
             clock=config.client.clock,
+            scheduler=config.request_scheduler,
             unwrap=lambda result: (result.value, result),
             catch=(MaxRetriesExceededError, DeadlineExceededError, RateLimitError),
         )

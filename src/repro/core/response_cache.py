@@ -41,10 +41,12 @@ import json
 import os
 import threading
 import time
+from collections import OrderedDict
 from pathlib import Path
-from typing import Awaitable, Callable, Iterator, Sequence
+from typing import Awaitable, Callable, ContextManager, Iterator, Sequence
 
 from repro.core.cache import atomic_write_text
+from repro.core.cache_store import SegmentStore
 from repro.errors import ConfigError
 from repro.llm.base import ChatMessage, CompletionResult, Usage
 from repro.obs.trace import Span, annotate, current_span
@@ -55,6 +57,14 @@ CACHE_FORMAT_VERSION = 1
 
 #: The cache modes a :class:`~repro.core.config.Config` accepts.
 CACHE_MODES = ("off", "read", "read-write")
+
+#: The on-disk backends a :class:`~repro.core.config.Config` accepts:
+#: ``"files"`` is the original one-JSON-file-per-entry layout,
+#: ``"segments"`` the sharded log-structured
+#: :class:`~repro.core.cache_store.SegmentStore` that scales to millions
+#: of entries.  Either backend transparently *reads* (and migrates)
+#: entries the other wrote.
+CACHE_BACKENDS = ("files", "segments")
 
 
 def response_key(
@@ -178,6 +188,16 @@ class ResponseCache:
     ``"read-write"`` (the default).  ``"off"`` is handled a level up:
     :attr:`Config.response_cache <repro.core.config.Config.response_cache>`
     returns ``None`` and the client skips the cache entirely.
+
+    ``backend`` picks the persistence layout (``CACHE_BACKENDS``):
+    ``"files"`` keeps one JSON file per entry (simple, greppable, fine
+    up to a few thousand entries), ``"segments"`` stores entries in the
+    sharded append-only log of
+    :class:`~repro.core.cache_store.SegmentStore` (write-behind, scales
+    to ~1M entries).  The segments backend still *reads* legacy
+    ``*.json`` entries found in the directory and migrates each into the
+    log on first hit, so pointing it at an existing files-backend
+    directory upgrades it in place.
     """
 
     def __init__(
@@ -188,10 +208,17 @@ class ResponseCache:
         ttl_s: float | None = None,
         max_entries: int = 4096,
         time_source: Callable[[], float] = time.time,
+        backend: str = "files",
+        store_options: dict | None = None,
     ) -> None:
         if mode not in ("read", "read-write"):
             raise ConfigError(
                 f"ResponseCache mode must be 'read' or 'read-write', got {mode!r}"
+            )
+        if backend not in CACHE_BACKENDS:
+            raise ConfigError(
+                f"ResponseCache backend must be one of {CACHE_BACKENDS}, "
+                f"got {backend!r}"
             )
         if ttl_s is not None and ttl_s <= 0:
             raise ConfigError("cache_ttl must be positive (or None for no expiry)")
@@ -199,15 +226,29 @@ class ResponseCache:
             raise ConfigError("max_entries must be >= 1")
         self.directory = Path(directory) if directory is not None else None
         self.mode = mode
+        self.backend = backend
         self.ttl_s = ttl_s
         self.max_entries = max_entries
         self._now = time_source
         # In-memory store: always the fast path; also the only store when
-        # no directory is configured.  Maps key -> (entry, last_used).
-        self._memory: dict[str, tuple[CacheEntry, float]] = {}
+        # no directory is configured.  Maps key -> (entry, last_used) in
+        # recency order (OrderedDict moves are O(1); eviction pops the
+        # front instead of scanning for the minimum timestamp).
+        self._memory: OrderedDict[str, tuple[CacheEntry, float]] = OrderedDict()
         self._memory_lock = threading.Lock()
         self._flights: dict[str, _Flight] = {}
         self._flights_lock = threading.Lock()
+        #: The log-structured store behind the ``segments`` backend
+        #: (``None`` for ``files`` or a memory-only cache).  Exposed for
+        #: benchmarks and tests; ``store_options`` feeds extra
+        #: :class:`SegmentStore` knobs (shards, segment size, fault hook).
+        self.segment_store: SegmentStore | None = None
+        if self.directory is not None and backend == "segments":
+            self.segment_store = SegmentStore(
+                self.directory,
+                max_entries=max_entries,
+                **(store_options or {}),
+            )
 
     # -- key derivation --------------------------------------------------------
 
@@ -241,6 +282,7 @@ class ResponseCache:
                     del self._memory[key]
                 else:
                     self._memory[key] = (entry, now)
+                    self._memory.move_to_end(key)
         if held is not None:
             # Filesystem work happens outside the lock so concurrent
             # hits never serialize on disk-metadata syscalls.
@@ -286,6 +328,7 @@ class ResponseCache:
         )
         with self._memory_lock:
             self._memory[key] = (entry, entry.created_at)
+            self._memory.move_to_end(key)
             self._evict_memory_locked()
         if self.directory is not None:
             self._write_disk(entry)
@@ -303,6 +346,9 @@ class ResponseCache:
         with self._memory_lock:
             keys = set(self._memory)
             self._memory.clear()
+        if self.segment_store is not None:
+            keys.update(self.segment_store.keys())
+            self.segment_store.clear()
         if self.directory is not None and self.directory.is_dir():
             for path in self.directory.glob("*.json"):
                 try:
@@ -315,11 +361,16 @@ class ResponseCache:
     def entries(self) -> list[CacheEntry]:
         """Every live (unexpired) entry, most recently created first."""
         seen: dict[str, CacheEntry] = {}
+        if self.segment_store is not None:
+            for key, raw in self.segment_store.items():
+                entry = self._entry_from_payload(key, raw)
+                if entry is not None:
+                    seen[key] = entry
         if self.directory is not None and self.directory.is_dir():
             for path in sorted(self.directory.glob("*.json")):
-                entry = self._read_disk(path.stem)
+                entry = self._read_legacy(path.stem)
                 if entry is not None:
-                    seen[entry.key] = entry
+                    seen.setdefault(entry.key, entry)
         with self._memory_lock:
             for key, (entry, _) in self._memory.items():
                 seen.setdefault(key, entry)
@@ -336,6 +387,8 @@ class ResponseCache:
         if self.ttl_s is not None:
             return len(self.entries())
         keys: set[str] = set()
+        if self.segment_store is not None:
+            keys.update(self.segment_store.keys())
         if self.directory is not None and self.directory.is_dir():
             keys.update(path.stem for path in self.directory.glob("*.json"))
         with self._memory_lock:
@@ -353,6 +406,7 @@ class ResponseCache:
         messages: Sequence[ChatMessage],
         temperature: float,
         call: Callable[[], CompletionResult],
+        follower_wait: Callable[[], ContextManager[None]] | None = None,
     ) -> tuple[str, CompletionResult]:
         """Serve one request through the cache.
 
@@ -361,6 +415,11 @@ class ResponseCache:
         request's provider call), or ``"miss"`` (``call()`` ran and, in
         read-write mode, its result was persisted).  Only misses touch
         the provider; hits and coalesced replays charge zero latency.
+
+        ``follower_wait`` (when given) wraps a coalesced follower's
+        park on the leader's flight -- the scheduler's batch window
+        passes its blocked-worker context here so grouped requests
+        never wait on a thread that is itself waiting for them.
         """
         key = self.key(model, messages, temperature)
         cached = self.load(key)
@@ -368,7 +427,11 @@ class ResponseCache:
             return "hit", cached
         leader, flight = self._join(key)
         if not leader:
-            flight.wait()
+            if follower_wait is not None:
+                with follower_wait():
+                    flight.wait()
+            else:
+                flight.wait()
             assert flight.result is not None
             self._link_leader(flight)
             return "coalesced", self._replay_of(flight.result)
@@ -396,6 +459,7 @@ class ResponseCache:
         messages: Sequence[ChatMessage],
         temperature: float,
         acall: Callable[[], Awaitable[CompletionResult]],
+        follower_wait: Callable[[], ContextManager[None]] | None = None,
     ) -> tuple[str, CompletionResult]:
         """Async :meth:`fetch`: disk I/O and waits run off the event loop."""
         key = self.key(model, messages, temperature)
@@ -404,7 +468,15 @@ class ResponseCache:
             return "hit", cached
         leader, flight = self._join(key)
         if not leader:
-            await asyncio.to_thread(flight.wait)
+
+            def _wait() -> None:
+                if follower_wait is not None:
+                    with follower_wait():
+                        flight.wait()
+                else:
+                    flight.wait()
+
+            await asyncio.to_thread(_wait)
             assert flight.result is not None
             self._link_leader(flight)
             return "coalesced", self._replay_of(flight.result)
@@ -489,11 +561,42 @@ class ResponseCache:
     def _read_disk(self, key: str) -> CacheEntry | None:
         if self.directory is None:
             return None
-        path = self._path(key)
+        if self.segment_store is not None:
+            raw = self.segment_store.get(key)
+            if raw is not None:
+                return self._entry_from_payload(key, raw)
+            return self._migrate_legacy(key)
+        return self._read_legacy(key)
+
+    def _read_legacy(self, key: str) -> CacheEntry | None:
+        """Read one entry from the files-backend ``*.json`` layout."""
         try:
-            raw = json.loads(path.read_text(encoding="utf-8"))
+            raw = json.loads(self._path(key).read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return None
+        return self._entry_from_payload(key, raw)
+
+    def _migrate_legacy(self, key: str) -> CacheEntry | None:
+        """Serve a legacy ``*.json`` entry, folding it into the log.
+
+        This is the in-place upgrade path: a segments-backend cache
+        pointed at a files-backend directory answers from the JSON
+        entries it finds and (in read-write mode) moves each into the
+        segment log on first hit, retiring the per-entry file.
+        """
+        entry = self._read_legacy(key)
+        if entry is None:
+            return None
+        if self.writable and self.segment_store is not None:
+            self.segment_store.put(key, self._payload(entry))
+            try:
+                self._path(key).unlink()
+            except OSError:
+                pass
+        return entry
+
+    @staticmethod
+    def _entry_from_payload(key: str, raw: object) -> CacheEntry | None:
         if not isinstance(raw, dict) or raw.get("version") != CACHE_FORMAT_VERSION:
             return None
         try:
@@ -510,9 +613,10 @@ class ResponseCache:
         except (KeyError, TypeError, ValueError):
             return None
 
-    def _write_disk(self, entry: CacheEntry) -> None:
-        assert self.directory is not None
-        payload = {
+    @staticmethod
+    def _payload(entry: CacheEntry) -> dict:
+        """The JSON body stored for ``entry`` (same shape on both backends)."""
+        return {
             "version": CACHE_FORMAT_VERSION,
             "model": entry.model,
             "temperature": entry.temperature,
@@ -523,11 +627,26 @@ class ResponseCache:
             "provider_latency_s": entry.provider_latency_s,
             "created_at": entry.created_at,
         }
-        atomic_write_text(self._path(entry.key), json.dumps(payload, ensure_ascii=False))
+
+    def _write_disk(self, entry: CacheEntry) -> None:
+        assert self.directory is not None
+        if self.segment_store is not None:
+            self.segment_store.put(entry.key, self._payload(entry))
+            return
+        atomic_write_text(
+            self._path(entry.key), json.dumps(self._payload(entry), ensure_ascii=False)
+        )
 
     def _touch(self, key: str) -> None:
-        """Refresh a disk entry's recency (mtime drives LRU eviction)."""
+        """Refresh a disk entry's recency.
+
+        Files backend: mtime drives LRU eviction.  Segments backend: the
+        store's own recency/frequency structures are bumped.
+        """
         if self.directory is None:
+            return
+        if self.segment_store is not None:
+            self.segment_store.touch(key)
             return
         try:
             os.utime(self._path(key))
@@ -537,19 +656,37 @@ class ResponseCache:
     def _unlink(self, key: str) -> bool:
         if self.directory is None:
             return False
+        removed = False
+        if self.segment_store is not None:
+            removed = self.segment_store.delete(key)
         try:
             self._path(key).unlink()
-            return True
+            removed = True
         except OSError:
-            return False
+            pass
+        return removed
+
+    def flush(self) -> None:
+        """Drain the segment store's write-behind queue (no-op otherwise)."""
+        if self.segment_store is not None:
+            self.segment_store.flush()
+
+    def close(self) -> None:
+        """Release backend resources (writer thread, file descriptors)."""
+        if self.segment_store is not None:
+            self.segment_store.close()
 
     def _evict_memory_locked(self) -> None:
+        # OrderedDict front = least recently used (hits move_to_end).
         while len(self._memory) > self.max_entries:
-            oldest = min(self._memory, key=lambda key: self._memory[key][1])
-            del self._memory[oldest]
+            self._memory.popitem(last=False)
 
     def _evict_disk(self) -> None:
         assert self.directory is not None
+        if self.segment_store is not None:
+            # The segment store enforces max_entries itself (frequency-
+            # informed segmented LRU); no directory scans needed.
+            return
         try:
             paths = list(self.directory.glob("*.json"))
         except OSError:
@@ -574,4 +711,7 @@ class ResponseCache:
 
     def __repr__(self) -> str:
         where = str(self.directory) if self.directory is not None else "memory"
-        return f"ResponseCache({where!r}, mode={self.mode!r}, ttl={self.ttl_s})"
+        return (
+            f"ResponseCache({where!r}, mode={self.mode!r}, "
+            f"backend={self.backend!r}, ttl={self.ttl_s})"
+        )

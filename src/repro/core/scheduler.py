@@ -31,6 +31,13 @@ runtime so they can be optimized systematically):
   tighter than the configured pacing) is not fatal: the scheduler charges
   the provider's ``retry_after_s``, shrinks the AIMD window, and requeues
   the request up to ``max_requeues`` times.
+* **Cross-request batching** -- under an open :meth:`batch_window
+  <RequestScheduler.batch_window>`, admitted cache-missing requests from
+  one fan-out rendezvous for a bounded stretch of virtual time, group by
+  (client, model, decoding parameters) up to the provider's batch
+  capability, and ride *one* wire call for ``n`` completions -- paying
+  request pacing once per group.  Per-item failures stay isolated to
+  their member; a whole-batch refusal requeues every member solo.
 
 Everything is accounted on the deterministic virtual clock
 (:class:`~repro.llm.latency.VirtualClock`): waits are *charged*, never
@@ -41,10 +48,11 @@ per model.  See ``docs/scheduling.md`` for the operator's guide.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import itertools
 import threading
-from typing import TYPE_CHECKING, Awaitable, Callable, Sequence
+from typing import TYPE_CHECKING, Awaitable, Callable, Iterator, Sequence
 
 from repro.errors import (
     ConfigError,
@@ -108,6 +116,17 @@ class SchedulerPolicy:
         latency is charged virtually; switch off for wire providers,
         where it would serialize real round-trips -- at the price of
         rare admission-order inversions that surface as requeues.
+    max_batch:
+        Upper bound on requests grouped into one batched wire call when
+        a batch window is open (see :meth:`RequestScheduler.batch_window`).
+        ``1`` -- the default -- disables batching entirely; providers
+        additionally cap groups at their own ``max_batch_size``.
+    batch_window_s:
+        Bound on the *virtual-time* span a forming batch group may
+        cover: a request arriving more than this many virtual seconds
+        after the group's first member seals the group and starts a new
+        one, so batching never trades unbounded queueing delay for
+        fewer wire calls.
     """
 
     __slots__ = (
@@ -124,6 +143,8 @@ class SchedulerPolicy:
         "ewma_alpha",
         "max_requeues",
         "serialize_issue",
+        "max_batch",
+        "batch_window_s",
     )
 
     def __init__(
@@ -141,6 +162,8 @@ class SchedulerPolicy:
         ewma_alpha: float = 0.3,
         max_requeues: int = 8,
         serialize_issue: bool = True,
+        max_batch: int = 1,
+        batch_window_s: float = 5.0,
     ) -> None:
         if requests_per_minute is not None and requests_per_minute <= 0:
             raise ConfigError("requests_per_minute must be positive (or None)")
@@ -165,6 +188,10 @@ class SchedulerPolicy:
             raise ConfigError("ewma_alpha must be in (0, 1]")
         if max_requeues < 0:
             raise ConfigError("max_requeues must be >= 0")
+        if max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
+        if batch_window_s <= 0:
+            raise ConfigError("batch_window_s must be positive")
         self.requests_per_minute = requests_per_minute
         self.tokens_per_minute = tokens_per_minute
         self.deadline_s = deadline_s
@@ -178,6 +205,8 @@ class SchedulerPolicy:
         self.ewma_alpha = ewma_alpha
         self.max_requeues = max_requeues
         self.serialize_issue = serialize_issue
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_s
 
     def replace(self, **changes) -> "SchedulerPolicy":
         """A copy of this policy with ``changes`` applied."""
@@ -341,6 +370,321 @@ class _PriorityTurnstile:
             self._cond.notify_all()
 
 
+class BatchRequest:
+    """How one request may join a batched wire call.
+
+    Built by the client (see ``ChatClient._batch_request``) when the
+    model's provider advertises ``supports_batch``.  ``group_key``
+    captures wire compatibility -- same client, model, and decoding
+    parameters -- so only interchangeable requests share a call.
+    ``call`` issues the grouped transport call: it takes the group's
+    message lists and returns one entry per item, in order (a
+    :class:`~repro.llm.base.CompletionResult`, or the exception that
+    item drew).  A refusal of the *whole* wire call raises instead.
+    """
+
+    __slots__ = ("group_key", "max_batch_size", "call")
+
+    def __init__(
+        self,
+        group_key: object,
+        max_batch_size: int,
+        call: Callable[[list[Sequence[ChatMessage]]], list],
+    ) -> None:
+        self.group_key = group_key
+        self.max_batch_size = max(1, int(max_batch_size))
+        self.call = call
+
+
+class _BatchTicket:
+    """One request's seat in a forming batch group."""
+
+    __slots__ = ("messages", "priority", "group", "index")
+
+    def __init__(
+        self,
+        messages: Sequence[ChatMessage],
+        priority: int,
+        group: "_BatchGroup",
+        index: int,
+    ) -> None:
+        self.messages = messages
+        self.priority = priority
+        self.group = group
+        self.index = index
+
+
+class _BatchGroup:
+    """Requests that will share one batched wire call.
+
+    Members park in :meth:`await_role`; when the window seals the
+    group, the first member is elected dispatcher, performs admission
+    and the grouped call, and publishes the outcome to everyone.
+    """
+
+    __slots__ = (
+        "key",
+        "capacity",
+        "call",
+        "first_arrival",
+        "members",
+        "sealed",
+        "outcome",
+        "_cond",
+        "_dispatching",
+    )
+
+    def __init__(
+        self,
+        key: object,
+        capacity: int,
+        call: Callable[[list[Sequence[ChatMessage]]], list],
+        first_arrival: float,
+    ) -> None:
+        self.key = key
+        self.capacity = capacity
+        self.call = call
+        #: Virtual arrival time of the first member (bounds the window).
+        self.first_arrival = first_arrival
+        self.members: list[_BatchTicket] = []
+        self.sealed = False
+        #: ``("results", per_item, wait)`` | ``("refusal", error, wait)``
+        #: | ``("error", error, wait)`` -- set exactly once by the
+        #: dispatcher, after which every member proceeds independently.
+        self.outcome: tuple[str, object, float] | None = None
+        self._cond = threading.Condition()
+        self._dispatching = False
+
+    def seal(self) -> None:
+        """Close the group to new members and wake one as dispatcher."""
+        with self._cond:
+            self.sealed = True
+            self._cond.notify_all()
+
+    def await_role(self, ticket: _BatchTicket) -> str | None:
+        """Park until the group resolves; the dispatcher returns early.
+
+        Exactly one member -- the first, once the group is sealed --
+        gets ``"dispatch"`` back and must issue the wire call and
+        :meth:`resolve`.  Everyone else returns ``None`` with
+        :attr:`outcome` set.
+        """
+        with self._cond:
+            while True:
+                if self.outcome is not None:
+                    return None
+                if (
+                    self.sealed
+                    and not self._dispatching
+                    and self.members[0] is ticket
+                ):
+                    self._dispatching = True
+                    return "dispatch"
+                self._cond.wait()
+
+    def resolve(self, outcome: tuple[str, object, float]) -> None:
+        with self._cond:
+            self.outcome = outcome
+            self._cond.notify_all()
+
+
+class _BatchWindow:
+    """The batching rendezvous for one declared fan-out (one ``map()``).
+
+    Opened by :meth:`RequestScheduler.batch_window` around a batch
+    executor's worker pool.  While open, scheduled cache-missing
+    requests issued from the pool's (adopted) threads rendezvous into
+    :class:`_BatchGroup` instances instead of going to the wire alone;
+    foreign threads, retries, and deadline-bound requests go solo.
+
+    The window cannot stall: a group seals as soon as it reaches
+    capacity, its virtual-time span exceeds ``batch_window_s``, every
+    expected item has arrived (or resigned), or every pool worker is
+    accounted for as parked/blocked -- so at any moment at least one
+    thread can make progress, whatever the pool interleaving.
+    """
+
+    def __init__(self, policy: SchedulerPolicy, expected: int, workers: int) -> None:
+        self._policy = policy
+        self._lock = threading.Lock()
+        #: Work items that may still produce a first arrival.
+        self._remaining = expected
+        self._workers = max(1, workers)
+        #: Idents of the pool threads this window batches for.
+        self._threads: set[int] = set()
+        #: Idents whose current work item already arrived or resigned.
+        self._consumed: set[int] = set()
+        #: Threads parked in open (unsealed) groups.
+        self._parked = 0
+        #: Threads blocked on a coalesced flight's leader.
+        self._blocked = 0
+        self._open: dict[object, _BatchGroup] = {}
+        self._closed = False
+        #: Grouped wire calls issued / requests they served.
+        self.batches = 0
+        self.batched = 0
+
+    # -- bookkeeping (all under _lock) -------------------------------------
+
+    def adopt(self) -> None:
+        """Register the calling pool thread as belonging to this window."""
+        with self._lock:
+            self._threads.add(threading.get_ident())
+
+    def _consume_locked(self, ident: int) -> bool:
+        if ident in self._consumed:
+            return False
+        self._consumed.add(ident)
+        if self._remaining > 0:
+            self._remaining -= 1
+        return True
+
+    def _take_locked(self, group: _BatchGroup) -> _BatchGroup:
+        self._open.pop(group.key, None)
+        self._parked -= len(group.members)
+        return group
+
+    def _starved_locked(self) -> list[_BatchGroup]:
+        """Groups to seal because no further arrival can reach them.
+
+        True once every expected item is accounted for, or once every
+        pool worker is parked in a group or blocked on a flight --
+        waiting any longer could only deadlock, never grow a group.
+        """
+        if not self._open:
+            return []
+        if self._remaining > 0 and (self._parked + self._blocked) < self._workers:
+            return []
+        return [self._take_locked(group) for group in list(self._open.values())]
+
+    # -- the rendezvous ----------------------------------------------------
+
+    def arrive(
+        self,
+        batch: BatchRequest | None,
+        messages: Sequence[ChatMessage],
+        priority: int,
+        arrival: float,
+    ) -> _BatchTicket | None:
+        """Account one scheduled request; a ticket when it should batch.
+
+        Returns ``None`` when the request must go solo: the thread is
+        not one of the window's pool workers, its work item already
+        issued a request (retries never batch), or the request carries
+        no batch capability.  Solo requests from pool threads still
+        consume their item's slot so the window's arithmetic stays
+        honest.
+        """
+        to_seal: list[_BatchGroup] = []
+        ticket: _BatchTicket | None = None
+        with self._lock:
+            ident = threading.get_ident()
+            if self._closed or ident not in self._threads:
+                return None
+            fresh = self._consume_locked(ident)
+            if fresh and batch is not None:
+                group = self._open.get(batch.group_key)
+                if group is not None and (
+                    arrival - group.first_arrival > self._policy.batch_window_s
+                ):
+                    # The bounded window: a late arrival on the virtual
+                    # timeline sends the stale group out and starts anew.
+                    to_seal.append(self._take_locked(group))
+                    group = None
+                if group is None:
+                    capacity = min(self._policy.max_batch, batch.max_batch_size)
+                    group = _BatchGroup(
+                        batch.group_key, capacity, batch.call, arrival
+                    )
+                    self._open[batch.group_key] = group
+                ticket = _BatchTicket(messages, priority, group, len(group.members))
+                group.members.append(ticket)
+                self._parked += 1
+                if len(group.members) >= group.capacity:
+                    to_seal.append(self._take_locked(group))
+            to_seal.extend(self._starved_locked())
+        for group in to_seal:
+            group.seal()
+        return ticket
+
+    def resign(self) -> None:
+        """Consume one expected slot without a wire request (cache hit)."""
+        to_seal: list[_BatchGroup] = []
+        with self._lock:
+            ident = threading.get_ident()
+            if self._closed or ident not in self._threads:
+                return
+            self._consume_locked(ident)
+            to_seal = self._starved_locked()
+        for group in to_seal:
+            group.seal()
+
+    @contextlib.contextmanager
+    def follower_wait(self) -> Iterator[None]:
+        """Wrap a coalesced follower's wait on another request's flight.
+
+        The follower consumes its slot (it will never reach the
+        scheduler) and counts as *blocked* while it waits, so a group
+        waiting for this worker's arrival seals instead of deadlocking:
+        the flight's leader may itself be parked in that group.
+        """
+        ident = threading.get_ident()
+        to_seal: list[_BatchGroup] = []
+        counted = False
+        with self._lock:
+            if not self._closed and ident in self._threads:
+                self._consume_locked(ident)
+                self._blocked += 1
+                counted = True
+                to_seal = self._starved_locked()
+        for group in to_seal:
+            group.seal()
+        try:
+            yield
+        finally:
+            if counted:
+                with self._lock:
+                    self._blocked -= 1
+
+    def settle_thread(self) -> None:
+        """Balance the books after one work item finishes.
+
+        An item that issued a request (or resigned) cleared its slot
+        already -- just reset the per-item marker.  One that failed
+        before reaching the scheduler resigns on its behalf, so parked
+        groups never wait for an arrival that can no longer happen.
+        """
+        ident = threading.get_ident()
+        to_seal: list[_BatchGroup] = []
+        with self._lock:
+            if ident in self._consumed:
+                self._consumed.discard(ident)
+                return
+            if self._closed or ident not in self._threads:
+                return
+            if self._remaining > 0:
+                self._remaining -= 1
+            to_seal = self._starved_locked()
+        for group in to_seal:
+            group.seal()
+
+    def note_batch(self, size: int) -> None:
+        """Record one grouped wire call serving ``size`` requests."""
+        with self._lock:
+            self.batches += 1
+            self.batched += size
+
+    def close(self) -> None:
+        """Stop accepting work and seal any leftover group (defensive)."""
+        with self._lock:
+            self._closed = True
+            leftovers = [
+                self._take_locked(group) for group in list(self._open.values())
+            ]
+        for group in leftovers:
+            group.seal()
+
+
 class RequestScheduler:
     """Admission control between a :class:`ChatClient` and its providers.
 
@@ -361,8 +705,51 @@ class RequestScheduler:
         self._adaptive: dict[str, AdaptiveConcurrency] = {}
         self._adaptive_buckets: dict[str, PacingBucket] = {}
         self._lock = threading.Lock()
+        self._window: _BatchWindow | None = None
 
     # -- state ---------------------------------------------------------------
+
+    @property
+    def window(self) -> "_BatchWindow | None":
+        """The open batch window, or ``None`` (see :meth:`batch_window`)."""
+        return self._window
+
+    @contextlib.contextmanager
+    def batch_window(self, expected: int, workers: int) -> Iterator["_BatchWindow | None"]:
+        """Open a batching rendezvous for one fan-out of ``expected`` items.
+
+        Entered by :func:`repro.core.batch.run_batch` around its worker
+        pool.  While open, scheduled cache-missing requests issued from
+        the pool's threads coalesce into grouped wire calls of up to
+        ``policy.max_batch`` requests each (capped further by the
+        provider's ``max_batch_size``), paying the request-pacing bucket
+        *once per group* instead of once per request.
+
+        Yields ``None`` -- and everything schedules solo, exactly as
+        without batching -- when the policy disables it
+        (``max_batch <= 1``), the fan-out is trivial, or another window
+        is already open on this scheduler (only one fan-out batches at
+        a time; a nested ``map()``'s requests go solo rather than
+        crossing into the outer window).
+        """
+        if self.policy.max_batch <= 1 or expected <= 1:
+            yield None
+            return
+        window: _BatchWindow | None = _BatchWindow(self.policy, expected, workers)
+        with self._lock:
+            if self._window is not None:
+                window = None
+            else:
+                self._window = window
+        if window is None:
+            yield None
+            return
+        try:
+            yield window
+        finally:
+            with self._lock:
+                self._window = None
+            window.close()
 
     def adaptive_state(self, model: str) -> AdaptiveConcurrency:
         """The AIMD controller for ``model`` (created on first use)."""
@@ -419,17 +806,51 @@ class RequestScheduler:
         call: Callable[[], CompletionResult],
         priority: int = 0,
         deadline_s: float | None = None,
+        batch: BatchRequest | None = None,
     ) -> CompletionResult:
         """Issue one provider call under admission control.
 
         Pacing waits (and any 429 penalties) are charged to the calling
         thread's lane on ``client.clock``; throttle, requeue, and
         deadline events are tallied on ``client.stats``.
+
+        When ``batch`` is given and a batch window is open (see
+        :meth:`batch_window`), the request rendezvouses with compatible
+        concurrent requests and rides one grouped wire call instead of
+        ``call``.  Deadline-bound requests always go solo -- grouped
+        admission cannot fail one member fast without failing the whole
+        batch -- and a request requeued after a refusal retries solo.
         """
         submitted = client.clock.now()
         deadline = self.policy.deadline_s if deadline_s is None else deadline_s
         requeues = 0
+        ticket: _BatchTicket | None = None
+        window = self._window
+        if window is not None:
+            ticket = window.arrive(
+                batch if deadline is None else None, messages, priority, submitted
+            )
         while True:
+            if ticket is not None:
+                disposition, payload, shrink = self._run_batched(
+                    client, model, ticket, window
+                )
+                ticket = None
+                if disposition == "ok":
+                    result = payload
+                    self.adaptive_state(model).on_success(result.latency_s)
+                    return result
+                if isinstance(payload, RateLimitError):
+                    requeues = self._requeue(
+                        client, model, payload, submitted, deadline, requeues,
+                        shrink=shrink,
+                    )
+                else:
+                    requeues = self._requeue_server(
+                        client, model, payload, submitted, deadline, requeues,
+                        shrink=shrink,
+                    )
+                continue
             self._turnstile.acquire(priority)
             held = True
             try:
@@ -597,6 +1018,136 @@ class RequestScheduler:
                 bucket.set_rate(rate)
             return bucket
 
+    # -- batched issue ---------------------------------------------------------
+
+    def _run_batched(
+        self,
+        client: "ChatClient",
+        model: str,
+        ticket: _BatchTicket,
+        window: _BatchWindow,
+    ) -> tuple[str, object, bool]:
+        """Ride one grouped wire call; returns ``(disposition, payload, shrink)``.
+
+        ``("ok", result, _)`` on success.  ``("refused", error, shrink)``
+        sends the request to the requeue path -- ``shrink`` is False when
+        the *whole* batch was refused, because the dispatcher already
+        shrank the AIMD window once for the group and n members must not
+        shrink it n more times.  Any other per-item failure raises here,
+        isolating it to this request.
+        """
+        group = ticket.group
+        if group.await_role(ticket) == "dispatch":
+            self._dispatch_batch(client, model, group, window)
+        assert group.outcome is not None
+        disposition, payload, wait = group.outcome
+        with client._span(
+            "askit.admission", model=model, priority=ticket.priority
+        ) as admission:
+            if admission is not None:
+                admission.set_attribute("pacing_wait_s", wait)
+                admission.set_attribute("batch.size", len(group.members))
+                admission.set_attribute("batch.index", ticket.index)
+        if wait > 0.0:
+            # Every member charges the group's admission wait to its own
+            # clock lane: the lanes run in parallel, so the batch's
+            # virtual wall-clock pays the wait once, like one request.
+            client.clock.charge(wait)
+            client.stats.record_throttle(model, wait)
+        if disposition == "refusal":
+            return ("refused", payload, False)
+        if disposition == "error":
+            raise payload  # type: ignore[misc]
+        per_item = payload
+        item = per_item[ticket.index]  # type: ignore[index]
+        if isinstance(item, (RateLimitError, ServerError)):
+            return ("refused", item, True)
+        if isinstance(item, BaseException):
+            raise item
+        return ("ok", item, False)
+
+    def _dispatch_batch(
+        self,
+        client: "ChatClient",
+        model: str,
+        group: _BatchGroup,
+        window: _BatchWindow,
+    ) -> None:
+        """Admit and issue one wire call on behalf of a sealed group.
+
+        Exactly one member runs this.  Admission goes through the same
+        turnstile as solo traffic at the group's best member priority;
+        the computed pacing wait is *not* charged here -- the dispatcher
+        only publishes it, and each member charges its own lane.  The
+        outcome is always resolved, whatever the wire call does, so no
+        member can park forever.
+        """
+        wait = 0.0
+        outcome: tuple[str, object, float]
+        priority = min(ticket.priority for ticket in group.members)
+        self._turnstile.acquire(priority)
+        held = True
+        try:
+            wait = self._admit_batch(client, model, group)
+            if not self.policy.serialize_issue:
+                self._turnstile.release()
+                held = False
+            results = group.call([ticket.messages for ticket in group.members])
+        except (RateLimitError, ServerError) as refusal:
+            # One refusal for the whole wire call: shrink once here; the
+            # members requeue (and retry solo) without shrinking again.
+            self.adaptive_state(model).on_rate_limit()
+            outcome = ("refusal", refusal, wait)
+        except BaseException as failure:
+            outcome = ("error", failure, wait)
+        else:
+            if len(results) != len(group.members):
+                outcome = (
+                    "error",
+                    RuntimeError(
+                        f"batched provider call returned {len(results)} results "
+                        f"for {len(group.members)} requests"
+                    ),
+                    wait,
+                )
+            else:
+                window.note_batch(len(group.members))
+                outcome = ("results", results, wait)
+        finally:
+            if held:
+                self._turnstile.release()
+            group.resolve(outcome)
+
+    def _admit_batch(
+        self, client: "ChatClient", model: str, group: _BatchGroup
+    ) -> float:
+        """Reserve pacing capacity for one grouped wire call.
+
+        Returns the wait each member must charge.  One request-bucket
+        reservation covers all ``n`` members -- the batch is one request
+        on the wire, which is the pacing multiplier batching exists for
+        -- while the token bucket is reserved for the *sum* of the
+        members' estimated costs (the provider still meters every
+        token) and the adaptive bucket admits the call as one unit of
+        in-flight work.
+        """
+        arrival = client.clock.now()
+        wait = 0.0
+        request_bucket = self._request_bucket(model)
+        token_bucket = self._token_bucket(model)
+        adaptive_bucket = self._adaptive_bucket(model)
+        if request_bucket is not None:
+            wait = max(wait, request_bucket.reserve(arrival))
+        if token_bucket is not None:
+            cost = sum(
+                self.estimate_cost_tokens(ticket.messages)
+                for ticket in group.members
+            )
+            wait = max(wait, token_bucket.reserve(arrival, float(cost)))
+        if adaptive_bucket is not None:
+            wait = max(wait, adaptive_bucket.reserve(arrival))
+        return wait
+
     def _requeue(
         self,
         client: "ChatClient",
@@ -605,6 +1156,7 @@ class RequestScheduler:
         submitted: float,
         deadline: float | None,
         requeues: int,
+        shrink: bool = True,
     ) -> int:
         """Handle one provider refusal; returns the new requeue count.
 
@@ -615,7 +1167,8 @@ class RequestScheduler:
         """
         stats = client.stats
         stats.record_rate_limited(model)
-        self.adaptive_state(model).on_rate_limit()
+        if shrink:
+            self.adaptive_state(model).on_rate_limit()
         if requeues >= self.policy.max_requeues:
             raise refusal
         penalty = refusal.retry_after_s
@@ -648,6 +1201,7 @@ class RequestScheduler:
         submitted: float,
         deadline: float | None,
         requeues: int,
+        shrink: bool = True,
     ) -> int:
         """Handle one 5xx provider failure; returns the new requeue count.
 
@@ -660,7 +1214,8 @@ class RequestScheduler:
         """
         stats = client.stats
         stats.record_server_error(model)
-        self.adaptive_state(model).on_rate_limit()
+        if shrink:
+            self.adaptive_state(model).on_rate_limit()
         if requeues >= self.policy.max_requeues:
             raise failure
         penalty = failure.retry_after_s

@@ -131,6 +131,12 @@ class Session:
             session.ask(t.int, "{{a}} + {{b}}?", a=2, b=3)   # miss
             session.ask(t.int, "{{a}} + {{b}}?", a=2, b=3)   # hit, zero latency
             print(session.stats.cache_hits, len(session.response_cache))
+
+        On-disk entries live in the sharded segment log of
+        :class:`~repro.core.cache_store.SegmentStore` by default; pass
+        ``cache_backend="files"`` for the legacy one-JSON-file-per-entry
+        layout (the default backend still reads and migrates it; see
+        ``docs/caching.md``).
         """
         return self.config.response_cache
 
@@ -263,13 +269,17 @@ class Session:
         back in input order; per-item library errors are captured on the
         outcome instead of aborting the batch; and simulated latency is
         charged as *parallel* wall-clock on this session's virtual clock.
-        ``keys`` optionally deduplicates identical items.
+        ``keys`` optionally deduplicates identical items.  When the
+        session's scheduler enables batching (``SchedulerPolicy.max_batch
+        > 1``), the thunks' cache-missing requests may share grouped
+        provider calls; see ``docs/scheduling.md``.
         """
         return run_batch(
             thunks,
             keys=keys,
             max_concurrency=max_concurrency,
             clock=self.clock,
+            scheduler=self.scheduler,
             catch=catch,
         )
 

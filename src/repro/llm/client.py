@@ -67,6 +67,8 @@ class ModelStats:
         "cache_hits",
         "cache_misses",
         "coalesced",
+        "batched",
+        "batch_calls",
         "throttled",
         "throttle_wait_s",
         "rate_limited",
@@ -82,6 +84,10 @@ class ModelStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.coalesced = 0
+        #: Requests served through a grouped (batched) wire call.
+        self.batched = 0
+        #: Grouped wire calls issued (each serves >= 1 requests).
+        self.batch_calls = 0
         #: Requests that paid a pacing wait at the scheduler's admission gate.
         self.throttled = 0
         #: Virtual seconds spent waiting: pacing waits, 429 backoffs, requeues.
@@ -134,6 +140,16 @@ class ClientStats:
             "completion_tokens",
             "askit_completion_tokens_total",
             "Completion tokens produced.",
+        ),
+        (
+            "batch_calls",
+            "askit_batch_calls_total",
+            "Grouped wire calls issued by the scheduler's batch window.",
+        ),
+        (
+            "batched",
+            "askit_batched_requests_total",
+            "Requests served through a grouped wire call.",
         ),
         (
             "throttled",
@@ -206,6 +222,17 @@ class ClientStats:
             raise ValueError(f"unknown cache status {status!r}")
         self._cache_events.inc(model=model, status=status)
 
+    def record_batch(self, model: str, size: int) -> None:
+        """Count one grouped wire call serving ``size`` requests.
+
+        ``batched / batch_calls`` is the mean group size.  ``calls``
+        still counts every *request* served -- each member of a batch
+        records its own :meth:`record` -- so ``calls - batched +
+        batch_calls`` is the number of wire round-trips actually made.
+        """
+        self._counters["batch_calls"].inc(model=model)
+        self._counters["batched"].inc(size, model=model)
+
     def record_throttle(self, model: str, wait_s: float) -> None:
         """Count one pacing wait the scheduler charged for ``model``."""
         self._counters["throttled"].inc(model=model)
@@ -263,6 +290,16 @@ class ClientStats:
         return int(self._cache_events.total(status="coalesced"))
 
     @property
+    def batch_calls(self) -> int:
+        """Grouped wire calls issued by the scheduler's batch window."""
+        return int(self._counters["batch_calls"].total())
+
+    @property
+    def batched(self) -> int:
+        """Requests served through a grouped wire call."""
+        return int(self._counters["batched"].total())
+
+    @property
     def throttled(self) -> int:
         """Requests that paid a pacing wait at the admission gate."""
         return int(self._counters["throttled"].total())
@@ -304,6 +341,8 @@ class ClientStats:
         view.cache_hits = int(self._cache_events.value(model=name, status="hit"))
         view.cache_misses = int(self._cache_events.value(model=name, status="miss"))
         view.coalesced = int(self._cache_events.value(model=name, status="coalesced"))
+        view.batched = int(self._counters["batched"].value(model=name))
+        view.batch_calls = int(self._counters["batch_calls"].value(model=name))
         view.throttled = int(self._counters["throttled"].value(model=name))
         view.throttle_wait_s = self._counters["throttle_wait_s"].value(model=name)
         view.rate_limited = int(self._counters["rate_limited"].value(model=name))
@@ -516,6 +555,7 @@ class ChatClient:
                 result = self._issue(model, messages, temperature, scheduler, priority)
                 self._account(model, messages, result)
                 return result
+            window = scheduler.window if scheduler is not None else None
             with self._span("askit.cache", model=model) as cache_span:
                 status, result = cache.fetch(
                     model,
@@ -524,9 +564,17 @@ class ChatClient:
                     lambda: self._issue(
                         model, messages, temperature, scheduler, priority
                     ),
+                    follower_wait=(
+                        window.follower_wait if window is not None else None
+                    ),
                 )
                 if cache_span is not None:
                     cache_span.set_attribute("cache.status", status)
+            if window is not None and status != "miss":
+                # A hit or coalesced replay issues no wire request; tell
+                # the open batch window so forming groups never wait on
+                # this worker's arrival (idempotent per work item).
+                window.resign()
             self._settle_cached(model, messages, status, result)
             return result
 
@@ -585,8 +633,42 @@ class ChatClient:
             model, messages, temperature
         )
         if scheduler is not None:
-            return scheduler.run(self, model, messages, call, priority=priority)
+            return scheduler.run(
+                self,
+                model,
+                messages,
+                call,
+                priority=priority,
+                batch=self._batch_request(model, temperature, scheduler),
+            )
         return self._complete_with_backoff(model, call)
+
+    def _batch_request(
+        self, model: str, temperature: float, scheduler: "RequestScheduler"
+    ):
+        """This request's batch capability, or ``None`` to go solo.
+
+        Built only while the scheduler has an open batch window and the
+        model's provider advertises ``supports_batch``.  The grouped
+        transport call routes through :meth:`_transport_complete_batch`,
+        so every batch leaves a traced, accounted wire call.
+        """
+        if scheduler.window is None:
+            return None
+        provider = self.provider_for(model)
+        if not getattr(provider, "supports_batch", False):
+            return None
+        # Imported lazily: at module-import time core.scheduler is still
+        # loading (core imports llm); by first call everything is ready.
+        from repro.core.scheduler import BatchRequest
+
+        return BatchRequest(
+            (id(self), model, round(temperature, 6)),
+            getattr(provider, "max_batch_size", 1),
+            lambda message_lists: self._transport_complete_batch(
+                model, message_lists, temperature
+            ),
+        )
 
     async def _aissue(
         self,
@@ -658,6 +740,30 @@ class ChatClient:
                 span.set_attribute("latency_s", result.latency_s)
                 span.set_attribute("cached", result.cached)
             return result
+
+    def _transport_complete_batch(
+        self,
+        model: str,
+        message_lists: Sequence[Sequence[ChatMessage]],
+        temperature: float,
+    ) -> "list[CompletionResult | Exception]":
+        """One grouped provider call inside an ``askit.transport`` span.
+
+        Returns one entry per item, in order: the item's result, or the
+        failure it drew (per-item isolation).  A refusal of the whole
+        wire call (429/5xx) raises instead, so the scheduler requeues
+        every member.
+        """
+        with self._span(
+            "askit.transport", model=model, batched=True
+        ) as span:
+            results = self.provider_for(model).batch_complete(
+                model, message_lists, temperature
+            )
+            self.stats.record_batch(model, len(message_lists))
+            if span is not None:
+                span.set_attribute("batch.size", len(message_lists))
+            return results
 
     async def _acomplete_provider(
         self, model: str, messages: Sequence[ChatMessage], temperature: float

@@ -13,6 +13,7 @@ from __future__ import annotations
 import asyncio
 from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
+from repro.errors import RateLimitError, ServerError
 from repro.llm.base import ChatMessage, CompletionResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -30,11 +31,18 @@ class Provider(Protocol):
     * ``deterministic`` -- same request, same reply (the simulated backend
       is; a hosted endpoint is not).  Batch deduplication consults this
       before sharing one in-flight result across identical prompts.
+    * ``supports_batch`` / ``max_batch_size`` -- the provider can serve
+      several completions through one wire call (``batch_complete``).
+      The scheduler's batch window groups compatible requests up to
+      ``max_batch_size`` per call; providers without a batched endpoint
+      leave ``supports_batch`` False and are never grouped.
     """
 
     name: str
     supports_async: bool
     deterministic: bool
+    supports_batch: bool
+    max_batch_size: int
 
     def complete(
         self, model: str, messages: Sequence[ChatMessage], temperature: float
@@ -48,13 +56,29 @@ class Provider(Protocol):
         """Serve one chat completion asynchronously."""
         ...
 
+    def batch_complete(
+        self,
+        model: str,
+        message_lists: Sequence[Sequence[ChatMessage]],
+        temperature: float,
+    ) -> list[CompletionResult | Exception]:
+        """Serve several completions through one wire call."""
+        ...
+
 
 class ProviderBase:
-    """Convenience base: sync providers inherit a thread-offloaded ``acomplete``."""
+    """Convenience base: sync providers inherit a thread-offloaded ``acomplete``
+    and a sequential ``batch_complete`` fallback."""
 
     name = "provider"
     supports_async = False
     deterministic = False
+    #: Whether the backend has a *true* batched endpoint; the fallback
+    #: below makes ``batch_complete`` callable either way, but only
+    #: providers that set this are grouped by the scheduler.
+    supports_batch = False
+    #: Upper bound on items one ``batch_complete`` call accepts.
+    max_batch_size = 1
 
     def complete(
         self, model: str, messages: Sequence[ChatMessage], temperature: float
@@ -65,3 +89,27 @@ class ProviderBase:
         self, model: str, messages: Sequence[ChatMessage], temperature: float
     ) -> CompletionResult:
         return await asyncio.to_thread(self.complete, model, messages, temperature)
+
+    def batch_complete(
+        self,
+        model: str,
+        message_lists: Sequence[Sequence[ChatMessage]],
+        temperature: float,
+    ) -> list[CompletionResult | Exception]:
+        """Serve several completions in one call (sequential fallback).
+
+        Returns one entry per item, in order: the item's
+        :class:`CompletionResult`, or the exception that item drew --
+        per-item failures never poison their batch-mates.  A failure of
+        the *whole* call (a 429 rate limit, a 5xx) raises instead, so
+        the scheduler can requeue every member.
+        """
+        results: list[CompletionResult | Exception] = []
+        for messages in message_lists:
+            try:
+                results.append(self.complete(model, messages, temperature))
+            except (RateLimitError, ServerError):
+                raise
+            except Exception as error:
+                results.append(error)
+        return results

@@ -32,10 +32,24 @@ class SimulatedProvider(ProviderBase):
 
     name = "simulated"
     supports_async = False
+    #: The simulated wire speaks a batched endpoint: one call, n
+    #: completions, one rate-limit check -- what the scheduler's batch
+    #: window exploits (and what the batching benchmarks measure).
+    supports_batch = True
+    max_batch_size = 16
 
     def __init__(self, client: "ChatClient") -> None:
         self._client = client
         self._create_lock = threading.Lock()
+        #: Wire calls this provider served (batched calls count once);
+        #: tests and benchmarks read it to prove batching collapsed
+        #: n requests into fewer round-trips.
+        self.wire_calls = 0
+        self._wire_lock = threading.Lock()
+
+    def _count_wire_call(self) -> None:
+        with self._wire_lock:
+            self.wire_calls += 1
 
     @property
     def deterministic(self) -> bool:  # type: ignore[override]
@@ -66,6 +80,7 @@ class SimulatedProvider(ProviderBase):
     def complete(
         self, model: str, messages: Sequence[ChatMessage], temperature: float
     ) -> CompletionResult:
+        self._count_wire_call()
         limit = self._client.rate_limit
         if limit is not None:
             # Arrival time is the caller's virtual "now": a caller that
@@ -73,6 +88,32 @@ class SimulatedProvider(ProviderBase):
             # the timeline, so honouring the hint always admits.
             limit.check(model, self._client.clock.now())
         return self.language_model(model).complete(messages, temperature)
+
+    def batch_complete(
+        self,
+        model: str,
+        message_lists: Sequence[Sequence[ChatMessage]],
+        temperature: float,
+    ) -> list[CompletionResult | Exception]:
+        """One wire call, ``len(message_lists)`` completions.
+
+        The whole batch draws *one* rate-limit check -- a refused batch
+        raises before any item is served, like a real batched endpoint
+        returning 429 for the request as a whole.  Per-item backend
+        failures are captured in the item's slot instead of raised.
+        """
+        self._count_wire_call()
+        limit = self._client.rate_limit
+        if limit is not None:
+            limit.check(model, self._client.clock.now())
+        backend = self.language_model(model)
+        results: list[CompletionResult | Exception] = []
+        for messages in message_lists:
+            try:
+                results.append(backend.complete(messages, temperature))
+            except Exception as error:
+                results.append(error)
+        return results
 
 
 class RegisteredModelProvider(ProviderBase):

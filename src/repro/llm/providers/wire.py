@@ -169,6 +169,10 @@ class WireProvider(ProviderBase):
     name = "wire"
     supports_async = False
     deterministic = False
+    # The HTTP chat endpoints serve one completion per request; the
+    # scheduler's batch window never groups wire-provider traffic.
+    supports_batch = False
+    max_batch_size = 1
 
     #: Environment variable holding the API key (subclass sets).
     api_key_env = ""

@@ -1,0 +1,443 @@
+"""The sharded segment store under stress: properties, crashes, processes.
+
+The contract under test is the one ``docs/caching.md`` sells for the
+~1M-entry regime: CRC-framed append-only segments whose reopen drops
+*only* a torn tail, compaction that can crash at any fault point and
+leave a replayable log, TinyLFU-guided eviction bounded by
+``max_entries``, and a directory that two processes can share without
+corrupting each other.  Everything here is deterministic -- seeded RNGs
+and thread-disjoint key ranges, never sleeps.
+"""
+
+import os
+import random
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.core.cache_store import FrequencySketch, SegmentCrashError, SegmentStore
+from repro.core.response_cache import ResponseCache
+from repro.llm.base import CompletionResult, Usage, user_message
+
+
+def open_store(directory, **options):
+    options.setdefault("shards", 2)
+    return SegmentStore(directory, **options)
+
+
+class ArmedFault:
+    """A fault hook that raises at one named point, once, when armed."""
+
+    def __init__(self, point: str, after: int = 0) -> None:
+        self.point = point
+        #: How many matching fault-point visits to let pass first.
+        self.after = after
+        self.armed = False
+        self.fired = False
+
+    def __call__(self, point: str) -> None:
+        if not self.armed or point != self.point:
+            return
+        if self.after > 0:
+            self.after -= 1
+            return
+        self.armed = False
+        self.fired = True
+        raise SegmentCrashError(point)
+
+
+class TestRoundTrip:
+    def test_put_get_delete_roundtrip(self, tmp_path):
+        with open_store(tmp_path) as store:
+            store.put("alpha", {"v": 1})
+            store.put("beta", {"nested": {"x": [1, 2, 3]}, "text": "café"})
+            assert store.get("alpha") == {"v": 1}
+            assert store.get("beta")["text"] == "café"
+            assert "alpha" in store
+            assert store.delete("alpha") is True
+            assert store.delete("alpha") is False
+            assert store.get("alpha") is None
+            assert len(store) == 1
+
+    def test_pending_writes_read_back_before_flush(self, tmp_path):
+        with open_store(tmp_path) as store:
+            store.put("k", {"v": "pending"})
+            # Readable immediately from the write-behind queue's pending
+            # entry -- no flush required.
+            assert store.get("k") == {"v": "pending"}
+
+    def test_reopen_replays_the_log(self, tmp_path):
+        with open_store(tmp_path) as store:
+            for i in range(32):
+                store.put(f"k{i}", {"v": i})
+            store.delete("k7")
+            store.put("k3", {"v": "updated"})
+            store.flush()
+        with open_store(tmp_path) as store:
+            assert len(store) == 31
+            assert store.get("k7") is None
+            assert store.get("k3") == {"v": "updated"}
+            assert store.get("k31") == {"v": 31}
+
+    def test_property_random_ops_match_dict_model(self, tmp_path):
+        """Seeded random put/delete/get stream == a plain dict, twice.
+
+        The model comparison runs against the live store (write-behind
+        pending reads included) and again after a reopen (log replay),
+        with forced compactions sprinkled in so the stream crosses
+        segment rewrites.
+        """
+        rng = random.Random(0xA5C3)
+        keys = [f"key-{i:02d}" for i in range(60)]
+        model: dict[str, dict] = {}
+        store = open_store(tmp_path)
+        try:
+            for step in range(600):
+                key = rng.choice(keys)
+                action = rng.random()
+                if action < 0.55:
+                    value = {"step": step, "payload": "x" * rng.randrange(0, 64)}
+                    store.put(key, value)
+                    model[key] = value
+                elif action < 0.75:
+                    assert store.delete(key) == (key in model)
+                    model.pop(key, None)
+                else:
+                    expected = model.get(key)
+                    assert store.get(key) == expected
+                if step % 149 == 0:
+                    store.flush()
+                if step % 211 == 0:
+                    store.compact()
+            store.flush()
+            assert sorted(store.keys()) == sorted(model)
+            for key, value in model.items():
+                assert store.get(key) == value
+        finally:
+            store.close()
+        with open_store(tmp_path) as reopened:
+            assert sorted(reopened.keys()) == sorted(model)
+            for key, value in model.items():
+                assert reopened.get(key) == value
+
+    def test_property_threaded_interleavings_stay_consistent(self, tmp_path):
+        """Concurrent writers with disjoint key ranges never corrupt.
+
+        Each thread runs its own seeded op stream against its own slice
+        of the keyspace and keeps a local model; whatever the OS
+        interleaving, the final store must equal the union of the
+        models -- live and after a reopen.
+        """
+        store = open_store(tmp_path, shards=4)
+        models: list[dict[str, dict]] = [{} for _ in range(4)]
+        errors: list[BaseException] = []
+
+        def worker(lane: int) -> None:
+            rng = random.Random(1000 + lane)
+            model = models[lane]
+            try:
+                for step in range(200):
+                    key = f"t{lane}-k{rng.randrange(25)}"
+                    if rng.random() < 0.7:
+                        value = {"lane": lane, "step": step}
+                        store.put(key, value)
+                        model[key] = value
+                    else:
+                        store.delete(key)
+                        model.pop(key, None)
+                    if rng.random() < 0.05:
+                        store.get(key)
+            except BaseException as failure:  # pragma: no cover - surfaced below
+                errors.append(failure)
+
+        threads = [threading.Thread(target=worker, args=(lane,)) for lane in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        store.flush()
+        union: dict[str, dict] = {}
+        for model in models:
+            union.update(model)
+        assert sorted(store.keys()) == sorted(union)
+        for key, value in union.items():
+            assert store.get(key) == value
+        store.close()
+        with open_store(tmp_path, shards=4) as reopened:
+            assert sorted(reopened.keys()) == sorted(union)
+            for key, value in union.items():
+                assert reopened.get(key) == value
+
+
+class TestCrashInjection:
+    def test_torn_append_drops_only_the_tail(self, tmp_path):
+        hook = ArmedFault("append.partial")
+        store = open_store(tmp_path, shards=1, fault_hook=hook)
+        for i in range(8):
+            store.put(f"k{i}", {"v": i})
+        store.flush()
+        hook.armed = True
+        store.put("torn", {"v": "never lands"})
+        with pytest.raises(SegmentCrashError):
+            store.flush()
+        assert hook.fired
+        store.close()
+
+        with open_store(tmp_path, shards=1) as reopened:
+            # The interrupted frame is detected (length/CRC) and dropped;
+            # every record before it survives untouched.
+            assert reopened.get("torn") is None
+            assert sorted(reopened.keys()) == sorted(f"k{i}" for i in range(8))
+            for i in range(8):
+                assert reopened.get(f"k{i}") == {"v": i}
+            assert reopened.stats["torn_records"] >= 1
+
+    def test_writes_after_reopen_follow_a_torn_tail(self, tmp_path):
+        hook = ArmedFault("append.partial")
+        store = open_store(tmp_path, shards=1, fault_hook=hook)
+        store.put("keep", {"v": 0}, sync=True)
+        hook.armed = True
+        store.put("torn", {"v": 1})
+        with pytest.raises(SegmentCrashError):
+            store.flush()
+        store.close()
+
+        with open_store(tmp_path, shards=1) as reopened:
+            reopened.put("after-crash", {"v": 2}, sync=True)
+            assert reopened.get("keep") == {"v": 0}
+            assert reopened.get("after-crash") == {"v": 2}
+        with open_store(tmp_path, shards=1) as third:
+            # The new record went to a fresh segment, so the torn tail
+            # stays quarantined and later writes replay fine.
+            assert third.get("keep") == {"v": 0}
+            assert third.get("after-crash") == {"v": 2}
+            assert third.get("torn") is None
+
+    def fill_then_kill_compaction(self, tmp_path, point: str) -> dict[str, dict]:
+        """Build dead weight, crash compaction at ``point``; return live."""
+        hook = ArmedFault(point)
+        # Tiny segments: writes rotate through several sealed segments,
+        # which is what (forced) compaction rewrites.
+        store = open_store(
+            tmp_path, shards=1, segment_max_bytes=256, fault_hook=hook
+        )
+        live: dict[str, dict] = {}
+        for i in range(40):
+            store.put(f"k{i}", {"v": i})
+            if i % 2 == 0:
+                store.delete(f"k{i}")
+            else:
+                live[f"k{i}"] = {"v": i}
+        store.flush()
+        hook.armed = True
+        with pytest.raises(SegmentCrashError):
+            store.compact()
+        assert hook.fired
+        store.close()
+        return live
+
+    def test_crash_before_compaction_rename_loses_nothing(self, tmp_path):
+        live = self.fill_then_kill_compaction(tmp_path, "compact.wrote-tmp")
+        with open_store(tmp_path, shards=1, segment_max_bytes=256) as reopened:
+            # The half-written replacement is a ``.tmp`` file the scan
+            # ignores; the source segments are still the truth.
+            assert sorted(reopened.keys()) == sorted(live)
+            for key, value in live.items():
+                assert reopened.get(key) == value
+
+    def test_crash_after_compaction_rename_loses_nothing(self, tmp_path):
+        live = self.fill_then_kill_compaction(tmp_path, "compact.renamed")
+        with open_store(tmp_path, shards=1, segment_max_bytes=256) as reopened:
+            # Crashed between the rename and unlinking the sources: the
+            # same records exist twice, and replay order (sequence, pid)
+            # deduplicates them to the compacted copies.
+            assert sorted(reopened.keys()) == sorted(live)
+            for key, value in live.items():
+                assert reopened.get(key) == value
+
+    def test_compaction_succeeds_after_a_crashed_attempt(self, tmp_path):
+        self.fill_then_kill_compaction(tmp_path, "compact.wrote-tmp")
+        with open_store(tmp_path, shards=1, segment_max_bytes=256) as reopened:
+            before = len(reopened.segment_files())
+            reopened.compact()
+            assert reopened.stats["compactions"] >= 1
+            assert len(reopened.segment_files()) <= before
+
+
+class TestEviction:
+    def test_max_entries_bounds_the_store(self, tmp_path):
+        with open_store(tmp_path, shards=1, max_entries=32) as store:
+            for i in range(128):
+                store.put(f"k{i}", {"v": i})
+            assert len(store) <= 32
+            assert store.stats["evictions"] >= 96
+
+    def test_hot_keys_survive_cold_scans(self, tmp_path):
+        with open_store(tmp_path, shards=1, max_entries=32) as store:
+            hot = [f"hot{i}" for i in range(8)]
+            for key in hot:
+                store.put(key, {"hot": True})
+            for _ in range(4):
+                for key in hot:
+                    assert store.get(key) is not None
+            # A cold scan three times the store's capacity: one-touch
+            # keys churn through probation while the protected hot set
+            # stays resident.
+            for i in range(96):
+                store.put(f"cold{i}", {"v": i})
+            for key in hot:
+                assert store.get(key) == {"hot": True}
+
+    def test_reopen_trims_back_to_max_entries(self, tmp_path):
+        with open_store(tmp_path, shards=1) as store:
+            for i in range(64):
+                store.put(f"k{i}", {"v": i})
+            store.flush()
+        with open_store(tmp_path, shards=1, max_entries=16) as bounded:
+            assert len(bounded) <= 16
+
+    def test_frequency_sketch_counts_and_ages(self):
+        sketch = FrequencySketch(width=64, sample_factor=1)
+        for _ in range(8):
+            sketch.add("popular")
+        assert sketch.estimate("popular") >= 8
+        assert sketch.estimate("popular") > sketch.estimate("unseen")
+        before = sketch.estimate("popular")
+        for i in range(64):
+            sketch.add(f"filler-{i}")
+        # Aging halves counters instead of growing without bound.
+        assert sketch.estimate("popular") < before
+
+
+class TestCrossProcess:
+    CHILD = """
+import sys
+from repro.core.cache_store import SegmentStore
+
+directory = sys.argv[1]
+with SegmentStore(directory, shards=2) as store:
+    for i in range(50):
+        expected = {"v": i, "who": "parent"}
+        if store.get(f"parent-{i}") != expected:
+            raise SystemExit(f"missing or wrong parent-{i}")
+    for i in range(50):
+        store.put(f"child-{i}", {"v": i, "who": "child"})
+    store.flush()
+print("child-ok")
+"""
+
+    def run_child(self, directory) -> None:
+        src = Path(__file__).resolve().parents[2] / "src"
+        result = subprocess.run(
+            [sys.executable, "-c", self.CHILD, os.fspath(directory)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src), "PYTHONHASHSEED": "999"},
+            check=True,
+        )
+        assert result.stdout.strip() == "child-ok"
+
+    def test_two_processes_share_one_directory(self, tmp_path):
+        """A second process reads our records and we read its, torn-free.
+
+        The child opens the same directory while the parent's store is
+        still open, verifies every parent record, appends its own
+        (per-pid segment files make the appends collision-free), and
+        exits; ``refresh()`` then surfaces the child's records here.
+        """
+        with open_store(tmp_path) as store:
+            for i in range(50):
+                store.put(f"parent-{i}", {"v": i, "who": "parent"})
+            store.flush()
+            self.run_child(tmp_path)
+            store.refresh()
+            for i in range(50):
+                assert store.get(f"child-{i}") == {"v": i, "who": "child"}
+            for i in range(50):
+                assert store.get(f"parent-{i}") == {"v": i, "who": "parent"}
+            assert len(store) == 100
+            assert store.stats["torn_records"] == 0
+
+    def test_parent_writes_after_child_never_corrupt(self, tmp_path):
+        with open_store(tmp_path) as store:
+            for i in range(50):
+                store.put(f"parent-{i}", {"v": i, "who": "parent"})
+            store.flush()
+            self.run_child(tmp_path)
+            # Keep appending to our own per-pid segment after the child
+            # wrote to its own: neither stream clobbers the other.
+            for i in range(50, 80):
+                store.put(f"parent-{i}", {"v": i, "who": "parent"})
+            store.flush()
+            store.refresh()
+            assert len(store) == 130
+        with open_store(tmp_path) as reopened:
+            assert len(reopened) == 130
+            assert reopened.stats["torn_records"] == 0
+            assert reopened.get("child-49") == {"v": 49, "who": "child"}
+            assert reopened.get("parent-79") == {"v": 79, "who": "parent"}
+
+
+class TestOperationalSurface:
+    def test_clear_removes_entries_and_segments(self, tmp_path):
+        with open_store(tmp_path) as store:
+            for i in range(16):
+                store.put(f"k{i}", {"v": i})
+            removed = store.clear()
+            assert removed == 16
+            assert len(store) == 0
+            assert store.segment_files() == []
+
+    def test_store_stats_shape(self, tmp_path):
+        with open_store(tmp_path) as store:
+            store.put("k", {"v": 1}, sync=True)
+            stats = store.store_stats()
+            assert stats["entries"] == 1
+            assert stats["segments"] >= 1
+            assert {"evictions", "compactions", "torn_records", "rebuild_s"} <= set(
+                stats
+            )
+
+    def test_closed_store_refuses_writes(self, tmp_path):
+        store = open_store(tmp_path)
+        store.close()
+        with pytest.raises(RuntimeError):
+            store.put("k", {"v": 1})
+
+
+class TestResponseCacheSegmentsBackend:
+    """The cache-facing contract: stored completions replay byte-identical."""
+
+    def test_completions_replay_byte_identical_across_reopens(self, tmp_path):
+        texts = [f"answer {i}: café — {'x' * i}" for i in range(20)]
+        warm = ResponseCache(tmp_path, backend="segments")
+        keys = []
+        for i, text in enumerate(texts):
+            messages = [user_message(f"prompt {i}")]
+            key = warm.key("sim-gpt-4", messages, 0.0)
+            keys.append(key)
+            warm.store(
+                key,
+                CompletionResult(text, Usage(100 + i, 7 + i), 1.5 + i, "sim-gpt-4"),
+                messages,
+                0.0,
+            )
+        assert warm.segment_store is not None
+        warm.segment_store.flush()
+
+        cold = ResponseCache(tmp_path, backend="segments")
+        for i, key in enumerate(keys):
+            replayed = cold.load(key)
+            assert replayed is not None
+            assert replayed.text == texts[i]
+            assert replayed.usage.prompt_tokens == 100 + i
+            assert replayed.usage.completion_tokens == 7 + i
+            assert replayed.model == "sim-gpt-4"
+            assert replayed.cached is True
+        assert cold.segment_store.stats["torn_records"] == 0
+        cold.segment_store.close()
+        warm.segment_store.close()

@@ -1,0 +1,566 @@
+"""Cross-request batching: the scheduler's batch window under test.
+
+A ``map()`` fan-out opens a :meth:`RequestScheduler.batch_window`
+around its worker pool; cache-missing requests rendezvous into grouped
+wire calls paying the request-pacing bucket once per group.  These
+tests pin the semantics the docs promise: who batches (pool threads
+only -- retries, foreign threads, and deadline-bound requests go
+solo), how groups seal (capacity, starvation, virtual-time bound), how
+failures split (whole-batch refusals requeue every member solo with
+one AIMD shrink; per-item errors stay on their item), and that the
+observable accounting -- ClientStats, Prometheus, the virtual clock --
+tells one consistent story with telemetry on or off.
+
+Everything runs on the virtual clock; nothing sleeps.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.types as t
+from repro.core import SchedulerPolicy, Session
+from repro.core.scheduler import AdaptiveConcurrency, BatchRequest, RequestScheduler
+from repro.errors import ConfigError, RateLimitError
+from repro.llm import QUIET, ChatClient
+from repro.llm.base import CompletionResult, Usage, user_message
+
+MODEL = "sim-gpt-4"
+
+
+def quiet_client(rate_limit=None) -> ChatClient:
+    return ChatClient(noise_policy=QUIET, rate_limit=rate_limit)
+
+
+def fake_call(latency_s: float = 1.0):
+    def call() -> CompletionResult:
+        return CompletionResult("ok", Usage(10, 5), latency_s, MODEL)
+
+    return call
+
+
+def completion(content: str, latency_s: float = 1.0) -> CompletionResult:
+    return CompletionResult(content, Usage(10, 5), latency_s, MODEL)
+
+
+class GroupedBackend:
+    """A batch-capable transport stand-in that records its group sizes."""
+
+    def __init__(self, respond=None) -> None:
+        self.calls: list[int] = []
+        self._respond = respond or (
+            lambda messages: completion(messages[-1].content, 0.0)
+        )
+        self._lock = threading.Lock()
+
+    def __call__(self, message_lists):
+        with self._lock:
+            self.calls.append(len(message_lists))
+        return [self._respond(messages) for messages in message_lists]
+
+
+class CountingAIMD(AdaptiveConcurrency):
+    """AdaptiveConcurrency that counts its multiplicative decreases."""
+
+    def __init__(self, policy) -> None:
+        super().__init__(policy)
+        self.shrinks = 0
+
+    def on_rate_limit(self) -> None:
+        self.shrinks += 1
+        super().on_rate_limit()
+
+
+def fan_out(scheduler, client, items, workers):
+    """Run ``items`` through ``scheduler.run`` under one batch window.
+
+    Mirrors what :func:`repro.core.batch.run_batch` does around its
+    pool: open the window for the fan-out, adopt each pool thread, and
+    settle the books after every item.  Each item is a dict with
+    ``messages``, ``call`` (the solo fallback), and optionally
+    ``batch``/``priority``.
+    """
+    results: list = [None] * len(items)
+    errors: list = [None] * len(items)
+
+    def work(index: int) -> None:
+        item = items[index]
+        window = scheduler.window
+        if window is not None:
+            window.adopt()
+        try:
+            results[index] = scheduler.run(
+                client,
+                MODEL,
+                item["messages"],
+                item["call"],
+                priority=item.get("priority", 0),
+                batch=item.get("batch"),
+            )
+        except Exception as error:
+            errors[index] = error
+        finally:
+            if window is not None:
+                window.settle_thread()
+
+    with scheduler.batch_window(len(items), workers) as window:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(work, range(len(items))))
+    return results, errors, window
+
+
+def batched_items(count: int, backend: GroupedBackend, max_batch_size: int = 16):
+    batch = BatchRequest("wire", max_batch_size, backend)
+    return [
+        {
+            "messages": [user_message(f"item {i}")],
+            "call": fake_call(0.0),
+            "batch": batch,
+        }
+        for i in range(count)
+    ]
+
+
+class TestPolicyKnobs:
+    def test_batching_is_off_by_default(self):
+        assert SchedulerPolicy().max_batch == 1
+
+    def test_knobs_are_validated(self):
+        with pytest.raises(ConfigError):
+            SchedulerPolicy(max_batch=0)
+        with pytest.raises(ConfigError):
+            SchedulerPolicy(batch_window_s=0.0)
+
+    def test_replace_carries_the_knobs(self):
+        policy = SchedulerPolicy(max_batch=8, batch_window_s=2.5)
+        clone = policy.replace(requests_per_minute=60)
+        assert clone.max_batch == 8
+        assert clone.batch_window_s == 2.5
+
+
+class TestWindowGating:
+    def test_disabled_policy_yields_no_window(self):
+        scheduler = RequestScheduler(SchedulerPolicy())
+        with scheduler.batch_window(8, 4) as window:
+            assert window is None
+
+    def test_trivial_fanout_yields_no_window(self):
+        scheduler = RequestScheduler(SchedulerPolicy(max_batch=8))
+        with scheduler.batch_window(1, 1) as window:
+            assert window is None
+
+    def test_only_one_window_at_a_time(self):
+        scheduler = RequestScheduler(SchedulerPolicy(max_batch=8))
+        with scheduler.batch_window(4, 2) as outer:
+            assert outer is not None
+            # A nested fan-out on the same scheduler schedules solo
+            # instead of leaking its requests into the outer window.
+            with scheduler.batch_window(4, 2) as inner:
+                assert inner is None
+            assert scheduler.window is outer
+        with scheduler.batch_window(4, 2) as again:
+            assert again is not None
+
+    def test_foreign_threads_schedule_solo(self):
+        scheduler = RequestScheduler(SchedulerPolicy(max_batch=8))
+        client = quiet_client()
+        backend = GroupedBackend()
+        with scheduler.batch_window(4, 2):
+            # This thread never adopted into the window, so its request
+            # must use the solo call even though it carries a batch.
+            result = scheduler.run(
+                client,
+                MODEL,
+                [user_message("solo")],
+                fake_call(0.0),
+                batch=BatchRequest("wire", 16, backend),
+            )
+        assert result.text == "ok"
+        assert backend.calls == []
+
+    def test_second_arrival_of_one_item_goes_solo(self):
+        """Retries never batch: an item's slot is consumed by its first
+        arrival, and only ``settle_thread`` (a new work item) resets it."""
+        scheduler = RequestScheduler(SchedulerPolicy(max_batch=4))
+        backend = GroupedBackend()
+        batch = BatchRequest("wire", 4, backend)
+        messages = [user_message("x")]
+        with scheduler.batch_window(4, 2) as window:
+            window.adopt()
+            assert window.arrive(batch, messages, 0, 0.0) is not None
+            assert window.arrive(batch, messages, 0, 0.0) is None
+            window.settle_thread()
+            assert window.arrive(batch, messages, 0, 0.0) is not None
+
+    def test_virtual_time_bound_splits_groups(self):
+        scheduler = RequestScheduler(SchedulerPolicy(max_batch=8, batch_window_s=5.0))
+        backend = GroupedBackend()
+        batch = BatchRequest("wire", 8, backend)
+        messages = [user_message("x")]
+        with scheduler.batch_window(8, 4) as window:
+            window.adopt()
+            first = window.arrive(batch, messages, 0, 0.0)
+            window.settle_thread()
+            late = window.arrive(batch, messages, 0, 10.0)
+            # 10.0 - 0.0 > batch_window_s: the stale group went out
+            # sealed and the late arrival opened a fresh one.
+            assert late.group is not first.group
+            assert first.group.sealed
+
+
+class TestGrouping:
+    def policy(self, **overrides) -> SchedulerPolicy:
+        defaults = {"max_batch": 4, "batch_window_s": 60.0}
+        defaults.update(overrides)
+        return SchedulerPolicy(**defaults)
+
+    def test_fanout_coalesces_into_capacity_groups(self):
+        scheduler = RequestScheduler(self.policy())
+        client = quiet_client()
+        backend = GroupedBackend()
+        results, errors, window = fan_out(
+            scheduler, client, batched_items(8, backend), workers=8
+        )
+        assert errors == [None] * 8
+        # Groups seal at max_batch capacity: two wire calls of four.
+        assert sorted(backend.calls) == [4, 4]
+        assert window.batches == 2
+        assert window.batched == 8
+        # Each member got the reply to *its own* messages, in order.
+        assert [result.text for result in results] == [
+            f"item {i}" for i in range(8)
+        ]
+
+    def test_provider_cap_bounds_group_size(self):
+        scheduler = RequestScheduler(self.policy(max_batch=16))
+        client = quiet_client()
+        backend = GroupedBackend()
+        results, errors, _ = fan_out(
+            scheduler, client, batched_items(6, backend, max_batch_size=2), workers=6
+        )
+        assert errors == [None] * 6
+        assert all(size <= 2 for size in backend.calls)
+        assert sum(backend.calls) == 6
+
+    def test_incompatible_group_keys_never_share_a_call(self):
+        scheduler = RequestScheduler(self.policy(max_batch=8))
+        client = quiet_client()
+        left, right = GroupedBackend(), GroupedBackend()
+        items = []
+        for i in range(4):
+            items.append(
+                {
+                    "messages": [user_message(f"left {i}")],
+                    "call": fake_call(0.0),
+                    "batch": BatchRequest("left", 16, left),
+                }
+            )
+            items.append(
+                {
+                    "messages": [user_message(f"right {i}")],
+                    "call": fake_call(0.0),
+                    "batch": BatchRequest("right", 16, right),
+                }
+            )
+        results, errors, _ = fan_out(scheduler, client, items, workers=8)
+        assert errors == [None] * 8
+        # Starvation seals both groups once all eight workers arrive;
+        # neither backend ever saw the other key's messages.
+        assert left.calls == [4]
+        assert right.calls == [4]
+        for index, result in enumerate(results):
+            assert result.text == items[index]["messages"][0].content
+
+    def test_group_admission_pays_the_request_bucket_once(self):
+        grouped = RequestScheduler(
+            self.policy(max_batch=8, requests_per_minute=60, burst=1)
+        )
+        client = quiet_client()
+        backend = GroupedBackend()
+        _, errors, _ = fan_out(grouped, client, batched_items(8, backend), workers=8)
+        assert errors == [None] * 8
+        assert backend.calls == [8]
+        # One wire call, one reservation: the burst allowance covers it
+        # and nobody throttles -- where eight solo requests pay 1/s.
+        assert client.stats.throttled == 0
+        assert client.clock.elapsed_s == pytest.approx(0.0)
+        solo_client = quiet_client()
+        solo = RequestScheduler(SchedulerPolicy(requests_per_minute=60, burst=1))
+        for _ in range(8):
+            solo.run(solo_client, MODEL, [user_message("x")], fake_call(0.0))
+        assert solo_client.stats.throttled == 6
+
+    def test_deadline_bound_requests_go_solo(self):
+        scheduler = RequestScheduler(self.policy(deadline_s=60.0))
+        client = quiet_client()
+        backend = GroupedBackend()
+        results, errors, window = fan_out(
+            scheduler, client, batched_items(4, backend), workers=4
+        )
+        assert errors == [None] * 4
+        # Grouped admission cannot fail one member fast, so everything
+        # scheduled solo: no wire groups, yet the window never stalled.
+        assert backend.calls == []
+        assert window.batches == 0
+        assert [result.text for result in results] == ["ok"] * 4
+
+    def test_failed_items_settle_their_slot(self):
+        """An item dying before the scheduler still lets groups seal."""
+        scheduler = RequestScheduler(self.policy(max_batch=8))
+        client = quiet_client()
+        backend = GroupedBackend()
+        items = batched_items(8, backend)
+
+        results: list = [None] * len(items)
+        errors: list = [None] * len(items)
+
+        def work(index: int) -> None:
+            window = scheduler.window
+            window.adopt()
+            try:
+                if index == 3:
+                    raise ValueError("died before scheduling")
+                item = items[index]
+                results[index] = scheduler.run(
+                    client, MODEL, item["messages"], item["call"], batch=item["batch"]
+                )
+            except Exception as error:
+                errors[index] = error
+            finally:
+                window.settle_thread()
+
+        with scheduler.batch_window(len(items), 8):
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                list(pool.map(work, range(len(items))))
+        assert isinstance(errors[3], ValueError)
+        assert sum(backend.calls) == 7
+        assert [r.text for i, r in enumerate(results) if i != 3] == [
+            f"item {i}" for i in range(8) if i != 3
+        ]
+
+
+class TestFailureSplitting:
+    def policy(self, **overrides) -> SchedulerPolicy:
+        defaults = {"max_batch": 8, "batch_window_s": 60.0}
+        defaults.update(overrides)
+        return SchedulerPolicy(**defaults)
+
+    def counting_aimd(self, scheduler) -> CountingAIMD:
+        state = CountingAIMD(scheduler.policy)
+        scheduler._adaptive[MODEL] = state
+        return state
+
+    def test_whole_batch_refusal_requeues_every_member_solo(self):
+        scheduler = RequestScheduler(self.policy())
+        aimd = self.counting_aimd(scheduler)
+        client = quiet_client()
+        refused = {"count": 0}
+
+        def backend(message_lists):
+            refused["count"] += 1
+            raise RateLimitError("batch refused", retry_after_s=2.0)
+
+        items = [
+            {
+                "messages": [user_message(f"item {i}")],
+                "call": fake_call(0.0),
+                "batch": BatchRequest("wire", 16, backend),
+            }
+            for i in range(8)
+        ]
+        results, errors, _ = fan_out(scheduler, client, items, workers=8)
+        assert errors == [None] * 8
+        assert refused["count"] == 1
+        # Every member was refused and requeued (retrying solo)...
+        assert client.stats.rate_limited == 8
+        assert client.stats.requeued == 8
+        assert [result.text for result in results] == ["ok"] * 8
+        # ...but the AIMD window shrank exactly once for the one wire
+        # call, not once per member.
+        assert aimd.shrinks == 1
+
+    def test_per_item_refusal_stays_on_its_item(self):
+        scheduler = RequestScheduler(self.policy())
+        aimd = self.counting_aimd(scheduler)
+        client = quiet_client()
+
+        def respond(messages):
+            if messages[-1].content == "item 2":
+                return RateLimitError("just you", retry_after_s=1.0)
+            return completion(messages[-1].content, 0.0)
+
+        backend = GroupedBackend(respond)
+        items = batched_items(4, backend)
+        results, errors, _ = fan_out(scheduler, client, items, workers=4)
+        assert errors == [None] * 4
+        assert backend.calls == [4]
+        # Only the refused member requeued -- and its retry went solo,
+        # shrinking the window for a genuinely per-item refusal.
+        assert client.stats.rate_limited == 1
+        assert client.stats.requeued == 1
+        assert aimd.shrinks == 1
+        assert [result.text for result in results] == [
+            "item 0",
+            "item 1",
+            "ok",
+            "item 3",
+        ]
+
+    def test_per_item_error_is_isolated_to_its_request(self):
+        scheduler = RequestScheduler(self.policy())
+        client = quiet_client()
+
+        def respond(messages):
+            if messages[-1].content == "item 1":
+                return ValueError("malformed item")
+            return completion(messages[-1].content, 0.0)
+
+        backend = GroupedBackend(respond)
+        results, errors, _ = fan_out(
+            scheduler, client, batched_items(4, backend), workers=4
+        )
+        assert backend.calls == [4]
+        assert isinstance(errors[1], ValueError)
+        assert [e for i, e in enumerate(errors) if i != 1] == [None, None, None]
+        assert [r.text for i, r in enumerate(results) if i != 1] == [
+            "item 0",
+            "item 2",
+            "item 3",
+        ]
+
+    def test_miscounted_results_fail_the_group_loudly(self):
+        scheduler = RequestScheduler(self.policy())
+        client = quiet_client()
+
+        def backend(message_lists):
+            return [completion("only one", 0.0)]
+
+        items = [
+            {
+                "messages": [user_message(f"item {i}")],
+                "call": fake_call(0.0),
+                "batch": BatchRequest("wire", 16, backend),
+            }
+            for i in range(3)
+        ]
+        _, errors, _ = fan_out(scheduler, client, items, workers=3)
+        assert all(isinstance(error, RuntimeError) for error in errors)
+        assert "3 requests" in str(errors[0])
+
+
+def batching_session(tmp_path=None, **overrides) -> Session:
+    options = {
+        "model": MODEL,
+        "scheduler": "adaptive",
+        "scheduler_policy": SchedulerPolicy(
+            requests_per_minute=120, max_batch=16, batch_window_s=60.0
+        ),
+        "temperature": 0.0,
+        "cache": "off",
+        "cache_dir": None,
+    }
+    if tmp_path is not None:
+        options.update(cache="read-write", cache_dir=str(tmp_path))
+    options.update(overrides)
+    return Session(**options)
+
+
+WORDS = [f"token{i:02d}" for i in range(24)]
+
+
+def echo_map(session, words=WORDS, **map_options):
+    fn = session.define(t.str, "Echo the word {{word}} back, alone.")
+    return fn.map([{"word": word} for word in words], **map_options)
+
+
+class TestEndToEnd:
+    def test_map_batches_fewer_wire_calls_same_results(self):
+        batched_session_ = batching_session()
+        solo_session = batching_session(
+            scheduler_policy=SchedulerPolicy(requests_per_minute=120)
+        )
+        batched = echo_map(batched_session_, max_concurrency=8)
+        solo = echo_map(solo_session, max_concurrency=8)
+        assert batched.ok and solo.ok
+        # Zero reordering, byte-identical answers.
+        assert [o.value for o in batched.outcomes] == [o.value for o in solo.outcomes]
+        batched_wire = batched_session_.client.provider_for(MODEL).wire_calls
+        solo_wire = solo_session.client.provider_for(MODEL).wire_calls
+        assert batched_wire * 2 <= solo_wire
+        assert batched_session_.stats.batch_calls >= 1
+        assert batched_session_.stats.batched > batched_session_.stats.batch_calls
+        assert solo_session.stats.batch_calls == 0
+        # Fewer admission waits: the batch's virtual wall-clock beats solo.
+        assert batched.wall_s < solo.wall_s
+
+    def test_wire_round_trip_identity(self):
+        session = batching_session()
+        result = echo_map(session, max_concurrency=8)
+        assert result.ok
+        stats = session.stats
+        wire = session.client.provider_for(MODEL).wire_calls
+        # calls counts requests; each group of n collapses n of them
+        # into one wire round-trip.
+        assert stats.calls - stats.batched + stats.batch_calls == wire
+
+    def test_prometheus_and_stats_tell_the_same_story(self):
+        session = batching_session(telemetry="on")
+        result = echo_map(session, max_concurrency=8)
+        assert result.ok
+        stats = session.stats
+        assert stats.batch_calls >= 1
+        text = session.telemetry.prometheus_text()
+        assert (
+            f'askit_batch_calls_total{{model="{MODEL}"}} {stats.batch_calls}' in text
+        )
+        assert f'askit_batched_requests_total{{model="{MODEL}"}} {stats.batched}' in text
+        per_model = stats.for_model(MODEL)
+        assert per_model.batch_calls == stats.batch_calls
+        assert per_model.batched == stats.batched
+
+    def test_telemetry_toggle_never_moves_the_clock(self):
+        # Eight items over eight workers form exactly one group of
+        # eight whatever the thread interleaving (no seal condition can
+        # fire earlier), so the virtual timeline is fully deterministic
+        # and the clocks must match to the bit.
+        dark_session = batching_session()
+        dark = echo_map(dark_session, words=WORDS[:8], max_concurrency=8)
+        lit_session = batching_session(telemetry="on")
+        lit = echo_map(lit_session, words=WORDS[:8], max_concurrency=8)
+        assert [o.value for o in dark.outcomes] == [o.value for o in lit.outcomes]
+        # Observation is free on the virtual timeline: identical wall
+        # clocks and identical grouping with telemetry on or off.
+        assert lit.wall_s == dark.wall_s
+        assert lit_session.stats.batch_calls == dark_session.stats.batch_calls
+        assert lit_session.stats.batch_calls >= 1
+
+    def test_mixed_hits_and_misses_never_stall_the_window(self, tmp_path):
+        warm = batching_session(tmp_path)
+        first = echo_map(warm, words=WORDS[:12], max_concurrency=8)
+        assert first.ok
+        wire_after_warm = warm.client.provider_for(MODEL).wire_calls
+        # Half the second fan-out replays from the cache (resigning its
+        # window slot), half misses and still groups -- the window's
+        # starvation rule keeps the groups sealing either way.
+        second = echo_map(warm, words=WORDS, max_concurrency=8)
+        assert second.ok
+        assert [o.value for o in second.outcomes] == [
+            o.value for o in first.outcomes
+        ] + [o.value for o in second.outcomes[12:]]
+        assert warm.stats.cache_hits >= 12
+        assert warm.client.provider_for(MODEL).wire_calls > wire_after_warm
+
+    def test_coalesced_followers_never_stall_the_window(self, tmp_path):
+        session = batching_session(tmp_path)
+        # Duplicate bindings with dedup off: concurrent identical
+        # requests coalesce on the response cache's in-flight table, so
+        # followers block on a leader that may itself be parked in a
+        # forming group -- the follower_wait accounting must keep the
+        # window sealing.
+        words = [WORDS[i % 8] for i in range(16)]
+        result = echo_map(session, words=words, max_concurrency=16, dedup=False)
+        assert result.ok
+        values = [o.value for o in result.outcomes]
+        assert values[:8] == values[8:]
+        assert session.stats.coalesced + session.stats.cache_hits >= 8
