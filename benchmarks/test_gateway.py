@@ -1,0 +1,102 @@
+"""Gateway admission fairness: weighted-fair DRR vs FIFO on a skewed mix.
+
+The serving gateway's acceptance criterion: on the 10k-request skewed
+mix (one hot tenant offering 90% of the load against four light
+tenants), switching admission from FIFO to weighted deficit round robin
+must improve a light tenant's p99 admission wait by at least 3x while
+giving up less than 5% of total throughput (makespan).
+
+Both runs drive the *real* :class:`~repro.core.scheduler.DeficitRoundRobin`
+structure through the event-driven virtual-clock load generator -- no
+threads, no sleeping -- so the comparison is deterministic and
+reproduces bit-for-bit on any host.
+"""
+
+import pytest
+
+from benchmarks.snapshots import write_snapshot
+from repro.serve import FairnessReport, LoadGenerator, skewed_mix
+
+TOTAL_REQUESTS = 10_000
+HOT_FRACTION = 0.9
+LIGHT_TENANTS = 4
+CAPACITY = 8
+SEED = 11
+
+#: Acceptance thresholds.
+MIN_P99_IMPROVEMENT = 3.0
+MAX_THROUGHPUT_LOSS = 0.05
+
+
+@pytest.fixture(scope="module")
+def runs() -> dict[str, FairnessReport]:
+    loads = skewed_mix(
+        hot_fraction=HOT_FRACTION,
+        total_requests=TOTAL_REQUESTS,
+        light_tenants=LIGHT_TENANTS,
+    )
+    return {
+        discipline: LoadGenerator(
+            loads, capacity=CAPACITY, discipline=discipline, seed=SEED
+        ).run()
+        for discipline in ("weighted-fair", "fifo")
+    }
+
+
+def light_p99(report: FairnessReport) -> float:
+    return max(
+        report.wait_percentile(name, 0.99)
+        for name in report.weights
+        if name != "hot"
+    )
+
+
+def test_drr_beats_fifo_3x_on_light_tenant_p99(runs):
+    fair, fifo = runs["weighted-fair"], runs["fifo"]
+    improvement = light_p99(fifo) / light_p99(fair)
+    assert improvement >= MIN_P99_IMPROVEMENT, (
+        f"light-tenant p99 improved only {improvement:.2f}x "
+        f"(FIFO {light_p99(fifo):.1f}s vs DRR {light_p99(fair):.1f}s)"
+    )
+
+
+def test_fairness_costs_under_5_percent_throughput(runs):
+    fair, fifo = runs["weighted-fair"], runs["fifo"]
+    assert fair.makespan_s <= (1.0 + MAX_THROUGHPUT_LOSS) * fifo.makespan_s, (
+        f"DRR makespan {fair.makespan_s:.1f}s exceeds FIFO "
+        f"{fifo.makespan_s:.1f}s by more than {MAX_THROUGHPUT_LOSS:.0%}"
+    )
+    # Neither discipline idles a slot over backlog.
+    assert fair.idle_while_backlogged_s == 0.0
+    assert fifo.idle_while_backlogged_s == 0.0
+
+
+def test_fair_shares_hold_under_contention(runs):
+    fair = runs["weighted-fair"]
+    for name in fair.weights:
+        assert fair.admitted_share(name) == pytest.approx(
+            fair.weight_share(name), rel=0.10
+        )
+
+
+def test_snapshot_gateway_fairness(runs):
+    """Emit ``BENCH_gateway_fairness.json`` (committed perf trajectory)."""
+    fair, fifo = runs["weighted-fair"], runs["fifo"]
+    metrics = {
+        "total_requests": TOTAL_REQUESTS,
+        "hot_fraction": HOT_FRACTION,
+        "light_tenants": LIGHT_TENANTS,
+        "capacity": CAPACITY,
+        "fair_makespan_s": fair.makespan_s,
+        "fifo_makespan_s": fifo.makespan_s,
+        "fair_light_p99_wait_s": light_p99(fair),
+        "fifo_light_p99_wait_s": light_p99(fifo),
+        "light_p99_improvement_x": light_p99(fifo) / light_p99(fair),
+        "fair_hot_admitted_share": fair.admitted_share("hot"),
+        "fair_light0_admitted_share": fair.admitted_share("light0"),
+        "max_fairness_error": max(
+            fair.fairness_error(name) for name in fair.weights
+        ),
+    }
+    path = write_snapshot("gateway_fairness", metrics)
+    assert path.is_file()

@@ -33,9 +33,14 @@ from repro.core.scheduler import (
     SCHEDULER_MODES,
     AdaptiveConcurrency,
     BatchRequest,
+    DeficitRoundRobin,
     PacingBucket,
     RequestScheduler,
     SchedulerPolicy,
+    TenantBudget,
+    WeightedFairTurnstile,
+    admission_tenant,
+    current_admission_tenant,
 )
 from repro.core.session import Session, default_session
 from repro.ioexample import Example, outputs_equal
@@ -79,6 +84,11 @@ __all__ = [
     "PacingBucket",
     "AdaptiveConcurrency",
     "SCHEDULER_MODES",
+    "DeficitRoundRobin",
+    "WeightedFairTurnstile",
+    "TenantBudget",
+    "admission_tenant",
+    "current_admission_tenant",
     "Telemetry",
     "TelemetryPolicy",
     "TELEMETRY_MODES",

@@ -38,6 +38,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import logging
 import os
 import threading
 import time
@@ -50,6 +51,9 @@ from repro.core.cache_store import SegmentStore
 from repro.errors import ConfigError
 from repro.llm.base import ChatMessage, CompletionResult, Usage
 from repro.obs.trace import Span, annotate, current_span
+
+#: Corrupt legacy entries are logged here at WARNING before being skipped.
+logger = logging.getLogger("repro.response_cache")
 
 #: Bumped whenever the key derivation or entry layout changes, so stale
 #: on-disk formats can never be misread as current entries.
@@ -569,12 +573,34 @@ class ResponseCache:
         return self._read_legacy(key)
 
     def _read_legacy(self, key: str) -> CacheEntry | None:
-        """Read one entry from the files-backend ``*.json`` layout."""
+        """Read one entry from the files-backend ``*.json`` layout.
+
+        A missing file is an ordinary miss.  A *damaged* file -- unreadable,
+        truncated mid-write, or valid JSON with mangled fields -- is
+        skipped with a warning instead of raised, so one bad entry can
+        never take down every lookup (or ``entries()`` walk, or segment
+        migration) that touches the legacy directory.
+        """
+        path = self._path(key)
         try:
-            raw = json.loads(self._path(key).read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
             return None
-        return self._entry_from_payload(key, raw)
+        except OSError as exc:
+            logger.warning("skipping unreadable legacy cache entry %s: %s", path, exc)
+            return None
+        try:
+            raw = json.loads(text)
+        except ValueError as exc:
+            logger.warning("skipping corrupt legacy cache entry %s: %s", path, exc)
+            return None
+        entry = self._entry_from_payload(key, raw)
+        if entry is None:
+            logger.warning(
+                "skipping malformed legacy cache entry %s "
+                "(wrong version or bad fields)", path
+            )
+        return entry
 
     def _migrate_legacy(self, key: str) -> CacheEntry | None:
         """Serve a legacy ``*.json`` entry, folding it into the log.

@@ -51,12 +51,15 @@ from __future__ import annotations
 import contextlib
 import heapq
 import itertools
+import math
 import threading
+from collections import deque
 from typing import TYPE_CHECKING, Awaitable, Callable, Iterator, Sequence
 
 from repro.errors import (
     ConfigError,
     DeadlineExceededError,
+    QuotaExceededError,
     RateLimitError,
     ServerError,
 )
@@ -368,6 +371,408 @@ class _PriorityTurnstile:
         with self._cond:
             self._busy = False
             self._cond.notify_all()
+
+
+_ADMISSION_TENANT = threading.local()
+
+
+def current_admission_tenant() -> str | None:
+    """The tenant the calling thread's admissions are attributed to.
+
+    ``None`` outside an :func:`admission_tenant` block -- single-tenant
+    workloads never touch this, and a
+    :class:`WeightedFairTurnstile` folds anonymous traffic into one
+    default lane.
+    """
+    return getattr(_ADMISSION_TENANT, "name", None)
+
+
+@contextlib.contextmanager
+def admission_tenant(name: str | None) -> Iterator[None]:
+    """Attribute this thread's scheduler admissions to tenant ``name``.
+
+    The serving gateway wraps each request's execution in this context,
+    so the per-tenant fairness machinery sees the right tenant without
+    threading a parameter through every layer between the HTTP handler
+    and the admission gate.  Contexts nest; the previous binding is
+    restored on exit.
+    """
+    previous = getattr(_ADMISSION_TENANT, "name", None)
+    _ADMISSION_TENANT.name = name
+    try:
+        yield
+    finally:
+        _ADMISSION_TENANT.name = previous
+
+
+class DeficitRoundRobin:
+    """The pure weighted deficit-round-robin core: deterministic, unlocked.
+
+    Tenants own FIFO-of-priority queues of opaque tokens; each *visit*
+    to a tenant in the rotation tops its deficit up by its weight, and a
+    tenant may admit one unit-cost token per unit of deficit before the
+    rotation moves on.  A tenant with weight 2 therefore admits twice as
+    often as a tenant with weight 1 while both are backlogged -- and a
+    tenant with no waiters costs nothing (its deficit resets, so idle
+    time never banks credit).
+
+    Locking, blocking, and budget charging live in
+    :class:`WeightedFairTurnstile`; this core is also driven directly by
+    the load generator (:mod:`repro.serve.loadgen`) and the
+    property-based fairness tests, so the exact admission order the
+    gateway produces is the one the 10k-request harness verifies.
+    """
+
+    #: The lane unattributed traffic shares (see :func:`admission_tenant`).
+    DEFAULT_TENANT = "_default"
+
+    #: Admission threshold slack: a deficit within this of 1.0 counts as a
+    #: full unit, so float accumulation error (repeated ``+= weight`` vs
+    #: the fast-forward's one multiplication) can never shift the visit on
+    #: which a tenant crosses.  Far below any meaningful weight.
+    EPSILON = 1e-9
+
+    def __init__(self, default_weight: float = 1.0) -> None:
+        if default_weight <= 0:
+            raise ConfigError("default_weight must be positive")
+        self.default_weight = default_weight
+        self._weights: dict[str, float] = {}
+        #: tenant -> heap of ``(priority, seq, token)`` (FIFO within ties).
+        self._queues: dict[str, list[tuple]] = {}
+        self._deficit: dict[str, float] = {}
+        #: Rotation of tenants with waiters, in order of becoming active.
+        self._round: deque[str] = deque()
+        #: Whether the head tenant's visit has yet to top its deficit up.
+        #: A tenant is topped up exactly once per visit; serving within
+        #: the visit continues until the deficit runs dry.
+        self._fresh_visit = True
+        self._seq = itertools.count()
+        self._size = 0
+
+    def set_weight(self, tenant: str, weight: float) -> None:
+        """Set ``tenant``'s fair-share weight (relative to the others)."""
+        if weight <= 0:
+            raise ConfigError("tenant weight must be positive")
+        self._weights[tenant] = float(weight)
+
+    def weight_of(self, tenant: str) -> float:
+        """The configured weight of ``tenant`` (default for unknown)."""
+        return self._weights.get(tenant, self.default_weight)
+
+    def enqueue(self, tenant: str | None, token: object, priority: int = 0) -> None:
+        """Queue ``token`` for admission under ``tenant``."""
+        name = tenant if tenant is not None else self.DEFAULT_TENANT
+        queue = self._queues.get(name)
+        if queue is None:
+            queue = self._queues[name] = []
+        if not queue:
+            if not self._round:
+                # The rotation restarts: the newcomer's visit is fresh.
+                self._fresh_visit = True
+            self._round.append(name)
+        heapq.heappush(queue, (priority, next(self._seq), token))
+        self._size += 1
+
+    def _advance(self) -> str | None:
+        """Rotate (topping deficits up per visit) until the head can admit.
+
+        Idempotent once settled -- the head keeps a deficit >= 1 until
+        :meth:`pop` spends it -- so blocked waiters may re-check
+        :meth:`peek` freely.  With every active weight below one a full
+        rotation can end fruitless; the arithmetic fast-forward then
+        banks the exact number of whole rotations still needed, keeping
+        this O(active tenants) whatever the weights.
+        """
+        if not self._round:
+            return None
+        fruitless = 0
+        while True:
+            head = self._round[0]
+            if self._fresh_visit:
+                self._deficit[head] = self._deficit.get(head, 0.0) + self.weight_of(
+                    head
+                )
+                self._fresh_visit = False
+            if self._deficit[head] >= 1.0 - self.EPSILON:
+                return head
+            self._round.rotate(-1)
+            self._fresh_visit = True
+            fruitless += 1
+            if fruitless >= len(self._round):
+                # A whole pass crossed nobody over the unit threshold, so
+                # every further pass just adds each tenant's weight once.
+                # Bank all but the last such pass arithmetically, then scan
+                # that final pass visit-by-visit: exact (during the banked
+                # passes every deficit provably stays below one) and the
+                # first argmin tenant crosses when visited.
+                passes = min(
+                    math.ceil(
+                        (1.0 - self.EPSILON - self._deficit.get(name, 0.0))
+                        / self.weight_of(name)
+                    )
+                    for name in self._round
+                )
+                if passes > 1:
+                    for name in self._round:
+                        self._deficit[name] = self._deficit.get(name, 0.0) + (
+                            passes - 1
+                        ) * self.weight_of(name)
+                self._fresh_visit = True
+                fruitless = 0
+
+    def peek(self) -> object | None:
+        """The token :meth:`pop` would admit next, without admitting it.
+
+        Stable between mutations: blocked waiters can re-check whether
+        they are at the gate after every wakeup.
+        """
+        head = self._advance()
+        if head is None:
+            return None
+        return self._queues[head][0][2]
+
+    def pop(self) -> object | None:
+        """Admit and return the next token in weighted-fair order."""
+        head = self._advance()
+        if head is None:
+            return None
+        queue = self._queues[head]
+        _, _, token = heapq.heappop(queue)
+        self._size -= 1
+        self._deficit[head] -= 1.0
+        if not queue:
+            # An emptied queue leaves the rotation and forfeits leftover
+            # deficit -- idle tenants must not bank credit (classic DRR).
+            self._round.popleft()
+            self._deficit[head] = 0.0
+            self._fresh_visit = True
+        elif self._deficit[head] < 1.0 - self.EPSILON:
+            # Visit exhausted: the rotation moves on.
+            self._round.rotate(-1)
+            self._fresh_visit = True
+        return token
+
+    def backlog(self, tenant: str) -> int:
+        """Waiting tokens queued for ``tenant``."""
+        return len(self._queues.get(tenant, ()))
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class TenantBudget:
+    """One tenant's admission allowances: pacing budgets and hard quotas.
+
+    Two layers, both optional:
+
+    * **Rate budgets** -- per-tenant requests/min and tokens/min
+      :class:`PacingBucket` pairs.  Like the scheduler's per-model
+      buckets they answer "how long must this request wait to conform",
+      and the wait is charged to the tenant's virtual clock.
+    * **Quotas** -- cumulative request/token caps.  Exhausting one
+      raises :class:`~repro.errors.QuotaExceededError` *before* any
+      budget is spent; the gateway surfaces it as HTTP 429 with the
+      offending resource named.
+    """
+
+    __slots__ = (
+        "tenant",
+        "request_bucket",
+        "token_bucket",
+        "max_requests",
+        "max_tokens",
+        "used_requests",
+        "used_tokens",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        tenant: str,
+        requests_per_minute: float | None = None,
+        tokens_per_minute: float | None = None,
+        burst: int = 4,
+        max_requests: int | None = None,
+        max_tokens: int | None = None,
+    ) -> None:
+        if max_requests is not None and max_requests < 0:
+            raise ConfigError("max_requests must be >= 0 (or None)")
+        if max_tokens is not None and max_tokens < 0:
+            raise ConfigError("max_tokens must be >= 0 (or None)")
+        self.tenant = tenant
+        self.request_bucket = (
+            PacingBucket(requests_per_minute / 60.0, float(burst))
+            if requests_per_minute is not None
+            else None
+        )
+        self.token_bucket = (
+            PacingBucket(tokens_per_minute / 60.0, float(burst * 256))
+            if tokens_per_minute is not None
+            else None
+        )
+        self.max_requests = max_requests
+        self.max_tokens = max_tokens
+        self.used_requests = 0
+        self.used_tokens = 0
+        self._lock = threading.Lock()
+
+    def reserve(self, arrival: float, tokens: int = 0) -> float:
+        """Reserve pacing capacity; the virtual wait the caller charges."""
+        wait = 0.0
+        if self.request_bucket is not None:
+            wait = max(wait, self.request_bucket.reserve(arrival))
+        if self.token_bucket is not None and tokens > 0:
+            wait = max(wait, self.token_bucket.reserve(arrival, float(tokens)))
+        return wait
+
+    def charge_quota(self, tokens: int = 0) -> None:
+        """Consume one request (and ``tokens``) of quota, or refuse.
+
+        All-or-nothing under the lock: a refused request consumes
+        nothing, and concurrent charges can never overshoot a cap.
+        """
+        with self._lock:
+            if (
+                self.max_requests is not None
+                and self.used_requests + 1 > self.max_requests
+            ):
+                raise QuotaExceededError(
+                    f"tenant {self.tenant!r} exhausted its request quota "
+                    f"({self.used_requests}/{self.max_requests})",
+                    tenant=self.tenant,
+                    resource="requests",
+                    used=self.used_requests,
+                    limit=self.max_requests,
+                )
+            if (
+                self.max_tokens is not None
+                and self.used_tokens + tokens > self.max_tokens
+            ):
+                raise QuotaExceededError(
+                    f"tenant {self.tenant!r} exhausted its token quota "
+                    f"({self.used_tokens}+{tokens}>{self.max_tokens})",
+                    tenant=self.tenant,
+                    resource="tokens",
+                    used=self.used_tokens,
+                    limit=self.max_tokens,
+                )
+            self.used_requests += 1
+            self.used_tokens += tokens
+
+    def snapshot(self) -> dict[str, float | None]:
+        """Quota usage as plain data (for ``/metrics`` and inspection)."""
+        with self._lock:
+            return {
+                "used_requests": self.used_requests,
+                "max_requests": self.max_requests,
+                "used_tokens": self.used_tokens,
+                "max_tokens": self.max_tokens,
+            }
+
+
+class WeightedFairTurnstile(_PriorityTurnstile):
+    """A :class:`_PriorityTurnstile` that is fair *across tenants*.
+
+    The plain turnstile orders contenders by ``(priority, arrival)`` --
+    correct for one workload, but a multi-tenant gateway sharing it
+    would let one hot tenant's 9 000 queued requests starve everyone
+    else's 10.  This subclass keeps the same ``acquire``/``release``
+    interface (the scheduler calls it unchanged) and replaces the single
+    heap with weighted deficit round-robin across tenant lanes
+    (:class:`DeficitRoundRobin`): within a tenant, ``(priority,
+    arrival)`` order still holds; across tenants, admissions interleave
+    in proportion to configured weights, so a backlogged light tenant is
+    never more than one DRR rotation away from the gate.
+
+    The calling thread's tenant comes from the ambient
+    :func:`admission_tenant` context (the gateway sets it per request);
+    unattributed callers share the default lane.  Per-tenant
+    :class:`TenantBudget` allowances -- rpm/tpm pacing and cumulative
+    quotas -- ride on the same object so one ``configure_tenant`` call
+    describes a tenant completely.
+    """
+
+    def __init__(self, default_weight: float = 1.0) -> None:
+        self._cond = threading.Condition()
+        self._busy = False
+        self._drr = DeficitRoundRobin(default_weight)
+        self._budgets: dict[str, TenantBudget] = {}
+        #: Admissions granted per tenant (monotonic; for fairness audits).
+        self.admitted: dict[str, int] = {}
+
+    def configure_tenant(
+        self,
+        name: str,
+        weight: float = 1.0,
+        requests_per_minute: float | None = None,
+        tokens_per_minute: float | None = None,
+        burst: int = 4,
+        max_requests: int | None = None,
+        max_tokens: int | None = None,
+    ) -> TenantBudget:
+        """Register ``name``'s fair-share weight and admission allowances."""
+        with self._cond:
+            self._drr.set_weight(name, weight)
+            budget = TenantBudget(
+                name,
+                requests_per_minute=requests_per_minute,
+                tokens_per_minute=tokens_per_minute,
+                burst=burst,
+                max_requests=max_requests,
+                max_tokens=max_tokens,
+            )
+            self._budgets[name] = budget
+            return budget
+
+    def budget_for(self, name: str | None) -> TenantBudget | None:
+        """The :class:`TenantBudget` of ``name``, or ``None``."""
+        if name is None:
+            return None
+        with self._cond:
+            return self._budgets.get(name)
+
+    def acquire(self, priority: int = 0, tenant: str | None = None) -> None:
+        """Wait for the gate in weighted-fair order across tenants.
+
+        ``tenant`` defaults to the ambient :func:`admission_tenant`
+        binding, which is how the scheduler's unchanged
+        ``turnstile.acquire(priority)`` call sites become tenant-aware.
+        """
+        name = tenant if tenant is not None else current_admission_tenant()
+        token = object()
+        with self._cond:
+            self._drr.enqueue(name, token, priority)
+            while self._busy or self._drr.peek() is not token:
+                self._cond.wait()
+            popped = self._drr.pop()
+            assert popped is token
+            self._busy = True
+            lane = name if name is not None else DeficitRoundRobin.DEFAULT_TENANT
+            self.admitted[lane] = self.admitted.get(lane, 0) + 1
+
+    # release() is inherited: open the gate, wake every waiter, and the
+    # one DRR now favours proceeds.
+
+    def reserve_budget(
+        self, tenant: str | None, arrival: float, tokens: int = 0
+    ) -> float:
+        """Pacing wait ``tenant`` must charge before issuing (0.0 if none)."""
+        budget = self.budget_for(tenant)
+        if budget is None:
+            return 0.0
+        return budget.reserve(arrival, tokens)
+
+    def charge_quota(self, tenant: str | None, tokens: int = 0) -> None:
+        """Consume quota for one request, raising when exhausted."""
+        budget = self.budget_for(tenant)
+        if budget is not None:
+            budget.charge_quota(tokens)
+
+    def quota_snapshot(self) -> dict[str, dict[str, float | None]]:
+        """Every configured tenant's quota usage, keyed by tenant name."""
+        with self._cond:
+            budgets = list(self._budgets.values())
+        return {budget.tenant: budget.snapshot() for budget in budgets}
 
 
 class BatchRequest:
@@ -697,9 +1102,13 @@ class RequestScheduler:
     paths alike.
     """
 
-    def __init__(self, policy: SchedulerPolicy | None = None) -> None:
+    def __init__(
+        self,
+        policy: SchedulerPolicy | None = None,
+        turnstile: _PriorityTurnstile | None = None,
+    ) -> None:
         self.policy = policy or SchedulerPolicy()
-        self._turnstile = _PriorityTurnstile()
+        self._turnstile = turnstile or _PriorityTurnstile()
         self._request_buckets: dict[str, PacingBucket] = {}
         self._token_buckets: dict[str, PacingBucket] = {}
         self._adaptive: dict[str, AdaptiveConcurrency] = {}
@@ -713,6 +1122,21 @@ class RequestScheduler:
     def window(self) -> "_BatchWindow | None":
         """The open batch window, or ``None`` (see :meth:`batch_window`)."""
         return self._window
+
+    @property
+    def turnstile(self) -> _PriorityTurnstile:
+        """The admission turnstile ordering contending requests."""
+        return self._turnstile
+
+    def set_turnstile(self, turnstile: _PriorityTurnstile) -> None:
+        """Swap the admission turnstile (before traffic flows).
+
+        The serving gateway gives every tenant its own scheduler --
+        per-model pacing and AIMD state stay isolated -- while all of
+        them share one :class:`WeightedFairTurnstile`, so admission
+        order is weighted-fair *across* tenants.
+        """
+        self._turnstile = turnstile
 
     @contextlib.contextmanager
     def batch_window(self, expected: int, workers: int) -> Iterator["_BatchWindow | None"]:

@@ -242,6 +242,32 @@ class DeadlineExceededError(AskItError):
         self.projected_s = projected_s
 
 
+class QuotaExceededError(AskItError):
+    """A tenant's cumulative request or token quota is exhausted.
+
+    Raised by the serving gateway's admission layer
+    (:class:`~repro.core.scheduler.WeightedFairTurnstile`) before any
+    budget is spent; unlike :class:`RateLimitError` this is not a pacing
+    problem that waiting cures -- the tenant's allowance is gone until an
+    operator raises it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tenant: str = "",
+        resource: str = "requests",
+        used: float = 0.0,
+        limit: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        #: ``"requests"`` or ``"tokens"`` -- which allowance ran out.
+        self.resource = resource
+        self.used = used
+        self.limit = limit
+
+
 class SolverError(AskItError):
     """The simulated LLM could not understand or solve a task."""
 

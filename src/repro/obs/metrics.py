@@ -102,8 +102,15 @@ class Instrument:
         """Drop every series (subclasses hold the storage)."""
         raise NotImplementedError
 
-    def prometheus_lines(self) -> list[str]:
-        """This instrument rendered in the Prometheus text format."""
+    def prometheus_lines(
+        self, extra: tuple[tuple[str, str], ...] = ()
+    ) -> list[str]:
+        """This instrument rendered in the Prometheus text format.
+
+        ``extra`` label pairs are appended to every series -- how the
+        serving gateway stamps one tenant's registry with its
+        ``tenant="..."`` label at scrape time.
+        """
         raise NotImplementedError
 
     def _header(self) -> list[str]:
@@ -168,13 +175,16 @@ class Counter(Instrument):
         with self._lock:
             self._series.clear()
 
-    def prometheus_lines(self) -> list[str]:
+    def prometheus_lines(
+        self, extra: tuple[tuple[str, str], ...] = ()
+    ) -> list[str]:
         """Render ``name{labels} value`` lines, sorted for stable diffs."""
         lines = self._header()
-        for key in sorted(self.series()):
+        series = self.series()
+        for key in sorted(series):
             lines.append(
-                f"{self.name}{_format_labels(key)} "
-                f"{_format_value(self._series.get(key, 0.0))}"
+                f"{self.name}{_format_labels(key, extra)} "
+                f"{_format_value(series[key])}"
             )
         return lines
 
@@ -214,12 +224,17 @@ class Gauge(Instrument):
         with self._lock:
             self._series.clear()
 
-    def prometheus_lines(self) -> list[str]:
+    def prometheus_lines(
+        self, extra: tuple[tuple[str, str], ...] = ()
+    ) -> list[str]:
         """Render ``name{labels} value`` lines, sorted for stable diffs."""
         lines = self._header()
         series = self.series()
         for key in sorted(series):
-            lines.append(f"{self.name}{_format_labels(key)} {_format_value(series[key])}")
+            lines.append(
+                f"{self.name}{_format_labels(key, extra)} "
+                f"{_format_value(series[key])}"
+            )
         return lines
 
 
@@ -340,7 +355,9 @@ class Histogram(Instrument):
         with self._lock:
             self._series.clear()
 
-    def prometheus_lines(self) -> list[str]:
+    def prometheus_lines(
+        self, extra: tuple[tuple[str, str], ...] = ()
+    ) -> list[str]:
         """Cumulative ``_bucket``/``_sum``/``_count`` lines per series."""
         lines = self._header()
         with self._lock:
@@ -349,16 +366,20 @@ class Histogram(Instrument):
                 cumulative = 0
                 for bound, held in zip(self.bounds, series.bucket_counts):
                     cumulative += held
-                    labels = _format_labels(key, (("le", _format_value(bound)),))
+                    labels = _format_labels(
+                        key, (*extra, ("le", _format_value(bound)))
+                    )
                     lines.append(f"{self.name}_bucket{labels} {cumulative}")
                 cumulative += series.bucket_counts[-1]
-                labels = _format_labels(key, (("le", "+Inf"),))
+                labels = _format_labels(key, (*extra, ("le", "+Inf")))
                 lines.append(f"{self.name}_bucket{labels} {cumulative}")
                 lines.append(
-                    f"{self.name}_sum{_format_labels(key)} "
+                    f"{self.name}_sum{_format_labels(key, extra)} "
                     f"{_format_value(series.total)}"
                 )
-                lines.append(f"{self.name}_count{_format_labels(key)} {series.count}")
+                lines.append(
+                    f"{self.name}_count{_format_labels(key, extra)} {series.count}"
+                )
         return lines
 
 
@@ -420,11 +441,18 @@ class MetricsRegistry:
         for instrument in self.instruments():
             instrument.reset()
 
-    def prometheus_text(self) -> str:
-        """The whole registry in the Prometheus text exposition format."""
+    def prometheus_text(self, extra_labels: Mapping[str, Any] | None = None) -> str:
+        """The whole registry in the Prometheus text exposition format.
+
+        ``extra_labels`` are stamped onto every series -- the serving
+        gateway renders each tenant's registry with
+        ``extra_labels={"tenant": name}``, so one scrape carries every
+        tenant's counters as distinct label sets of the same metrics.
+        """
+        extra = label_key(extra_labels) if extra_labels else ()
         lines: list[str] = []
         for instrument in self.instruments():
-            lines.extend(instrument.prometheus_lines())
+            lines.extend(instrument.prometheus_lines(extra))
         return "\n".join(lines) + ("\n" if lines else "")
 
     def snapshot(self) -> dict[str, Any]:

@@ -1,0 +1,50 @@
+"""``repro.serve``: the multi-tenant serving gateway.
+
+Turns the single-process AskIt runtime into a service: an ASGI app
+(:class:`GatewayApp`) exposing ``/v1/ask``, ``/v1/map``, ``/healthz``,
+and ``/metrics``; a tenant model (:class:`TenantSpec` /
+:class:`TenantRegistry`) where every API key owns an isolated session
+pool but all tenants share one weighted-fair admission turnstile; a
+hermetic stdlib test client (:class:`ASGITestClient`); and a
+deterministic virtual-time load generator (:class:`LoadGenerator`) that
+proves the fairness guarantees at 10k-request scale.  See
+``docs/serving.md``.
+"""
+
+from repro.serve.app import (
+    COMPLETION_TOKEN_ESTIMATE,
+    TYPE_ALIASES,
+    GatewayApp,
+    estimate_request_tokens,
+    resolve_wire_type,
+)
+from repro.serve.loadgen import (
+    DISCIPLINES,
+    FairnessReport,
+    LoadGenerator,
+    RequestRecord,
+    TenantLoad,
+    skewed_mix,
+)
+from repro.serve.tenants import TenantRegistry, TenantRuntime, TenantSpec
+from repro.serve.testclient import ASGITestClient, Response, run_lifespan
+
+__all__ = [
+    "ASGITestClient",
+    "COMPLETION_TOKEN_ESTIMATE",
+    "DISCIPLINES",
+    "FairnessReport",
+    "GatewayApp",
+    "LoadGenerator",
+    "RequestRecord",
+    "Response",
+    "TenantLoad",
+    "TenantRegistry",
+    "TenantRuntime",
+    "TenantSpec",
+    "TYPE_ALIASES",
+    "estimate_request_tokens",
+    "resolve_wire_type",
+    "run_lifespan",
+    "skewed_mix",
+]

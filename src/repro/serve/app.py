@@ -1,0 +1,431 @@
+"""The serving gateway: a zero-dependency ASGI application.
+
+``GatewayApp`` is a plain ASGI 3 callable -- run it under uvicorn,
+hypercorn, daphne, or (hermetically, as the test suite does) the stdlib
+:class:`~repro.serve.testclient.ASGITestClient`.  Endpoints:
+
+``POST /v1/ask``
+    One typed question.  Body: ``{"type": "number", "template":
+    "{{a}} + {{b}}?", "args": {"a": 2, "b": 3}}``.  ``"stream": true``
+    switches the response to NDJSON event lines (``accepted`` then
+    ``result``) so callers see admission before completion.
+``POST /v1/map``
+    A batch over ``"items"`` (a list of args bindings), streamed back as
+    one NDJSON line per item in input order plus a trailing summary.
+``GET /healthz``
+    Liveness + tenant census.  Unauthenticated.
+``GET /metrics``
+    Prometheus text: the gateway's own registry plus every tenant
+    session's registry stamped with a ``tenant`` label.  Because the
+    per-tenant series are rendered from the same
+    :class:`~repro.llm.client.ClientStats` registry the sessions write,
+    the scrape matches the in-process stats by construction.
+
+Authentication is an ``x-api-key`` header resolved through the
+:class:`~repro.serve.tenants.TenantRegistry`; admission is weighted-fair
+(see :class:`~repro.core.scheduler.WeightedFairTurnstile`), with
+per-tenant rate budgets charged to the tenant's virtual clock and
+cumulative quotas answered with HTTP 429.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Awaitable, Callable, Mapping
+
+import repro.types as t
+from repro.core.scheduler import admission_tenant
+from repro.errors import (
+    AskItError,
+    QuotaExceededError,
+    TemplateError,
+    TypeSyntaxError,
+)
+from repro.llm.tokenizer import count_tokens
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.tenants import TenantRegistry, TenantRuntime
+from repro.types import parse_type
+
+#: Python-flavoured aliases accepted in the wire ``"type"`` field next to
+#: the TypeScript syntax ``parse_type`` understands ("number", "string",
+#: "{name: string}[]", ...).
+TYPE_ALIASES: Mapping[str, Any] = {
+    "int": t.int,
+    "float": t.float,
+    "str": t.str,
+    "bool": t.bool,
+}
+
+#: Flat completion-token allowance added to every request's token
+#: estimate (the prompt side is counted from the actual text).
+COMPLETION_TOKEN_ESTIMATE = 64
+
+_JSON = "application/json"
+_NDJSON = "application/x-ndjson"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+Send = Callable[[Mapping[str, Any]], Awaitable[None]]
+Receive = Callable[[], Awaitable[Mapping[str, Any]]]
+
+
+class _HTTPError(Exception):
+    """Internal short-circuit carrying a ready-to-send error response."""
+
+    def __init__(self, status: int, message: str, **extra: Any) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = {"error": message, **extra}
+
+
+def resolve_wire_type(text: str) -> Any:
+    """Map a wire ``"type"`` string to a :mod:`repro.types` type object."""
+    alias = TYPE_ALIASES.get(text.strip())
+    if alias is not None:
+        return alias
+    return parse_type(text)
+
+
+def estimate_request_tokens(template: str, args: Mapping[str, Any]) -> int:
+    """Token cost estimate used for TPM budgets and token quotas."""
+    prompt = count_tokens(template) + sum(
+        count_tokens(str(value)) for value in args.values()
+    )
+    return prompt + COMPLETION_TOKEN_ESTIMATE
+
+
+class GatewayApp:
+    """Multi-tenant ASGI front end over per-tenant AskIt sessions."""
+
+    def __init__(self, registry: TenantRegistry) -> None:
+        self.registry = registry
+        #: Gateway-level metrics (request counts, admission waits); the
+        #: per-tenant LLM metrics live on each tenant's own registry.
+        self.metrics = MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "askit_gateway_requests_total",
+            "Gateway HTTP requests by tenant, route, and status.",
+        )
+        self._admission_wait = self.metrics.histogram(
+            "askit_gateway_admission_wait_seconds",
+            "Virtual seconds requests waited for rate budget at admission.",
+        )
+        self._inflight = self.metrics.gauge(
+            "askit_gateway_inflight_requests",
+            "Requests currently executing, by tenant.",
+        )
+
+    # ----- ASGI plumbing --------------------------------------------------
+
+    async def __call__(
+        self, scope: Mapping[str, Any], receive: Receive, send: Send
+    ) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":  # pragma: no cover - websockets etc.
+            raise RuntimeError(f"unsupported ASGI scope {scope['type']!r}")
+        method = scope["method"].upper()
+        path = scope["path"]
+        headers = {
+            key.decode("latin-1").lower(): value.decode("latin-1")
+            for key, value in scope.get("headers", ())
+        }
+        tenant_label = "-"
+        try:
+            if path == "/healthz" and method == "GET":
+                await self._send_json(send, 200, self._health())
+                status = 200
+            elif path == "/metrics" and method == "GET":
+                await self._send_text(send, 200, self._render_metrics(), _PROM)
+                status = 200
+            elif path in ("/v1/ask", "/v1/map"):
+                if method != "POST":
+                    raise _HTTPError(405, f"{path} only accepts POST")
+                runtime = self._authenticate(headers)
+                tenant_label = runtime.name
+                body = await self._read_json(receive)
+                if path == "/v1/ask":
+                    status = await self._handle_ask(runtime, body, send)
+                else:
+                    status = await self._handle_map(runtime, body, send)
+            else:
+                raise _HTTPError(404, f"no route for {method} {path}")
+        except _HTTPError as exc:
+            await self._send_json(send, exc.status, exc.payload)
+            status = exc.status
+        self._requests.inc(tenant=tenant_label, route=path, status=str(status))
+
+    async def _lifespan(self, receive: Receive, send: Send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    async def _read_json(self, receive: Receive) -> dict[str, Any]:
+        chunks: list[bytes] = []
+        while True:
+            message = await receive()
+            if message["type"] != "http.request":  # pragma: no cover
+                raise _HTTPError(400, "unexpected ASGI message during body read")
+            chunks.append(message.get("body", b""))
+            if not message.get("more_body", False):
+                break
+        raw = b"".join(chunks)
+        if not raw:
+            raise _HTTPError(400, "request body must be a JSON object")
+        try:
+            body = json.loads(raw)
+        except ValueError as exc:
+            raise _HTTPError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(body, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        return body
+
+    async def _send_json(
+        self, send: Send, status: int, payload: Mapping[str, Any]
+    ) -> None:
+        await self._send_text(send, status, json.dumps(payload), _JSON)
+
+    async def _send_text(
+        self, send: Send, status: int, text: str, content_type: str
+    ) -> None:
+        body = text.encode("utf-8")
+        await send(
+            {
+                "type": "http.response.start",
+                "status": status,
+                "headers": [
+                    (b"content-type", content_type.encode("latin-1")),
+                    (b"content-length", str(len(body)).encode("latin-1")),
+                ],
+            }
+        )
+        await send({"type": "http.response.body", "body": body})
+
+    async def _start_stream(self, send: Send, status: int = 200) -> None:
+        await send(
+            {
+                "type": "http.response.start",
+                "status": status,
+                "headers": [(b"content-type", _NDJSON.encode("latin-1"))],
+            }
+        )
+
+    async def _stream_line(self, send: Send, payload: Mapping[str, Any]) -> None:
+        await send(
+            {
+                "type": "http.response.body",
+                "body": (json.dumps(payload) + "\n").encode("utf-8"),
+                "more_body": True,
+            }
+        )
+
+    async def _end_stream(self, send: Send) -> None:
+        await send({"type": "http.response.body", "body": b""})
+
+    # ----- request handling -----------------------------------------------
+
+    def _authenticate(self, headers: Mapping[str, str]) -> TenantRuntime:
+        runtime = self.registry.authenticate(headers.get("x-api-key"))
+        if runtime is None:
+            raise _HTTPError(401, "unknown or missing x-api-key")
+        return runtime
+
+    def _parse_task(
+        self, body: Mapping[str, Any]
+    ) -> tuple[Any, str, dict[str, Any]]:
+        template = body.get("template")
+        if not isinstance(template, str) or not template:
+            raise _HTTPError(400, 'request needs a non-empty "template" string')
+        args = body.get("args", {})
+        if not isinstance(args, dict):
+            raise _HTTPError(400, '"args" must be an object')
+        type_text = body.get("type", "string")
+        if not isinstance(type_text, str):
+            raise _HTTPError(400, '"type" must be a string')
+        try:
+            return_type = resolve_wire_type(type_text)
+        except TypeSyntaxError as exc:
+            raise _HTTPError(400, f"bad type {type_text!r}: {exc}")
+        return return_type, template, args
+
+    def _admit(self, runtime: TenantRuntime, tokens: int) -> float:
+        """Charge quota and rate budget; the returned wait is already
+        charged to the tenant's virtual clock."""
+        turnstile = self.registry.turnstile
+        try:
+            turnstile.charge_quota(runtime.name, tokens=tokens)
+        except QuotaExceededError as exc:
+            raise _HTTPError(
+                429,
+                str(exc),
+                tenant=exc.tenant,
+                resource=exc.resource,
+                used=exc.used,
+                limit=exc.limit,
+            )
+        clock = runtime.session.clock
+        wait = turnstile.reserve_budget(runtime.name, clock.now(), tokens=tokens)
+        if wait > 0.0:
+            clock.charge(wait)
+            runtime.session.stats.record_throttle(runtime.config.model, wait)
+        self._admission_wait.observe(wait, tenant=runtime.name)
+        return wait
+
+    def _execute_ask(
+        self,
+        runtime: TenantRuntime,
+        return_type: Any,
+        template: str,
+        args: dict[str, Any],
+    ) -> Any:
+        with runtime.checkout() as session:
+            with admission_tenant(runtime.name):
+                return session.ask(return_type, template, **args)
+
+    async def _handle_ask(
+        self, runtime: TenantRuntime, body: Mapping[str, Any], send: Send
+    ) -> int:
+        return_type, template, args = self._parse_task(body)
+        wait = self._admit(runtime, estimate_request_tokens(template, args))
+        stream = bool(body.get("stream", False))
+        self._inflight.add(1.0, tenant=runtime.name)
+        try:
+            if stream:
+                await self._start_stream(send)
+                await self._stream_line(
+                    send,
+                    {"event": "accepted", "tenant": runtime.name, "wait_s": wait},
+                )
+            try:
+                value = await asyncio.to_thread(
+                    self._execute_ask, runtime, return_type, template, args
+                )
+            except AskItError as exc:
+                if stream:
+                    await self._stream_line(
+                        send,
+                        {"event": "error", "error": str(exc),
+                         "kind": type(exc).__name__},
+                    )
+                    await self._end_stream(send)
+                    return 200
+                status = 400 if isinstance(exc, TemplateError) else 502
+                raise _HTTPError(status, str(exc), kind=type(exc).__name__)
+            payload = {
+                "tenant": runtime.name,
+                "value": value,
+                "wait_s": wait,
+                "virtual_s": round(runtime.session.clock.now(), 6),
+            }
+            if stream:
+                await self._stream_line(send, {"event": "result", **payload})
+                await self._end_stream(send)
+            else:
+                await self._send_json(send, 200, payload)
+            return 200
+        finally:
+            self._inflight.add(-1.0, tenant=runtime.name)
+
+    def _execute_map(
+        self,
+        runtime: TenantRuntime,
+        return_type: Any,
+        template: str,
+        items: list[dict[str, Any]],
+        max_concurrency: int,
+    ) -> Any:
+        with runtime.checkout() as session:
+            with admission_tenant(runtime.name):
+                fn = session.define(return_type, template)
+                return fn.map(items, max_concurrency=max_concurrency)
+
+    async def _handle_map(
+        self, runtime: TenantRuntime, body: Mapping[str, Any], send: Send
+    ) -> int:
+        return_type, template, _ = self._parse_task(body)
+        items = body.get("items")
+        if not isinstance(items, list) or not all(
+            isinstance(item, dict) for item in items
+        ):
+            raise _HTTPError(400, '"items" must be a list of args objects')
+        max_concurrency = body.get("max_concurrency", 8)
+        if not isinstance(max_concurrency, int) or max_concurrency < 1:
+            raise _HTTPError(400, '"max_concurrency" must be a positive integer')
+        tokens = sum(estimate_request_tokens(template, item) for item in items)
+        wait = self._admit(runtime, tokens)
+        self._inflight.add(1.0, tenant=runtime.name)
+        try:
+            result = await asyncio.to_thread(
+                self._execute_map,
+                runtime,
+                return_type,
+                template,
+                list(items),
+                max_concurrency,
+            )
+        except AskItError as exc:
+            raise _HTTPError(502, str(exc), kind=type(exc).__name__)
+        finally:
+            self._inflight.add(-1.0, tenant=runtime.name)
+        await self._start_stream(send)
+        for outcome in result.outcomes:
+            line: dict[str, Any] = {"index": outcome.index, "ok": outcome.ok}
+            if outcome.ok:
+                line["value"] = outcome.value
+            else:
+                line["error"] = str(outcome.error)
+                line["kind"] = type(outcome.error).__name__
+            await self._stream_line(send, line)
+        await self._stream_line(
+            send,
+            {
+                "event": "summary",
+                "tenant": runtime.name,
+                "items": len(result),
+                "failures": len(result.failures),
+                "wait_s": wait,
+                "wall_s": round(result.wall_s, 6),
+            },
+        )
+        await self._end_stream(send)
+        return 200
+
+    # ----- observability --------------------------------------------------
+
+    def _health(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "tenants": [runtime.snapshot() for runtime in self.registry.tenants()],
+            "admitted": dict(self.registry.turnstile.admitted),
+        }
+
+    def _render_metrics(self) -> str:
+        """Gateway + per-tenant Prometheus text with deduplicated headers.
+
+        Rendering each tenant session's *own* registry (stamped with a
+        ``tenant`` label at scrape time) is what makes the scrape agree
+        with ``ClientStats`` by construction -- there is no second set of
+        counters to drift.
+        """
+        sections: list[str] = [self.metrics.prometheus_text()]
+        for runtime in self.registry.tenants():
+            sections.append(
+                runtime.session.stats.registry.prometheus_text(
+                    extra_labels={"tenant": runtime.name}
+                )
+            )
+        seen_headers: set[str] = set()
+        lines: list[str] = []
+        for section in sections:
+            for line in section.splitlines():
+                if line.startswith("#"):
+                    if line in seen_headers:
+                        continue
+                    seen_headers.add(line)
+                lines.append(line)
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,219 @@
+"""Tenant model for the serving gateway.
+
+A *tenant* is one API-key-holding customer of the gateway.  Each tenant
+owns an isolated :class:`~repro.core.session.Session` pool -- its own
+:class:`~repro.core.config.Config`, :class:`~repro.llm.client.ChatClient`
+(and with it stats, virtual clock, and telemetry) -- so no tenant can
+observe or perturb another tenant's accounting.  What tenants *share* is
+admission: every tenant session's scheduler is rewired (via
+:meth:`~repro.core.scheduler.RequestScheduler.set_turnstile`) onto one
+process-wide :class:`~repro.core.scheduler.WeightedFairTurnstile`, which
+arbitrates dispatch slots by weighted deficit round robin and enforces
+per-tenant rate budgets and quotas.
+
+::
+
+    registry = TenantRegistry()
+    registry.add(TenantSpec("acme", api_key="sk-acme", weight=3.0))
+    registry.add(TenantSpec("beta", api_key="sk-beta", weight=1.0))
+    runtime = registry.authenticate("sk-acme")
+    with runtime.checkout() as session:
+        session.ask(t.int, "{{a}} + {{b}}?", a=2, b=3)
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import contextlib
+
+from repro.core.config import Config
+from repro.core.scheduler import TenantBudget, WeightedFairTurnstile
+from repro.core.session import Session
+from repro.errors import ConfigError
+from repro.llm.client import ChatClient
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declarative description of one tenant.
+
+    ``weight`` is the tenant's fair share: under contention a tenant with
+    weight 3 is admitted three times for every admission of a weight-1
+    tenant.  ``requests_per_minute`` / ``tokens_per_minute`` cap the
+    tenant's *rate* (GCRA pacing, waits cure it); ``max_requests`` /
+    ``max_tokens`` cap the tenant's *cumulative quota* (HTTP 429, only an
+    operator cures it).  ``pool_size`` bounds the tenant's in-process
+    concurrency.
+    """
+
+    name: str
+    api_key: str
+    weight: float = 1.0
+    model: str | None = None
+    requests_per_minute: float | None = None
+    tokens_per_minute: float | None = None
+    max_requests: int | None = None
+    max_tokens: int | None = None
+    pool_size: int = 4
+    priority: int = 0
+    config_overrides: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if not self.api_key:
+            raise ConfigError(f"tenant {self.name!r} needs a non-empty api_key")
+        if self.weight <= 0:
+            raise ConfigError(f"tenant {self.name!r} weight must be > 0")
+        if self.pool_size < 1:
+            raise ConfigError(f"tenant {self.name!r} pool_size must be >= 1")
+
+
+class TenantRuntime:
+    """Live state for one tenant: session pool + budget handle.
+
+    All sessions in the pool share one isolated config (hence one client,
+    one stats object, one virtual clock) so the tenant's accounting is a
+    single coherent surface; the pool itself is the tenant's concurrency
+    bound.  Check sessions out with :meth:`checkout` -- it blocks when the
+    pool is exhausted, which is deliberate back-pressure.
+    """
+
+    def __init__(self, spec: TenantSpec, config: Config, budget: TenantBudget) -> None:
+        self.spec = spec
+        self.config = config
+        self.budget = budget
+        self._sessions: "queue.LifoQueue[Session]" = queue.LifoQueue()
+        for _ in range(spec.pool_size):
+            self._sessions.put(Session(config))
+        # Any pooled session exposes the shared client/stats/clock.
+        self._probe = Session(config)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def session(self) -> Session:
+        """A read-only view session (shared stats/clock/telemetry)."""
+        return self._probe
+
+    @contextlib.contextmanager
+    def checkout(self, timeout: float | None = None) -> Iterator[Session]:
+        """Borrow a pooled session; blocks until one is free."""
+        session = self._sessions.get(timeout=timeout)
+        try:
+            yield session
+        finally:
+            self._sessions.put(session)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Operator-facing summary: spec knobs + live quota usage."""
+        stats = self._probe.stats
+        return {
+            "tenant": self.spec.name,
+            "weight": self.spec.weight,
+            "model": self.config.model,
+            "pool_size": self.spec.pool_size,
+            "calls": stats.calls,
+            "virtual_s": round(self._probe.clock.now(), 6),
+            "quota": self.budget.snapshot(),
+        }
+
+
+class TenantRegistry:
+    """API key -> tenant resolution plus the shared fairness turnstile.
+
+    The registry owns the one :class:`WeightedFairTurnstile` all tenant
+    schedulers share.  ``defaults`` are config keyword arguments applied
+    to every tenant (a spec's ``config_overrides`` win); the gateway's
+    hermetic tests use them to force simulated models and quiet noise.
+    """
+
+    def __init__(
+        self,
+        default_weight: float = 1.0,
+        noise_policy: Any | None = None,
+        **defaults: Any,
+    ) -> None:
+        self.turnstile = WeightedFairTurnstile(default_weight=default_weight)
+        #: Noise policy for the per-tenant clients this registry builds
+        #: (e.g. ``repro.llm.QUIET`` for exactly-one-call-per-request
+        #: accounting in tests); ``None`` keeps the simulated default.
+        self.noise_policy = noise_policy
+        self._defaults = dict(defaults)
+        self._defaults.setdefault("cache_dir", None)
+        self._defaults.setdefault("scheduler", "adaptive")
+        self._tenants: dict[str, TenantRuntime] = {}
+        self._by_key: dict[str, TenantRuntime] = {}
+        self._lock = threading.Lock()
+
+    def add(self, spec: TenantSpec) -> TenantRuntime:
+        """Register a tenant and build its isolated runtime."""
+        with self._lock:
+            if spec.name in self._tenants:
+                raise ConfigError(f"tenant {spec.name!r} already registered")
+            if spec.api_key in self._by_key:
+                raise ConfigError(
+                    f"api key for tenant {spec.name!r} collides with an existing tenant"
+                )
+            kwargs = dict(self._defaults)
+            kwargs.update(spec.config_overrides)
+            if spec.model is not None:
+                kwargs["model"] = spec.model
+            # The tenant's RPM/TPM limits are enforced once, at gateway
+            # admission (TenantBudget) -- not also as per-model pacing
+            # inside the session's scheduler, which would double-charge
+            # every wait.  Per-model pacing stays available through
+            # ``config_overrides``.
+            config = Config(**kwargs)
+            # Isolated client: Session(config) would build one lazily, but
+            # the registry wants it *now* so every pooled session shares
+            # it (one stats surface, one virtual clock per tenant).
+            if config._client is None:
+                config = config.replace(
+                    client=ChatClient(
+                        noise_policy=self.noise_policy,
+                        wire_policy=config.wire_policy,
+                    )
+                )
+            seed = Session(config)
+            config = seed.config
+            scheduler = config.request_scheduler
+            if scheduler is not None:
+                scheduler.set_turnstile(self.turnstile)
+            budget = self.turnstile.configure_tenant(
+                spec.name,
+                weight=spec.weight,
+                requests_per_minute=spec.requests_per_minute,
+                tokens_per_minute=spec.tokens_per_minute,
+                max_requests=spec.max_requests,
+                max_tokens=spec.max_tokens,
+            )
+            runtime = TenantRuntime(spec, config, budget)
+            self._tenants[spec.name] = runtime
+            self._by_key[spec.api_key] = runtime
+            return runtime
+
+    def authenticate(self, api_key: str | None) -> TenantRuntime | None:
+        """The tenant owning ``api_key``, or ``None`` (-> HTTP 401)."""
+        if not api_key:
+            return None
+        with self._lock:
+            return self._by_key.get(api_key)
+
+    def get(self, name: str) -> TenantRuntime | None:
+        with self._lock:
+            return self._tenants.get(name)
+
+    def tenants(self) -> list[TenantRuntime]:
+        with self._lock:
+            return list(self._tenants.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)

@@ -1,0 +1,186 @@
+"""A hermetic, stdlib-only ASGI test client.
+
+Drives any ASGI 3 application in-process -- no sockets, no server, no
+third-party HTTP stack -- so the gateway's tier-1 tests stay hermetic
+under the suite's socket-blocking fixture.  Each request runs the app
+coroutine to completion on a private event loop (``asyncio.run``), which
+also exercises the app's ``asyncio.to_thread`` offloading for real::
+
+    client = ASGITestClient(app)
+    response = client.post("/v1/ask", json={...}, headers={"x-api-key": key})
+    assert response.status == 200 and response.json()["value"] == 5
+
+Responses keep the individual body frames in ``chunks`` so streaming
+endpoints can be asserted frame-by-frame (``ndjson()`` parses them back
+into objects).  For concurrency tests, run ``client.post`` calls from a
+thread pool -- every call owns its loop, so calls are independent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json as jsonlib
+from typing import Any, Mapping
+
+
+class Response:
+    """One in-process HTTP exchange's outcome."""
+
+    def __init__(
+        self, status: int, headers: list[tuple[str, str]], chunks: list[bytes]
+    ) -> None:
+        self.status = status
+        #: Response headers, lower-cased names, in send order.
+        self.headers = headers
+        #: Individual ``http.response.body`` frames (empty frames dropped).
+        self.chunks = [chunk for chunk in chunks if chunk]
+        self.body = b"".join(chunks)
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def header(self, name: str) -> str | None:
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key == wanted:
+                return value
+        return None
+
+    def json(self) -> Any:
+        return jsonlib.loads(self.body)
+
+    def ndjson(self) -> list[Any]:
+        """Parse an NDJSON body back into a list of objects."""
+        return [
+            jsonlib.loads(line)
+            for line in self.text.splitlines()
+            if line.strip()
+        ]
+
+    def __repr__(self) -> str:
+        return f"Response(status={self.status}, bytes={len(self.body)})"
+
+
+class ASGITestClient:
+    """Synchronous facade over an ASGI 3 application."""
+
+    def __init__(self, app: Any) -> None:
+        self.app = app
+
+    # ----- convenience verbs ----------------------------------------------
+
+    def get(self, path: str, headers: Mapping[str, str] | None = None) -> Response:
+        return self.request("GET", path, headers=headers)
+
+    def post(
+        self,
+        path: str,
+        json: Any | None = None,
+        body: bytes | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> Response:
+        return self.request("POST", path, json=json, body=body, headers=headers)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        json: Any | None = None,
+        body: bytes | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> Response:
+        if json is not None:
+            body = jsonlib.dumps(json).encode("utf-8")
+            headers = {**(headers or {}), "content-type": "application/json"}
+        return asyncio.run(self._exchange(method, path, body or b"", headers or {}))
+
+    # ----- the exchange ---------------------------------------------------
+
+    async def _exchange(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Mapping[str, str],
+    ) -> Response:
+        if "?" in path:
+            path, _, query = path.partition("?")
+        else:
+            query = ""
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "scheme": "http",
+            "path": path,
+            "raw_path": path.encode("latin-1"),
+            "query_string": query.encode("latin-1"),
+            "root_path": "",
+            "headers": [
+                (key.lower().encode("latin-1"), value.encode("latin-1"))
+                for key, value in headers.items()
+            ],
+            "client": ("testclient", 0),
+            "server": ("testserver", 80),
+        }
+        request_messages: list[dict[str, Any]] = [
+            {"type": "http.request", "body": body, "more_body": False}
+        ]
+        sent = iter(request_messages)
+
+        async def receive() -> dict[str, Any]:
+            try:
+                return next(sent)
+            except StopIteration:
+                # The app over-read; park it the way a server would.
+                return {"type": "http.disconnect"}
+
+        status: list[int] = []
+        response_headers: list[tuple[str, str]] = []
+        chunks: list[bytes] = []
+        complete = asyncio.Event()
+
+        async def send(message: Mapping[str, Any]) -> None:
+            kind = message["type"]
+            if kind == "http.response.start":
+                status.append(int(message["status"]))
+                for key, value in message.get("headers", ()):
+                    response_headers.append(
+                        (key.decode("latin-1").lower(), value.decode("latin-1"))
+                    )
+            elif kind == "http.response.body":
+                chunks.append(bytes(message.get("body", b"")))
+                if not message.get("more_body", False):
+                    complete.set()
+            else:  # pragma: no cover - trailers etc.
+                raise AssertionError(f"unexpected ASGI message {kind!r}")
+
+        await self.app(scope, receive, send)
+        if not status or not complete.is_set():
+            raise AssertionError(
+                "ASGI app returned without completing the response"
+            )
+        return Response(status[0], response_headers, chunks)
+
+
+def run_lifespan(app: Any) -> None:
+    """Drive a full startup/shutdown lifespan cycle through ``app``."""
+
+    async def _cycle() -> None:
+        inbox: "asyncio.Queue[dict[str, str]]" = asyncio.Queue()
+        await inbox.put({"type": "lifespan.startup"})
+        await inbox.put({"type": "lifespan.shutdown"})
+        acks: list[str] = []
+
+        async def send(message: Mapping[str, Any]) -> None:
+            acks.append(message["type"])
+
+        await app({"type": "lifespan", "asgi": {"version": "3.0"}}, inbox.get, send)
+        assert acks == [
+            "lifespan.startup.complete",
+            "lifespan.shutdown.complete",
+        ], acks
+
+    asyncio.run(_cycle())

@@ -276,6 +276,63 @@ class TestCoalescing:
         assert status == "miss"
 
 
+class TestLegacyMigrationCorruption:
+    """The segments backend upgrading a files-backend directory must
+    survive damaged legacy ``*.json`` entries: skip and log, never raise."""
+
+    def _seed_files_cache(self, tmp_path, count=2):
+        files = ResponseCache(tmp_path, backend="files")
+        keys = []
+        for index in range(count):
+            key = files.key("m", messages(str(index)), 1.0)
+            files.store(key, completion(str(index)), messages(str(index)), 1.0)
+            keys.append(key)
+        return keys
+
+    def test_truncated_legacy_entry_is_skipped_and_logged(self, tmp_path, caplog):
+        good, bad = self._seed_files_cache(tmp_path)
+        # Simulate a crash mid-write: the file exists but holds half a body.
+        path = tmp_path / f"{bad}.json"
+        path.write_text(path.read_text(encoding="utf-8")[:25], encoding="utf-8")
+
+        migrating = ResponseCache(tmp_path, backend="segments")
+        with caplog.at_level("WARNING", logger="repro.response_cache"):
+            assert migrating.load(bad) is None
+            entry = migrating.load(good)
+        assert entry is not None and entry.text == "0"
+        assert any("corrupt legacy cache entry" in r.message for r in caplog.records)
+
+    def test_mangled_fields_are_skipped_and_logged(self, tmp_path, caplog):
+        (good, bad) = self._seed_files_cache(tmp_path)
+        path = tmp_path / f"{bad}.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["prompt_tokens"] = "not-a-number"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+        migrating = ResponseCache(tmp_path, backend="segments")
+        with caplog.at_level("WARNING", logger="repro.response_cache"):
+            assert migrating.load(bad) is None
+        assert any("malformed legacy cache entry" in r.message for r in caplog.records)
+        # The undamaged neighbour still migrates normally.
+        assert migrating.load(good) is not None
+
+    def test_entries_walk_survives_corruption(self, tmp_path, caplog):
+        keys = self._seed_files_cache(tmp_path, count=3)
+        (tmp_path / f"{keys[1]}.json").write_text("{ trunc", encoding="utf-8")
+
+        fresh = ResponseCache(tmp_path, backend="segments")
+        with caplog.at_level("WARNING", logger="repro.response_cache"):
+            listed = fresh.entries()
+        assert {entry.key for entry in listed} == {keys[0], keys[2]}
+        assert any("corrupt legacy cache entry" in r.message for r in caplog.records)
+
+    def test_missing_legacy_file_stays_a_silent_miss(self, tmp_path, caplog):
+        cache = ResponseCache(tmp_path, backend="segments")
+        with caplog.at_level("WARNING", logger="repro.response_cache"):
+            assert cache.load("0" * 64) is None
+        assert not caplog.records
+
+
 class TestConfigSurface:
     def test_cache_mode_validation(self):
         assert CACHE_MODES == ("off", "read", "read-write")

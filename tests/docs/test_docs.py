@@ -150,13 +150,13 @@ def test_example_scripts_run(script, tmp_path):
 
 def public_runtime_modules() -> list[str]:
     """Every public module/subpackage of ``repro.core``, ``repro.llm``,
-    and ``repro.obs``.
+    ``repro.obs``, and ``repro.serve``.
 
     Rendered as the repo-relative shorthand the architecture doc uses:
     ``core/session.py`` for modules, ``llm/providers/`` for packages.
     """
     references = []
-    for package in ("core", "llm", "obs"):
+    for package in ("core", "llm", "obs", "serve"):
         package_dir = REPO_ROOT / "src" / "repro" / package
         for path in sorted(package_dir.iterdir(), key=lambda p: p.name):
             if path.name.startswith(("_", ".")):

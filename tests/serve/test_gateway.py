@@ -1,0 +1,289 @@
+"""End-to-end tests for the ASGI serving gateway.
+
+Everything runs in-process through the stdlib ASGI test client -- no
+sockets, no server -- so the suite stays hermetic.  Covers routing and
+content negotiation, API-key authentication, typed ask/map round trips,
+NDJSON streaming, per-tenant quota enforcement (429), tenant isolation,
+and the acceptance-criteria property that ``/metrics`` per-tenant
+counters match each tenant's ``ClientStats`` by construction.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.llm import QUIET
+from repro.serve import (
+    ASGITestClient,
+    GatewayApp,
+    TenantRegistry,
+    TenantSpec,
+    estimate_request_tokens,
+    resolve_wire_type,
+    run_lifespan,
+)
+import repro.types as t
+
+
+@pytest.fixture()
+def registry() -> TenantRegistry:
+    # QUIET noise: every gateway request is exactly one provider call, so
+    # stats assertions are exact instead of retry-dependent.
+    registry = TenantRegistry(noise_policy=QUIET)
+    registry.add(TenantSpec("acme", api_key="sk-acme", weight=3.0))
+    registry.add(TenantSpec("beta", api_key="sk-beta", weight=1.0))
+    return registry
+
+
+@pytest.fixture()
+def client(registry) -> ASGITestClient:
+    return ASGITestClient(GatewayApp(registry))
+
+
+def ask_body(n=5, **extra):
+    return {
+        "type": "int",
+        "template": "Calculate the factorial of {{n}}.",
+        "args": {"n": n},
+        **extra,
+    }
+
+
+class TestRoutingAndAuth:
+    def test_healthz_needs_no_auth(self, client):
+        response = client.get("/healthz")
+        assert response.status == 200
+        payload = response.json()
+        assert payload["status"] == "ok"
+        assert {entry["tenant"] for entry in payload["tenants"]} == {"acme", "beta"}
+
+    def test_unknown_route_404(self, client):
+        assert client.get("/nope").status == 404
+
+    def test_wrong_method_405(self, client):
+        response = client.get("/v1/ask", headers={"x-api-key": "sk-acme"})
+        assert response.status == 405
+
+    def test_missing_and_unknown_api_key_401(self, client):
+        assert client.post("/v1/ask", json=ask_body()).status == 401
+        response = client.post(
+            "/v1/ask", json=ask_body(), headers={"x-api-key": "sk-wrong"}
+        )
+        assert response.status == 401
+        assert "x-api-key" in response.json()["error"]
+
+    def test_malformed_bodies_400(self, client):
+        headers = {"x-api-key": "sk-acme"}
+        assert client.post("/v1/ask", body=b"", headers=headers).status == 400
+        assert client.post("/v1/ask", body=b"not json", headers=headers).status == 400
+        assert client.post("/v1/ask", json=[1, 2], headers=headers).status == 400
+        assert client.post("/v1/ask", json={"template": ""}, headers=headers).status == 400
+        assert (
+            client.post(
+                "/v1/ask",
+                json={"template": "x", "args": "nope"},
+                headers=headers,
+            ).status
+            == 400
+        )
+        bad_type = {"template": "x", "type": "no-such-type!!"}
+        assert client.post("/v1/ask", json=bad_type, headers=headers).status == 400
+
+    def test_lifespan_protocol(self, registry):
+        run_lifespan(GatewayApp(registry))
+
+
+class TestAskAndMap:
+    def test_typed_ask_round_trip(self, client):
+        response = client.post(
+            "/v1/ask", json=ask_body(n=5), headers={"x-api-key": "sk-acme"}
+        )
+        assert response.status == 200
+        payload = response.json()
+        assert payload == {
+            "tenant": "acme",
+            "value": 120,
+            "wait_s": payload["wait_s"],
+            "virtual_s": payload["virtual_s"],
+        }
+        assert payload["virtual_s"] > 0.0
+
+    def test_typescript_type_syntax_accepted(self, client):
+        body = ask_body(n=4)
+        body["type"] = "number"
+        response = client.post("/v1/ask", json=body, headers={"x-api-key": "sk-beta"})
+        assert response.status == 200
+        assert response.json()["value"] == 24
+
+    def test_streaming_ask_emits_accept_then_result(self, client):
+        response = client.post(
+            "/v1/ask", json=ask_body(n=6, stream=True), headers={"x-api-key": "sk-acme"}
+        )
+        assert response.status == 200
+        assert response.header("content-type").startswith("application/x-ndjson")
+        events = response.ndjson()
+        assert [event["event"] for event in events] == ["accepted", "result"]
+        assert events[1]["value"] == 720
+        # The accept frame arrived as its own chunk, before the result.
+        assert len(response.chunks) >= 2
+
+    def test_map_streams_one_line_per_item_in_order(self, client):
+        body = {
+            "type": "int",
+            "template": "Calculate the factorial of {{n}}.",
+            "items": [{"n": n} for n in (0, 1, 2, 3)],
+        }
+        response = client.post("/v1/map", json=body, headers={"x-api-key": "sk-acme"})
+        assert response.status == 200
+        *lines, summary = response.ndjson()
+        assert [line["index"] for line in lines] == [0, 1, 2, 3]
+        assert [line["value"] for line in lines] == [1, 1, 2, 6]
+        assert summary["event"] == "summary"
+        assert summary["items"] == 4 and summary["failures"] == 0
+
+    def test_map_validates_items(self, client):
+        headers = {"x-api-key": "sk-acme"}
+        body = {"type": "int", "template": "x", "items": "nope"}
+        assert client.post("/v1/map", json=body, headers=headers).status == 400
+        body = {"type": "int", "template": "x", "items": [{}], "max_concurrency": 0}
+        assert client.post("/v1/map", json=body, headers=headers).status == 400
+
+
+class TestQuotasAndBudgets:
+    def test_request_quota_exhaustion_is_429(self):
+        registry = TenantRegistry()
+        registry.add(TenantSpec("capped", api_key="sk-c", max_requests=2))
+        client = ASGITestClient(GatewayApp(registry))
+        headers = {"x-api-key": "sk-c"}
+        assert client.post("/v1/ask", json=ask_body(1), headers=headers).status == 200
+        assert client.post("/v1/ask", json=ask_body(2), headers=headers).status == 200
+        refusal = client.post("/v1/ask", json=ask_body(3), headers=headers)
+        assert refusal.status == 429
+        payload = refusal.json()
+        assert payload["resource"] == "requests"
+        assert payload["used"] == payload["limit"] == 2
+
+    def test_token_quota_counts_estimated_tokens(self):
+        registry = TenantRegistry()
+        registry.add(TenantSpec("tiny", api_key="sk-t", max_tokens=1))
+        client = ASGITestClient(GatewayApp(registry))
+        refusal = client.post(
+            "/v1/ask", json=ask_body(1), headers={"x-api-key": "sk-t"}
+        )
+        assert refusal.status == 429
+        assert refusal.json()["resource"] == "tokens"
+
+    def test_rate_budget_wait_lands_on_the_tenant_clock(self):
+        registry = TenantRegistry()
+        registry.add(
+            TenantSpec("paced", api_key="sk-p", requests_per_minute=2.0)
+        )
+        client = ASGITestClient(GatewayApp(registry))
+        headers = {"x-api-key": "sk-p"}
+        waits = []
+        for n in (1, 2, 3, 4, 5, 6):
+            response = client.post("/v1/ask", json=ask_body(n), headers=headers)
+            assert response.status == 200
+            waits.append(response.json()["wait_s"])
+        # Burst depth 4 admits the first requests without waiting; past
+        # it, pacing at 2 rpm (30s spacing) outruns the virtual clock's
+        # few seconds of simulated latency per request, so waits accrue.
+        assert waits[0] == 0.0
+        assert waits[-1] > 0.0
+        runtime = registry.get("paced")
+        assert runtime.session.stats.throttled >= 1
+        assert runtime.session.stats.throttle_wait_s == pytest.approx(
+            sum(waits), rel=1e-6
+        )
+
+    def test_estimate_scales_with_prompt_size(self):
+        small = estimate_request_tokens("Short {{x}}.", {"x": "hi"})
+        large = estimate_request_tokens("Short {{x}}.", {"x": "hi " * 500})
+        assert large > small
+
+
+class TestTenantIsolation:
+    def test_stats_and_clocks_never_interleave(self, registry, client):
+        headers_a = {"x-api-key": "sk-acme"}
+        headers_b = {"x-api-key": "sk-beta"}
+        for n in (1, 2, 3):
+            assert client.post("/v1/ask", json=ask_body(n), headers=headers_a).status == 200
+        assert client.post("/v1/ask", json=ask_body(4), headers=headers_b).status == 200
+        acme, beta = registry.get("acme"), registry.get("beta")
+        assert acme.session.stats.calls == 3
+        assert beta.session.stats.calls == 1
+        assert acme.session.clock.now() != beta.session.clock.now()
+
+    def test_shared_turnstile_counts_admissions_per_lane(self, registry, client):
+        client.post("/v1/ask", json=ask_body(2), headers={"x-api-key": "sk-acme"})
+        client.post("/v1/ask", json=ask_body(2), headers={"x-api-key": "sk-beta"})
+        admitted = registry.turnstile.admitted
+        assert admitted["acme"] >= 1 and admitted["beta"] >= 1
+
+    def test_concurrent_mixed_tenant_traffic_stays_attributed(self, registry, client):
+        errors = []
+
+        def hit(key, n):
+            try:
+                response = client.post(
+                    "/v1/ask", json=ask_body(n), headers={"x-api-key": key}
+                )
+                assert response.status == 200, response.text
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hit, args=("sk-acme" if i % 2 else "sk-beta", 3))
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert registry.get("acme").session.stats.calls == 4
+        assert registry.get("beta").session.stats.calls == 4
+
+    def test_duplicate_tenants_and_keys_rejected(self, registry):
+        with pytest.raises(ConfigError):
+            registry.add(TenantSpec("acme", api_key="sk-new"))
+        with pytest.raises(ConfigError):
+            registry.add(TenantSpec("fresh", api_key="sk-acme"))
+
+
+class TestMetricsEndpoint:
+    def test_per_tenant_series_match_client_stats_by_construction(
+        self, registry, client
+    ):
+        headers = {"x-api-key": "sk-acme"}
+        for n in (1, 2):
+            client.post("/v1/ask", json=ask_body(n), headers=headers)
+        response = client.get("/metrics")
+        assert response.status == 200
+        assert response.header("content-type").startswith("text/plain")
+        text = response.text
+        calls = registry.get("acme").session.stats.calls
+        expected = (
+            f'askit_provider_calls_total{{model="sim-gpt-4",tenant="acme"}} {calls}'
+        )
+        assert expected in text
+        # The other tenant served nothing: no series under its label.
+        assert 'askit_provider_calls_total{model="sim-gpt-4",tenant="beta"}' not in text
+
+    def test_gateway_counters_and_headers_deduplicated(self, client):
+        client.get("/healthz")
+        client.post("/v1/ask", json=ask_body(), headers={"x-api-key": "sk-acme"})
+        text = client.get("/metrics").text
+        assert 'askit_gateway_requests_total{route="/v1/ask",status="200",tenant="acme"} 1' in text
+        lines = text.splitlines()
+        headers = [line for line in lines if line.startswith("# TYPE")]
+        assert len(headers) == len(set(headers)), "duplicate # TYPE headers"
+
+
+class TestWireTypes:
+    def test_aliases_and_typescript_both_resolve(self):
+        assert resolve_wire_type("int") is t.int
+        assert resolve_wire_type("bool") is t.bool
+        parsed = resolve_wire_type("{name: string}[]")
+        assert parsed is not None

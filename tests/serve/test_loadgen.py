@@ -1,0 +1,161 @@
+"""The 10k-request skewed-load fairness harness (ISSUE 10 acceptance).
+
+Drives >= 10,000 concurrent requests -- one hot tenant offering 90% of
+the load against several light tenants -- through the *real*
+:class:`~repro.core.scheduler.DeficitRoundRobin` admission structure on
+a virtual clock.  Asserts the fairness guarantees the gateway sells:
+per-tenant goodput within +/-10% of weight shares while everyone is
+backlogged, a p99 admission-wait bound for light tenants, zero
+starvation, and bit-for-bit determinism run to run.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import DISCIPLINES, FairnessReport, LoadGenerator, TenantLoad, skewed_mix
+
+CAPACITY = 8
+SERVICE_S = 1.0
+
+
+@pytest.fixture(scope="module")
+def skewed_report() -> FairnessReport:
+    """One 10k-request weighted-fair run, shared across assertions."""
+    loads = skewed_mix(hot_fraction=0.9, total_requests=10_000, light_tenants=4,
+                       service_s=SERVICE_S)
+    assert sum(load.requests for load in loads) >= 10_000
+    return LoadGenerator(loads, capacity=CAPACITY).run()
+
+
+class TestSkewedMixFairness:
+    def test_every_request_is_admitted_and_completed(self, skewed_report):
+        assert len(skewed_report.records) >= 10_000
+        assert all(r.admitted_s >= 0.0 for r in skewed_report.records)
+        assert all(r.completed_s > r.admitted_s - 1e-9 for r in skewed_report.records)
+
+    def test_goodput_shares_match_weights_within_10_percent(self, skewed_report):
+        # 5 equal-weight tenants -> each is owed 20% of admissions while
+        # every tenant still has backlog, hot 90% offered load or not.
+        for name in skewed_report.weights:
+            share = skewed_report.admitted_share(name)
+            owed = skewed_report.weight_share(name)
+            assert share == pytest.approx(owed, rel=0.10), (
+                f"{name}: admitted {share:.4f} vs owed {owed:.4f}"
+            )
+
+    def test_light_tenant_p99_wait_is_bounded_by_fair_share(self, skewed_report):
+        # A light tenant's worst wait under DRR is set by its own queue
+        # draining at its fair-share rate (capacity * weight share), not
+        # by the hot tenant's 9000-deep backlog.
+        for name in skewed_report.weights:
+            if name == "hot":
+                continue
+            requests = len([r for r in skewed_report.records if r.tenant == name])
+            fair_rate = CAPACITY * skewed_report.weight_share(name) / SERVICE_S
+            drain_bound = requests / fair_rate
+            p99 = skewed_report.wait_percentile(name, 0.99)
+            assert p99 <= 1.10 * drain_bound, (
+                f"{name}: p99 wait {p99:.1f}s exceeds fair-share bound "
+                f"{drain_bound:.1f}s"
+            )
+
+    def test_zero_starvation(self, skewed_report):
+        # Work conservation (slots never idle over backlog) plus every
+        # tenant's first admission landing within the first DRR cycle.
+        assert skewed_report.idle_while_backlogged_s == 0.0
+        first_admission = {}
+        for record in sorted(skewed_report.records, key=lambda r: r.admitted_s):
+            first_admission.setdefault(record.tenant, record.admitted_s)
+        # All five tenants are admitted before a single service time has
+        # elapsed: nobody waits behind another tenant's whole backlog.
+        assert len(first_admission) == len(skewed_report.weights)
+        assert max(first_admission.values()) <= SERVICE_S
+
+    def test_hot_tenant_still_gets_full_capacity_after_contention(self, skewed_report):
+        # Fairness is not a cap: once the light tenants drain, the hot
+        # tenant's remaining backlog gets every slot (work conservation),
+        # so total makespan stays the ideal requests/capacity.
+        total = len(skewed_report.records)
+        ideal = total * SERVICE_S / CAPACITY
+        assert skewed_report.makespan_s == pytest.approx(ideal, rel=0.01)
+
+    def test_deterministic_run_to_run(self):
+        loads = skewed_mix(total_requests=10_000, service_s=SERVICE_S)
+        first = LoadGenerator(loads, capacity=CAPACITY, seed=7).run()
+        second = LoadGenerator(loads, capacity=CAPACITY, seed=7).run()
+        assert first.summary() == second.summary()
+        assert [
+            (r.tenant, r.arrival_s, r.admitted_s, r.completed_s)
+            for r in first.records
+        ] == [
+            (r.tenant, r.arrival_s, r.admitted_s, r.completed_s)
+            for r in second.records
+        ]
+
+
+class TestWeightedShares:
+    def test_unequal_weights_split_admissions_proportionally(self):
+        loads = [
+            TenantLoad("gold", weight=6.0, requests=3000),
+            TenantLoad("silver", weight=3.0, requests=3000),
+            TenantLoad("bronze", weight=1.0, requests=3000),
+        ]
+        report = LoadGenerator(loads, capacity=4).run()
+        for name in ("gold", "silver", "bronze"):
+            assert report.admitted_share(name) == pytest.approx(
+                report.weight_share(name), rel=0.10
+            )
+        # 6:3:1 means gold drains ~6x faster than bronze.
+        assert report.exhausted_at["gold"] < report.exhausted_at["bronze"]
+
+    def test_fractional_weights_terminate_and_stay_fair(self):
+        loads = [
+            TenantLoad("slow", weight=0.2, requests=200),
+            TenantLoad("slower", weight=0.3, requests=200),
+        ]
+        report = LoadGenerator(loads, capacity=1).run()
+        assert report.admitted_share("slow") == pytest.approx(0.4, abs=0.05)
+        assert report.admitted_share("slower") == pytest.approx(0.6, abs=0.05)
+
+
+class TestFifoBaseline:
+    def test_fifo_starves_light_tenants_behind_the_hot_backlog(self):
+        loads = skewed_mix(hot_fraction=0.9, total_requests=10_000, light_tenants=4)
+        fair = LoadGenerator(loads, capacity=CAPACITY, seed=3).run()
+        fifo = LoadGenerator(loads, capacity=CAPACITY, discipline="fifo", seed=3).run()
+        # Same work, same capacity: FIFO loses nothing in throughput...
+        assert fifo.makespan_s == pytest.approx(fair.makespan_s, rel=0.01)
+        # ...but a light tenant's p99 wait scales with the *total* queue
+        # under FIFO instead of its own backlog under DRR.
+        assert fifo.wait_percentile("light0", 0.99) > 3.0 * fair.wait_percentile(
+            "light0", 0.99
+        )
+
+    def test_disciplines_are_validated(self):
+        with pytest.raises(ConfigError):
+            LoadGenerator([TenantLoad("a")], discipline="priority")
+        assert set(DISCIPLINES) == {"weighted-fair", "fifo"}
+
+
+class TestLoadSpecValidation:
+    def test_bad_specs_raise(self):
+        with pytest.raises(ConfigError):
+            TenantLoad("a", weight=0.0)
+        with pytest.raises(ConfigError):
+            TenantLoad("a", requests=-1)
+        with pytest.raises(ConfigError):
+            TenantLoad("a", service_s=0.0)
+        with pytest.raises(ConfigError):
+            LoadGenerator([])
+        with pytest.raises(ConfigError):
+            LoadGenerator([TenantLoad("a"), TenantLoad("a")])
+        with pytest.raises(ConfigError):
+            LoadGenerator([TenantLoad("a")], capacity=0)
+
+    def test_paced_arrivals_wait_less_than_backlogged_ones(self):
+        paced = LoadGenerator(
+            [TenantLoad("t", requests=64, rate_rps=4.0)], capacity=8
+        ).run()
+        # Offered rate (4 rps) below capacity (8 slots / 1s service):
+        # nothing ever queues.
+        assert paced.max_wait("t") == 0.0
